@@ -1,0 +1,25 @@
+//! # teamplay-apps — the four TeamPlay use cases
+//!
+//! Section IV of the paper validates the methodology on four
+//! industrial-grade applications; this crate reproduces each as a
+//! laptop-scale workload with the same structure:
+//!
+//! * [`camera_pill`] — the capsule-endoscopy imaging pipeline on a
+//!   Cortex-M0-class core (capture → compress → encrypt → transmit),
+//!   written in annotated Mini-C and compiled by the full predictable
+//!   toolchain (paper Section IV-A: 18 % performance / 19 % energy
+//!   improvement);
+//! * [`spacewire`] — the LEON3/GR712RC image processing and SpaceWire
+//!   downlink application with DVFS-based energy minimisation under a
+//!   hard deadline (Section IV-B: 52 % energy improvement);
+//! * [`uav`] — the fixed-wing search-and-rescue drone's detection
+//!   pipeline on a TK1-class payload, with the battery/endurance model
+//!   behind the "+4 minutes of flight" result (Section IV-C);
+//! * [`parking`] — the free-parking-spot CNN (Section IV-D), as
+//!   fixed-point Rust inference for the complex flow and as Mini-C
+//!   kernels for the per-layer compiler variant study.
+
+pub mod camera_pill;
+pub mod parking;
+pub mod spacewire;
+pub mod uav;

@@ -1,0 +1,202 @@
+//! The uncrewed-aerial-vehicle use case (paper Section IV-C).
+//!
+//! A fixed-wing search-and-rescue (SAR) drone carries a TK1-class
+//! computing payload running a vision pipeline (capture → preprocess →
+//! detect → track → downlink). The airframe draws ≈ 28 W in cruise;
+//! the payload draws 2–11 W depending on how the pipeline is mapped and
+//! clocked. Because flight time is battery energy divided by total
+//! power, every payload watt saved is minutes of coverage gained — the
+//! paper reports an 18 % payload-energy reduction buying ≈ 4 minutes.
+//!
+//! This module provides the pipeline's work model, the mission-level
+//! power/endurance arithmetic, and helpers that connect the profiler's
+//! measurements to the coordination layer.
+
+use serde::{Deserialize, Serialize};
+use teamplay_coord::{CoordTask, TaskSet};
+use teamplay_profiler::{exec_options_from_profile, ProfileReport};
+use teamplay_sim::{Battery, WorkItem};
+
+/// Cruise power of the airframe (motors + avionics), watts.
+pub const MECHANICAL_POWER_W: f64 = 28.0;
+/// Frame period of the detection pipeline (µs) — 3.3 Hz survey rate.
+pub const FRAME_PERIOD_US: f64 = 300_000.0;
+
+/// The SAR payload pipeline: name, work, dependencies.
+///
+/// Work is calibrated in mega-cycles on a 1 GHz reference core. The
+/// GPU-friendly detection chain (preprocess → detect → track) runs
+/// alongside the CPU-side services every SAR payload carries — video
+/// encoding for the ground station, stabilisation and geotagging — which
+/// is what puts the software draw in the paper's 2–11 W envelope.
+pub fn sar_pipeline() -> Vec<(String, WorkItem, Vec<String>)> {
+    vec![
+        ("capture".into(), WorkItem { ref_mcycles: 36.0, gpu_speedup: 0.5, utilisation: 0.6 }, vec![]),
+        (
+            "preprocess".into(),
+            WorkItem { ref_mcycles: 135.0, gpu_speedup: 5.0, utilisation: 0.9 },
+            vec!["capture".into()],
+        ),
+        (
+            "detect".into(),
+            WorkItem { ref_mcycles: 660.0, gpu_speedup: 11.0, utilisation: 1.0 },
+            vec!["preprocess".into()],
+        ),
+        (
+            "track".into(),
+            WorkItem { ref_mcycles: 90.0, gpu_speedup: 2.0, utilisation: 0.8 },
+            vec!["detect".into()],
+        ),
+        (
+            "stabilise".into(),
+            WorkItem { ref_mcycles: 120.0, gpu_speedup: 0.4, utilisation: 0.8 },
+            vec!["capture".into()],
+        ),
+        (
+            "video_encode".into(),
+            WorkItem { ref_mcycles: 320.0, gpu_speedup: 0.8, utilisation: 0.9 },
+            vec!["capture".into()],
+        ),
+        (
+            "geotag".into(),
+            WorkItem { ref_mcycles: 60.0, gpu_speedup: 0.3, utilisation: 0.7 },
+            vec!["stabilise".into()],
+        ),
+        (
+            "downlink".into(),
+            WorkItem { ref_mcycles: 24.0, gpu_speedup: 0.3, utilisation: 0.5 },
+            vec!["track".into(), "video_encode".into(), "geotag".into()],
+        ),
+    ]
+}
+
+/// Build the coordination task set from a profiling report.
+///
+/// `margin` is the p95 safety factor (soft real-time); the deadline is
+/// one frame period.
+///
+/// # Errors
+/// Propagates task-set validation errors as text.
+pub fn sar_task_set(
+    report: &ProfileReport,
+    cores: Vec<String>,
+    margin: f64,
+) -> Result<TaskSet, String> {
+    let mut tasks = Vec::new();
+    for (name, _, deps) in sar_pipeline() {
+        let options = exec_options_from_profile(report, &name, margin);
+        let mut task = CoordTask::new(name, options);
+        task.after = deps;
+        tasks.push(task);
+    }
+    TaskSet::new(tasks, cores, FRAME_PERIOD_US).map_err(|e| e.to_string())
+}
+
+/// Mission-level outcome for one software mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissionEstimate {
+    /// Average payload (software) power, watts.
+    pub software_power_w: f64,
+    /// Total platform power, watts.
+    pub total_power_w: f64,
+    /// Flight endurance, minutes.
+    pub endurance_min: f64,
+}
+
+/// Convert a schedule's per-frame energy into mission endurance.
+///
+/// `frame_energy_uj` is the pipeline's energy per frame; the pipeline
+/// repeats every [`FRAME_PERIOD_US`]; idle power between frames is
+/// `idle_w`.
+pub fn mission_estimate(battery: &Battery, frame_energy_uj: f64, idle_w: f64) -> MissionEstimate {
+    let frame_period_s = FRAME_PERIOD_US / 1e6;
+    let software_power_w = frame_energy_uj / 1e6 / frame_period_s + idle_w;
+    let total = MECHANICAL_POWER_W + software_power_w;
+    MissionEstimate {
+        software_power_w,
+        total_power_w: total,
+        endurance_min: battery.endurance_min(total),
+    }
+}
+
+/// Survey coverage in square kilometres for a given endurance, at the
+/// SAR mission profile (cruise 18 m/s, 120 m swath width).
+pub fn coverage_km2(endurance_min: f64) -> f64 {
+    let cruise_ms = 18.0;
+    let swath_m = 120.0;
+    endurance_min * 60.0 * cruise_ms * swath_m / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamplay_coord::schedule_energy_aware;
+    use teamplay_profiler::profile_tasks;
+    use teamplay_sim::ComplexPlatform;
+
+    fn profile() -> (ComplexPlatform, ProfileReport) {
+        let platform = ComplexPlatform::tk1();
+        let tasks: Vec<(String, WorkItem)> =
+            sar_pipeline().into_iter().map(|(n, w, _)| (n, w)).collect();
+        let report = profile_tasks(&platform, &tasks, 24, 42);
+        (platform, report)
+    }
+
+    #[test]
+    fn pipeline_is_schedulable_on_tk1() {
+        let (platform, report) = profile();
+        let cores = platform.cores.iter().map(|c| c.name.clone()).collect();
+        let set = sar_task_set(&report, cores, 1.2).expect("task set");
+        let schedule = schedule_energy_aware(&set).expect("schedulable at 5 Hz");
+        schedule.validate(&set).expect("valid");
+        assert!(schedule.makespan_us <= FRAME_PERIOD_US);
+    }
+
+    #[test]
+    fn detector_lands_on_the_gpu() {
+        let (platform, report) = profile();
+        let cores = platform.cores.iter().map(|c| c.name.clone()).collect();
+        let set = sar_task_set(&report, cores, 1.2).expect("task set");
+        let schedule = schedule_energy_aware(&set).expect("schedulable");
+        let detect = schedule.entry("detect").expect("detect");
+        assert_eq!(detect.core, "gk20a", "an 11x-GPU kernel belongs on the GPU: {schedule:?}");
+    }
+
+    #[test]
+    fn mission_arithmetic_matches_paper_magnitudes() {
+        let battery = Battery::sar_drone();
+        // A mapping drawing ~9 W of software power.
+        let frame_energy_uj = 9.0 * (FRAME_PERIOD_US / 1e6) * 1e6; // 9 W × one frame
+        let est = mission_estimate(&battery, frame_energy_uj, 0.0);
+        assert!((est.software_power_w - 9.0).abs() < 1e-9);
+        assert!((est.total_power_w - 37.0).abs() < 1e-9);
+        assert!((80.0..110.0).contains(&est.endurance_min), "{est:?}");
+        // 18 % software-energy saving gains minutes of flight.
+        let improved = mission_estimate(&battery, frame_energy_uj * 0.82, 0.0);
+        let gained = improved.endurance_min - est.endurance_min;
+        assert!((2.0..8.0).contains(&gained), "gained {gained} minutes");
+    }
+
+    #[test]
+    fn software_power_stays_in_the_papers_2_to_11w_envelope() {
+        let (platform, report) = profile();
+        let cores: Vec<String> = platform.cores.iter().map(|c| c.name.clone()).collect();
+        let set = sar_task_set(&report, cores, 1.2).expect("task set");
+        let schedule = schedule_energy_aware(&set).expect("schedulable");
+        let battery = Battery::sar_drone();
+        let est = mission_estimate(&battery, schedule.total_energy_uj, 0.4);
+        assert!(
+            (1.0..=11.0).contains(&est.software_power_w),
+            "software power {} W out of envelope",
+            est.software_power_w
+        );
+    }
+
+    #[test]
+    fn coverage_grows_with_endurance() {
+        assert!(coverage_km2(94.0) > coverage_km2(90.0));
+        // ~90 min at 18 m/s with a 120 m swath ≈ 11.6 km².
+        let c = coverage_km2(90.0);
+        assert!((10.0..14.0).contains(&c), "{c}");
+    }
+}

@@ -1,0 +1,134 @@
+//! The evaluation suite: prints every paper table (E0–E5, A1–A3) and then
+//! times the toolchain's hot components with Criterion.
+//!
+//! Run with `cargo bench --workspace`; the printed tables are captured in
+//! `EXPERIMENTS.md` at the repository root.
+
+use criterion::{criterion_group, Criterion};
+use teamplay_bench::{ablations, experiments};
+
+fn print_experiment_tables() {
+    println!("===============================================================");
+    println!(" TeamPlay reproduction — evaluation tables (paper Section IV)");
+    println!("===============================================================\n");
+    println!("{}", experiments::e0_workflows());
+    let (_, t) = experiments::e1_camera_pill();
+    println!("{t}");
+    let (_, t) = experiments::e2_spacewire();
+    println!("{t}");
+    let (_, t) = experiments::e3_uav();
+    println!("{t}");
+    let (_, t) = experiments::e4_parking();
+    println!("{t}");
+    let (_, t) = experiments::e5_security();
+    println!("{t}");
+    let (_, t) = ablations::a1_fpa_vs_random();
+    println!("{t}");
+    let (_, t) = ablations::a2_multiversion();
+    println!("{t}");
+    let (_, t) = ablations::a3_model_fit();
+    println!("{t}");
+    let (_, t) = ablations::a4_analysis_tightness();
+    println!("{t}");
+    println!("===============================================================\n");
+}
+
+fn bench_toolchain(c: &mut Criterion) {
+    use teamplay_compiler::{compile_module, CompilerConfig};
+    use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
+    use teamplay_isa::CycleModel;
+    use teamplay_minic::compile_to_ir;
+    use teamplay_sim::Machine;
+
+    let src = teamplay_apps::camera_pill::SOURCE;
+    let ir = compile_to_ir(src).expect("parses");
+    let program = compile_module(&ir, &CompilerConfig::balanced()).expect("compiles");
+    let cm = CycleModel::pg32();
+    let em = IsaEnergyModel::pg32_datasheet();
+
+    c.bench_function("frontend_compile_to_ir", |b| {
+        b.iter(|| compile_to_ir(std::hint::black_box(src)).expect("parses"))
+    });
+    c.bench_function("compiler_balanced_config", |b| {
+        b.iter(|| compile_module(std::hint::black_box(&ir), &CompilerConfig::balanced()).expect("compiles"))
+    });
+    c.bench_function("wcet_analysis_pipeline", |b| {
+        b.iter(|| teamplay_wcet::analyze_program(std::hint::black_box(&program), &cm).expect("wcet"))
+    });
+    c.bench_function("wcec_analysis_pipeline", |b| {
+        b.iter(|| analyze_program_energy(std::hint::black_box(&program), &em, &cm).expect("wcec"))
+    });
+    c.bench_function("machine_one_frame", |b| {
+        let mut machine = Machine::new(program.clone()).expect("loads");
+        b.iter(|| {
+            machine.reset_data();
+            let mut dev = teamplay_apps::camera_pill::frame_device(1);
+            for (task, _) in teamplay_apps::camera_pill::TASKS {
+                let args: &[i32] = if task == "encrypt" { &[7] } else { &[] };
+                machine.call(task, args, &mut dev).expect("runs");
+            }
+        })
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    use teamplay_coord::{schedule_energy_aware, CoordTask, ExecOption, TaskSet};
+
+    let tasks: Vec<CoordTask> = (0..8)
+        .map(|i| {
+            let mut t = CoordTask::new(
+                format!("t{i}"),
+                vec![
+                    ExecOption {
+                        label: "fast".into(),
+                        core: format!("c{}", i % 2),
+                        time_us: 10.0 + i as f64,
+                        energy_uj: 100.0,
+                    },
+                    ExecOption {
+                        label: "green".into(),
+                        core: format!("c{}", i % 2),
+                        time_us: 25.0 + i as f64,
+                        energy_uj: 40.0,
+                    },
+                ],
+            );
+            if i > 0 {
+                t.after.push(format!("t{}", i - 1));
+            }
+            t
+        })
+        .collect();
+    let set =
+        TaskSet::new(tasks, vec!["c0".into(), "c1".into()], 250.0).expect("set");
+    c.bench_function("scheduler_multiversion_8_tasks", |b| {
+        b.iter(|| schedule_energy_aware(std::hint::black_box(&set)).expect("schedulable"))
+    });
+}
+
+fn bench_security(c: &mut Criterion) {
+    use teamplay_security::metrics::{indiscernibility, ks_distance, welch_t};
+
+    let a: Vec<f64> = (0..512).map(|i| (i % 37) as f64).collect();
+    let b2: Vec<f64> = (0..512).map(|i| 3.0 + (i % 41) as f64).collect();
+    c.bench_function("leakage_metrics_512_traces", |b| {
+        b.iter(|| {
+            let t = welch_t(std::hint::black_box(&a), std::hint::black_box(&b2));
+            let k = ks_distance(&a, &b2);
+            let i = indiscernibility(&a, &b2);
+            (t, k, i)
+        })
+    });
+}
+
+criterion_group! {
+    name = suite;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_toolchain, bench_scheduling, bench_security
+}
+
+fn main() {
+    print_experiment_tables();
+    suite();
+    criterion::Criterion::default().final_summary();
+}

@@ -1,0 +1,344 @@
+//! Design-choice ablations (A1–A3): the studies DESIGN.md calls out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use teamplay_apps::camera_pill;
+use teamplay_compiler::{
+    evaluate_module, CompilerConfig, FpaConfig, MultiObjectiveFpa,
+};
+use teamplay_coord::{
+    schedule_branch_and_bound, schedule_energy_aware, CoordTask, ExecOption, TaskSet,
+};
+use teamplay_energy::fitting::{evaluate as evaluate_fit, fit_isa_model, FitSample};
+use teamplay_energy::IsaEnergyModel;
+use teamplay_isa::CycleModel;
+use teamplay_minic::compile_to_ir;
+use teamplay_sim::Machine;
+
+/// A1 — FPA vs uniform random search at equal evaluation budget.
+///
+/// Returns `(fpa_front_size, random_front_size, fpa_best_energy,
+/// random_best_energy)` and the rendered table.
+pub fn a1_fpa_vs_random() -> ((usize, usize, f64, f64), String) {
+    let ir = compile_to_ir(camera_pill::SOURCE).expect("parses");
+    let cm = CycleModel::pg32();
+    let em = IsaEnergyModel::pg32_datasheet();
+    let task = "compress";
+
+    let eval = |genome: &[f64]| -> Option<Vec<f64>> {
+        let config = CompilerConfig::from_genome(genome);
+        let (_, metrics) = evaluate_module(&ir, &config, &cm, &em).ok()?;
+        let m = metrics.of(task)?;
+        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+    };
+
+    let fpa_cfg = FpaConfig::standard();
+    let fpa = MultiObjectiveFpa::new(fpa_cfg);
+    let fpa_out = fpa.run(CompilerConfig::GENOME_DIMS, 42, eval);
+
+    // Random search with the same number of evaluations.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut random_front: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..fpa_out.evaluations {
+        let genome: Vec<f64> =
+            (0..CompilerConfig::GENOME_DIMS).map(|_| rng.gen_range(0.0..1.0)).collect();
+        if let Some(obj) = eval(&genome) {
+            if !random_front
+                .iter()
+                .any(|p| teamplay_compiler::fpa::dominates(p, &obj) || *p == obj)
+            {
+                random_front.retain(|p| !teamplay_compiler::fpa::dominates(&obj, p));
+                random_front.push(obj);
+            }
+        }
+    }
+
+    let best_energy = |objs: &[Vec<f64>]| {
+        objs.iter().map(|o| o[1]).fold(f64::INFINITY, f64::min)
+    };
+    let fpa_objs: Vec<Vec<f64>> = fpa_out.archive.iter().map(|p| p.objectives.clone()).collect();
+    let fpa_best = best_energy(&fpa_objs);
+    let rnd_best = best_energy(&random_front);
+
+    let mut out = String::new();
+    out.push_str("## A1 — FPA vs random search (equal evaluation budget)\n\n");
+    out.push_str("| search | evaluations | Pareto points | best energy (µJ) |\n|---|---|---|---|\n");
+    out.push_str(&format!(
+        "| FPA (ref [5]) | {} | {} | {:.2} |\n",
+        fpa_out.evaluations,
+        fpa_out.archive.len(),
+        fpa_best / 1e6
+    ));
+    out.push_str(&format!(
+        "| uniform random | {} | {} | {:.2} |\n\n",
+        fpa_out.evaluations,
+        random_front.len(),
+        rnd_best / 1e6
+    ));
+    ((fpa_out.archive.len(), random_front.len(), fpa_best, rnd_best), out)
+}
+
+/// A2 — multi-version scheduling vs single-version (fastest-only), and
+/// the heuristic's gap to the branch-and-bound optimum, over random DAGs.
+///
+/// Returns `(mean_saving_pct, mean_gap_pct)` and the table.
+pub fn a2_multiversion() -> ((f64, f64), String) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cores = vec!["c0".to_string(), "c1".to_string()];
+    let mut savings = Vec::new();
+    let mut gaps = Vec::new();
+    let mut out = String::new();
+    out.push_str("## A2 — multi-version vs single-version scheduling (refs [20][21])\n\n");
+    out.push_str("| DAG | single-version energy | multi-version energy | saving | heuristic/optimal |\n|---|---|---|---|---|\n");
+
+    for dag in 0..6 {
+        // Random fork-join DAG of 6 tasks with 2 versions per task.
+        let n = 6;
+        let mut tasks = Vec::new();
+        for i in 0..n {
+            let fast_t = rng.gen_range(5.0..20.0);
+            let fast_e = fast_t * rng.gen_range(6.0..10.0);
+            let slow_t = fast_t * rng.gen_range(1.8..2.6);
+            let slow_e = fast_e * rng.gen_range(0.35..0.6);
+            let core = cores[i % 2].clone();
+            let mut t = CoordTask::new(
+                format!("t{i}"),
+                vec![
+                    ExecOption {
+                        label: "fast".into(),
+                        core: core.clone(),
+                        time_us: fast_t,
+                        energy_uj: fast_e,
+                    },
+                    ExecOption {
+                        label: "green".into(),
+                        core,
+                        time_us: slow_t,
+                        energy_uj: slow_e,
+                    },
+                ],
+            );
+            if i > 0 {
+                // Chain/fork mix: depend on a random earlier task.
+                let dep = rng.gen_range(0..i);
+                t.after.push(format!("t{dep}"));
+            }
+            tasks.push(t);
+        }
+        // Deadline with moderate slack: 1.6× the all-fast critical path
+        // estimate.
+        let fast_sum: f64 = tasks.iter().map(|t| t.options[0].time_us).sum();
+        let deadline = fast_sum * 1.1;
+
+        let multi_set = TaskSet::new(tasks.clone(), cores.clone(), deadline).expect("set");
+        let single_set = TaskSet::new(
+            tasks
+                .iter()
+                .map(|t| {
+                    let mut s = t.clone();
+                    s.options.truncate(1); // fastest only
+                    s
+                })
+                .collect(),
+            cores.clone(),
+            deadline,
+        )
+        .expect("set");
+
+        let multi = schedule_energy_aware(&multi_set).expect("multi schedulable");
+        let single = schedule_energy_aware(&single_set).expect("single schedulable");
+        let optimal = schedule_branch_and_bound(&multi_set).expect("optimal");
+        let saving = (single.total_energy_uj - multi.total_energy_uj) / single.total_energy_uj
+            * 100.0;
+        let gap = multi.total_energy_uj / optimal.total_energy_uj;
+        savings.push(saving);
+        gaps.push((gap - 1.0) * 100.0);
+        out.push_str(&format!(
+            "| {} | {:.0} | {:.0} | {:.1} % | {:.3} |\n",
+            dag, single.total_energy_uj, multi.total_energy_uj, saving, gap
+        ));
+    }
+    let mean_saving = savings.iter().sum::<f64>() / savings.len() as f64;
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    out.push_str(&format!(
+        "\nmean multi-version saving {mean_saving:.1} %, mean heuristic-vs-optimal gap {mean_gap:.2} %\n\n"
+    ));
+    ((mean_saving, mean_gap), out)
+}
+
+/// Build a random PG32 microbenchmark with a distinct instruction-class
+/// mix — the characterisation methodology of ref \[8\], which profiles the
+/// target with class-exercising kernels rather than whole applications.
+fn random_microbench(rng: &mut StdRng) -> teamplay_isa::Program {
+    use teamplay_isa::{AluOp, Block, BlockId, Function, Insn, Operand, Program, Reg, DATA_BASE};
+    let mut insns = Vec::new();
+    insns.push(Insn::MovImm32 { rd: Reg::R1, imm: DATA_BASE as i32 });
+    let n_groups = rng.gen_range(3..9);
+    for _ in 0..n_groups {
+        let kind = rng.gen_range(0..8);
+        let reps = rng.gen_range(1..40);
+        for _ in 0..reps {
+            let insn = match kind {
+                0 => Insn::Alu { op: AluOp::Add, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(3) },
+                1 => Insn::Alu { op: AluOp::Mul, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(5) },
+                2 => Insn::Alu { op: AluOp::Div, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(3) },
+                3 => Insn::Ldr { rd: Reg::R3, base: Reg::R1, offset: Operand::Imm(0) },
+                4 => Insn::Str { rs: Reg::R3, base: Reg::R1, offset: Operand::Imm(4) },
+                5 => Insn::Out { rs: Reg::R2, port: 1 },
+                6 => Insn::Nop,
+                _ => Insn::Push { regs: vec![Reg::R4, Reg::R5] },
+            };
+            insns.push(insn.clone());
+            if matches!(insn, Insn::Push { .. }) {
+                insns.push(Insn::Pop { regs: vec![Reg::R4, Reg::R5] });
+            }
+        }
+    }
+    let mut p = Program::new();
+    p.globals.insert("scratch".into(), vec![0; 8]);
+    // A few chained blocks so the Branch class is exercised too.
+    let blocks = vec![
+        Block { insns, terminator: teamplay_isa::Terminator::Branch(BlockId(1)) },
+        Block { insns: vec![Insn::Nop], terminator: teamplay_isa::Terminator::Return },
+    ];
+    p.add_function(Function {
+        name: "bench".into(),
+        blocks,
+        loop_bounds: Default::default(),
+        frame_size: 0,
+    });
+    p
+}
+
+/// A3 — energy-model fitting accuracy vs trace count (ref \[8\]). Samples
+/// come from simulator runs of class-exercising microbenchmarks with
+/// measurement noise.
+///
+/// Returns `(trace_counts, mape_pct)` series and the table.
+pub fn a3_model_fit() -> ((Vec<usize>, Vec<f64>), String) {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let mut noise = teamplay_energy::fitting::noise_rng(99);
+    let mut pool: Vec<FitSample> = Vec::new();
+    for _ in 0..640 {
+        let program = random_microbench(&mut rng);
+        let mut machine = Machine::new(program).expect("loads");
+        let r = machine
+            .call("bench", &[], &mut teamplay_sim::NullDevice::new())
+            .expect("microbench runs");
+        let sample =
+            FitSample { class_counts: r.class_counts, cycles: r.cycles, energy_pj: r.energy_pj }
+                .with_noise(0.02, &mut noise);
+        pool.push(sample);
+    }
+    let (eval_set, train_pool) = pool.split_at(120);
+
+    let counts = vec![16, 32, 64, 128, 256, train_pool.len()];
+    let mut mapes = Vec::new();
+    let mut out = String::new();
+    out.push_str("## A3 — energy-model fitting accuracy vs trace count (ref [8])\n\n");
+    out.push_str("| traces | MAPE | max APE |\n|---|---|---|\n");
+    for &n in &counts {
+        let n = n.min(train_pool.len());
+        let model = fit_isa_model(&train_pool[..n]).expect("fit");
+        let q = evaluate_fit(&model, eval_set);
+        mapes.push(q.mape * 100.0);
+        out.push_str(&format!("| {n} | {:.2} % | {:.2} % |\n", q.mape * 100.0, q.max_ape * 100.0));
+    }
+    out.push_str("\nfitting converges to a few-percent MAPE, matching ref [8]'s reported accuracy class\n\n");
+    ((counts, mapes), out)
+}
+
+/// A4 — analysis tightness: how far above measurement the static WCET
+/// and WCEC bounds sit (the overestimation factor industrial static
+/// analysis lives with).
+///
+/// Returns `(wcet_ratio, wcec_ratio)` per task and the table.
+pub fn a4_analysis_tightness() -> (Vec<(String, f64, f64)>, String) {
+    use teamplay_energy::analyze_program_energy;
+    use teamplay_wcet::analyze_program;
+
+    let ir = compile_to_ir(camera_pill::SOURCE).expect("parses");
+    let program =
+        teamplay_compiler::compile_module(&ir, &CompilerConfig::balanced()).expect("compiles");
+    let cm = CycleModel::pg32();
+    let em = IsaEnergyModel::pg32_datasheet();
+    let wcet = analyze_program(&program, &cm).expect("wcet");
+    let wcec = analyze_program_energy(&program, &em, &cm).expect("wcec");
+    let mut machine = Machine::new(program).expect("loads");
+
+    let mut rows = Vec::new();
+    let mut out = String::new();
+    out.push_str("## A4 — static-analysis tightness (bound / worst observed)
+
+");
+    out.push_str("| task | WCET bound | worst cycles | ratio | WCEC bound (µJ) | worst energy (µJ) | ratio |
+|---|---|---|---|---|---|---|
+");
+    for (task, _) in camera_pill::TASKS {
+        let mut worst_cycles = 0u64;
+        let mut worst_energy = 0.0f64;
+        for seed in 0..24u32 {
+            machine.reset_data();
+            let mut dev = camera_pill::frame_device(seed);
+            let args: &[i32] = if task == "encrypt" { &[seed as i32 * 131 + 7] } else { &[] };
+            let r = machine.call(task, args, &mut dev).expect("task runs");
+            worst_cycles = worst_cycles.max(r.cycles);
+            worst_energy = worst_energy.max(r.energy_pj);
+        }
+        let bound_c = wcet.wcet_cycles(task).expect("bounded");
+        let bound_e = wcec.wcec_pj(task).expect("bounded");
+        let rc = bound_c as f64 / worst_cycles as f64;
+        let re = bound_e / worst_energy;
+        out.push_str(&format!(
+            "| {task} | {bound_c} | {worst_cycles} | {rc:.2} | {:.1} | {:.1} | {re:.2} |
+",
+            bound_e / 1e6,
+            worst_energy / 1e6
+        ));
+        rows.push((task.to_string(), rc, re));
+    }
+    out.push_str("
+bounds are safe (ratio ≥ 1) and within the tightness class of structural IPET analyses
+
+");
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a4_bounds_are_safe_and_not_absurd() {
+        let (rows, table) = a4_analysis_tightness();
+        for (task, rc, re) in rows {
+            assert!(rc >= 1.0, "{task}: unsafe WCET bound! {table}");
+            assert!(re >= 1.0, "{task}: unsafe WCEC bound! {table}");
+            assert!(rc < 6.0, "{task}: WCET bound uselessly loose ({rc:.2})");
+            assert!(re < 6.0, "{task}: WCEC bound uselessly loose ({re:.2})");
+        }
+    }
+
+    #[test]
+    fn a1_fpa_not_worse_than_random() {
+        let ((fpa_n, _rnd_n, fpa_best, rnd_best), table) = a1_fpa_vs_random();
+        assert!(fpa_n >= 2, "{table}");
+        assert!(fpa_best <= rnd_best * 1.05, "FPA best {fpa_best} vs random {rnd_best}");
+    }
+
+    #[test]
+    fn a2_multiversion_saves_energy_and_heuristic_is_near_optimal() {
+        let ((saving, gap), table) = a2_multiversion();
+        assert!(saving > 5.0, "multi-version must save energy: {table}");
+        assert!(gap < 20.0, "heuristic too far from optimal: {gap}% {table}");
+    }
+
+    #[test]
+    fn a3_fit_improves_with_traces() {
+        let ((_, mapes), table) = a3_model_fit();
+        let first = mapes.first().copied().expect("series");
+        let last = mapes.last().copied().expect("series");
+        assert!(last <= first + 0.5, "more traces should not hurt: {table}");
+        assert!(last < 5.0, "converged MAPE should be a few percent: {table}");
+    }
+}

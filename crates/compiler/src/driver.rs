@@ -1,0 +1,436 @@
+//! Compiler driver: configurations, evaluation, Pareto variant search.
+//!
+//! A [`CompilerConfig`] is one point in the optimisation space (Fig. 1's
+//! "multi-criteria optimising compiler" explores many). The driver
+//! compiles a configuration, invokes the WCET and energy analyser
+//! plug-ins, and [`pareto_front_for`] runs the FPA to produce the
+//! multi-version task variants the coordination layer schedules.
+
+use crate::codegen::{generate_program, generate_program_with, CodegenError, CodegenOpts};
+use crate::fpa::{FpaConfig, MultiObjectiveFpa, ParetoPoint};
+use crate::passes::{run_passes, run_passes_per_function};
+use std::collections::HashMap;
+use serde::{Deserialize, Serialize};
+use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
+use teamplay_isa::{encode::encode_sequence, CycleModel, Function, Program};
+use teamplay_minic::ir::IrModule;
+use teamplay_wcet::analyze_program;
+
+/// One compiler configuration — the genome the multi-objective search
+/// explores.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompilerConfig {
+    /// Inline small callees.
+    pub inline: bool,
+    /// Maximum callee size (IR ops) eligible for inlining.
+    pub inline_threshold: usize,
+    /// Constant folding + constant branch resolution.
+    pub const_fold: bool,
+    /// Block-local copy propagation.
+    pub copy_prop: bool,
+    /// Dead-code elimination.
+    pub dce: bool,
+    /// Multiply strength reduction (power-of-two shifts).
+    pub strength_reduce: bool,
+    /// Shift-add decomposition of small multipliers (energy ↓, cycles ↑).
+    pub mul_shift_add: bool,
+    /// Register-pinning level (0, 2 or 4 callee-saved registers).
+    pub pinned_regs: usize,
+}
+
+impl CompilerConfig {
+    /// Everything off: the unoptimised reference point.
+    pub fn all_off() -> CompilerConfig {
+        CompilerConfig {
+            inline: false,
+            inline_threshold: 0,
+            const_fold: false,
+            copy_prop: false,
+            dce: false,
+            strength_reduce: false,
+            mul_shift_add: false,
+            pinned_regs: 0,
+        }
+    }
+
+    /// The "traditional toolchain" baseline of the paper's evaluation:
+    /// a generic single-objective setting (cleanup passes only, no
+    /// ETS-aware choices).
+    pub fn traditional() -> CompilerConfig {
+        CompilerConfig {
+            inline: false,
+            inline_threshold: 0,
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            strength_reduce: false,
+            mul_shift_add: false,
+            pinned_regs: 0,
+        }
+    }
+
+    /// A balanced multi-criteria default.
+    pub fn balanced() -> CompilerConfig {
+        CompilerConfig {
+            inline: true,
+            inline_threshold: 40,
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            strength_reduce: true,
+            mul_shift_add: false,
+            pinned_regs: 2,
+        }
+    }
+
+    /// Time-first: every speed lever pulled.
+    pub fn performance() -> CompilerConfig {
+        CompilerConfig {
+            inline: true,
+            inline_threshold: 80,
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            strength_reduce: true,
+            mul_shift_add: false,
+            pinned_regs: 4,
+        }
+    }
+
+    /// Energy-first: accepts extra cycles for lower picojoules.
+    pub fn energy_saver() -> CompilerConfig {
+        CompilerConfig {
+            inline: true,
+            inline_threshold: 60,
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            strength_reduce: true,
+            mul_shift_add: true,
+            pinned_regs: 4,
+        }
+    }
+
+    /// Decode a genome in `[0,1]^8` into a configuration (the FPA's
+    /// phenotype mapping).
+    pub fn from_genome(genome: &[f64]) -> CompilerConfig {
+        let bit = |i: usize| genome.get(i).copied().unwrap_or(0.0) > 0.5;
+        let g7 = genome.get(7).copied().unwrap_or(0.0);
+        CompilerConfig {
+            inline: bit(0),
+            inline_threshold: 20 + (genome.get(1).copied().unwrap_or(0.0) * 60.0) as usize,
+            const_fold: bit(2),
+            copy_prop: bit(3),
+            dce: bit(4),
+            strength_reduce: bit(5),
+            mul_shift_add: bit(6),
+            pinned_regs: if g7 < 1.0 / 3.0 {
+                0
+            } else if g7 < 2.0 / 3.0 {
+                2
+            } else {
+                4
+            },
+        }
+    }
+
+    /// Number of genome dimensions used by [`CompilerConfig::from_genome`].
+    pub const GENOME_DIMS: usize = 8;
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig::balanced()
+    }
+}
+
+/// Compile an IR module under a configuration.
+///
+/// # Errors
+/// Propagates [`CodegenError`].
+pub fn compile_module(ir: &IrModule, config: &CompilerConfig) -> Result<Program, CodegenError> {
+    let mut module = ir.clone();
+    run_passes(&mut module, config);
+    generate_program(
+        &module,
+        CodegenOpts { pinned_regs: config.pinned_regs, mul_shift_add: config.mul_shift_add },
+    )
+}
+
+/// Compile a module with per-function configurations: every function is
+/// optimised and code-generated under its own [`CompilerConfig`] (tasks
+/// keep their selected Pareto variants; everything else uses `default`).
+///
+/// # Errors
+/// Propagates [`CodegenError`].
+pub fn compile_module_per_function(
+    ir: &IrModule,
+    configs: &HashMap<String, CompilerConfig>,
+    default: &CompilerConfig,
+) -> Result<Program, CodegenError> {
+    let mut module = ir.clone();
+    run_passes_per_function(&mut module, configs, default);
+    let codegen_opts: HashMap<String, CodegenOpts> = configs
+        .iter()
+        .map(|(name, c)| {
+            (
+                name.clone(),
+                CodegenOpts { pinned_regs: c.pinned_regs, mul_shift_add: c.mul_shift_add },
+            )
+        })
+        .collect();
+    generate_program_with(
+        &module,
+        &codegen_opts,
+        CodegenOpts { pinned_regs: default.pinned_regs, mul_shift_add: default.mul_shift_add },
+    )
+}
+
+/// Encoded size of a function in 16-bit halfwords (terminators count one
+/// halfword each, as a branch would).
+pub fn code_size_halfwords(f: &Function) -> usize {
+    let mut words = 0usize;
+    for b in &f.blocks {
+        words += encode_sequence(&b.insns).len();
+        words += 1;
+    }
+    words
+}
+
+/// The three ETS-relevant metrics of one compiled task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariantMetrics {
+    /// Static WCET bound (cycles).
+    pub wcet_cycles: u64,
+    /// Static worst-case energy bound (picojoules).
+    pub wcec_pj: f64,
+    /// Encoded size (16-bit halfwords).
+    pub code_halfwords: usize,
+}
+
+/// Whole-module metrics for a configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleMetrics {
+    /// Per-function metrics in name order.
+    pub functions: Vec<(String, VariantMetrics)>,
+}
+
+impl ModuleMetrics {
+    /// Metrics for one function.
+    pub fn of(&self, name: &str) -> Option<&VariantMetrics> {
+        self.functions.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+}
+
+/// Compile and statically analyse a module under a configuration.
+///
+/// # Errors
+/// Codegen errors are returned as `Err`; analysis errors (unbounded
+/// loops, recursion) are folded into the error string.
+pub fn evaluate_module(
+    ir: &IrModule,
+    config: &CompilerConfig,
+    cycle_model: &CycleModel,
+    energy_model: &IsaEnergyModel,
+) -> Result<(Program, ModuleMetrics), String> {
+    let program = compile_module(ir, config).map_err(|e| e.to_string())?;
+    let wcet = analyze_program(&program, cycle_model).map_err(|e| e.to_string())?;
+    let energy =
+        analyze_program_energy(&program, energy_model, cycle_model).map_err(|e| e.to_string())?;
+    let mut functions = Vec::new();
+    for (name, f) in &program.functions {
+        functions.push((
+            name.clone(),
+            VariantMetrics {
+                wcet_cycles: wcet.wcet_cycles(name).expect("analysed"),
+                wcec_pj: energy.wcec_pj(name).expect("analysed"),
+                code_halfwords: code_size_halfwords(f),
+            },
+        ));
+    }
+    Ok((program, ModuleMetrics { functions }))
+}
+
+/// A compiled task variant on the Pareto front.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskVariant {
+    /// The configuration that produced it.
+    pub config: CompilerConfig,
+    /// Its static metrics for the task function.
+    pub metrics: VariantMetrics,
+    /// The full compiled program (all functions under this config).
+    pub program: Program,
+}
+
+/// Run the FPA over compiler configurations and return the Pareto front
+/// of variants for `task` (objectives: WCET, WCEC, code size).
+///
+/// Deterministic for a fixed seed. Returns variants sorted by WCET.
+pub fn pareto_front_for(
+    ir: &IrModule,
+    task: &str,
+    cycle_model: &CycleModel,
+    energy_model: &IsaEnergyModel,
+    fpa_config: FpaConfig,
+    seed: u64,
+) -> Vec<TaskVariant> {
+    let fpa = MultiObjectiveFpa::new(fpa_config);
+    let outcome = fpa.run(CompilerConfig::GENOME_DIMS, seed, |genome| {
+        let config = CompilerConfig::from_genome(genome);
+        let (_, metrics) = evaluate_module(ir, &config, cycle_model, energy_model).ok()?;
+        let m = metrics.of(task)?;
+        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+    });
+
+    let mut variants: Vec<TaskVariant> = Vec::new();
+    for ParetoPoint { genome, objectives } in outcome.archive {
+        let config = CompilerConfig::from_genome(&genome);
+        // Deduplicate by decoded configuration.
+        if variants.iter().any(|v| v.config == config) {
+            continue;
+        }
+        let Ok((program, metrics)) = evaluate_module(ir, &config, cycle_model, energy_model)
+        else {
+            continue;
+        };
+        let m = *metrics.of(task).expect("task analysed");
+        debug_assert!((m.wcet_cycles as f64 - objectives[0]).abs() < 1.0);
+        variants.push(TaskVariant { config, metrics: m, program });
+    }
+    variants.sort_by_key(|v| v.metrics.wcet_cycles);
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamplay_minic::compile_to_ir;
+    use teamplay_sim::{Machine, RecordingDevice};
+
+    const TASK: &str = "
+        int coeff[16] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+        int scale(int v) { return v * 10; }
+        int filter(int x) {
+            int acc = 0;
+            for (int i = 0; i < 16; i = i + 1) {
+                acc = acc + coeff[i] * (x + i);
+            }
+            return scale(acc);
+        }";
+
+    #[test]
+    fn evaluate_module_reports_all_functions() {
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let (_, metrics) = evaluate_module(
+            &ir,
+            &CompilerConfig::balanced(),
+            &CycleModel::pg32(),
+            &IsaEnergyModel::pg32_datasheet(),
+        )
+        .expect("evaluate");
+        assert!(metrics.of("filter").is_some());
+        assert!(metrics.of("scale").is_some());
+        assert!(metrics.of("missing").is_none());
+    }
+
+    #[test]
+    fn presets_order_as_expected() {
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let cm = CycleModel::pg32();
+        let em = IsaEnergyModel::pg32_datasheet();
+        let eval = |c: &CompilerConfig| {
+            evaluate_module(&ir, c, &cm, &em).expect("evaluate").1.of("filter").copied().expect("filter")
+        };
+        let off = eval(&CompilerConfig::all_off());
+        let traditional = eval(&CompilerConfig::traditional());
+        let perf = eval(&CompilerConfig::performance());
+        let energy = eval(&CompilerConfig::energy_saver());
+        assert!(perf.wcet_cycles < traditional.wcet_cycles);
+        assert!(traditional.wcet_cycles <= off.wcet_cycles);
+        assert!(energy.wcec_pj < traditional.wcec_pj);
+        // The performance preset is the fastest; the energy preset trades
+        // cycles away (shift-add chains) and must never be faster.
+        assert!(perf.wcet_cycles <= energy.wcet_cycles);
+    }
+
+    #[test]
+    fn every_preset_compiles_to_working_code() {
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let mut reference: Option<i32> = None;
+        for config in [
+            CompilerConfig::all_off(),
+            CompilerConfig::traditional(),
+            CompilerConfig::balanced(),
+            CompilerConfig::performance(),
+            CompilerConfig::energy_saver(),
+        ] {
+            let program = compile_module(&ir, &config).expect("compile");
+            let mut machine = Machine::new(program).expect("load");
+            let r = machine.call("filter", &[5], &mut RecordingDevice::new()).expect("run");
+            match reference {
+                None => reference = Some(r.return_value),
+                Some(v) => assert_eq!(v, r.return_value, "config {config:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn genome_decoding_covers_the_space() {
+        let lo = CompilerConfig::from_genome(&[0.0; 8]);
+        assert!(!lo.inline && lo.pinned_regs == 0);
+        let hi = CompilerConfig::from_genome(&[1.0; 8]);
+        assert!(hi.inline && hi.pinned_regs == 4 && hi.mul_shift_add);
+        let mid = CompilerConfig::from_genome(&[0.5; 8]);
+        assert_eq!(mid.pinned_regs, 2);
+    }
+
+    #[test]
+    fn pareto_front_contains_distinct_tradeoffs() {
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let variants = pareto_front_for(
+            &ir,
+            "filter",
+            &CycleModel::pg32(),
+            &IsaEnergyModel::pg32_datasheet(),
+            FpaConfig::tiny(),
+            1234,
+        );
+        assert!(!variants.is_empty());
+        // Sorted by WCET and mutually non-dominated in (wcet, wcec, size).
+        for pair in variants.windows(2) {
+            assert!(pair[0].metrics.wcet_cycles <= pair[1].metrics.wcet_cycles);
+        }
+        for a in &variants {
+            for b in &variants {
+                if a.config == b.config {
+                    continue;
+                }
+                let adom = a.metrics.wcet_cycles <= b.metrics.wcet_cycles
+                    && a.metrics.wcec_pj <= b.metrics.wcec_pj
+                    && a.metrics.code_halfwords <= b.metrics.code_halfwords
+                    && (a.metrics.wcet_cycles < b.metrics.wcet_cycles
+                        || a.metrics.wcec_pj < b.metrics.wcec_pj
+                        || a.metrics.code_halfwords < b.metrics.code_halfwords);
+                assert!(!adom, "archive member dominated: {:?} vs {:?}", a.metrics, b.metrics);
+            }
+        }
+        // All variants still compute the same function.
+        let mut reference: Option<i32> = None;
+        for v in &variants {
+            let mut machine = Machine::new(v.program.clone()).expect("load");
+            let r = machine.call("filter", &[3], &mut RecordingDevice::new()).expect("run");
+            match reference {
+                None => reference = Some(r.return_value),
+                Some(x) => assert_eq!(x, r.return_value),
+            }
+        }
+    }
+
+    #[test]
+    fn code_size_metric_counts_halfwords() {
+        let ir = compile_to_ir("int f() { return 1; }").expect("front-end");
+        let program = compile_module(&ir, &CompilerConfig::all_off()).expect("compile");
+        let f = program.function("f").expect("f");
+        assert!(code_size_halfwords(f) > 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Multi-objective Flower Pollination Algorithm (FPA).
+//!
+//! Paper ref \[5\] ("Multi-Objective Optimization for the Compiler of
+//! Real-Time Systems based on Flower Pollination Algorithm", SCOPES '19)
+//! drives WCC's optimisation-sequence search with FPA; this module is
+//! that search engine. Genomes are points in `[0,1]^d` that the caller
+//! decodes into compiler configurations; the algorithm alternates
+//!
+//! * **global pollination** — a Lévy flight towards a randomly chosen
+//!   leader from the non-dominated archive (long, heavy-tailed jumps),
+//! * **local pollination** — uniform mixing of two population members,
+//!
+//! and maintains a Pareto archive pruned by crowding distance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Iterations (generations).
+    pub iterations: usize,
+    /// Probability of global (vs local) pollination per move.
+    pub switch_prob: f64,
+    /// Maximum archive size (crowding-distance pruned).
+    pub archive_cap: usize,
+    /// Lévy exponent λ (1 < λ ≤ 3; ref \[5\] uses 1.5).
+    pub levy_lambda: f64,
+    /// Global step scale.
+    pub step_scale: f64,
+}
+
+impl FpaConfig {
+    /// The setting used by the compiler searches: small but effective.
+    pub fn standard() -> FpaConfig {
+        FpaConfig {
+            population: 16,
+            iterations: 12,
+            switch_prob: 0.8,
+            archive_cap: 24,
+            levy_lambda: 1.5,
+            step_scale: 0.12,
+        }
+    }
+
+    /// A smoke-test-sized configuration.
+    pub fn tiny() -> FpaConfig {
+        FpaConfig { population: 6, iterations: 4, ..FpaConfig::standard() }
+    }
+}
+
+impl Default for FpaConfig {
+    fn default() -> Self {
+        FpaConfig::standard()
+    }
+}
+
+/// A non-dominated solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The genome in `[0,1]^d`.
+    pub genome: Vec<f64>,
+    /// Objective values (all minimised).
+    pub objectives: Vec<f64>,
+}
+
+/// `a` dominates `b` (all objectives ≤, at least one <).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Search outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpaOutcome {
+    /// The final non-dominated archive.
+    pub archive: Vec<ParetoPoint>,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// The multi-objective FPA driver.
+#[derive(Debug, Clone)]
+pub struct MultiObjectiveFpa {
+    config: FpaConfig,
+}
+
+impl MultiObjectiveFpa {
+    /// Create a driver with the given parameters.
+    pub fn new(config: FpaConfig) -> MultiObjectiveFpa {
+        MultiObjectiveFpa { config }
+    }
+
+    /// Run the search. `eval` maps a genome to its objective vector, or
+    /// `None` for infeasible genomes (they are discarded). Deterministic
+    /// for a fixed seed and deterministic `eval`.
+    pub fn run(
+        &self,
+        dims: usize,
+        seed: u64,
+        mut eval: impl FnMut(&[f64]) -> Option<Vec<f64>>,
+    ) -> FpaOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut evaluations = 0usize;
+
+        // Initial population (uniform) + corner points to seed diversity.
+        let mut population: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+        population.push(vec![0.0; dims]);
+        population.push(vec![1.0; dims]);
+        while population.len() < cfg.population {
+            population.push((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect());
+        }
+
+        let mut archive: Vec<ParetoPoint> = Vec::new();
+        let mut scores: Vec<Option<Vec<f64>>> = Vec::with_capacity(population.len());
+        for genome in &population {
+            let obj = eval(genome);
+            evaluations += 1;
+            if let Some(o) = &obj {
+                insert_archive(&mut archive, genome, o, cfg.archive_cap);
+            }
+            scores.push(obj);
+        }
+
+        for _iter in 0..cfg.iterations {
+            for i in 0..population.len() {
+                let candidate: Vec<f64> = if rng.gen_bool(cfg.switch_prob) && !archive.is_empty() {
+                    // Global pollination: Lévy flight toward an archive
+                    // leader.
+                    let leader = &archive[rng.gen_range(0..archive.len())].genome;
+                    population[i]
+                        .iter()
+                        .zip(leader)
+                        .map(|(x, g)| {
+                            let l = levy(&mut rng, cfg.levy_lambda);
+                            (x + cfg.step_scale * l * (g - x)).clamp(0.0, 1.0)
+                        })
+                        .collect()
+                } else {
+                    // Local pollination: mix two random flowers.
+                    let a = rng.gen_range(0..population.len());
+                    let b = rng.gen_range(0..population.len());
+                    let eps: f64 = rng.gen_range(0.0..1.0);
+                    population[i]
+                        .iter()
+                        .enumerate()
+                        .map(|(d, x)| {
+                            (x + eps * (population[a][d] - population[b][d])).clamp(0.0, 1.0)
+                        })
+                        .collect()
+                };
+                let obj = eval(&candidate);
+                evaluations += 1;
+                let Some(o) = obj else { continue };
+                // Replace if the candidate dominates (or the old one was
+                // infeasible).
+                let accept = match &scores[i] {
+                    None => true,
+                    Some(old) => dominates(&o, old) || !dominates(old, &o) && rng.gen_bool(0.35),
+                };
+                insert_archive(&mut archive, &candidate, &o, cfg.archive_cap);
+                if accept {
+                    population[i] = candidate;
+                    scores[i] = Some(o);
+                }
+            }
+        }
+
+        FpaOutcome { archive, evaluations }
+    }
+}
+
+/// Mantegna's algorithm for a Lévy-stable step.
+fn levy(rng: &mut StdRng, lambda: f64) -> f64 {
+    let sigma = ((gamma_approx(1.0 + lambda) * (lambda * std::f64::consts::PI / 2.0).sin())
+        / (gamma_approx((1.0 + lambda) / 2.0) * lambda * 2f64.powf((lambda - 1.0) / 2.0)))
+    .powf(1.0 / lambda);
+    let u = normal(rng) * sigma;
+    let v = normal(rng).abs().max(1e-12);
+    u / v.powf(1.0 / lambda)
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Stirling-series gamma approximation (accurate enough for Lévy scale).
+fn gamma_approx(x: f64) -> f64 {
+    // Lanczos approximation, g = 7.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_approx(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Insert into the archive, keeping it non-dominated and within `cap`
+/// (crowding-distance pruning, NSGA-II style).
+fn insert_archive(archive: &mut Vec<ParetoPoint>, genome: &[f64], objectives: &[f64], cap: usize) {
+    if archive.iter().any(|p| dominates(&p.objectives, objectives) || p.objectives == objectives)
+    {
+        return;
+    }
+    archive.retain(|p| !dominates(objectives, &p.objectives));
+    archive.push(ParetoPoint { genome: genome.to_vec(), objectives: objectives.to_vec() });
+    if archive.len() > cap {
+        let distances = crowding_distances(archive);
+        let (victim, _) = distances
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .expect("non-empty archive");
+        archive.remove(victim);
+    }
+}
+
+/// NSGA-II crowding distance per archive member.
+fn crowding_distances(archive: &[ParetoPoint]) -> Vec<f64> {
+    let n = archive.len();
+    let m = archive[0].objectives.len();
+    let mut dist = vec![0.0f64; n];
+    for obj in 0..m {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            archive[a].objectives[obj]
+                .partial_cmp(&archive[b].objectives[obj])
+                .expect("finite objectives")
+        });
+        let lo = archive[idx[0]].objectives[obj];
+        let hi = archive[idx[n - 1]].objectives[obj];
+        let range = (hi - lo).max(1e-12);
+        dist[idx[0]] = f64::INFINITY;
+        dist[idx[n - 1]] = f64::INFINITY;
+        for w in 1..n - 1 {
+            dist[idx[w]] += (archive[idx[w + 1]].objectives[obj]
+                - archive[idx[w - 1]].objectives[obj])
+                / range;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+    }
+
+    /// ZDT1-like bi-objective test problem on [0,1]^3:
+    /// f1 = x0; f2 = g·(1 − sqrt(x0/g)), g = 1 + 9·mean(x1..).
+    fn zdt1(x: &[f64]) -> Option<Vec<f64>> {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * (x[1..].iter().sum::<f64>() / (x.len() - 1) as f64);
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        Some(vec![f1, f2])
+    }
+
+    #[test]
+    fn archive_is_mutually_non_dominated() {
+        let fpa = MultiObjectiveFpa::new(FpaConfig::standard());
+        let out = fpa.run(3, 42, zdt1);
+        assert!(!out.archive.is_empty());
+        for a in &out.archive {
+            for b in &out.archive {
+                if a.objectives != b.objectives {
+                    assert!(
+                        !dominates(&a.objectives, &b.objectives)
+                            || !dominates(&b.objectives, &a.objectives)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_approaches_the_zdt1_front() {
+        // The true front has g = 1 (x1..=0). After a short run the
+        // archive should contain points with small g.
+        let fpa = MultiObjectiveFpa::new(FpaConfig { iterations: 40, ..FpaConfig::standard() });
+        let out = fpa.run(3, 7, zdt1);
+        let best_g = out
+            .archive
+            .iter()
+            .map(|p| {
+                // Reconstruct g from the genome.
+                1.0 + 9.0 * (p.genome[1..].iter().sum::<f64>() / 2.0)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_g < 2.0, "search failed to reduce g: {best_g}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fpa = MultiObjectiveFpa::new(FpaConfig::tiny());
+        let a = fpa.run(3, 9, zdt1);
+        let b = fpa.run(3, 9, zdt1);
+        assert_eq!(a.archive, b.archive);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn infeasible_genomes_are_skipped() {
+        let fpa = MultiObjectiveFpa::new(FpaConfig::tiny());
+        let out = fpa.run(2, 3, |x| {
+            if x[0] > 0.5 {
+                None
+            } else {
+                Some(vec![x[0], 1.0 - x[0]])
+            }
+        });
+        for p in &out.archive {
+            assert!(p.genome[0] <= 0.5);
+        }
+    }
+
+    #[test]
+    fn archive_cap_is_respected() {
+        let cfg = FpaConfig { archive_cap: 5, iterations: 30, ..FpaConfig::standard() };
+        let fpa = MultiObjectiveFpa::new(cfg);
+        let out = fpa.run(3, 11, zdt1);
+        assert!(out.archive.len() <= 5);
+    }
+
+    #[test]
+    fn gamma_approximation_sane() {
+        assert!((gamma_approx(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_approx(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_approx(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma_approx(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+}

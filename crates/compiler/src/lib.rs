@@ -1,0 +1,43 @@
+//! # teamplay-compiler — the multi-criteria optimising compiler
+//!
+//! The reproduction of TeamPlay's WCC-based compiler (paper refs \[2\]–\[5\]
+//! and Fig. 1): it consumes Mini-C IR, applies a configurable set of
+//! optimisation passes, generates PG32 code, and evaluates every candidate
+//! configuration with the WCET and energy analyser plug-ins. A
+//! multi-objective **Flower Pollination Algorithm** (ref \[5\]) searches the
+//! configuration space and returns a Pareto front of *task variants* with
+//! distinct (WCET, WCEC, code size) trade-offs — the raw material the
+//! coordination layer's multi-version scheduler selects from.
+//!
+//! * [`codegen`] — IR → PG32 with a stack-frame base strategy plus an
+//!   optional register-pinning allocator (the main time/energy knob),
+//! * [`passes`] — constant folding, copy propagation, dead-code
+//!   elimination, function inlining, and multiply strength reduction in
+//!   two flavours (power-of-two shifts; energy-saving shift-add
+//!   decomposition that trades cycles for picojoules),
+//! * [`fpa`] — the multi-objective Flower Pollination search,
+//! * [`driver`] — configuration plumbing, per-task variant evaluation and
+//!   the Pareto front construction.
+//!
+//! ```
+//! use teamplay_compiler::{compile_module, CompilerConfig};
+//! use teamplay_minic::compile_to_ir;
+//!
+//! let ir = compile_to_ir("int main() { return 21 * 2; }")?;
+//! let program = compile_module(&ir, &CompilerConfig::balanced())?;
+//! assert!(program.function("main").is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod codegen;
+pub mod driver;
+pub mod fpa;
+pub mod passes;
+
+pub use codegen::{generate_function, generate_program, CodegenError, CodegenOpts};
+pub use driver::{
+    compile_module, compile_module_per_function, evaluate_module, pareto_front_for,
+    CompilerConfig, ModuleMetrics, TaskVariant, VariantMetrics,
+};
+pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint};
+pub use passes::{run_passes, run_passes_per_function};

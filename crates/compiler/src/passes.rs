@@ -1,0 +1,974 @@
+//! IR optimisation passes.
+//!
+//! Every pass is semantics-preserving (the differential tests run each
+//! configuration against the reference interpreter) and *flow-fact
+//! preserving*: loop bounds survive, because the WCET analysis downstream
+//! depends on them. The passes are the knobs of the multi-objective
+//! search:
+//!
+//! * [`inline_functions`] — saves call/prologue overhead, grows code;
+//! * [`strength_reduce_mul`] — `x * 2ⁿ` → shift (strictly better), and
+//!   optionally `x * c` → shift-add decomposition, which *trades cycles
+//!   for energy* on PG32's power-hungry multiplier;
+//! * [`const_fold`] + [`copy_propagate`] + [`dead_code_elim`] — the
+//!   cleanup trio, iterated to fixpoint.
+
+use crate::driver::CompilerConfig;
+use teamplay_minic::ast::{BinOp, UnOp};
+use teamplay_minic::interp::eval_binop;
+use teamplay_minic::ir::{CallArg, IrBlockId, IrFunction, IrModule, IrOp, IrTerm, MemBase, Operand, Temp};
+use std::collections::HashMap;
+
+/// Fold constant expressions and propagate constants within blocks.
+///
+/// Returns `true` if anything changed.
+pub fn const_fold(f: &mut IrFunction) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        // Block-local constant environment.
+        let mut env: HashMap<Temp, i32> = HashMap::new();
+        let resolve = |env: &HashMap<Temp, i32>, o: Operand| -> Operand {
+            match o {
+                Operand::Temp(t) => match env.get(&t) {
+                    Some(v) => Operand::Const(*v),
+                    None => o,
+                },
+                c => c,
+            }
+        };
+        for op in &mut b.ops {
+            // First, rewrite operands using known constants.
+            match op {
+                IrOp::Bin { a, b: bb, .. } => {
+                    *a = resolve(&env, *a);
+                    *bb = resolve(&env, *bb);
+                }
+                IrOp::Un { a, .. } => *a = resolve(&env, *a),
+                IrOp::Copy { src, .. } => *src = resolve(&env, *src),
+                IrOp::Load { index, .. } => *index = resolve(&env, *index),
+                IrOp::Store { index, value, .. } => {
+                    *index = resolve(&env, *index);
+                    *value = resolve(&env, *value);
+                }
+                IrOp::Call { args, .. } => {
+                    for a in args {
+                        if let CallArg::Value(v) = a {
+                            *v = resolve(&env, *v);
+                        }
+                    }
+                }
+                IrOp::Select { cond, t, f: fv, .. } => {
+                    *cond = resolve(&env, *cond);
+                    *t = resolve(&env, *t);
+                    *fv = resolve(&env, *fv);
+                }
+                IrOp::In { .. } | IrOp::Out { value: _, .. } => {}
+            }
+            if let IrOp::Out { value, .. } = op {
+                *value = resolve(&env, *value);
+            }
+            // Then fold.
+            let folded: Option<(Temp, i32)> = match op {
+                IrOp::Bin { op: bop, dst, a: Operand::Const(x), b: Operand::Const(y) } => {
+                    Some((*dst, eval_binop(*bop, *x, *y)))
+                }
+                IrOp::Un { op: uop, dst, a: Operand::Const(x) } => {
+                    let v = match uop {
+                        UnOp::Neg => x.wrapping_neg(),
+                        UnOp::BitNot => !*x,
+                        UnOp::LogNot => (*x == 0) as i32,
+                    };
+                    Some((*dst, v))
+                }
+                IrOp::Copy { dst, src: Operand::Const(x) } => Some((*dst, *x)),
+                IrOp::Select { dst, cond: Operand::Const(c), t, f: fv } => {
+                    let chosen = if *c != 0 { *t } else { *fv };
+                    if let Operand::Const(v) = chosen {
+                        Some((*dst, v))
+                    } else {
+                        *op = IrOp::Copy { dst: *dst, src: chosen };
+                        changed = true;
+                        // The copy may still bind a constant next pass.
+                        None
+                    }
+                }
+                _ => None,
+            };
+            // Track definitions: any write invalidates the old binding.
+            let mut defs = Vec::new();
+            written_temps(op, &mut defs);
+            for d in &defs {
+                env.remove(d);
+            }
+            if let Some((dst, v)) = folded {
+                if !matches!(op, IrOp::Copy { src: Operand::Const(_), .. }) {
+                    *op = IrOp::Copy { dst, src: Operand::Const(v) };
+                    changed = true;
+                }
+                env.insert(dst, v);
+            }
+        }
+        // Terminator folding: constant branches become jumps.
+        if let IrTerm::Branch { cond, taken, fallthrough } = &b.term {
+            let folded = match cond {
+                Operand::Const(c) => Some(if *c != 0 { *taken } else { *fallthrough }),
+                Operand::Temp(t) => env.get(t).map(|v| if *v != 0 { *taken } else { *fallthrough }),
+            };
+            if let Some(target) = folded {
+                b.term = IrTerm::Jump(target);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn written_temps(op: &IrOp, out: &mut Vec<Temp>) {
+    match op {
+        IrOp::Bin { dst, .. }
+        | IrOp::Un { dst, .. }
+        | IrOp::Copy { dst, .. }
+        | IrOp::Load { dst, .. }
+        | IrOp::Select { dst, .. }
+        | IrOp::In { dst, .. } => out.push(*dst),
+        IrOp::Call { dst: Some(d), .. } => out.push(*d),
+        _ => {}
+    }
+}
+
+fn read_operands(op: &IrOp) -> Vec<Operand> {
+    let mut reads = Vec::new();
+    match op {
+        IrOp::Bin { a, b, .. } => {
+            reads.push(*a);
+            reads.push(*b);
+        }
+        IrOp::Un { a, .. } => reads.push(*a),
+        IrOp::Copy { src, .. } => reads.push(*src),
+        IrOp::Load { base, index, .. } => {
+            reads.push(*index);
+            if let MemBase::Param(t) = base {
+                reads.push(Operand::Temp(*t));
+            }
+        }
+        IrOp::Store { base, index, value } => {
+            reads.push(*index);
+            reads.push(*value);
+            if let MemBase::Param(t) = base {
+                reads.push(Operand::Temp(*t));
+            }
+        }
+        IrOp::Call { args, .. } => {
+            for a in args {
+                match a {
+                    CallArg::Value(v) => reads.push(*v),
+                    CallArg::ArrayRef(MemBase::Param(t)) => reads.push(Operand::Temp(*t)),
+                    CallArg::ArrayRef(_) => {}
+                }
+            }
+        }
+        IrOp::Select { cond, t, f, .. } => {
+            reads.push(*cond);
+            reads.push(*t);
+            reads.push(*f);
+        }
+        IrOp::In { .. } => {}
+        IrOp::Out { value, .. } => reads.push(*value),
+    }
+    reads
+}
+
+/// Propagate copies within blocks (`t2 = t1; use t2` → `use t1`).
+///
+/// Returns `true` if anything changed.
+pub fn copy_propagate(f: &mut IrFunction) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        // dst -> source operand, valid while neither side is redefined.
+        let mut env: HashMap<Temp, Operand> = HashMap::new();
+        let resolve = |env: &HashMap<Temp, Operand>, o: Operand| -> Operand {
+            match o {
+                Operand::Temp(t) => env.get(&t).copied().unwrap_or(o),
+                c => c,
+            }
+        };
+        for op in &mut b.ops {
+            let rewrite = |o: &mut Operand, env: &HashMap<Temp, Operand>, changed: &mut bool| {
+                let new = resolve(env, *o);
+                if new != *o {
+                    *o = new;
+                    *changed = true;
+                }
+            };
+            match op {
+                IrOp::Bin { a, b: bb, .. } => {
+                    rewrite(a, &env, &mut changed);
+                    rewrite(bb, &env, &mut changed);
+                }
+                IrOp::Un { a, .. } => rewrite(a, &env, &mut changed),
+                IrOp::Copy { src, .. } => rewrite(src, &env, &mut changed),
+                IrOp::Load { index, .. } => rewrite(index, &env, &mut changed),
+                IrOp::Store { index, value, .. } => {
+                    rewrite(index, &env, &mut changed);
+                    rewrite(value, &env, &mut changed);
+                }
+                IrOp::Call { args, .. } => {
+                    for a in args {
+                        if let CallArg::Value(v) = a {
+                            rewrite(v, &env, &mut changed);
+                        }
+                    }
+                }
+                IrOp::Select { cond, t, f: fv, .. } => {
+                    rewrite(cond, &env, &mut changed);
+                    rewrite(t, &env, &mut changed);
+                    rewrite(fv, &env, &mut changed);
+                }
+                IrOp::In { .. } => {}
+                IrOp::Out { value, .. } => rewrite(value, &env, &mut changed),
+            }
+            // Kill bindings invalidated by this op's writes.
+            let mut defs = Vec::new();
+            written_temps(op, &mut defs);
+            for d in &defs {
+                env.remove(d);
+                env.retain(|_, src| *src != Operand::Temp(*d));
+            }
+            // Record new copies.
+            if let IrOp::Copy { dst, src } = op {
+                if *src != Operand::Temp(*dst) {
+                    env.insert(*dst, *src);
+                }
+            }
+        }
+        if let IrTerm::Branch { cond, .. } = &mut b.term {
+            let new = resolve(&env, *cond);
+            if new != *cond {
+                *cond = new;
+                changed = true;
+            }
+        }
+        if let IrTerm::Ret(Some(v)) = &mut b.term {
+            let new = resolve(&env, *v);
+            if new != *v {
+                *v = new;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Remove pure operations whose results are never read.
+///
+/// Returns `true` if anything changed.
+pub fn dead_code_elim(f: &mut IrFunction) -> bool {
+    let mut changed = false;
+    loop {
+        let mut used = vec![false; f.temp_count as usize];
+        let mut mark = |o: Operand| {
+            if let Operand::Temp(t) = o {
+                used[t.0 as usize] = true;
+            }
+        };
+        for b in &f.blocks {
+            for op in &b.ops {
+                for r in read_operands(op) {
+                    mark(r);
+                }
+            }
+            match &b.term {
+                IrTerm::Branch { cond, .. } => mark(*cond),
+                IrTerm::Ret(Some(v)) => mark(*v),
+                _ => {}
+            }
+        }
+        let mut removed = false;
+        for b in &mut f.blocks {
+            let before = b.ops.len();
+            b.ops.retain(|op| match op {
+                IrOp::Bin { dst, .. }
+                | IrOp::Un { dst, .. }
+                | IrOp::Copy { dst, .. }
+                | IrOp::Load { dst, .. }
+                | IrOp::Select { dst, .. } => used[dst.0 as usize],
+                // Calls, stores, port I/O have effects; `In` consumes an
+                // input value even if the result is unused.
+                _ => true,
+            });
+            if b.ops.len() != before {
+                removed = true;
+            }
+        }
+        if removed {
+            changed = true;
+        } else {
+            return changed;
+        }
+    }
+}
+
+/// Is `c` a power of two (≥ 2)?
+fn pow2_shift(c: i32) -> Option<i32> {
+    if c >= 2 && (c & (c - 1)) == 0 {
+        Some(c.trailing_zeros() as i32)
+    } else {
+        None
+    }
+}
+
+/// Strength-reduce multiplications by constants.
+///
+/// * Always (when enabled): `x * 2ⁿ` → `x << n`, `x * 1` → copy,
+///   `x * 0` → 0 — strictly better in time and energy.
+/// * With `shift_add`: `x * c` for small positive `c` with ≤ 3 set bits
+///   → a shift/add sequence. On PG32 this costs extra cycles but less
+///   energy than the power-hungry multiplier: a pure energy/time
+///   trade-off for the Pareto search.
+///
+/// Returns `true` if anything changed.
+pub fn strength_reduce_mul(f: &mut IrFunction, shift_add: bool) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let mut new_ops: Vec<IrOp> = Vec::with_capacity(f.blocks[bi].ops.len());
+        let ops = std::mem::take(&mut f.blocks[bi].ops);
+        for op in ops {
+            // Normalise const-on-left multiplications.
+            let (dst, x, c) = match op {
+                IrOp::Bin { op: BinOp::Mul, dst, a, b } => match (a, b) {
+                    (x, Operand::Const(c)) => (dst, x, Some(c)),
+                    (Operand::Const(c), x) => (dst, x, Some(c)),
+                    _ => {
+                        new_ops.push(op);
+                        continue;
+                    }
+                },
+                other => {
+                    new_ops.push(other);
+                    continue;
+                }
+            };
+            let Some(c) = c else {
+                new_ops.push(IrOp::Bin { op: BinOp::Mul, dst, a: x, b: x });
+                continue;
+            };
+            match c {
+                0 => {
+                    new_ops.push(IrOp::Copy { dst, src: Operand::Const(0) });
+                    changed = true;
+                }
+                1 => {
+                    new_ops.push(IrOp::Copy { dst, src: x });
+                    changed = true;
+                }
+                _ => {
+                    if let Some(sh) = pow2_shift(c) {
+                        new_ops.push(IrOp::Bin {
+                            op: BinOp::Shl,
+                            dst,
+                            a: x,
+                            b: Operand::Const(sh),
+                        });
+                        changed = true;
+                    } else if shift_add && (2..=255).contains(&c) && c.count_ones() <= 3 {
+                        // x*c = Σ x << kᵢ over the set bits of c (wrapping
+                        // arithmetic makes this exact for all x).
+                        let mut parts: Vec<Temp> = Vec::new();
+                        for bit in 0..8 {
+                            if c & (1 << bit) != 0 {
+                                let t = f.fresh_temp();
+                                new_ops.push(IrOp::Bin {
+                                    op: BinOp::Shl,
+                                    dst: t,
+                                    a: x,
+                                    b: Operand::Const(bit),
+                                });
+                                parts.push(t);
+                            }
+                        }
+                        let mut acc = parts[0];
+                        for p in &parts[1..] {
+                            let t = f.fresh_temp();
+                            new_ops.push(IrOp::Bin {
+                                op: BinOp::Add,
+                                dst: t,
+                                a: Operand::Temp(acc),
+                                b: Operand::Temp(*p),
+                            });
+                            acc = t;
+                        }
+                        new_ops.push(IrOp::Copy { dst, src: Operand::Temp(acc) });
+                        changed = true;
+                    } else {
+                        new_ops.push(IrOp::Bin {
+                            op: BinOp::Mul,
+                            dst,
+                            a: x,
+                            b: Operand::Const(c),
+                        });
+                    }
+                }
+            }
+        }
+        f.blocks[bi].ops = new_ops;
+    }
+    changed
+}
+
+/// Inline small callees into their callers.
+///
+/// A call site is eligible when the callee (a) is not (even mutually)
+/// recursive, (b) has at most `threshold` IR operations, and (c) is not
+/// the caller itself. At most `MAX_INLINES_PER_FUNCTION` sites per caller
+/// are expanded to bound code growth. Loop bounds of the callee transfer
+/// to the caller (block ids remapped), keeping the result analysable.
+///
+/// Returns `true` if anything changed.
+pub fn inline_functions(module: &mut IrModule, threshold: usize) -> bool {
+    const MAX_INLINES_PER_FUNCTION: usize = 24;
+    // Snapshot callee bodies up front (by value) to keep borrows simple.
+    let snapshot: HashMap<String, IrFunction> =
+        module.functions.iter().map(|f| (f.name.clone(), f.clone())).collect();
+    // Recursion per function via DFS on the snapshot call graph.
+    let recursive = |start: &str| -> bool {
+        let mut stack = vec![start.to_string()];
+        let mut seen = vec![start.to_string()];
+        while let Some(cur) = stack.pop() {
+            let Some(f) = snapshot.get(&cur) else { continue };
+            for b in &f.blocks {
+                for op in &b.ops {
+                    if let IrOp::Call { func, .. } = op {
+                        if func == start {
+                            return true;
+                        }
+                        if !seen.contains(func) {
+                            seen.push(func.clone());
+                            stack.push(func.clone());
+                        }
+                    }
+                }
+            }
+        }
+        false
+    };
+    let op_count = |f: &IrFunction| f.blocks.iter().map(|b| b.ops.len() + 1).sum::<usize>();
+
+    let mut changed = false;
+    for f in &mut module.functions {
+        let mut budget = MAX_INLINES_PER_FUNCTION;
+        loop {
+            if budget == 0 {
+                break;
+            }
+            // Find the first eligible call site.
+            let mut site: Option<(usize, usize, String)> = None;
+            'outer: for (bi, b) in f.blocks.iter().enumerate() {
+                for (oi, op) in b.ops.iter().enumerate() {
+                    if let IrOp::Call { func, .. } = op {
+                        if func != &f.name
+                            && snapshot.get(func).is_some_and(|c| op_count(c) <= threshold)
+                            && !recursive(func)
+                        {
+                            site = Some((bi, oi, func.clone()));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            let Some((bi, oi, callee_name)) = site else { break };
+            let callee = snapshot[&callee_name].clone();
+            inline_site(f, bi, oi, &callee);
+            budget -= 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Expand one call site in place.
+fn inline_site(caller: &mut IrFunction, bi: usize, oi: usize, callee: &IrFunction) {
+    let IrOp::Call { dst, args, .. } = caller.blocks[bi].ops[oi].clone() else {
+        unreachable!("inline_site requires a call at the given position");
+    };
+
+    let temp_offset = caller.temp_count;
+    caller.temp_count += callee.temp_count;
+    let block_offset = caller.blocks.len() as u32;
+    let array_offset = caller.local_arrays.len() as u32;
+    caller.local_arrays.extend_from_slice(&callee.local_arrays);
+
+    // Split the call block: ops after the call move to a continuation.
+    let mut pre_ops: Vec<IrOp> = caller.blocks[bi].ops.drain(..).collect();
+    let post_ops: Vec<IrOp> = pre_ops.split_off(oi + 1);
+    pre_ops.pop(); // the call itself
+    let original_term = caller.blocks[bi].term.clone();
+    caller.blocks[bi].ops = pre_ops;
+
+    // Map the callee's array-parameter temps to actual caller bases and
+    // bind scalar parameters by copy.
+    let mut param_arrays: HashMap<Temp, MemBase> = HashMap::new();
+    for (p, a) in callee.params.iter().zip(&args) {
+        match a {
+            CallArg::Value(v) => {
+                caller.blocks[bi].ops.push(IrOp::Copy {
+                    dst: Temp(p.temp.0 + temp_offset),
+                    src: *v,
+                });
+            }
+            CallArg::ArrayRef(m) => {
+                param_arrays.insert(p.temp, m.clone());
+            }
+        }
+    }
+
+    let remap_operand = |o: Operand| match o {
+        Operand::Temp(t) => Operand::Temp(Temp(t.0 + temp_offset)),
+        c => c,
+    };
+    let remap_base = |m: &MemBase| -> MemBase {
+        match m {
+            MemBase::Global(g) => MemBase::Global(g.clone()),
+            MemBase::Local(id) => MemBase::Local(id + array_offset),
+            MemBase::Param(t) => match param_arrays.get(t) {
+                Some(actual) => actual.clone(),
+                None => MemBase::Param(Temp(t.0 + temp_offset)),
+            },
+        }
+    };
+
+    // The continuation block receives the post-call ops + original term.
+    let cont_id = IrBlockId(block_offset + callee.blocks.len() as u32);
+
+    // Splice remapped callee blocks.
+    for cb in &callee.blocks {
+        let mut ops = Vec::with_capacity(cb.ops.len());
+        for op in &cb.ops {
+            let new_op = match op {
+                IrOp::Bin { op, dst, a, b } => IrOp::Bin {
+                    op: *op,
+                    dst: Temp(dst.0 + temp_offset),
+                    a: remap_operand(*a),
+                    b: remap_operand(*b),
+                },
+                IrOp::Un { op, dst, a } => IrOp::Un {
+                    op: *op,
+                    dst: Temp(dst.0 + temp_offset),
+                    a: remap_operand(*a),
+                },
+                IrOp::Copy { dst, src } => IrOp::Copy {
+                    dst: Temp(dst.0 + temp_offset),
+                    src: remap_operand(*src),
+                },
+                IrOp::Load { dst, base, index } => IrOp::Load {
+                    dst: Temp(dst.0 + temp_offset),
+                    base: remap_base(base),
+                    index: remap_operand(*index),
+                },
+                IrOp::Store { base, index, value } => IrOp::Store {
+                    base: remap_base(base),
+                    index: remap_operand(*index),
+                    value: remap_operand(*value),
+                },
+                IrOp::Call { dst, func, args } => IrOp::Call {
+                    dst: dst.map(|d| Temp(d.0 + temp_offset)),
+                    func: func.clone(),
+                    args: args
+                        .iter()
+                        .map(|a| match a {
+                            CallArg::Value(v) => CallArg::Value(remap_operand(*v)),
+                            CallArg::ArrayRef(m) => CallArg::ArrayRef(remap_base(m)),
+                        })
+                        .collect(),
+                },
+                IrOp::Select { dst, cond, t, f } => IrOp::Select {
+                    dst: Temp(dst.0 + temp_offset),
+                    cond: remap_operand(*cond),
+                    t: remap_operand(*t),
+                    f: remap_operand(*f),
+                },
+                IrOp::In { dst, port } => {
+                    IrOp::In { dst: Temp(dst.0 + temp_offset), port: *port }
+                }
+                IrOp::Out { port, value } => {
+                    IrOp::Out { port: *port, value: remap_operand(*value) }
+                }
+            };
+            ops.push(new_op);
+        }
+        let term = match &cb.term {
+            IrTerm::Jump(t) => IrTerm::Jump(IrBlockId(t.0 + block_offset)),
+            IrTerm::Branch { cond, taken, fallthrough } => IrTerm::Branch {
+                cond: remap_operand(*cond),
+                taken: IrBlockId(taken.0 + block_offset),
+                fallthrough: IrBlockId(fallthrough.0 + block_offset),
+            },
+            IrTerm::Ret(v) => {
+                // Return becomes: bind the destination, jump to the
+                // continuation.
+                if let (Some(d), Some(v)) = (dst, v) {
+                    ops.push(IrOp::Copy { dst: d, src: remap_operand(*v) });
+                }
+                IrTerm::Jump(cont_id)
+            }
+        };
+        caller.blocks.push(teamplay_minic::ir::IrBlock { ops, term });
+    }
+
+    // Continuation block.
+    caller
+        .blocks
+        .push(teamplay_minic::ir::IrBlock { ops: post_ops, term: original_term });
+
+    // Callee loop bounds transfer (remapped).
+    for (hb, bound) in &callee.loop_bounds {
+        caller.loop_bounds.insert(IrBlockId(hb.0 + block_offset), *bound);
+    }
+
+    // Enter the inlined body.
+    caller.blocks[bi].term = IrTerm::Jump(IrBlockId(block_offset));
+}
+
+/// Run per-function pass pipelines: each function is optimised under its
+/// own configuration (the multi-version final build, where every task
+/// keeps the Pareto variant the coordination layer selected for it).
+/// Functions without an entry in `configs` use `default`.
+pub fn run_passes_per_function(
+    module: &mut IrModule,
+    configs: &std::collections::HashMap<String, CompilerConfig>,
+    default: &CompilerConfig,
+) {
+    // Inlining first, per caller with its own threshold.
+    let names: Vec<String> = module.functions.iter().map(|f| f.name.clone()).collect();
+    for name in &names {
+        let cfg = configs.get(name).unwrap_or(default);
+        if cfg.inline {
+            inline_into(module, name, cfg.inline_threshold);
+        }
+    }
+    for f in &mut module.functions {
+        let cfg = configs.get(&f.name).unwrap_or(default);
+        if cfg.strength_reduce {
+            strength_reduce_mul(f, false);
+        }
+        for _ in 0..4 {
+            let mut any = false;
+            if cfg.const_fold {
+                any |= const_fold(f);
+            }
+            if cfg.copy_prop {
+                any |= copy_propagate(f);
+            }
+            if cfg.dce {
+                any |= dead_code_elim(f);
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+}
+
+/// Inline eligible call sites of a single caller (see
+/// [`inline_functions`] for eligibility). Returns `true` on change.
+pub fn inline_into(module: &mut IrModule, caller: &str, threshold: usize) -> bool {
+    const MAX_INLINES_PER_FUNCTION: usize = 24;
+    let snapshot: HashMap<String, IrFunction> =
+        module.functions.iter().map(|f| (f.name.clone(), f.clone())).collect();
+    let recursive = |start: &str| -> bool {
+        let mut stack = vec![start.to_string()];
+        let mut seen = vec![start.to_string()];
+        while let Some(cur) = stack.pop() {
+            let Some(f) = snapshot.get(&cur) else { continue };
+            for b in &f.blocks {
+                for op in &b.ops {
+                    if let IrOp::Call { func, .. } = op {
+                        if func == start {
+                            return true;
+                        }
+                        if !seen.contains(func) {
+                            seen.push(func.clone());
+                            stack.push(func.clone());
+                        }
+                    }
+                }
+            }
+        }
+        false
+    };
+    let op_count = |f: &IrFunction| f.blocks.iter().map(|b| b.ops.len() + 1).sum::<usize>();
+    let Some(f) = module.functions.iter_mut().find(|f| f.name == caller) else {
+        return false;
+    };
+    let mut changed = false;
+    let mut budget = MAX_INLINES_PER_FUNCTION;
+    while budget > 0 {
+        let mut site: Option<(usize, usize, String)> = None;
+        'outer: for (bi, b) in f.blocks.iter().enumerate() {
+            for (oi, op) in b.ops.iter().enumerate() {
+                if let IrOp::Call { func, .. } = op {
+                    if func != &f.name
+                        && snapshot.get(func).is_some_and(|c| op_count(c) <= threshold)
+                        && !recursive(func)
+                    {
+                        site = Some((bi, oi, func.clone()));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((bi, oi, callee_name)) = site else { break };
+        let callee = snapshot[&callee_name].clone();
+        inline_site(f, bi, oi, &callee);
+        budget -= 1;
+        changed = true;
+    }
+    changed
+}
+
+/// Run the configured pass pipeline over a module.
+pub fn run_passes(module: &mut IrModule, config: &CompilerConfig) {
+    if config.inline {
+        inline_functions(module, config.inline_threshold);
+    }
+    for f in &mut module.functions {
+        if config.strength_reduce {
+            // Power-of-two strength reduction only: shift-add
+            // decomposition is performed register-resident in codegen
+            // (`CodegenOpts::mul_shift_add`), where it does not inflate
+            // memory traffic.
+            strength_reduce_mul(f, false);
+        }
+        // Cleanup trio to fixpoint (bounded).
+        for _ in 0..4 {
+            let mut any = false;
+            if config.const_fold {
+                any |= const_fold(f);
+            }
+            if config.copy_prop {
+                any |= copy_propagate(f);
+            }
+            if config.dce {
+                any |= dead_code_elim(f);
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamplay_minic::compile_to_ir;
+    use teamplay_minic::interp::RecordingPorts;
+    use teamplay_minic::ir::exec_module;
+
+    fn ir_of(src: &str) -> IrModule {
+        compile_to_ir(src).expect("front-end")
+    }
+
+    fn run_ir(module: &IrModule, func: &str, args: &[i32]) -> Option<i32> {
+        let mut ports = RecordingPorts::new();
+        exec_module(module, func, args, &mut ports, 10_000_000).expect("run")
+    }
+
+    fn op_total(module: &IrModule) -> usize {
+        module.functions.iter().map(|f| f.blocks.iter().map(|b| b.ops.len()).sum::<usize>()).sum()
+    }
+
+    #[test]
+    fn const_fold_collapses_arithmetic() {
+        let mut m = ir_of("int f() { return (2 + 3) * 4 - 6 / 2; }");
+        let f = m.function_mut("f").expect("f");
+        assert!(const_fold(f));
+        assert_eq!(run_ir(&m, "f", &[]), Some(17));
+    }
+
+    #[test]
+    fn const_fold_resolves_constant_branches() {
+        let mut m = ir_of("int f() { if (1 < 2) { return 10; } return 20; }");
+        let f = m.function_mut("f").expect("f");
+        const_fold(f);
+        // At least one branch terminator should have become a jump.
+        let jumps = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, IrTerm::Jump(_)))
+            .count();
+        assert!(jumps > 0);
+        assert_eq!(run_ir(&m, "f", &[]), Some(10));
+    }
+
+    #[test]
+    fn dce_removes_unused_computation() {
+        let mut m = ir_of("int f(int x) { int unused = x * 37; return x + 1; }");
+        let before = op_total(&m);
+        let f = m.function_mut("f").expect("f");
+        assert!(dead_code_elim(f));
+        assert!(op_total(&m) < before);
+        assert_eq!(run_ir(&m, "f", &[4]), Some(5));
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut m = ir_of(
+            "int g;
+             void set(int v) { g = v; return; }
+             int f(int x) { set(x); __out(1, x); return g; }",
+        );
+        let f = m.function_mut("f").expect("f");
+        dead_code_elim(f);
+        let calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, IrOp::Call { .. } | IrOp::Out { .. }))
+            .count();
+        assert_eq!(calls, 2, "calls and port writes must survive DCE");
+    }
+
+    #[test]
+    fn copy_prop_then_dce_shrinks_chains() {
+        let mut m = ir_of("int f(int x) { int a = x; int b = a; int c = b; return c; }");
+        let f = m.function_mut("f").expect("f");
+        copy_propagate(f);
+        dead_code_elim(f);
+        let remaining: usize = f.blocks.iter().map(|b| b.ops.len()).sum();
+        assert!(remaining <= 1, "copy chain should collapse, {remaining} ops left");
+        assert_eq!(run_ir(&m, "f", &[9]), Some(9));
+    }
+
+    #[test]
+    fn strength_reduction_pow2_becomes_shift() {
+        let mut m = ir_of("int f(int x) { return x * 8; }");
+        let f = m.function_mut("f").expect("f");
+        assert!(strength_reduce_mul(f, false));
+        let has_mul = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. }));
+        assert!(!has_mul);
+        for x in [-5, 0, 7, i32::MAX / 4] {
+            assert_eq!(run_ir(&m, "f", &[x]), Some(x.wrapping_mul(8)));
+        }
+    }
+
+    #[test]
+    fn strength_reduction_shift_add_is_exact() {
+        let mut m = ir_of("int f(int x) { return x * 10; }");
+        let f = m.function_mut("f").expect("f");
+        assert!(strength_reduce_mul(f, true));
+        let has_mul = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. }));
+        assert!(!has_mul);
+        for x in [-5, 0, 7, 123_456_789, i32::MIN] {
+            assert_eq!(run_ir(&m, "f", &[x]), Some(x.wrapping_mul(10)));
+        }
+    }
+
+    #[test]
+    fn strength_reduction_leaves_dense_constants() {
+        // 0xEF has 7 set bits — not worth a shift-add chain.
+        let mut m = ir_of("int f(int x) { return x * 239; }");
+        let f = m.function_mut("f").expect("f");
+        strength_reduce_mul(f, true);
+        let has_mul = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. }));
+        assert!(has_mul, "dense multiplier should stay a mul");
+    }
+
+    #[test]
+    fn inline_replaces_call_and_preserves_semantics() {
+        let src = "int sq(int v) { return v * v; }
+                   int f(int x) { return sq(x) + sq(x + 1); }";
+        let mut m = ir_of(src);
+        assert!(inline_functions(&mut m, 100));
+        m.validate().expect("valid after inline");
+        let f = m.function("f").expect("f");
+        let calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, IrOp::Call { .. }))
+            .count();
+        assert_eq!(calls, 0, "both call sites should be inlined");
+        for x in [0, 3, -7] {
+            assert_eq!(run_ir(&m, "f", &[x]), Some(x * x + (x + 1) * (x + 1)));
+        }
+    }
+
+    #[test]
+    fn inline_handles_array_params_and_loop_bounds() {
+        let src = "int acc(int a[], int n) {
+                       int s = 0;
+                       for (int i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+                       return s + n;
+                   }
+                   int buf[8] = {1,2,3,4,5,6,7,8};
+                   int f(int n) { int loc[8]; loc[0] = 100; return acc(buf, n) + acc(loc, n); }";
+        let mut m = ir_of(src);
+        let bounds_before: usize =
+            m.functions.iter().map(|f| f.loop_bounds.len()).sum();
+        assert!(bounds_before >= 1);
+        assert!(inline_functions(&mut m, 100));
+        m.validate().expect("valid after inline");
+        let f = m.function("f").expect("f");
+        assert_eq!(
+            f.loop_bounds.len(),
+            2,
+            "both inlined loops must carry their bounds"
+        );
+        assert_eq!(run_ir(&m, "f", &[5]), Some(36 + 5 + 100 + 5));
+    }
+
+    #[test]
+    fn inline_skips_recursive_functions() {
+        let src = "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+                   int f(int n) { return fact(n); }";
+        let mut m = ir_of(src);
+        inline_functions(&mut m, 1000);
+        let f = m.function("f").expect("f");
+        let calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, IrOp::Call { .. }))
+            .count();
+        assert_eq!(calls, 1, "recursive callee must not be inlined");
+        assert_eq!(run_ir(&m, "f", &[5]), Some(120));
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics() {
+        let src = "int mac(int a, int b, int c) { return a * b + c; }
+                   int f(int x) {
+                       int s = 0;
+                       for (int i = 0; i < 6; i = i + 1) { s = mac(x, i, s); }
+                       return s * 12;
+                   }";
+        let reference = ir_of(src);
+        let expected = run_ir(&reference, "f", &[7]);
+        let mut m = ir_of(src);
+        let config = CompilerConfig {
+            inline: true,
+            inline_threshold: 50,
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            strength_reduce: true,
+            mul_shift_add: true,
+            pinned_regs: 4,
+        };
+        run_passes(&mut m, &config);
+        m.validate().expect("valid after pipeline");
+        assert_eq!(run_ir(&m, "f", &[7]), expected);
+    }
+}

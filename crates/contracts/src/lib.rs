@@ -1,0 +1,682 @@
+//! # teamplay-contracts — the non-functional-properties contract system
+//!
+//! TeamPlay "formally proves, using dependent types, that both energy and
+//! time budgets as well as the security risk of each identified POI
+//! respects the ETS properties extracted by the compiler", emitting "a
+//! certificate that could serve as a proof for certification authorities"
+//! (paper Section II-A; refs \[15\], \[16\]).
+//!
+//! The reproduction keeps the architecture while replacing Idris-style
+//! dependent types with their operational core: **checked derivations**.
+//!
+//! * [`prove`] builds a [`Certificate`] — an explicit derivation tree
+//!   whose leaves compare analysed ETS values against CSL budgets and
+//!   whose root conjoins every obligation of the task set;
+//! * [`verify_certificate`] is an *independent, total checker*: it
+//!   re-validates every rule application and re-binds every leaf to the
+//!   supplied evidence, so a tampered or stale certificate is rejected.
+//!   Prover and checker share only the data types, mirroring the
+//!   proof-object/type-checker split of a dependently-typed proof.
+//!
+//! Failures are reported as structured [`ContractViolation`]s with the
+//! human-readable feedback the paper's "transparency challenge"
+//! (Section III-A) calls for.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use teamplay_csl::{CslModel, SecurityReq};
+
+/// Analysed evidence for one task, gathered from the toolchain's
+/// analysers (WCET, energy, security, scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskEvidence {
+    /// Static WCET of the selected variant (µs).
+    pub wcet_us: f64,
+    /// Static worst-case energy of the selected variant (pJ).
+    pub wcec_pj: f64,
+    /// Residual secret-dependent branches after hardening (`None` when no
+    /// security requirement applies).
+    pub residual_branches: Option<usize>,
+    /// Measured leakage verdict (`Some(true)` = leaks).
+    pub leaks: Option<bool>,
+    /// Scheduled completion time within the frame (µs).
+    pub finish_us: Option<f64>,
+}
+
+/// A provable (and checkable) claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Claim {
+    /// `analysed_us ≤ budget_us` for the task's WCET.
+    WcetWithin {
+        /// Task name.
+        task: String,
+        /// Analysed WCET (µs).
+        analysed_us: f64,
+        /// Contracted budget (µs).
+        budget_us: f64,
+    },
+    /// `analysed_pj ≤ budget_pj` for the task's energy.
+    EnergyWithin {
+        /// Task name.
+        task: String,
+        /// Analysed worst-case energy (pJ).
+        analysed_pj: f64,
+        /// Contracted budget (pJ).
+        budget_pj: f64,
+    },
+    /// The task carries no secret-dependent control flow and its
+    /// measured channels are indistinguishable.
+    SideChannelFree {
+        /// Task name.
+        task: String,
+        /// Residual tainted branches (must be 0).
+        residual_branches: usize,
+        /// Leakage verdict from measurement (must be `false`).
+        leaks: bool,
+    },
+    /// The scheduled completion time meets the deadline.
+    DeadlineMet {
+        /// Task name.
+        task: String,
+        /// Completion time (µs).
+        finish_us: f64,
+        /// Deadline (µs).
+        deadline_us: f64,
+    },
+    /// Every obligation of the system holds.
+    System {
+        /// System name.
+        name: String,
+        /// Number of discharged obligations.
+        obligations: usize,
+    },
+}
+
+impl Claim {
+    fn task(&self) -> Option<&str> {
+        match self {
+            Claim::WcetWithin { task, .. }
+            | Claim::EnergyWithin { task, .. }
+            | Claim::SideChannelFree { task, .. }
+            | Claim::DeadlineMet { task, .. } => Some(task),
+            Claim::System { .. } => None,
+        }
+    }
+}
+
+/// The inference rule justifying a judgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// Leaf: numeric comparison `analysed ≤ budget`.
+    LeqCheck,
+    /// Leaf: security evidence (no residual branches, no measured leak).
+    SecurityCheck,
+    /// Node: conjunction of premises.
+    Conjunction,
+}
+
+/// One node of the derivation tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Judgement {
+    /// What is claimed.
+    pub claim: Claim,
+    /// Why it holds.
+    pub rule: Rule,
+    /// Sub-derivations (empty for leaves).
+    pub premises: Vec<Judgement>,
+}
+
+/// A complete, serialisable certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The certified system's name.
+    pub system: String,
+    /// The root derivation.
+    pub root: Judgement,
+}
+
+impl Certificate {
+    /// Serialise to pretty JSON (the artefact handed to a certification
+    /// authority).
+    ///
+    /// # Panics
+    /// Never panics: the certificate types are always serialisable.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("certificate types serialise")
+    }
+
+    /// Parse a certificate back from JSON.
+    ///
+    /// # Errors
+    /// Returns the serde error text for malformed input.
+    pub fn from_json(text: &str) -> Result<Certificate, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Total number of leaf obligations in the certificate.
+    pub fn obligation_count(&self) -> usize {
+        fn leaves(j: &Judgement) -> usize {
+            if j.premises.is_empty() {
+                1
+            } else {
+                j.premises.iter().map(leaves).sum()
+            }
+        }
+        leaves(&self.root)
+    }
+}
+
+/// A contract that does not hold, with the feedback the developer sees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContractViolation {
+    /// The offending task.
+    pub task: String,
+    /// The violated property.
+    pub property: String,
+    /// Analysed value (in the property's unit).
+    pub analysed: f64,
+    /// Contracted budget.
+    pub budget: f64,
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task `{}`: {} is {:.3}, exceeding the contracted {:.3}",
+            self.task, self.property, self.analysed, self.budget
+        )
+    }
+}
+
+/// Proof failure: the violations found (all of them, not just the first —
+/// actionable feedback per paper Section III-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProveError {
+    /// Every violated obligation.
+    pub violations: Vec<ContractViolation>,
+    /// Tasks missing evidence entirely.
+    pub missing_evidence: Vec<String>,
+}
+
+impl fmt::Display for ProveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "contract proof failed:")?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        for t in &self.missing_evidence {
+            writeln!(f, "  - task `{t}`: no analysis evidence supplied")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ProveError {}
+
+/// Build the certificate for a CSL task model against analysed evidence.
+///
+/// Every budget clause in the model generates one obligation; obligations
+/// without a corresponding budget are skipped (no contract, nothing to
+/// prove).
+///
+/// # Errors
+/// [`ProveError`] listing *all* violations and missing evidence.
+pub fn prove(
+    system: &str,
+    model: &CslModel,
+    evidence: &HashMap<String, TaskEvidence>,
+) -> Result<Certificate, ProveError> {
+    let mut premises = Vec::new();
+    let mut violations = Vec::new();
+    let mut missing = Vec::new();
+
+    for task in &model.tasks {
+        let Some(ev) = evidence.get(&task.name) else {
+            missing.push(task.name.clone());
+            continue;
+        };
+        if let Some(budget) = task.wcet_budget {
+            if ev.wcet_us <= budget.as_us() {
+                premises.push(Judgement {
+                    claim: Claim::WcetWithin {
+                        task: task.name.clone(),
+                        analysed_us: ev.wcet_us,
+                        budget_us: budget.as_us(),
+                    },
+                    rule: Rule::LeqCheck,
+                    premises: Vec::new(),
+                });
+            } else {
+                violations.push(ContractViolation {
+                    task: task.name.clone(),
+                    property: "WCET (µs)".into(),
+                    analysed: ev.wcet_us,
+                    budget: budget.as_us(),
+                });
+            }
+        }
+        if let Some(budget) = task.energy_budget {
+            if ev.wcec_pj <= budget.as_pj() {
+                premises.push(Judgement {
+                    claim: Claim::EnergyWithin {
+                        task: task.name.clone(),
+                        analysed_pj: ev.wcec_pj,
+                        budget_pj: budget.as_pj(),
+                    },
+                    rule: Rule::LeqCheck,
+                    premises: Vec::new(),
+                });
+            } else {
+                violations.push(ContractViolation {
+                    task: task.name.clone(),
+                    property: "worst-case energy (pJ)".into(),
+                    analysed: ev.wcec_pj,
+                    budget: budget.as_pj(),
+                });
+            }
+        }
+        if task.security == Some(SecurityReq::ConstantTime) {
+            let residual = ev.residual_branches.unwrap_or(usize::MAX);
+            let leaks = ev.leaks.unwrap_or(true);
+            if residual == 0 && !leaks {
+                premises.push(Judgement {
+                    claim: Claim::SideChannelFree {
+                        task: task.name.clone(),
+                        residual_branches: 0,
+                        leaks: false,
+                    },
+                    rule: Rule::SecurityCheck,
+                    premises: Vec::new(),
+                });
+            } else {
+                violations.push(ContractViolation {
+                    task: task.name.clone(),
+                    property: "side-channel freedom (residual branches)".into(),
+                    analysed: residual as f64,
+                    budget: 0.0,
+                });
+            }
+        }
+        if let (Some(deadline), Some(finish)) = (task.deadline, ev.finish_us) {
+            if finish <= deadline.as_us() {
+                premises.push(Judgement {
+                    claim: Claim::DeadlineMet {
+                        task: task.name.clone(),
+                        finish_us: finish,
+                        deadline_us: deadline.as_us(),
+                    },
+                    rule: Rule::LeqCheck,
+                    premises: Vec::new(),
+                });
+            } else {
+                violations.push(ContractViolation {
+                    task: task.name.clone(),
+                    property: "completion time (µs)".into(),
+                    analysed: finish,
+                    budget: deadline.as_us(),
+                });
+            }
+        }
+    }
+
+    if !violations.is_empty() || !missing.is_empty() {
+        return Err(ProveError { violations, missing_evidence: missing });
+    }
+    let obligations = premises.len();
+    Ok(Certificate {
+        system: system.to_string(),
+        root: Judgement {
+            claim: Claim::System { name: system.to_string(), obligations },
+            rule: Rule::Conjunction,
+            premises,
+        },
+    })
+}
+
+/// Certificate verification failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VerifyError {
+    /// A rule application is invalid (the derivation does not check).
+    InvalidRule {
+        /// Human-readable description of the broken step.
+        detail: String,
+    },
+    /// A leaf's figures differ from the supplied evidence (stale or
+    /// tampered certificate).
+    EvidenceMismatch {
+        /// The affected task.
+        task: String,
+    },
+    /// The conjunction arity/counter does not match.
+    MalformedRoot,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::InvalidRule { detail } => write!(f, "invalid derivation step: {detail}"),
+            VerifyError::EvidenceMismatch { task } => {
+                write!(f, "certificate figures for `{task}` do not match the evidence")
+            }
+            VerifyError::MalformedRoot => write!(f, "malformed certificate root"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+const EPS: f64 = 1e-9;
+
+/// Independently re-check a certificate against fresh evidence.
+///
+/// This function shares no logic with [`prove`]: it re-validates every
+/// rule application and re-binds leaf figures to `evidence`.
+///
+/// # Errors
+/// See [`VerifyError`].
+pub fn verify_certificate(
+    cert: &Certificate,
+    evidence: &HashMap<String, TaskEvidence>,
+) -> Result<(), VerifyError> {
+    let root = &cert.root;
+    let Claim::System { obligations, .. } = &root.claim else {
+        return Err(VerifyError::MalformedRoot);
+    };
+    if root.rule != Rule::Conjunction || *obligations != root.premises.len() {
+        return Err(VerifyError::MalformedRoot);
+    }
+    for leaf in &root.premises {
+        if !leaf.premises.is_empty() {
+            return Err(VerifyError::InvalidRule {
+                detail: "nested derivations are not produced by this system".into(),
+            });
+        }
+        let task = leaf.claim.task().ok_or(VerifyError::MalformedRoot)?;
+        let ev = evidence
+            .get(task)
+            .ok_or_else(|| VerifyError::EvidenceMismatch { task: task.to_string() })?;
+        match (&leaf.claim, leaf.rule) {
+            (Claim::WcetWithin { analysed_us, budget_us, .. }, Rule::LeqCheck) => {
+                if (analysed_us - ev.wcet_us).abs() > EPS {
+                    return Err(VerifyError::EvidenceMismatch { task: task.to_string() });
+                }
+                if analysed_us > budget_us {
+                    return Err(VerifyError::InvalidRule {
+                        detail: format!("{task}: WCET {analysed_us} > budget {budget_us}"),
+                    });
+                }
+            }
+            (Claim::EnergyWithin { analysed_pj, budget_pj, .. }, Rule::LeqCheck) => {
+                if (analysed_pj - ev.wcec_pj).abs() > EPS {
+                    return Err(VerifyError::EvidenceMismatch { task: task.to_string() });
+                }
+                if analysed_pj > budget_pj {
+                    return Err(VerifyError::InvalidRule {
+                        detail: format!("{task}: energy {analysed_pj} > budget {budget_pj}"),
+                    });
+                }
+            }
+            (Claim::SideChannelFree { residual_branches, leaks, .. }, Rule::SecurityCheck) => {
+                if *residual_branches != 0 || *leaks {
+                    return Err(VerifyError::InvalidRule {
+                        detail: format!("{task}: security claim with residual risk"),
+                    });
+                }
+                if ev.residual_branches != Some(0) || ev.leaks != Some(false) {
+                    return Err(VerifyError::EvidenceMismatch { task: task.to_string() });
+                }
+            }
+            (Claim::DeadlineMet { finish_us, deadline_us, .. }, Rule::LeqCheck) => {
+                match ev.finish_us {
+                    Some(f) if (finish_us - f).abs() <= EPS => {}
+                    _ => return Err(VerifyError::EvidenceMismatch { task: task.to_string() }),
+                }
+                if finish_us > deadline_us {
+                    return Err(VerifyError::InvalidRule {
+                        detail: format!("{task}: finish {finish_us} > deadline {deadline_us}"),
+                    });
+                }
+            }
+            (claim, rule) => {
+                return Err(VerifyError::InvalidRule {
+                    detail: format!("claim {claim:?} cannot be justified by rule {rule:?}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamplay_csl::extract_model;
+    use teamplay_minic::parse_and_check;
+
+    const SRC: &str = "
+        /*@ task capture period(40ms) deadline(40ms) wcet_budget(5ms) energy_budget(3mJ) @*/
+        void capture() { return; }
+        /*@ task encrypt after(capture) security(ct) secret(key) wcet_budget(2ms) energy_budget(1500uJ) @*/
+        void encrypt(int key) { return; }
+    ";
+
+    fn model() -> CslModel {
+        extract_model(&parse_and_check(SRC).expect("front-end")).expect("extract")
+    }
+
+    fn good_evidence() -> HashMap<String, TaskEvidence> {
+        let mut ev = HashMap::new();
+        ev.insert(
+            "capture".into(),
+            TaskEvidence {
+                wcet_us: 4200.0,
+                wcec_pj: 2.5e9,
+                residual_branches: None,
+                leaks: None,
+                finish_us: Some(30_000.0),
+            },
+        );
+        ev.insert(
+            "encrypt".into(),
+            TaskEvidence {
+                wcet_us: 1500.0,
+                wcec_pj: 1.2e9,
+                residual_branches: Some(0),
+                leaks: Some(false),
+                finish_us: Some(35_000.0),
+            },
+        );
+        ev
+    }
+
+    #[test]
+    fn proves_and_verifies_a_satisfied_contract() {
+        let ev = good_evidence();
+        let cert = prove("camera-pill", &model(), &ev).expect("prove");
+        assert_eq!(cert.obligation_count(), 6); // 2×(wcet+energy) + deadline + security
+        verify_certificate(&cert, &ev).expect("verify");
+    }
+
+    #[test]
+    fn violations_are_all_reported() {
+        let mut ev = good_evidence();
+        ev.get_mut("capture").expect("capture").wcet_us = 9000.0; // > 5ms
+        ev.get_mut("encrypt").expect("encrypt").wcec_pj = 9e9; // > 1500uJ
+        let err = prove("camera-pill", &model(), &ev).unwrap_err();
+        assert_eq!(err.violations.len(), 2, "{err}");
+        let text = err.to_string();
+        assert!(text.contains("capture") && text.contains("encrypt"));
+    }
+
+    #[test]
+    fn missing_evidence_is_reported() {
+        let mut ev = good_evidence();
+        ev.remove("encrypt");
+        let err = prove("camera-pill", &model(), &ev).unwrap_err();
+        assert_eq!(err.missing_evidence, vec!["encrypt".to_string()]);
+    }
+
+    #[test]
+    fn security_requires_hardening_and_clean_measurement() {
+        let mut ev = good_evidence();
+        ev.get_mut("encrypt").expect("encrypt").residual_branches = Some(2);
+        assert!(prove("s", &model(), &ev).is_err());
+        let mut ev = good_evidence();
+        ev.get_mut("encrypt").expect("encrypt").leaks = Some(true);
+        assert!(prove("s", &model(), &ev).is_err());
+    }
+
+    #[test]
+    fn certificate_round_trips_through_json() {
+        let ev = good_evidence();
+        let cert = prove("camera-pill", &model(), &ev).expect("prove");
+        let json = cert.to_json();
+        let back = Certificate::from_json(&json).expect("parse");
+        assert_eq!(back, cert);
+        verify_certificate(&back, &ev).expect("verify parsed");
+    }
+
+    #[test]
+    fn tampered_figures_are_rejected() {
+        let ev = good_evidence();
+        let mut cert = prove("camera-pill", &model(), &ev).expect("prove");
+        // Tamper: claim a smaller WCET than the evidence shows.
+        for leaf in &mut cert.root.premises {
+            if let Claim::WcetWithin { analysed_us, .. } = &mut leaf.claim {
+                *analysed_us -= 1000.0;
+                break;
+            }
+        }
+        assert!(matches!(
+            verify_certificate(&cert, &ev),
+            Err(VerifyError::EvidenceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_budget_comparison_is_rejected() {
+        let mut ev = good_evidence();
+        let cert = {
+            // Prove with inflated evidence that still passes…
+            let c = prove("camera-pill", &model(), &ev).expect("prove");
+            // …then worsen the *evidence* (stale certificate scenario).
+            ev.get_mut("capture").expect("capture").wcet_us = 4999.0;
+            c
+        };
+        assert!(matches!(
+            verify_certificate(&cert, &ev),
+            Err(VerifyError::EvidenceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_rule_is_rejected() {
+        let ev = good_evidence();
+        let mut cert = prove("camera-pill", &model(), &ev).expect("prove");
+        // A security claim justified by a numeric rule is nonsense.
+        for leaf in &mut cert.root.premises {
+            if matches!(leaf.claim, Claim::SideChannelFree { .. }) {
+                leaf.rule = Rule::LeqCheck;
+            }
+        }
+        assert!(matches!(
+            verify_certificate(&cert, &ev),
+            Err(VerifyError::InvalidRule { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_obligation_count_is_rejected() {
+        let ev = good_evidence();
+        let mut cert = prove("camera-pill", &model(), &ev).expect("prove");
+        cert.root.premises.pop();
+        assert_eq!(verify_certificate(&cert, &ev), Err(VerifyError::MalformedRoot));
+    }
+
+    #[test]
+    fn tasks_without_budgets_generate_no_obligations() {
+        let src = "/*@ task free @*/ void f() { return; }";
+        let m = extract_model(&parse_and_check(src).expect("front-end")).expect("extract");
+        let mut ev = HashMap::new();
+        ev.insert("free".into(), TaskEvidence::default());
+        let cert = prove("s", &m, &ev).expect("prove");
+        assert_eq!(cert.obligation_count(), 1, "root with no premises counts as one leaf");
+        assert!(cert.root.premises.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use teamplay_csl::clause::{EnergyValue, TimeValue};
+    use teamplay_csl::TaskSpec;
+
+    fn spec(name: &str, wcet_budget: f64, energy_budget: f64) -> TaskSpec {
+        TaskSpec {
+            name: name.into(),
+            function: name.into(),
+            period: None,
+            deadline: None,
+            wcet_budget: Some(TimeValue(wcet_budget)),
+            energy_budget: Some(EnergyValue(energy_budget)),
+            security: None,
+            secrets: vec![],
+            after: vec![],
+        }
+    }
+
+    proptest! {
+        /// Soundness/completeness of the prover against the independent
+        /// checker: a certificate is produced iff every analysed value is
+        /// within budget, and whatever the prover emits, the checker
+        /// accepts against the same evidence.
+        #[test]
+        fn prove_verify_coherence(
+            specs in proptest::collection::vec(
+                (1f64..1e6, 1f64..1e12, 0.1f64..2.0, 0.1f64..2.0),
+                1..6,
+            )
+        ) {
+            let mut model = CslModel::default();
+            let mut evidence = HashMap::new();
+            let mut all_within = true;
+            for (i, (wb, eb, tf, ef)) in specs.iter().enumerate() {
+                let name = format!("t{i}");
+                model.tasks.push(spec(&name, *wb, *eb));
+                // Analysed value = budget × factor; factor > 1 violates.
+                let wcet = wb * tf;
+                let wcec = eb * ef;
+                if wcet > *wb || wcec > *eb {
+                    all_within = false;
+                }
+                evidence.insert(
+                    name,
+                    TaskEvidence { wcet_us: wcet, wcec_pj: wcec, ..TaskEvidence::default() },
+                );
+            }
+            match prove("prop-system", &model, &evidence) {
+                Ok(cert) => {
+                    prop_assert!(all_within, "prover accepted a violated contract");
+                    prop_assert!(verify_certificate(&cert, &evidence).is_ok());
+                    // The checker also rejects the certificate against any
+                    // *worsened* evidence.
+                    let mut worse = evidence.clone();
+                    if let Some(ev) = worse.values_mut().next() {
+                        ev.wcet_us *= 2.0;
+                        ev.wcet_us += 1.0;
+                    }
+                    if !cert.root.premises.is_empty() {
+                        prop_assert!(verify_certificate(&cert, &worse).is_err());
+                    }
+                }
+                Err(e) => {
+                    prop_assert!(!all_within, "prover rejected a satisfied contract: {e}");
+                    prop_assert!(!e.violations.is_empty());
+                }
+            }
+        }
+    }
+}

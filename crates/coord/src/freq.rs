@@ -1,0 +1,125 @@
+//! DVFS cost expansion for predictable cores.
+//!
+//! On a predictable core the cycle count of a task is frequency-invariant,
+//! so each frequency level turns one compiled variant into one
+//! [`crate::ExecOption`]:
+//!
+//! ```text
+//!   t(f)      = cycles / f
+//!   E_dyn(f)  = E_dyn(f_nom) · (V(f)/V(f_nom))²     (CV²f over t)
+//!   E_leak(f) = P_leak(f) · t(f)
+//! ```
+//!
+//! Because leakage no longer shrinks with feature size (paper
+//! Section III-C), the energy-vs-frequency curve has an interior **sweet
+//! spot**: racing at `f_max` wastes dynamic power, crawling at `f_min`
+//! accumulates leakage. The SpaceWire use case's 52 % energy saving comes
+//! precisely from scheduling at this sweet spot while still proving the
+//! deadline.
+
+use crate::task::ExecOption;
+use serde::{Deserialize, Serialize};
+
+/// One DVFS level of a predictable core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqLevel {
+    /// Clock frequency in MHz.
+    pub mhz: f64,
+    /// Supply voltage relative to nominal (1.0 at `f_nom`).
+    pub volt_rel: f64,
+    /// Leakage power at this level, milliwatts.
+    pub leak_mw: f64,
+}
+
+/// The GR712RC-flavoured level table used by the SpaceWire experiments:
+/// nominal 100 MHz, scalable down to 12.5 MHz with voltage scaling, and
+/// leakage typical of a rad-hard process (high, weakly
+/// frequency-dependent).
+pub fn gr712_levels() -> Vec<FreqLevel> {
+    vec![
+        FreqLevel { mhz: 12.5, volt_rel: 0.55, leak_mw: 10.0 },
+        FreqLevel { mhz: 25.0, volt_rel: 0.60, leak_mw: 11.0 },
+        FreqLevel { mhz: 50.0, volt_rel: 0.72, leak_mw: 13.0 },
+        FreqLevel { mhz: 75.0, volt_rel: 0.85, leak_mw: 16.0 },
+        FreqLevel { mhz: 100.0, volt_rel: 1.00, leak_mw: 20.0 },
+    ]
+}
+
+/// Expand one compiled variant into per-frequency execution options.
+///
+/// * `label` — the variant's name, suffixed with `@<mhz>MHz` per level;
+/// * `core` — the core these options map to;
+/// * `wcet_cycles` — the variant's static WCET in cycles;
+/// * `dyn_energy_uj_nominal` — its dynamic (switching) energy at the
+///   nominal level, from the static energy analysis;
+/// * `levels` — the core's DVFS table (last entry = nominal).
+pub fn dvfs_options(
+    label: &str,
+    core: &str,
+    wcet_cycles: u64,
+    dyn_energy_uj_nominal: f64,
+    levels: &[FreqLevel],
+) -> Vec<ExecOption> {
+    levels
+        .iter()
+        .map(|l| {
+            let time_us = wcet_cycles as f64 / l.mhz;
+            let e_dyn = dyn_energy_uj_nominal * l.volt_rel * l.volt_rel;
+            let e_leak = l.leak_mw * time_us / 1e6 * 1e3; // mW·µs → µJ
+            ExecOption {
+                label: format!("{label}@{}MHz", l.mhz),
+                core: core.to_string(),
+                time_us,
+                energy_uj: e_dyn + e_leak,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_scales_inversely_with_frequency() {
+        let opts = dvfs_options("v0", "cpu0", 1_000_000, 10.0, &gr712_levels());
+        assert_eq!(opts.len(), 5);
+        assert!(opts[0].time_us > opts[4].time_us);
+        assert!((opts[0].time_us - 1_000_000.0 / 12.5).abs() < 1e-9);
+        assert!((opts[4].time_us - 1_000_000.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_has_an_interior_sweet_spot() {
+        // A work chunk long enough for leakage to matter at low f.
+        let opts = dvfs_options("v0", "cpu0", 5_000_000, 5000.0, &gr712_levels());
+        let energies: Vec<f64> = opts.iter().map(|o| o.energy_uj).collect();
+        let min_idx = energies
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        assert!(
+            min_idx != 0 && min_idx != energies.len() - 1,
+            "sweet spot must be interior: {energies:?}"
+        );
+    }
+
+    #[test]
+    fn nominal_energy_matches_input_plus_leakage() {
+        let levels = gr712_levels();
+        let opts = dvfs_options("v0", "cpu0", 100_000, 50.0, &levels);
+        let nominal = &opts[4];
+        let t_us = 100_000.0 / 100.0;
+        let leak_uj = 20.0 * t_us / 1e3;
+        assert!((nominal.energy_uj - (50.0 + leak_uj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_and_cores_are_propagated() {
+        let opts = dvfs_options("fast", "leon-1", 1000, 1.0, &gr712_levels());
+        assert!(opts.iter().all(|o| o.core == "leon-1"));
+        assert!(opts[0].label.contains("fast@12.5MHz"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # teamplay-coord — the coordination layer
+//!
+//! TeamPlay's "explicit coordination layer that takes care of scheduling
+//! and mapping decisions on heterogeneous multi-core architectures"
+//! (paper refs \[13\], \[14\], \[20\], \[21\]). It consumes
+//!
+//! * the task graph extracted by `teamplay-csl`,
+//! * per-task **multi-version cost options** — either statically analysed
+//!   Pareto variants from the compiler (predictable flow, Fig. 1) or
+//!   measured profiles from `teamplay-profiler` (complex flow, Fig. 2),
+//!   optionally expanded over DVFS operating points ([`freq`]),
+//!
+//! and produces a validated [`schedule::Schedule`]: an assignment of one
+//! option per task to cores over time that respects dependencies, meets
+//! the deadline, and minimises energy — the energy-aware multi-version
+//! DAG scheduling of refs \[20\]/\[21\], with a branch-and-bound reference
+//! solver for small instances. [`glue`] then generates the runtime glue
+//! code (the YASMIN middleware analogue of ref \[14\]).
+
+pub mod freq;
+pub mod glue;
+pub mod schedule;
+pub mod task;
+
+pub use freq::{dvfs_options, gr712_levels, FreqLevel};
+pub use glue::{generate_parallel_glue, generate_sequential_glue};
+pub use schedule::{
+    schedule_branch_and_bound, schedule_energy_aware, Schedule, ScheduleEntry, ScheduleError,
+};
+pub use task::{CoordTask, ExecOption, TaskSet};

@@ -1,0 +1,243 @@
+//! Task-set model for the coordination layer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One way to execute a task: a compiled variant (and, on DVFS platforms,
+/// an operating point) on a specific core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecOption {
+    /// Human-readable label, e.g. `"v2@204MHz"` or `"perf"`.
+    pub label: String,
+    /// Core this option runs on.
+    pub core: String,
+    /// Worst-case (or profiled-p95) execution time, microseconds.
+    pub time_us: f64,
+    /// Energy per activation, microjoules.
+    pub energy_uj: f64,
+}
+
+/// A schedulable task with its execution options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoordTask {
+    /// Task name (matches the CSL task name).
+    pub name: String,
+    /// Alternative ways to execute (must be non-empty).
+    pub options: Vec<ExecOption>,
+    /// Tasks that must complete before this one starts.
+    pub after: Vec<String>,
+    /// Optional per-task absolute deadline (µs from frame start).
+    pub deadline_us: Option<f64>,
+}
+
+impl CoordTask {
+    /// A task with the given options and no dependencies.
+    pub fn new(name: impl Into<String>, options: Vec<ExecOption>) -> CoordTask {
+        CoordTask { name: name.into(), options, after: Vec::new(), deadline_us: None }
+    }
+
+    /// Builder-style dependency addition.
+    pub fn after(mut self, deps: &[&str]) -> CoordTask {
+        self.after.extend(deps.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Builder-style per-task deadline.
+    pub fn with_deadline_us(mut self, deadline: f64) -> CoordTask {
+        self.deadline_us = Some(deadline);
+        self
+    }
+}
+
+/// Task-set validation errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskSetError {
+    /// Two tasks share a name.
+    Duplicate(String),
+    /// A dependency names an unknown task.
+    UnknownDependency {
+        /// The dependent task.
+        task: String,
+        /// The missing dependency.
+        missing: String,
+    },
+    /// The dependency graph is cyclic.
+    Cyclic,
+    /// A task has no execution options.
+    NoOptions(String),
+    /// An option references a core not in the platform's core list.
+    UnknownCore {
+        /// The task.
+        task: String,
+        /// The unknown core.
+        core: String,
+    },
+}
+
+impl fmt::Display for TaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskSetError::Duplicate(n) => write!(f, "duplicate task `{n}`"),
+            TaskSetError::UnknownDependency { task, missing } => {
+                write!(f, "task `{task}` depends on unknown `{missing}`")
+            }
+            TaskSetError::Cyclic => write!(f, "cyclic task dependencies"),
+            TaskSetError::NoOptions(n) => write!(f, "task `{n}` has no execution options"),
+            TaskSetError::UnknownCore { task, core } => {
+                write!(f, "task `{task}` has an option on unknown core `{core}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskSetError {}
+
+/// A validated task set plus the platform's core names and the global
+/// deadline (the frame/period end).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSet {
+    /// Tasks in topological order.
+    pub tasks: Vec<CoordTask>,
+    /// Core names available for mapping.
+    pub cores: Vec<String>,
+    /// End-to-end deadline in microseconds.
+    pub deadline_us: f64,
+}
+
+impl TaskSet {
+    /// Build and validate a task set; tasks are re-ordered topologically.
+    ///
+    /// # Errors
+    /// See [`TaskSetError`].
+    pub fn new(
+        tasks: Vec<CoordTask>,
+        cores: Vec<String>,
+        deadline_us: f64,
+    ) -> Result<TaskSet, TaskSetError> {
+        let mut seen = HashSet::new();
+        for t in &tasks {
+            if !seen.insert(t.name.clone()) {
+                return Err(TaskSetError::Duplicate(t.name.clone()));
+            }
+            if t.options.is_empty() {
+                return Err(TaskSetError::NoOptions(t.name.clone()));
+            }
+            for o in &t.options {
+                if !cores.contains(&o.core) {
+                    return Err(TaskSetError::UnknownCore {
+                        task: t.name.clone(),
+                        core: o.core.clone(),
+                    });
+                }
+            }
+        }
+        for t in &tasks {
+            for d in &t.after {
+                if !seen.contains(d) {
+                    return Err(TaskSetError::UnknownDependency {
+                        task: t.name.clone(),
+                        missing: d.clone(),
+                    });
+                }
+            }
+        }
+        // Kahn topological sort.
+        let mut indegree: HashMap<&str, usize> =
+            tasks.iter().map(|t| (t.name.as_str(), t.after.len())).collect();
+        let mut ready: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.after.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let mut order: Vec<usize> = Vec::with_capacity(tasks.len());
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for (j, t) in tasks.iter().enumerate() {
+                if t.after.iter().any(|d| d == &tasks[i].name) {
+                    let e = indegree.get_mut(t.name.as_str()).expect("indexed");
+                    *e -= 1;
+                    if *e == 0 {
+                        ready.push(j);
+                    }
+                }
+            }
+        }
+        if order.len() != tasks.len() {
+            return Err(TaskSetError::Cyclic);
+        }
+        let sorted = order.into_iter().map(|i| tasks[i].clone()).collect();
+        Ok(TaskSet { tasks: sorted, cores, deadline_us })
+    }
+
+    /// Look up a task.
+    pub fn task(&self, name: &str) -> Option<&CoordTask> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Index of a task by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.tasks.iter().position(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(core: &str, t: f64, e: f64) -> ExecOption {
+        ExecOption { label: format!("{core}-{t}"), core: core.into(), time_us: t, energy_uj: e }
+    }
+
+    fn cores() -> Vec<String> {
+        vec!["c0".into(), "c1".into()]
+    }
+
+    #[test]
+    fn builds_and_topologically_sorts() {
+        let tasks = vec![
+            CoordTask::new("b", vec![opt("c0", 10.0, 1.0)]).after(&["a"]),
+            CoordTask::new("a", vec![opt("c0", 5.0, 1.0)]),
+            CoordTask::new("c", vec![opt("c1", 1.0, 1.0)]).after(&["a", "b"]),
+        ];
+        let set = TaskSet::new(tasks, cores(), 100.0).expect("valid");
+        let pos = |n: &str| set.index_of(n).expect("present");
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_cycles() {
+        let dup = vec![
+            CoordTask::new("a", vec![opt("c0", 1.0, 1.0)]),
+            CoordTask::new("a", vec![opt("c0", 1.0, 1.0)]),
+        ];
+        assert!(matches!(TaskSet::new(dup, cores(), 10.0), Err(TaskSetError::Duplicate(_))));
+        let cyc = vec![
+            CoordTask::new("a", vec![opt("c0", 1.0, 1.0)]).after(&["b"]),
+            CoordTask::new("b", vec![opt("c0", 1.0, 1.0)]).after(&["a"]),
+        ];
+        assert!(matches!(TaskSet::new(cyc, cores(), 10.0), Err(TaskSetError::Cyclic)));
+    }
+
+    #[test]
+    fn rejects_unknown_core_and_empty_options() {
+        let bad_core = vec![CoordTask::new("a", vec![opt("gpu9", 1.0, 1.0)])];
+        assert!(matches!(
+            TaskSet::new(bad_core, cores(), 10.0),
+            Err(TaskSetError::UnknownCore { .. })
+        ));
+        let no_opt = vec![CoordTask::new("a", vec![])];
+        assert!(matches!(TaskSet::new(no_opt, cores(), 10.0), Err(TaskSetError::NoOptions(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_dependency() {
+        let tasks = vec![CoordTask::new("a", vec![opt("c0", 1.0, 1.0)]).after(&["ghost"])];
+        assert!(matches!(
+            TaskSet::new(tasks, cores(), 10.0),
+            Err(TaskSetError::UnknownDependency { .. })
+        ));
+    }
+}

@@ -1,0 +1,273 @@
+//! Developer feedback for failed contracts — the Transparency Challenge.
+//!
+//! Paper Section III-A: "Clear, human-understandable feedback needs to be
+//! provided in order to allow the developer to take actions should the
+//! application code fail to satisfy some of the constraints." The advisor
+//! turns a [`WorkflowError`] into concrete, ranked suggestions: which
+//! knob to turn, which annotation to add, which budget is closest to
+//! feasible.
+
+use crate::predictable::WorkflowError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How actionable a suggestion is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Confidence {
+    /// Might help, worth trying.
+    Possible,
+    /// Directly addresses the failure's cause.
+    Direct,
+}
+
+/// One actionable suggestion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Advice {
+    /// The affected task (empty for toolchain-wide advice).
+    pub task: String,
+    /// What to do, in imperative form.
+    pub action: String,
+    /// How confident the advisor is.
+    pub confidence: Confidence,
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.confidence {
+            Confidence::Direct => "!",
+            Confidence::Possible => "?",
+        };
+        if self.task.is_empty() {
+            write!(f, "[{tag}] {}", self.action)
+        } else {
+            write!(f, "[{tag}] {}: {}", self.task, self.action)
+        }
+    }
+}
+
+/// Produce ranked advice for a failed workflow run. Direct advice comes
+/// first. An empty result means the failure needs human investigation
+/// (e.g. an internal compile error).
+pub fn advise(error: &WorkflowError) -> Vec<Advice> {
+    let mut advice = Vec::new();
+    match error {
+        WorkflowError::NoTasks => {
+            advice.push(Advice {
+                task: String::new(),
+                action: "annotate at least one function with `/*@ task <name> ... @*/`".into(),
+                confidence: Confidence::Direct,
+            });
+        }
+        WorkflowError::Frontend(e) => {
+            advice.push(Advice {
+                task: String::new(),
+                action: format!("fix the source error first: {e}"),
+                confidence: Confidence::Direct,
+            });
+        }
+        WorkflowError::Csl(e) => {
+            advice.push(Advice {
+                task: String::new(),
+                action: format!("fix the contract annotation: {e}"),
+                confidence: Confidence::Direct,
+            });
+        }
+        WorkflowError::ResidualLeakRisk { task, report } => {
+            advice.push(Advice {
+                task: task.clone(),
+                action: format!(
+                    "{} secret-dependent branch(es) could not be if-converted; rewrite \
+                     secret-guarded loops with fixed trip counts and keep branch arms free \
+                     of stores/calls so ladderisation applies",
+                    report.residual
+                ),
+                confidence: Confidence::Direct,
+            });
+            advice.push(Advice {
+                task: task.clone(),
+                action: "alternatively drop `security(ct)` if the data is not actually secret"
+                    .into(),
+                confidence: Confidence::Possible,
+            });
+        }
+        WorkflowError::Compile(msg) => {
+            if msg.contains("loop") || msg.contains("bound") || msg.contains("variant") {
+                advice.push(Advice {
+                    task: String::new(),
+                    action: "add `/*@ loop bound(n) @*/` to every data-dependent loop; only \
+                             counted loops are inferred automatically"
+                        .into(),
+                    confidence: Confidence::Direct,
+                });
+            }
+            if msg.contains("recursion") {
+                advice.push(Advice {
+                    task: String::new(),
+                    action: "remove recursion — the static analyses require a call tree".into(),
+                    confidence: Confidence::Direct,
+                });
+            }
+            if msg.contains("parameters") {
+                advice.push(Advice {
+                    task: String::new(),
+                    action: "reduce the function to at most 6 parameters (pass arrays instead)"
+                        .into(),
+                    confidence: Confidence::Direct,
+                });
+            }
+        }
+        WorkflowError::Unschedulable(e) => {
+            advice.push(Advice {
+                task: String::new(),
+                action: format!(
+                    "the fastest variants still miss the deadline ({e}); split long tasks, \
+                     relax the `deadline(...)` clause, or raise the core clock"
+                ),
+                confidence: Confidence::Direct,
+            });
+        }
+        WorkflowError::Security(msg) => {
+            advice.push(Advice {
+                task: String::new(),
+                action: format!("make the secure task measurable: {msg}"),
+                confidence: Confidence::Direct,
+            });
+        }
+        WorkflowError::Contract(e) => {
+            for v in &e.violations {
+                let over = if v.budget > 0.0 {
+                    format!("{:.0} % over budget", (v.analysed / v.budget - 1.0) * 100.0)
+                } else {
+                    "over budget".to_string()
+                };
+                let knob = if v.property.contains("WCET") || v.property.contains("time") {
+                    "try a faster variant (more inlining / register pinning) or relax the \
+                     `wcet_budget`"
+                } else if v.property.contains("energy") {
+                    "try the energy-saver configuration (shift-add multiplies, pinning) or \
+                     relax the `energy_budget`"
+                } else {
+                    "harden the task or relax the contract"
+                };
+                advice.push(Advice {
+                    task: v.task.clone(),
+                    action: format!("{}: {over} — {knob}", v.property),
+                    confidence: Confidence::Direct,
+                });
+            }
+            for t in &e.missing_evidence {
+                advice.push(Advice {
+                    task: t.clone(),
+                    action: "no analysis evidence was produced; check earlier warnings".into(),
+                    confidence: Confidence::Possible,
+                });
+            }
+        }
+    }
+    advice.sort_by(|a, b| b.confidence.cmp(&a.confidence));
+    advice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictable::{PredictableWorkflow, WorkflowConfig};
+    use teamplay_compiler::FpaConfig;
+
+    fn quick() -> PredictableWorkflow {
+        let mut cfg = WorkflowConfig::pg32();
+        cfg.fpa = FpaConfig::tiny();
+        PredictableWorkflow::new(cfg)
+    }
+
+    #[test]
+    fn advises_on_missing_tasks() {
+        let err = quick().run("int f() { return 0; }").unwrap_err();
+        let advice = advise(&err);
+        assert!(advice.iter().any(|a| a.action.contains("task")));
+        assert_eq!(advice[0].confidence, Confidence::Direct);
+    }
+
+    #[test]
+    fn advises_on_budget_violations_with_overrun_percent() {
+        let src = r#"
+            /*@ task busy deadline(10ms) wcet_budget(1us) @*/
+            void busy() {
+                int s = 0;
+                for (int i = 0; i < 500; i = i + 1) { s = s + i; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        let err = quick().run(src).unwrap_err();
+        let advice = advise(&err);
+        assert!(!advice.is_empty());
+        let text = advice.iter().map(|a| a.to_string()).collect::<Vec<_>>().join("\n");
+        assert!(text.contains("busy"), "{text}");
+        assert!(text.contains("% over budget"), "{text}");
+        assert!(text.contains("wcet_budget"), "{text}");
+    }
+
+    #[test]
+    fn advises_on_unbounded_loops() {
+        let src = r#"
+            /*@ task spin deadline(10ms) @*/
+            void spin(int n) {
+                int s = 0;
+                while (n > 0) { n = n - 1; s = s + 1; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        let err = quick().run(src).unwrap_err();
+        let advice = advise(&err);
+        assert!(
+            advice.iter().any(|a| a.action.contains("loop bound")),
+            "{advice:?}"
+        );
+    }
+
+    #[test]
+    fn advises_on_residual_leak_risk() {
+        let src = r#"
+            /*@ task leaky security(ct) secret(k) deadline(10ms) @*/
+            void leaky(int k) {
+                int s = 0;
+                /*@ loop bound(64) @*/
+                while (k > 0) { k = k - 1; s = s + 1; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        let err = quick().run(src).unwrap_err();
+        let advice = advise(&err);
+        assert!(advice.iter().any(|a| a.task == "leaky" && a.action.contains("if-converted")));
+        assert!(advice.iter().any(|a| a.confidence == Confidence::Possible));
+    }
+
+    #[test]
+    fn advises_on_unschedulable_deadline() {
+        let src = r#"
+            /*@ task heavy deadline(5us) @*/
+            void heavy() {
+                int s = 0;
+                for (int i = 0; i < 5000; i = i + 1) { s = s + i * i; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        let err = quick().run(src).unwrap_err();
+        let advice = advise(&err);
+        assert!(advice.iter().any(|a| a.action.contains("deadline")), "{advice:?}");
+    }
+
+    #[test]
+    fn display_formats_with_confidence_tags() {
+        let a = Advice {
+            task: "t".into(),
+            action: "do the thing".into(),
+            confidence: Confidence::Direct,
+        };
+        assert_eq!(a.to_string(), "[!] t: do the thing");
+    }
+}

@@ -1,0 +1,212 @@
+//! The TeamPlay workflow for complex architectures (paper Fig. 2).
+//!
+//! Complex platforms cannot be statically analysed, so the toolchain
+//! first generates a *sequential* instrumented build, measures it with
+//! the dynamic profiler, and only then lets the coordination layer map
+//! the application onto the parallel platform using the measured
+//! multi-version costs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use teamplay_coord::{
+    generate_parallel_glue, generate_sequential_glue, schedule_energy_aware, CoordTask, Schedule,
+    ScheduleError, TaskSet,
+};
+use teamplay_profiler::{exec_options_from_profile, profile_tasks, ProfileReport};
+use teamplay_sim::{ComplexPlatform, WorkItem};
+
+/// One task of a complex-platform application: a measured workload plus
+/// its dependencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexTask {
+    /// Task name.
+    pub name: String,
+    /// The workload the profiler measures.
+    pub work: WorkItem,
+    /// Names of tasks that must complete first.
+    pub after: Vec<String>,
+}
+
+/// The Fig. 2 workflow driver.
+#[derive(Debug, Clone)]
+pub struct ComplexWorkflow {
+    /// The platform to profile and schedule on.
+    pub platform: ComplexPlatform,
+    /// Profiling runs per (task, core, operating point).
+    pub runs: usize,
+    /// Safety margin applied to p95 execution times.
+    pub margin: f64,
+    /// Profiling seed (simulator jitter).
+    pub seed: u64,
+}
+
+/// Outcome of the complex workflow.
+#[derive(Debug, Clone)]
+pub struct ComplexOutcome {
+    /// First-pass sequential instrumentation harness.
+    pub sequential_glue: String,
+    /// The dynamic profile (PowProfiler output).
+    pub profile: ProfileReport,
+    /// The energy-aware schedule.
+    pub schedule: Schedule,
+    /// Second-pass parallel runtime glue.
+    pub parallel_glue: String,
+    /// Pipeline energy per frame (µJ).
+    pub frame_energy_uj: f64,
+}
+
+/// Complex-workflow failures.
+#[derive(Debug)]
+pub enum ComplexError {
+    /// Task-set construction failed (cycles, unknown cores…).
+    TaskSet(String),
+    /// No mapping meets the frame deadline.
+    Unschedulable(ScheduleError),
+}
+
+impl fmt::Display for ComplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComplexError::TaskSet(msg) => write!(f, "task set: {msg}"),
+            ComplexError::Unschedulable(e) => write!(f, "coordination: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComplexError {}
+
+impl ComplexWorkflow {
+    /// A workflow on the given platform with sensible defaults
+    /// (24 profiling runs, 20 % p95 margin).
+    pub fn new(platform: ComplexPlatform) -> ComplexWorkflow {
+        ComplexWorkflow { platform, runs: 24, margin: 1.2, seed: 0xD2073 }
+    }
+
+    /// Run the two-pass workflow for the given application and frame
+    /// deadline.
+    ///
+    /// # Errors
+    /// See [`ComplexError`].
+    pub fn run(
+        &self,
+        tasks: &[ComplexTask],
+        deadline_us: f64,
+    ) -> Result<ComplexOutcome, ComplexError> {
+        // First pass: sequential instrumented harness (the thing the
+        // profiler "runs").
+        let work: Vec<(String, WorkItem)> =
+            tasks.iter().map(|t| (t.name.clone(), t.work)).collect();
+        let seq_set = TaskSet::new(
+            tasks
+                .iter()
+                .map(|t| {
+                    let mut ct = CoordTask::new(
+                        t.name.clone(),
+                        vec![teamplay_coord::ExecOption {
+                            label: "seq".into(),
+                            core: self.platform.cores[0].name.clone(),
+                            time_us: 1.0,
+                            energy_uj: 0.0,
+                        }],
+                    );
+                    ct.after = t.after.clone();
+                    ct
+                })
+                .collect(),
+            self.platform.cores.iter().map(|c| c.name.clone()).collect(),
+            f64::INFINITY,
+        )
+        .map_err(|e| ComplexError::TaskSet(e.to_string()))?;
+        let sequential_glue = generate_sequential_glue(&seq_set);
+
+        // Dynamic profiling on the platform simulator.
+        let profile = profile_tasks(&self.platform, &work, self.runs, self.seed);
+
+        // Second pass: multi-version scheduling from the measured costs.
+        let coord_tasks: Vec<CoordTask> = tasks
+            .iter()
+            .map(|t| {
+                let options = exec_options_from_profile(&profile, &t.name, self.margin);
+                let mut ct = CoordTask::new(t.name.clone(), options);
+                ct.after = t.after.clone();
+                ct
+            })
+            .collect();
+        let set = TaskSet::new(
+            coord_tasks,
+            self.platform.cores.iter().map(|c| c.name.clone()).collect(),
+            deadline_us,
+        )
+        .map_err(|e| ComplexError::TaskSet(e.to_string()))?;
+        let schedule = schedule_energy_aware(&set).map_err(ComplexError::Unschedulable)?;
+        let parallel_glue = generate_parallel_glue(&set, &schedule);
+        let frame_energy_uj = schedule.total_energy_uj;
+
+        Ok(ComplexOutcome { sequential_glue, profile, schedule, parallel_glue, frame_energy_uj })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sar_tasks() -> Vec<ComplexTask> {
+        teamplay_apps::uav::sar_pipeline()
+            .into_iter()
+            .map(|(name, work, after)| ComplexTask { name, work, after })
+            .collect()
+    }
+
+    #[test]
+    fn sar_pipeline_completes_both_passes() {
+        let wf = ComplexWorkflow::new(ComplexPlatform::tk1());
+        let outcome = wf.run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US).expect("workflow");
+        assert!(outcome.sequential_glue.contains("tp_measure_begin(\"detect\")"));
+        assert!(outcome.parallel_glue.contains("tp_thread_create"));
+        assert!(outcome.schedule.makespan_us <= teamplay_apps::uav::FRAME_PERIOD_US);
+        assert!(outcome.frame_energy_uj > 0.0);
+    }
+
+    #[test]
+    fn tight_deadline_forces_faster_costlier_mapping() {
+        let wf = ComplexWorkflow::new(ComplexPlatform::tk1());
+        let relaxed = wf.run(&sar_tasks(), 500_000.0).expect("relaxed");
+        let tight = wf.run(&sar_tasks(), 235_000.0).expect("tight");
+        assert!(tight.schedule.makespan_us <= 235_000.0);
+        assert!(
+            tight.frame_energy_uj >= relaxed.frame_energy_uj,
+            "meeting a tighter deadline cannot cost less energy: {} vs {}",
+            tight.frame_energy_uj,
+            relaxed.frame_energy_uj
+        );
+    }
+
+    #[test]
+    fn impossible_deadline_is_unschedulable() {
+        let wf = ComplexWorkflow::new(ComplexPlatform::tk1());
+        match wf.run(&sar_tasks(), 100.0) {
+            Err(ComplexError::Unschedulable(_)) => {}
+            other => panic!("expected unschedulable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nano_platform_is_slower_but_works() {
+        let wf = ComplexWorkflow::new(ComplexPlatform::nano());
+        let nano = wf.run(&sar_tasks(), 400_000.0).expect("nano");
+        let wf_tk1 = ComplexWorkflow::new(ComplexPlatform::tk1());
+        let tk1 = wf_tk1.run(&sar_tasks(), 400_000.0).expect("tk1");
+        // With a generous deadline both schedule; the Nano's energy
+        // envelope is smaller even if it is slower.
+        assert!(nano.schedule.makespan_us > 0.0 && tk1.schedule.makespan_us > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wf = ComplexWorkflow::new(ComplexPlatform::tk1());
+        let a = wf.run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US).expect("a");
+        let b = wf.run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US).expect("b");
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.profile, b.profile);
+    }
+}

@@ -1,0 +1,39 @@
+//! # teamplay — the integrated TeamPlay toolchain
+//!
+//! The top of the reproduction: the two end-to-end workflows of the DATE
+//! 2023 paper, wiring every subsystem together exactly as Figs. 1 and 2
+//! draw them.
+//!
+//! * [`predictable`] — the workflow for predictable architectures
+//!   (Fig. 1): annotated Mini-C → CSL extraction → ladderisation of
+//!   secret-guarded code → multi-criteria compilation (FPA Pareto search
+//!   with WCET/energy analyser plug-ins) → multi-version selection and
+//!   schedulability by the coordination layer → leakage assessment →
+//!   contract proof with a verifiable [`teamplay_contracts::Certificate`]
+//!   → glue code. The output is a "certified, coordinated binary".
+//! * [`complex`] — the workflow for complex architectures (Fig. 2):
+//!   CSL-style task structure → sequential instrumented build → dynamic
+//!   profiling on the platform simulator → multi-version energy-aware
+//!   scheduling → parallel glue code.
+//!
+//! ```no_run
+//! use teamplay::predictable::{PredictableWorkflow, WorkflowConfig};
+//!
+//! let source = r#"
+//!     /*@ task blink period(10ms) deadline(10ms) wcet_budget(1ms) energy_budget(200uJ) @*/
+//!     void blink() { __out(1, 1); return; }
+//! "#;
+//! let outcome = PredictableWorkflow::new(WorkflowConfig::pg32()).run(source)?;
+//! println!("{}", outcome.certificate.to_json());
+//! # Ok::<(), teamplay::predictable::WorkflowError>(())
+//! ```
+
+pub mod advisor;
+pub mod complex;
+pub mod predictable;
+
+pub use advisor::{advise, Advice, Confidence};
+pub use complex::{ComplexOutcome, ComplexWorkflow};
+pub use predictable::{
+    PredictableOutcome, PredictableWorkflow, TaskReport, WorkflowConfig, WorkflowError,
+};

@@ -1,0 +1,522 @@
+//! The TeamPlay workflow for predictable architectures (paper Fig. 1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use teamplay_compiler::{
+    compile_module_per_function, pareto_front_for, CompilerConfig, FpaConfig, TaskVariant,
+};
+use teamplay_contracts::{prove, Certificate, ProveError, TaskEvidence};
+use teamplay_coord::{
+    generate_parallel_glue, schedule_energy_aware, CoordTask, ExecOption, Schedule, ScheduleError,
+    TaskSet,
+};
+use teamplay_csl::{extract_model, CslError, CslModel, SecurityReq};
+use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
+use teamplay_isa::{CycleModel, Program};
+use teamplay_minic::{lower::lower_program, parse_and_check, FrontendError};
+use teamplay_security::{assess_leakage, ladderise, LadderReport, LeakageReport, SecretSpec};
+use teamplay_sim::GroundTruthEnergy;
+use teamplay_wcet::analyze_program;
+
+/// Configuration of the predictable workflow: platform models, clock and
+/// search budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkflowConfig {
+    /// Timing model of the target core.
+    pub cycle_model: CycleModel,
+    /// Analytical energy model (conservative datasheet).
+    pub energy_model: IsaEnergyModel,
+    /// Ground-truth model for measurement-based steps (leakage runs).
+    pub truth: GroundTruthEnergy,
+    /// Core clock (MHz) for cycle→time conversion.
+    pub clock_mhz: f64,
+    /// FPA search budget per task.
+    pub fpa: FpaConfig,
+    /// Leakage traces per secret class.
+    pub leakage_traces: usize,
+    /// Search seed (determinism).
+    pub seed: u64,
+}
+
+impl WorkflowConfig {
+    /// The Cortex-M0-like PG32 target at 48 MHz (camera pill, DL M0 leg).
+    pub fn pg32() -> WorkflowConfig {
+        WorkflowConfig {
+            cycle_model: CycleModel::pg32(),
+            energy_model: IsaEnergyModel::pg32_datasheet(),
+            truth: GroundTruthEnergy::pg32(),
+            clock_mhz: 48.0,
+            fpa: FpaConfig::standard(),
+            leakage_traces: 48,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The LEON3/GR712RC-like target at 100 MHz (SpaceWire).
+    pub fn leon3() -> WorkflowConfig {
+        WorkflowConfig {
+            cycle_model: CycleModel::leon3(),
+            energy_model: IsaEnergyModel::leon3_datasheet(),
+            truth: GroundTruthEnergy::leon3(),
+            clock_mhz: 100.0,
+            ..WorkflowConfig::pg32()
+        }
+    }
+}
+
+/// Per-task outcome of the workflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskReport {
+    /// Task name.
+    pub name: String,
+    /// Implementing function.
+    pub function: String,
+    /// The compiler configuration of the selected variant.
+    pub selected_config: CompilerConfig,
+    /// Variants the FPA offered for this task.
+    pub variants_offered: usize,
+    /// Final analysed WCET (µs, at the configured clock).
+    pub wcet_us: f64,
+    /// Final analysed worst-case energy (µJ).
+    pub wcec_uj: f64,
+    /// Ladderisation outcome (secure tasks only).
+    pub ladder: Option<LadderReport>,
+    /// Measured leakage (secure tasks only).
+    pub leakage: Option<LeakageReport>,
+}
+
+/// The "certified, coordinated binary" of Fig. 1.
+#[derive(Debug, Clone)]
+pub struct PredictableOutcome {
+    /// The final PG32 program (per-task selected variants).
+    pub program: Program,
+    /// The extracted CSL task model.
+    pub model: CslModel,
+    /// The validated schedule.
+    pub schedule: Schedule,
+    /// The contract certificate.
+    pub certificate: Certificate,
+    /// The evidence the certificate binds to (for re-verification).
+    pub evidence: HashMap<String, TaskEvidence>,
+    /// Per-task reports.
+    pub tasks: Vec<TaskReport>,
+    /// Generated runtime glue code.
+    pub glue: String,
+}
+
+/// Workflow failures, in pipeline order.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// Front-end (lex/parse/sema) failure.
+    Frontend(FrontendError),
+    /// CSL extraction failure.
+    Csl(CslError),
+    /// The source declares no tasks.
+    NoTasks,
+    /// A secure task still has secret-dependent branching after
+    /// ladderisation.
+    ResidualLeakRisk {
+        /// The task.
+        task: String,
+        /// The hardening report.
+        report: LadderReport,
+    },
+    /// Compilation or analysis of a variant failed.
+    Compile(String),
+    /// No variant assignment meets the deadlines.
+    Unschedulable(ScheduleError),
+    /// Leakage assessment failed to run.
+    Security(String),
+    /// The contract system rejected the budgets.
+    Contract(ProveError),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::Frontend(e) => write!(f, "front-end: {e}"),
+            WorkflowError::Csl(e) => write!(f, "CSL: {e}"),
+            WorkflowError::NoTasks => write!(f, "no `task` annotations found in the source"),
+            WorkflowError::ResidualLeakRisk { task, report } => write!(
+                f,
+                "task `{task}` retains {} secret-dependent branch(es) after ladderisation",
+                report.residual
+            ),
+            WorkflowError::Compile(msg) => write!(f, "compilation: {msg}"),
+            WorkflowError::Unschedulable(e) => write!(f, "coordination: {e}"),
+            WorkflowError::Security(msg) => write!(f, "security analysis: {msg}"),
+            WorkflowError::Contract(e) => write!(f, "contract system: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<FrontendError> for WorkflowError {
+    fn from(e: FrontendError) -> Self {
+        WorkflowError::Frontend(e)
+    }
+}
+impl From<CslError> for WorkflowError {
+    fn from(e: CslError) -> Self {
+        WorkflowError::Csl(e)
+    }
+}
+
+/// The Fig. 1 toolchain driver.
+#[derive(Debug, Clone)]
+pub struct PredictableWorkflow {
+    config: WorkflowConfig,
+}
+
+impl PredictableWorkflow {
+    /// Create a workflow for the given target configuration.
+    pub fn new(config: WorkflowConfig) -> PredictableWorkflow {
+        PredictableWorkflow { config }
+    }
+
+    /// Run the full workflow on annotated Mini-C source.
+    ///
+    /// # Errors
+    /// See [`WorkflowError`]; every stage reports its own failure class so
+    /// the developer knows which contract or analysis to fix.
+    pub fn run(&self, source: &str) -> Result<PredictableOutcome, WorkflowError> {
+        let cfg = &self.config;
+
+        // 1. Front-end + CSL extraction.
+        let ast = parse_and_check(source)?;
+        let model = extract_model(&ast)?;
+        if model.tasks.is_empty() {
+            return Err(WorkflowError::NoTasks);
+        }
+        let mut ir = lower_program(&ast);
+
+        // 2. SecurityOptimiser: ladderise secret-guarded code of secure
+        //    tasks before any variant is generated.
+        let mut ladder_reports: HashMap<String, LadderReport> = HashMap::new();
+        for task in &model.tasks {
+            if task.security != Some(SecurityReq::ConstantTime) {
+                continue;
+            }
+            let secrets: std::collections::HashSet<String> =
+                task.secrets.iter().cloned().collect();
+            let f = ir
+                .function_mut(&task.function)
+                .expect("CSL extraction guarantees the function exists");
+            let report = ladderise(f, &secrets);
+            if !report.fully_hardened() {
+                return Err(WorkflowError::ResidualLeakRisk { task: task.name.clone(), report });
+            }
+            ladder_reports.insert(task.name.clone(), report);
+        }
+
+        // 3. Multi-criteria compilation: a Pareto front per task.
+        let mut variants: HashMap<String, Vec<TaskVariant>> = HashMap::new();
+        for (i, task) in model.tasks.iter().enumerate() {
+            let front = pareto_front_for(
+                &ir,
+                &task.function,
+                &cfg.cycle_model,
+                &cfg.energy_model,
+                cfg.fpa,
+                cfg.seed.wrapping_add(i as u64),
+            );
+            if front.is_empty() {
+                return Err(WorkflowError::Compile(format!(
+                    "no analysable variant for task `{}` (unbounded loops?)",
+                    task.name
+                )));
+            }
+            variants.insert(task.name.clone(), front);
+        }
+
+        // 4. Coordination: multi-version selection under the deadlines.
+        let global_deadline_us = model
+            .tasks
+            .iter()
+            .filter_map(|t| t.deadline.map(|d| d.as_us()))
+            .fold(f64::INFINITY, f64::min)
+            .min(1e12);
+        let coord_tasks: Vec<CoordTask> = model
+            .tasks
+            .iter()
+            .map(|t| {
+                let options = variants[&t.name]
+                    .iter()
+                    .enumerate()
+                    .map(|(vi, v)| ExecOption {
+                        label: format!("v{vi}"),
+                        core: "cpu0".into(),
+                        time_us: v.metrics.wcet_cycles as f64 / cfg.clock_mhz,
+                        energy_uj: v.metrics.wcec_pj / 1e6,
+                    })
+                    .collect();
+                let mut ct = CoordTask::new(t.name.clone(), options);
+                ct.after = t.after.clone();
+                ct.deadline_us = t.deadline.map(|d| d.as_us());
+                ct
+            })
+            .collect();
+        let set = TaskSet::new(coord_tasks, vec!["cpu0".into()], global_deadline_us)
+            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
+        let provisional = schedule_energy_aware(&set).map_err(WorkflowError::Unschedulable)?;
+
+        // 5. Final build: every task keeps its selected variant's config.
+        let mut chosen: HashMap<String, CompilerConfig> = HashMap::new();
+        let mut chosen_by_task: HashMap<String, CompilerConfig> = HashMap::new();
+        for task in &model.tasks {
+            let entry = provisional.entry(&task.name).expect("scheduled");
+            let vi: usize = entry.option.trim_start_matches('v').parse().expect("vN label");
+            let config = variants[&task.name][vi].config.clone();
+            chosen.insert(task.function.clone(), config.clone());
+            chosen_by_task.insert(task.name.clone(), config);
+        }
+        let default = CompilerConfig::balanced();
+        let program = compile_module_per_function(&ir, &chosen, &default)
+            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
+
+        // 6. Re-analyse the final binary (callees may now differ from the
+        //    per-variant estimates) and re-validate the schedule with the
+        //    final numbers.
+        let wcet = analyze_program(&program, &cfg.cycle_model)
+            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
+        let energy = analyze_program_energy(&program, &cfg.energy_model, &cfg.cycle_model)
+            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
+        let final_tasks: Vec<CoordTask> = model
+            .tasks
+            .iter()
+            .map(|t| {
+                let cycles = wcet.wcet_cycles(&t.function).expect("analysed");
+                let pj = energy.wcec_pj(&t.function).expect("analysed");
+                let mut ct = CoordTask::new(
+                    t.name.clone(),
+                    vec![ExecOption {
+                        label: "final".into(),
+                        core: "cpu0".into(),
+                        time_us: cycles as f64 / cfg.clock_mhz,
+                        energy_uj: pj / 1e6,
+                    }],
+                );
+                ct.after = t.after.clone();
+                ct.deadline_us = t.deadline.map(|d| d.as_us());
+                ct
+            })
+            .collect();
+        let final_set = TaskSet::new(final_tasks, vec!["cpu0".into()], global_deadline_us)
+            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
+        let schedule = schedule_energy_aware(&final_set).map_err(WorkflowError::Unschedulable)?;
+
+        // 7. SecurityAnalyser: measured leakage of secure tasks on the
+        //    final binary.
+        let mut leakage_reports: HashMap<String, LeakageReport> = HashMap::new();
+        for task in &model.tasks {
+            if task.security != Some(SecurityReq::ConstantTime) {
+                continue;
+            }
+            let func = ast.function(&task.function).expect("function exists");
+            if func.params.iter().any(|p| p.is_array) {
+                return Err(WorkflowError::Security(format!(
+                    "task `{}`: leakage assessment requires scalar parameters",
+                    task.name
+                )));
+            }
+            let arg_count = func.params.len();
+            let secret_idx = func
+                .params
+                .iter()
+                .position(|p| task.secrets.contains(&p.name))
+                .ok_or_else(|| {
+                    WorkflowError::Security(format!(
+                        "task `{}` has a security requirement but no secret parameter",
+                        task.name
+                    ))
+                })?;
+            let report = assess_leakage(
+                &program,
+                &task.function,
+                arg_count.max(1),
+                SecretSpec { arg_index: secret_idx, class0: 0x0F0F_0F0F, class1: -0x6543_2110 },
+                cfg.leakage_traces,
+                0..4096,
+                cfg.seed ^ 0x5EC0_0001,
+            )
+            .map_err(|e| WorkflowError::Security(e.to_string()))?;
+            leakage_reports.insert(task.name.clone(), report);
+        }
+
+        // 8. Contract system: prove every budget, emit the certificate.
+        let mut evidence: HashMap<String, TaskEvidence> = HashMap::new();
+        for task in &model.tasks {
+            let cycles = wcet.wcet_cycles(&task.function).expect("analysed");
+            let pj = energy.wcec_pj(&task.function).expect("analysed");
+            let finish = schedule.entry(&task.name).map(|e| e.finish_us);
+            evidence.insert(
+                task.name.clone(),
+                TaskEvidence {
+                    wcet_us: cycles as f64 / cfg.clock_mhz,
+                    wcec_pj: pj,
+                    residual_branches: ladder_reports.get(&task.name).map(|r| r.residual),
+                    leaks: leakage_reports.get(&task.name).map(|r| r.leaks()),
+                    finish_us: finish,
+                },
+            );
+        }
+        let certificate =
+            prove("teamplay-system", &model, &evidence).map_err(WorkflowError::Contract)?;
+
+        // 9. Coordination glue.
+        let glue = generate_parallel_glue(&final_set, &schedule);
+
+        let tasks = model
+            .tasks
+            .iter()
+            .map(|t| {
+                let ev = &evidence[&t.name];
+                TaskReport {
+                    name: t.name.clone(),
+                    function: t.function.clone(),
+                    selected_config: chosen_by_task[&t.name].clone(),
+                    variants_offered: variants[&t.name].len(),
+                    wcet_us: ev.wcet_us,
+                    wcec_uj: ev.wcec_pj / 1e6,
+                    ladder: ladder_reports.get(&t.name).copied(),
+                    leakage: leakage_reports.get(&t.name).copied(),
+                }
+            })
+            .collect();
+
+        Ok(PredictableOutcome {
+            program,
+            model,
+            schedule,
+            certificate,
+            evidence,
+            tasks,
+            glue,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamplay_contracts::verify_certificate;
+
+    fn pill_workflow() -> PredictableWorkflow {
+        let mut cfg = WorkflowConfig::pg32();
+        cfg.fpa = FpaConfig::tiny();
+        cfg.leakage_traces = 24;
+        PredictableWorkflow::new(cfg)
+    }
+
+    #[test]
+    fn camera_pill_pipeline_certifies_end_to_end() {
+        let outcome =
+            pill_workflow().run(teamplay_apps::camera_pill::SOURCE).expect("workflow succeeds");
+        assert_eq!(outcome.tasks.len(), 4);
+        // The certificate re-verifies against the emitted evidence.
+        verify_certificate(&outcome.certificate, &outcome.evidence).expect("certificate checks");
+        // Secure task was hardened and measured clean.
+        let encrypt = outcome.tasks.iter().find(|t| t.name == "encrypt").expect("encrypt");
+        assert!(encrypt.ladder.expect("hardened").fully_hardened());
+        assert!(!encrypt.leakage.expect("measured").leaks());
+        // Glue mentions every task.
+        for t in &outcome.tasks {
+            assert!(outcome.glue.contains(&format!("task_{}", t.name)), "{}", outcome.glue);
+        }
+        // Schedule respects the pipeline deadline.
+        assert!(outcome.schedule.makespan_us <= 40_000.0);
+    }
+
+    #[test]
+    fn missing_task_annotations_are_rejected() {
+        let err = pill_workflow().run("int f() { return 0; }").unwrap_err();
+        assert!(matches!(err, WorkflowError::NoTasks));
+    }
+
+    #[test]
+    fn impossible_budget_fails_the_contract_with_feedback() {
+        let src = r#"
+            /*@ task busy period(10ms) deadline(10ms) wcet_budget(1us) energy_budget(1pJ) @*/
+            void busy() {
+                int s = 0;
+                for (int i = 0; i < 1000; i = i + 1) { s = s + i; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        match pill_workflow().run(src) {
+            Err(WorkflowError::Contract(e)) => {
+                assert!(!e.violations.is_empty());
+                let text = e.to_string();
+                assert!(text.contains("busy"), "{text}");
+            }
+            other => panic!("expected contract failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unschedulable_deadline_is_detected() {
+        let src = r#"
+            /*@ task heavy period(1ms) deadline(5us) @*/
+            void heavy() {
+                int s = 0;
+                for (int i = 0; i < 5000; i = i + 1) { s = s + i * i; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        match pill_workflow().run(src) {
+            Err(WorkflowError::Unschedulable(_)) => {}
+            other => panic!("expected unschedulable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_loops_are_reported_as_compile_failure() {
+        let src = r#"
+            /*@ task spin deadline(10ms) @*/
+            void spin(int n) {
+                int s = 0;
+                while (n > 0) { n = n - 1; s = s + 1; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        match pill_workflow().run(src) {
+            Err(WorkflowError::Compile(msg)) => assert!(msg.contains("spin"), "{msg}"),
+            other => panic!("expected compile failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn secure_task_with_unconvertible_branching_is_rejected() {
+        let src = r#"
+            /*@ task leaky security(ct) secret(k) deadline(10ms) @*/
+            void leaky(int k) {
+                int s = 0;
+                /*@ loop bound(64) @*/
+                while (k > 0) { k = k - 1; s = s + 1; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        match pill_workflow().run(src) {
+            Err(WorkflowError::ResidualLeakRisk { task, report }) => {
+                assert_eq!(task, "leaky");
+                assert!(report.residual >= 1);
+            }
+            other => panic!("expected residual risk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workflow_is_deterministic() {
+        let src = teamplay_apps::camera_pill::SOURCE;
+        let a = pill_workflow().run(src).expect("run a");
+        let b = pill_workflow().run(src).expect("run b");
+        assert_eq!(a.certificate, b.certificate);
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,30 @@
+//! # teamplay-csl — the Contract Specification Language
+//!
+//! CSL (paper ref \[1\]) is how ETS properties become *first-class citizens
+//! of the source program*: `/*@ ... @*/` annotations attach timing,
+//! energy and security contracts to code, and describe the application's
+//! task structure for the coordination layer. This crate owns the
+//! annotation grammar and the extraction of the task model:
+//!
+//! ```text
+//! /*@ task capture period(40ms) deadline(40ms)
+//!       wcet_budget(5ms) energy_budget(3mJ)
+//!       on(core0) @*/
+//! void capture_frame() { ... }
+//!
+//! /*@ task encrypt after(capture) security(ct) secret(key)
+//!       wcet_budget(2ms) energy_budget(1500uJ) @*/
+//! void encrypt_frame(int key) { ... }
+//! ```
+//!
+//! The CSL layer gathers the **points of interest** (annotated
+//! functions), their ETS budgets, and the task dependency graph
+//! (Fig. 1/2, "CSL compiler"). Downstream, `teamplay-compiler` optimises
+//! each task, `teamplay-coord` schedules the graph, and
+//! `teamplay-contracts` proves the budgets.
+
+pub mod clause;
+pub mod model;
+
+pub use clause::{parse_clauses, ClauseParseError, CslClause, EnergyValue, SecurityReq, TimeValue};
+pub use model::{extract_model, CslError, CslModel, TaskSpec};

@@ -1,0 +1,310 @@
+//! Task-model extraction from annotated Mini-C programs.
+//!
+//! The CSL layer of the toolchain (Fig. 1/2) scans the annotated source,
+//! collects the points of interest and produces the task graph handed to
+//! the compiler, the contract system and the coordination layer.
+
+use crate::clause::{parse_clauses, ClauseParseError, CslClause, EnergyValue, SecurityReq, TimeValue};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use teamplay_minic::ast::Program;
+
+/// A task extracted from an annotated function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task name (from the `task` clause).
+    pub name: String,
+    /// The Mini-C function implementing the task.
+    pub function: String,
+    /// Release period, if periodic.
+    pub period: Option<TimeValue>,
+    /// Relative deadline.
+    pub deadline: Option<TimeValue>,
+    /// Contracted WCET budget.
+    pub wcet_budget: Option<TimeValue>,
+    /// Contracted energy budget per activation.
+    pub energy_budget: Option<EnergyValue>,
+    /// Security requirement, if any.
+    pub security: Option<SecurityReq>,
+    /// Parameters holding secrets.
+    pub secrets: Vec<String>,
+    /// Names of tasks that must complete first.
+    pub after: Vec<String>,
+}
+
+/// Extraction errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CslError {
+    /// A clause failed to parse, with its function for context.
+    Clause {
+        /// Function whose annotation is malformed.
+        function: String,
+        /// Underlying error.
+        error: ClauseParseError,
+    },
+    /// Two tasks share a name.
+    DuplicateTask(String),
+    /// An `after` clause names an unknown task.
+    UnknownDependency {
+        /// The dependent task.
+        task: String,
+        /// The missing dependency.
+        missing: String,
+    },
+    /// The dependency graph has a cycle through this task.
+    CyclicDependencies(String),
+    /// A `secret` clause names a parameter the function does not have.
+    UnknownSecret {
+        /// The task.
+        task: String,
+        /// The missing parameter.
+        param: String,
+    },
+}
+
+impl fmt::Display for CslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CslError::Clause { function, error } => {
+                write!(f, "in annotations of `{function}`: {error}")
+            }
+            CslError::DuplicateTask(name) => write!(f, "duplicate task `{name}`"),
+            CslError::UnknownDependency { task, missing } => {
+                write!(f, "task `{task}` depends on unknown task `{missing}`")
+            }
+            CslError::CyclicDependencies(task) => {
+                write!(f, "cyclic task dependencies through `{task}`")
+            }
+            CslError::UnknownSecret { task, param } => {
+                write!(f, "task `{task}` declares unknown secret parameter `{param}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CslError {}
+
+/// The extracted CSL model: tasks plus their dependency graph.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CslModel {
+    /// All tasks in annotation order.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl CslModel {
+    /// Look up a task by name.
+    pub fn task(&self, name: &str) -> Option<&TaskSpec> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Task names in a topological order of the dependency graph
+    /// (dependencies first). The model is validated acyclic on
+    /// extraction.
+    pub fn topological_order(&self) -> Vec<&str> {
+        let mut indegree: HashMap<&str, usize> =
+            self.tasks.iter().map(|t| (t.name.as_str(), t.after.len())).collect();
+        let mut order: Vec<&str> = Vec::with_capacity(self.tasks.len());
+        let mut ready: Vec<&str> = self
+            .tasks
+            .iter()
+            .filter(|t| t.after.is_empty())
+            .map(|t| t.name.as_str())
+            .collect();
+        while let Some(next) = ready.pop() {
+            order.push(next);
+            for t in &self.tasks {
+                if t.after.iter().any(|d| d == next) {
+                    let e = indegree.get_mut(t.name.as_str()).expect("task indexed");
+                    *e -= 1;
+                    if *e == 0 {
+                        ready.push(t.name.as_str());
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Direct successors of a task in the dependency graph.
+    pub fn successors(&self, name: &str) -> Vec<&str> {
+        self.tasks
+            .iter()
+            .filter(|t| t.after.iter().any(|d| d == name))
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+}
+
+/// Extract the CSL task model from a type-checked program.
+///
+/// # Errors
+/// See [`CslError`] — malformed clauses, duplicate/unknown tasks,
+/// dependency cycles and unknown secret parameters are all rejected.
+pub fn extract_model(program: &Program) -> Result<CslModel, CslError> {
+    let mut tasks: Vec<TaskSpec> = Vec::new();
+    for func in program.functions() {
+        let mut clauses = Vec::new();
+        for ann in &func.annotations {
+            let parsed = parse_clauses(&ann.text).map_err(|error| CslError::Clause {
+                function: func.name.clone(),
+                error,
+            })?;
+            clauses.extend(parsed);
+        }
+        let Some(name) = clauses.iter().find_map(|c| match c {
+            CslClause::Task(n) => Some(n.clone()),
+            _ => None,
+        }) else {
+            continue; // annotated but not a task (e.g. only `secret`)
+        };
+        let mut spec = TaskSpec {
+            name,
+            function: func.name.clone(),
+            period: None,
+            deadline: None,
+            wcet_budget: None,
+            energy_budget: None,
+            security: None,
+            secrets: Vec::new(),
+            after: Vec::new(),
+        };
+        for c in clauses {
+            match c {
+                CslClause::Task(_) | CslClause::LoopBound(_) => {}
+                CslClause::Period(t) => spec.period = Some(t),
+                CslClause::Deadline(t) => spec.deadline = Some(t),
+                CslClause::WcetBudget(t) => spec.wcet_budget = Some(t),
+                CslClause::EnergyBudget(e) => spec.energy_budget = Some(e),
+                CslClause::Security(s) => spec.security = Some(s),
+                CslClause::Secret(p) => spec.secrets.push(p),
+                CslClause::After(deps) => spec.after.extend(deps),
+            }
+        }
+        for s in &spec.secrets {
+            if !func.params.iter().any(|p| &p.name == s) {
+                return Err(CslError::UnknownSecret { task: spec.name, param: s.clone() });
+            }
+        }
+        if tasks.iter().any(|t| t.name == spec.name) {
+            return Err(CslError::DuplicateTask(spec.name));
+        }
+        tasks.push(spec);
+    }
+
+    // Validate dependencies.
+    let names: HashSet<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+    for t in &tasks {
+        for d in &t.after {
+            if !names.contains(d.as_str()) {
+                return Err(CslError::UnknownDependency {
+                    task: t.name.clone(),
+                    missing: d.clone(),
+                });
+            }
+        }
+    }
+    let model = CslModel { tasks };
+    if model.topological_order().len() != model.tasks.len() {
+        let name = model.tasks.first().map(|t| t.name.clone()).unwrap_or_default();
+        return Err(CslError::CyclicDependencies(name));
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamplay_minic::parse_and_check;
+
+    const PIPELINE: &str = "
+        /*@ task capture period(40ms) deadline(40ms) wcet_budget(5ms) energy_budget(3mJ) @*/
+        void capture() { return; }
+
+        /*@ task compress after(capture) wcet_budget(10ms) energy_budget(4mJ) @*/
+        void compress() { return; }
+
+        /*@ task encrypt after(compress) security(ct) secret(key) wcet_budget(2ms) energy_budget(1500uJ) @*/
+        void encrypt(int key) { return; }
+
+        /*@ task transmit after(encrypt) deadline(40ms) energy_budget(8mJ) @*/
+        void transmit() { return; }
+
+        int helper(int x) { return x + 1; }
+    ";
+
+    fn model(src: &str) -> Result<CslModel, CslError> {
+        extract_model(&parse_and_check(src).expect("front-end"))
+    }
+
+    #[test]
+    fn extracts_the_full_pipeline() {
+        let m = model(PIPELINE).expect("extract");
+        assert_eq!(m.tasks.len(), 4);
+        let encrypt = m.task("encrypt").expect("encrypt");
+        assert_eq!(encrypt.function, "encrypt");
+        assert_eq!(encrypt.secrets, vec!["key".to_string()]);
+        assert_eq!(encrypt.security, Some(SecurityReq::ConstantTime));
+        assert_eq!(encrypt.after, vec!["compress".to_string()]);
+        assert!(encrypt.wcet_budget.expect("budget").as_ms() == 2.0);
+        assert!(m.task("helper").is_none(), "unannotated functions are not tasks");
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let m = model(PIPELINE).expect("extract");
+        let order = m.topological_order();
+        let pos = |n: &str| order.iter().position(|x| *x == n).expect("present");
+        assert!(pos("capture") < pos("compress"));
+        assert!(pos("compress") < pos("encrypt"));
+        assert!(pos("encrypt") < pos("transmit"));
+    }
+
+    #[test]
+    fn successors_follow_edges() {
+        let m = model(PIPELINE).expect("extract");
+        assert_eq!(m.successors("capture"), vec!["compress"]);
+        assert!(m.successors("transmit").is_empty());
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let src = "/*@ task t @*/ void a() { return; } /*@ task t @*/ void b() { return; }";
+        assert!(matches!(model(src), Err(CslError::DuplicateTask(_))));
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let src = "/*@ task a after(ghost) @*/ void a() { return; }";
+        assert!(matches!(model(src), Err(CslError::UnknownDependency { .. })));
+    }
+
+    #[test]
+    fn cyclic_dependencies_rejected() {
+        let src = "/*@ task a after(b) @*/ void fa() { return; }
+                   /*@ task b after(a) @*/ void fb() { return; }";
+        assert!(matches!(model(src), Err(CslError::CyclicDependencies(_))));
+    }
+
+    #[test]
+    fn unknown_secret_rejected() {
+        let src = "/*@ task a secret(nokey) @*/ void a(int key) { return; }";
+        assert!(matches!(model(src), Err(CslError::UnknownSecret { .. })));
+    }
+
+    #[test]
+    fn malformed_clause_names_the_function() {
+        let src = "/*@ task a period(10 parsecs) @*/ void a() { return; }";
+        match model(src) {
+            Err(CslError::Clause { function, .. }) => assert_eq!(function, "a"),
+            other => panic!("expected clause error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn annotation_without_task_clause_is_not_a_task() {
+        let src = "/*@ secret(key) @*/ int f(int key) { return key; }";
+        let m = model(src).expect("extract");
+        assert!(m.tasks.is_empty());
+    }
+}

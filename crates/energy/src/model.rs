@@ -1,0 +1,162 @@
+//! The analytical ISA-level energy model.
+//!
+//! Structure follows paper refs \[8\]/\[9\]: per-class base energy,
+//! inter-instruction (circuit-state) overhead, per-cycle leakage, and a
+//! per-register stack-transfer cost. Two constructors matter:
+//!
+//! * [`IsaEnergyModel::pg32_datasheet`] — the hand-characterised model a
+//!   tool vendor would ship: rounded numbers, a single pessimistic
+//!   overhead constant, everything ≥ the true silicon cost so that
+//!   worst-case claims stay safe.
+//! * [`IsaEnergyModel::from_coefficients`] — built by the fitting flow
+//!   from measurements; accurate on average but not guaranteed
+//!   conservative (used for estimation, not certification).
+
+use serde::{Deserialize, Serialize};
+use teamplay_isa::{EnergyClass, ENERGY_CLASS_COUNT};
+
+/// An analytical per-instruction energy model (all values picojoules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsaEnergyModel {
+    /// Base dynamic energy per class.
+    pub base: [f64; ENERGY_CLASS_COUNT],
+    /// Pessimistic inter-instruction overhead applied between *any* two
+    /// instructions of different classes (the datasheet abstraction of
+    /// the full pairwise matrix).
+    pub overhead: f64,
+    /// Static leakage per cycle.
+    pub leakage_per_cycle: f64,
+    /// Extra energy per register moved by push/pop.
+    pub stack_per_reg: f64,
+    /// `true` if every coefficient is intended as an upper bound (safe
+    /// for WCEC); fitted models set this to `false`.
+    pub conservative: bool,
+}
+
+impl IsaEnergyModel {
+    /// The shipped PG32 characterisation: rounded, conservative numbers.
+    pub fn pg32_datasheet() -> IsaEnergyModel {
+        IsaEnergyModel {
+            base: [
+                850.0,  // Alu
+                3600.0, // Mul
+                4500.0, // Div
+                1750.0, // Load
+                1600.0, // Store
+                1200.0, // Branch
+                1250.0, // Stack
+                3100.0, // Io
+                450.0,  // Idle
+            ],
+            overhead: 260.0, // ≥ max true pairwise overhead
+            leakage_per_cycle: 100.0,
+            stack_per_reg: 260.0,
+            conservative: true,
+        }
+    }
+
+    /// A LEON3 characterisation matching the costlier rad-hard memory
+    /// subsystem.
+    pub fn leon3_datasheet() -> IsaEnergyModel {
+        let mut m = IsaEnergyModel::pg32_datasheet();
+        m.base[EnergyClass::Load.index()] *= 1.6;
+        m.base[EnergyClass::Store.index()] *= 1.6;
+        m.leakage_per_cycle = 220.0;
+        m
+    }
+
+    /// Build a model from fitted per-class coefficients (overhead folded
+    /// into the class averages, as the regression cannot separate them).
+    pub fn from_coefficients(
+        base: [f64; ENERGY_CLASS_COUNT],
+        leakage_per_cycle: f64,
+    ) -> IsaEnergyModel {
+        IsaEnergyModel {
+            base,
+            overhead: 0.0,
+            leakage_per_cycle,
+            stack_per_reg: 0.0,
+            conservative: false,
+        }
+    }
+
+    /// Base energy of a class.
+    pub fn base(&self, class: EnergyClass) -> f64 {
+        self.base[class.index()]
+    }
+
+    /// Worst-case energy of one instruction occurrence: base + overhead
+    /// (+ stack-transfer costs), excluding leakage.
+    pub fn worst_case_insn(&self, class: EnergyClass, regs_moved: usize) -> f64 {
+        let mut e = self.base(class) + self.overhead;
+        if class == EnergyClass::Stack {
+            e += self.stack_per_reg * regs_moved as f64;
+        }
+        e
+    }
+
+    /// Predicted energy for a whole run from per-class retirement counts
+    /// and total cycles — the estimation interface used when comparing
+    /// against measurements.
+    pub fn predict_pj(&self, class_counts: &[u64; ENERGY_CLASS_COUNT], cycles: u64) -> f64 {
+        let mut e = self.leakage_per_cycle * cycles as f64;
+        for (class, count) in EnergyClass::ALL.iter().zip(class_counts) {
+            e += self.base(*class) * *count as f64;
+            if !self.conservative {
+                continue;
+            }
+            // A conservative model charges the pessimistic overhead on
+            // every instruction.
+            e += self.overhead * *count as f64;
+        }
+        e
+    }
+}
+
+impl Default for IsaEnergyModel {
+    fn default() -> Self {
+        IsaEnergyModel::pg32_datasheet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_is_marked_conservative() {
+        let m = IsaEnergyModel::pg32_datasheet();
+        assert!(m.conservative);
+        for c in EnergyClass::ALL {
+            assert!(m.base(c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn worst_case_includes_overhead_and_stack() {
+        let m = IsaEnergyModel::pg32_datasheet();
+        let alu = m.worst_case_insn(EnergyClass::Alu, 0);
+        assert!((alu - m.base(EnergyClass::Alu) - m.overhead).abs() < 1e-9);
+        let stack3 = m.worst_case_insn(EnergyClass::Stack, 3);
+        let stack1 = m.worst_case_insn(EnergyClass::Stack, 1);
+        assert!((stack3 - stack1 - 2.0 * m.stack_per_reg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_scales_linearly() {
+        let m = IsaEnergyModel::pg32_datasheet();
+        let mut counts = [0u64; ENERGY_CLASS_COUNT];
+        counts[EnergyClass::Alu.index()] = 10;
+        let e10 = m.predict_pj(&counts, 10);
+        counts[EnergyClass::Alu.index()] = 20;
+        let e20 = m.predict_pj(&counts, 20);
+        assert!((e20 - 2.0 * e10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leon3_memory_is_costlier_than_pg32() {
+        let pg = IsaEnergyModel::pg32_datasheet();
+        let leon = IsaEnergyModel::leon3_datasheet();
+        assert!(leon.base(EnergyClass::Load) > pg.base(EnergyClass::Load));
+    }
+}

@@ -1,0 +1,151 @@
+//! Instruction energy taxonomy.
+//!
+//! Both the analytical energy model (paper refs \[8\], \[9\]: Tiwari-style
+//! "base cost + circuit-state overhead" models for the Cortex-M0 and the
+//! GR712RC) and the simulator's hidden ground-truth model are expressed
+//! over a small number of *energy classes* rather than individual opcodes —
+//! exactly the abstraction level those references found sufficient for
+//! < 5 % prediction error.
+
+use crate::insn::{AluOp, Insn};
+use crate::program::Terminator;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of [`EnergyClass`] variants (size of the overhead matrix).
+pub const ENERGY_CLASS_COUNT: usize = 9;
+
+/// Coarse per-instruction energy class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EnergyClass {
+    /// Single-cycle ALU datapath (add/sub/logic/shift/cmp/mov/csel).
+    Alu,
+    /// Hardware multiplier (fast, power-hungry).
+    Mul,
+    /// Iterative divider.
+    Div,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Control transfer (branches, call, return).
+    Branch,
+    /// Stack multi-transfer (push/pop), per instruction.
+    Stack,
+    /// Port I/O (radio, sensors) — dominated by pad drivers.
+    Io,
+    /// Pipeline idle (`nop`, stalls).
+    Idle,
+}
+
+impl EnergyClass {
+    /// All classes in matrix order.
+    pub const ALL: [EnergyClass; ENERGY_CLASS_COUNT] = [
+        EnergyClass::Alu,
+        EnergyClass::Mul,
+        EnergyClass::Div,
+        EnergyClass::Load,
+        EnergyClass::Store,
+        EnergyClass::Branch,
+        EnergyClass::Stack,
+        EnergyClass::Io,
+        EnergyClass::Idle,
+    ];
+
+    /// Index into the class-overhead matrix.
+    pub fn index(self) -> usize {
+        match self {
+            EnergyClass::Alu => 0,
+            EnergyClass::Mul => 1,
+            EnergyClass::Div => 2,
+            EnergyClass::Load => 3,
+            EnergyClass::Store => 4,
+            EnergyClass::Branch => 5,
+            EnergyClass::Stack => 6,
+            EnergyClass::Io => 7,
+            EnergyClass::Idle => 8,
+        }
+    }
+
+    /// Classify an instruction.
+    pub fn of_insn(insn: &Insn) -> EnergyClass {
+        match insn {
+            Insn::Alu { op, .. } => match op {
+                AluOp::Mul => EnergyClass::Mul,
+                AluOp::Div | AluOp::Rem => EnergyClass::Div,
+                _ => EnergyClass::Alu,
+            },
+            Insn::Mov { .. } | Insn::MovImm32 { .. } | Insn::Cmp { .. } | Insn::Csel { .. } => {
+                EnergyClass::Alu
+            }
+            Insn::Ldr { .. } => EnergyClass::Load,
+            Insn::Str { .. } => EnergyClass::Store,
+            Insn::Push { .. } | Insn::Pop { .. } => EnergyClass::Stack,
+            Insn::Call { .. } => EnergyClass::Branch,
+            Insn::In { .. } | Insn::Out { .. } => EnergyClass::Io,
+            Insn::Nop => EnergyClass::Idle,
+        }
+    }
+
+    /// Classify a block terminator.
+    pub fn of_terminator(t: &Terminator) -> EnergyClass {
+        match t {
+            Terminator::Branch(_) | Terminator::CondBranch { .. } | Terminator::Return => {
+                EnergyClass::Branch
+            }
+            Terminator::Halt => EnergyClass::Idle,
+        }
+    }
+}
+
+impl fmt::Display for EnergyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EnergyClass::Alu => "alu",
+            EnergyClass::Mul => "mul",
+            EnergyClass::Div => "div",
+            EnergyClass::Load => "load",
+            EnergyClass::Store => "store",
+            EnergyClass::Branch => "branch",
+            EnergyClass::Stack => "stack",
+            EnergyClass::Io => "io",
+            EnergyClass::Idle => "idle",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Operand, Reg};
+
+    #[test]
+    fn indices_are_a_bijection() {
+        for (i, c) in EnergyClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(EnergyClass::ALL.len(), ENERGY_CLASS_COUNT);
+    }
+
+    #[test]
+    fn classification_covers_key_opcodes() {
+        let mul = Insn::Alu { op: AluOp::Mul, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R1) };
+        assert_eq!(EnergyClass::of_insn(&mul), EnergyClass::Mul);
+        let shl = Insn::Alu { op: AluOp::Lsl, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(3) };
+        assert_eq!(EnergyClass::of_insn(&shl), EnergyClass::Alu);
+        let outp = Insn::Out { rs: Reg::R0, port: 1 };
+        assert_eq!(EnergyClass::of_insn(&outp), EnergyClass::Io);
+        assert_eq!(EnergyClass::of_insn(&Insn::Nop), EnergyClass::Idle);
+    }
+
+    #[test]
+    fn terminators_are_branch_class_except_halt() {
+        use crate::program::BlockId;
+        assert_eq!(
+            EnergyClass::of_terminator(&Terminator::Branch(BlockId(0))),
+            EnergyClass::Branch
+        );
+        assert_eq!(EnergyClass::of_terminator(&Terminator::Halt), EnergyClass::Idle);
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic data layout shared by the code generator and the
+//! simulator.
+//!
+//! The compiler needs global addresses at code-generation time and the
+//! simulator needs the same addresses at load time; both sides call
+//! [`DataLayout::of_program`] so they can never disagree.
+
+use crate::program::Program;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Base byte address of the data segment.
+pub const DATA_BASE: u32 = 0x1000;
+/// Total simulated memory in bytes (1 MiB).
+pub const MEMORY_BYTES: u32 = 0x10_0000;
+/// Initial stack pointer (top of memory, full-descending).
+pub const STACK_TOP: u32 = MEMORY_BYTES;
+
+/// Byte addresses assigned to every global symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DataLayout {
+    addresses: BTreeMap<String, u32>,
+    data_end: u32,
+}
+
+impl DataLayout {
+    /// Compute the layout of a program's globals: symbols are placed in
+    /// name order starting at [`DATA_BASE`], word-aligned, with no
+    /// padding between them.
+    pub fn of_program(program: &Program) -> DataLayout {
+        let mut addresses = BTreeMap::new();
+        let mut cursor = DATA_BASE;
+        for (name, words) in &program.globals {
+            addresses.insert(name.clone(), cursor);
+            cursor += (words.len() as u32) * 4;
+        }
+        DataLayout { addresses, data_end: cursor }
+    }
+
+    /// Byte address of a global symbol.
+    pub fn address(&self, name: &str) -> Option<u32> {
+        self.addresses.get(name).copied()
+    }
+
+    /// First byte past the data segment.
+    pub fn data_end(&self) -> u32 {
+        self.data_end
+    }
+
+    /// Iterate `(symbol, address)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.addresses.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    #[test]
+    fn layout_is_deterministic_and_packed() {
+        let mut p = Program::new();
+        p.globals.insert("beta".into(), vec![0; 3]);
+        p.globals.insert("alpha".into(), vec![0; 2]);
+        let layout = DataLayout::of_program(&p);
+        // BTreeMap order: alpha first.
+        assert_eq!(layout.address("alpha"), Some(DATA_BASE));
+        assert_eq!(layout.address("beta"), Some(DATA_BASE + 8));
+        assert_eq!(layout.data_end(), DATA_BASE + 8 + 12);
+        assert_eq!(layout.address("gamma"), None);
+    }
+
+    #[test]
+    fn empty_program_has_empty_segment() {
+        let layout = DataLayout::of_program(&Program::new());
+        assert_eq!(layout.data_end(), DATA_BASE);
+        assert_eq!(layout.iter().count(), 0);
+    }
+}

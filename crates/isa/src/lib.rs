@@ -1,0 +1,44 @@
+//! # teamplay-isa — the PG32 predictable instruction set
+//!
+//! The TeamPlay predictable-architecture workflow (paper Fig. 1) targets
+//! deterministic cores such as the ARM Cortex-M0 and the Gaisler LEON3FT,
+//! whose per-instruction cycle counts can be derived statically. This crate
+//! defines **PG32**, a synthetic 32-bit predictable ISA that plays the role
+//! of those cores throughout the reproduction:
+//!
+//! * [`Insn`] — the instruction set (ALU, memory, control flow, ports),
+//! * [`Program`], [`Function`], [`Block`] — CFG-structured assembly,
+//! * [`CycleModel`] — the deterministic timing model used by the WCET
+//!   analyser and by the cycle simulator,
+//! * [`EnergyClass`] — the Tiwari-style instruction taxonomy shared by the
+//!   analytical energy model and the simulator's hidden ground-truth model,
+//! * [`encode`] — a binary encoding with a lossless decoder, used to give
+//!   programs a realistic code-size metric.
+//!
+//! PG32 is deliberately small but complete: the Mini-C compiler in
+//! `teamplay-compiler` emits it, `teamplay-sim` executes it cycle by cycle,
+//! and `teamplay-wcet` / `teamplay-energy` analyse it statically.
+//!
+//! ```
+//! use teamplay_isa::{AluOp, CycleModel, Insn, Operand, Reg};
+//!
+//! let add = Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R1, src: Operand::Imm(4) };
+//! let model = CycleModel::pg32();
+//! assert_eq!(model.cycles(&add, false), 1);
+//! ```
+
+pub mod asm;
+pub mod energy_class;
+pub mod encode;
+pub mod insn;
+pub mod layout;
+pub mod program;
+pub mod timing;
+
+pub use asm::{parse_function, parse_program, render_function, render_program, AsmParseError};
+pub use energy_class::{EnergyClass, ENERGY_CLASS_COUNT};
+pub use encode::{decode_insn, encode_insn, DecodeInsnError};
+pub use insn::{AluOp, Cond, Insn, Operand, Reg};
+pub use layout::{DataLayout, DATA_BASE, MEMORY_BYTES, STACK_TOP};
+pub use program::{Block, BlockId, Function, Program, Terminator};
+pub use timing::CycleModel;

@@ -1,0 +1,230 @@
+//! The PG32 deterministic timing model.
+//!
+//! Predictable architectures are defined by the paper as those where "the
+//! number of cycles that an instruction takes to execute can be statically
+//! determined" (Section II-A). [`CycleModel`] is that determination: a pure
+//! table from instruction (and branch outcome) to cycles, shared verbatim by
+//! the static WCET analyser and the cycle simulator, so the two can never
+//! disagree about the cost of an instruction — only about which path
+//! executes.
+
+use crate::insn::{AluOp, Insn, Operand};
+use crate::program::Terminator;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic cycle costs for PG32.
+///
+/// The default [`CycleModel::pg32`] numbers follow the Cortex-M0 profile:
+/// single-cycle ALU, 2-cycle memory, 3-cycle taken branches, with a
+/// single-cycle fast multiplier and a 12-cycle iterative divider.
+///
+/// ```
+/// use teamplay_isa::{CycleModel, Insn, Reg, Operand};
+/// let m = CycleModel::pg32();
+/// let ldr = Insn::Ldr { rd: Reg::R0, base: Reg::SP, offset: Operand::Imm(0) };
+/// assert_eq!(m.cycles(&ldr, false), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleModel {
+    /// Single-cycle ALU operations (add/sub/logic/shift).
+    pub alu: u64,
+    /// Hardware multiply.
+    pub mul: u64,
+    /// Iterative divide / remainder.
+    pub div: u64,
+    /// Word load.
+    pub load: u64,
+    /// Word store.
+    pub store: u64,
+    /// Register/immediate move.
+    pub mov: u64,
+    /// 32-bit constant materialisation (extra literal fetch).
+    pub mov32: u64,
+    /// Compare.
+    pub cmp: u64,
+    /// Conditional select (constant time by design).
+    pub csel: u64,
+    /// Per-register cost of push/pop, plus one base cycle.
+    pub push_pop_per_reg: u64,
+    /// Call (pipeline refill + link).
+    pub call: u64,
+    /// Return.
+    pub ret: u64,
+    /// Unconditional branch.
+    pub branch: u64,
+    /// Conditional branch when taken.
+    pub cond_taken: u64,
+    /// Conditional branch when not taken (fall through).
+    pub cond_not_taken: u64,
+    /// Port input.
+    pub port_in: u64,
+    /// Port output.
+    pub port_out: u64,
+    /// `nop` and `halt`.
+    pub nop: u64,
+}
+
+impl CycleModel {
+    /// The reference PG32 (Cortex-M0-like) timing.
+    pub fn pg32() -> CycleModel {
+        CycleModel {
+            alu: 1,
+            mul: 1,
+            div: 12,
+            load: 2,
+            store: 2,
+            mov: 1,
+            mov32: 2,
+            cmp: 1,
+            csel: 1,
+            push_pop_per_reg: 1,
+            call: 4,
+            ret: 4,
+            branch: 3,
+            cond_taken: 3,
+            cond_not_taken: 1,
+            port_in: 2,
+            port_out: 2,
+            nop: 1,
+        }
+    }
+
+    /// A LEON3-flavoured variant: slightly slower memory (SDRAM wait
+    /// states) and a 35-cycle divider, used by the SpaceWire use case.
+    pub fn leon3() -> CycleModel {
+        CycleModel {
+            load: 3,
+            store: 3,
+            div: 35,
+            mul: 2,
+            ..CycleModel::pg32()
+        }
+    }
+
+    /// Cycles for one instruction. `branch_taken` is ignored for
+    /// non-branching instructions (every [`Insn`] is non-branching; the
+    /// flag exists so the same signature also serves terminators via
+    /// [`CycleModel::terminator_cycles`]).
+    pub fn cycles(&self, insn: &Insn, _branch_taken: bool) -> u64 {
+        match insn {
+            Insn::Alu { op, .. } => match op {
+                AluOp::Mul => self.mul,
+                AluOp::Div | AluOp::Rem => self.div,
+                _ => self.alu,
+            },
+            Insn::Mov { src, .. } => match src {
+                Operand::Reg(_) | Operand::Imm(_) => self.mov,
+            },
+            Insn::MovImm32 { .. } => self.mov32,
+            Insn::Cmp { .. } => self.cmp,
+            Insn::Csel { .. } => self.csel,
+            Insn::Ldr { .. } => self.load,
+            Insn::Str { .. } => self.store,
+            Insn::Push { regs } | Insn::Pop { regs } => 1 + self.push_pop_per_reg * regs.len() as u64,
+            Insn::Call { .. } => self.call,
+            Insn::In { .. } => self.port_in,
+            Insn::Out { .. } => self.port_out,
+            Insn::Nop => self.nop,
+        }
+    }
+
+    /// Cycles consumed by a block terminator. For conditional branches the
+    /// `taken` flag selects between the two costs; static analysis uses
+    /// [`CycleModel::terminator_worst_case`] instead.
+    pub fn terminator_cycles(&self, t: &Terminator, taken: bool) -> u64 {
+        match t {
+            Terminator::Branch(_) => self.branch,
+            Terminator::CondBranch { .. } => {
+                if taken {
+                    self.cond_taken
+                } else {
+                    self.cond_not_taken
+                }
+            }
+            Terminator::Return => self.ret,
+            Terminator::Halt => self.nop,
+        }
+    }
+
+    /// The safe upper bound on a terminator's cost, used by the WCET
+    /// analyser when the branch outcome is unknown.
+    pub fn terminator_worst_case(&self, t: &Terminator) -> u64 {
+        match t {
+            Terminator::Branch(_) => self.branch,
+            Terminator::CondBranch { .. } => self.cond_taken.max(self.cond_not_taken),
+            Terminator::Return => self.ret,
+            Terminator::Halt => self.nop,
+        }
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel::pg32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Cond, Reg};
+
+    #[test]
+    fn alu_classes_have_distinct_costs() {
+        let m = CycleModel::pg32();
+        let add = Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(1) };
+        let mul = Insn::Alu { op: AluOp::Mul, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R1) };
+        let div = Insn::Alu { op: AluOp::Div, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R1) };
+        assert_eq!(m.cycles(&add, false), 1);
+        assert_eq!(m.cycles(&mul, false), 1);
+        assert_eq!(m.cycles(&div, false), 12);
+    }
+
+    #[test]
+    fn push_pop_scales_with_register_count() {
+        let m = CycleModel::pg32();
+        let p1 = Insn::Push { regs: vec![Reg::R4] };
+        let p3 = Insn::Push { regs: vec![Reg::R4, Reg::R5, Reg::R6] };
+        assert_eq!(m.cycles(&p3, false) - m.cycles(&p1, false), 2);
+    }
+
+    #[test]
+    fn conditional_branch_costs_depend_on_outcome() {
+        let m = CycleModel::pg32();
+        let t = Terminator::CondBranch {
+            cond: Cond::Eq,
+            taken: crate::program::BlockId(0),
+            fallthrough: crate::program::BlockId(1),
+        };
+        assert_eq!(m.terminator_cycles(&t, true), 3);
+        assert_eq!(m.terminator_cycles(&t, false), 1);
+        assert_eq!(m.terminator_worst_case(&t), 3);
+    }
+
+    #[test]
+    fn leon3_is_slower_on_memory() {
+        let pg = CycleModel::pg32();
+        let leon = CycleModel::leon3();
+        let ldr = Insn::Ldr { rd: Reg::R0, base: Reg::SP, offset: Operand::Imm(0) };
+        assert!(leon.cycles(&ldr, false) > pg.cycles(&ldr, false));
+    }
+
+    #[test]
+    fn worst_case_dominates_both_outcomes() {
+        let m = CycleModel::leon3();
+        for t in [
+            Terminator::Branch(crate::program::BlockId(0)),
+            Terminator::Return,
+            Terminator::Halt,
+            Terminator::CondBranch {
+                cond: Cond::Ne,
+                taken: crate::program::BlockId(0),
+                fallthrough: crate::program::BlockId(0),
+            },
+        ] {
+            for taken in [true, false] {
+                assert!(m.terminator_worst_case(&t) >= m.terminator_cycles(&t, taken));
+            }
+        }
+    }
+}

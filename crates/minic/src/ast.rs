@@ -1,0 +1,296 @@
+//! Mini-C abstract syntax tree.
+
+use serde::{Deserialize, Serialize};
+
+/// A raw TeamPlay annotation captured from `/*@ ... @*/`.
+///
+/// The payload grammar is owned by `teamplay-csl`; the front-end only keeps
+/// the text and where it was attached. Loop-bound payloads (`loop
+/// bound(n)`) are additionally understood by [`crate::loops`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Trimmed payload text between `/*@` and `@*/`.
+    pub text: String,
+    /// Source line the annotation started on.
+    pub line: u32,
+}
+
+/// Binary operators (C semantics on 32-bit two's-complement integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+` (wrapping)
+    Add,
+    /// `-` (wrapping)
+    Sub,
+    /// `*` (wrapping)
+    Mul,
+    /// `/` (0 on division by zero, PG32 hardware convention)
+    Div,
+    /// `%` (0 on remainder by zero)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<` (count masked to 5 bits)
+    Shl,
+    /// `>>` logical (Mini-C `int` shifts are logical, matching PG32 `lsr`)
+    Shr,
+    /// `<` yielding 0/1
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` short-circuit
+    LogAnd,
+    /// `||` short-circuit
+    LogOr,
+}
+
+impl BinOp {
+    /// `true` for the six relational operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// `-` (wrapping negation)
+    Neg,
+    /// `~`
+    BitNot,
+    /// `!` yielding 0/1
+    LogNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal (already wrapped to 32 bits).
+    Lit(i32),
+    /// Scalar variable reference.
+    Var(String),
+    /// `array[index]`.
+    Index {
+        /// Array name (local, parameter or global).
+        array: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Function call; array arguments are passed by reference (their name
+    /// appears as a bare `Var`).
+    Call {
+        /// Callee name, or the builtins `__in` / `__out`.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// The target of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Expr,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `int x = e;` or `int a[n];`
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Array length if this declares an array.
+        array_len: Option<u32>,
+        /// Scalar initialiser (arrays are zero-initialised).
+        init: Option<Expr>,
+    },
+    /// `lv = e;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (c) t else f`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `while (c) body`, with any annotations that preceded it.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Annotations attached to the loop (e.g. `loop bound(64)`).
+        annotations: Vec<Annotation>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init statement (declaration or assignment).
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent means `1`).
+        cond: Option<Expr>,
+        /// Optional step statement (assignment).
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Annotations attached to the loop.
+        annotations: Vec<Annotation>,
+    },
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// An expression evaluated for effect (a call).
+    ExprStmt(Expr),
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// `true` for `int name[]` (passed as a reference to the caller's
+    /// array), `false` for scalar `int name`.
+    pub is_array: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// `true` if declared `int`, `false` if `void`.
+    pub returns_value: bool,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Annotations that preceded the definition (tasks, budgets, secrets).
+    pub annotations: Vec<Annotation>,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Array length, or `None` for a scalar.
+    pub array_len: Option<u32>,
+    /// Initial values (length 1 for scalars; padded with zeros for
+    /// arrays).
+    pub init: Vec<i32>,
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Item {
+    /// A function definition.
+    Function(Function),
+    /// A global variable.
+    Global(Global),
+}
+
+/// A whole Mini-C translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterate over the function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            Item::Global(_) => None,
+        })
+    }
+
+    /// Iterate over the global variables.
+    pub fn globals(&self) -> impl Iterator<Item = &Global> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            Item::Function(_) => None,
+        })
+    }
+
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Ne.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::LogAnd.is_comparison());
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program {
+            items: vec![
+                Item::Global(Global { name: "g".into(), array_len: None, init: vec![3] }),
+                Item::Function(Function {
+                    name: "f".into(),
+                    params: vec![],
+                    returns_value: true,
+                    body: vec![Stmt::Return(Some(Expr::Lit(0)))],
+                    annotations: vec![],
+                }),
+            ],
+        };
+        assert_eq!(p.functions().count(), 1);
+        assert_eq!(p.globals().count(), 1);
+        assert!(p.function("f").is_some());
+        assert!(p.function("missing").is_none());
+    }
+}

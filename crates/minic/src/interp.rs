@@ -1,0 +1,632 @@
+//! Reference interpreter for Mini-C — the toolchain's semantic oracle.
+//!
+//! The optimising compiler is differential-tested against this interpreter:
+//! for random programs and inputs, the value computed here must equal the
+//! value computed by the PG32 simulator running the compiled binary, for
+//! *every* optimisation configuration. The interpreter is deliberately
+//! naive (a direct AST walk) so that it is easy to audit.
+//!
+//! Execution is fuel-limited so that property tests can run arbitrary
+//! programs without hanging, and array accesses are bounds-checked so that
+//! undefined behaviour (which the compiled code does not trap) is excluded
+//! from differential comparisons.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Runtime errors (all of which make a program ineligible as a
+/// differential-testing witness rather than indicating interpreter bugs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The fuel budget was exhausted (possible non-termination).
+    OutOfFuel,
+    /// Array access outside its bounds (undefined behaviour in Mini-C).
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: i32,
+        /// Array length.
+        len: u32,
+    },
+    /// Call stack exceeded the limit (deep recursion).
+    StackOverflow,
+    /// Entry function not found or not callable with scalar arguments.
+    BadEntry(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfFuel => write!(f, "execution fuel exhausted"),
+            InterpError::OutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}[{len}]`")
+            }
+            InterpError::StackOverflow => write!(f, "call stack overflow"),
+            InterpError::BadEntry(name) => write!(f, "cannot call entry function `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// External world for the `__in` / `__out` builtins.
+pub trait Ports {
+    /// Produce the next value available on `port`.
+    fn input(&mut self, port: u8) -> i32;
+    /// Consume a value written to `port`.
+    fn output(&mut self, port: u8, value: i32);
+}
+
+/// A [`Ports`] implementation backed by per-port input queues, recording
+/// all outputs — used by tests and by the side-channel analyses, which
+/// compare output *traces*.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingPorts {
+    inputs: HashMap<u8, Vec<i32>>,
+    cursor: HashMap<u8, usize>,
+    /// Every `(port, value)` written, in order.
+    pub outputs: Vec<(u8, i32)>,
+}
+
+impl RecordingPorts {
+    /// No inputs queued; reads return 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue input values on a port; reads past the end return 0.
+    pub fn queue(&mut self, port: u8, values: impl IntoIterator<Item = i32>) {
+        self.inputs.entry(port).or_default().extend(values);
+    }
+}
+
+impl Ports for RecordingPorts {
+    fn input(&mut self, port: u8) -> i32 {
+        let idx = self.cursor.entry(port).or_insert(0);
+        let v = self.inputs.get(&port).and_then(|q| q.get(*idx)).copied().unwrap_or(0);
+        *idx += 1;
+        v
+    }
+
+    fn output(&mut self, port: u8, value: i32) {
+        self.outputs.push((port, value));
+    }
+}
+
+/// Result of a successful run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Value returned by the entry function (`None` for `void`).
+    pub return_value: Option<i32>,
+    /// AST evaluation steps consumed (a machine-independent "time" proxy).
+    pub steps: u64,
+}
+
+const MAX_CALL_DEPTH: usize = 128;
+
+/// Values bound in a frame.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    Scalar(i32),
+    Array(usize), // arena index
+}
+
+struct Frame {
+    vars: Vec<HashMap<String, Binding>>,
+}
+
+enum Flow {
+    Normal,
+    Return(Option<i32>),
+}
+
+/// The interpreter; owns global state so that successive calls observe
+/// prior mutations, mirroring a device that runs task after task.
+pub struct Interp<'p, P: Ports> {
+    program: &'p Program,
+    arena: Vec<Vec<i32>>,
+    globals: HashMap<String, Binding>,
+    ports: P,
+    fuel: u64,
+    steps: u64,
+}
+
+impl<'p, P: Ports> Interp<'p, P> {
+    /// Create an interpreter with the given port device and fuel budget
+    /// (in AST steps).
+    pub fn new(program: &'p Program, ports: P, fuel: u64) -> Self {
+        let mut arena = Vec::new();
+        let mut globals = HashMap::new();
+        for g in program.globals() {
+            let idx = arena.len();
+            arena.push(g.init.clone());
+            if g.array_len.is_some() {
+                globals.insert(g.name.clone(), Binding::Array(idx));
+            } else {
+                globals.insert(g.name.clone(), Binding::Scalar(g.init[0]));
+            }
+        }
+        Interp { program, arena, globals, ports, fuel, steps: 0 }
+    }
+
+    /// Read back a scalar global after a run.
+    pub fn global_scalar(&self, name: &str) -> Option<i32> {
+        match self.globals.get(name) {
+            Some(Binding::Scalar(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Read back an array global after a run.
+    pub fn global_array(&self, name: &str) -> Option<&[i32]> {
+        match self.globals.get(name) {
+            Some(Binding::Array(idx)) => Some(&self.arena[*idx]),
+            _ => None,
+        }
+    }
+
+    /// Consume the interpreter and return the port device (e.g. to inspect
+    /// recorded outputs).
+    pub fn into_ports(self) -> P {
+        self.ports
+    }
+
+    /// Call `name` with scalar arguments.
+    ///
+    /// # Errors
+    /// [`InterpError::BadEntry`] if the function does not exist, has an
+    /// array parameter, or the argument count differs; or any runtime
+    /// error during execution.
+    pub fn call(&mut self, name: &str, args: &[i32]) -> Result<ExecOutcome, InterpError> {
+        let f = self
+            .program
+            .function(name)
+            .ok_or_else(|| InterpError::BadEntry(name.to_string()))?;
+        if f.params.len() != args.len() || f.params.iter().any(|p| p.is_array) {
+            return Err(InterpError::BadEntry(name.to_string()));
+        }
+        let bindings: Vec<Binding> = args.iter().map(|v| Binding::Scalar(*v)).collect();
+        let start = self.steps;
+        let ret = self.call_function(f, bindings, 0)?;
+        Ok(ExecOutcome { return_value: ret, steps: self.steps - start })
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            Err(InterpError::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn call_function(
+        &mut self,
+        f: &'p Function,
+        args: Vec<Binding>,
+        depth: usize,
+    ) -> Result<Option<i32>, InterpError> {
+        if depth >= MAX_CALL_DEPTH {
+            return Err(InterpError::StackOverflow);
+        }
+        let mut frame = Frame { vars: vec![HashMap::new()] };
+        for (p, b) in f.params.iter().zip(args) {
+            frame.vars[0].insert(p.name.clone(), b);
+        }
+        for stmt in &f.body {
+            if let Flow::Return(v) = self.exec_stmt(stmt, &mut frame, depth)? {
+                return Ok(v);
+            }
+        }
+        Ok(None)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &'p Stmt,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, InterpError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Decl { name, array_len, init } => {
+                let binding = if let Some(len) = array_len {
+                    let idx = self.arena.len();
+                    self.arena.push(vec![0; *len as usize]);
+                    Binding::Array(idx)
+                } else {
+                    let v = match init {
+                        Some(e) => self.eval(e, frame, depth)?,
+                        None => 0,
+                    };
+                    Binding::Scalar(v)
+                };
+                frame.vars.last_mut().expect("scope").insert(name.clone(), binding);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.eval(value, frame, depth)?;
+                match target {
+                    LValue::Var(name) => {
+                        self.set_scalar(name, v, frame);
+                    }
+                    LValue::Index { array, index } => {
+                        let i = self.eval(index, frame, depth)?;
+                        let arena_idx = self.array_binding(array, frame);
+                        let arr = &mut self.arena[arena_idx];
+                        if i < 0 || i as usize >= arr.len() {
+                            return Err(InterpError::OutOfBounds {
+                                array: array.clone(),
+                                index: i,
+                                len: arr.len() as u32,
+                            });
+                        }
+                        arr[i as usize] = v;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                if self.eval(cond, frame, depth)? != 0 {
+                    self.exec_scoped(then_branch, frame, depth)
+                } else if let Some(e) = else_branch {
+                    self.exec_scoped(e, frame, depth)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.eval(cond, frame, depth)? != 0 {
+                    if let Flow::Return(v) = self.exec_scoped(body, frame, depth)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                frame.vars.push(HashMap::new());
+                let result = (|| {
+                    if let Some(init) = init {
+                        if let Flow::Return(v) = self.exec_stmt(init, frame, depth)? {
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                    loop {
+                        let go = match cond {
+                            Some(c) => self.eval(c, frame, depth)? != 0,
+                            None => true,
+                        };
+                        if !go {
+                            return Ok(Flow::Normal);
+                        }
+                        if let Flow::Return(v) = self.exec_scoped(body, frame, depth)? {
+                            return Ok(Flow::Return(v));
+                        }
+                        if let Some(step) = step {
+                            if let Flow::Return(v) = self.exec_stmt(step, frame, depth)? {
+                                return Ok(Flow::Return(v));
+                            }
+                        }
+                    }
+                })();
+                frame.vars.pop();
+                result
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => Some(self.eval(e, frame, depth)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::ExprStmt(e) => {
+                self.eval_call_any(e, frame, depth)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(stmts) => {
+                frame.vars.push(HashMap::new());
+                let mut out = Flow::Normal;
+                for s in stmts {
+                    match self.exec_stmt(s, frame, depth)? {
+                        Flow::Return(v) => {
+                            out = Flow::Return(v);
+                            break;
+                        }
+                        Flow::Normal => {}
+                    }
+                }
+                frame.vars.pop();
+                Ok(out)
+            }
+        }
+    }
+
+    fn exec_scoped(
+        &mut self,
+        stmt: &'p Stmt,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, InterpError> {
+        // Non-block single statements still execute in a fresh scope so a
+        // `Decl` directly under `if` cannot leak.
+        frame.vars.push(HashMap::new());
+        let r = self.exec_stmt(stmt, frame, depth);
+        frame.vars.pop();
+        r
+    }
+
+    fn lookup(&self, name: &str, frame: &Frame) -> Binding {
+        for scope in frame.vars.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return *b;
+            }
+        }
+        *self.globals.get(name).expect("sema guarantees declared names")
+    }
+
+    fn set_scalar(&mut self, name: &str, value: i32, frame: &mut Frame) {
+        for scope in frame.vars.iter_mut().rev() {
+            if let Some(b) = scope.get_mut(name) {
+                *b = Binding::Scalar(value);
+                return;
+            }
+        }
+        self.globals.insert(name.to_string(), Binding::Scalar(value));
+    }
+
+    fn array_binding(&self, name: &str, frame: &Frame) -> usize {
+        match self.lookup(name, frame) {
+            Binding::Array(idx) => idx,
+            Binding::Scalar(_) => unreachable!("sema guarantees array shape"),
+        }
+    }
+
+    fn eval(&mut self, e: &'p Expr, frame: &mut Frame, depth: usize) -> Result<i32, InterpError> {
+        self.tick()?;
+        match e {
+            Expr::Lit(v) => Ok(*v),
+            Expr::Var(name) => match self.lookup(name, frame) {
+                Binding::Scalar(v) => Ok(v),
+                Binding::Array(_) => unreachable!("sema guarantees scalar shape"),
+            },
+            Expr::Index { array, index } => {
+                let i = self.eval(index, frame, depth)?;
+                let arena_idx = self.array_binding(array, frame);
+                let arr = &self.arena[arena_idx];
+                if i < 0 || i as usize >= arr.len() {
+                    return Err(InterpError::OutOfBounds {
+                        array: array.clone(),
+                        index: i,
+                        len: arr.len() as u32,
+                    });
+                }
+                Ok(arr[i as usize])
+            }
+            Expr::Bin { op, lhs, rhs } => match op {
+                BinOp::LogAnd => {
+                    let l = self.eval(lhs, frame, depth)?;
+                    if l == 0 {
+                        Ok(0)
+                    } else {
+                        Ok((self.eval(rhs, frame, depth)? != 0) as i32)
+                    }
+                }
+                BinOp::LogOr => {
+                    let l = self.eval(lhs, frame, depth)?;
+                    if l != 0 {
+                        Ok(1)
+                    } else {
+                        Ok((self.eval(rhs, frame, depth)? != 0) as i32)
+                    }
+                }
+                _ => {
+                    let a = self.eval(lhs, frame, depth)?;
+                    let b = self.eval(rhs, frame, depth)?;
+                    Ok(eval_binop(*op, a, b))
+                }
+            },
+            Expr::Un { op, operand } => {
+                let v = self.eval(operand, frame, depth)?;
+                Ok(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::BitNot => !v,
+                    UnOp::LogNot => (v == 0) as i32,
+                })
+            }
+            Expr::Call { .. } => {
+                let v = self.eval_call_any(e, frame, depth)?;
+                Ok(v.expect("sema guarantees value-producing call"))
+            }
+        }
+    }
+
+    fn eval_call_any(
+        &mut self,
+        e: &'p Expr,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Option<i32>, InterpError> {
+        let Expr::Call { func, args } = e else {
+            unreachable!("eval_call_any invoked on non-call");
+        };
+        match func.as_str() {
+            "__in" => {
+                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port literal") };
+                return Ok(Some(self.ports.input(*port as u8)));
+            }
+            "__out" => {
+                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port literal") };
+                let v = self.eval(&args[1], frame, depth)?;
+                self.ports.output(*port as u8, v);
+                return Ok(None);
+            }
+            _ => {}
+        }
+        let f = self.program.function(func).expect("sema guarantees defined callee");
+        let mut bindings = Vec::with_capacity(args.len());
+        for (arg, param) in args.iter().zip(&f.params) {
+            if param.is_array {
+                let Expr::Var(name) = arg else { unreachable!("sema checked array arg") };
+                bindings.push(Binding::Array(self.array_binding(name, frame)));
+            } else {
+                bindings.push(Binding::Scalar(self.eval(arg, frame, depth)?));
+            }
+        }
+        let ret = self.call_function(f, bindings, depth + 1)?;
+        Ok(ret)
+    }
+}
+
+/// Evaluate a non-short-circuit binary operator with Mini-C/PG32
+/// semantics (wrapping, zero on divide-by-zero, masked logical shifts).
+pub fn eval_binop(op: BinOp, a: i32, b: i32) -> i32 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => ((a as u32) << (b as u32 & 31)) as i32,
+        BinOp::Shr => ((a as u32) >> (b as u32 & 31)) as i32,
+        BinOp::Lt => (a < b) as i32,
+        BinOp::Le => (a <= b) as i32,
+        BinOp::Gt => (a > b) as i32,
+        BinOp::Ge => (a >= b) as i32,
+        BinOp::Eq => (a == b) as i32,
+        BinOp::Ne => (a != b) as i32,
+        BinOp::LogAnd => ((a != 0) && (b != 0)) as i32,
+        BinOp::LogOr => ((a != 0) || (b != 0)) as i32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_check;
+
+    fn run(src: &str, func: &str, args: &[i32]) -> i32 {
+        let program = parse_and_check(src).expect("front-end");
+        let mut interp = Interp::new(&program, RecordingPorts::new(), 1_000_000);
+        interp.call(func, args).expect("run").return_value.expect("value")
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        let src = "int sq(int x) { return x * x; } int f(int a, int b) { return sq(a) + b; }";
+        assert_eq!(run(src, "f", &[3, 4]), 13);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let src = "int sum(int n) {
+            int a[10];
+            for (int i = 0; i < n; i = i + 1) { a[i] = i * 2; }
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+            return s;
+        }";
+        assert_eq!(run(src, "sum", &[5]), 20);
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_rhs() {
+        // If && evaluated its RHS, the out-of-bounds read would trap.
+        let src = "int f(int n) { int a[2]; if (n < 0 && a[100] == 0) { return 1; } return 2; }";
+        assert_eq!(run(src, "f", &[1]), 2);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let src = "int f(int a, int b) { return a / b + a % b; }";
+        assert_eq!(run(src, "f", &[7, 0]), 0);
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let src = "int counter = 0; int bump() { counter = counter + 1; return counter; }";
+        let program = parse_and_check(src).expect("front-end");
+        let mut interp = Interp::new(&program, RecordingPorts::new(), 10_000);
+        interp.call("bump", &[]).expect("run");
+        let out = interp.call("bump", &[]).expect("run");
+        assert_eq!(out.return_value, Some(2));
+        assert_eq!(interp.global_scalar("counter"), Some(2));
+    }
+
+    #[test]
+    fn array_params_alias_caller_storage() {
+        let src = "void fill(int a[], int v) { a[0] = v; return; }
+                   int buf[3];
+                   int f() { fill(buf, 9); return buf[0]; }";
+        assert_eq!(run(src, "f", &[]), 9);
+    }
+
+    #[test]
+    fn ports_queue_and_record() {
+        let src = "int f() { int x = __in(4); __out(7, x + 1); return x; }";
+        let program = parse_and_check(src).expect("front-end");
+        let mut ports = RecordingPorts::new();
+        ports.queue(4, [41]);
+        let mut interp = Interp::new(&program, ports, 10_000);
+        let out = interp.call("f", &[]).expect("run");
+        assert_eq!(out.return_value, Some(41));
+        assert_eq!(interp.into_ports().outputs, vec![(7, 42)]);
+    }
+
+    #[test]
+    fn fuel_limits_infinite_loops() {
+        let src = "int f() { while (1) { } return 0; }";
+        let program = parse_and_check(src).expect("front-end");
+        let mut interp = Interp::new(&program, RecordingPorts::new(), 1_000);
+        assert_eq!(interp.call("f", &[]), Err(InterpError::OutOfFuel));
+    }
+
+    #[test]
+    fn out_of_bounds_is_trapped() {
+        let src = "int f(int i) { int a[2]; return a[i]; }";
+        let program = parse_and_check(src).expect("front-end");
+        let mut interp = Interp::new(&program, RecordingPorts::new(), 1_000);
+        assert!(matches!(interp.call("f", &[5]), Err(InterpError::OutOfBounds { .. })));
+        assert!(matches!(interp.call("f", &[-1]), Err(InterpError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn recursion_is_depth_limited() {
+        let src = "int f(int n) { if (n <= 0) { return 0; } return f(n - 1) + 1; }";
+        let program = parse_and_check(src).expect("front-end");
+        let mut interp = Interp::new(&program, RecordingPorts::new(), 10_000_000);
+        assert_eq!(interp.call("f", &[10]).expect("run").return_value, Some(10));
+        assert_eq!(interp.call("f", &[100_000]), Err(InterpError::StackOverflow));
+    }
+
+    #[test]
+    fn if_scope_does_not_leak() {
+        // A decl directly under `if` (no braces) lives in its own scope;
+        // the outer x is unaffected.
+        let src = "int f(int c) { int x = 1; if (c) { int x = 5; x = x + 1; } return x; }";
+        assert_eq!(run(src, "f", &[1]), 1);
+    }
+
+    #[test]
+    fn shifts_are_logical_and_masked() {
+        let src = "int f(int a, int b) { return a >> b; }";
+        assert_eq!(run(src, "f", &[-1, 28]), 0xF);
+        assert_eq!(run(src, "f", &[1 << 20, 32]), 1 << 20);
+    }
+}

@@ -1,0 +1,550 @@
+//! Mini-C lexer.
+//!
+//! Besides ordinary C tokens the lexer recognises TeamPlay annotation
+//! comments `/*@ ... @*/` and surfaces them as [`TokenKind::Annotation`]
+//! tokens carrying the raw payload; the parser attaches them to the next
+//! item or statement. Ordinary `/* ... */` and `// ...` comments are
+//! skipped.
+
+use std::fmt;
+
+/// Byte offset + line number of a token, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (decimal or `0x` hexadecimal).
+    IntLit(i64),
+    /// A TeamPlay annotation `/*@ payload @*/` (payload trimmed).
+    Annotation(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer `{v}`"),
+            TokenKind::Annotation(_) => write!(f, "annotation"),
+            other => {
+                let s = match other {
+                    TokenKind::KwInt => "`int`",
+                    TokenKind::KwVoid => "`void`",
+                    TokenKind::KwIf => "`if`",
+                    TokenKind::KwElse => "`else`",
+                    TokenKind::KwWhile => "`while`",
+                    TokenKind::KwFor => "`for`",
+                    TokenKind::KwReturn => "`return`",
+                    TokenKind::LParen => "`(`",
+                    TokenKind::RParen => "`)`",
+                    TokenKind::LBrace => "`{`",
+                    TokenKind::RBrace => "`}`",
+                    TokenKind::LBracket => "`[`",
+                    TokenKind::RBracket => "`]`",
+                    TokenKind::Semi => "`;`",
+                    TokenKind::Comma => "`,`",
+                    TokenKind::Assign => "`=`",
+                    TokenKind::Plus => "`+`",
+                    TokenKind::Minus => "`-`",
+                    TokenKind::Star => "`*`",
+                    TokenKind::Slash => "`/`",
+                    TokenKind::Percent => "`%`",
+                    TokenKind::Amp => "`&`",
+                    TokenKind::Pipe => "`|`",
+                    TokenKind::Caret => "`^`",
+                    TokenKind::Tilde => "`~`",
+                    TokenKind::Bang => "`!`",
+                    TokenKind::Shl => "`<<`",
+                    TokenKind::Shr => "`>>`",
+                    TokenKind::Lt => "`<`",
+                    TokenKind::Le => "`<=`",
+                    TokenKind::Gt => "`>`",
+                    TokenKind::Ge => "`>=`",
+                    TokenKind::EqEq => "`==`",
+                    TokenKind::NotEq => "`!=`",
+                    TokenKind::AndAnd => "`&&`",
+                    TokenKind::OrOr => "`||`",
+                    TokenKind::Eof => "end of input",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Source line of the offending character.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), line: self.line }
+    }
+
+    fn skip_trivia(&mut self) -> Result<Option<Token>, LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let span = Span { offset: self.pos, line: self.line };
+                    self.bump();
+                    self.bump();
+                    let is_annotation = self.peek() == Some(b'@');
+                    if is_annotation {
+                        self.bump();
+                    }
+                    let start = self.pos;
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.error("unterminated comment")),
+                            Some(b'*') if self.peek2() == Some(b'/') => break,
+                            Some(b'@')
+                                if is_annotation
+                                    && self.src.get(self.pos + 1) == Some(&b'*')
+                                    && self.src.get(self.pos + 2) == Some(&b'/') =>
+                            {
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                    let end = self.pos;
+                    // Consume the closing `@*/` or `*/`.
+                    if self.peek() == Some(b'@') {
+                        self.bump();
+                    }
+                    self.bump();
+                    self.bump();
+                    if is_annotation {
+                        let payload = std::str::from_utf8(&self.src[start..end])
+                            .map_err(|_| self.error("annotation is not valid UTF-8"))?
+                            .trim()
+                            .to_string();
+                        return Ok(Some(Token { kind: TokenKind::Annotation(payload), span }));
+                    }
+                }
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        if let Some(ann) = self.skip_trivia()? {
+            return Ok(ann);
+        }
+        let span = Span { offset: self.pos, line: self.line };
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, span });
+        };
+        let kind = match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                    self.bump();
+                }
+                let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+                match word {
+                    "int" => TokenKind::KwInt,
+                    "void" => TokenKind::KwVoid,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "while" => TokenKind::KwWhile,
+                    "for" => TokenKind::KwFor,
+                    "return" => TokenKind::KwReturn,
+                    _ => TokenKind::Ident(word.to_string()),
+                }
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                let hex = c == b'0' && matches!(self.peek2(), Some(b'x') | Some(b'X'));
+                if hex {
+                    self.bump();
+                    self.bump();
+                    let digits = self.pos;
+                    while matches!(self.peek(), Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')) {
+                        self.bump();
+                    }
+                    if self.pos == digits {
+                        return Err(self.error("hex literal with no digits"));
+                    }
+                    let text = std::str::from_utf8(&self.src[digits..self.pos]).expect("ascii");
+                    let value = u64::from_str_radix(text, 16)
+                        .map_err(|_| self.error("hex literal out of range"))?;
+                    if value > u32::MAX as u64 {
+                        return Err(self.error("hex literal exceeds 32 bits"));
+                    }
+                    TokenKind::IntLit(value as u32 as i32 as i64)
+                } else {
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                    let value: i64 =
+                        text.parse().map_err(|_| self.error("integer literal out of range"))?;
+                    if value > u32::MAX as i64 {
+                        return Err(self.error("integer literal exceeds 32 bits"));
+                    }
+                    TokenKind::IntLit(value)
+                }
+            }
+            _ => {
+                self.bump();
+                match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b';' => TokenKind::Semi,
+                    b',' => TokenKind::Comma,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'*' => TokenKind::Star,
+                    b'/' => TokenKind::Slash,
+                    b'%' => TokenKind::Percent,
+                    b'^' => TokenKind::Caret,
+                    b'~' => TokenKind::Tilde,
+                    b'&' => {
+                        if self.peek() == Some(b'&') {
+                            self.bump();
+                            TokenKind::AndAnd
+                        } else {
+                            TokenKind::Amp
+                        }
+                    }
+                    b'|' => {
+                        if self.peek() == Some(b'|') {
+                            self.bump();
+                            TokenKind::OrOr
+                        } else {
+                            TokenKind::Pipe
+                        }
+                    }
+                    b'<' => match self.peek() {
+                        Some(b'<') => {
+                            self.bump();
+                            TokenKind::Shl
+                        }
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::Le
+                        }
+                        _ => TokenKind::Lt,
+                    },
+                    b'>' => match self.peek() {
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::Shr
+                        }
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::Ge
+                        }
+                        _ => TokenKind::Gt,
+                    },
+                    b'=' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::EqEq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    b'!' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::NotEq
+                        } else {
+                            TokenKind::Bang
+                        }
+                    }
+                    other => {
+                        return Err(self.error(format!("unexpected character `{}`", other as char)))
+                    }
+                }
+            }
+        };
+        Ok(Token { kind, span })
+    }
+}
+
+/// Tokenise Mini-C source, including annotation tokens, ending with
+/// a single [`TokenKind::Eof`].
+///
+/// # Errors
+/// Returns a [`LexError`] for unterminated comments, malformed literals or
+/// characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut lexer = Lexer { src: source.as_bytes(), pos: 0, line: 1 };
+    let mut tokens = Vec::new();
+    loop {
+        let tok = lexer.next_token()?;
+        let end = tok.kind == TokenKind::Eof;
+        tokens.push(tok);
+        if end {
+            return Ok(tokens);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("int forx while"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("forx".into()),
+                TokenKind::KwWhile,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_and_hex() {
+        assert_eq!(
+            kinds("42 0x2A 0xffffffff"),
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(-1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != << >> && ||"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_annotations_kept() {
+        let toks = kinds("/* plain */ // line\n /*@ loop bound(8) @*/ int");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Annotation("loop bound(8)".into()),
+                TokenKind::KwInt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn annotation_without_at_close_still_terminates() {
+        let toks = kinds("/*@ task period(10) */ int");
+        assert_eq!(
+            toks,
+            vec![TokenKind::Annotation("task period(10)".into()), TokenKind::KwInt, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+        assert!(lex("/*@ oops").is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("int\nint\nint").expect("lex");
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        let err = lex("int $x;").unwrap_err();
+        assert!(err.message.contains('$'), "{err}");
+    }
+
+    #[test]
+    fn literal_out_of_range_is_error() {
+        assert!(lex("4294967296").is_err());
+        assert!(lex("0x1ffffffff").is_err());
+        assert!(lex("0x").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lexer_never_panics(src in "\\PC*") {
+            let _ = lex(&src);
+        }
+
+        #[test]
+        fn decimal_literals_round_trip(v in 0u32..=u32::MAX) {
+            let toks = lex(&v.to_string()).expect("lex");
+            prop_assert_eq!(&toks[0].kind, &TokenKind::IntLit(v as i64));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! # teamplay-minic — the Mini-C front-end
+//!
+//! TeamPlay's toolchain starts from "annotated C source" (paper Fig. 1/2).
+//! This crate is the reproduction's C front-end: a small but genuine subset
+//! of C ("Mini-C") with
+//!
+//! * a [`lexer`] that also captures `/*@ ... @*/` ETS annotations,
+//! * a recursive-descent [`parser`] producing a type-checkable [`ast`],
+//! * a [`sema`] pass (symbols, scopes, types, definite-return checking),
+//! * an [`interp`] reference interpreter — the *semantic oracle* used to
+//!   differential-test the optimising compiler against the simulator,
+//! * a three-address [`ir`] with an explicit CFG, produced by [`lower`],
+//! * [`mod@cfg`] analyses (predecessors, dominators, natural loops) and
+//! * [`loops`] — loop-bound inference for counted loops, augmenting the
+//!   `loop bound(n)` annotations that make WCET analysis possible.
+//!
+//! Mini-C covers what the paper's use-case kernels need: `int` scalars,
+//! one-dimensional `int` arrays, functions, `if`/`while`/`for`, the full C
+//! operator set over 32-bit integers, and the `__in`/`__out` port builtins
+//! standing in for sensor/radio I/O.
+//!
+//! ```
+//! use teamplay_minic::compile_to_ir;
+//!
+//! let src = r#"
+//!     int square(int x) { return x * x; }
+//!     int main() { return square(7); }
+//! "#;
+//! let module = compile_to_ir(src)?;
+//! assert!(module.functions.iter().any(|f| f.name == "square"));
+//! # Ok::<(), teamplay_minic::FrontendError>(())
+//! ```
+
+pub mod ast;
+pub mod cfg;
+pub mod interp;
+pub mod ir;
+pub mod lexer;
+pub mod loops;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+pub mod sema;
+
+pub use ast::{Annotation, Expr, Function, Item, Program, Stmt};
+pub use interp::{ExecOutcome, Interp, InterpError, Ports, RecordingPorts};
+pub use ir::{IrBlock, IrBlockId, IrFunction, IrModule, IrOp, MemBase, Operand, Temp};
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::ParseError;
+pub use printer::{print_expr, print_program};
+pub use sema::SemaError;
+
+use std::fmt;
+
+/// Any error the front-end can produce, from source text to IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Lexical error.
+    Lex(LexError),
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic (type/scope) error.
+    Sema(SemaError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex(e) => write!(f, "lex error: {e}"),
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Sema(e) => write!(f, "semantic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<LexError> for FrontendError {
+    fn from(e: LexError) -> Self {
+        FrontendError::Lex(e)
+    }
+}
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+impl From<SemaError> for FrontendError {
+    fn from(e: SemaError) -> Self {
+        FrontendError::Sema(e)
+    }
+}
+
+/// Parse and type-check Mini-C source into an AST [`Program`].
+///
+/// # Errors
+/// Returns the first lexical, syntactic or semantic error.
+pub fn parse_and_check(source: &str) -> Result<Program, FrontendError> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(&tokens)?;
+    sema::check(&program)?;
+    Ok(program)
+}
+
+/// Full front-end pipeline: source text to IR module with loop bounds.
+///
+/// # Errors
+/// Returns the first front-end error.
+pub fn compile_to_ir(source: &str) -> Result<IrModule, FrontendError> {
+    let program = parse_and_check(source)?;
+    Ok(lower::lower_program(&program))
+}

@@ -1,0 +1,635 @@
+//! Lowering: AST → three-address IR.
+//!
+//! Beyond the usual translation, lowering is where loop bounds are pinned
+//! to header blocks (from `loop bound(n)` annotations or counted-loop
+//! inference) so that the downstream static analyses can consume them
+//! without re-inspecting source. Short-circuit `&&`/`||` become control
+//! flow; local arrays are explicitly zeroed at their declaration point so
+//! that IR (and compiled-code) semantics match the reference interpreter
+//! exactly.
+
+use crate::ast::*;
+use crate::ir::*;
+use crate::loops;
+use std::collections::HashMap;
+
+#[derive(Clone)]
+enum VarBinding {
+    Scalar(Temp),
+    LocalArray(u32),
+    ParamArray(Temp),
+    GlobalScalar(String),
+    GlobalArray(String),
+}
+
+struct Lowerer<'p> {
+    func: IrFunction,
+    scopes: Vec<HashMap<String, VarBinding>>,
+    program: &'p Program,
+    current: IrBlockId,
+}
+
+impl<'p> Lowerer<'p> {
+    fn emit(&mut self, op: IrOp) {
+        let cur = self.current.index();
+        self.func.blocks[cur].ops.push(op);
+    }
+
+    fn set_term(&mut self, term: IrTerm) {
+        let cur = self.current.index();
+        self.func.blocks[cur].term = term;
+    }
+
+    fn start_block(&mut self) -> IrBlockId {
+        let b = self.func.new_block();
+        self.current = b;
+        b
+    }
+
+    fn lookup(&self, name: &str) -> VarBinding {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return b.clone();
+            }
+        }
+        // Fall back to globals (sema guarantees existence).
+        let g = self
+            .program
+            .globals()
+            .find(|g| g.name == name)
+            .expect("sema guarantees declared name");
+        if g.array_len.is_some() {
+            VarBinding::GlobalArray(name.to_string())
+        } else {
+            VarBinding::GlobalScalar(name.to_string())
+        }
+    }
+
+    fn is_local_scalar(&self, name: &str) -> bool {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return matches!(b, VarBinding::Scalar(_));
+            }
+        }
+        false
+    }
+
+    fn array_base(&self, name: &str) -> MemBase {
+        match self.lookup(name) {
+            VarBinding::LocalArray(id) => MemBase::Local(id),
+            VarBinding::ParamArray(t) => MemBase::Param(t),
+            VarBinding::GlobalArray(n) => MemBase::Global(n),
+            _ => unreachable!("sema guarantees array shape"),
+        }
+    }
+
+    // ----- expressions -----
+
+    fn lower_expr(&mut self, e: &Expr) -> Operand {
+        match e {
+            Expr::Lit(v) => Operand::Const(*v),
+            Expr::Var(name) => match self.lookup(name) {
+                VarBinding::Scalar(t) => Operand::Temp(t),
+                VarBinding::GlobalScalar(g) => {
+                    let dst = self.func.fresh_temp();
+                    self.emit(IrOp::Load {
+                        dst,
+                        base: MemBase::Global(g),
+                        index: Operand::Const(0),
+                    });
+                    Operand::Temp(dst)
+                }
+                _ => unreachable!("sema guarantees scalar shape"),
+            },
+            Expr::Index { array, index } => {
+                let idx = self.lower_expr(index);
+                let base = self.array_base(array);
+                let dst = self.func.fresh_temp();
+                self.emit(IrOp::Load { dst, base, index: idx });
+                Operand::Temp(dst)
+            }
+            Expr::Bin { op: BinOp::LogAnd, lhs, rhs } => self.lower_short_circuit(lhs, rhs, true),
+            Expr::Bin { op: BinOp::LogOr, lhs, rhs } => self.lower_short_circuit(lhs, rhs, false),
+            Expr::Bin { op, lhs, rhs } => {
+                let a = self.lower_expr(lhs);
+                let b = self.lower_expr(rhs);
+                let dst = self.func.fresh_temp();
+                self.emit(IrOp::Bin { op: *op, dst, a, b });
+                Operand::Temp(dst)
+            }
+            Expr::Un { op, operand } => {
+                let a = self.lower_expr(operand);
+                let dst = self.func.fresh_temp();
+                self.emit(IrOp::Un { op: *op, dst, a });
+                Operand::Temp(dst)
+            }
+            Expr::Call { .. } => {
+                self.lower_call(e).map(Operand::Temp).expect("sema guarantees value call")
+            }
+        }
+    }
+
+    /// `a && b` / `a || b` with proper short-circuit control flow,
+    /// producing a 0/1 temp.
+    fn lower_short_circuit(&mut self, lhs: &Expr, rhs: &Expr, is_and: bool) -> Operand {
+        let result = self.func.fresh_temp();
+        let a = self.lower_expr(lhs);
+        let decide = self.current;
+
+        let rhs_block = self.start_block();
+        let b = self.lower_expr(rhs);
+        // Normalise rhs to 0/1.
+        self.emit(IrOp::Bin { op: BinOp::Ne, dst: result, a: b, b: Operand::Const(0) });
+        let rhs_end = self.current;
+
+        let short_block = self.func.new_block();
+        self.func.blocks[short_block.index()].ops.push(IrOp::Copy {
+            dst: result,
+            src: Operand::Const(if is_and { 0 } else { 1 }),
+        });
+
+        let join = self.func.new_block();
+        self.func.blocks[decide.index()].term = if is_and {
+            IrTerm::Branch { cond: a, taken: rhs_block, fallthrough: short_block }
+        } else {
+            IrTerm::Branch { cond: a, taken: short_block, fallthrough: rhs_block }
+        };
+        self.func.blocks[rhs_end.index()].term = IrTerm::Jump(join);
+        self.func.blocks[short_block.index()].term = IrTerm::Jump(join);
+        self.current = join;
+        Operand::Temp(result)
+    }
+
+    /// Lower a call expression; returns the result temp for value calls.
+    fn lower_call(&mut self, e: &Expr) -> Option<Temp> {
+        let Expr::Call { func, args } = e else {
+            unreachable!("lower_call invoked on non-call");
+        };
+        match func.as_str() {
+            "__in" => {
+                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port") };
+                let dst = self.func.fresh_temp();
+                self.emit(IrOp::In { dst, port: *port as u8 });
+                return Some(dst);
+            }
+            "__out" => {
+                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port") };
+                let value = self.lower_expr(&args[1]);
+                self.emit(IrOp::Out { port: *port as u8, value });
+                return None;
+            }
+            _ => {}
+        }
+        let callee = self.program.function(func).expect("sema guarantees callee");
+        let mut lowered = Vec::with_capacity(args.len());
+        for (arg, param) in args.iter().zip(&callee.params) {
+            if param.is_array {
+                let Expr::Var(name) = arg else { unreachable!("sema checked array arg") };
+                lowered.push(CallArg::ArrayRef(self.array_base(name)));
+            } else {
+                lowered.push(CallArg::Value(self.lower_expr(arg)));
+            }
+        }
+        let dst = if callee.returns_value { Some(self.func.fresh_temp()) } else { None };
+        self.emit(IrOp::Call { dst, func: func.clone(), args: lowered });
+        dst
+    }
+
+    // ----- statements -----
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) {
+        self.scopes.push(HashMap::new());
+        for (i, stmt) in stmts.iter().enumerate() {
+            let prev = if i > 0 { Some(&stmts[i - 1]) } else { None };
+            self.lower_stmt(stmt, prev);
+        }
+        self.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, prev: Option<&Stmt>) {
+        match stmt {
+            Stmt::Decl { name, array_len, init } => {
+                if let Some(len) = array_len {
+                    let id = self.func.local_arrays.len() as u32;
+                    self.func.local_arrays.push(*len);
+                    self.scopes
+                        .last_mut()
+                        .expect("scope")
+                        .insert(name.clone(), VarBinding::LocalArray(id));
+                    // Zero the array at the declaration point so that
+                    // re-entering a scope observes fresh storage, exactly
+                    // like the reference interpreter.
+                    for i in 0..*len {
+                        self.emit(IrOp::Store {
+                            base: MemBase::Local(id),
+                            index: Operand::Const(i as i32),
+                            value: Operand::Const(0),
+                        });
+                    }
+                } else {
+                    let value = match init {
+                        Some(e) => self.lower_expr(e),
+                        None => Operand::Const(0),
+                    };
+                    let t = self.func.fresh_temp();
+                    self.emit(IrOp::Copy { dst: t, src: value });
+                    self.scopes
+                        .last_mut()
+                        .expect("scope")
+                        .insert(name.clone(), VarBinding::Scalar(t));
+                }
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.lower_expr(value);
+                match target {
+                    LValue::Var(name) => match self.lookup(name) {
+                        VarBinding::Scalar(t) => self.emit(IrOp::Copy { dst: t, src: v }),
+                        VarBinding::GlobalScalar(g) => self.emit(IrOp::Store {
+                            base: MemBase::Global(g),
+                            index: Operand::Const(0),
+                            value: v,
+                        }),
+                        _ => unreachable!("sema guarantees scalar target"),
+                    },
+                    LValue::Index { array, index } => {
+                        let idx = self.lower_expr(index);
+                        let base = self.array_base(array);
+                        self.emit(IrOp::Store { base, index: idx, value: v });
+                    }
+                }
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let c = self.lower_expr(cond);
+                let decide = self.current;
+                let then_block = self.start_block();
+                self.scopes.push(HashMap::new());
+                self.lower_stmt(then_branch, None);
+                self.scopes.pop();
+                let then_end = self.current;
+                let (else_block, else_end) = if let Some(e) = else_branch {
+                    let b = self.start_block();
+                    self.scopes.push(HashMap::new());
+                    self.lower_stmt(e, None);
+                    self.scopes.pop();
+                    (b, Some(self.current))
+                } else {
+                    let b = self.func.new_block();
+                    (b, None)
+                };
+                let join = self.func.new_block();
+                self.func.blocks[decide.index()].term =
+                    IrTerm::Branch { cond: c, taken: then_block, fallthrough: else_block };
+                self.func.blocks[then_end.index()].term = IrTerm::Jump(join);
+                match else_end {
+                    Some(end) => self.func.blocks[end.index()].term = IrTerm::Jump(join),
+                    None => self.func.blocks[else_block.index()].term = IrTerm::Jump(join),
+                }
+                self.current = join;
+            }
+            Stmt::While { cond, body, annotations } => {
+                let bound = match loops::annotated_bound(annotations) {
+                    Ok(Some(b)) => Some(b),
+                    Ok(None) => {
+                        // Counted-loop inference, but only when the
+                        // induction variable is a function-local scalar (a
+                        // global could be mutated by callees in the body).
+                        match prev.and_then(loops::const_init_var) {
+                            Some(var) if self.is_local_scalar(var) => {
+                                loops::infer_while_bound(prev, cond, body)
+                            }
+                            _ => None,
+                        }
+                    }
+                    // A malformed bound annotation is treated as absent;
+                    // the WCET analysis will reject the unbounded loop
+                    // with a clear message.
+                    Err(_) => None,
+                };
+                self.lower_loop(None, cond, None, body, bound);
+            }
+            Stmt::For { init, cond, step, body, annotations } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.lower_stmt(init, None);
+                }
+                let bound = match loops::annotated_bound(annotations) {
+                    Ok(Some(b)) => Some(b),
+                    Ok(None) => {
+                        let local_ok = init
+                            .as_deref()
+                            .and_then(loops::const_init_var)
+                            .map(|v| self.is_local_scalar(v))
+                            .unwrap_or(false);
+                        if local_ok {
+                            loops::infer_for_bound(
+                                init.as_deref(),
+                                cond.as_ref(),
+                                step.as_deref(),
+                                body,
+                            )
+                        } else {
+                            None
+                        }
+                    }
+                    Err(_) => None,
+                };
+                let one = Expr::Lit(1);
+                let cond_expr = cond.as_ref().unwrap_or(&one);
+                self.lower_loop(None, cond_expr, step.as_deref(), body, bound);
+                self.scopes.pop();
+            }
+            Stmt::Return(value) => {
+                let v = value.as_ref().map(|e| self.lower_expr(e));
+                self.set_term(IrTerm::Ret(v));
+                // Anything after a return in the same list is dead; give
+                // it an unreachable block.
+                self.start_block();
+            }
+            Stmt::ExprStmt(e) => {
+                self.lower_call(e);
+            }
+            Stmt::Block(stmts) => self.lower_stmts(stmts),
+        }
+    }
+
+    /// Shared loop shape: `header: if cond { body; step; jump header }`.
+    fn lower_loop(
+        &mut self,
+        _init: Option<&Stmt>,
+        cond: &Expr,
+        step: Option<&Stmt>,
+        body: &Stmt,
+        bound: Option<u32>,
+    ) {
+        let pre = self.current;
+        let header = self.func.new_block();
+        self.func.blocks[pre.index()].term = IrTerm::Jump(header);
+        self.current = header;
+        if let Some(b) = bound {
+            self.func.loop_bounds.insert(header, b);
+        }
+        let c = self.lower_expr(cond);
+        let decide = self.current;
+
+        let body_block = self.start_block();
+        self.scopes.push(HashMap::new());
+        self.lower_stmt(body, None);
+        if let Some(step) = step {
+            self.lower_stmt(step, None);
+        }
+        self.scopes.pop();
+        let body_end = self.current;
+        self.func.blocks[body_end.index()].term = IrTerm::Jump(header);
+
+        let exit = self.func.new_block();
+        self.func.blocks[decide.index()].term =
+            IrTerm::Branch { cond: c, taken: body_block, fallthrough: exit };
+        self.current = exit;
+    }
+}
+
+/// Lower a single type-checked function.
+pub fn lower_function(program: &Program, f: &Function) -> IrFunction {
+    let mut func = IrFunction {
+        name: f.name.clone(),
+        params: Vec::new(),
+        returns_value: f.returns_value,
+        blocks: Vec::new(),
+        temp_count: 0,
+        local_arrays: Vec::new(),
+        loop_bounds: HashMap::new(),
+        annotations: f.annotations.iter().map(|a| a.text.clone()).collect(),
+    };
+    func.new_block();
+    let mut scope = HashMap::new();
+    for p in &f.params {
+        let t = func.fresh_temp();
+        func.params.push(IrParam { name: p.name.clone(), is_array: p.is_array, temp: t });
+        let binding =
+            if p.is_array { VarBinding::ParamArray(t) } else { VarBinding::Scalar(t) };
+        scope.insert(p.name.clone(), binding);
+    }
+    let mut lowerer =
+        Lowerer { func, scopes: vec![scope], program, current: IrBlockId(0) };
+    lowerer.lower_stmts(&f.body);
+    // The final (possibly unreachable) block falls back to `ret`.
+    lowerer.set_term(IrTerm::Ret(None));
+    lowerer.func
+}
+
+/// Lower a whole type-checked [`Program`] to an [`IrModule`].
+pub fn lower_program(program: &Program) -> IrModule {
+    let functions = program.functions().map(|f| lower_function(program, f)).collect();
+    let globals = program.globals().map(|g| (g.name.clone(), g.init.clone())).collect();
+    IrModule { functions, globals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, RecordingPorts};
+    use crate::ir::exec_module;
+    use crate::parse_and_check;
+
+    /// Differential check: AST interpreter vs IR executor.
+    fn check_same(src: &str, func: &str, argsets: &[Vec<i32>]) {
+        let program = parse_and_check(src).expect("front-end");
+        let module = lower_program(&program);
+        module.validate().expect("valid IR");
+        for args in argsets {
+            let mut interp = Interp::new(&program, RecordingPorts::new(), 10_000_000);
+            let expected = interp.call(func, args).expect("oracle run").return_value;
+            let mut ports = RecordingPorts::new();
+            let got = exec_module(&module, func, args, &mut ports, 10_000_000).expect("IR run");
+            assert_eq!(got, expected, "diverged for {func}({args:?})");
+        }
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        check_same(
+            "int f(int a, int b) { return (a + b) * (a - b) / 3 % 7; }",
+            "f",
+            &[vec![10, 3], vec![-5, 9], vec![0, 0]],
+        );
+    }
+
+    #[test]
+    fn if_else_chains() {
+        check_same(
+            "int f(int x) { if (x > 10) { return 1; } else if (x > 0) { return 2; } return 3; }",
+            "f",
+            &[vec![20], vec![5], vec![-1]],
+        );
+    }
+
+    #[test]
+    fn short_circuit_value_and_control() {
+        check_same(
+            "int f(int a, int b) { int v = a && b; int w = a || b; if (a > 0 && b > 0) { v = v + 10; } return v * 100 + w; }",
+            "f",
+            &[vec![0, 0], vec![1, 0], vec![0, 3], vec![2, 2], vec![-1, -1]],
+        );
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        check_same(
+            "int f(int n) {
+                int s = 0;
+                int i = 0;
+                /*@ loop bound(100) @*/
+                while (i < n) { s = s + i; i = i + 1; }
+                for (int j = 0; j < 5; j = j + 1) { s = s * 2; }
+                return s;
+            }",
+            "f",
+            &[vec![0], vec![1], vec![10]],
+        );
+    }
+
+    #[test]
+    fn arrays_local_global_param() {
+        check_same(
+            "int tab[8];
+             void fill(int a[], int n) { for (int i = 0; i < n; i = i + 1) { a[i] = i * i; } return; }
+             int f(int n) {
+                 int loc[8];
+                 fill(tab, n);
+                 fill(loc, n);
+                 int s = 0;
+                 for (int i = 0; i < n; i = i + 1) { s = s + tab[i] + loc[i]; }
+                 return s;
+             }",
+            "f",
+            &[vec![0], vec![4], vec![8]],
+        );
+    }
+
+    #[test]
+    fn local_array_rezeroed_in_loop_scope() {
+        check_same(
+            "int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    int a[2];
+                    s = s + a[0];
+                    a[0] = 99;
+                }
+                return s;
+            }",
+            "f",
+            &[vec![3]],
+        );
+    }
+
+    #[test]
+    fn global_scalars_load_store() {
+        check_same(
+            "int g = 5;
+             int bump(int d) { g = g + d; return g; }
+             int f(int x) { bump(x); bump(x); return g; }",
+            "f",
+            &[vec![1], vec![-3]],
+        );
+    }
+
+    #[test]
+    fn unary_operators() {
+        check_same(
+            "int f(int x) { return -x + ~x + !x; }",
+            "f",
+            &[vec![0], vec![1], vec![-7], vec![i32::MAX]],
+        );
+    }
+
+    #[test]
+    fn ports_match() {
+        let src = "int f() { int x = __in(2); __out(3, x * 2); return x; }";
+        let program = parse_and_check(src).expect("front-end");
+        let module = lower_program(&program);
+        let mut p1 = RecordingPorts::new();
+        p1.queue(2, [21]);
+        let mut interp = Interp::new(&program, p1, 10_000);
+        let expected = interp.call("f", &[]).expect("run").return_value;
+        let exp_out = interp.into_ports().outputs;
+        let mut p2 = RecordingPorts::new();
+        p2.queue(2, [21]);
+        let got = exec_module(&module, "f", &[], &mut p2, 10_000).expect("run");
+        assert_eq!(got, expected);
+        assert_eq!(p2.outputs, exp_out);
+    }
+
+    #[test]
+    fn loop_bounds_recorded_for_annotation_and_inference() {
+        let src = "int f(int n) {
+            int s = 0;
+            /*@ loop bound(12) @*/
+            while (n > 0) { n = n - 1; s = s + 1; }
+            for (int i = 0; i < 30; i = i + 2) { s = s + i; }
+            return s;
+        }";
+        let module = compile(src);
+        let f = module.function("f").expect("f");
+        let mut bounds: Vec<u32> = f.loop_bounds.values().copied().collect();
+        bounds.sort_unstable();
+        assert_eq!(bounds, vec![12, 15]);
+    }
+
+    #[test]
+    fn while_bound_inferred_from_preceding_init() {
+        let src = "int f() {
+            int s = 0;
+            int i = 0;
+            while (i < 9) { s = s + i; i = i + 1; }
+            return s;
+        }";
+        let module = compile(src);
+        let f = module.function("f").expect("f");
+        assert_eq!(f.loop_bounds.values().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn global_induction_variable_is_not_inferred() {
+        let src = "int i;
+        int f() {
+            int s = 0;
+            for (i = 0; i < 9; i = i + 1) { s = s + 1; }
+            return s;
+        }";
+        let module = compile(src);
+        let f = module.function("f").expect("f");
+        assert!(f.loop_bounds.is_empty(), "global induction var must not be inferred");
+    }
+
+    fn compile(src: &str) -> IrModule {
+        let program = parse_and_check(src).expect("front-end");
+        let module = lower_program(&program);
+        module.validate().expect("valid IR");
+        module
+    }
+
+    #[test]
+    fn nested_loops_all_bounded() {
+        let src = "int f() {
+            int s = 0;
+            for (int i = 0; i < 4; i = i + 1) {
+                for (int j = 0; j < 6; j = j + 1) { s = s + 1; }
+            }
+            return s;
+        }";
+        let module = compile(src);
+        let f = module.function("f").expect("f");
+        let mut bounds: Vec<u32> = f.loop_bounds.values().copied().collect();
+        bounds.sort_unstable();
+        assert_eq!(bounds, vec![4, 6]);
+        check_same(src, "f", &[vec![]]);
+    }
+
+    #[test]
+    fn statements_after_return_are_dead_not_crashing() {
+        check_same("int f() { return 1; }", "f", &[vec![]]);
+        let src = "int f(int x) { if (x) { return 1; } return 2; }";
+        check_same(src, "f", &[vec![0], vec![1]]);
+    }
+}

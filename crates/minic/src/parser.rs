@@ -1,0 +1,711 @@
+//! Recursive-descent parser for Mini-C.
+//!
+//! Operator precedence follows C. Annotations bind to the next item or to
+//! the next `while`/`for` statement, which is how `loop bound(n)` and task
+//! contracts reach the analyses.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use std::fmt;
+
+/// Syntax error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].span.line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let k = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line() }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> PResult<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> PResult<i64> {
+        // Accepts an optional leading minus for global initialisers.
+        let neg = self.eat(&TokenKind::Minus);
+        match *self.peek() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            ref other => Err(self.error(format!("expected integer literal, found {other}"))),
+        }
+    }
+
+    fn collect_annotations(&mut self) -> Vec<Annotation> {
+        let mut anns = Vec::new();
+        while let TokenKind::Annotation(text) = self.peek().clone() {
+            anns.push(Annotation { text, line: self.line() });
+            self.bump();
+        }
+        anns
+    }
+
+    // ----- items -----
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut items = Vec::new();
+        loop {
+            let annotations = self.collect_annotations();
+            if *self.peek() == TokenKind::Eof {
+                if !annotations.is_empty() {
+                    return Err(self.error("annotation at end of file attaches to nothing"));
+                }
+                return Ok(Program { items });
+            }
+            items.push(self.item(annotations)?);
+        }
+    }
+
+    fn item(&mut self, annotations: Vec<Annotation>) -> PResult<Item> {
+        let returns_value = match self.peek() {
+            TokenKind::KwInt => {
+                self.bump();
+                true
+            }
+            TokenKind::KwVoid => {
+                self.bump();
+                false
+            }
+            other => return Err(self.error(format!("expected `int` or `void`, found {other}"))),
+        };
+        let name = self.expect_ident()?;
+        if *self.peek() == TokenKind::LParen {
+            self.function(name, returns_value, annotations).map(Item::Function)
+        } else {
+            if !returns_value {
+                return Err(self.error("globals must have type `int`"));
+            }
+            if !annotations.is_empty() {
+                return Err(self.error("annotations may not be attached to globals"));
+            }
+            self.global(name).map(Item::Global)
+        }
+    }
+
+    fn global(&mut self, name: String) -> PResult<Item2> {
+        let array_len = if self.eat(&TokenKind::LBracket) {
+            let n = self.expect_int()?;
+            if !(1..=1 << 20).contains(&n) {
+                return Err(self.error("array length must be between 1 and 2^20"));
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Some(n as u32)
+        } else {
+            None
+        };
+        let mut init = Vec::new();
+        if self.eat(&TokenKind::Assign) {
+            if array_len.is_some() {
+                self.expect(&TokenKind::LBrace)?;
+                loop {
+                    init.push(self.expect_int()? as u32 as i32);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+                if init.len() > array_len.unwrap_or(0) as usize {
+                    return Err(self.error("more initialisers than array elements"));
+                }
+            } else {
+                init.push(self.expect_int()? as u32 as i32);
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        let total = array_len.unwrap_or(1) as usize;
+        init.resize(total, 0);
+        Ok(Global { name, array_len, init })
+    }
+
+    fn function(
+        &mut self,
+        name: String,
+        returns_value: bool,
+        annotations: Vec<Annotation>,
+    ) -> PResult<Function> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                self.expect(&TokenKind::KwInt)?;
+                let pname = self.expect_ident()?;
+                let is_array = if self.eat(&TokenKind::LBracket) {
+                    self.expect(&TokenKind::RBracket)?;
+                    true
+                } else {
+                    false
+                };
+                params.push(Param { name: pname, is_array });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            body.push(self.statement()?);
+        }
+        Ok(Function { name, params, returns_value, body, annotations })
+    }
+
+    // ----- statements -----
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        let annotations = self.collect_annotations();
+        let stmt = self.statement_inner(&annotations)?;
+        if !annotations.is_empty()
+            && !matches!(stmt, Stmt::While { .. } | Stmt::For { .. })
+        {
+            return Err(self.error("annotation here must precede a `while` or `for` loop"));
+        }
+        Ok(stmt)
+    }
+
+    fn statement_inner(&mut self, annotations: &[Annotation]) -> PResult<Stmt> {
+        match self.peek().clone() {
+            TokenKind::KwInt => {
+                let s = self.decl()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = Box::new(self.statement()?);
+                let else_branch = if self.eat(&TokenKind::KwElse) {
+                    Some(Box::new(self.statement()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt::While { cond, body, annotations: annotations.to_vec() })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if *self.peek() == TokenKind::Semi {
+                    None
+                } else if *self.peek() == TokenKind::KwInt {
+                    Some(Box::new(self.decl()?))
+                } else {
+                    Some(Box::new(self.assign_or_expr()?))
+                };
+                self.expect(&TokenKind::Semi)?;
+                let cond =
+                    if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                let step = if *self.peek() == TokenKind::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.assign_or_expr()?))
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt::For { init, cond, step, body, annotations: annotations.to_vec() })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value =
+                    if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    stmts.push(self.statement()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            _ => {
+                let s = self.assign_or_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// `int name;`, `int name = e;`, `int name[n];` — without the semicolon
+    /// (shared with `for` initialisers).
+    fn decl(&mut self) -> PResult<Stmt> {
+        self.expect(&TokenKind::KwInt)?;
+        let name = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let n = self.expect_int()?;
+            if !(1..=1 << 16).contains(&n) {
+                return Err(self.error("local array length must be between 1 and 65536"));
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Stmt::Decl { name, array_len: Some(n as u32), init: None })
+        } else {
+            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            Ok(Stmt::Decl { name, array_len: None, init })
+        }
+    }
+
+    /// Assignment or bare call — without the semicolon.
+    fn assign_or_expr(&mut self) -> PResult<Stmt> {
+        // Lookahead: `ident =` or `ident [ ... ] =` is an assignment.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if *self.peek_ahead(1) == TokenKind::Assign {
+                self.bump();
+                self.bump();
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { target: LValue::Var(name), value });
+            }
+            if *self.peek_ahead(1) == TokenKind::LBracket {
+                // Could be `a[i] = e` or the expression `a[i]` in a larger
+                // expression; parse the index then decide.
+                let save = self.pos;
+                self.bump();
+                self.bump();
+                let index = self.expr()?;
+                if self.eat(&TokenKind::RBracket) && self.eat(&TokenKind::Assign) {
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign {
+                        target: LValue::Index { array: name, index },
+                        value,
+                    });
+                }
+                self.pos = save;
+            }
+        }
+        let e = self.expr()?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.logic_or()
+    }
+
+    fn logic_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.logic_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.logic_and()?;
+            lhs = Expr::Bin { op: BinOp::LogOr, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::Bin { op: BinOp::LogAnd, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.bit_xor()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.bit_xor()?;
+            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> PResult<Expr> {
+        let mut lhs = self.bit_and()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.bit_and()?;
+            lhs = Expr::Bin { op: BinOp::Xor, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.equality()?;
+            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> PResult<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn relational(&mut self) -> PResult<Expr> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn shift(&mut self) -> PResult<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn additive(&mut self) -> PResult<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Bang => Some(UnOp::LogNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::Un { op, operand: Box::new(operand) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::Lit(v as u32 as i32))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&TokenKind::RParen)?;
+                        }
+                        Ok(Expr::Call { func: name, args })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        Ok(Expr::Index { array: name, index: Box::new(index) })
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+// `global` returns a `Global`, aliased to keep the Item construction tidy.
+type Item2 = Global;
+
+/// Parse a token stream (as produced by [`crate::lexer::lex`]) into a
+/// [`Program`].
+///
+/// # Errors
+/// Returns the first syntax error with its source line.
+///
+/// # Panics
+/// Panics if `tokens` is empty; `lex` always ends streams with `Eof`.
+pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
+    assert!(!tokens.is_empty(), "token stream must end with Eof");
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program, ParseError> {
+        parse(&lex(src).expect("lex"))
+    }
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_src("int main() { return 0; }").expect("parse");
+        let f = p.function("main").expect("main exists");
+        assert!(f.returns_value);
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_params_and_array_params() {
+        let p = parse_src("void f(int a, int buf[]) { return; }").expect("parse");
+        let f = p.function("f").expect("f");
+        assert_eq!(f.params.len(), 2);
+        assert!(!f.params[0].is_array);
+        assert!(f.params[1].is_array);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("int f() { return 1 + 2 * 3; }").expect("parse");
+        let f = p.function("f").expect("f");
+        let Stmt::Return(Some(Expr::Bin { op: BinOp::Add, rhs, .. })) = &f.body[0] else {
+            panic!("expected add at top");
+        };
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_shift_between_add_and_rel() {
+        let p = parse_src("int f() { return 1 << 2 + 3 < 4; }").expect("parse");
+        let f = p.function("f").expect("f");
+        // C parse: (1 << (2+3)) < 4.
+        let Stmt::Return(Some(Expr::Bin { op: BinOp::Lt, lhs, .. })) = &f.body[0] else {
+            panic!("expected < at top");
+        };
+        assert!(matches!(**lhs, Expr::Bin { op: BinOp::Shl, .. }));
+    }
+
+    #[test]
+    fn globals_scalar_and_array() {
+        let p = parse_src("int g = 5; int tab[4] = {1, 2}; int z;").expect("parse");
+        let globals: Vec<_> = p.globals().collect();
+        assert_eq!(globals[0].init, vec![5]);
+        assert_eq!(globals[1].init, vec![1, 2, 0, 0]);
+        assert_eq!(globals[2].init, vec![0]);
+    }
+
+    #[test]
+    fn negative_global_initialisers() {
+        let p = parse_src("int g = -7;").expect("parse");
+        assert_eq!(p.globals().next().expect("g").init, vec![-7]);
+    }
+
+    #[test]
+    fn loop_annotations_attach() {
+        let src = "int f() { int s = 0; /*@ loop bound(8) @*/ while (s < 8) { s = s + 1; } return s; }";
+        let p = parse_src(src).expect("parse");
+        let f = p.function("f").expect("f");
+        let Stmt::While { annotations, .. } = &f.body[1] else { panic!("expected while") };
+        assert_eq!(annotations[0].text, "loop bound(8)");
+    }
+
+    #[test]
+    fn function_annotations_attach() {
+        let src = "/*@ task camera period(40) @*/ void snap() { return; }";
+        let p = parse_src(src).expect("parse");
+        assert_eq!(p.function("snap").expect("snap").annotations[0].text, "task camera period(40)");
+    }
+
+    #[test]
+    fn annotation_on_plain_statement_is_error() {
+        let src = "int f() { /*@ loop bound(8) @*/ return 0; }";
+        assert!(parse_src(src).is_err());
+    }
+
+    #[test]
+    fn for_loop_full_form() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }";
+        let p = parse_src(src).expect("parse");
+        let f = p.function("f").expect("f");
+        let Stmt::For { init, cond, step, .. } = &f.body[1] else { panic!("expected for") };
+        assert!(init.is_some() && cond.is_some() && step.is_some());
+    }
+
+    #[test]
+    fn for_loop_empty_clauses() {
+        let src = "int f() { for (;;) { return 1; } return 0; }";
+        let p = parse_src(src).expect("parse");
+        let f = p.function("f").expect("f");
+        let Stmt::For { init, cond, step, .. } = &f.body[0] else { panic!("expected for") };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn array_assignment_and_index_expression() {
+        let src = "int f(int a[]) { a[2] = a[1] + 1; return a[2]; }";
+        let p = parse_src(src).expect("parse");
+        let f = p.function("f").expect("f");
+        assert!(matches!(&f.body[0], Stmt::Assign { target: LValue::Index { .. }, .. }));
+    }
+
+    #[test]
+    fn array_index_expression_statement_not_misparsed() {
+        // `a[f(1)] = 2;` requires backtracking over the bracketed index.
+        let src = "int g(int x) { return x; } int f(int a[]) { a[g(1)] = 2; return a[1]; }";
+        parse_src(src).expect("parse");
+    }
+
+    #[test]
+    fn call_statement() {
+        let src = "void t() { return; } int main() { t(); return 0; }";
+        let p = parse_src(src).expect("parse");
+        let m = p.function("main").expect("main");
+        assert!(matches!(&m.body[0], Stmt::ExprStmt(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn unary_chains() {
+        let src = "int f(int x) { return -~!x; }";
+        parse_src(src).expect("parse");
+    }
+
+    #[test]
+    fn missing_semi_is_error() {
+        assert!(parse_src("int f() { return 0 }").is_err());
+    }
+
+    #[test]
+    fn dangling_annotation_is_error() {
+        assert!(parse_src("int f() { return 0; } /*@ task t @*/").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::lexer::lex;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(src in "\\PC{0,200}") {
+            if let Ok(tokens) = lex(&src) {
+                let _ = parse(&tokens);
+            }
+        }
+    }
+}

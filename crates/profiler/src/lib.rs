@@ -1,0 +1,278 @@
+//! # teamplay-profiler — the dynamic profiler (PowProfiler analogue)
+//!
+//! Complex architectures "cannot be statically analysed to determine
+//! WCETs" (paper Section II-B), so the TeamPlay workflow instruments a
+//! sequential build of the application, executes it repeatedly, and
+//! derives per-task time/energy profiles — the role of PowProfiler
+//! (refs \[18\], \[19\]). This crate drives `teamplay-sim`'s complex-platform
+//! simulator as the measured device:
+//!
+//! * [`profile_tasks`] — run every task `runs` times at every
+//!   (core, operating-point) combination, collecting [`TaskStats`];
+//! * [`exec_options_from_profile`] — convert profiles into the
+//!   multi-version [`teamplay_coord::ExecOption`]s the scheduler
+//!   consumes, applying a safety margin on the p95 execution time
+//!   (profiling yields estimates, not bounds — which is precisely why
+//!   the complex flow is for soft real-time use cases like the UAV);
+//! * [`sample_power_trace`] — the power-rig view: a sampled power
+//!   timeline over a sequence of task executions, integrated back into
+//!   energy (used to validate that sampling-based measurement converges
+//!   to the simulator's ground truth).
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use teamplay_coord::ExecOption;
+use teamplay_sim::{ComplexPlatform, TaskExecution, WorkItem};
+
+/// Summary statistics of one (task, core, operating-point) profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Observations.
+    pub runs: usize,
+    /// Mean execution time (ms).
+    pub mean_time_ms: f64,
+    /// 95th-percentile execution time (ms).
+    pub p95_time_ms: f64,
+    /// Maximum observed execution time (ms).
+    pub max_time_ms: f64,
+    /// Sample standard deviation of time (ms).
+    pub std_time_ms: f64,
+    /// Mean energy (mJ).
+    pub mean_energy_mj: f64,
+}
+
+impl TaskStats {
+    /// Compute stats from raw executions.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn from_runs(samples: &[TaskExecution]) -> TaskStats {
+        assert!(!samples.is_empty(), "need at least one run");
+        let mut times: Vec<f64> = samples.iter().map(|s| s.time_ms).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let n = times.len();
+        let mean = times.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let p95 = times[((n as f64 * 0.95).ceil() as usize).min(n) - 1];
+        TaskStats {
+            runs: n,
+            mean_time_ms: mean,
+            p95_time_ms: p95,
+            max_time_ms: times[n - 1],
+            std_time_ms: var.sqrt(),
+            mean_energy_mj: samples.iter().map(|s| s.energy_mj).sum::<f64>() / n as f64,
+        }
+    }
+}
+
+/// A full profiling report: task → core → operating point → stats.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// `(task, core, op_index)` → stats.
+    pub profiles: BTreeMap<(String, String, usize), TaskStats>,
+}
+
+impl ProfileReport {
+    /// Stats for one combination.
+    pub fn stats(&self, task: &str, core: &str, op: usize) -> Option<&TaskStats> {
+        self.profiles.get(&(task.to_string(), core.to_string(), op))
+    }
+}
+
+/// Profile every task on every core/operating point of the platform.
+///
+/// Deterministic for a fixed seed (the simulator's jitter is seeded).
+pub fn profile_tasks(
+    platform: &ComplexPlatform,
+    tasks: &[(String, WorkItem)],
+    runs: usize,
+    seed: u64,
+) -> ProfileReport {
+    let mut rng: StdRng = ComplexPlatform::rng(seed);
+    let mut profiles = BTreeMap::new();
+    for (name, work) in tasks {
+        for core in &platform.cores {
+            for op in 0..core.ops.len() {
+                let samples: Vec<TaskExecution> =
+                    (0..runs).map(|_| platform.execute(core, op, work, &mut rng)).collect();
+                profiles.insert(
+                    (name.clone(), core.name.clone(), op),
+                    TaskStats::from_runs(&samples),
+                );
+            }
+        }
+    }
+    ProfileReport { profiles }
+}
+
+/// Convert a profile into scheduler options.
+///
+/// Each (core, op) combination becomes one option per task with
+/// `time = p95 × margin` (a soft-real-time budget, not a WCET bound) and
+/// the mean energy. `margin` of 1.1–1.3 mirrors the engineering safety
+/// factors of the paper's UAV deployment.
+pub fn exec_options_from_profile(
+    report: &ProfileReport,
+    task: &str,
+    margin: f64,
+) -> Vec<ExecOption> {
+    report
+        .profiles
+        .iter()
+        .filter(|((t, _, _), _)| t == task)
+        .map(|((_, core, op), stats)| ExecOption {
+            label: format!("{core}#op{op}"),
+            core: core.clone(),
+            time_us: stats.p95_time_ms * margin * 1e3,
+            energy_uj: stats.mean_energy_mj * 1e3,
+        })
+        .collect()
+}
+
+/// One span of a sequential execution trace: `(start_ms, end_ms,
+/// power_mw)`.
+pub type PowerSpan = (f64, f64, f64);
+
+/// Sample the total power of a span sequence at a fixed period, returning
+/// `(sample_times_ms, power_mw)` pairs — what a measurement rig records.
+pub fn sample_power_trace(spans: &[PowerSpan], period_ms: f64) -> Vec<(f64, f64)> {
+    let end = spans.iter().map(|s| s.1).fold(0.0f64, f64::max);
+    let mut out = Vec::new();
+    let mut t = period_ms / 2.0; // midpoint sampling
+    while t < end {
+        let p = spans
+            .iter()
+            .filter(|(s, e, _)| *s <= t && t < *e)
+            .map(|(_, _, p)| p)
+            .sum::<f64>();
+        out.push((t, p));
+        t += period_ms;
+    }
+    out
+}
+
+/// Integrate a sampled power trace into energy (mJ), rectangle rule.
+pub fn integrate_energy_mj(samples: &[(f64, f64)], period_ms: f64) -> f64 {
+    samples.iter().map(|(_, p)| p * period_ms / 1e3).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> ComplexPlatform {
+        ComplexPlatform::tk1()
+    }
+
+    fn work() -> WorkItem {
+        WorkItem::new(500.0, 4.0)
+    }
+
+    #[test]
+    fn stats_summarise_runs() {
+        let samples = vec![
+            TaskExecution { time_ms: 10.0, energy_mj: 5.0, avg_power_mw: 500.0 },
+            TaskExecution { time_ms: 12.0, energy_mj: 6.0, avg_power_mw: 500.0 },
+            TaskExecution { time_ms: 11.0, energy_mj: 5.5, avg_power_mw: 500.0 },
+        ];
+        let s = TaskStats::from_runs(&samples);
+        assert_eq!(s.runs, 3);
+        assert!((s.mean_time_ms - 11.0).abs() < 1e-9);
+        assert_eq!(s.max_time_ms, 12.0);
+        assert!((s.mean_energy_mj - 5.5).abs() < 1e-9);
+        assert!(s.p95_time_ms >= s.mean_time_ms);
+    }
+
+    #[test]
+    fn profiling_covers_all_cores_and_ops() {
+        let p = platform();
+        let tasks = vec![("detect".to_string(), work())];
+        let report = profile_tasks(&p, &tasks, 16, 7);
+        let combos: usize = p.cores.iter().map(|c| c.ops.len()).sum();
+        assert_eq!(report.profiles.len(), combos);
+        let s = report.stats("detect", "a15-0", 0).expect("present");
+        assert!(s.mean_time_ms > 0.0);
+    }
+
+    #[test]
+    fn profiling_is_deterministic_per_seed() {
+        let p = platform();
+        let tasks = vec![("t".to_string(), work())];
+        let a = profile_tasks(&p, &tasks, 8, 3);
+        let b = profile_tasks(&p, &tasks, 8, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p95_reflects_jitter() {
+        let p = platform();
+        let tasks = vec![("t".to_string(), work())];
+        let report = profile_tasks(&p, &tasks, 200, 5);
+        let s = report.stats("t", "a15-0", 2).expect("present");
+        assert!(s.p95_time_ms > s.mean_time_ms, "jitter should lift the p95");
+        assert!(s.max_time_ms >= s.p95_time_ms);
+        assert!(s.std_time_ms > 0.0);
+    }
+
+    #[test]
+    fn exec_options_apply_margin_and_units() {
+        let p = platform();
+        let tasks = vec![("t".to_string(), work())];
+        let report = profile_tasks(&p, &tasks, 32, 9);
+        let opts = exec_options_from_profile(&report, "t", 1.2);
+        let combos: usize = p.cores.iter().map(|c| c.ops.len()).sum();
+        assert_eq!(opts.len(), combos);
+        let s = report.stats("t", "gk20a", 0).expect("present");
+        let o = opts
+            .iter()
+            .find(|o| o.core == "gk20a" && o.label.ends_with("#op0"))
+            .expect("option");
+        assert!((o.time_us - s.p95_time_ms * 1.2 * 1e3).abs() < 1e-6);
+        assert!((o.energy_uj - s.mean_energy_mj * 1e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gpu_options_beat_cpu_for_gpu_friendly_work() {
+        let p = platform();
+        let tasks = vec![("t".to_string(), WorkItem::new(8000.0, 12.0))];
+        let report = profile_tasks(&p, &tasks, 32, 11);
+        let opts = exec_options_from_profile(&report, "t", 1.1);
+        let best_cpu = opts
+            .iter()
+            .filter(|o| o.core.starts_with("a15"))
+            .map(|o| o.time_us)
+            .fold(f64::INFINITY, f64::min);
+        let best_gpu = opts
+            .iter()
+            .filter(|o| o.core == "gk20a")
+            .map(|o| o.time_us)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_gpu < best_cpu);
+    }
+
+    #[test]
+    fn sampled_energy_converges_to_truth() {
+        // Three back-to-back spans at known power.
+        let spans = vec![(0.0, 100.0, 2000.0), (100.0, 250.0, 3500.0), (250.0, 400.0, 1000.0)];
+        let truth_mj = 2000.0 * 0.1 + 3500.0 * 0.15 + 1000.0 * 0.15;
+        let coarse = integrate_energy_mj(&sample_power_trace(&spans, 10.0), 10.0);
+        let fine = integrate_energy_mj(&sample_power_trace(&spans, 0.5), 0.5);
+        let err_coarse = (coarse - truth_mj).abs() / truth_mj;
+        let err_fine = (fine - truth_mj).abs() / truth_mj;
+        assert!(err_fine < 0.01, "fine sampling error {err_fine}");
+        assert!(err_fine <= err_coarse + 1e-12);
+    }
+
+    #[test]
+    fn power_trace_samples_midpoints() {
+        let spans = vec![(0.0, 10.0, 100.0)];
+        let samples = sample_power_trace(&spans, 2.0);
+        assert_eq!(samples.len(), 5);
+        assert!(samples.iter().all(|(_, p)| *p == 100.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! The SecurityAnalyser: leakage assessment of compiled tasks.
+//!
+//! Runs a compiled PG32 task on the cycle simulator — the reproduction's
+//! measurement rig — under two fixed secrets while drawing the public
+//! inputs at random, then scores the **timing channel** (cycle counts)
+//! and the **power channel** (per-run energy) with the indiscernibility
+//! metrics. This is exactly the experimental setup of the paper's
+//! synthetic Cortex-M0 security validation (Section IV).
+
+use crate::metrics::LeakageAssessment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use teamplay_isa::Program;
+use teamplay_sim::{Machine, MachineError, NullDevice};
+
+/// Which argument is secret and which two values to compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretSpec {
+    /// Index of the secret argument.
+    pub arg_index: usize,
+    /// First secret class value.
+    pub class0: i32,
+    /// Second secret class value.
+    pub class1: i32,
+}
+
+/// Leakage scores for both observable channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageReport {
+    /// Timing channel (cycles per run).
+    pub time: LeakageAssessment,
+    /// Power channel (energy per run).
+    pub energy: LeakageAssessment,
+    /// Traces collected per class.
+    pub traces_per_class: usize,
+}
+
+impl LeakageReport {
+    /// `true` if either channel leaks.
+    pub fn leaks(&self) -> bool {
+        use crate::metrics::Verdict;
+        self.time.verdict == Verdict::Leaking || self.energy.verdict == Verdict::Leaking
+    }
+}
+
+/// Assessment failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssessError {
+    /// Machine trap during a measurement run.
+    Machine(MachineError),
+    /// Bad argument shape (secret index out of range, > 6 args).
+    BadSpec(String),
+    /// Program failed to load.
+    Load(String),
+}
+
+impl fmt::Display for AssessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssessError::Machine(e) => write!(f, "measurement run trapped: {e}"),
+            AssessError::BadSpec(msg) => write!(f, "bad secret spec: {msg}"),
+            AssessError::Load(msg) => write!(f, "program load failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AssessError {}
+
+impl From<MachineError> for AssessError {
+    fn from(e: MachineError) -> Self {
+        AssessError::Machine(e)
+    }
+}
+
+/// Assess the leakage of `func` in `program`.
+///
+/// `arg_count` is the function's total scalar argument count; non-secret
+/// arguments are drawn uniformly from `public_range` with a seeded RNG,
+/// identically for both classes (paired sampling isolates the secret's
+/// contribution).
+///
+/// # Errors
+/// See [`AssessError`].
+pub fn assess_leakage(
+    program: &Program,
+    func: &str,
+    arg_count: usize,
+    spec: SecretSpec,
+    traces_per_class: usize,
+    public_range: std::ops::Range<i32>,
+    seed: u64,
+) -> Result<LeakageReport, AssessError> {
+    if spec.arg_index >= arg_count {
+        return Err(AssessError::BadSpec(format!(
+            "secret index {} out of range for {arg_count} args",
+            spec.arg_index
+        )));
+    }
+    if arg_count > 6 {
+        return Err(AssessError::BadSpec("more than 6 arguments".into()));
+    }
+    let mut machine = Machine::new(program.clone()).map_err(AssessError::Load)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut time = [Vec::with_capacity(traces_per_class), Vec::with_capacity(traces_per_class)];
+    let mut energy =
+        [Vec::with_capacity(traces_per_class), Vec::with_capacity(traces_per_class)];
+
+    for _ in 0..traces_per_class {
+        // One public draw, replayed for both classes.
+        let publics: Vec<i32> =
+            (0..arg_count).map(|_| rng.gen_range(public_range.clone())).collect();
+        for (class, secret) in [(0usize, spec.class0), (1usize, spec.class1)] {
+            let mut args = publics.clone();
+            args[spec.arg_index] = secret;
+            machine.reset_data();
+            let r = machine.call(func, &args, &mut NullDevice::new())?;
+            time[class].push(r.cycles as f64);
+            energy[class].push(r.energy_pj);
+        }
+    }
+
+    Ok(LeakageReport {
+        time: LeakageAssessment::from_samples(&time[0], &time[1]),
+        energy: LeakageAssessment::from_samples(&energy[0], &energy[1]),
+        traces_per_class,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::{ladderise, secret_params_of};
+    use crate::metrics::Verdict;
+    use std::collections::HashMap;
+    use teamplay_compiler::{compile_module, CompilerConfig};
+    use teamplay_minic::compile_to_ir;
+
+    /// A branchy comparator: classic timing leak (arms differ in cost).
+    const BRANCHY: &str = "/*@ secret(k) @*/
+        int check(int k, int x) {
+            int r = 0;
+            if (k > 100) { r = (x * 3 + k) * (x - 2) + x / 3; } else { r = x; }
+            return r;
+        }";
+
+    fn compile(src: &str, harden: bool) -> Program {
+        let mut ir = compile_to_ir(src).expect("front-end");
+        if harden {
+            let mut secrets = HashMap::new();
+            for f in &ir.functions {
+                secrets.insert(f.name.clone(), secret_params_of(f));
+            }
+            for f in &mut ir.functions {
+                let s = secrets[&f.name].clone();
+                let report = ladderise(f, &s);
+                assert!(report.fully_hardened(), "{report:?}");
+            }
+        }
+        // No optimisation: keep the branch structure as written.
+        compile_module(&ir, &CompilerConfig::traditional()).expect("compile")
+    }
+
+    fn spec() -> SecretSpec {
+        SecretSpec { arg_index: 0, class0: 0, class1: 200 }
+    }
+
+    #[test]
+    fn branchy_code_leaks_time_and_energy() {
+        let program = compile(BRANCHY, false);
+        let report =
+            assess_leakage(&program, "check", 2, spec(), 64, 0..1000, 7).expect("assess");
+        assert_eq!(report.time.verdict, Verdict::Leaking, "{report:?}");
+        assert_eq!(report.energy.verdict, Verdict::Leaking, "{report:?}");
+    }
+
+    #[test]
+    fn ladderised_code_is_indistinguishable() {
+        let program = compile(BRANCHY, true);
+        let report =
+            assess_leakage(&program, "check", 2, spec(), 64, 0..1000, 7).expect("assess");
+        assert_eq!(report.time.verdict, Verdict::Indistinguishable, "{report:?}");
+        assert_eq!(report.energy.verdict, Verdict::Indistinguishable, "{report:?}");
+        assert!(!report.leaks());
+    }
+
+    #[test]
+    fn hardening_costs_some_time() {
+        // The ladder executes both arms: protection is not free — this is
+        // the security/time trade-off of paper Section III-C.
+        use teamplay_sim::{NullDevice, RecordingDevice};
+        let _ = RecordingDevice::new();
+        let plain = compile(BRANCHY, false);
+        let hard = compile(BRANCHY, true);
+        let mut mp = Machine::new(plain).expect("load");
+        let mut mh = Machine::new(hard).expect("load");
+        // k=0 takes the cheap arm in the branchy version.
+        let rp = mp.call("check", &[0, 5], &mut NullDevice::new()).expect("run");
+        let rh = mh.call("check", &[0, 5], &mut NullDevice::new()).expect("run");
+        assert_eq!(rp.return_value, rh.return_value);
+        assert!(rh.cycles > rp.cycles, "ladder must cost cycles on the cheap path");
+    }
+
+    #[test]
+    fn bad_spec_is_rejected() {
+        let program = compile(BRANCHY, false);
+        let err = assess_leakage(
+            &program,
+            "check",
+            2,
+            SecretSpec { arg_index: 5, class0: 0, class1: 1 },
+            8,
+            0..10,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AssessError::BadSpec(_)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let program = compile(BRANCHY, false);
+        let a = assess_leakage(&program, "check", 2, spec(), 32, 0..100, 3).expect("a");
+        let b = assess_leakage(&program, "check", 2, spec(), 32, 0..100, 3).expect("b");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,440 @@
+//! Ladderisation: taint-driven if-conversion to constant-time selects.
+//!
+//! Paper refs \[11\] ("A Hole in the Ladder: Interleaved Variables in
+//! Iterative Conditional Branching") and \[12\] ("Semi-automatic
+//! Ladderisation") harden code by replacing secret-dependent conditional
+//! branching with straight-line computation of *both* arms, combined with
+//! a constant-time select — the structure of the Montgomery ladder.
+//!
+//! The optimiser here works on Mini-C IR:
+//!
+//! 1. **taint analysis** — temps derived from `secret` parameters
+//!    (transitively, through arithmetic, copies, selects and loads with
+//!    tainted indices) are tainted;
+//! 2. **diamond matching** — a branch on a tainted condition whose arms
+//!    are single, pure (arithmetic-only) blocks joining at a common
+//!    continuation;
+//! 3. **if-conversion** — both arms are renamed apart, executed
+//!    unconditionally, and every written variable is merged with
+//!    [`IrOp::Select`] (compiled to the constant-time `csel`).
+//!
+//! Secret-guarded *loops* and arms with memory writes or calls cannot be
+//! converted; they are counted as residual risk in the [`LadderReport`]
+//! so the contract layer can refuse to certify the task.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use teamplay_minic::ir::{
+    CallArg, IrBlockId, IrFunction, IrModule, IrOp, IrTerm, MemBase, Operand, Temp,
+};
+
+/// Outcome of ladderising one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LadderReport {
+    /// Secret-guarded diamonds successfully if-converted.
+    pub converted: usize,
+    /// Secret-tainted branches that could not be converted (loops, arms
+    /// with side effects) — residual side-channel risk.
+    pub residual: usize,
+}
+
+impl LadderReport {
+    /// `true` when no secret-dependent branching remains.
+    pub fn fully_hardened(&self) -> bool {
+        self.residual == 0
+    }
+}
+
+/// Temps transitively derived from the given secret parameters.
+pub fn tainted_temps(f: &IrFunction, secret_params: &HashSet<String>) -> HashSet<Temp> {
+    let mut tainted: HashSet<Temp> = f
+        .params
+        .iter()
+        .filter(|p| secret_params.contains(&p.name))
+        .map(|p| p.temp)
+        .collect();
+    let is_tainted = |t: &HashSet<Temp>, o: &Operand| match o {
+        Operand::Temp(x) => t.contains(x),
+        Operand::Const(_) => false,
+    };
+    loop {
+        let mut changed = false;
+        for b in &f.blocks {
+            for op in &b.ops {
+                let (dst, sources_tainted): (Option<Temp>, bool) = match op {
+                    IrOp::Bin { dst, a, b, .. } => {
+                        (Some(*dst), is_tainted(&tainted, a) || is_tainted(&tainted, b))
+                    }
+                    IrOp::Un { dst, a, .. } => (Some(*dst), is_tainted(&tainted, a)),
+                    IrOp::Copy { dst, src } => (Some(*dst), is_tainted(&tainted, src)),
+                    IrOp::Select { dst, cond, t, f } => (
+                        Some(*dst),
+                        is_tainted(&tainted, cond)
+                            || is_tainted(&tainted, t)
+                            || is_tainted(&tainted, f),
+                    ),
+                    IrOp::Load { dst, base, index } => {
+                        let base_tainted = matches!(base, MemBase::Param(t) if tainted.contains(t));
+                        (Some(*dst), is_tainted(&tainted, index) || base_tainted)
+                    }
+                    // Calls are conservative: a call with any tainted
+                    // argument taints its result.
+                    IrOp::Call { dst, args, .. } => {
+                        let any = args.iter().any(|a| match a {
+                            CallArg::Value(v) => is_tainted(&tainted, v),
+                            CallArg::ArrayRef(MemBase::Param(t)) => tainted.contains(t),
+                            CallArg::ArrayRef(_) => false,
+                        });
+                        (*dst, any)
+                    }
+                    IrOp::In { .. } | IrOp::Out { .. } | IrOp::Store { .. } => (None, false),
+                };
+                if sources_tainted {
+                    if let Some(d) = dst {
+                        if tainted.insert(d) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+/// Is this op safe to execute unconditionally (pure, no memory writes, no
+/// I/O, cannot trap)?
+fn is_speculatable(op: &IrOp) -> bool {
+    matches!(
+        op,
+        IrOp::Bin { .. } | IrOp::Un { .. } | IrOp::Copy { .. } | IrOp::Select { .. }
+    )
+}
+
+/// Rename the writes of a block's ops apart, so the arm can run
+/// unconditionally without clobbering the other arm's inputs. Returns the
+/// rewritten ops and the final name of every variable the arm wrote.
+fn rename_arm(f: &mut IrFunction, ops: &[IrOp]) -> (Vec<IrOp>, HashMap<Temp, Temp>) {
+    let mut subst: HashMap<Temp, Temp> = HashMap::new();
+    let rewrite = |subst: &HashMap<Temp, Temp>, o: Operand| -> Operand {
+        match o {
+            Operand::Temp(t) => Operand::Temp(subst.get(&t).copied().unwrap_or(t)),
+            c => c,
+        }
+    };
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let new_op = match op {
+            IrOp::Bin { op, dst, a, b } => {
+                let a = rewrite(&subst, *a);
+                let b = rewrite(&subst, *b);
+                let nd = f.fresh_temp();
+                subst.insert(*dst, nd);
+                IrOp::Bin { op: *op, dst: nd, a, b }
+            }
+            IrOp::Un { op, dst, a } => {
+                let a = rewrite(&subst, *a);
+                let nd = f.fresh_temp();
+                subst.insert(*dst, nd);
+                IrOp::Un { op: *op, dst: nd, a }
+            }
+            IrOp::Copy { dst, src } => {
+                let src = rewrite(&subst, *src);
+                let nd = f.fresh_temp();
+                subst.insert(*dst, nd);
+                IrOp::Copy { dst: nd, src }
+            }
+            IrOp::Select { dst, cond, t, f: fv } => {
+                let cond = rewrite(&subst, *cond);
+                let t = rewrite(&subst, *t);
+                let fv = rewrite(&subst, *fv);
+                let nd = f.fresh_temp();
+                subst.insert(*dst, nd);
+                IrOp::Select { dst: nd, cond, t, f: fv }
+            }
+            other => unreachable!("non-speculatable op in arm: {other:?}"),
+        };
+        out.push(new_op);
+    }
+    (out, subst)
+}
+
+/// Ladderise one function: if-convert every secret-guarded diamond.
+///
+/// `secret_params` names the function's secret parameters. Functions
+/// without secrets are untouched. Conversion is iterated to a fixpoint;
+/// unconvertible tainted branches are reported as residual.
+pub fn ladderise(f: &mut IrFunction, secret_params: &HashSet<String>) -> LadderReport {
+    let mut report = LadderReport::default();
+    if secret_params.is_empty() {
+        return report;
+    }
+    // Iterate: each conversion can expose new opportunities.
+    for _round in 0..64 {
+        let tainted = tainted_temps(f, secret_params);
+        // Predecessor counts (conversion requires single-entry arms).
+        let mut pred_count: HashMap<IrBlockId, usize> = HashMap::new();
+        for b in &f.blocks {
+            for s in b.term.successors() {
+                *pred_count.entry(s).or_insert(0) += 1;
+            }
+        }
+        let mut candidate: Option<usize> = None;
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let IrTerm::Branch { cond, taken, fallthrough } = &b.term else { continue };
+            let cond_tainted = match cond {
+                Operand::Temp(t) => tainted.contains(t),
+                Operand::Const(_) => false,
+            };
+            if !cond_tainted {
+                continue;
+            }
+            let tb = &f.blocks[taken.index()];
+            let eb = &f.blocks[fallthrough.index()];
+            let ok = taken != fallthrough
+                && taken.index() != bi
+                && fallthrough.index() != bi
+                && matches!((&tb.term, &eb.term), (IrTerm::Jump(a), IrTerm::Jump(b)) if a == b)
+                && tb.ops.iter().all(is_speculatable)
+                && eb.ops.iter().all(is_speculatable)
+                && pred_count.get(taken).copied().unwrap_or(0) == 1
+                && pred_count.get(fallthrough).copied().unwrap_or(0) == 1;
+            // A jump target equal to either arm would re-enter them.
+            let join = match (&tb.term, &eb.term) {
+                (IrTerm::Jump(a), _) => *a,
+                _ => continue,
+            };
+            if ok && join != *taken && join != *fallthrough {
+                candidate = Some(bi);
+                break;
+            }
+        }
+        let Some(bi) = candidate else { break };
+
+        // Destructure the diamond.
+        let IrTerm::Branch { cond, taken, fallthrough } = f.blocks[bi].term.clone() else {
+            unreachable!("candidate was a branch");
+        };
+        let IrTerm::Jump(join) = f.blocks[taken.index()].term.clone() else {
+            unreachable!("arm terminates in a jump");
+        };
+        let t_ops = f.blocks[taken.index()].ops.clone();
+        let e_ops = f.blocks[fallthrough.index()].ops.clone();
+
+        let (t_renamed, t_subst) = rename_arm(f, &t_ops);
+        let (e_renamed, e_subst) = rename_arm(f, &e_ops);
+
+        let block = &mut f.blocks[bi];
+        block.ops.extend(t_renamed);
+        // Arms are *interleaved-safe* after renaming; appending is fine.
+        let mut merged: Vec<Temp> = t_subst.keys().chain(e_subst.keys()).copied().collect();
+        merged.sort();
+        merged.dedup();
+        block.ops.extend(e_renamed);
+        for w in merged {
+            let tv = t_subst.get(&w).copied().unwrap_or(w);
+            let ev = e_subst.get(&w).copied().unwrap_or(w);
+            block.ops.push(IrOp::Select {
+                dst: w,
+                cond,
+                t: Operand::Temp(tv),
+                f: Operand::Temp(ev),
+            });
+        }
+        block.term = IrTerm::Jump(join);
+        // Empty the converted arms (now unreachable).
+        f.blocks[taken.index()].ops.clear();
+        f.blocks[fallthrough.index()].ops.clear();
+        report.converted += 1;
+    }
+
+    // Residual: tainted branches that remain.
+    let tainted = tainted_temps(f, secret_params);
+    for b in &f.blocks {
+        if let IrTerm::Branch { cond: Operand::Temp(t), .. } = &b.term {
+            if tainted.contains(t) {
+                report.residual += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Ladderise every function of a module. `secrets` maps function name →
+/// secret parameter names (as extracted from `secret(param)` CSL
+/// annotations).
+pub fn ladderise_module(
+    module: &mut IrModule,
+    secrets: &HashMap<String, HashSet<String>>,
+) -> HashMap<String, LadderReport> {
+    let mut reports = HashMap::new();
+    for f in &mut module.functions {
+        if let Some(params) = secrets.get(&f.name) {
+            let r = ladderise(f, params);
+            reports.insert(f.name.clone(), r);
+        }
+    }
+    reports
+}
+
+/// Extract `secret(name)` annotations from an IR function's annotation
+/// strings.
+pub fn secret_params_of(f: &IrFunction) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for ann in &f.annotations {
+        for part in ann.split_whitespace() {
+            if let Some(rest) = part.strip_prefix("secret(") {
+                if let Some(name) = rest.strip_suffix(')') {
+                    out.insert(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamplay_minic::compile_to_ir;
+    use teamplay_minic::interp::RecordingPorts;
+    use teamplay_minic::ir::exec_module;
+
+    fn secrets(names: &[&str]) -> HashSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    const GUARDED: &str = "int f(int k, int x) {
+        int r = 0;
+        if (k > 0) { r = x * 3 + 1; } else { r = x - 7; }
+        return r;
+    }";
+
+    #[test]
+    fn taint_propagates_through_arithmetic() {
+        let m = compile_to_ir(GUARDED).expect("front-end");
+        let f = m.function("f").expect("f");
+        let t = tainted_temps(f, &secrets(&["k"]));
+        // The parameter temp itself plus the comparison result at least.
+        assert!(t.len() >= 2, "taint set too small: {t:?}");
+        let t_none = tainted_temps(f, &secrets(&[]));
+        assert!(t_none.is_empty());
+    }
+
+    #[test]
+    fn converts_secret_diamond_and_preserves_semantics() {
+        let mut m = compile_to_ir(GUARDED).expect("front-end");
+        let reference = compile_to_ir(GUARDED).expect("front-end");
+        let f = m.function_mut("f").expect("f");
+        let report = ladderise(f, &secrets(&["k"]));
+        assert_eq!(report.converted, 1, "diamond should convert");
+        assert!(report.fully_hardened());
+        m.validate().expect("valid after ladderising");
+        for k in [-5, 0, 1, 42] {
+            for x in [-3, 0, 9] {
+                let mut p1 = RecordingPorts::new();
+                let mut p2 = RecordingPorts::new();
+                let want =
+                    exec_module(&reference, "f", &[k, x], &mut p1, 100_000).expect("reference");
+                let got = exec_module(&m, "f", &[k, x], &mut p2, 100_000).expect("hardened");
+                assert_eq!(got, want, "diverged at k={k}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn public_branches_are_untouched() {
+        let mut m = compile_to_ir(GUARDED).expect("front-end");
+        let f = m.function_mut("f").expect("f");
+        let report = ladderise(f, &secrets(&["x"]));
+        // The guard is on k, which is public here.
+        assert_eq!(report.converted, 0);
+        assert_eq!(report.residual, 0);
+    }
+
+    #[test]
+    fn secret_loop_is_residual() {
+        let src = "int f(int k) {
+            int s = 0;
+            /*@ loop bound(64) @*/
+            while (k > 0) { k = k - 1; s = s + 1; }
+            return s;
+        }";
+        let mut m = compile_to_ir(src).expect("front-end");
+        let f = m.function_mut("f").expect("f");
+        let report = ladderise(f, &secrets(&["k"]));
+        assert_eq!(report.converted, 0);
+        assert!(report.residual >= 1, "loop guard must be reported");
+        assert!(!report.fully_hardened());
+    }
+
+    #[test]
+    fn arm_with_store_is_residual() {
+        let src = "int buf[4];
+        int f(int k, int x) {
+            if (k > 0) { buf[0] = x; } else { buf[1] = x; }
+            return buf[0] + buf[1];
+        }";
+        let mut m = compile_to_ir(src).expect("front-end");
+        let f = m.function_mut("f").expect("f");
+        let report = ladderise(f, &secrets(&["k"]));
+        assert_eq!(report.converted, 0, "stores must not be speculated");
+        assert!(report.residual >= 1);
+    }
+
+    #[test]
+    fn nested_secret_diamonds_convert() {
+        let src = "int f(int k, int x) {
+            int r = 0;
+            if (k > 3) {
+                r = x + 1;
+            } else {
+                r = x + 2;
+            }
+            int q = 0;
+            if (k & 1) { q = r * 2; } else { q = r * 5; }
+            return q;
+        }";
+        let mut m = compile_to_ir(src).expect("front-end");
+        let reference = compile_to_ir(src).expect("front-end");
+        let f = m.function_mut("f").expect("f");
+        let report = ladderise(f, &secrets(&["k"]));
+        assert_eq!(report.converted, 2);
+        assert!(report.fully_hardened());
+        for k in [0, 1, 4, 7] {
+            let mut p1 = RecordingPorts::new();
+            let mut p2 = RecordingPorts::new();
+            let want = exec_module(&reference, "f", &[k, 10], &mut p1, 100_000).expect("ref");
+            let got = exec_module(&m, "f", &[k, 10], &mut p2, 100_000).expect("hardened");
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn secret_annotation_extraction() {
+        let src = "/*@ task crypt secret(key) secret(nonce) @*/
+                   int f(int key, int nonce, int x) { return key ^ nonce ^ x; }";
+        let m = compile_to_ir(src).expect("front-end");
+        let f = m.function("f").expect("f");
+        let s = secret_params_of(f);
+        assert!(s.contains("key") && s.contains("nonce"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn module_level_ladderising() {
+        let src = "/*@ secret(k) @*/
+                   int sel(int k, int a, int b) { int r = 0; if (k) { r = a; } else { r = b; } return r; }
+                   int pub_fn(int x) { int r = 0; if (x) { r = 1; } return r; }";
+        let mut m = compile_to_ir(src).expect("front-end");
+        let mut secrets_map = HashMap::new();
+        for f in &m.functions {
+            secrets_map.insert(f.name.clone(), secret_params_of(f));
+        }
+        let reports = ladderise_module(&mut m, &secrets_map);
+        assert_eq!(reports["sel"].converted, 1);
+        assert_eq!(reports["pub_fn"].converted, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The Indiscernibility Methodology: leakage metrics over trace samples.
+//!
+//! Given two sample sets of an observable (execution time or energy) —
+//! one per secret class — the metrics quantify how distinguishable the
+//! classes are. Following paper ref \[10\], no leakage model is assumed:
+//! the metrics operate directly on the empirical distributions.
+//!
+//! * [`welch_t`] — Welch's t-statistic, the TVLA industry standard
+//!   (|t| > 4.5 is the conventional "leaks" threshold);
+//! * [`ks_distance`] — the Kolmogorov–Smirnov statistic, sensitive to any
+//!   distributional difference, not just means;
+//! * [`indiscernibility`] — 1 minus the histogram overlap of the two
+//!   distributions: 0 means the attacker's best guess is chance, 1 means
+//!   a single trace identifies the secret.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The classes are statistically indistinguishable at the threshold.
+    Indistinguishable,
+    /// The channel leaks the secret.
+    Leaking,
+}
+
+/// The TVLA t-statistic threshold conventionally separating the verdicts.
+pub const TVLA_THRESHOLD: f64 = 4.5;
+
+/// A scored observable channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageAssessment {
+    /// Welch's t-statistic (absolute value).
+    pub welch_t: f64,
+    /// Kolmogorov–Smirnov distance in [0, 1].
+    pub ks: f64,
+    /// Indiscernibility metric in [0, 1] (0 = indistinguishable).
+    pub indiscernibility: f64,
+    /// Verdict at the TVLA threshold.
+    pub verdict: Verdict,
+}
+
+impl LeakageAssessment {
+    /// Score two sample sets.
+    ///
+    /// # Panics
+    /// Panics if either sample set is empty.
+    pub fn from_samples(class0: &[f64], class1: &[f64]) -> LeakageAssessment {
+        assert!(!class0.is_empty() && !class1.is_empty(), "need samples for both classes");
+        let t = welch_t(class0, class1).abs();
+        let ks = ks_distance(class0, class1);
+        let ind = indiscernibility(class0, class1);
+        let verdict = if t > TVLA_THRESHOLD || ks > 0.5 {
+            Verdict::Leaking
+        } else {
+            Verdict::Indistinguishable
+        };
+        LeakageAssessment { welch_t: t, ks, indiscernibility: ind, verdict }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn variance(xs: &[f64], m: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Welch's two-sample t-statistic.
+///
+/// When both samples are constant: 0 if equal (no information), `+∞` in
+/// magnitude (represented as a large sentinel) if different — a constant,
+/// distinct observable identifies the secret with one trace.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    let ma = mean(a);
+    let mb = mean(b);
+    let va = variance(a, ma);
+    let vb = variance(b, mb);
+    let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if denom == 0.0 {
+        if ma == mb {
+            0.0
+        } else {
+            1e9
+        }
+    } else {
+        (ma - mb) / denom
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov distance (sup |F_a − F_b|).
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Indiscernibility: `1 − Σ_bins min(p_a, p_b)` over a shared histogram.
+///
+/// 0 means the distributions overlap completely (an attacker learns
+/// nothing from one trace); 1 means they are disjoint (one trace reveals
+/// the secret). The bin count follows the Freedman–Diaconis-flavoured
+/// `√n` rule on the pooled samples.
+pub fn indiscernibility(a: &[f64], b: &[f64]) -> f64 {
+    let lo = a
+        .iter()
+        .chain(b)
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = a
+        .iter()
+        .chain(b)
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return 0.0; // all observations identical across both classes
+    }
+    let n = (a.len() + b.len()) as f64;
+    let bins = (n.sqrt().ceil() as usize).clamp(4, 256);
+    let width = (hi - lo) / bins as f64;
+    let histogram = |xs: &[f64]| -> Vec<f64> {
+        let mut h = vec![0.0f64; bins];
+        for &x in xs {
+            let idx = (((x - lo) / width) as usize).min(bins - 1);
+            h[idx] += 1.0 / xs.len() as f64;
+        }
+        h
+    };
+    let ha = histogram(a);
+    let hb = histogram(b);
+    let overlap: f64 = ha.iter().zip(&hb).map(|(p, q)| p.min(*q)).sum();
+    (1.0 - overlap).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| offset + (i % 10) as f64).collect()
+    }
+
+    #[test]
+    fn identical_distributions_are_indistinguishable() {
+        let a = shifted(200, 0.0);
+        let b = shifted(200, 0.0);
+        let r = LeakageAssessment::from_samples(&a, &b);
+        assert_eq!(r.verdict, Verdict::Indistinguishable);
+        assert!(r.welch_t < 1e-9);
+        assert!(r.indiscernibility < 0.05, "{}", r.indiscernibility);
+    }
+
+    #[test]
+    fn disjoint_distributions_leak() {
+        let a = shifted(200, 0.0);
+        let b = shifted(200, 100.0);
+        let r = LeakageAssessment::from_samples(&a, &b);
+        assert_eq!(r.verdict, Verdict::Leaking);
+        assert!(r.welch_t > TVLA_THRESHOLD);
+        assert!(r.ks > 0.99);
+        assert!(r.indiscernibility > 0.99);
+    }
+
+    #[test]
+    fn constant_equal_traces_score_zero() {
+        let a = vec![42.0; 50];
+        let b = vec![42.0; 50];
+        let r = LeakageAssessment::from_samples(&a, &b);
+        assert_eq!(r.verdict, Verdict::Indistinguishable);
+        assert_eq!(r.indiscernibility, 0.0);
+    }
+
+    #[test]
+    fn constant_distinct_traces_leak_maximally() {
+        let a = vec![42.0; 50];
+        let b = vec![43.0; 50];
+        let r = LeakageAssessment::from_samples(&a, &b);
+        assert_eq!(r.verdict, Verdict::Leaking);
+        assert!(r.welch_t >= 1e9);
+        assert!(r.indiscernibility > 0.99);
+    }
+
+    #[test]
+    fn ks_bounds() {
+        let a = shifted(100, 0.0);
+        let b = shifted(100, 3.0);
+        let d = ks_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+        assert!(d > 0.0);
+        assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn welch_t_is_symmetric_in_magnitude() {
+        let a = shifted(100, 0.0);
+        let b = shifted(100, 2.0);
+        assert!((welch_t(&a, &b) + welch_t(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let a: Vec<f64> = (0..300).map(|i| (i % 20) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| 10.0 + (i % 20) as f64).collect();
+        let ind = indiscernibility(&a, &b);
+        assert!(ind > 0.2 && ind < 0.9, "{ind}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need samples")]
+    fn empty_samples_panic() {
+        let _ = LeakageAssessment::from_samples(&[], &[1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn metrics_are_bounded(
+            a in proptest::collection::vec(-1e6f64..1e6, 1..80),
+            b in proptest::collection::vec(-1e6f64..1e6, 1..80),
+        ) {
+            let ks = ks_distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&ks));
+            let ind = indiscernibility(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&ind));
+        }
+
+        #[test]
+        fn self_comparison_never_leaks(
+            a in proptest::collection::vec(-1e6f64..1e6, 2..80),
+        ) {
+            let r = LeakageAssessment::from_samples(&a, &a);
+            prop_assert_eq!(r.verdict, Verdict::Indistinguishable);
+        }
+    }
+}

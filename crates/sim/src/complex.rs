@@ -1,0 +1,306 @@
+//! Task-level simulator for complex heterogeneous platforms.
+//!
+//! Complex architectures (paper Section II-B) "cannot be statically
+//! analysed"; TeamPlay instead instruments and *measures* them. This
+//! module is the measured thing: a platform of CPU clusters and a GPU with
+//! per-core DVFS operating points, multiplicative execution-time jitter
+//! (caches, DRAM, thermal), and a power-sampling facility mirroring
+//! PowProfiler (refs \[18\], \[19\]).
+//!
+//! Execution-time and power numbers follow the Apalis TK1 / Jetson class
+//! of devices the UAV and deep-learning use cases ran on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One DVFS operating point of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Clock frequency (MHz).
+    pub freq_mhz: f64,
+    /// Dynamic power at full utilisation (mW).
+    pub dyn_power_mw: f64,
+    /// Idle/static power while the core is clocked at this point (mW).
+    pub idle_power_mw: f64,
+}
+
+/// The kind of compute resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// High-performance CPU core (e.g. Cortex-A15).
+    BigCpu,
+    /// Efficiency CPU core (e.g. Cortex-A7 companion core).
+    LittleCpu,
+    /// GPU accelerator (whole device treated as one resource).
+    Gpu,
+}
+
+/// A schedulable compute resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreDesc {
+    /// Human-readable name (e.g. `"a15-0"`).
+    pub name: String,
+    /// Resource kind.
+    pub kind: CoreKind,
+    /// Available DVFS points, slowest first.
+    pub ops: Vec<OperatingPoint>,
+    /// Throughput relative to a 1 GHz big core at equal frequency
+    /// (little cores < 1, big = 1).
+    pub perf_factor: f64,
+}
+
+/// A unit of work to execute: cycles on a reference 1 GHz big CPU core,
+/// plus how much faster the GPU runs it (1.0 = no benefit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// Mega-cycles on the reference core.
+    pub ref_mcycles: f64,
+    /// GPU speed-up factor for this kernel (≥ 0; < 1 means GPU-hostile).
+    pub gpu_speedup: f64,
+    /// Average utilisation while running (0–1]; models memory-bound code
+    /// that burns less dynamic power.
+    pub utilisation: f64,
+}
+
+impl WorkItem {
+    /// A compute-bound kernel with the given reference mega-cycles and
+    /// GPU speed-up.
+    pub fn new(ref_mcycles: f64, gpu_speedup: f64) -> WorkItem {
+        WorkItem { ref_mcycles, gpu_speedup, utilisation: 1.0 }
+    }
+}
+
+/// A completed (simulated) task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskExecution {
+    /// Wall-clock time (ms), jitter included.
+    pub time_ms: f64,
+    /// Energy drawn by the core for the execution (mJ).
+    pub energy_mj: f64,
+    /// Average power over the execution (mW).
+    pub avg_power_mw: f64,
+}
+
+/// A heterogeneous platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexPlatform {
+    /// Platform name (e.g. `"apalis-tk1"`).
+    pub name: String,
+    /// All schedulable resources.
+    pub cores: Vec<CoreDesc>,
+    /// Relative execution-time jitter (standard deviation, e.g. 0.03).
+    pub jitter_sigma: f64,
+}
+
+impl ComplexPlatform {
+    /// An Apalis-TK1-like platform: 4 Cortex-A15-class cores + 1 Kepler
+    /// GPU.
+    pub fn tk1() -> ComplexPlatform {
+        let cpu_ops = vec![
+            OperatingPoint { freq_mhz: 204.0, dyn_power_mw: 420.0, idle_power_mw: 110.0 },
+            OperatingPoint { freq_mhz: 696.0, dyn_power_mw: 980.0, idle_power_mw: 130.0 },
+            OperatingPoint { freq_mhz: 1092.0, dyn_power_mw: 1750.0, idle_power_mw: 160.0 },
+            OperatingPoint { freq_mhz: 1530.0, dyn_power_mw: 2900.0, idle_power_mw: 200.0 },
+            OperatingPoint { freq_mhz: 2065.0, dyn_power_mw: 4600.0, idle_power_mw: 260.0 },
+        ];
+        let gpu_ops = vec![
+            OperatingPoint { freq_mhz: 72.0, dyn_power_mw: 650.0, idle_power_mw: 180.0 },
+            OperatingPoint { freq_mhz: 252.0, dyn_power_mw: 1600.0, idle_power_mw: 220.0 },
+            OperatingPoint { freq_mhz: 468.0, dyn_power_mw: 3000.0, idle_power_mw: 280.0 },
+            OperatingPoint { freq_mhz: 852.0, dyn_power_mw: 6200.0, idle_power_mw: 380.0 },
+        ];
+        let mut cores: Vec<CoreDesc> = (0..4)
+            .map(|i| CoreDesc {
+                name: format!("a15-{i}"),
+                kind: CoreKind::BigCpu,
+                ops: cpu_ops.clone(),
+                perf_factor: 1.0,
+            })
+            .collect();
+        cores.push(CoreDesc {
+            name: "gk20a".into(),
+            kind: CoreKind::Gpu,
+            ops: gpu_ops,
+            perf_factor: 1.0,
+        });
+        ComplexPlatform { name: "apalis-tk1".into(), cores, jitter_sigma: 0.03 }
+    }
+
+    /// A Jetson-Nano-like platform: 4 smaller CPU cores + Maxwell GPU,
+    /// lower power envelope.
+    pub fn nano() -> ComplexPlatform {
+        let cpu_ops = vec![
+            OperatingPoint { freq_mhz: 102.0, dyn_power_mw: 180.0, idle_power_mw: 60.0 },
+            OperatingPoint { freq_mhz: 710.0, dyn_power_mw: 620.0, idle_power_mw: 80.0 },
+            OperatingPoint { freq_mhz: 1428.0, dyn_power_mw: 1500.0, idle_power_mw: 110.0 },
+        ];
+        let gpu_ops = vec![
+            OperatingPoint { freq_mhz: 76.0, dyn_power_mw: 400.0, idle_power_mw: 120.0 },
+            OperatingPoint { freq_mhz: 460.0, dyn_power_mw: 1900.0, idle_power_mw: 180.0 },
+            OperatingPoint { freq_mhz: 921.0, dyn_power_mw: 4200.0, idle_power_mw: 260.0 },
+        ];
+        let mut cores: Vec<CoreDesc> = (0..4)
+            .map(|i| CoreDesc {
+                name: format!("a57-{i}"),
+                kind: CoreKind::LittleCpu,
+                ops: cpu_ops.clone(),
+                perf_factor: 0.85,
+            })
+            .collect();
+        cores.push(CoreDesc {
+            name: "gm20b".into(),
+            kind: CoreKind::Gpu,
+            ops: gpu_ops,
+            perf_factor: 1.0,
+        });
+        ComplexPlatform { name: "jetson-nano".into(), cores, jitter_sigma: 0.04 }
+    }
+
+    /// Look up a core by name.
+    pub fn core(&self, name: &str) -> Option<&CoreDesc> {
+        self.cores.iter().find(|c| c.name == name)
+    }
+
+    /// Deterministic nominal execution time (ms) of `work` on `core` at
+    /// operating point `op_idx` — what a scheduler plans with.
+    ///
+    /// # Panics
+    /// Panics if `op_idx` is out of range for the core.
+    pub fn nominal_time_ms(&self, core: &CoreDesc, op_idx: usize, work: &WorkItem) -> f64 {
+        let op = &core.ops[op_idx];
+        let speedup = match core.kind {
+            CoreKind::Gpu => work.gpu_speedup.max(1e-6),
+            _ => 1.0,
+        };
+        // `ref_mcycles` mega-cycles at `freq_mhz` MHz → milliseconds:
+        // (ref_mcycles · 1e6) / (freq_mhz · 1e6 · perf · speedup) s.
+        work.ref_mcycles / (op.freq_mhz * core.perf_factor * speedup) * 1000.0
+    }
+
+    /// Deterministic nominal energy (mJ) for `work` on `core` at `op_idx`.
+    pub fn nominal_energy_mj(&self, core: &CoreDesc, op_idx: usize, work: &WorkItem) -> f64 {
+        let op = &core.ops[op_idx];
+        let t_ms = self.nominal_time_ms(core, op_idx, work);
+        let p_mw = op.idle_power_mw + op.dyn_power_mw * work.utilisation;
+        p_mw * t_ms / 1000.0
+    }
+
+    /// Execute `work` once with measurement jitter; `rng` drives the noise.
+    pub fn execute(
+        &self,
+        core: &CoreDesc,
+        op_idx: usize,
+        work: &WorkItem,
+        rng: &mut StdRng,
+    ) -> TaskExecution {
+        let t_nom = self.nominal_time_ms(core, op_idx, work);
+        // Multiplicative jitter, truncated at ±3σ, never negative.
+        let z: f64 = sample_standard_normal(rng).clamp(-3.0, 3.0);
+        let t_ms = t_nom * (1.0 + self.jitter_sigma * z).max(0.05);
+        let op = &core.ops[op_idx];
+        let p_mw = op.idle_power_mw + op.dyn_power_mw * work.utilisation;
+        TaskExecution { time_ms: t_ms, energy_mj: p_mw * t_ms / 1000.0, avg_power_mw: p_mw }
+    }
+
+    /// Create a seeded RNG for reproducible experiments.
+    pub fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Box–Muller standard normal sample (keeps the dependency surface to
+/// `rand`'s uniform generator only).
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_time_scales_inversely_with_frequency() {
+        let p = ComplexPlatform::tk1();
+        let core = p.core("a15-0").expect("core");
+        let w = WorkItem::new(1000.0, 1.0);
+        let slow = p.nominal_time_ms(core, 0, &w);
+        let fast = p.nominal_time_ms(core, core.ops.len() - 1, &w);
+        assert!(slow > fast);
+        let ratio = slow / fast;
+        let freq_ratio = core.ops.last().expect("op").freq_mhz / core.ops[0].freq_mhz;
+        assert!((ratio - freq_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_speedup_applies_only_on_gpu() {
+        let p = ComplexPlatform::tk1();
+        let cpu = p.core("a15-0").expect("cpu");
+        let gpu = p.core("gk20a").expect("gpu");
+        let w = WorkItem::new(8520.0, 10.0);
+        let t_cpu = p.nominal_time_ms(cpu, cpu.ops.len() - 1, &w);
+        let t_gpu = p.nominal_time_ms(gpu, gpu.ops.len() - 1, &w);
+        assert!(t_gpu < t_cpu, "GPU should win for a 10x kernel: {t_gpu} vs {t_cpu}");
+    }
+
+    #[test]
+    fn energy_sweet_spot_is_not_always_max_frequency() {
+        // With leakage (idle power) folded in, the energy-per-work curve
+        // has an interior minimum — the paper's Section III-C sweet spot.
+        let p = ComplexPlatform::tk1();
+        let core = p.core("a15-0").expect("core");
+        let w = WorkItem::new(5000.0, 1.0);
+        let energies: Vec<f64> =
+            (0..core.ops.len()).map(|i| p.nominal_energy_mj(core, i, &w)).collect();
+        let min_idx = energies
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        assert!(min_idx != core.ops.len() - 1, "max frequency should not be energy-optimal");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_reproducible() {
+        let p = ComplexPlatform::tk1();
+        let core = p.core("a15-0").expect("core");
+        let w = WorkItem::new(1000.0, 1.0);
+        let nominal = p.nominal_time_ms(core, 2, &w);
+        let mut rng1 = ComplexPlatform::rng(7);
+        let mut rng2 = ComplexPlatform::rng(7);
+        for _ in 0..200 {
+            let e1 = p.execute(core, 2, &w, &mut rng1);
+            let e2 = p.execute(core, 2, &w, &mut rng2);
+            assert_eq!(e1, e2, "seeded runs must be identical");
+            assert!(e1.time_ms > 0.0);
+            assert!((e1.time_ms - nominal).abs() <= nominal * 3.5 * p.jitter_sigma + 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilisation_reduces_energy_not_time() {
+        let p = ComplexPlatform::tk1();
+        let core = p.core("a15-0").expect("core");
+        let busy = WorkItem { ref_mcycles: 1000.0, gpu_speedup: 1.0, utilisation: 1.0 };
+        let membound = WorkItem { ref_mcycles: 1000.0, gpu_speedup: 1.0, utilisation: 0.5 };
+        assert_eq!(p.nominal_time_ms(core, 3, &busy), p.nominal_time_ms(core, 3, &membound));
+        assert!(p.nominal_energy_mj(core, 3, &membound) < p.nominal_energy_mj(core, 3, &busy));
+    }
+
+    #[test]
+    fn platform_presets_are_well_formed() {
+        for p in [ComplexPlatform::tk1(), ComplexPlatform::nano()] {
+            assert!(!p.cores.is_empty());
+            for c in &p.cores {
+                assert!(!c.ops.is_empty(), "{} has no operating points", c.name);
+                for w in c.ops.windows(2) {
+                    assert!(w[0].freq_mhz < w[1].freq_mhz, "{}: ops must be sorted", c.name);
+                    assert!(w[0].dyn_power_mw < w[1].dyn_power_mw);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # teamplay-sim — the COTS platform substitutes
+//!
+//! The paper evaluates on real hardware (Cortex-M0 camera pill, LEON3FT
+//! GR712RC, Apalis TK1 / Jetson TX2 / Nano). This crate provides the
+//! simulated equivalents the reproduction runs on:
+//!
+//! * [`machine`] — a cycle-accurate executor for PG32 programs with a
+//!   *hidden ground-truth energy model* ([`truth`]). Static analyses never
+//!   see this model directly; they see either the fitted analytical model
+//!   (`teamplay-energy`) or noisy "measurements" from runs here — exactly
+//!   the epistemic situation of the real toolchain, where aiT and the
+//!   EnergyAnalyser predict what the lab power rig then measures.
+//! * [`complex`] — a task-level simulator for complex heterogeneous
+//!   platforms (TK1-like big CPU cluster + GPU) with DVFS operating
+//!   points, execution-time jitter and sampled power measurement: the
+//!   substrate for the dynamic-profiling workflow of paper Fig. 2.
+//! * [`battery`] — the UAV battery/endurance model used by the
+//!   search-and-rescue use case (Section IV-C).
+//! * [`ports`] — simulated sensor/radio port devices shared with the
+//!   front-end interpreter conventions.
+
+pub mod battery;
+pub mod complex;
+pub mod machine;
+pub mod ports;
+pub mod truth;
+
+pub use battery::Battery;
+pub use complex::{ComplexPlatform, CoreDesc, CoreKind, OperatingPoint, TaskExecution, WorkItem};
+pub use machine::{Machine, MachineError, RunResult};
+pub use ports::{NullDevice, PortDevice, RecordingDevice};
+pub use truth::GroundTruthEnergy;

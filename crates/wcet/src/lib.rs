@@ -1,0 +1,588 @@
+//! # teamplay-wcet — static worst-case execution time analysis
+//!
+//! The reproduction's analogue of the aiT tool (paper ref \[6\]) that the
+//! multi-criteria compiler invokes as a plug-in (Fig. 1). Because PG32 is
+//! a *predictable* architecture — every instruction has a statically known
+//! cycle cost — WCET analysis reduces to a flow problem:
+//!
+//! 1. cost every basic block from the shared [`teamplay_isa::CycleModel`]
+//!    (so the analyser and the simulator can never disagree on unit
+//!    costs; only path feasibility is approximated);
+//! 2. condense every natural loop, innermost first, into a super-node
+//!    costing `(bound + 1) × longest-iteration-path` — the `loop bound`
+//!    flow facts come from CSL annotations or counted-loop inference;
+//! 3. take the longest path through the resulting DAG; and
+//! 4. resolve calls bottom-up over the (recursion-free) call graph.
+//!
+//! On structured, reducible control flow this is equivalent to the IPET
+//! formulation industrial tools solve with an ILP. The result is a *safe*
+//! upper bound: the property tests assert `wcet ≥ measured cycles` for
+//! randomly generated programs and inputs, and the benches report the
+//! overestimation factor (analysis tightness), mirroring how the paper's
+//! toolchain validates against hardware measurements.
+//!
+//! ```
+//! use teamplay_isa::{Block, CycleModel, Function, Program, Terminator};
+//! use teamplay_wcet::analyze_program;
+//!
+//! let mut program = Program::new();
+//! program.add_function(Function::stub("main"));
+//! let report = analyze_program(&program, &CycleModel::pg32())?;
+//! assert!(report.wcet_cycles("main").is_some());
+//! # Ok::<(), teamplay_wcet::WcetError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use teamplay_isa::{CycleModel, Function, Insn, Program};
+use teamplay_minic::cfg::{natural_loops, reverse_postorder, CfgView};
+
+/// Errors the analysis can report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WcetError {
+    /// A loop has no bound annotation and none could be inferred.
+    UnboundedLoop {
+        /// Function containing the loop.
+        function: String,
+        /// Header block index.
+        header: u32,
+    },
+    /// The program's call graph contains recursion.
+    Recursion(String),
+    /// The CFG is irreducible (a cycle remains after loop condensation).
+    IrreducibleCfg(String),
+    /// A called function does not exist.
+    UnknownCallee {
+        /// The caller.
+        function: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// Structural validation of the program failed.
+    InvalidProgram(String),
+}
+
+impl fmt::Display for WcetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcetError::UnboundedLoop { function, header } => {
+                write!(
+                    f,
+                    "function `{function}`: loop at block {header} has no bound; \
+                     add a `/*@ loop bound(n) @*/` annotation"
+                )
+            }
+            WcetError::Recursion(func) => {
+                write!(f, "recursion involving `{func}` — WCET analysis requires a call tree")
+            }
+            WcetError::IrreducibleCfg(func) => {
+                write!(f, "function `{func}` has irreducible control flow")
+            }
+            WcetError::UnknownCallee { function, callee } => {
+                write!(f, "function `{function}` calls unknown `{callee}`")
+            }
+            WcetError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WcetError {}
+
+/// Per-program WCET results.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WcetReport {
+    per_function: BTreeMap<String, u64>,
+}
+
+impl WcetReport {
+    /// The WCET bound for a function, in cycles.
+    pub fn wcet_cycles(&self, function: &str) -> Option<u64> {
+        self.per_function.get(function).copied()
+    }
+
+    /// Iterate all `(function, wcet)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.per_function.iter().map(|(n, w)| (n.as_str(), *w))
+    }
+
+    /// WCET in microseconds at the given clock frequency.
+    pub fn wcet_us(&self, function: &str, clock_mhz: f64) -> Option<f64> {
+        self.wcet_cycles(function).map(|c| c as f64 / clock_mhz)
+    }
+}
+
+/// Adapter giving the generic CFG algorithms a view of a PG32 function.
+struct FnView<'a>(&'a Function);
+
+impl CfgView for FnView<'_> {
+    fn num_blocks(&self) -> usize {
+        self.0.blocks.len()
+    }
+    fn entry(&self) -> usize {
+        0
+    }
+    fn successors(&self, block: usize) -> Vec<usize> {
+        self.0.blocks[block].terminator.successors().iter().map(|b| b.index()).collect()
+    }
+}
+
+/// Analyse one function given already-known callee WCETs.
+///
+/// Exposed for the compiler's per-variant evaluation loop, which analyses
+/// a single function against a cache of callee results.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn analyze_function(
+    f: &Function,
+    model: &CycleModel,
+    callee_wcets: &BTreeMap<String, u64>,
+) -> Result<u64, WcetError> {
+    let view = FnView(f);
+    let reachable: HashSet<usize> = reverse_postorder(&view).into_iter().collect();
+
+    // Block costs (including worst-case terminator and call costs).
+    let mut cost = vec![0u64; f.blocks.len()];
+    for (i, b) in f.blocks.iter().enumerate() {
+        if !reachable.contains(&i) {
+            continue;
+        }
+        let mut c = 0u64;
+        for insn in &b.insns {
+            c += model.cycles(insn, false);
+            if let Insn::Call { func } = insn {
+                let callee = callee_wcets.get(func).ok_or_else(|| WcetError::UnknownCallee {
+                    function: f.name.clone(),
+                    callee: func.clone(),
+                })?;
+                c += *callee;
+            }
+        }
+        c += model.terminator_worst_case(&b.terminator);
+        cost[i] = c;
+    }
+    structural_bound(f, &cost)
+}
+
+/// Compute the structural worst-case bound of `f` for arbitrary per-block
+/// costs: loops are condensed innermost-first at `(bound + 1) ×
+/// iteration-cost` and the condensed DAG's longest path is returned.
+///
+/// This is the engine behind both the cycle-based WCET analysis and the
+/// worst-case *energy* analysis in `teamplay-energy` (which supplies
+/// per-block picojoule costs) — one flow solver, two non-functional
+/// properties, exactly as WCC shares its flow facts between its aiT and
+/// EnergyAnalyser plug-ins.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn structural_bound(f: &Function, cost: &[u64]) -> Result<u64, WcetError> {
+    let view = FnView(f);
+    let reachable: HashSet<usize> = reverse_postorder(&view).into_iter().collect();
+
+    // Union-find style node mapping: block -> current super-node.
+    let n = f.blocks.len();
+    let mut node_of: Vec<usize> = (0..n).collect();
+    // Node costs and successor sets (on super-node ids; reuse block ids of
+    // loop headers as super-node ids).
+    let mut node_cost: Vec<u64> = cost.to_vec();
+    let mut succs: Vec<HashSet<usize>> = (0..n)
+        .map(|i| {
+            if reachable.contains(&i) {
+                view.successors(i).into_iter().collect()
+            } else {
+                HashSet::new()
+            }
+        })
+        .collect();
+
+    // Innermost-first: sort loops by body size ascending.
+    let mut loops = natural_loops(&view);
+    loops.sort_by_key(|l| l.body.len());
+
+    for l in &loops {
+        let header_node = node_of[l.header];
+        let bound = *f
+            .loop_bounds
+            .get(&teamplay_isa::BlockId(l.header as u32))
+            .ok_or(WcetError::UnboundedLoop {
+                function: f.name.clone(),
+                header: l.header as u32,
+            })?;
+
+        // Current super-nodes that make up this loop.
+        let members: HashSet<usize> = l.body.iter().map(|b| node_of[*b]).collect();
+
+        // Longest path from the header node within the members, with
+        // edges back to the header removed (acyclic once inner loops are
+        // condensed).
+        let iter_cost = longest_path_within(&members, header_node, &succs, &node_cost)
+            .ok_or_else(|| WcetError::IrreducibleCfg(f.name.clone()))?;
+
+        // Condense: the header node becomes the super-node.
+        let total = iter_cost.saturating_mul(bound as u64 + 1);
+        node_cost[header_node] = total;
+        let mut external: HashSet<usize> = HashSet::new();
+        for &m in &members {
+            for &s in &succs[m] {
+                let sn = node_of[s];
+                if !members.contains(&sn) {
+                    external.insert(sn);
+                }
+            }
+        }
+        succs[header_node] = external;
+        for b in 0..n {
+            if members.contains(&node_of[b]) {
+                node_of[b] = header_node;
+            }
+        }
+    }
+
+    // Longest path over the condensed DAG from the entry node.
+    let entry_node = node_of[0];
+    let all_nodes: HashSet<usize> = (0..n)
+        .filter(|b| reachable.contains(b))
+        .map(|b| node_of[b])
+        .collect();
+    longest_path_within(&all_nodes, entry_node, &succs, &node_cost)
+        .ok_or_else(|| WcetError::IrreducibleCfg(f.name.clone()))
+}
+
+/// Longest node-weighted path from `start` within `members`, following
+/// `succs` but never re-entering `start`. Returns `None` if a cycle is
+/// found (graph not properly condensed / irreducible CFG).
+fn longest_path_within(
+    members: &HashSet<usize>,
+    start: usize,
+    succs: &[HashSet<usize>],
+    node_cost: &[u64],
+) -> Option<u64> {
+    // Iterative DFS computing topological order; cycle detection via
+    // colour marking.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<usize, Colour> =
+        members.iter().map(|&m| (m, Colour::White)).collect();
+    let mut topo: Vec<usize> = Vec::with_capacity(members.len());
+    let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+    let next_of = |node: usize| -> Vec<usize> {
+        succs[node]
+            .iter()
+            .copied()
+            .filter(|s| members.contains(s) && *s != start)
+            .collect()
+    };
+    colour.insert(start, Colour::Grey);
+    stack.push((start, next_of(start), 0));
+    while let Some((node, kids, idx)) = stack.last_mut() {
+        if *idx < kids.len() {
+            let k = kids[*idx];
+            *idx += 1;
+            match colour[&k] {
+                Colour::White => {
+                    colour.insert(k, Colour::Grey);
+                    let kk = next_of(k);
+                    stack.push((k, kk, 0));
+                }
+                Colour::Grey => return None, // cycle
+                Colour::Black => {}
+            }
+        } else {
+            colour.insert(*node, Colour::Black);
+            topo.push(*node);
+            stack.pop();
+        }
+    }
+    // topo is reverse topological order (children before parents).
+    let mut best: HashMap<usize, u64> = HashMap::new();
+    for &node in &topo {
+        let kid_best = succs[node]
+            .iter()
+            .filter(|s| members.contains(s) && **s != start)
+            .map(|s| best.get(s).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        best.insert(node, node_cost[node].saturating_add(kid_best));
+    }
+    Some(best.get(&start).copied().unwrap_or(node_cost[start]))
+}
+
+/// Analyse a whole program: every function gets a WCET, resolved bottom-up
+/// over the call graph.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn analyze_program(program: &Program, model: &CycleModel) -> Result<WcetReport, WcetError> {
+    program.validate().map_err(WcetError::InvalidProgram)?;
+    if program.has_recursion() {
+        let name = program.functions.keys().next().cloned().unwrap_or_default();
+        return Err(WcetError::Recursion(name));
+    }
+    // Topological order over the call graph (callees first).
+    let mut order: Vec<&str> = Vec::new();
+    let mut done: HashSet<&str> = HashSet::new();
+    let mut visiting: Vec<(&str, usize)> = Vec::new();
+    for start in program.functions.keys() {
+        if done.contains(start.as_str()) {
+            continue;
+        }
+        visiting.push((start.as_str(), 0));
+        let mut callee_cache: HashMap<&str, Vec<String>> = HashMap::new();
+        while let Some((name, idx)) = visiting.pop() {
+            let callees =
+                callee_cache.entry(name).or_insert_with(|| program.functions[name].callees());
+            if idx < callees.len() {
+                let next = callees[idx].clone();
+                visiting.push((name, idx + 1));
+                if let Some((key, _)) = program.functions.get_key_value(next.as_str()) {
+                    if !done.contains(key.as_str())
+                        && !visiting.iter().any(|(n, _)| *n == key.as_str())
+                    {
+                        visiting.push((key.as_str(), 0));
+                    }
+                }
+            } else if done.insert(name) {
+                order.push(name);
+            }
+        }
+    }
+
+    let mut wcets: BTreeMap<String, u64> = BTreeMap::new();
+    for name in order {
+        let f = &program.functions[name];
+        let w = analyze_function(f, model, &wcets)?;
+        wcets.insert(name.to_string(), w);
+    }
+    Ok(WcetReport { per_function: wcets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use teamplay_isa::{AluOp, Block, BlockId, Cond, Operand, Reg, Terminator};
+
+    fn alu() -> Insn {
+        Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(1) }
+    }
+
+    fn straight_function(name: &str, n_insns: usize) -> Function {
+        Function {
+            name: name.into(),
+            blocks: vec![Block {
+                insns: (0..n_insns).map(|_| alu()).collect(),
+                terminator: Terminator::Return,
+            }],
+            loop_bounds: Map::new(),
+            frame_size: 0,
+        }
+    }
+
+    #[test]
+    fn straight_line_wcet_is_exact_sum() {
+        let mut p = Program::new();
+        p.add_function(straight_function("f", 5));
+        let r = analyze_program(&p, &CycleModel::pg32()).expect("analysis");
+        // 5 ALU + ret(4)
+        assert_eq!(r.wcet_cycles("f"), Some(9));
+    }
+
+    #[test]
+    fn diamond_takes_the_longer_arm() {
+        // bb0: cmp; branch -> bb1 (10 alu) | bb2 (2 alu); both -> bb3 ret
+        let f = Function {
+            name: "f".into(),
+            blocks: vec![
+                Block {
+                    insns: vec![Insn::Cmp { rn: Reg::R0, src: Operand::Imm(0) }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Eq,
+                        taken: BlockId(1),
+                        fallthrough: BlockId(2),
+                    },
+                },
+                Block {
+                    insns: (0..10).map(|_| alu()).collect(),
+                    terminator: Terminator::Branch(BlockId(3)),
+                },
+                Block {
+                    insns: (0..2).map(|_| alu()).collect(),
+                    terminator: Terminator::Branch(BlockId(3)),
+                },
+                Block { insns: vec![], terminator: Terminator::Return },
+            ],
+            loop_bounds: Map::new(),
+            frame_size: 0,
+        };
+        let mut p = Program::new();
+        p.add_function(f);
+        let r = analyze_program(&p, &CycleModel::pg32()).expect("analysis");
+        // cmp(1)+cond_taken(3) + 10 alu + b(3) + ret(4) = 21
+        assert_eq!(r.wcet_cycles("f"), Some(21));
+    }
+
+    fn loop_function(bound: Option<u32>) -> Function {
+        // bb0 -> bb1(header: cmp, cond) -> bb2(body: 3 alu) -> bb1; exit bb3
+        let mut loop_bounds = Map::new();
+        if let Some(b) = bound {
+            loop_bounds.insert(BlockId(1), b);
+        }
+        Function {
+            name: "f".into(),
+            blocks: vec![
+                Block { insns: vec![], terminator: Terminator::Branch(BlockId(1)) },
+                Block {
+                    insns: vec![Insn::Cmp { rn: Reg::R1, src: Operand::Imm(8) }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Lt,
+                        taken: BlockId(2),
+                        fallthrough: BlockId(3),
+                    },
+                },
+                Block {
+                    insns: (0..3).map(|_| alu()).collect(),
+                    terminator: Terminator::Branch(BlockId(1)),
+                },
+                Block { insns: vec![], terminator: Terminator::Return },
+            ],
+            loop_bounds,
+            frame_size: 0,
+        }
+    }
+
+    #[test]
+    fn loop_wcet_scales_with_bound() {
+        let mut p8 = Program::new();
+        p8.add_function(loop_function(Some(8)));
+        let mut p16 = Program::new();
+        p16.add_function(loop_function(Some(16)));
+        let model = CycleModel::pg32();
+        let w8 = analyze_program(&p8, &model).expect("w8").wcet_cycles("f").expect("f");
+        let w16 = analyze_program(&p16, &model).expect("w16").wcet_cycles("f").expect("f");
+        // iteration cost: header cmp(1)+taken(3) + body 3 alu(3)+b(3) = 10
+        // loop = (bound+1)*10; plus entry b(3) + exit ret(4).
+        assert_eq!(w8, 3 + 9 * 10 + 4);
+        assert_eq!(w16, 3 + 17 * 10 + 4);
+    }
+
+    #[test]
+    fn unbounded_loop_is_rejected_with_header() {
+        let mut p = Program::new();
+        p.add_function(loop_function(None));
+        match analyze_program(&p, &CycleModel::pg32()) {
+            Err(WcetError::UnboundedLoop { function, header }) => {
+                assert_eq!(function, "f");
+                assert_eq!(header, 1);
+            }
+            other => panic!("expected UnboundedLoop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_are_resolved_bottom_up() {
+        let mut p = Program::new();
+        p.add_function(straight_function("leaf", 7));
+        let mut caller = straight_function("caller", 1);
+        caller.blocks[0].insns.push(Insn::Call { func: "leaf".into() });
+        p.add_function(caller);
+        let r = analyze_program(&p, &CycleModel::pg32()).expect("analysis");
+        let leaf = r.wcet_cycles("leaf").expect("leaf");
+        let caller_w = r.wcet_cycles("caller").expect("caller");
+        // caller = 1 alu + call(4) + leaf + ret(4)
+        assert_eq!(caller_w, 1 + 4 + leaf + 4);
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let mut p = Program::new();
+        let mut f = straight_function("f", 0);
+        f.blocks[0].insns.push(Insn::Call { func: "f".into() });
+        p.add_function(f);
+        assert!(matches!(
+            analyze_program(&p, &CycleModel::pg32()),
+            Err(WcetError::Recursion(_))
+        ));
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        // outer bound 4, inner bound 6; inner body 2 alu.
+        let mut loop_bounds = Map::new();
+        loop_bounds.insert(BlockId(1), 4);
+        loop_bounds.insert(BlockId(2), 6);
+        let f = Function {
+            name: "f".into(),
+            blocks: vec![
+                Block { insns: vec![], terminator: Terminator::Branch(BlockId(1)) },
+                // outer header
+                Block {
+                    insns: vec![Insn::Cmp { rn: Reg::R1, src: Operand::Imm(4) }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Lt,
+                        taken: BlockId(2),
+                        fallthrough: BlockId(4),
+                    },
+                },
+                // inner header
+                Block {
+                    insns: vec![Insn::Cmp { rn: Reg::R2, src: Operand::Imm(6) }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Lt,
+                        taken: BlockId(3),
+                        fallthrough: BlockId(1),
+                    },
+                },
+                // inner body
+                Block {
+                    insns: vec![alu(), alu()],
+                    terminator: Terminator::Branch(BlockId(2)),
+                },
+                Block { insns: vec![], terminator: Terminator::Return },
+            ],
+            loop_bounds,
+            frame_size: 0,
+        };
+        let mut p = Program::new();
+        p.add_function(f);
+        let w = analyze_program(&p, &CycleModel::pg32())
+            .expect("analysis")
+            .wcet_cycles("f")
+            .expect("f");
+        // inner iteration: header 1+3 + body 2+3 = 9 → inner loop (6+1)*9 = 63
+        // outer iteration: outer header 1+3 + inner 63 = 67 → outer (4+1)*67 = 335
+        // + entry 3 + ret 4 = 342
+        assert_eq!(w, 342);
+    }
+
+    #[test]
+    fn unreachable_blocks_do_not_contribute() {
+        let f = Function {
+            name: "f".into(),
+            blocks: vec![
+                Block { insns: vec![alu()], terminator: Terminator::Return },
+                Block { insns: (0..100).map(|_| alu()).collect(), terminator: Terminator::Return },
+            ],
+            loop_bounds: Map::new(),
+            frame_size: 0,
+        };
+        let mut p = Program::new();
+        p.add_function(f);
+        let r = analyze_program(&p, &CycleModel::pg32()).expect("analysis");
+        assert_eq!(r.wcet_cycles("f"), Some(5));
+    }
+
+    #[test]
+    fn report_time_conversion() {
+        let mut p = Program::new();
+        p.add_function(straight_function("f", 96));
+        let r = analyze_program(&p, &CycleModel::pg32()).expect("analysis");
+        // 100 cycles at 50 MHz = 2 µs.
+        assert!((r.wcet_us("f", 50.0).expect("f") - 2.0).abs() < 1e-12);
+    }
+}

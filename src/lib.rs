@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: re-exports the TeamPlay toolchain crates for
+//! the repository-level examples and integration tests.
+//!
+//! Downstream users should depend on the individual crates (`teamplay`,
+//! `teamplay-coord`, …); this crate only exists so that the repository's
+//! `examples/` and `tests/` directories live at the workspace root, per the
+//! project layout.
+
+pub use teamplay::*;

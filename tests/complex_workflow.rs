@@ -1,0 +1,87 @@
+//! Integration: the Fig. 2 complex-architecture workflow and its
+//! interaction with the battery/mission model.
+
+use teamplay::complex::{ComplexTask, ComplexWorkflow};
+use teamplay_apps::uav;
+use teamplay_sim::{Battery, ComplexPlatform, WorkItem};
+
+fn sar_tasks() -> Vec<ComplexTask> {
+    uav::sar_pipeline()
+        .into_iter()
+        .map(|(name, work, after)| ComplexTask { name, work, after })
+        .collect()
+}
+
+#[test]
+fn profiles_schedule_and_mission_compose() {
+    let workflow = ComplexWorkflow::new(ComplexPlatform::tk1());
+    let outcome = workflow.run(&sar_tasks(), uav::FRAME_PERIOD_US).expect("workflow");
+
+    // The profile covers every (task, core, op) combination.
+    let platform = ComplexPlatform::tk1();
+    let combos: usize = platform.cores.iter().map(|c| c.ops.len()).sum();
+    assert_eq!(outcome.profile.profiles.len(), combos * sar_tasks().len());
+
+    // The mission estimate stays within the paper's power envelope.
+    let est = uav::mission_estimate(&Battery::sar_drone(), outcome.frame_energy_uj, 0.5);
+    assert!((1.0..=11.0).contains(&est.software_power_w), "{est:?}");
+    assert!(est.endurance_min > 60.0, "{est:?}");
+}
+
+#[test]
+fn energy_monotone_in_deadline_slack() {
+    let workflow = ComplexWorkflow::new(ComplexPlatform::tk1());
+    let deadlines = [235_000.0, 300_000.0, 500_000.0, 900_000.0];
+    let mut energies = Vec::new();
+    for d in deadlines {
+        let outcome = workflow.run(&sar_tasks(), d).expect("schedulable");
+        assert!(outcome.schedule.makespan_us <= d);
+        energies.push(outcome.frame_energy_uj);
+    }
+    for pair in energies.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-6,
+            "more slack must not cost more energy: {energies:?}"
+        );
+    }
+}
+
+#[test]
+fn gpu_hostile_pipeline_stays_on_cpu() {
+    let tasks = vec![
+        ComplexTask {
+            name: "serial".into(),
+            work: WorkItem { ref_mcycles: 40.0, gpu_speedup: 0.2, utilisation: 0.8 },
+            after: vec![],
+        },
+        ComplexTask {
+            name: "branchy".into(),
+            work: WorkItem { ref_mcycles: 25.0, gpu_speedup: 0.3, utilisation: 0.7 },
+            after: vec!["serial".into()],
+        },
+    ];
+    let workflow = ComplexWorkflow::new(ComplexPlatform::tk1());
+    let outcome = workflow.run(&tasks, 400_000.0).expect("workflow");
+    for e in &outcome.schedule.entries {
+        assert!(
+            e.core.starts_with("a15"),
+            "GPU-hostile task `{}` landed on {}",
+            e.task,
+            e.core
+        );
+    }
+}
+
+#[test]
+fn glue_reflects_the_actual_mapping() {
+    let workflow = ComplexWorkflow::new(ComplexPlatform::tk1());
+    let outcome = workflow.run(&sar_tasks(), uav::FRAME_PERIOD_US).expect("workflow");
+    for e in &outcome.schedule.entries {
+        assert!(
+            outcome.parallel_glue.contains(&format!("thread_{}", e.core)),
+            "glue missing thread for {}",
+            e.core
+        );
+        assert!(outcome.parallel_glue.contains(&format!("task_{}();", e.task)));
+    }
+}

@@ -1,0 +1,135 @@
+//! The toolchain's central correctness property, tested across crates:
+//! for randomly generated Mini-C programs and inputs, the reference
+//! interpreter, the IR executor and the PG32 machine running code
+//! compiled under *every* optimisation preset all agree — and the static
+//! WCET/WCEC bounds dominate every measured run.
+
+use proptest::prelude::*;
+use teamplay_compiler::{compile_module, CompilerConfig};
+use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
+use teamplay_isa::CycleModel;
+use teamplay_minic::interp::{Interp, RecordingPorts};
+use teamplay_minic::ir::exec_module;
+use teamplay_minic::{compile_to_ir, parse_and_check};
+use teamplay_sim::{Machine, RecordingDevice};
+use teamplay_wcet::analyze_program;
+
+/// A tiny generator of well-formed Mini-C functions: straight-line
+/// arithmetic with bounded loops, array traffic and helper calls, all
+/// within the analysable fragment.
+fn arb_program() -> impl Strategy<Value = String> {
+    let expr_leaf = prop_oneof![
+        (-100i32..100).prop_map(|v| v.to_string()),
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("acc".to_string()),
+    ];
+    let bin_op = prop_oneof![
+        Just("+"),
+        Just("-"),
+        Just("*"),
+        Just("/"),
+        Just("%"),
+        Just("&"),
+        Just("|"),
+        Just("^"),
+        Just("<<"),
+        Just(">>"),
+    ];
+    let expr = (expr_leaf.clone(), bin_op, expr_leaf.clone())
+        .prop_map(|(a, op, b)| {
+            // Mask shift amounts so semantics stay within the friendly range.
+            if op == "<<" || op == ">>" {
+                format!("(({a}) {op} (({b}) & 7))")
+            } else {
+                format!("(({a}) {op} ({b}))")
+            }
+        });
+    (
+        proptest::collection::vec(expr, 1..5),
+        2u32..9,   // loop bound
+        0usize..3, // helper-call count
+    )
+        .prop_map(|(exprs, bound, helper_calls)| {
+            let mut body = String::new();
+            body.push_str("int acc = x ^ 3;\n");
+            body.push_str(&format!(
+                "    for (int i = 0; i < {bound}; i = i + 1) {{ buf[i % 8] = acc + i; acc = acc + buf[(i + 1) % 8]; }}\n"
+            ));
+            for (k, e) in exprs.iter().enumerate() {
+                body.push_str(&format!("    acc = acc + ({e}) * {};\n", k as i32 + 1));
+            }
+            for _ in 0..helper_calls {
+                body.push_str("    acc = acc ^ twist(acc, y);\n");
+            }
+            format!(
+                "int buf[8];\n\
+                 int twist(int a, int b) {{ return (a << 1) ^ (b >> 1) ^ (a & b); }}\n\
+                 int f(int x, int y) {{\n    {body}\n    return acc;\n}}"
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_semantics_layers_agree_and_bounds_hold(
+        src in arb_program(),
+        x in -1000i32..1000,
+        y in -1000i32..1000,
+    ) {
+        // Oracle 1: AST interpreter.
+        let ast = parse_and_check(&src).expect("generated programs are well-formed");
+        let mut interp = Interp::new(&ast, RecordingPorts::new(), 50_000_000);
+        let expected = match interp.call("f", &[x, y]) {
+            Ok(outcome) => outcome.return_value,
+            Err(_) => return Ok(()), // out-of-fuel etc.: not a witness
+        };
+
+        // Oracle 2: IR executor.
+        let ir = compile_to_ir(&src).expect("lowers");
+        let mut ports = RecordingPorts::new();
+        let got_ir = exec_module(&ir, "f", &[x, y], &mut ports, 50_000_000).expect("IR runs");
+        prop_assert_eq!(got_ir, expected, "IR diverged from the interpreter");
+
+        // Every compiler preset must agree, and static bounds must hold.
+        let cm = CycleModel::pg32();
+        let em = IsaEnergyModel::pg32_datasheet();
+        for config in [
+            CompilerConfig::all_off(),
+            CompilerConfig::traditional(),
+            CompilerConfig::balanced(),
+            CompilerConfig::performance(),
+            CompilerConfig::energy_saver(),
+        ] {
+            let program = compile_module(&ir, &config).expect("compiles");
+            let wcet = analyze_program(&program, &cm).expect("wcet analyses");
+            let wcec = analyze_program_energy(&program, &em, &cm).expect("wcec analyses");
+            let mut machine = Machine::new(program).expect("loads");
+            let r = machine.call("f", &[x, y], &mut RecordingDevice::new()).expect("machine runs");
+            prop_assert_eq!(
+                Some(r.return_value),
+                expected,
+                "config {:?} diverged",
+                config
+            );
+            let bound = wcet.wcet_cycles("f").expect("bounded");
+            prop_assert!(
+                bound >= r.cycles,
+                "WCET {} < measured {} under {:?}",
+                bound,
+                r.cycles,
+                config
+            );
+            let ebound = wcec.wcec_pj("f").expect("bounded");
+            prop_assert!(
+                ebound >= r.energy_pj,
+                "WCEC {} < measured {} under {:?}",
+                ebound,
+                r.energy_pj,
+                config
+            );
+        }
+    }
+}
