@@ -113,7 +113,7 @@ pub fn synthetic_frame(seed: u32) -> Vec<i32> {
     for y in 0..FRAME_DIM {
         for x in 0..FRAME_DIM {
             let gradient = (8 * x + 5 * y) as i32 % 97;
-            let feature = if (x * 7 + y * 13 + seed as usize) % 41 == 0 { 90 } else { 0 };
+            let feature = if (x * 7 + y * 13 + seed as usize).is_multiple_of(41) { 90 } else { 0 };
             frame.push(((gradient + feature + seed as i32) % 256).abs());
         }
     }
@@ -237,7 +237,7 @@ mod tests {
     fn optimised_build_beats_traditional_on_cycles_and_energy() {
         let mut trad = build(&CompilerConfig::traditional());
         let mut opt = build(&CompilerConfig::performance());
-        let mut total = |m: &mut Machine| {
+        let total = |m: &mut Machine| {
             m.reset_data();
             let mut dev = frame_device(1);
             let mut cycles = 0u64;

@@ -207,7 +207,7 @@ impl ParkingNet {
             }
             weights.push(row);
         }
-        let scores = dense(&flat, &weights, &vec![0; SPOTS]);
+        let scores = dense(&flat, &weights, &[0; SPOTS]);
         let mut out = [false; SPOTS];
         for (spot, s) in scores.iter().enumerate() {
             out[spot] = *s > self.threshold;

@@ -114,7 +114,7 @@ pub fn synthetic_frame(seed: u32) -> Vec<i32> {
     let mut frame = Vec::with_capacity(FRAME_WORDS);
     for i in 0..FRAME_WORDS {
         let background = 12 + ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 28) as i32;
-        let star = if (i as u32).wrapping_mul(seed.wrapping_add(17)) % 53 == 0 { 200 } else { 0 };
+        let star = if (i as u32).wrapping_mul(seed.wrapping_add(17)).is_multiple_of(53) { 200 } else { 0 };
         frame.push((background + star).min(255));
     }
     frame

@@ -71,6 +71,27 @@ fn bench_toolchain(c: &mut Criterion) {
     });
 }
 
+fn bench_pass_pipelines(c: &mut Criterion) {
+    use teamplay_compiler::PassManager;
+    use teamplay_minic::compile_to_ir;
+
+    let ir = compile_to_ir(teamplay_apps::camera_pill::SOURCE).expect("parses");
+    for (name, pipeline) in [
+        ("o1", "const_fold,copy_prop,dce"),
+        ("o2", "inline(40),strength_reduce,const_fold,copy_prop,dce"),
+        ("o3", "inline(80),strength_reduce,const_fold,copy_prop,dce"),
+    ] {
+        c.bench_function(&format!("pass_pipeline_{name}"), |b| {
+            b.iter(|| {
+                let mut module = std::hint::black_box(&ir).clone();
+                let mut pm = PassManager::from_str(pipeline).expect("pipeline resolves");
+                pm.run(&mut module);
+                module
+            })
+        });
+    }
+}
+
 fn bench_scheduling(c: &mut Criterion) {
     use teamplay_coord::{schedule_energy_aware, CoordTask, ExecOption, TaskSet};
 
@@ -124,7 +145,7 @@ fn bench_security(c: &mut Criterion) {
 criterion_group! {
     name = suite;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_toolchain, bench_scheduling, bench_security
+    targets = bench_toolchain, bench_pass_pipelines, bench_scheduling, bench_security
 }
 
 fn main() {

@@ -48,8 +48,14 @@ impl fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
-/// Code-generation options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Code-generation options. The default (no pinning, plain multiplies)
+/// matches the unoptimised reference point.
+///
+/// `mul_shift_add` here is the register-resident counterpart of the IR
+/// `mul_shift_add` pass in [`crate::passes::REGISTRY`]: the presets use
+/// this codegen variant because it decomposes multiplications without
+/// inflating IR temp traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CodegenOpts {
     /// Register-pinning level (0, 2 or 4).
     pub pinned_regs: usize,

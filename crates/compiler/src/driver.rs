@@ -8,7 +8,7 @@
 
 use crate::codegen::{generate_program, generate_program_with, CodegenError, CodegenOpts};
 use crate::fpa::{FpaConfig, MultiObjectiveFpa, ParetoPoint};
-use crate::passes::{run_passes, run_passes_per_function};
+use crate::passes::{run_passes, run_passes_per_function, PassSpec, Pipeline};
 use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
@@ -17,112 +17,78 @@ use teamplay_minic::ir::IrModule;
 use teamplay_wcet::analyze_program;
 
 /// One compiler configuration — the genome the multi-objective search
-/// explores.
+/// explores: a registry-backed IR pass [`Pipeline`] plus the two codegen
+/// knobs the PG32 backend exposes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CompilerConfig {
-    /// Inline small callees.
-    pub inline: bool,
-    /// Maximum callee size (IR ops) eligible for inlining.
-    pub inline_threshold: usize,
-    /// Constant folding + constant branch resolution.
-    pub const_fold: bool,
-    /// Block-local copy propagation.
-    pub copy_prop: bool,
-    /// Dead-code elimination.
-    pub dce: bool,
-    /// Multiply strength reduction (power-of-two shifts).
-    pub strength_reduce: bool,
-    /// Shift-add decomposition of small multipliers (energy ↓, cycles ↑).
+    /// The IR optimisation pipeline (see [`crate::passes::REGISTRY`]).
+    pub pipeline: Pipeline,
+    /// Shift-add decomposition of small multipliers, register-resident
+    /// in codegen (energy ↓, cycles ↑).
     pub mul_shift_add: bool,
     /// Register-pinning level (0, 2 or 4 callee-saved registers).
     pub pinned_regs: usize,
 }
 
 impl CompilerConfig {
-    /// Everything off: the unoptimised reference point.
+    /// Everything off: the unoptimised reference point (O0).
     pub fn all_off() -> CompilerConfig {
-        CompilerConfig {
-            inline: false,
-            inline_threshold: 0,
-            const_fold: false,
-            copy_prop: false,
-            dce: false,
-            strength_reduce: false,
-            mul_shift_add: false,
-            pinned_regs: 0,
-        }
+        CompilerConfig { pipeline: Pipeline::o0(), mul_shift_add: false, pinned_regs: 0 }
     }
 
     /// The "traditional toolchain" baseline of the paper's evaluation:
-    /// a generic single-objective setting (cleanup passes only, no
+    /// a generic single-objective setting (the O1 cleanup trio, no
     /// ETS-aware choices).
     pub fn traditional() -> CompilerConfig {
-        CompilerConfig {
-            inline: false,
-            inline_threshold: 0,
-            const_fold: true,
-            copy_prop: true,
-            dce: true,
-            strength_reduce: false,
-            mul_shift_add: false,
-            pinned_regs: 0,
-        }
+        CompilerConfig { pipeline: Pipeline::o1(), mul_shift_add: false, pinned_regs: 0 }
     }
 
-    /// A balanced multi-criteria default.
+    /// A balanced multi-criteria default (O2).
     pub fn balanced() -> CompilerConfig {
-        CompilerConfig {
-            inline: true,
-            inline_threshold: 40,
-            const_fold: true,
-            copy_prop: true,
-            dce: true,
-            strength_reduce: true,
-            mul_shift_add: false,
-            pinned_regs: 2,
-        }
+        CompilerConfig { pipeline: Pipeline::o2(), mul_shift_add: false, pinned_regs: 2 }
     }
 
-    /// Time-first: every speed lever pulled.
+    /// Time-first: every speed lever pulled (O3 + full pinning).
     pub fn performance() -> CompilerConfig {
-        CompilerConfig {
-            inline: true,
-            inline_threshold: 80,
-            const_fold: true,
-            copy_prop: true,
-            dce: true,
-            strength_reduce: true,
-            mul_shift_add: false,
-            pinned_regs: 4,
-        }
+        CompilerConfig { pipeline: Pipeline::o3(), mul_shift_add: false, pinned_regs: 4 }
     }
 
     /// Energy-first: accepts extra cycles for lower picojoules.
     pub fn energy_saver() -> CompilerConfig {
         CompilerConfig {
-            inline: true,
-            inline_threshold: 60,
-            const_fold: true,
-            copy_prop: true,
-            dce: true,
-            strength_reduce: true,
+            pipeline: "inline(60),strength_reduce,const_fold,copy_prop,dce"
+                .parse()
+                .expect("preset pipeline is valid"),
             mul_shift_add: true,
             pinned_regs: 4,
         }
     }
 
     /// Decode a genome in `[0,1]^8` into a configuration (the FPA's
-    /// phenotype mapping).
+    /// phenotype mapping): each pass bit contributes its registry-backed
+    /// pipeline element, in canonical order.
     pub fn from_genome(genome: &[f64]) -> CompilerConfig {
         let bit = |i: usize| genome.get(i).copied().unwrap_or(0.0) > 0.5;
         let g7 = genome.get(7).copied().unwrap_or(0.0);
+        let mut pipeline = Pipeline::default();
+        if bit(0) {
+            let threshold = 20 + (genome.get(1).copied().unwrap_or(0.0) * 60.0) as usize;
+            pipeline.push(PassSpec::with_param("inline", threshold));
+        }
+        if bit(5) {
+            pipeline.push(PassSpec::new("strength_reduce"));
+        }
+        if bit(2) {
+            pipeline.push(PassSpec::new("const_fold"));
+        }
+        if bit(3) {
+            pipeline.push(PassSpec::new("copy_prop"));
+        }
+        if bit(4) {
+            pipeline.push(PassSpec::new("dce"));
+        }
         CompilerConfig {
-            inline: bit(0),
-            inline_threshold: 20 + (genome.get(1).copied().unwrap_or(0.0) * 60.0) as usize,
-            const_fold: bit(2),
-            copy_prop: bit(3),
-            dce: bit(4),
-            strength_reduce: bit(5),
+            pipeline,
             mul_shift_add: bit(6),
             pinned_regs: if g7 < 1.0 / 3.0 {
                 0
@@ -377,11 +343,17 @@ mod tests {
     #[test]
     fn genome_decoding_covers_the_space() {
         let lo = CompilerConfig::from_genome(&[0.0; 8]);
-        assert!(!lo.inline && lo.pinned_regs == 0);
+        assert!(lo.pipeline.passes.is_empty() && lo.pinned_regs == 0);
         let hi = CompilerConfig::from_genome(&[1.0; 8]);
-        assert!(hi.inline && hi.pinned_regs == 4 && hi.mul_shift_add);
+        assert!(hi.pipeline.contains("inline") && hi.pinned_regs == 4 && hi.mul_shift_add);
+        assert_eq!(hi.pipeline.param_of("inline"), Some(80), "threshold scales with g1");
+        for name in ["strength_reduce", "const_fold", "copy_prop", "dce"] {
+            assert!(hi.pipeline.contains(name), "{name} missing from the full genome");
+        }
         let mid = CompilerConfig::from_genome(&[0.5; 8]);
         assert_eq!(mid.pinned_regs, 2);
+        // Every decoded pipeline resolves against the registry.
+        crate::passes::PassManager::new(hi.pipeline).expect("genome pipelines are registry-backed");
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //!
 //! * [`codegen`] — IR → PG32 with a stack-frame base strategy plus an
 //!   optional register-pinning allocator (the main time/energy knob),
-//! * [`passes`] — constant folding, copy propagation, dead-code
-//!   elimination, function inlining, and multiply strength reduction in
-//!   two flavours (power-of-two shifts; energy-saving shift-add
-//!   decomposition that trades cycles for picojoules),
+//! * [`passes`] — the trait-based pass framework: a [`passes::Pass`]
+//!   trait, a static name registry, and a [`passes::PassManager`] with
+//!   fixpoint iteration and per-pass instrumentation. Pipelines are
+//!   constructible by name (`PassManager::from_str("const_fold,dce")`)
+//!   and by optimisation level (`o0()`–`o3()`); every configuration the
+//!   search explores is such a pipeline,
 //! * [`fpa`] — the multi-objective Flower Pollination search,
 //! * [`driver`] — configuration plumbing, per-task variant evaluation and
 //!   the Pareto front construction.
@@ -40,4 +42,7 @@ pub use driver::{
     CompilerConfig, ModuleMetrics, TaskVariant, VariantMetrics,
 };
 pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint};
-pub use passes::{run_passes, run_passes_per_function};
+pub use passes::{
+    run_passes, run_passes_per_function, Pass, PassContext, PassManager, PassSpec, PassStats,
+    Pipeline, PipelineError, REGISTRY,
+};

@@ -1,23 +1,67 @@
-//! IR optimisation passes.
+//! The trait-based optimisation-pass framework and the passes themselves.
+//!
+//! # Architecture
+//!
+//! Optimisations are *named, pluggable units* behind the [`Pass`] trait;
+//! the [`PassManager`] applies an ordered [`Pipeline`] of them to
+//! fixpoint with per-pass change instrumentation ([`PassManager::stats`]).
+//! Pipelines are data, not code: they are built
+//!
+//! * **by name** — `PassManager::from_str("const_fold,copy_prop,dce")`
+//!   resolves each element against the static [`REGISTRY`]
+//!   (parameterised passes use `name(arg)`, e.g. `"inline(40)"`);
+//! * **by optimisation level** — [`PassManager::o0`]…[`PassManager::o3`]
+//!   presets à la binaryen's `OptimizationOptions`;
+//! * **by the search** — the FPA driver decodes genomes into pipelines
+//!   ([`crate::driver::CompilerConfig::from_genome`]), so every point of
+//!   the multi-objective search space is a registry-backed pipeline.
 //!
 //! Every pass is semantics-preserving (the differential tests run each
-//! configuration against the reference interpreter) and *flow-fact
+//! pipeline against the reference interpreter) and *flow-fact
 //! preserving*: loop bounds survive, because the WCET analysis downstream
-//! depends on them. The passes are the knobs of the multi-objective
-//! search:
+//! depends on them. The registered passes are the knobs of the
+//! multi-objective search:
 //!
-//! * [`inline_functions`] — saves call/prologue overhead, grows code;
-//! * [`strength_reduce_mul`] — `x * 2ⁿ` → shift (strictly better), and
-//!   optionally `x * c` → shift-add decomposition, which *trades cycles
-//!   for energy* on PG32's power-hungry multiplier;
-//! * [`const_fold`] + [`copy_propagate`] + [`dead_code_elim`] — the
-//!   cleanup trio, iterated to fixpoint.
+//! * `inline` — saves call/prologue overhead, grows code
+//!   (parameterised by the callee-size threshold);
+//! * `strength_reduce` — `x * 2ⁿ` → shift (strictly better);
+//! * `mul_shift_add` — `x * c` → shift-add decomposition in the IR,
+//!   which *trades cycles for energy* on PG32's power-hungry multiplier
+//!   (the codegen-level variant is
+//!   [`crate::codegen::CodegenOpts::mul_shift_add`]);
+//! * `const_fold` + `copy_prop` + `dce` — the cleanup trio, iterated to
+//!   fixpoint by the manager.
+//!
+//! # Writing a new pass
+//!
+//! Implement [`Pass`], then add a [`PassDescriptor`] line to
+//! [`REGISTRY`]; the pass immediately becomes available to
+//! [`PassManager::from_str`], the optimisation levels and (if added to
+//! the genome decoding) the Pareto search — no driver changes needed.
+//!
+//! ```
+//! use teamplay_compiler::passes::PassManager;
+//! use teamplay_minic::compile_to_ir;
+//!
+//! let mut module = compile_to_ir("int f() { return 2 * 8; }")?;
+//! let mut pm = PassManager::from_str("const_fold,dce")?;
+//! pm.run(&mut module);
+//! assert!(pm.stats().iter().any(|s| s.changes > 0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use crate::driver::CompilerConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
 use teamplay_minic::ast::{BinOp, UnOp};
 use teamplay_minic::interp::eval_binop;
 use teamplay_minic::ir::{CallArg, IrBlockId, IrFunction, IrModule, IrOp, IrTerm, MemBase, Operand, Temp};
-use std::collections::HashMap;
+
+// =====================================================================
+// Pass implementations (free functions — the reusable cores)
+// =====================================================================
 
 /// Fold constant expressions and propagate constants within blocks.
 ///
@@ -415,74 +459,117 @@ pub fn strength_reduce_mul(f: &mut IrFunction, shift_add: bool) -> bool {
     changed
 }
 
-/// Inline small callees into their callers.
+/// Per-caller inlining budget: bounds code growth per function.
+const MAX_INLINES_PER_FUNCTION: usize = 24;
+
+/// Clone every function body by name — the callee snapshot inlining
+/// reads from ([`PassContext::functions`]).
+pub fn snapshot_functions(module: &IrModule) -> HashMap<String, IrFunction> {
+    module.functions.iter().map(|f| (f.name.clone(), f.clone())).collect()
+}
+
+/// Is `start` (even mutually) recursive, judged on a body snapshot?
+fn is_recursive(snapshot: &HashMap<String, IrFunction>, start: &str) -> bool {
+    let mut stack = vec![start.to_string()];
+    let mut seen = vec![start.to_string()];
+    while let Some(cur) = stack.pop() {
+        let Some(f) = snapshot.get(&cur) else { continue };
+        for b in &f.blocks {
+            for op in &b.ops {
+                if let IrOp::Call { func, .. } = op {
+                    if func == start {
+                        return true;
+                    }
+                    if !seen.contains(func) {
+                        seen.push(func.clone());
+                        stack.push(func.clone());
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+fn op_count(f: &IrFunction) -> usize {
+    f.blocks.iter().map(|b| b.ops.len() + 1).sum::<usize>()
+}
+
+/// Inline eligible call sites of one caller, reading callee bodies from
+/// `snapshot`. A call site is eligible when the callee (a) is not (even
+/// mutually) recursive, (b) has at most `threshold` IR operations, and
+/// (c) is not the caller itself. At most [`MAX_INLINES_PER_FUNCTION`]
+/// sites are expanded per invocation to bound code growth ([`InlinePass`]
+/// enforces the same bound across fixpoint rounds via its per-function
+/// budget). Loop bounds of the callee transfer to the caller (block ids
+/// remapped), keeping the result analysable.
 ///
-/// A call site is eligible when the callee (a) is not (even mutually)
-/// recursive, (b) has at most `threshold` IR operations, and (c) is not
-/// the caller itself. At most `MAX_INLINES_PER_FUNCTION` sites per caller
-/// are expanded to bound code growth. Loop bounds of the callee transfer
-/// to the caller (block ids remapped), keeping the result analysable.
+/// Returns `true` if anything changed.
+pub fn inline_with_snapshot(
+    f: &mut IrFunction,
+    snapshot: &HashMap<String, IrFunction>,
+    threshold: usize,
+) -> bool {
+    let mut budget = MAX_INLINES_PER_FUNCTION;
+    inline_with_budget(f, snapshot, threshold, &mut budget)
+}
+
+/// [`inline_with_snapshot`] with an externally owned budget, so repeated
+/// invocations on the same function (fixpoint rounds) share one cap.
+fn inline_with_budget(
+    f: &mut IrFunction,
+    snapshot: &HashMap<String, IrFunction>,
+    threshold: usize,
+    budget: &mut usize,
+) -> bool {
+    let mut changed = false;
+    while *budget > 0 {
+        // Find the first eligible call site.
+        let mut site: Option<(usize, usize, String)> = None;
+        'outer: for (bi, b) in f.blocks.iter().enumerate() {
+            for (oi, op) in b.ops.iter().enumerate() {
+                if let IrOp::Call { func, .. } = op {
+                    if func != &f.name
+                        && snapshot.get(func).is_some_and(|c| op_count(c) <= threshold)
+                        && !is_recursive(snapshot, func)
+                    {
+                        site = Some((bi, oi, func.clone()));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((bi, oi, callee_name)) = site else { break };
+        let callee = snapshot[&callee_name].clone();
+        inline_site(f, bi, oi, &callee);
+        *budget -= 1;
+        changed = true;
+    }
+    changed
+}
+
+/// Inline small callees into their callers, module-wide (callee bodies
+/// are snapshotted up front; see [`inline_with_snapshot`] for
+/// eligibility).
 ///
 /// Returns `true` if anything changed.
 pub fn inline_functions(module: &mut IrModule, threshold: usize) -> bool {
-    const MAX_INLINES_PER_FUNCTION: usize = 24;
-    // Snapshot callee bodies up front (by value) to keep borrows simple.
-    let snapshot: HashMap<String, IrFunction> =
-        module.functions.iter().map(|f| (f.name.clone(), f.clone())).collect();
-    // Recursion per function via DFS on the snapshot call graph.
-    let recursive = |start: &str| -> bool {
-        let mut stack = vec![start.to_string()];
-        let mut seen = vec![start.to_string()];
-        while let Some(cur) = stack.pop() {
-            let Some(f) = snapshot.get(&cur) else { continue };
-            for b in &f.blocks {
-                for op in &b.ops {
-                    if let IrOp::Call { func, .. } = op {
-                        if func == start {
-                            return true;
-                        }
-                        if !seen.contains(func) {
-                            seen.push(func.clone());
-                            stack.push(func.clone());
-                        }
-                    }
-                }
-            }
-        }
-        false
-    };
-    let op_count = |f: &IrFunction| f.blocks.iter().map(|b| b.ops.len() + 1).sum::<usize>();
-
+    let snapshot = snapshot_functions(module);
     let mut changed = false;
     for f in &mut module.functions {
-        let mut budget = MAX_INLINES_PER_FUNCTION;
-        loop {
-            if budget == 0 {
-                break;
-            }
-            // Find the first eligible call site.
-            let mut site: Option<(usize, usize, String)> = None;
-            'outer: for (bi, b) in f.blocks.iter().enumerate() {
-                for (oi, op) in b.ops.iter().enumerate() {
-                    if let IrOp::Call { func, .. } = op {
-                        if func != &f.name
-                            && snapshot.get(func).is_some_and(|c| op_count(c) <= threshold)
-                            && !recursive(func)
-                        {
-                            site = Some((bi, oi, func.clone()));
-                            break 'outer;
-                        }
-                    }
-                }
-            }
-            let Some((bi, oi, callee_name)) = site else { break };
-            let callee = snapshot[&callee_name].clone();
-            inline_site(f, bi, oi, &callee);
-            budget -= 1;
-            changed = true;
-        }
+        changed |= inline_with_snapshot(f, &snapshot, threshold);
     }
     changed
+}
+
+/// Inline eligible call sites of a single named caller. Returns `true`
+/// on change.
+pub fn inline_into(module: &mut IrModule, caller: &str, threshold: usize) -> bool {
+    let snapshot = snapshot_functions(module);
+    let Some(f) = module.functions.iter_mut().find(|f| f.name == caller) else {
+        return false;
+    };
+    inline_with_snapshot(f, &snapshot, threshold)
 }
 
 /// Expand one call site in place.
@@ -628,132 +715,590 @@ fn inline_site(caller: &mut IrFunction, bi: usize, oi: usize, callee: &IrFunctio
     caller.blocks[bi].term = IrTerm::Jump(IrBlockId(block_offset));
 }
 
+// =====================================================================
+// The Pass trait and its implementations
+// =====================================================================
+
+/// Read-only context a pass runs under.
+pub struct PassContext<'a> {
+    /// Snapshot of every function body at pipeline start, by name.
+    /// Inlining reads callee bodies from here; most passes ignore it.
+    pub functions: &'a HashMap<String, IrFunction>,
+}
+
+/// One optimisation unit, applicable per function.
+///
+/// Contract: `run` must be semantics-preserving under the reference
+/// interpreter and must keep every loop bounded (flow facts survive) —
+/// the differential test in `tests/pass_framework_differential.rs`
+/// enforces both for every registered pass.
+pub trait Pass {
+    /// The registry name (stable, used by [`PassManager::from_str`]).
+    fn name(&self) -> &str;
+
+    /// Called by the manager before the first fixpoint round on each
+    /// function; passes with per-function state (budgets, caches) reset
+    /// here. The default does nothing.
+    fn begin_function(&mut self, _f: &IrFunction) {}
+
+    /// Transform one function; return `true` if the IR changed.
+    fn run(&mut self, f: &mut IrFunction, cx: &PassContext<'_>) -> bool;
+}
+
+/// `const_fold`: constant folding + constant branch resolution.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConstFoldPass;
+
+impl Pass for ConstFoldPass {
+    fn name(&self) -> &str {
+        "const_fold"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        const_fold(f)
+    }
+}
+
+/// `copy_prop`: block-local copy propagation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CopyPropPass;
+
+impl Pass for CopyPropPass {
+    fn name(&self) -> &str {
+        "copy_prop"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        copy_propagate(f)
+    }
+}
+
+/// `dce`: dead-code elimination.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DcePass;
+
+impl Pass for DcePass {
+    fn name(&self) -> &str {
+        "dce"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        dead_code_elim(f)
+    }
+}
+
+/// `strength_reduce`: power-of-two multiply strength reduction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StrengthReducePass;
+
+impl Pass for StrengthReducePass {
+    fn name(&self) -> &str {
+        "strength_reduce"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        strength_reduce_mul(f, false)
+    }
+}
+
+/// `mul_shift_add`: IR-level shift-add decomposition of small
+/// multipliers (subsumes `strength_reduce`). Trades cycles for energy;
+/// the presets instead use the register-resident codegen variant
+/// ([`crate::codegen::CodegenOpts::mul_shift_add`]), which does not
+/// inflate memory traffic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MulShiftAddPass;
+
+impl Pass for MulShiftAddPass {
+    fn name(&self) -> &str {
+        "mul_shift_add"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        strength_reduce_mul(f, true)
+    }
+}
+
+/// `inline`: callee inlining below a size threshold (the parameter).
+/// The code-growth budget ([`MAX_INLINES_PER_FUNCTION`]) is shared
+/// across all fixpoint rounds on one function.
+#[derive(Debug, Clone, Copy)]
+pub struct InlinePass {
+    /// Maximum callee size (IR ops) eligible for inlining.
+    pub threshold: usize,
+    budget: usize,
+}
+
+impl InlinePass {
+    /// An inline pass with the given callee-size threshold.
+    pub fn new(threshold: usize) -> InlinePass {
+        InlinePass { threshold, budget: MAX_INLINES_PER_FUNCTION }
+    }
+}
+
+impl Pass for InlinePass {
+    fn name(&self) -> &str {
+        "inline"
+    }
+    fn begin_function(&mut self, _f: &IrFunction) {
+        self.budget = MAX_INLINES_PER_FUNCTION;
+    }
+    fn run(&mut self, f: &mut IrFunction, cx: &PassContext<'_>) -> bool {
+        inline_with_budget(f, cx.functions, self.threshold, &mut self.budget)
+    }
+}
+
+// =====================================================================
+// Registry
+// =====================================================================
+
+/// Registry entry: how to name, document and construct a pass.
+pub struct PassDescriptor {
+    /// Stable pipeline name.
+    pub name: &'static str,
+    /// One-line description (for tooling / docs).
+    pub summary: &'static str,
+    /// Default parameter, for parameterised passes.
+    pub default_param: Option<usize>,
+    factory: fn(Option<usize>) -> Box<dyn Pass>,
+}
+
+impl PassDescriptor {
+    /// Instantiate the pass with `param` (or its default).
+    pub fn instantiate(&self, param: Option<usize>) -> Box<dyn Pass> {
+        (self.factory)(param.or(self.default_param))
+    }
+}
+
+/// Every registered pass. New passes: implement [`Pass`], add one line
+/// here.
+pub static REGISTRY: &[PassDescriptor] = &[
+    PassDescriptor {
+        name: "inline",
+        summary: "inline callees up to a size threshold (param, IR ops)",
+        default_param: Some(40),
+        factory: |p| Box::new(InlinePass::new(p.unwrap_or(40))),
+    },
+    PassDescriptor {
+        name: "const_fold",
+        summary: "fold constants and resolve constant branches",
+        default_param: None,
+        factory: |_| Box::new(ConstFoldPass),
+    },
+    PassDescriptor {
+        name: "copy_prop",
+        summary: "propagate copies within blocks",
+        default_param: None,
+        factory: |_| Box::new(CopyPropPass),
+    },
+    PassDescriptor {
+        name: "dce",
+        summary: "remove pure operations whose results are never read",
+        default_param: None,
+        factory: |_| Box::new(DcePass),
+    },
+    PassDescriptor {
+        name: "strength_reduce",
+        summary: "rewrite power-of-two multiplies into shifts",
+        default_param: None,
+        factory: |_| Box::new(StrengthReducePass),
+    },
+    PassDescriptor {
+        name: "mul_shift_add",
+        summary: "decompose small multipliers into shift-add chains (energy ↓, cycles ↑)",
+        default_param: None,
+        factory: |_| Box::new(MulShiftAddPass),
+    },
+];
+
+/// Look up a pass descriptor by registry name.
+pub fn lookup_pass(name: &str) -> Option<&'static PassDescriptor> {
+    REGISTRY.iter().find(|d| d.name == name)
+}
+
+// =====================================================================
+// Pipelines
+// =====================================================================
+
+/// One pipeline element: a registry name plus an optional parameter
+/// (rendered `name` or `name(param)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PassSpec {
+    /// Registry name of the pass.
+    pub name: String,
+    /// Parameter (e.g. the inline threshold); `None` uses the default.
+    pub param: Option<usize>,
+}
+
+impl PassSpec {
+    /// A spec without a parameter.
+    pub fn new(name: &str) -> PassSpec {
+        PassSpec { name: name.to_string(), param: None }
+    }
+
+    /// A spec with a parameter.
+    pub fn with_param(name: &str, param: usize) -> PassSpec {
+        PassSpec { name: name.to_string(), param: Some(param) }
+    }
+}
+
+impl fmt::Display for PassSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.param {
+            Some(p) => write!(f, "{}({p})", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// An ordered, registry-backed pass pipeline — the optimisation genome's
+/// phenotype, and the unit of configuration everywhere (presets, search
+/// points, per-task variants).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Passes in application order.
+    pub passes: Vec<PassSpec>,
+}
+
+/// Pipeline construction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A name that no registry entry carries.
+    UnknownPass(String),
+    /// A malformed element (bad parentheses / parameter).
+    Malformed(String),
+    /// A parameter given to a pass that takes none.
+    UnexpectedParam(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnknownPass(name) => {
+                let known: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
+                write!(f, "unknown pass `{name}` (known: {})", known.join(", "))
+            }
+            PipelineError::Malformed(el) => write!(f, "malformed pipeline element `{el}`"),
+            PipelineError::UnexpectedParam(name) => {
+                write!(f, "pass `{name}` takes no parameter")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl Pipeline {
+    /// The empty pipeline (O0: no IR optimisation).
+    pub fn o0() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Cleanup trio (the "traditional toolchain" baseline).
+    pub fn o1() -> Pipeline {
+        "const_fold,copy_prop,dce".parse().expect("preset pipeline is valid")
+    }
+
+    /// Balanced: moderate inlining plus strength reduction and cleanup.
+    pub fn o2() -> Pipeline {
+        "inline(40),strength_reduce,const_fold,copy_prop,dce"
+            .parse()
+            .expect("preset pipeline is valid")
+    }
+
+    /// Aggressive: large inline threshold, all speed levers.
+    pub fn o3() -> Pipeline {
+        "inline(80),strength_reduce,const_fold,copy_prop,dce"
+            .parse()
+            .expect("preset pipeline is valid")
+    }
+
+    /// Does the pipeline contain a pass with this registry name?
+    pub fn contains(&self, name: &str) -> bool {
+        self.passes.iter().any(|p| p.name == name)
+    }
+
+    /// The parameter of the first pass with this name, if any.
+    pub fn param_of(&self, name: &str) -> Option<usize> {
+        self.passes.iter().find(|p| p.name == name).and_then(|p| p.param)
+    }
+
+    /// Append a pass spec.
+    pub fn push(&mut self, spec: PassSpec) {
+        self.passes.push(spec);
+    }
+
+    /// Instantiate every pass against the registry.
+    ///
+    /// # Errors
+    /// [`PipelineError::UnknownPass`] for names outside [`REGISTRY`].
+    pub fn instantiate(&self) -> Result<Vec<Box<dyn Pass>>, PipelineError> {
+        self.passes
+            .iter()
+            .map(|spec| {
+                lookup_pass(&spec.name)
+                    .map(|d| d.instantiate(spec.param))
+                    .ok_or_else(|| PipelineError::UnknownPass(spec.name.clone()))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self.passes.iter().map(PassSpec::to_string).collect();
+        write!(f, "{}", rendered.join(","))
+    }
+}
+
+impl FromStr for Pipeline {
+    type Err = PipelineError;
+
+    /// Parse `"const_fold,dce"` / `"inline(40),dce"` style pipelines.
+    /// Whitespace around elements is ignored; the empty string is the
+    /// empty pipeline.
+    fn from_str(s: &str) -> Result<Pipeline, PipelineError> {
+        let mut passes = Vec::new();
+        for raw in s.split(',') {
+            let el = raw.trim();
+            if el.is_empty() {
+                if s.trim().is_empty() {
+                    continue;
+                }
+                return Err(PipelineError::Malformed(raw.to_string()));
+            }
+            let (name, param) = match el.split_once('(') {
+                None => (el, None),
+                Some((name, rest)) => {
+                    let arg = rest
+                        .strip_suffix(')')
+                        .ok_or_else(|| PipelineError::Malformed(el.to_string()))?;
+                    let value: usize = arg
+                        .trim()
+                        .parse()
+                        .map_err(|_| PipelineError::Malformed(el.to_string()))?;
+                    (name.trim(), Some(value))
+                }
+            };
+            let descriptor =
+                lookup_pass(name).ok_or_else(|| PipelineError::UnknownPass(name.to_string()))?;
+            if param.is_some() && descriptor.default_param.is_none() {
+                return Err(PipelineError::UnexpectedParam(name.to_string()));
+            }
+            passes.push(PassSpec { name: name.to_string(), param });
+        }
+        Ok(Pipeline { passes })
+    }
+}
+
+// =====================================================================
+// PassManager
+// =====================================================================
+
+/// Per-pass instrumentation collected by the manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassStats {
+    /// Registry name.
+    pub name: String,
+    /// How often the pass ran (per function, per fixpoint round).
+    pub invocations: usize,
+    /// How many invocations reported a change.
+    pub changes: usize,
+}
+
+/// Applies a [`Pipeline`] to modules/functions, iterating to fixpoint
+/// (bounded) and recording per-pass [`PassStats`].
+pub struct PassManager {
+    pipeline: Pipeline,
+    passes: Vec<Box<dyn Pass>>,
+    stats: Vec<PassStats>,
+    /// Fixpoint bound: maximum rounds of the full pipeline per function.
+    pub max_rounds: usize,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("pipeline", &self.pipeline.to_string())
+            .field("max_rounds", &self.max_rounds)
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// Default fixpoint bound (matches the historical cleanup-trio loop).
+    pub const DEFAULT_MAX_ROUNDS: usize = 4;
+
+    /// Build a manager for a pipeline.
+    ///
+    /// # Errors
+    /// [`PipelineError`] if a pass does not resolve in the registry.
+    pub fn new(pipeline: Pipeline) -> Result<PassManager, PipelineError> {
+        let passes = pipeline.instantiate()?;
+        let stats = pipeline
+            .passes
+            .iter()
+            .map(|spec| PassStats { name: spec.name.clone(), invocations: 0, changes: 0 })
+            .collect();
+        Ok(PassManager { pipeline, passes, stats, max_rounds: Self::DEFAULT_MAX_ROUNDS })
+    }
+
+    /// Build a manager by parsing a pipeline string
+    /// (`"const_fold,copy_prop,dce"`, `"inline(40),dce"` …).
+    ///
+    /// # Errors
+    /// [`PipelineError`] on unknown names or malformed elements.
+    #[allow(clippy::should_implement_trait)] // mirrors binaryen-style API; FromStr exists on Pipeline
+    pub fn from_str(s: &str) -> Result<PassManager, PipelineError> {
+        PassManager::new(s.parse()?)
+    }
+
+    /// O0: no IR optimisation.
+    pub fn o0() -> PassManager {
+        PassManager::new(Pipeline::o0()).expect("preset pipeline is valid")
+    }
+
+    /// O1: the cleanup trio.
+    pub fn o1() -> PassManager {
+        PassManager::new(Pipeline::o1()).expect("preset pipeline is valid")
+    }
+
+    /// O2: moderate inlining + strength reduction + cleanup.
+    pub fn o2() -> PassManager {
+        PassManager::new(Pipeline::o2()).expect("preset pipeline is valid")
+    }
+
+    /// O3: aggressive inlining + strength reduction + cleanup.
+    pub fn o3() -> PassManager {
+        PassManager::new(Pipeline::o3()).expect("preset pipeline is valid")
+    }
+
+    /// The managed pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Per-pass instrumentation, aligned with the pipeline order.
+    pub fn stats(&self) -> &[PassStats] {
+        &self.stats
+    }
+
+    /// Run the pipeline over every function of a module. Callee bodies
+    /// for inlining are snapshotted once, up front. Returns `true` if
+    /// anything changed.
+    pub fn run(&mut self, module: &mut IrModule) -> bool {
+        let snapshot = snapshot_functions(module);
+        let cx = PassContext { functions: &snapshot };
+        let mut changed = false;
+        for f in &mut module.functions {
+            changed |= Self::run_pipeline(&mut self.passes, &mut self.stats, self.max_rounds, f, &cx);
+        }
+        changed
+    }
+
+    /// Run the pipeline over one named function of a module (per-task
+    /// variant builds). Returns `true` if anything changed; `false` for
+    /// unknown names.
+    pub fn run_function(&mut self, module: &mut IrModule, name: &str) -> bool {
+        let snapshot = snapshot_functions(module);
+        let cx = PassContext { functions: &snapshot };
+        let Some(f) = module.functions.iter_mut().find(|f| f.name == name) else {
+            return false;
+        };
+        Self::run_pipeline(&mut self.passes, &mut self.stats, self.max_rounds, f, &cx)
+    }
+
+    fn run_pipeline(
+        passes: &mut [Box<dyn Pass>],
+        stats: &mut [PassStats],
+        max_rounds: usize,
+        f: &mut IrFunction,
+        cx: &PassContext<'_>,
+    ) -> bool {
+        let mut changed = false;
+        for pass in passes.iter_mut() {
+            pass.begin_function(f);
+        }
+        for _ in 0..max_rounds {
+            let mut round_changed = false;
+            for (pass, stat) in passes.iter_mut().zip(stats.iter_mut()) {
+                let pass_changed = pass.run(f, cx);
+                stat.invocations += 1;
+                if pass_changed {
+                    stat.changes += 1;
+                    round_changed = true;
+                }
+            }
+            changed |= round_changed;
+            if !round_changed {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+// =====================================================================
+// Config-level drivers
+// =====================================================================
+
+/// Run a configuration's pipeline over a module.
+///
+/// # Panics
+/// Panics if the pipeline names a pass outside the registry —
+/// configurations built through [`Pipeline`] parsing, the presets or the
+/// genome decoder are always valid.
+pub fn run_passes(module: &mut IrModule, config: &CompilerConfig) {
+    let mut pm = PassManager::new(config.pipeline.clone())
+        .unwrap_or_else(|e| panic!("invalid configured pipeline: {e}"));
+    pm.run(module);
+}
+
 /// Run per-function pass pipelines: each function is optimised under its
 /// own configuration (the multi-version final build, where every task
 /// keeps the Pareto variant the coordination layer selected for it).
 /// Functions without an entry in `configs` use `default`.
+///
+/// Inlining runs as a first phase across all callers, against a single
+/// up-front body snapshot — before any cleanup touches a callee:
+/// callers then inline the same pristine bodies the whole-module
+/// pipeline saw when the variant was measured, keeping the final build
+/// faithful to the selected Pareto metrics.
+///
+/// # Panics
+/// As [`run_passes`], for invalid pipelines.
 pub fn run_passes_per_function(
     module: &mut IrModule,
-    configs: &std::collections::HashMap<String, CompilerConfig>,
+    configs: &HashMap<String, CompilerConfig>,
     default: &CompilerConfig,
 ) {
-    // Inlining first, per caller with its own threshold.
     let names: Vec<String> = module.functions.iter().map(|f| f.name.clone()).collect();
+    // Phase 1: inlining, per caller with its configured threshold.
+    let snapshot = snapshot_functions(module);
     for name in &names {
-        let cfg = configs.get(name).unwrap_or(default);
-        if cfg.inline {
-            inline_into(module, name, cfg.inline_threshold);
-        }
-    }
-    for f in &mut module.functions {
-        let cfg = configs.get(&f.name).unwrap_or(default);
-        if cfg.strength_reduce {
-            strength_reduce_mul(f, false);
-        }
-        for _ in 0..4 {
-            let mut any = false;
-            if cfg.const_fold {
-                any |= const_fold(f);
-            }
-            if cfg.copy_prop {
-                any |= copy_propagate(f);
-            }
-            if cfg.dce {
-                any |= dead_code_elim(f);
-            }
-            if !any {
-                break;
-            }
-        }
-    }
-}
-
-/// Inline eligible call sites of a single caller (see
-/// [`inline_functions`] for eligibility). Returns `true` on change.
-pub fn inline_into(module: &mut IrModule, caller: &str, threshold: usize) -> bool {
-    const MAX_INLINES_PER_FUNCTION: usize = 24;
-    let snapshot: HashMap<String, IrFunction> =
-        module.functions.iter().map(|f| (f.name.clone(), f.clone())).collect();
-    let recursive = |start: &str| -> bool {
-        let mut stack = vec![start.to_string()];
-        let mut seen = vec![start.to_string()];
-        while let Some(cur) = stack.pop() {
-            let Some(f) = snapshot.get(&cur) else { continue };
-            for b in &f.blocks {
-                for op in &b.ops {
-                    if let IrOp::Call { func, .. } = op {
-                        if func == start {
-                            return true;
-                        }
-                        if !seen.contains(func) {
-                            seen.push(func.clone());
-                            stack.push(func.clone());
-                        }
-                    }
+        let config = configs.get(name).unwrap_or(default);
+        for spec in &config.pipeline.passes {
+            if spec.name == "inline" {
+                let threshold = spec
+                    .param
+                    .or_else(|| lookup_pass("inline").and_then(|d| d.default_param))
+                    .unwrap_or(40);
+                if let Some(f) = module.functions.iter_mut().find(|f| &f.name == name) {
+                    inline_with_snapshot(f, &snapshot, threshold);
                 }
             }
         }
-        false
-    };
-    let op_count = |f: &IrFunction| f.blocks.iter().map(|b| b.ops.len() + 1).sum::<usize>();
-    let Some(f) = module.functions.iter_mut().find(|f| f.name == caller) else {
-        return false;
-    };
-    let mut changed = false;
-    let mut budget = MAX_INLINES_PER_FUNCTION;
-    while budget > 0 {
-        let mut site: Option<(usize, usize, String)> = None;
-        'outer: for (bi, b) in f.blocks.iter().enumerate() {
-            for (oi, op) in b.ops.iter().enumerate() {
-                if let IrOp::Call { func, .. } = op {
-                    if func != &f.name
-                        && snapshot.get(func).is_some_and(|c| op_count(c) <= threshold)
-                        && !recursive(func)
-                    {
-                        site = Some((bi, oi, func.clone()));
-                        break 'outer;
-                    }
-                }
-            }
-        }
-        let Some((bi, oi, callee_name)) = site else { break };
-        let callee = snapshot[&callee_name].clone();
-        inline_site(f, bi, oi, &callee);
-        budget -= 1;
-        changed = true;
     }
-    changed
-}
-
-/// Run the configured pass pipeline over a module.
-pub fn run_passes(module: &mut IrModule, config: &CompilerConfig) {
-    if config.inline {
-        inline_functions(module, config.inline_threshold);
-    }
-    for f in &mut module.functions {
-        if config.strength_reduce {
-            // Power-of-two strength reduction only: shift-add
-            // decomposition is performed register-resident in codegen
-            // (`CodegenOpts::mul_shift_add`), where it does not inflate
-            // memory traffic.
-            strength_reduce_mul(f, false);
-        }
-        // Cleanup trio to fixpoint (bounded).
-        for _ in 0..4 {
-            let mut any = false;
-            if config.const_fold {
-                any |= const_fold(f);
-            }
-            if config.copy_prop {
-                any |= copy_propagate(f);
-            }
-            if config.dce {
-                any |= dead_code_elim(f);
-            }
-            if !any {
-                break;
-            }
-        }
+    // Phase 2: the remaining pipeline, per function, to fixpoint.
+    for name in &names {
+        let config = configs.get(name).unwrap_or(default);
+        let rest = Pipeline {
+            passes: config
+                .pipeline
+                .passes
+                .iter()
+                .filter(|spec| spec.name != "inline")
+                .cloned()
+                .collect(),
+        };
+        let mut pm = PassManager::new(rest)
+            .unwrap_or_else(|e| panic!("invalid configured pipeline: {e}"));
+        pm.run_function(module, name);
     }
 }
 
@@ -958,17 +1503,120 @@ mod tests {
         let expected = run_ir(&reference, "f", &[7]);
         let mut m = ir_of(src);
         let config = CompilerConfig {
-            inline: true,
-            inline_threshold: 50,
-            const_fold: true,
-            copy_prop: true,
-            dce: true,
-            strength_reduce: true,
+            pipeline: "inline(50),mul_shift_add,const_fold,copy_prop,dce"
+                .parse()
+                .expect("pipeline"),
             mul_shift_add: true,
             pinned_regs: 4,
         };
         run_passes(&mut m, &config);
         m.validate().expect("valid after pipeline");
         assert_eq!(run_ir(&m, "f", &[7]), expected);
+    }
+
+    // --- framework-level tests -------------------------------------
+
+    #[test]
+    fn every_registry_pass_is_resolvable_by_name() {
+        for d in REGISTRY {
+            let mut pm = PassManager::from_str(d.name).expect("resolves");
+            assert_eq!(pm.pipeline().passes.len(), 1);
+            let mut m = ir_of("int f(int x) { return x * 8 + 0; }");
+            pm.run(&mut m); // must not panic
+        }
+        assert_eq!(REGISTRY.len(), 6, "all six optimisations are registered");
+    }
+
+    #[test]
+    fn pipeline_parses_names_params_and_rejects_junk() {
+        let p: Pipeline = "const_fold, copy_prop ,dce".parse().expect("parses");
+        assert_eq!(p.passes.len(), 3);
+        let p: Pipeline = "inline(64),dce".parse().expect("parses");
+        assert_eq!(p.param_of("inline"), Some(64));
+        assert_eq!(p.to_string(), "inline(64),dce");
+        let back: Pipeline = p.to_string().parse().expect("round-trips");
+        assert_eq!(back, p);
+        assert_eq!(Pipeline::from_str("").expect("empty ok"), Pipeline::o0());
+
+        assert!(matches!(
+            "turbo_encabulate".parse::<Pipeline>(),
+            Err(PipelineError::UnknownPass(_))
+        ));
+        assert!(matches!("inline(".parse::<Pipeline>(), Err(PipelineError::Malformed(_))));
+        assert!(matches!("inline(x)".parse::<Pipeline>(), Err(PipelineError::Malformed(_))));
+        assert!(matches!("dce,,dce".parse::<Pipeline>(), Err(PipelineError::Malformed(_))));
+        assert!(matches!(
+            "dce(7)".parse::<Pipeline>(),
+            Err(PipelineError::UnexpectedParam(name)) if name == "dce"
+        ));
+    }
+
+    #[test]
+    fn manager_reaches_fixpoint_and_records_stats() {
+        let mut m = ir_of("int f(int x) { int a = 2 * 8; int b = a; return b + x; }");
+        let mut pm = PassManager::from_str("const_fold,copy_prop,dce").expect("pipeline");
+        assert!(pm.run(&mut m));
+        let stats = pm.stats();
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().any(|s| s.changes > 0), "cleanup must report changes");
+        for s in stats {
+            assert!(s.invocations >= s.changes);
+        }
+        // A second run is a no-op: the pipeline already converged.
+        assert!(!pm.run(&mut m), "second run must find a fixpoint");
+        assert_eq!(run_ir(&m, "f", &[1]), Some(17));
+    }
+
+    #[test]
+    fn optimisation_levels_are_ordered_pipelines() {
+        assert!(PassManager::o0().pipeline().passes.is_empty());
+        assert_eq!(PassManager::o1().pipeline(), &Pipeline::o1());
+        assert!(PassManager::o2().pipeline().contains("inline"));
+        assert_eq!(PassManager::o3().pipeline().param_of("inline"), Some(80));
+        // Higher levels strictly extend the optimisation surface.
+        let counts: Vec<usize> = [Pipeline::o0(), Pipeline::o1(), Pipeline::o2()]
+            .iter()
+            .map(|p| p.passes.len())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn run_function_optimises_only_the_named_function() {
+        let src = "int a(int x) { return x * 8; }
+                   int b(int x) { return x * 8; }";
+        let mut m = ir_of(src);
+        let mut pm = PassManager::from_str("strength_reduce").expect("pipeline");
+        assert!(pm.run_function(&mut m, "a"));
+        let has_mul = |f: &IrFunction| {
+            f.blocks.iter().flat_map(|b| &b.ops).any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. }))
+        };
+        assert!(!has_mul(m.function("a").expect("a")), "a is optimised");
+        assert!(has_mul(m.function("b").expect("b")), "b is untouched");
+        assert!(!pm.run_function(&mut m, "missing"), "unknown names are no-ops");
+    }
+
+    #[test]
+    fn per_function_configs_apply_their_own_pipelines() {
+        let src = "int sq(int v) { return v * v; }
+                   int hot(int x) { return sq(x) + 1; }
+                   int cold(int x) { return sq(x) + 2; }";
+        let mut m = ir_of(src);
+        let mut configs = HashMap::new();
+        configs.insert(
+            "hot".to_string(),
+            CompilerConfig { pipeline: Pipeline::o3(), mul_shift_add: false, pinned_regs: 0 },
+        );
+        let default =
+            CompilerConfig { pipeline: Pipeline::o0(), mul_shift_add: false, pinned_regs: 0 };
+        run_passes_per_function(&mut m, &configs, &default);
+        m.validate().expect("valid after per-function pipelines");
+        let calls = |f: &IrFunction| {
+            f.blocks.iter().flat_map(|b| &b.ops).filter(|o| matches!(o, IrOp::Call { .. })).count()
+        };
+        assert_eq!(calls(m.function("hot").expect("hot")), 0, "hot inlines sq");
+        assert_eq!(calls(m.function("cold").expect("cold")), 1, "cold keeps the call");
+        assert_eq!(run_ir(&m, "hot", &[3]), Some(10));
+        assert_eq!(run_ir(&m, "cold", &[3]), Some(11));
     }
 }

@@ -145,6 +145,15 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// Earliest start of `t`: all dependencies finished (list placement in
+/// topological order guarantees they are in `finish` already).
+fn ready_time(finish: &HashMap<&str, f64>, t: &CoordTask) -> f64 {
+    t.after
+        .iter()
+        .map(|d| finish.get(d.as_str()).copied().unwrap_or(0.0))
+        .fold(0.0f64, f64::max)
+}
+
 /// Place tasks (in topological order) with fixed option choices; returns
 /// the schedule (ignoring deadlines — the caller checks).
 fn place(set: &TaskSet, choice: &[usize]) -> Schedule {
@@ -154,11 +163,7 @@ fn place(set: &TaskSet, choice: &[usize]) -> Schedule {
     let mut entries = Vec::with_capacity(set.tasks.len());
     for (i, t) in set.tasks.iter().enumerate() {
         let opt = &t.options[choice[i]];
-        let ready = t
-            .after
-            .iter()
-            .map(|d| finish.get(d.as_str()).copied().unwrap_or(0.0))
-            .fold(0.0f64, f64::max);
+        let ready = ready_time(&finish, t);
         let core_at = core_free.get(opt.core.as_str()).copied().unwrap_or(0.0);
         let start = ready.max(core_at);
         let end = start + opt.time_us;
@@ -198,6 +203,49 @@ fn meets_deadlines(set: &TaskSet, s: &Schedule) -> bool {
     true
 }
 
+/// Greedy earliest-finish-time assignment: place tasks in order, picking
+/// for each the option that finishes soonest given current core loads
+/// (ties broken toward lower energy). Unlike the per-task-fastest
+/// assignment, this spreads work across interchangeable cores, so its
+/// makespan is a much stronger schedulability witness when several tasks'
+/// fastest options happen to live on the same core.
+///
+/// The greedy simulation mirrors [`place`]'s stepping (shared
+/// [`ready_time`], same core-availability rule); the returned schedule
+/// is nevertheless recomputed by [`place`], which stays the single
+/// authority for feasibility checks.
+fn place_earliest_finish(set: &TaskSet) -> (Vec<usize>, Schedule) {
+    let mut core_free: HashMap<&str, f64> =
+        set.cores.iter().map(|c| (c.as_str(), 0.0)).collect();
+    let mut finish: HashMap<&str, f64> = HashMap::new();
+    let mut choice = Vec::with_capacity(set.tasks.len());
+    for t in &set.tasks {
+        let ready = ready_time(&finish, t);
+        let (oi, end) = t
+            .options
+            .iter()
+            .enumerate()
+            .map(|(oi, o)| {
+                let core_at = core_free.get(o.core.as_str()).copied().unwrap_or(0.0);
+                (oi, ready.max(core_at) + o.time_us, o.energy_uj)
+            })
+            .min_by(|a, b| {
+                (a.1, a.2).partial_cmp(&(b.1, b.2)).expect("finite times")
+            })
+            .map(|(oi, end, _)| (oi, end))
+            .expect("non-empty options");
+        let opt = &t.options[oi];
+        core_free.insert(
+            set.cores.iter().find(|c| **c == opt.core).expect("validated core"),
+            end,
+        );
+        finish.insert(&t.name, end);
+        choice.push(oi);
+    }
+    let schedule = place(set, &choice);
+    (choice, schedule)
+}
+
 fn fastest_choice(t: &CoordTask) -> usize {
     t.options
         .iter()
@@ -228,23 +276,32 @@ fn greenest_choice(t: &CoordTask) -> usize {
 /// [`ScheduleError::Unschedulable`] when no assignment meets the
 /// deadlines.
 pub fn schedule_energy_aware(set: &TaskSet) -> Result<Schedule, ScheduleError> {
-    // Schedulability pre-check with the fastest options. Per-task-fastest
-    // is not makespan-optimal when a task's options live on different
-    // cores (a slower option elsewhere can parallelise better), so on
+    // Schedulability pre-check. Per-task-fastest is not makespan-optimal
+    // when a task's options live on different cores (a slower option
+    // elsewhere can parallelise better — with identical cores, several
+    // "fastest" options can pile onto one of them), so an
+    // earliest-finish-time placement is tried as a second witness; on
     // failure we fall back to the exhaustive solver when the assignment
     // space is small enough — it decides feasibility exactly.
     let fastest: Vec<usize> = set.tasks.iter().map(fastest_choice).collect();
     let fastest_schedule = place(set, &fastest);
-    if !meets_deadlines(set, &fastest_schedule) {
-        let space: f64 = set.tasks.iter().map(|t| t.options.len() as f64).product();
-        if space <= 65_536.0 {
-            return schedule_branch_and_bound(set);
+    let fallback = if meets_deadlines(set, &fastest_schedule) {
+        fastest
+    } else {
+        let (eft, eft_schedule) = place_earliest_finish(set);
+        if meets_deadlines(set, &eft_schedule) {
+            eft
+        } else {
+            let space: f64 = set.tasks.iter().map(|t| t.options.len() as f64).product();
+            if space <= 65_536.0 {
+                return schedule_branch_and_bound(set);
+            }
+            return Err(ScheduleError::Unschedulable {
+                best_makespan_us: fastest_schedule.makespan_us.min(eft_schedule.makespan_us),
+                deadline_us: set.deadline_us,
+            });
         }
-        return Err(ScheduleError::Unschedulable {
-            best_makespan_us: fastest_schedule.makespan_us,
-            deadline_us: set.deadline_us,
-        });
-    }
+    };
 
     let mut choice: Vec<usize> = set.tasks.iter().map(greenest_choice).collect();
     let mut current = place(set, &choice);
@@ -287,9 +344,9 @@ pub fn schedule_energy_aware(set: &TaskSet) -> Result<Schedule, ScheduleError> {
             }
         }
         let Some((ti, oi, _)) = best_feasible.or(best_progress) else {
-            // No single upgrade helps — jump to the all-fastest assignment
-            // (feasible by the pre-check).
-            choice = fastest.clone();
+            // No single upgrade helps — jump to the assignment the
+            // pre-check proved feasible.
+            choice = fallback.clone();
             current = place(set, &choice);
             break;
         };

@@ -164,7 +164,7 @@ pub fn advise(error: &WorkflowError) -> Vec<Advice> {
             }
         }
     }
-    advice.sort_by(|a, b| b.confidence.cmp(&a.confidence));
+    advice.sort_by_key(|a| std::cmp::Reverse(a.confidence));
     advice
 }
 

@@ -28,7 +28,7 @@ impl TimeValue {
             "s" => 1e6,
             _ => return Err(ClauseParseError::BadUnit(text.to_string())),
         };
-        if !(value >= 0.0) {
+        if value.is_nan() || value < 0.0 {
             return Err(ClauseParseError::BadQuantity(text.to_string()));
         }
         Ok(TimeValue(value * scale))
@@ -80,7 +80,7 @@ impl EnergyValue {
             "j" => 1e12,
             _ => return Err(ClauseParseError::BadUnit(text.to_string())),
         };
-        if !(value >= 0.0) {
+        if value.is_nan() || value < 0.0 {
             return Err(ClauseParseError::BadQuantity(text.to_string()));
         }
         Ok(EnergyValue(value * scale))

@@ -135,10 +135,11 @@ fn gaussian_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
+        let pivot_row = a[col].clone();
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k2 in col..n {
-                a[row][k2] -= factor * a[col][k2];
+            let factor = a[row][col] / pivot_row[col];
+            for (entry, pivot) in a[row][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *entry -= factor * pivot;
             }
             b[row] -= factor * b[col];
         }

@@ -374,7 +374,7 @@ fn operand_value(regs: &[i32; 16], op: Operand) -> i32 {
 }
 
 fn check_addr(addr: u32) -> Result<usize, MachineError> {
-    if addr % 4 != 0 {
+    if !addr.is_multiple_of(4) {
         return Err(MachineError::Unaligned(addr));
     }
     if addr >= MEMORY_BYTES {

@@ -233,9 +233,9 @@ pub fn structural_bound(f: &Function, cost: &[u64]) -> Result<u64, WcetError> {
             }
         }
         succs[header_node] = external;
-        for b in 0..n {
-            if members.contains(&node_of[b]) {
-                node_of[b] = header_node;
+        for node in node_of.iter_mut().take(n) {
+            if members.contains(node) {
+                *node = header_node;
             }
         }
     }

@@ -47,10 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("tasks (selected compiler variants):");
     for t in &outcome.tasks {
+        // Each variant is a registry-backed pass pipeline, printable and
+        // reconstructible via `PassManager::from_str`.
+        let pipeline = match t.selected_config.pipeline.to_string() {
+            p if p.is_empty() => "<no passes>".to_string(),
+            p => p,
+        };
         println!(
             "  {:<8} wcet {:>8.1} µs   energy {:>7.2} µJ   (of {} Pareto variants)",
             t.name, t.wcet_us, t.wcec_uj, t.variants_offered
         );
+        println!("           pipeline: {pipeline}");
     }
 
     println!("\nschedule (single predictable core):");

@@ -1,0 +1,147 @@
+//! Vendored, dependency-free subset of `criterion`.
+//!
+//! Provides just enough API for the repository's benchmark suite to
+//! compile and produce readable timings offline: `Criterion` with the
+//! builder knobs the suite sets, `bench_function`/`Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros, and `black_box`.
+//! Measurements are simple medians over wall-clock batches — indicative
+//! numbers, not criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its median iteration time.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up: let the closure run until the warm-up budget is spent,
+        // scaling the iteration count to something measurable.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed < Duration::from_millis(1) {
+                b.iters = (b.iters * 4).min(1 << 20);
+            }
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            if run_start.elapsed() > self.measurement_time && !samples.is_empty() {
+                break;
+            }
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        println!("{name:<40} {:>12}/iter ({} samples × {} iters)", fmt_time(median), samples.len(), b.iters);
+        self
+    }
+
+    /// Print the closing line (upstream prints a summary report).
+    pub fn final_summary(&self) {
+        println!("benchmarks complete (vendored criterion: indicative timings only)");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; times the inner loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, executed `iters` times.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark targets under a named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}

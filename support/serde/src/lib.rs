@@ -1,0 +1,462 @@
+//! Vendored, dependency-free subset of `serde`.
+//!
+//! Offline builds cannot fetch the real `serde`, so this crate provides
+//! the slice the toolchain uses: `#[derive(Serialize, Deserialize)]`
+//! (re-exported from the local `serde_derive` proc-macro) backed by a
+//! concrete [`Value`] tree instead of serde's visitor machinery. The
+//! local `serde_json` crate renders and parses [`Value`] as JSON.
+//!
+//! Data-model conventions (mirroring serde's externally-tagged defaults):
+//! * structs → maps of field name → value; newtype structs are
+//!   transparent; tuple structs → sequences; unit structs → null;
+//! * enums → `"Variant"` for unit variants, `{"Variant": …}` otherwise;
+//! * maps → sequences of `[key, value]` pairs, so non-string keys
+//!   round-trip without a string-key convention.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every type serialises through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer outside `i64` range (or any non-negative parse).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered map with string keys (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i128` for integer targets.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::I64(v) => Some(*v as i128),
+            Value::U64(v) => Some(*v as i128),
+            // Accept integral floats: JSON printers drop the ".0".
+            Value::F64(v) if v.fract() == 0.0 && v.abs() < 2f64.powi(63) => Some(*v as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialisation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the value tree.
+    ///
+    /// # Errors
+    /// [`DeError`] describing the first mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field in a serialised map (derive-macro helper).
+///
+/// # Errors
+/// [`DeError`] when the field is absent.
+pub fn field<'v>(map: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if (*self as i128) >= 0 && (*self as i128) > i64::MAX as i128 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_int().ok_or_else(|| DeError(format!(
+                    "expected integer, got {v:?}"
+                )))?;
+                <$t>::try_from(n).map_err(|_| DeError(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if *self > i64::MAX as u64 {
+            Value::U64(*self)
+        } else {
+            Value::I64(*self as i64)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::U64(n) => Ok(*n),
+            _ => {
+                let n = v.as_int().ok_or_else(|| DeError(format!("expected integer, got {v:?}")))?;
+                u64::try_from(n).map_err(|_| DeError(format!("integer {n} out of range for u64")))
+            }
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(DeError(format!("expected single-char string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Static string slices (used in error payloads) deserialise by
+    /// leaking the parsed string — a deliberate trade for supporting
+    /// `&'static str` fields without serde's borrowed-data machinery.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError(format!("expected sequence, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Seq(entries.map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+}
+
+fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    v.as_seq()
+        .ok_or_else(|| DeError(format!("expected map (pair sequence), got {v:?}")))?
+        .iter()
+        .map(|pair| match pair.as_seq() {
+            Some([k, val]) => Ok((K::from_value(k)?, V::from_value(val)?)),
+            _ => Err(DeError(format!("expected [key, value] pair, got {pair:?}"))),
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries(v)?.into_iter().collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq()
+                    .ok_or_else(|| DeError(format!("expected tuple sequence, got {v:?}")))?;
+                let mut it = s.iter();
+                let out = ($(
+                    {
+                        let _ = $n; // positional marker
+                        $t::from_value(it.next().ok_or_else(|| DeError("tuple too short".into()))?)?
+                    },
+                )+);
+                if it.next().is_some() {
+                    return Err(DeError("tuple too long".into()));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_value(&42i32.to_value()), Ok(42));
+        assert_eq!(u64::from_value(&u64::MAX.to_value()), Ok(u64::MAX));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn integral_floats_deserialise_as_integers() {
+        assert_eq!(u32::from_value(&Value::F64(7.0)), Ok(7));
+        assert!(u32::from_value(&Value::F64(7.5)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(String::from("a"), 1u32), (String::from("b"), 2)];
+        let back: Vec<(String, u32)> = Deserialize::from_value(&v.to_value()).expect("round trip");
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert(3u32, vec![1i64, 2]);
+        let back: HashMap<u32, Vec<i64>> = Deserialize::from_value(&m.to_value()).expect("map");
+        assert_eq!(back, m);
+
+        let arr = [1u8, 2, 3];
+        let back: [u8; 3] = Deserialize::from_value(&arr.to_value()).expect("array");
+        assert_eq!(back, arr);
+
+        let opt: Option<i32> = None;
+        assert_eq!(Option::<i32>::from_value(&opt.to_value()), Ok(None));
+    }
+}

@@ -1,0 +1,155 @@
+//! Differential correctness of the pass framework, per pass and per
+//! optimisation level: on the shipped Mini-C application kernels, every
+//! registered pass — and the `o1()`–`o3()` preset pipelines — must
+//! preserve
+//!
+//! 1. **reference-interpreter semantics**: return values and the full
+//!    port-output trace of every scalar-argument function match the
+//!    unoptimised module, and
+//! 2. **loop-bound flow facts**: the static WCET analysis still bounds
+//!    every function it bounded before optimisation (lost bounds make
+//!    the analysis fail, so analysability is the flow-fact witness).
+
+use teamplay_compiler::{generate_program, CodegenOpts, PassManager, Pipeline, REGISTRY};
+use teamplay_isa::CycleModel;
+use teamplay_minic::compile_to_ir;
+use teamplay_minic::interp::RecordingPorts;
+use teamplay_minic::ir::{exec_module, IrModule};
+use teamplay_wcet::analyze_program;
+
+/// The Mini-C kernels the examples ship (see `examples/`): the camera
+/// pill pipeline, the SpaceWire downlink kernels and the parking CNN
+/// convolution layer.
+fn kernels() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("camera_pill", teamplay_apps::camera_pill::SOURCE),
+        ("spacewire", teamplay_apps::spacewire::SOURCE),
+        ("parking_cnn", teamplay_apps::parking::CONV_KERNEL_SOURCE),
+    ]
+}
+
+/// Every single-pass pipeline from the registry, plus the level presets.
+fn pipelines_under_test() -> Vec<(String, Pipeline)> {
+    let mut out: Vec<(String, Pipeline)> = REGISTRY
+        .iter()
+        .map(|d| {
+            let p: Pipeline = d.name.parse().expect("registry names parse");
+            (format!("pass:{}", d.name), p)
+        })
+        .collect();
+    out.push(("preset:o1".into(), Pipeline::o1()));
+    out.push(("preset:o2".into(), Pipeline::o2()));
+    out.push(("preset:o3".into(), Pipeline::o3()));
+    out
+}
+
+/// Deterministic argument pool; functions draw as many as they need.
+const ARG_POOL: [i32; 8] = [0, 1, -1, 7, -13, 255, 4096, -100_000];
+
+fn arg_sets(arity: usize) -> Vec<Vec<i32>> {
+    (0..3)
+        .map(|round| (0..arity).map(|i| ARG_POOL[(i + round * 3) % ARG_POOL.len()]).collect())
+        .collect()
+}
+
+/// Run a function against a fresh port device with a deterministic
+/// input stream, returning the value and the full output trace.
+fn run(module: &IrModule, func: &str, args: &[i32]) -> (Option<i32>, Vec<(u8, i32)>) {
+    let mut ports = RecordingPorts::new();
+    for port in 0..4u8 {
+        ports.queue(port, (0..512).map(|i| (i * 37 + i32::from(port) * 11 + 5) & 0xFFFF));
+    }
+    let value = exec_module(module, func, args, &mut ports, 200_000_000)
+        .unwrap_or_else(|e| panic!("{func} must run: {e:?}"));
+    (value, ports.outputs)
+}
+
+#[test]
+fn every_registered_pass_and_preset_preserves_semantics_and_flow_facts() {
+    let cm = CycleModel::pg32();
+    for (kernel, src) in kernels() {
+        let reference = compile_to_ir(src).expect("kernel compiles");
+        let ref_program =
+            generate_program(&reference, CodegenOpts::default()).expect("reference codegen");
+        let ref_wcet = analyze_program(&ref_program, &cm).expect("reference kernels are analysable");
+
+        // The scalar-argument functions are the differential drivers.
+        let scalar_functions: Vec<(String, usize)> = reference
+            .functions
+            .iter()
+            .filter(|f| f.params.iter().all(|p| !p.is_array))
+            .map(|f| (f.name.clone(), f.params.len()))
+            .collect();
+        assert!(!scalar_functions.is_empty(), "{kernel}: no scalar entry points");
+
+        for (label, pipeline) in pipelines_under_test() {
+            let mut optimised = reference.clone();
+            let mut pm = PassManager::new(pipeline).expect("pipeline resolves");
+            pm.run(&mut optimised);
+            optimised
+                .validate()
+                .unwrap_or_else(|e| panic!("{kernel}/{label}: invalid IR after pipeline: {e}"));
+
+            // 1. Interpreter semantics: values and port traces agree.
+            for (func, arity) in &scalar_functions {
+                for args in arg_sets(*arity) {
+                    let (expect_val, expect_out) = run(&reference, func, &args);
+                    let (got_val, got_out) = run(&optimised, func, &args);
+                    assert_eq!(
+                        got_val, expect_val,
+                        "{kernel}/{label}: `{func}({args:?})` diverged"
+                    );
+                    assert_eq!(
+                        got_out, expect_out,
+                        "{kernel}/{label}: `{func}({args:?})` port trace diverged"
+                    );
+                }
+            }
+
+            // 2. Flow facts: everything the reference analysis bounded
+            // stays bounded (and the analysis itself still succeeds).
+            let program = generate_program(&optimised, CodegenOpts::default())
+                .unwrap_or_else(|e| panic!("{kernel}/{label}: codegen failed: {e}"));
+            let wcet = analyze_program(&program, &cm)
+                .unwrap_or_else(|e| panic!("{kernel}/{label}: flow facts lost: {e}"));
+            for (func, _) in &scalar_functions {
+                if ref_wcet.wcet_cycles(func).is_some() {
+                    assert!(
+                        wcet.wcet_cycles(func).is_some(),
+                        "{kernel}/{label}: `{func}` lost its WCET bound"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimisation_levels_do_not_regress_wcet() {
+    // Sanity on top of correctness: each preset's WCET for the camera
+    // pill tasks is no worse than the unoptimised build — optimisation
+    // levels must never pessimise the bound.
+    let cm = CycleModel::pg32();
+    let reference = compile_to_ir(teamplay_apps::camera_pill::SOURCE).expect("kernel compiles");
+    let base = analyze_program(
+        &generate_program(&reference, CodegenOpts::default()).expect("codegen"),
+        &cm,
+    )
+    .expect("analysable");
+    for (label, mut pm) in
+        [("o1", PassManager::o1()), ("o2", PassManager::o2()), ("o3", PassManager::o3())]
+    {
+        let mut optimised = reference.clone();
+        pm.run(&mut optimised);
+        let wcet = analyze_program(
+            &generate_program(&optimised, CodegenOpts::default()).expect("codegen"),
+            &cm,
+        )
+        .expect("analysable");
+        for (task, _) in teamplay_apps::camera_pill::TASKS {
+            let b = base.wcet_cycles(task).expect("bounded");
+            let o = wcet.wcet_cycles(task).expect("bounded");
+            assert!(o <= b, "{label}: task `{task}` WCET regressed: {o} > {b}");
+        }
+    }
+}

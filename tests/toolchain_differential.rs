@@ -5,7 +5,7 @@
 //! WCET/WCEC bounds dominate every measured run.
 
 use proptest::prelude::*;
-use teamplay_compiler::{compile_module, CompilerConfig};
+use teamplay_compiler::{compile_module, CompilerConfig, Pipeline};
 use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
 use teamplay_isa::CycleModel;
 use teamplay_minic::interp::{Interp, RecordingPorts};
@@ -96,13 +96,31 @@ proptest! {
         // Every compiler preset must agree, and static bounds must hold.
         let cm = CycleModel::pg32();
         let em = IsaEnergyModel::pg32_datasheet();
-        for config in [
+        // Every named preset, plus registry-built pipelines: each pass
+        // alone, and a hand-written `from_str` pipeline with the
+        // energy-trading codegen knob on.
+        let mut configs = vec![
             CompilerConfig::all_off(),
             CompilerConfig::traditional(),
             CompilerConfig::balanced(),
             CompilerConfig::performance(),
             CompilerConfig::energy_saver(),
-        ] {
+        ];
+        for pass in teamplay_compiler::REGISTRY {
+            configs.push(CompilerConfig {
+                pipeline: pass.name.parse().expect("registry names parse"),
+                mul_shift_add: false,
+                pinned_regs: 0,
+            });
+        }
+        configs.push(CompilerConfig {
+            pipeline: "inline(24),mul_shift_add,const_fold,copy_prop,dce"
+                .parse::<Pipeline>()
+                .expect("pipeline parses"),
+            mul_shift_add: true,
+            pinned_regs: 2,
+        });
+        for config in configs {
             let program = compile_module(&ir, &config).expect("compiles");
             let wcet = analyze_program(&program, &cm).expect("wcet analyses");
             let wcec = analyze_program_energy(&program, &em, &cm).expect("wcec analyses");
