@@ -1,0 +1,163 @@
+//! Search-throughput benchmark: genomes evaluated per second for the FPA
+//! variant search on the camera-pill module with `FpaConfig::standard()`.
+//!
+//! Two code paths are timed, both running the *same* batched FPA (same
+//! seed, same trajectory), so the delta isolates exactly this PR's two
+//! optimisations:
+//!
+//! * **sequential uncached** — a 1-thread pool, every genome compiled +
+//!   analysed from scratch, and the archive recompiled a second time per
+//!   Pareto point (the double evaluation the cached driver eliminates);
+//! * **memoized + parallel** — `pareto_search_on` with the process-wide
+//!   pool width: configuration-keyed caching plus batched parallel
+//!   evaluation.
+//!
+//! The run writes `BENCH_search.json` at the repository root so later PRs
+//! have a perf trajectory, then registers a Criterion timing for the
+//! optimized path. Run with `cargo bench --bench search_throughput`.
+
+use criterion::Criterion;
+use minipool::Pool;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+use teamplay_compiler::{
+    evaluate_module, pareto_search_on, CompilerConfig, FpaConfig, MultiObjectiveFpa, ParetoPoint,
+    TaskVariant,
+};
+use teamplay_energy::IsaEnergyModel;
+use teamplay_isa::CycleModel;
+use teamplay_minic::{compile_to_ir, ir::IrModule};
+
+const TASK: &str = "compress";
+const SEED: u64 = 0xBEEF;
+
+/// The baseline: the batched FPA without this PR's driver optimisations —
+/// sequential pool, uncached `evaluate_module`, archive points
+/// recompiled (mirroring the old `pareto_front_for` driver loop).
+fn baseline_front(
+    ir: &IrModule,
+    cm: &CycleModel,
+    em: &IsaEnergyModel,
+) -> (Vec<TaskVariant>, usize) {
+    let fpa = MultiObjectiveFpa::new(FpaConfig::standard());
+    let outcome = fpa.run_on(&Pool::new(1), CompilerConfig::GENOME_DIMS, SEED, |genome| {
+        let config = CompilerConfig::from_genome(genome);
+        let (_, metrics) = evaluate_module(ir, &config, cm, em).ok()?;
+        let m = metrics.of(TASK)?;
+        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+    });
+    let evaluations = outcome.stats.evaluations;
+    let mut variants: Vec<TaskVariant> = Vec::new();
+    for ParetoPoint { genome, .. } in outcome.archive {
+        let config = CompilerConfig::from_genome(&genome);
+        if variants.iter().any(|v| v.config == config) {
+            continue;
+        }
+        let Ok((program, metrics)) = evaluate_module(ir, &config, cm, em) else {
+            continue;
+        };
+        let m = *metrics.of(TASK).expect("task analysed");
+        variants.push(TaskVariant { config, metrics: m, program: std::sync::Arc::new(program) });
+    }
+    variants.sort_by_key(|v| v.metrics.wcet_cycles);
+    (variants, evaluations)
+}
+
+/// Best-of-`runs` wall-clock for `f`.
+fn time_best<R>(runs: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best: Option<Duration> = None;
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let r = f();
+        let took = start.elapsed();
+        if best.is_none_or(|b| took < b) {
+            best = Some(took);
+        }
+        last = Some(r);
+    }
+    (best.expect("runs >= 1"), last.expect("runs >= 1"))
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    bench: String,
+    fpa: String,
+    task: String,
+    threads: usize,
+    evaluations: usize,
+    cache_misses: usize,
+    variants: usize,
+    sequential_uncached_secs: f64,
+    sequential_uncached_genomes_per_sec: f64,
+    optimized_secs: f64,
+    optimized_genomes_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let ir = compile_to_ir(teamplay_apps::camera_pill::SOURCE).expect("parses");
+    let cm = CycleModel::pg32();
+    let em = IsaEnergyModel::pg32_datasheet();
+    let pool = minipool::global();
+
+    let (base_time, (base_variants, evaluations)) =
+        time_best(3, || baseline_front(&ir, &cm, &em));
+    let (opt_time, front) = time_best(3, || {
+        pareto_search_on(pool, &ir, TASK, &cm, &em, FpaConfig::standard(), SEED)
+    });
+    assert_eq!(
+        base_variants.len(),
+        front.variants.len(),
+        "memoized+parallel search changed the front"
+    );
+
+    let gps = |evals: usize, t: Duration| evals as f64 / t.as_secs_f64().max(1e-9);
+    let speedup = base_time.as_secs_f64() / opt_time.as_secs_f64().max(1e-9);
+    let baseline = Baseline {
+        bench: "search_throughput".into(),
+        fpa: "standard".into(),
+        task: TASK.into(),
+        threads: pool.threads(),
+        evaluations,
+        cache_misses: front.stats.cache_misses,
+        variants: front.variants.len(),
+        sequential_uncached_secs: base_time.as_secs_f64(),
+        sequential_uncached_genomes_per_sec: gps(evaluations, base_time),
+        optimized_secs: opt_time.as_secs_f64(),
+        optimized_genomes_per_sec: gps(evaluations, opt_time),
+        speedup,
+    };
+    println!(
+        "search_throughput: sequential {:.0} genomes/s, memoized+parallel {:.0} genomes/s \
+         ({speedup:.2}x, {} threads, {} distinct compiles for {} evaluations)",
+        baseline.sequential_uncached_genomes_per_sec,
+        baseline.optimized_genomes_per_sec,
+        baseline.threads,
+        baseline.cache_misses,
+        baseline.evaluations,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serializes");
+    std::fs::write(path, json + "\n").expect("baseline written");
+
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    c.bench_function("search_throughput_standard", |b| {
+        b.iter(|| {
+            pareto_search_on(
+                pool,
+                std::hint::black_box(&ir),
+                TASK,
+                &cm,
+                &em,
+                FpaConfig::standard(),
+                SEED,
+            )
+        })
+    });
+    c.final_summary();
+}

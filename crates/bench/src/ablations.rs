@@ -39,7 +39,7 @@ pub fn a1_fpa_vs_random() -> ((usize, usize, f64, f64), String) {
     // Random search with the same number of evaluations.
     let mut rng = StdRng::seed_from_u64(42);
     let mut random_front: Vec<Vec<f64>> = Vec::new();
-    for _ in 0..fpa_out.evaluations {
+    for _ in 0..fpa_out.stats.evaluations {
         let genome: Vec<f64> =
             (0..CompilerConfig::GENOME_DIMS).map(|_| rng.gen_range(0.0..1.0)).collect();
         if let Some(obj) = eval(&genome) {
@@ -65,13 +65,13 @@ pub fn a1_fpa_vs_random() -> ((usize, usize, f64, f64), String) {
     out.push_str("| search | evaluations | Pareto points | best energy (µJ) |\n|---|---|---|---|\n");
     out.push_str(&format!(
         "| FPA (ref [5]) | {} | {} | {:.2} |\n",
-        fpa_out.evaluations,
+        fpa_out.stats.evaluations,
         fpa_out.archive.len(),
         fpa_best / 1e6
     ));
     out.push_str(&format!(
         "| uniform random | {} | {} | {:.2} |\n\n",
-        fpa_out.evaluations,
+        fpa_out.stats.evaluations,
         random_front.len(),
         rnd_best / 1e6
     ));

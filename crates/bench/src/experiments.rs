@@ -153,11 +153,26 @@ pub fn e2_spacewire() -> (E2Result, String) {
     }
 
     // TeamPlay: per-task Pareto variants × DVFS levels, scheduled under
-    // the 100 ms frame deadline.
+    // the 100 ms frame deadline. The per-task searches are independent,
+    // so they fan out over the global pool (index-ordered results keep
+    // the experiment deterministic); each search gets a slice of the
+    // remaining width so the nested batches don't oversubscribe cores.
+    let pool = minipool::global();
+    let inner = pool.split_across(model.tasks.len());
+    let fronts = pool.par_map(&model.tasks, |_, spec| {
+        teamplay_compiler::pareto_search_on(
+            &inner,
+            &ir,
+            &spec.function,
+            &cm,
+            &em,
+            FpaConfig::standard(),
+            0x5AC3,
+        )
+        .variants
+    });
     let mut coord_tasks = Vec::new();
-    for spec in &model.tasks {
-        let variants =
-            pareto_front_for(&ir, &spec.function, &cm, &em, FpaConfig::standard(), 0x5AC3);
+    for (spec, variants) in model.tasks.iter().zip(fronts) {
         let mut options: Vec<ExecOption> = Vec::new();
         for (vi, v) in variants.iter().enumerate() {
             options.extend(dvfs_options(

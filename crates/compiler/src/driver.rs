@@ -7,9 +7,12 @@
 //! multi-version task variants the coordination layer schedules.
 
 use crate::codegen::{generate_program, generate_program_with, CodegenError, CodegenOpts};
-use crate::fpa::{FpaConfig, MultiObjectiveFpa, ParetoPoint};
+use crate::fpa::{FpaConfig, MultiObjectiveFpa, ParetoPoint, SearchStats};
 use crate::passes::{run_passes, run_passes_per_function, PassSpec, Pipeline};
+use minipool::Pool;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use serde::{Deserialize, Serialize};
 use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
 use teamplay_isa::{encode::encode_sequence, CycleModel, Function, Program};
@@ -175,16 +178,46 @@ pub struct VariantMetrics {
 }
 
 /// Whole-module metrics for a configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ModuleMetrics {
-    /// Per-function metrics in name order.
-    pub functions: Vec<(String, VariantMetrics)>,
+    // Per-function metrics, sorted by name — every constructor
+    // (`new` and the manual `Deserialize`) funnels through the sort, so
+    // `of` can binary search.
+    functions: Vec<(String, VariantMetrics)>,
 }
 
 impl ModuleMetrics {
-    /// Metrics for one function.
+    /// Build metrics from per-function entries (sorted here; callers may
+    /// supply any order).
+    pub fn new(mut functions: Vec<(String, VariantMetrics)>) -> ModuleMetrics {
+        functions.sort_by(|(a, _), (b, _)| a.cmp(b));
+        ModuleMetrics { functions }
+    }
+
+    /// Metrics for one function (binary search over the name-sorted
+    /// entries — callers probe this once per genome per task).
     pub fn of(&self, name: &str) -> Option<&VariantMetrics> {
-        self.functions.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+        self.functions
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.functions[i].1)
+    }
+
+    /// All per-function metrics, sorted by name.
+    pub fn functions(&self) -> &[(String, VariantMetrics)] {
+        &self.functions
+    }
+}
+
+impl serde::Deserialize for ModuleMetrics {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("ModuleMetrics: expected a map"))?;
+        let functions = Vec::from_value(serde::field(map, "functions")?)?;
+        // Re-sorting on ingest keeps the binary-search invariant even for
+        // hand-written or reordered JSON.
+        Ok(ModuleMetrics::new(functions))
     }
 }
 
@@ -214,7 +247,82 @@ pub fn evaluate_module(
             },
         ));
     }
-    Ok((program, ModuleMetrics { functions }))
+    Ok((program, ModuleMetrics::new(functions)))
+}
+
+/// A memoized, thread-safe view of [`evaluate_module`] for one module and
+/// platform: results are keyed by the decoded [`CompilerConfig`], so the
+/// many genomes that decode to the same configuration — and the archive
+/// reconstruction after a search — compile and analyse exactly once.
+///
+/// Concurrent lookups of the same configuration block on a per-entry
+/// [`OnceLock`], so each distinct configuration is evaluated by exactly
+/// one thread: `misses()` equals the number of distinct configurations
+/// probed, whatever the pool width. Failed evaluations are cached as
+/// `None` (infeasible), so repeated failures are free too.
+pub struct EvalCache<'a> {
+    ir: &'a IrModule,
+    cycle_model: &'a CycleModel,
+    energy_model: &'a IsaEnergyModel,
+    entries: Mutex<HashMap<CompilerConfig, Arc<OnceLock<Option<CachedEval>>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// One memoized evaluation: the compiled program (shared, never
+/// deep-cloned) and its module metrics.
+pub type CachedEval = (Arc<Program>, ModuleMetrics);
+
+impl<'a> EvalCache<'a> {
+    /// An empty cache over one module and platform pair.
+    pub fn new(
+        ir: &'a IrModule,
+        cycle_model: &'a CycleModel,
+        energy_model: &'a IsaEnergyModel,
+    ) -> EvalCache<'a> {
+        EvalCache {
+            ir,
+            cycle_model,
+            energy_model,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// [`evaluate_module`] through the cache. `None` means the
+    /// configuration is infeasible (codegen or analysis failed).
+    pub fn evaluate(&self, config: &CompilerConfig) -> Option<CachedEval> {
+        let cell = {
+            let mut entries = self.entries.lock().expect("eval cache lock");
+            entries.entry(config.clone()).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+        };
+        let mut computed = false;
+        let value = cell.get_or_init(|| {
+            computed = true;
+            evaluate_module(self.ir, config, self.cycle_model, self.energy_model)
+                .ok()
+                .map(|(program, metrics)| (Arc::new(program), metrics))
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value.clone()
+    }
+
+    /// Lookups answered without compiling (including waits on another
+    /// thread's in-flight evaluation of the same configuration).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that compiled + analysed (= distinct configurations
+    /// probed).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
 }
 
 /// A compiled task variant on the Pareto front.
@@ -224,14 +332,29 @@ pub struct TaskVariant {
     pub config: CompilerConfig,
     /// Its static metrics for the task function.
     pub metrics: VariantMetrics,
-    /// The full compiled program (all functions under this config).
-    pub program: Program,
+    /// The full compiled program (all functions under this config),
+    /// shared with the evaluation cache — cloning a variant or a front
+    /// bumps a refcount instead of deep-copying compiled modules.
+    pub program: Arc<Program>,
+}
+
+/// A task's Pareto front plus the search instrumentation that produced
+/// it.
+#[derive(Debug, Clone)]
+pub struct ParetoFront {
+    /// Non-dominated variants, sorted by WCET.
+    pub variants: Vec<TaskVariant>,
+    /// Evaluation counts and cache behaviour of the search.
+    pub stats: SearchStats,
 }
 
 /// Run the FPA over compiler configurations and return the Pareto front
 /// of variants for `task` (objectives: WCET, WCEC, code size).
 ///
 /// Deterministic for a fixed seed. Returns variants sorted by WCET.
+/// Evaluates genomes in parallel on the process-wide [`minipool::global`]
+/// pool, memoizing by decoded configuration — see [`pareto_search_on`]
+/// for the full outcome (stats included) and pool control.
 pub fn pareto_front_for(
     ir: &IrModule,
     task: &str,
@@ -240,10 +363,42 @@ pub fn pareto_front_for(
     fpa_config: FpaConfig,
     seed: u64,
 ) -> Vec<TaskVariant> {
+    pareto_search(ir, task, cycle_model, energy_model, fpa_config, seed).variants
+}
+
+/// [`pareto_front_for`] with search stats, on the global pool.
+pub fn pareto_search(
+    ir: &IrModule,
+    task: &str,
+    cycle_model: &CycleModel,
+    energy_model: &IsaEnergyModel,
+    fpa_config: FpaConfig,
+    seed: u64,
+) -> ParetoFront {
+    pareto_search_on(minipool::global(), ir, task, cycle_model, energy_model, fpa_config, seed)
+}
+
+/// The full variant search on an explicit pool: FPA-driven, memoized by
+/// decoded [`CompilerConfig`] (an [`EvalCache`]), with the final archive
+/// reconstructed from the cache rather than recompiled. Bit-identical
+/// output for any pool width given the same seed (the FPA's
+/// batched-generation contract plus a deterministic, memoized eval);
+/// `stats.cache_misses` equals the number of distinct configurations
+/// compiled.
+pub fn pareto_search_on(
+    pool: &Pool,
+    ir: &IrModule,
+    task: &str,
+    cycle_model: &CycleModel,
+    energy_model: &IsaEnergyModel,
+    fpa_config: FpaConfig,
+    seed: u64,
+) -> ParetoFront {
+    let cache = EvalCache::new(ir, cycle_model, energy_model);
     let fpa = MultiObjectiveFpa::new(fpa_config);
-    let outcome = fpa.run(CompilerConfig::GENOME_DIMS, seed, |genome| {
+    let outcome = fpa.run_on(pool, CompilerConfig::GENOME_DIMS, seed, |genome| {
         let config = CompilerConfig::from_genome(genome);
-        let (_, metrics) = evaluate_module(ir, &config, cycle_model, energy_model).ok()?;
+        let (_, metrics) = cache.evaluate(&config)?;
         let m = metrics.of(task)?;
         Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
     });
@@ -255,8 +410,9 @@ pub fn pareto_front_for(
         if variants.iter().any(|v| v.config == config) {
             continue;
         }
-        let Ok((program, metrics)) = evaluate_module(ir, &config, cycle_model, energy_model)
-        else {
+        // Every archived point was evaluated during the search, so this
+        // is a guaranteed cache hit — no recompilation.
+        let Some((program, metrics)) = cache.evaluate(&config) else {
             continue;
         };
         let m = *metrics.of(task).expect("task analysed");
@@ -264,7 +420,11 @@ pub fn pareto_front_for(
         variants.push(TaskVariant { config, metrics: m, program });
     }
     variants.sort_by_key(|v| v.metrics.wcet_cycles);
-    variants
+
+    let mut stats = outcome.stats;
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    ParetoFront { variants, stats }
 }
 
 #[cfg(test)]
@@ -389,12 +549,122 @@ mod tests {
         // All variants still compute the same function.
         let mut reference: Option<i32> = None;
         for v in &variants {
-            let mut machine = Machine::new(v.program.clone()).expect("load");
+            let mut machine = Machine::new(v.program.as_ref().clone()).expect("load");
             let r = machine.call("filter", &[3], &mut RecordingDevice::new()).expect("run");
             match reference {
                 None => reference = Some(r.return_value),
                 Some(x) => assert_eq!(x, r.return_value),
             }
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_byte_identical_to_single_thread() {
+        // The tentpole contract: forcing a 1-thread pool and wide pools
+        // over the same seed yields byte-identical fronts (compared via
+        // their serialized form, programs included).
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let cm = CycleModel::pg32();
+        let em = IsaEnergyModel::pg32_datasheet();
+        let sequential =
+            pareto_search_on(&Pool::new(1), &ir, "filter", &cm, &em, FpaConfig::standard(), 77);
+        let seq_bytes = serde_json::to_string(&sequential.variants).expect("serializes");
+        for threads in [2, 4] {
+            let parallel = pareto_search_on(
+                &Pool::new(threads),
+                &ir,
+                "filter",
+                &cm,
+                &em,
+                FpaConfig::standard(),
+                77,
+            );
+            let par_bytes = serde_json::to_string(&parallel.variants).expect("serializes");
+            assert_eq!(seq_bytes, par_bytes, "{threads}-thread front diverged");
+            assert_eq!(sequential.stats, parallel.stats, "{threads}-thread stats diverged");
+        }
+    }
+
+    #[test]
+    fn search_memoizes_and_reuses_the_archive_compiles() {
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let front = pareto_search(
+            &ir,
+            "filter",
+            &CycleModel::pg32(),
+            &IsaEnergyModel::pg32_datasheet(),
+            FpaConfig::standard(),
+            1234,
+        );
+        let stats = front.stats;
+        let cfg = FpaConfig::standard();
+        assert_eq!(stats.evaluations, cfg.population * (1 + cfg.iterations));
+        assert_eq!(stats.generations, cfg.iterations);
+        // Many genomes decode to the same configuration: far fewer
+        // compiles than evaluations.
+        assert!(stats.cache_misses < stats.evaluations / 2, "{stats:?}");
+        // Every cache probe is either a hit or a miss, and the archive
+        // reconstruction probes are all hits (≥ one per variant).
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.evaluations + front.variants.len());
+        assert!(stats.cache_hits >= front.variants.len(), "{stats:?}");
+    }
+
+    #[test]
+    fn eval_cache_failures_are_memoized_as_infeasible() {
+        // Unbounded loop: WCET analysis fails, so evaluation must yield
+        // None — from the cache on the second probe.
+        let ir = compile_to_ir("int spin(int n) { int s = 0; while (n > 0) { n = n - 1; s = s + 1; } return s; }")
+            .expect("front-end");
+        let cm = CycleModel::pg32();
+        let em = IsaEnergyModel::pg32_datasheet();
+        let cache = EvalCache::new(&ir, &cm, &em);
+        assert!(cache.evaluate(&CompilerConfig::balanced()).is_none());
+        assert!(cache.evaluate(&CompilerConfig::balanced()).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn module_metrics_sort_and_binary_search() {
+        let m = |w| VariantMetrics { wcet_cycles: w, wcec_pj: 1.0, code_halfwords: 4 };
+        let metrics = ModuleMetrics::new(vec![
+            ("zeta".into(), m(3)),
+            ("alpha".into(), m(1)),
+            ("mid".into(), m(2)),
+        ]);
+        assert!(metrics.functions().windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(metrics.of("alpha").map(|v| v.wcet_cycles), Some(1));
+        assert_eq!(metrics.of("mid").map(|v| v.wcet_cycles), Some(2));
+        assert_eq!(metrics.of("zeta").map(|v| v.wcet_cycles), Some(3));
+        assert!(metrics.of("aardvark").is_none());
+        assert!(metrics.of("zz").is_none());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig { cases: 16, ..proptest::ProptestConfig::default() })]
+
+        /// Cached and uncached evaluation agree for random pipelines:
+        /// whatever genome the search proposes, `EvalCache` returns
+        /// exactly what a fresh `evaluate_module` computes.
+        #[test]
+        fn cached_and_uncached_evaluation_agree(genome in proptest::collection::vec(0.0f64..1.0, CompilerConfig::GENOME_DIMS)) {
+            let ir = compile_to_ir(TASK).expect("front-end");
+            let cm = CycleModel::pg32();
+            let em = IsaEnergyModel::pg32_datasheet();
+            let config = CompilerConfig::from_genome(&genome);
+            let cache = EvalCache::new(&ir, &cm, &em);
+            let direct = evaluate_module(&ir, &config, &cm, &em).ok();
+            let first = cache.evaluate(&config);
+            let second = cache.evaluate(&config);
+            match (direct, first, second) {
+                (Some((dp, dm)), Some((p1, m1)), Some((p2, m2))) => {
+                    proptest::prop_assert!(dp == *p1 && *p1 == *p2, "programs diverged for {config:?}");
+                    proptest::prop_assert_eq!(&dm, &m1);
+                    proptest::prop_assert_eq!(&m1, &m2);
+                }
+                (None, None, None) => {}
+                other => proptest::prop_assert!(false, "cached/uncached disagree: {:?}", other.0.is_some()),
+            }
+            proptest::prop_assert_eq!((cache.hits(), cache.misses()), (1, 1));
         }
     }
 

@@ -11,7 +11,34 @@
 //! * **local pollination** — uniform mixing of two population members,
 //!
 //! and maintains a Pareto archive pruned by crowding distance.
+//!
+//! # Batched generations and the determinism contract
+//!
+//! Each generation is processed in three phases so that candidate
+//! evaluation — by far the expensive step when genomes decode to full
+//! compile + WCET + WCEC analyses — can fan out over a
+//! [`minipool::Pool`]:
+//!
+//! 1. **Draw** — ALL randomness for the generation is drawn up front on
+//!    the single-threaded seeded RNG, in population-index order: every
+//!    candidate proposal (Lévy/local moves against the archive as frozen
+//!    at generation start) and every 0.35 acceptance draw, whether or not
+//!    the draw ends up being consulted.
+//! 2. **Evaluate** — the candidate batch is mapped through the `Sync`
+//!    eval closure with [`minipool::Pool::par_map`], which returns
+//!    results in index order regardless of pool width.
+//! 3. **Apply** — archive insertions and population acceptance updates
+//!    are applied sequentially in index order.
+//!
+//! Because no phase observes scheduling order, [`MultiObjectiveFpa::run_on`]
+//! returns **bit-identical** outcomes for any pool size given the same
+//! seed and a deterministic eval — and is provably identical to a
+//! sequential run (pool of 1) of the same batched algorithm. The archive
+//! a generation's proposals lean on is the one from the *previous*
+//! generation's end, which is what makes intra-generation evaluation
+//! order irrelevant.
 
+use minipool::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -82,13 +109,32 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     strictly
 }
 
+/// Instrumentation of one search run.
+///
+/// `evaluations` and `generations` are filled by the FPA itself; the
+/// cache counters are zero unless the eval pipeline is memoized (see
+/// `pareto_search` in the driver, which copies its [`EvalCache`]'s
+/// counters here — `EvalCache` in `crate::driver`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Eval-closure invocations (population init + one per candidate).
+    pub evaluations: usize,
+    /// Generations processed.
+    pub generations: usize,
+    /// Memoized evaluations answered from cache (0 when uncached).
+    pub cache_hits: usize,
+    /// Memoized evaluations that had to compile + analyse (0 when
+    /// uncached).
+    pub cache_misses: usize,
+}
+
 /// Search outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FpaOutcome {
     /// The final non-dominated archive.
     pub archive: Vec<ParetoPoint>,
-    /// Number of objective evaluations performed.
-    pub evaluations: usize,
+    /// Run instrumentation (evaluation counts, cache behaviour).
+    pub stats: SearchStats,
 }
 
 /// The multi-objective FPA driver.
@@ -103,18 +149,32 @@ impl MultiObjectiveFpa {
         MultiObjectiveFpa { config }
     }
 
-    /// Run the search. `eval` maps a genome to its objective vector, or
-    /// `None` for infeasible genomes (they are discarded). Deterministic
-    /// for a fixed seed and deterministic `eval`.
+    /// Run the search on the process-wide [`minipool::global`] pool.
+    /// `eval` maps a genome to its objective vector, or `None` for
+    /// infeasible genomes (they are discarded). Deterministic for a
+    /// fixed seed and deterministic `eval`, whatever the pool width —
+    /// see the module docs for the batched-generation contract.
     pub fn run(
         &self,
         dims: usize,
         seed: u64,
-        mut eval: impl FnMut(&[f64]) -> Option<Vec<f64>>,
+        eval: impl Fn(&[f64]) -> Option<Vec<f64>> + Sync,
+    ) -> FpaOutcome {
+        self.run_on(minipool::global(), dims, seed, eval)
+    }
+
+    /// [`MultiObjectiveFpa::run`] on an explicit pool (pass
+    /// `Pool::new(1)` to force a sequential run).
+    pub fn run_on(
+        &self,
+        pool: &Pool,
+        dims: usize,
+        seed: u64,
+        eval: impl Fn(&[f64]) -> Option<Vec<f64>> + Sync,
     ) -> FpaOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut evaluations = 0usize;
+        let mut stats = SearchStats::default();
 
         // Initial population (uniform) + corner points to seed diversity.
         let mut population: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
@@ -125,10 +185,10 @@ impl MultiObjectiveFpa {
         }
 
         let mut archive: Vec<ParetoPoint> = Vec::new();
+        let initial = pool.par_map(&population, |_, genome| eval(genome));
+        stats.evaluations += initial.len();
         let mut scores: Vec<Option<Vec<f64>>> = Vec::with_capacity(population.len());
-        for genome in &population {
-            let obj = eval(genome);
-            evaluations += 1;
+        for (genome, obj) in population.iter().zip(initial) {
             if let Some(o) = &obj {
                 insert_archive(&mut archive, genome, o, cfg.archive_cap);
             }
@@ -136,40 +196,59 @@ impl MultiObjectiveFpa {
         }
 
         for _iter in 0..cfg.iterations {
-            for i in 0..population.len() {
-                let candidate: Vec<f64> = if rng.gen_bool(cfg.switch_prob) && !archive.is_empty() {
-                    // Global pollination: Lévy flight toward an archive
-                    // leader.
-                    let leader = &archive[rng.gen_range(0..archive.len())].genome;
-                    population[i]
-                        .iter()
-                        .zip(leader)
-                        .map(|(x, g)| {
-                            let l = levy(&mut rng, cfg.levy_lambda);
-                            (x + cfg.step_scale * l * (g - x)).clamp(0.0, 1.0)
-                        })
-                        .collect()
-                } else {
-                    // Local pollination: mix two random flowers.
-                    let a = rng.gen_range(0..population.len());
-                    let b = rng.gen_range(0..population.len());
-                    let eps: f64 = rng.gen_range(0.0..1.0);
-                    population[i]
-                        .iter()
-                        .enumerate()
-                        .map(|(d, x)| {
-                            (x + eps * (population[a][d] - population[b][d])).clamp(0.0, 1.0)
-                        })
-                        .collect()
-                };
-                let obj = eval(&candidate);
-                evaluations += 1;
+            stats.generations += 1;
+
+            // Phase 1 — draw the whole generation's randomness in index
+            // order against the archive as of generation start. The 0.35
+            // acceptance draw happens unconditionally so the RNG stream
+            // does not depend on evaluation results.
+            let moves: Vec<(Vec<f64>, bool)> = (0..population.len())
+                .map(|i| {
+                    let candidate: Vec<f64> = if rng.gen_bool(cfg.switch_prob)
+                        && !archive.is_empty()
+                    {
+                        // Global pollination: Lévy flight toward an
+                        // archive leader.
+                        let leader = &archive[rng.gen_range(0..archive.len())].genome;
+                        population[i]
+                            .iter()
+                            .zip(leader)
+                            .map(|(x, g)| {
+                                let l = levy(&mut rng, cfg.levy_lambda);
+                                (x + cfg.step_scale * l * (g - x)).clamp(0.0, 1.0)
+                            })
+                            .collect()
+                    } else {
+                        // Local pollination: mix two random flowers.
+                        let a = rng.gen_range(0..population.len());
+                        let b = rng.gen_range(0..population.len());
+                        let eps: f64 = rng.gen_range(0.0..1.0);
+                        population[i]
+                            .iter()
+                            .enumerate()
+                            .map(|(d, x)| {
+                                (x + eps * (population[a][d] - population[b][d])).clamp(0.0, 1.0)
+                            })
+                            .collect()
+                    };
+                    let lucky = rng.gen_bool(0.35);
+                    (candidate, lucky)
+                })
+                .collect();
+
+            // Phase 2 — evaluate the batch on the pool (index order out).
+            let objs = pool.par_map(&moves, |_, (candidate, _)| eval(candidate));
+            stats.evaluations += moves.len();
+
+            // Phase 3 — apply archive/acceptance updates in index order.
+            for (i, ((candidate, lucky), obj)) in moves.into_iter().zip(objs).enumerate() {
                 let Some(o) = obj else { continue };
                 // Replace if the candidate dominates (or the old one was
-                // infeasible).
+                // infeasible, or neither dominates and the pre-drawn
+                // acceptance coin came up heads).
                 let accept = match &scores[i] {
                     None => true,
-                    Some(old) => dominates(&o, old) || !dominates(old, &o) && rng.gen_bool(0.35),
+                    Some(old) => dominates(&o, old) || !dominates(old, &o) && lucky,
                 };
                 insert_archive(&mut archive, &candidate, &o, cfg.archive_cap);
                 if accept {
@@ -179,7 +258,7 @@ impl MultiObjectiveFpa {
             }
         }
 
-        FpaOutcome { archive, evaluations }
+        FpaOutcome { archive, stats }
     }
 }
 
@@ -334,7 +413,21 @@ mod tests {
         let a = fpa.run(3, 9, zdt1);
         let b = fpa.run(3, 9, zdt1);
         assert_eq!(a.archive, b.archive);
-        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn pool_width_does_not_change_the_outcome() {
+        // The batched-generation contract: a 1-thread run and wide runs
+        // of the same seed are bit-identical (f64 bits and all).
+        let fpa = MultiObjectiveFpa::new(FpaConfig::standard());
+        let sequential = fpa.run_on(&Pool::new(1), 3, 1337, zdt1);
+        for threads in [2, 4, 8] {
+            let parallel = fpa.run_on(&Pool::new(threads), 3, 1337, zdt1);
+            assert_eq!(sequential.archive, parallel.archive, "{threads} threads diverged");
+            assert_eq!(sequential.stats, parallel.stats);
+        }
+        assert_eq!(sequential.stats.generations, FpaConfig::standard().iterations);
     }
 
     #[test]

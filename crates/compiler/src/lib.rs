@@ -17,9 +17,13 @@
 //!   constructible by name (`PassManager::from_str("const_fold,dce")`)
 //!   and by optimisation level (`o0()`–`o3()`); every configuration the
 //!   search explores is such a pipeline,
-//! * [`fpa`] — the multi-objective Flower Pollination search,
-//! * [`driver`] — configuration plumbing, per-task variant evaluation and
-//!   the Pareto front construction.
+//! * [`fpa`] — the multi-objective Flower Pollination search, run in
+//!   deterministic generational batches whose candidate evaluations fan
+//!   out over the vendored `minipool` work-stealing pool (see the
+//!   module docs for the batched-generation determinism contract),
+//! * [`driver`] — configuration plumbing, per-task variant evaluation
+//!   (memoized by decoded configuration in an [`driver::EvalCache`]) and
+//!   the Pareto front construction ([`driver::pareto_search_on`]).
 //!
 //! ```
 //! use teamplay_compiler::{compile_module, CompilerConfig};
@@ -39,9 +43,10 @@ pub mod passes;
 pub use codegen::{generate_function, generate_program, CodegenError, CodegenOpts};
 pub use driver::{
     compile_module, compile_module_per_function, evaluate_module, pareto_front_for,
-    CompilerConfig, ModuleMetrics, TaskVariant, VariantMetrics,
+    pareto_search, pareto_search_on, CachedEval, CompilerConfig, EvalCache, ModuleMetrics,
+    ParetoFront, TaskVariant, VariantMetrics,
 };
-pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint};
+pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint, SearchStats};
 pub use passes::{
     run_passes, run_passes_per_function, Pass, PassContext, PassManager, PassSpec, PassStats,
     Pipeline, PipelineError, REGISTRY,

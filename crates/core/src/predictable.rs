@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use teamplay_compiler::{
-    compile_module_per_function, pareto_front_for, CompilerConfig, FpaConfig, TaskVariant,
+    compile_module_per_function, pareto_search_on, CompilerConfig, FpaConfig, TaskVariant,
 };
 use teamplay_contracts::{prove, Certificate, ProveError, TaskEvidence};
 use teamplay_coord::{
@@ -211,17 +211,28 @@ impl PredictableWorkflow {
             ladder_reports.insert(task.name.clone(), report);
         }
 
-        // 3. Multi-criteria compilation: a Pareto front per task.
-        let mut variants: HashMap<String, Vec<TaskVariant>> = HashMap::new();
-        for (i, task) in model.tasks.iter().enumerate() {
-            let front = pareto_front_for(
+        // 3. Multi-criteria compilation: a Pareto front per task. The
+        //    searches are independent (per-task seeds, shared read-only
+        //    IR and models), so they fan out over the global pool; each
+        //    search gets a slice of the remaining width for its own
+        //    genome batches. Results come back in task-index order, so
+        //    the outcome is identical to the sequential loop.
+        let pool = minipool::global();
+        let inner = pool.split_across(model.tasks.len());
+        let fronts = pool.par_map(&model.tasks, |i, task| {
+            pareto_search_on(
+                &inner,
                 &ir,
                 &task.function,
                 &cfg.cycle_model,
                 &cfg.energy_model,
                 cfg.fpa,
                 cfg.seed.wrapping_add(i as u64),
-            );
+            )
+            .variants
+        });
+        let mut variants: HashMap<String, Vec<TaskVariant>> = HashMap::new();
+        for (task, front) in model.tasks.iter().zip(fronts) {
             if front.is_empty() {
                 return Err(WorkflowError::Compile(format!(
                     "no analysable variant for task `{}` (unbounded loops?)",

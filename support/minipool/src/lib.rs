@@ -1,0 +1,344 @@
+//! Vendored, dependency-free scoped work-stealing thread pool.
+//!
+//! The repository builds in offline environments, so the slice of the
+//! rayon-style API the toolchain needs is reimplemented here (following
+//! the `support/rand` et al. offline-subset pattern): a [`Pool`] sized
+//! from [`std::thread::available_parallelism`], a deterministic
+//! [`Pool::par_map`] over indexed items, and a structured-concurrency
+//! [`Pool::scope`] for ad-hoc task submission.
+//!
+//! # Determinism
+//!
+//! `par_map` always returns results **in item-index order**, regardless
+//! of the pool size or which worker evaluated which item. A caller whose
+//! per-item function is a pure function of `(index, item)` therefore gets
+//! bit-identical output from a 1-thread and an N-thread pool — the
+//! property the FPA search's batched-generation contract builds on.
+//!
+//! # Scheduling
+//!
+//! Work is distributed as contiguous index chunks into per-worker deques;
+//! a worker pops from the front of its own deque and, when empty, steals
+//! from the back of a sibling's. Threads are scoped
+//! ([`std::thread::scope`]) and joined before `par_map`/`scope` returns,
+//! so borrows of caller state need no `'static` lifetime. A pool of one
+//! thread (or a single-item batch) runs inline on the caller's thread.
+//!
+//! The pool size can be pinned with the `MINIPOOL_THREADS` environment
+//! variable (useful for determinism experiments and CI).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A fixed-width scoped thread pool.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that runs work on `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool { threads: threads.max(1) }
+    }
+
+    /// A pool sized from `MINIPOOL_THREADS` if set, otherwise
+    /// [`std::thread::available_parallelism`] (1 if unknown).
+    pub fn from_env() -> Pool {
+        let threads = std::env::var("MINIPOOL_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        Pool::new(threads)
+    }
+
+    /// The number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item and return the results **in index order**.
+    ///
+    /// `f` may run on any worker, concurrently with other items; it must
+    /// be `Sync` and should be a pure function of `(index, item)` when
+    /// deterministic output is required. Panics in `f` are propagated to
+    /// the caller after all workers have been joined.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Contiguous chunks per worker; stealing rebalances the tail.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = n * w / workers;
+                let hi = n * (w + 1) / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+
+        let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        while let Some(i) = next_index(queues, w) {
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in collected.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} evaluated twice");
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|s| s.expect("every index evaluated exactly once")).collect()
+    }
+
+    /// Run `f` with a [`Scope`] whose spawned tasks execute on this
+    /// pool's workers. All tasks finish before `scope` returns; panics in
+    /// tasks (and in `f` itself) are propagated. Tasks may borrow from
+    /// the enclosing environment (no `'static` bound).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let shared = Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            done: AtomicBool::new(false),
+        };
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
+                    let shared = &shared;
+                    s.spawn(move || {
+                        while let Some(job) = shared.next_job() {
+                            job();
+                        }
+                    })
+                })
+                .collect();
+            let scope = Scope { shared: &shared };
+            // Shut the workers down even if `f` unwinds — otherwise they
+            // would wait on the condvar forever and the thread scope's
+            // unwind-time join would deadlock.
+            let result = {
+                let _shutdown = ShutdownGuard { shared: &shared };
+                f(&scope)
+            };
+            for h in handles {
+                h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            }
+            result
+        })
+    }
+
+    /// A pool for nested fan-outs: when `outer` independent `par_map`
+    /// items each want their own inner parallelism, give every item a
+    /// `split_across(outer)` slice of this pool's width so the nesting
+    /// does not oversubscribe cores (never narrower than one thread).
+    pub fn split_across(&self, outer: usize) -> Pool {
+        Pool::new(self.threads / outer.max(1))
+    }
+}
+
+struct ShutdownGuard<'a, 'env> {
+    shared: &'a Shared<'env>,
+}
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.shared.done.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// The process-wide shared pool, created on first use from
+/// [`Pool::from_env`].
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(Pool::from_env)
+}
+
+/// Pop the worker's own front; steal from a sibling's back otherwise.
+fn next_index(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
+    if let Some(i) = queues[own].lock().expect("queue lock").pop_front() {
+        return Some(i);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (own + off) % n;
+        if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct Shared<'env> {
+    queue: Mutex<VecDeque<Job<'env>>>,
+    ready: Condvar,
+    done: AtomicBool,
+}
+
+impl<'env> Shared<'env> {
+    fn next_job(&self) -> Option<Job<'env>> {
+        let mut queue = self.queue.lock().expect("job queue lock");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.done.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self.ready.wait(queue).expect("job queue lock");
+        }
+    }
+}
+
+/// Spawn handle passed to the [`Pool::scope`] closure.
+pub struct Scope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Queue a task for execution on the pool. Tasks run in FIFO order
+    /// across the workers; completion is awaited by `Pool::scope`.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        self.shared.queue.lock().expect("job queue lock").push_back(Box::new(job));
+        self.shared.ready.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let items: Vec<u64> = (0..103).collect();
+            let out = pool.par_map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_matches_single_thread_bitwise() {
+        let items: Vec<f64> = (0..57).map(|i| i as f64 * 0.37).collect();
+        let f = |i: usize, x: &f64| (x.sin() * 1e6 + i as f64).to_bits();
+        let seq = Pool::new(1).par_map(&items, f);
+        let par = Pool::new(8).par_map(&items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let pool = Pool::new(4);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.par_map(&empty, |_, x| *x).is_empty());
+        assert_eq!(pool.par_map(&[9], |i, x| i as i32 + *x), vec![9]);
+    }
+
+    #[test]
+    fn workers_actually_steal() {
+        // One pathological chunk: item 0 is slow, the rest are instant.
+        // With stealing, total wall-clock stays near the slow item alone.
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let out = pool.par_map(&items, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out[0], 1);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_and_borrows_env() {
+        let counter = AtomicUsize::new(0);
+        let pool = Pool::new(3);
+        pool.scope(|s| {
+            for _ in 0..25 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn par_map_propagates_panics() {
+        Pool::new(2).par_map(&[1, 2, 3, 4], |_, &x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "scope closure panicked")]
+    fn scope_closure_panic_unwinds_instead_of_deadlocking() {
+        let pool = Pool::new(2);
+        pool.scope(|s| {
+            s.spawn(|| {});
+            panic!("scope closure panicked");
+        });
+    }
+
+    #[test]
+    fn pool_size_is_clamped_and_env_sized() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::from_env().threads() >= 1);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn split_across_divides_width_and_never_starves() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.split_across(2).threads(), 4);
+        assert_eq!(pool.split_across(3).threads(), 2);
+        assert_eq!(pool.split_across(100).threads(), 1);
+        assert_eq!(pool.split_across(0).threads(), 8);
+    }
+}
