@@ -106,6 +106,20 @@ void transmit() {
 pub const TASKS: [(&str, &str); 4] =
     [("capture", "capture"), ("compress", "compress"), ("encrypt", "encrypt"), ("transmit", "transmit")];
 
+/// The tuned pass pipeline for this application (registered in the
+/// [`crate::catalog`] under `"camera_pill"`).
+///
+/// Rationale: `inline(24)` absorbs `pack4` into `compress` (the only
+/// small hot callee) without ballooning `encrypt`'s 32-round XTEA body;
+/// `licm` hoists the per-frame constants of the delta/packing loops;
+/// `cse` shares the repeated `img[i]` loads of the delta encoder and the
+/// shift-mask subterms of XTEA; the cleanup trio then folds what
+/// inlining exposed. No `unroll`: every hot loop runs 64–256 trips —
+/// far past any sensible size budget on a pill-sized flash.
+pub fn recommended_pipeline() -> &'static str {
+    "inline(24),licm,cse,const_fold,copy_prop,dce"
+}
+
 /// A synthetic 16×16 endoscopy frame: smooth tissue gradient with a few
 /// bright features, deterministic in `seed`.
 pub fn synthetic_frame(seed: u32) -> Vec<i32> {

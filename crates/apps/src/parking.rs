@@ -274,6 +274,26 @@ void conv_layer() {
 /// shift-add decomposition applies).
 pub const CONV_KERNEL_WEIGHTS: [i32; 9] = [12, 20, 12, 20, 40, 20, 12, 20, 12];
 
+/// The tuned pass pipeline for the M0 leg's conv kernel (registered in
+/// the [`crate::catalog`] under `"parking"`).
+///
+/// Rationale: the kernel is one tight 6×6 nest over a baked-in 3×3
+/// stencil — `licm` hoists the row term (`y * 8`) out of the column
+/// loop and `strength_reduce` then turns it into a shift; `cse` shares
+/// the stencil's address arithmetic; cleanup folds the exposed
+/// constants and `block_layout` straightens the ReLU branch diamond.
+/// The battery-side shift-add decomposition of the 2-bit-popcount
+/// weights stays on the *codegen* knob
+/// (`CompilerConfig::mul_shift_add`), where the chain lives in
+/// registers — the IR-level `mul_shift_add` pass would spill every
+/// partial sum to the stack and lose on both time and energy. No
+/// `inline` (no callees) and no `unroll`: the 6-trip nests fit the
+/// ceiling, but 36 stencil copies blow the M0 flash budget for a few
+/// cycles.
+pub fn recommended_pipeline() -> &'static str {
+    "licm,cse,strength_reduce,const_fold,copy_prop,dce,block_layout"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,13 +402,16 @@ mod tests {
         use teamplay_minic::compile_to_ir;
 
         let ir = compile_to_ir(CONV_KERNEL_SOURCE).expect("parses");
+        // The phase-ordering genome needs the standard budget here: under
+        // the tiny one a single licm+layout variant dominates the whole
+        // front (better on all three objectives at once).
         let variants = pareto_front_for(
             &ir,
             "conv_layer",
             &CycleModel::pg32(),
             &IsaEnergyModel::pg32_datasheet(),
-            FpaConfig::tiny(),
-            99,
+            FpaConfig::standard(),
+            7,
         );
         assert!(variants.len() >= 2, "expected multiple trade-off variants");
         let wcets: Vec<u64> = variants.iter().map(|v| v.metrics.wcet_cycles).collect();

@@ -109,6 +109,21 @@ void packetize() {
 /// implemented by `crc_frame`).
 pub const TASKS: [&str; 4] = ["acquire", "denoise", "crc_frame", "packetize"];
 
+/// The tuned pass pipeline for this application (registered in the
+/// [`crate::catalog`] under `"spacewire"`).
+///
+/// Rationale: `inline(40)` pulls `clamp_byte` into `denoise` and
+/// `crc16_step` into `crc_frame` (the two per-pixel/per-byte callees);
+/// `licm` then hoists `y * 16` out of `denoise`'s inner column loop —
+/// once per row instead of once per pixel; `unroll(8)` flattens the
+/// 8-trip CRC bit loop that inlining exposed, trading a little LEON3
+/// flash for the per-bit compare+branch; `strength_reduce` turns the
+/// row-stride multiplies into shifts; cleanup and `block_layout` last,
+/// so codegen sees the straightened CFG.
+pub fn recommended_pipeline() -> &'static str {
+    "inline(40),licm,cse,unroll(8),strength_reduce,const_fold,copy_prop,dce,block_layout"
+}
+
 /// A synthetic star-field frame, deterministic in `seed`.
 pub fn synthetic_frame(seed: u32) -> Vec<i32> {
     let mut frame = Vec::with_capacity(FRAME_WORDS);

@@ -12,8 +12,14 @@
 //!   pool width: configuration-keyed caching plus batched parallel
 //!   evaluation.
 //!
+//! The run also replays the trajectory once against a memoized cache to
+//! record the *phase-ordering space*: how many distinct decoded
+//! pipelines (order-sensitive) and configurations the 208-evaluation
+//! budget explores under the permutation genome.
+//!
 //! The run writes `BENCH_search.json` at the repository root so later PRs
-//! have a perf trajectory, then registers a Criterion timing for the
+//! have a perf trajectory (CI asserts the JSON parses and carries the
+//! phase-ordering fields), then registers a Criterion timing for the
 //! optimized path. Run with `cargo bench --bench search_throughput`.
 
 use criterion::Criterion;
@@ -21,8 +27,8 @@ use minipool::Pool;
 use serde::Serialize;
 use std::time::{Duration, Instant};
 use teamplay_compiler::{
-    evaluate_module, pareto_search_on, CompilerConfig, FpaConfig, MultiObjectiveFpa, ParetoPoint,
-    TaskVariant,
+    evaluate_module, pareto_search_on, CompilerConfig, EvalCache, FpaConfig, MultiObjectiveFpa,
+    ParetoPoint, TaskVariant,
 };
 use teamplay_energy::IsaEnergyModel;
 use teamplay_isa::CycleModel;
@@ -31,9 +37,9 @@ use teamplay_minic::{compile_to_ir, ir::IrModule};
 const TASK: &str = "compress";
 const SEED: u64 = 0xBEEF;
 
-/// The baseline: the batched FPA without this PR's driver optimisations —
-/// sequential pool, uncached `evaluate_module`, archive points
-/// recompiled (mirroring the old `pareto_front_for` driver loop).
+/// The baseline: the batched FPA without the memoized-parallel driver
+/// optimisations — sequential pool, uncached `evaluate_module`, archive
+/// points recompiled (mirroring the pre-PR-2 `pareto_front_for` loop).
 fn baseline_front(
     ir: &IrModule,
     cm: &CycleModel,
@@ -79,6 +85,43 @@ fn time_best<R>(runs: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
     (best.expect("runs >= 1"), last.expect("runs >= 1"))
 }
 
+/// How much of the phase-ordering space one search budget actually
+/// touches: the same FPA trajectory's genomes, decoded and deduplicated.
+#[derive(Serialize)]
+struct PhaseOrdering {
+    genome_dims: usize,
+    evaluations: usize,
+    /// Distinct decoded pass *pipelines* (order-sensitive strings).
+    distinct_pipelines: usize,
+    /// Distinct full configurations (pipeline + codegen knobs) — the
+    /// eval cache's key space, equal to its miss count.
+    distinct_configs: usize,
+}
+
+/// Replay the exact search trajectory (same seed, memoized evaluation,
+/// so genuinely the genomes the timed runs saw) and count the distinct
+/// phenotypes the budget explored.
+fn phase_ordering_space(ir: &IrModule, cm: &CycleModel, em: &IsaEnergyModel) -> PhaseOrdering {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    let cache = EvalCache::new(ir, cm, em);
+    let pipelines = Mutex::new(BTreeSet::new());
+    let fpa = MultiObjectiveFpa::new(FpaConfig::standard());
+    let outcome = fpa.run_on(&Pool::new(1), CompilerConfig::GENOME_DIMS, SEED, |genome| {
+        let config = CompilerConfig::from_genome(genome);
+        pipelines.lock().expect("lock").insert(config.pipeline.to_string());
+        let (_, metrics) = cache.evaluate(&config)?;
+        let m = metrics.of(TASK)?;
+        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+    });
+    PhaseOrdering {
+        genome_dims: CompilerConfig::GENOME_DIMS,
+        evaluations: outcome.stats.evaluations,
+        distinct_pipelines: pipelines.into_inner().expect("lock").len(),
+        distinct_configs: cache.misses(),
+    }
+}
+
 #[derive(Serialize)]
 struct Baseline {
     bench: String,
@@ -93,6 +136,7 @@ struct Baseline {
     optimized_secs: f64,
     optimized_genomes_per_sec: f64,
     speedup: f64,
+    phase_ordering: PhaseOrdering,
 }
 
 fn main() {
@@ -112,6 +156,8 @@ fn main() {
         "memoized+parallel search changed the front"
     );
 
+    let phase_ordering = phase_ordering_space(&ir, &cm, &em);
+
     let gps = |evals: usize, t: Duration| evals as f64 / t.as_secs_f64().max(1e-9);
     let speedup = base_time.as_secs_f64() / opt_time.as_secs_f64().max(1e-9);
     let baseline = Baseline {
@@ -127,15 +173,19 @@ fn main() {
         optimized_secs: opt_time.as_secs_f64(),
         optimized_genomes_per_sec: gps(evaluations, opt_time),
         speedup,
+        phase_ordering,
     };
     println!(
         "search_throughput: sequential {:.0} genomes/s, memoized+parallel {:.0} genomes/s \
-         ({speedup:.2}x, {} threads, {} distinct compiles for {} evaluations)",
+         ({speedup:.2}x, {} threads, {} distinct compiles for {} evaluations; \
+         phase-ordering space: {} distinct pipelines / {} distinct configs)",
         baseline.sequential_uncached_genomes_per_sec,
         baseline.optimized_genomes_per_sec,
         baseline.threads,
         baseline.cache_misses,
         baseline.evaluations,
+        baseline.phase_ordering.distinct_pipelines,
+        baseline.phase_ordering.distinct_configs,
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");

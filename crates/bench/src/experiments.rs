@@ -20,6 +20,18 @@ use teamplay_security::{assess_leakage, ladderise, SecretSpec};
 use teamplay_sim::{Battery, ComplexPlatform, Machine};
 use teamplay_wcet::analyze_program;
 
+/// The "traditional toolchain" baseline the experiments compare
+/// against: the preset's codegen knobs with the pipeline selected from
+/// the catalogue *by name* — the same string-based selection the
+/// workflow's default build uses, and a single source of truth for the
+/// knobs ([`CompilerConfig::traditional`]).
+fn traditional_baseline() -> CompilerConfig {
+    CompilerConfig {
+        pipeline: teamplay_apps::catalog().resolve("o1").expect("catalogued"),
+        ..CompilerConfig::traditional()
+    }
+}
+
 /// Measure one full camera-pill frame (4 tasks) on a machine.
 fn pill_frame_cost(machine: &mut Machine, seed: u32, key: i32) -> (u64, f64) {
     machine.reset_data();
@@ -86,7 +98,7 @@ pub struct E1Result {
 pub fn e1_camera_pill() -> (E1Result, String) {
     let ir = compile_to_ir(camera_pill::SOURCE).expect("pipeline parses");
     // Baseline: the traditional single-objective toolchain.
-    let baseline = compile_module(&ir, &CompilerConfig::traditional()).expect("baseline compiles");
+    let baseline = compile_module(&ir, &traditional_baseline()).expect("baseline compiles");
     let mut base_machine = Machine::new(baseline).expect("baseline loads");
     let (base_cycles, base_energy) = pill_frame_cost(&mut base_machine, 1, 0x5EED);
 
@@ -138,7 +150,7 @@ pub fn e2_spacewire() -> (E2Result, String) {
     let levels = gr712_levels();
 
     // Baseline: traditional compiler, always at the nominal frequency.
-    let baseline = compile_module(&ir, &CompilerConfig::traditional()).expect("compiles");
+    let baseline = compile_module(&ir, &traditional_baseline()).expect("compiles");
     let base_wcet = analyze_program(&baseline, &cm).expect("wcet");
     let base_energy_report = analyze_program_energy(&baseline, &em, &cm).expect("wcec");
     let nominal = *levels.last().expect("levels");
@@ -156,16 +168,17 @@ pub fn e2_spacewire() -> (E2Result, String) {
     // the 100 ms frame deadline. The per-task searches are independent,
     // so they fan out over the global pool (index-ordered results keep
     // the experiment deterministic); each search gets a slice of the
-    // remaining width so the nested batches don't oversubscribe cores.
+    // remaining width so the nested batches don't oversubscribe cores,
+    // and all four share one evaluation cache over the module so a
+    // configuration any task compiled is free for the rest.
     let pool = minipool::global();
     let inner = pool.split_across(model.tasks.len());
+    let eval_cache = teamplay_compiler::EvalCache::new(&ir, &cm, &em);
     let fronts = pool.par_map(&model.tasks, |_, spec| {
-        teamplay_compiler::pareto_search_on(
+        teamplay_compiler::pareto_search_with_cache(
             &inner,
-            &ir,
+            &eval_cache,
             &spec.function,
-            &cm,
-            &em,
             FpaConfig::standard(),
             0x5AC3,
         )

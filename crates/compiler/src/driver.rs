@@ -67,10 +67,85 @@ impl CompilerConfig {
         }
     }
 
-    /// Decode a genome in `[0,1]^8` into a configuration (the FPA's
-    /// phenotype mapping): each pass bit contributes its registry-backed
-    /// pipeline element, in canonical order.
+    /// The pass menu the genome selects and *orders* from. The array
+    /// order is only the tie-break for equal ordering keys; the decoded
+    /// pipeline order is the argsort of the keys (random-key encoding),
+    /// so every permutation of every subset is reachable.
+    pub const SEARCH_PASSES: [&'static str; 10] = [
+        "inline",
+        "licm",
+        "cse",
+        "unroll",
+        "strength_reduce",
+        "mul_shift_add",
+        "const_fold",
+        "copy_prop",
+        "dce",
+        "block_layout",
+    ];
+
+    /// Number of genome dimensions used by [`CompilerConfig::from_genome`]:
+    /// one selection/ordering key per menu pass, then the `inline`
+    /// threshold, the `unroll` trip ceiling, the duplicated-cleanup bit,
+    /// and the two codegen knobs.
+    pub const GENOME_DIMS: usize = Self::SEARCH_PASSES.len() + 5;
+
+    /// Decode a genome in `[0,1]^15` into a configuration (the FPA's
+    /// phenotype mapping) — a *phase-ordering* encoding, not an on/off
+    /// subset of one canonical order:
+    ///
+    /// * genes `0..10` — one per [`CompilerConfig::SEARCH_PASSES`] entry:
+    ///   the pass is selected iff its gene exceeds 0.5, and the selected
+    ///   passes run in ascending gene order (argsort → permutation, the
+    ///   classic random-key trick; ties break on menu position);
+    /// * gene `10` — `inline` callee-size threshold (20–80 IR ops);
+    /// * gene `11` — `unroll` trip-count ceiling (2–16);
+    /// * gene `12` — duplicated cleanup round: appends a second
+    ///   `const_fold,copy_prop,dce` tail when set;
+    /// * gene `13` — codegen shift-add multiplier decomposition;
+    /// * gene `14` — register-pinning level (0 / 2 / 4, by thirds).
+    ///
+    /// Decoding is pure and deterministic: equal genomes always decode
+    /// to equal configurations, which the [`EvalCache`] keys on, and the
+    /// pool-width bit-identity of [`pareto_search_on`] carries over
+    /// unchanged.
     pub fn from_genome(genome: &[f64]) -> CompilerConfig {
+        let g = |i: usize| genome.get(i).copied().unwrap_or(0.0);
+        let menu = Self::SEARCH_PASSES.len();
+        let mut picks: Vec<(f64, usize)> =
+            (0..menu).filter(|&i| g(i) > 0.5).map(|i| (g(i), i)).collect();
+        picks.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut pipeline = Pipeline::default();
+        for (_, i) in picks {
+            match Self::SEARCH_PASSES[i] {
+                "inline" => {
+                    let threshold = 20 + (g(menu) * 60.0) as usize;
+                    pipeline.push(PassSpec::with_param("inline", threshold));
+                }
+                "unroll" => {
+                    let trips = 2 + (g(menu + 1) * 14.0) as usize;
+                    pipeline.push(PassSpec::with_param("unroll", trips));
+                }
+                name => pipeline.push(PassSpec::new(name)),
+            }
+        }
+        if g(menu + 2) > 0.5 {
+            for name in ["const_fold", "copy_prop", "dce"] {
+                pipeline.push(PassSpec::new(name));
+            }
+        }
+        CompilerConfig {
+            pipeline,
+            mul_shift_add: g(menu + 3) > 0.5,
+            pinned_regs: Self::pinned_level(g(menu + 4)),
+        }
+    }
+
+    /// The fixed-order decoder of the pre-phase-ordering search (PR 2):
+    /// 8 genes, each pass bit contributing its pipeline element in one
+    /// canonical order. Kept as the baseline the benches and tests
+    /// compare the permutation space against.
+    pub fn from_genome_fixed_order(genome: &[f64]) -> CompilerConfig {
         let bit = |i: usize| genome.get(i).copied().unwrap_or(0.0) > 0.5;
         let g7 = genome.get(7).copied().unwrap_or(0.0);
         let mut pipeline = Pipeline::default();
@@ -93,18 +168,24 @@ impl CompilerConfig {
         CompilerConfig {
             pipeline,
             mul_shift_add: bit(6),
-            pinned_regs: if g7 < 1.0 / 3.0 {
-                0
-            } else if g7 < 2.0 / 3.0 {
-                2
-            } else {
-                4
-            },
+            pinned_regs: Self::pinned_level(g7),
         }
     }
 
-    /// Number of genome dimensions used by [`CompilerConfig::from_genome`].
-    pub const GENOME_DIMS: usize = 8;
+    /// Number of genome dimensions used by
+    /// [`CompilerConfig::from_genome_fixed_order`].
+    pub const FIXED_ORDER_GENOME_DIMS: usize = 8;
+
+    /// Map a `[0,1]` gene to the 0/2/4 register-pinning levels.
+    fn pinned_level(g: f64) -> usize {
+        if g < 1.0 / 3.0 {
+            0
+        } else if g < 2.0 / 3.0 {
+            2
+        } else {
+            4
+        }
+    }
 }
 
 impl Default for CompilerConfig {
@@ -395,6 +476,31 @@ pub fn pareto_search_on(
     seed: u64,
 ) -> ParetoFront {
     let cache = EvalCache::new(ir, cycle_model, energy_model);
+    let mut front = pareto_search_with_cache(pool, &cache, task, fpa_config, seed);
+    front.stats.cache_hits = cache.hits();
+    front.stats.cache_misses = cache.misses();
+    front
+}
+
+/// [`pareto_search_on`] against a caller-owned [`EvalCache`], so the
+/// per-task fronts of one module share compiles of identical
+/// configurations (different tasks probe largely the same configuration
+/// space over the same IR — the cache answers all but the first probe of
+/// each).
+///
+/// The returned `stats` carry the evaluation/generation counts of *this*
+/// search; the cache counters stay with the cache's owner (they span
+/// every search sharing it), so `stats.cache_hits`/`cache_misses` are
+/// left at zero here. Results remain bit-identical for any pool width
+/// and any set of concurrently sharing searches: cached evaluation is
+/// deterministic in the configuration alone.
+pub fn pareto_search_with_cache(
+    pool: &Pool,
+    cache: &EvalCache<'_>,
+    task: &str,
+    fpa_config: FpaConfig,
+    seed: u64,
+) -> ParetoFront {
     let fpa = MultiObjectiveFpa::new(fpa_config);
     let outcome = fpa.run_on(pool, CompilerConfig::GENOME_DIMS, seed, |genome| {
         let config = CompilerConfig::from_genome(genome);
@@ -421,10 +527,7 @@ pub fn pareto_search_on(
     }
     variants.sort_by_key(|v| v.metrics.wcet_cycles);
 
-    let mut stats = outcome.stats;
-    stats.cache_hits = cache.hits();
-    stats.cache_misses = cache.misses();
-    ParetoFront { variants, stats }
+    ParetoFront { variants, stats: outcome.stats }
 }
 
 #[cfg(test)]
@@ -502,18 +605,54 @@ mod tests {
 
     #[test]
     fn genome_decoding_covers_the_space() {
-        let lo = CompilerConfig::from_genome(&[0.0; 8]);
-        assert!(lo.pipeline.passes.is_empty() && lo.pinned_regs == 0);
-        let hi = CompilerConfig::from_genome(&[1.0; 8]);
+        let lo = CompilerConfig::from_genome(&[0.0; CompilerConfig::GENOME_DIMS]);
+        assert!(lo.pipeline.passes.is_empty() && lo.pinned_regs == 0 && !lo.mul_shift_add);
+        let hi = CompilerConfig::from_genome(&[1.0; CompilerConfig::GENOME_DIMS]);
         assert!(hi.pipeline.contains("inline") && hi.pinned_regs == 4 && hi.mul_shift_add);
-        assert_eq!(hi.pipeline.param_of("inline"), Some(80), "threshold scales with g1");
-        for name in ["strength_reduce", "const_fold", "copy_prop", "dce"] {
+        assert_eq!(hi.pipeline.param_of("inline"), Some(80), "threshold scales with its gene");
+        assert_eq!(hi.pipeline.param_of("unroll"), Some(16), "trip ceiling scales with its gene");
+        for name in CompilerConfig::SEARCH_PASSES {
             assert!(hi.pipeline.contains(name), "{name} missing from the full genome");
         }
-        let mid = CompilerConfig::from_genome(&[0.5; 8]);
+        // All keys tied at 1.0: menu order, plus the duplicated cleanup tail.
+        assert_eq!(
+            hi.pipeline.passes.len(),
+            CompilerConfig::SEARCH_PASSES.len() + 3,
+            "full genome selects every pass and appends the cleanup round"
+        );
+        let mid = CompilerConfig::from_genome(&[0.5; CompilerConfig::GENOME_DIMS]);
         assert_eq!(mid.pinned_regs, 2);
+        assert!(mid.pipeline.passes.is_empty(), "0.5 keys select nothing");
         // Every decoded pipeline resolves against the registry.
         crate::passes::PassManager::new(hi.pipeline).expect("genome pipelines are registry-backed");
+    }
+
+    #[test]
+    fn genome_order_keys_permute_the_pipeline() {
+        // Menu indices: inline 0, licm 1, cse 2, unroll 3,
+        // strength_reduce 4, mul_shift_add 5, const_fold 6, copy_prop 7,
+        // dce 8, block_layout 9.
+        let mut genome = vec![0.0; CompilerConfig::GENOME_DIMS];
+        genome[8] = 0.6; // dce — lowest key, runs first
+        genome[9] = 0.7; // block_layout
+        genome[6] = 0.9; // const_fold — highest key, runs last
+        let c = CompilerConfig::from_genome(&genome);
+        assert_eq!(c.pipeline.to_string(), "dce,block_layout,const_fold");
+
+        // Swapping two keys swaps the decoded order — same subset,
+        // different phase order, distinct cache key.
+        genome.swap(8, 6);
+        let swapped = CompilerConfig::from_genome(&genome);
+        assert_eq!(swapped.pipeline.to_string(), "const_fold,block_layout,dce");
+        assert_ne!(c, swapped, "permutations memoize independently");
+
+        // The duplicated cleanup round is an explicit tail.
+        genome[12] = 1.0;
+        let dup = CompilerConfig::from_genome(&genome);
+        assert_eq!(
+            dup.pipeline.to_string(),
+            "const_fold,block_layout,dce,const_fold,copy_prop,dce"
+        );
     }
 
     #[test]
@@ -600,13 +739,58 @@ mod tests {
         let cfg = FpaConfig::standard();
         assert_eq!(stats.evaluations, cfg.population * (1 + cfg.iterations));
         assert_eq!(stats.generations, cfg.iterations);
-        // Many genomes decode to the same configuration: far fewer
-        // compiles than evaluations.
-        assert!(stats.cache_misses < stats.evaluations / 2, "{stats:?}");
+        // Distinct genomes still collide on decoded configurations —
+        // less often than under the old fixed-order encoding (ordering
+        // keys distinguish permutations), but every collision and the
+        // whole archive reconstruction stay compile-free.
+        assert!(stats.cache_misses < stats.evaluations, "{stats:?}");
+        assert!(stats.cache_hits > front.variants.len(), "{stats:?}");
         // Every cache probe is either a hit or a miss, and the archive
         // reconstruction probes are all hits (≥ one per variant).
         assert_eq!(stats.cache_hits + stats.cache_misses, stats.evaluations + front.variants.len());
         assert!(stats.cache_hits >= front.variants.len(), "{stats:?}");
+    }
+
+    #[test]
+    fn permutation_front_dominates_a_fixed_order_point() {
+        // The phase-ordering claim, measured: same module, same task,
+        // same FPA budget and seed — the permutation genome's front must
+        // contain a variant that strictly dominates a point of the
+        // fixed-order (PR-2 era) front in (WCET, WCEC, size).
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let cm = CycleModel::pg32();
+        let em = IsaEnergyModel::pg32_datasheet();
+        let seed = 77;
+
+        let cache = EvalCache::new(&ir, &cm, &em);
+        let fpa = MultiObjectiveFpa::new(FpaConfig::standard());
+        let fixed = fpa.run_on(
+            &Pool::new(1),
+            CompilerConfig::FIXED_ORDER_GENOME_DIMS,
+            seed,
+            |genome| {
+                let config = CompilerConfig::from_genome_fixed_order(genome);
+                let (_, metrics) = cache.evaluate(&config)?;
+                let m = metrics.of("filter")?;
+                Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+            },
+        );
+        assert!(!fixed.archive.is_empty());
+
+        let permuted =
+            pareto_search(&ir, "filter", &cm, &em, FpaConfig::standard(), seed).variants;
+        let dominates = |new: &VariantMetrics, old: &[f64]| {
+            let n = [new.wcet_cycles as f64, new.wcec_pj, new.code_halfwords as f64];
+            n.iter().zip(old).all(|(a, b)| a <= b) && n.iter().zip(old).any(|(a, b)| a < b)
+        };
+        assert!(
+            permuted.iter().any(|v| {
+                fixed.archive.iter().any(|p| dominates(&v.metrics, &p.objectives))
+            }),
+            "no permutation-front variant dominates any fixed-order point:\n  new: {:?}\n  old: {:?}",
+            permuted.iter().map(|v| v.metrics).collect::<Vec<_>>(),
+            fixed.archive.iter().map(|p| p.objectives.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -12,11 +12,16 @@
 //! * [`codegen`] — IR → PG32 with a stack-frame base strategy plus an
 //!   optional register-pinning allocator (the main time/energy knob),
 //! * [`passes`] — the trait-based pass framework: a [`passes::Pass`]
-//!   trait, a static name registry, and a [`passes::PassManager`] with
-//!   fixpoint iteration and per-pass instrumentation. Pipelines are
-//!   constructible by name (`PassManager::from_str("const_fold,dce")`)
-//!   and by optimisation level (`o0()`–`o3()`); every configuration the
-//!   search explores is such a pipeline,
+//!   trait, a static name registry (ten passes, from `inline` and
+//!   `licm` through `unroll` and `block_layout`), and a
+//!   [`passes::PassManager`] with fixpoint iteration and per-pass
+//!   instrumentation. Pipelines are constructible by name
+//!   (`PassManager::from_str("const_fold,dce")`), by optimisation
+//!   level (`o0()`–`o3()`), and by catalogue lookup
+//!   ([`passes::PipelineCatalog`]); every configuration the search
+//!   explores is such a pipeline — and since the genome encodes pass
+//!   *order* (random-key permutation decoding), the search space is
+//!   the classic phase-ordering space, not an on/off subset,
 //! * [`fpa`] — the multi-objective Flower Pollination search, run in
 //!   deterministic generational batches whose candidate evaluations fan
 //!   out over the vendored `minipool` work-stealing pool (see the
@@ -43,11 +48,11 @@ pub mod passes;
 pub use codegen::{generate_function, generate_program, CodegenError, CodegenOpts};
 pub use driver::{
     compile_module, compile_module_per_function, evaluate_module, pareto_front_for,
-    pareto_search, pareto_search_on, CachedEval, CompilerConfig, EvalCache, ModuleMetrics,
-    ParetoFront, TaskVariant, VariantMetrics,
+    pareto_search, pareto_search_on, pareto_search_with_cache, CachedEval, CompilerConfig,
+    EvalCache, ModuleMetrics, ParetoFront, TaskVariant, VariantMetrics,
 };
 pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint, SearchStats};
 pub use passes::{
     run_passes, run_passes_per_function, Pass, PassContext, PassManager, PassSpec, PassStats,
-    Pipeline, PipelineError, REGISTRY,
+    Pipeline, PipelineCatalog, PipelineError, REGISTRY,
 };

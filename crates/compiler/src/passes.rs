@@ -14,7 +14,10 @@
 //!   presets à la binaryen's `OptimizationOptions`;
 //! * **by the search** — the FPA driver decodes genomes into pipelines
 //!   ([`crate::driver::CompilerConfig::from_genome`]), so every point of
-//!   the multi-objective search space is a registry-backed pipeline.
+//!   the multi-objective search space is a registry-backed pipeline;
+//! * **by catalogue name** — a [`PipelineCatalog`] maps strings like
+//!   `"o2"` or `"camera_pill"` to pipelines, so the coordination layer
+//!   and the benches pick pipelines from names, not structs.
 //!
 //! Every pass is semantics-preserving (the differential tests run each
 //! pipeline against the reference interpreter) and *flow-fact
@@ -24,20 +27,45 @@
 //!
 //! * `inline` — saves call/prologue overhead, grows code
 //!   (parameterised by the callee-size threshold);
+//! * `licm` — hoists loop-invariant computations into preheaders
+//!   (cycles ↓ and energy ↓ by the loop bound, code ≈);
+//! * `cse` — block-local common-subexpression elimination, including
+//!   redundant loads under coarse aliasing;
+//! * `unroll` — fully unrolls *provably* constant-trip loops up to a
+//!   trip ceiling (cycles ↓, code ↑: the classic size/speed trade);
 //! * `strength_reduce` — `x * 2ⁿ` → shift (strictly better);
 //! * `mul_shift_add` — `x * c` → shift-add decomposition in the IR,
 //!   which *trades cycles for energy* on PG32's power-hungry multiplier
 //!   (the codegen-level variant is
 //!   [`crate::codegen::CodegenOpts::mul_shift_add`]);
 //! * `const_fold` + `copy_prop` + `dce` — the cleanup trio, iterated to
-//!   fixpoint by the manager.
+//!   fixpoint by the manager;
+//! * `block_layout` — CFG straightening ahead of codegen: threads and
+//!   merges blocks so their terminators (each a cycle/energy/halfword
+//!   cost on PG32) disappear.
+//!
+//! # The phase-ordering search space
+//!
+//! Pass *order* matters — `licm` before `cse` exposes different
+//! subexpressions than after, cleanup between `inline` and `unroll`
+//! changes what is provably constant-trip — so the genome the FPA
+//! explores encodes order, not just membership. Decoding uses a
+//! random-key (argsort) scheme: one gene per menu pass doubles as the
+//! selection bit (`> 0.5`) *and* the ordering key (selected passes run
+//! in ascending key order), further genes set the `inline`/`unroll`
+//! parameters, an optional duplicated cleanup round, and the codegen
+//! knobs. See [`crate::driver::CompilerConfig::from_genome`]. Decoding
+//! is pure and deterministic, which is what lets the parallel search
+//! stay bit-identical across pool widths and lets the evaluation cache
+//! key on the decoded configuration.
 //!
 //! # Writing a new pass
 //!
 //! Implement [`Pass`], then add a [`PassDescriptor`] line to
 //! [`REGISTRY`]; the pass immediately becomes available to
 //! [`PassManager::from_str`], the optimisation levels and (if added to
-//! the genome decoding) the Pareto search — no driver changes needed.
+//! the genome's pass menu, [`crate::driver::CompilerConfig::SEARCH_PASSES`])
+//! the Pareto search — no driver changes needed.
 //!
 //! ```
 //! use teamplay_compiler::passes::PassManager;
@@ -715,6 +743,679 @@ fn inline_site(caller: &mut IrFunction, bi: usize, oi: usize, callee: &IrFunctio
     caller.blocks[bi].term = IrTerm::Jump(IrBlockId(block_offset));
 }
 
+/// Loop-invariant code motion.
+///
+/// Hoists pure, *total* operations (`Bin`/`Un`/`Copy`/`Select` — every
+/// arithmetic op of this IR is defined for all inputs, so speculation is
+/// safe) out of natural loops into a preheader when
+///
+/// * every operand is loop-invariant (no definition inside the loop),
+/// * the destination has exactly one definition in the whole function
+///   (the IR is not SSA; a unique definition is what makes the hoist a
+///   pure renaming of *when* the value is computed), and
+/// * every read of the destination is dominated by the defining block
+///   (so a zero-trip entry, which skips the definition, also skips every
+///   read — the speculated value is unobservable).
+///
+/// Loads are never hoisted: an out-of-bounds index would turn a
+/// dynamically dead access into a trap. Hoisting chains (`t1 = c + 1;
+/// t2 = t1 * 4`) resolve over the internal restart loop: once `t1`
+/// leaves the loop, `t2` becomes invariant.
+///
+/// Returns `true` if anything was hoisted.
+pub fn licm(f: &mut IrFunction) -> bool {
+    let mut changed = false;
+    // Each hoist invalidates the analyses; restart (bounded) after every
+    // move. The bound only caps work per invocation — the manager's
+    // fixpoint loop will call again while the pass keeps reporting
+    // changes.
+    'restart: for _ in 0..64 {
+        let loops = teamplay_minic::cfg::natural_loops(f);
+        if loops.is_empty() {
+            return changed;
+        }
+        let idom = teamplay_minic::cfg::immediate_dominators(f);
+        let entry = 0usize;
+        // Definition counts per temp, whole-function.
+        let mut def_count = vec![0usize; f.temp_count as usize];
+        for b in &f.blocks {
+            for op in &b.ops {
+                let mut defs = Vec::new();
+                written_temps(op, &mut defs);
+                for d in defs {
+                    def_count[d.0 as usize] += 1;
+                }
+            }
+        }
+        // Read sites per temp: (block, op index) plus terminator reads
+        // (recorded as op index = ops.len()).
+        let mut reads: HashMap<Temp, Vec<(usize, usize)>> = HashMap::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (oi, op) in b.ops.iter().enumerate() {
+                for r in read_operands(op) {
+                    if let Operand::Temp(t) = r {
+                        reads.entry(t).or_default().push((bi, oi));
+                    }
+                }
+            }
+            let term_read = match &b.term {
+                IrTerm::Branch { cond, .. } => Some(*cond),
+                IrTerm::Ret(Some(v)) => Some(*v),
+                _ => None,
+            };
+            if let Some(Operand::Temp(t)) = term_read {
+                reads.entry(t).or_default().push((bi, b.ops.len()));
+            }
+        }
+        for l in &loops {
+            if l.header == entry {
+                continue; // no edge to put a preheader on
+            }
+            // Temps with a definition inside the loop.
+            let mut defined_in_loop = vec![false; f.temp_count as usize];
+            for &bi in &l.body {
+                for op in &f.blocks[bi].ops {
+                    let mut defs = Vec::new();
+                    written_temps(op, &mut defs);
+                    for d in defs {
+                        defined_in_loop[d.0 as usize] = true;
+                    }
+                }
+            }
+            let invariant = |o: Operand| match o {
+                Operand::Const(_) => true,
+                Operand::Temp(t) => !defined_in_loop[t.0 as usize],
+            };
+            let candidate = l.body.iter().find_map(|&bi| {
+                f.blocks[bi].ops.iter().enumerate().find_map(|(oi, op)| {
+                    let dst = match op {
+                        IrOp::Bin { dst, .. }
+                        | IrOp::Un { dst, .. }
+                        | IrOp::Copy { dst, .. }
+                        | IrOp::Select { dst, .. } => *dst,
+                        _ => return None, // effectful, memory or call
+                    };
+                    if def_count[dst.0 as usize] != 1 {
+                        return None;
+                    }
+                    if !read_operands(op).into_iter().all(invariant) {
+                        return None;
+                    }
+                    // Every read must be dominated by the definition.
+                    let dominated = reads.get(&dst).is_none_or(|sites| {
+                        sites.iter().all(|&(rb, ro)| {
+                            if rb == bi {
+                                ro > oi
+                            } else {
+                                teamplay_minic::cfg::dominates(&idom, entry, bi, rb)
+                            }
+                        })
+                    });
+                    dominated.then_some((bi, oi))
+                })
+            });
+            if let Some((bi, oi)) = candidate {
+                let hoisted = f.blocks[bi].ops.remove(oi);
+                let pre = ensure_preheader(f, l.header, &l.body);
+                f.blocks[pre].ops.push(hoisted);
+                changed = true;
+                continue 'restart;
+            }
+        }
+        break;
+    }
+    changed
+}
+
+/// The block every entry edge of `header`'s loop runs through, creating
+/// one if needed. If the single outside predecessor already ends in an
+/// unconditional jump to the header, it *is* the preheader (appending
+/// ops to its end executes exactly once per loop entry); otherwise a
+/// fresh forwarding block is spliced onto every outside edge.
+fn ensure_preheader(
+    f: &mut IrFunction,
+    header: usize,
+    body: &std::collections::BTreeSet<usize>,
+) -> usize {
+    let outside: Vec<usize> = (0..f.blocks.len())
+        .filter(|bi| !body.contains(bi))
+        .filter(|bi| {
+            f.blocks[*bi].term.successors().iter().any(|s| s.index() == header)
+        })
+        .collect();
+    if let [single] = outside[..] {
+        if matches!(f.blocks[single].term, IrTerm::Jump(_)) {
+            return single;
+        }
+    }
+    let pre = f.blocks.len();
+    f.blocks.push(teamplay_minic::ir::IrBlock {
+        ops: Vec::new(),
+        term: IrTerm::Jump(IrBlockId(header as u32)),
+    });
+    let target = IrBlockId(pre as u32);
+    for bi in outside {
+        let retarget = |t: &mut IrBlockId| {
+            if t.index() == header {
+                *t = target;
+            }
+        };
+        match &mut f.blocks[bi].term {
+            IrTerm::Jump(t) => retarget(t),
+            IrTerm::Branch { taken, fallthrough, .. } => {
+                retarget(taken);
+                retarget(fallthrough);
+            }
+            IrTerm::Ret(_) => {}
+        }
+    }
+    pre
+}
+
+/// A value-numbering key for pure, recomputable operations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(BinOp, Operand, Operand),
+    Un(UnOp, Operand),
+    Select(Operand, Operand, Operand),
+    Load(MemBase, Operand),
+}
+
+impl ExprKey {
+    /// The key of an op, with commutative operand normalisation.
+    fn of(op: &IrOp) -> Option<ExprKey> {
+        let rank = |o: &Operand| match o {
+            Operand::Const(c) => (0u8, *c as i64),
+            Operand::Temp(t) => (1, t.0 as i64),
+        };
+        Some(match op {
+            IrOp::Bin { op, a, b, .. } => {
+                let (a, b) = match op {
+                    BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+                    | BinOp::Eq | BinOp::Ne
+                        if rank(b) < rank(a) =>
+                    {
+                        (*b, *a)
+                    }
+                    _ => (*a, *b),
+                };
+                ExprKey::Bin(*op, a, b)
+            }
+            IrOp::Un { op, a, .. } => ExprKey::Un(*op, *a),
+            IrOp::Select { cond, t, f, .. } => ExprKey::Select(*cond, *t, *f),
+            IrOp::Load { base, index, .. } => ExprKey::Load(base.clone(), *index),
+            _ => return None,
+        })
+    }
+
+    /// Temps the keyed expression reads (redefinition invalidates).
+    fn read_temps(&self) -> Vec<Temp> {
+        let mut out = Vec::new();
+        let mut push = |o: &Operand| {
+            if let Operand::Temp(t) = o {
+                out.push(*t);
+            }
+        };
+        match self {
+            ExprKey::Bin(_, a, b) => {
+                push(a);
+                push(b);
+            }
+            ExprKey::Un(_, a) => push(a),
+            ExprKey::Select(c, t, f) => {
+                push(c);
+                push(t);
+                push(f);
+            }
+            ExprKey::Load(base, index) => {
+                push(index);
+                if let MemBase::Param(t) = base {
+                    out.push(*t);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Local (block-scoped) common-subexpression elimination.
+///
+/// Within each block, a pure recomputation of an expression whose
+/// operands (and previous result) are still live becomes a copy of the
+/// first result. Loads participate too, with coarse alias analysis: any
+/// store or call invalidates every remembered load (the callee may write
+/// any global or by-reference array).
+///
+/// Returns `true` if anything changed.
+pub fn local_cse(f: &mut IrFunction) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let mut available: HashMap<ExprKey, Temp> = HashMap::new();
+        for op in &mut b.ops {
+            let key = ExprKey::of(op);
+            // Reuse an identical, still-valid prior computation.
+            let mut replaced = false;
+            if let (Some(key), Some(dst)) = (&key, op_dst(op)) {
+                if let Some(prev) = available.get(key) {
+                    if *prev != dst {
+                        *op = IrOp::Copy { dst, src: Operand::Temp(*prev) };
+                        changed = true;
+                        replaced = true;
+                    }
+                }
+            }
+            // Invalidate what this op clobbers — the rewritten copy
+            // still writes `dst`, so the non-SSA IR's other entries
+            // reading (or valued by) `dst` go stale either way.
+            let mut defs = Vec::new();
+            written_temps(op, &mut defs);
+            if !defs.is_empty() {
+                available.retain(|k, v| {
+                    !defs.contains(v) && !k.read_temps().iter().any(|t| defs.contains(t))
+                });
+            }
+            if matches!(op, IrOp::Store { .. } | IrOp::Call { .. }) {
+                available.retain(|k, _| !matches!(k, ExprKey::Load(..)));
+            }
+            // Record the *original* computation, unless it was replaced
+            // (the surviving `key → prev` entry already covers it) or it
+            // reads its own destination (the keyed value is stale the
+            // moment the op runs).
+            if !replaced {
+                if let (Some(key), Some(dst)) = (key, op_dst(op)) {
+                    if !key.read_temps().contains(&dst) {
+                        available.insert(key, dst);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// The single destination temp of a pure op, if any.
+fn op_dst(op: &IrOp) -> Option<Temp> {
+    match op {
+        IrOp::Bin { dst, .. }
+        | IrOp::Un { dst, .. }
+        | IrOp::Copy { dst, .. }
+        | IrOp::Load { dst, .. }
+        | IrOp::Select { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+/// Exact body-execution count of a canonical counted loop, or `None`
+/// when the shape cannot be bounded exactly (mirrors
+/// `teamplay_minic::loops::trip_count`, on IR-level facts).
+fn exact_trips(init: i64, limit: i64, step: i64, cmp: BinOp) -> Option<i64> {
+    let count = match (cmp, step > 0) {
+        (BinOp::Lt, true) => (limit - init + step - 1).max(0) / step,
+        (BinOp::Le, true) => (limit - init + step).max(0) / step,
+        (BinOp::Gt, false) => (init - limit + (-step) - 1).max(0) / (-step),
+        (BinOp::Ge, false) => (init - limit + (-step)).max(0) / (-step),
+        _ => return None,
+    };
+    // The unrolled copies replay the original wrapping arithmetic, but
+    // the *count* above is only exact if the induction value never wraps
+    // on its monotone path from init to the final compare.
+    let last = init + count * step;
+    if last < i64::from(i32::MIN) || last > i64::from(i32::MAX) {
+        return None;
+    }
+    Some(count)
+}
+
+/// Bound-aware full unrolling of constant-trip counted loops.
+///
+/// Recognises the canonical lowered shape — a header whose only op
+/// compares the induction temp against a constant, a single body block
+/// jumping back, a constant init in the unique entry predecessor, and a
+/// single constant-step update of the induction temp — computes the
+/// *exact* trip count from those constants, and replaces the loop with
+/// that many straight-line copies of the body followed by one final
+/// compare (so the condition temp and the induction temp leave the loop
+/// with exactly the values the rolled form produced). The per-iteration
+/// compare + branch disappear: WCET and energy drop, code size grows —
+/// the classic unrolling trade-off the search can now weigh.
+///
+/// Upper-bound annotations are never trusted as trip counts; only loops
+/// whose count is provable from the IR are touched, and only up to
+/// `max_trips` iterations (with a hard op-growth cap).
+///
+/// Returns `true` if anything was unrolled.
+pub fn unroll_loops(f: &mut IrFunction, max_trips: usize) -> bool {
+    /// Op-growth cap per unrolled loop, whatever the parameter says.
+    const MAX_UNROLLED_OPS: usize = 512;
+    let mut changed = false;
+    'restart: loop {
+        let loops = teamplay_minic::cfg::natural_loops(f);
+        for l in &loops {
+            if l.body.len() != 2 || l.header == 0 {
+                continue;
+            }
+            let h = l.header;
+            let &bb = l.body.iter().find(|b| **b != h).expect("two-block loop");
+            // Header: exactly `ct = i <cmp> limit`, branching into the body.
+            let [IrOp::Bin { op: cmp, dst: ct, a: Operand::Temp(i), b: Operand::Const(limit) }] =
+                &f.blocks[h].ops[..]
+            else {
+                continue;
+            };
+            let (cmp, ct, i, limit) = (*cmp, *ct, *i, *limit);
+            let (taken, exit) = match &f.blocks[h].term {
+                IrTerm::Branch { cond: Operand::Temp(bc), taken, fallthrough }
+                    if *bc == ct =>
+                {
+                    (*taken, *fallthrough)
+                }
+                _ => continue,
+            };
+            if ct == i || taken.index() != bb || exit.index() == bb {
+                continue;
+            }
+            if !matches!(f.blocks[bb].term, IrTerm::Jump(t) if t.index() == h) {
+                continue;
+            }
+            // The body must not read the condition temp (it goes stale in
+            // the unrolled form) and must update `i` exactly once by a
+            // constant step — either directly or through the lowered
+            // `t = i + s; i = t` pair.
+            let body_ops = &f.blocks[bb].ops;
+            if body_ops.iter().any(|op| {
+                read_operands(op).contains(&Operand::Temp(ct))
+            }) {
+                continue;
+            }
+            let writes_of = |needle: Temp| -> Vec<usize> {
+                body_ops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, op)| {
+                        let mut defs = Vec::new();
+                        written_temps(op, &mut defs);
+                        defs.contains(&needle)
+                    })
+                    .map(|(oi, _)| oi)
+                    .collect()
+            };
+            let const_step = |op: &IrOp, dst_want: Temp| -> Option<i64> {
+                match op {
+                    IrOp::Bin { op: BinOp::Add, dst, a, b } if *dst == dst_want => {
+                        match (a, b) {
+                            (Operand::Temp(t), Operand::Const(s))
+                            | (Operand::Const(s), Operand::Temp(t))
+                                if *t == i =>
+                            {
+                                Some(i64::from(*s))
+                            }
+                            _ => None,
+                        }
+                    }
+                    IrOp::Bin { op: BinOp::Sub, dst, a: Operand::Temp(t), b: Operand::Const(s) }
+                        if *dst == dst_want && *t == i =>
+                    {
+                        Some(-i64::from(*s))
+                    }
+                    _ => None,
+                }
+            };
+            let i_writes = writes_of(i);
+            let [iw] = i_writes[..] else { continue };
+            let step = match const_step(&body_ops[iw], i) {
+                Some(s) => s,
+                None => {
+                    // Lowered pair: `t = i ± s; ...; i = copy t`.
+                    let IrOp::Copy { src: Operand::Temp(t), .. } = &body_ops[iw] else {
+                        continue;
+                    };
+                    let t = *t;
+                    if t == i {
+                        continue;
+                    }
+                    let t_writes = writes_of(t);
+                    let [tw] = t_writes[..] else { continue };
+                    if tw >= iw {
+                        continue;
+                    }
+                    match const_step(&body_ops[tw], t) {
+                        Some(s) => s,
+                        None => continue,
+                    }
+                }
+            };
+            if step == 0 {
+                continue;
+            }
+            // Constant init: the unique outside predecessor's last write
+            // of `i` must be a constant copy.
+            let outside: Vec<usize> = (0..f.blocks.len())
+                .filter(|p| !l.body.contains(p))
+                .filter(|p| {
+                    f.blocks[*p].term.successors().iter().any(|s| s.index() == h)
+                })
+                .collect();
+            let [pre] = outside[..] else { continue };
+            let init = f.blocks[pre].ops.iter().rev().find_map(|op| {
+                let mut defs = Vec::new();
+                written_temps(op, &mut defs);
+                if !defs.contains(&i) {
+                    return None;
+                }
+                match op {
+                    IrOp::Copy { src: Operand::Const(c), .. } => Some(Some(i64::from(*c))),
+                    _ => Some(None), // last write is not a constant: give up
+                }
+            });
+            let Some(Some(init)) = init else { continue };
+            let Some(trips) = exact_trips(init, i64::from(limit), step, cmp) else {
+                continue;
+            };
+            let trips = match usize::try_from(trips) {
+                Ok(t) if t <= max_trips => t,
+                _ => continue,
+            };
+            if trips.saturating_mul(body_ops.len().max(1)) > MAX_UNROLLED_OPS {
+                continue;
+            }
+            // Rewrite: the header becomes the straight-line unrolling.
+            let body_clone = f.blocks[bb].ops.clone();
+            let mut new_ops = Vec::with_capacity(trips * body_clone.len() + 1);
+            for _ in 0..trips {
+                new_ops.extend(body_clone.iter().cloned());
+            }
+            new_ops.push(IrOp::Bin {
+                op: cmp,
+                dst: ct,
+                a: Operand::Temp(i),
+                b: Operand::Const(limit),
+            });
+            f.blocks[h].ops = new_ops;
+            f.blocks[h].term = IrTerm::Jump(exit);
+            f.loop_bounds.remove(&IrBlockId(h as u32));
+            changed = true;
+            continue 'restart;
+        }
+        break;
+    }
+    if changed {
+        remove_unreachable_blocks(f);
+    }
+    changed
+}
+
+/// Branch-cost-aware CFG straightening ahead of codegen.
+///
+/// The PG32 cost model charges every block terminator — an unconditional
+/// branch costs cycles, energy and an encoded halfword regardless of
+/// layout — so the pass *removes* terminators rather than shuffling
+/// them: empty forwarding blocks are threaded past, single-predecessor
+/// jump targets are merged into their predecessor, unreachable blocks
+/// (e.g. left behind by constant-branch folding) are dropped, and the
+/// survivors are renumbered into reverse postorder so hot fallthrough
+/// paths stay contiguous for codegen. Blocks carrying loop bounds are
+/// never threaded or merged away, keeping every flow fact anchored.
+///
+/// Returns `true` if anything changed.
+pub fn block_layout(f: &mut IrFunction) -> bool {
+    let mut changed = false;
+
+    // 1. Thread empty forwarding blocks (chase chains, guard cycles).
+    let resolve = |f: &IrFunction, start: IrBlockId| -> IrBlockId {
+        let mut cur = start;
+        let mut seen = vec![false; f.blocks.len()];
+        loop {
+            let b = &f.blocks[cur.index()];
+            let IrTerm::Jump(next) = &b.term else { return cur };
+            if cur.index() == 0
+                || !b.ops.is_empty()
+                || f.loop_bounds.contains_key(&cur)
+                || seen[cur.index()]
+            {
+                return cur;
+            }
+            seen[cur.index()] = true;
+            cur = *next;
+        }
+    };
+    for bi in 0..f.blocks.len() {
+        let mut term = f.blocks[bi].term.clone();
+        let mut rewired = false;
+        {
+            let mut thread = |t: &mut IrBlockId| {
+                let dst = resolve(f, *t);
+                if dst != *t {
+                    *t = dst;
+                    rewired = true;
+                }
+            };
+            match &mut term {
+                IrTerm::Jump(t) => thread(t),
+                IrTerm::Branch { taken, fallthrough, .. } => {
+                    thread(taken);
+                    thread(fallthrough);
+                }
+                IrTerm::Ret(_) => {}
+            }
+        }
+        if rewired {
+            f.blocks[bi].term = term;
+            changed = true;
+        }
+    }
+
+    // 2. Merge unconditional jumps to single-predecessor targets.
+    loop {
+        // Count edges from *reachable* blocks only, so dead jumpers left
+        // behind by constant-branch folding don't pin their targets.
+        let reachable = teamplay_minic::cfg::reverse_postorder(f);
+        let mut preds = vec![0usize; f.blocks.len()];
+        for &bi in &reachable {
+            for s in f.blocks[bi].term.successors() {
+                preds[s.index()] += 1;
+            }
+        }
+        let merge = reachable.iter().find_map(|&a| match f.blocks[a].term {
+            IrTerm::Jump(t)
+                if t.index() != a
+                    && t.index() != 0
+                    && preds[t.index()] == 1
+                    && !f.loop_bounds.contains_key(&t) =>
+            {
+                Some((a, t.index()))
+            }
+            _ => None,
+        });
+        let Some((a, b)) = merge else { break };
+        let absorbed = std::mem::take(&mut f.blocks[b].ops);
+        f.blocks[a].ops.extend(absorbed);
+        f.blocks[a].term = f.blocks[b].term.clone();
+        // `b` is now unreachable; step 3 reclaims it.
+        changed = true;
+    }
+
+    // 3. Drop unreachable blocks.
+    changed |= remove_unreachable_blocks(f);
+
+    // 4. Renumber into reverse postorder (entry-first by construction).
+    let rpo = teamplay_minic::cfg::reverse_postorder(f);
+    debug_assert_eq!(rpo.len(), f.blocks.len(), "unreachable blocks already dropped");
+    if !rpo.iter().enumerate().all(|(new, old)| new == *old) {
+        let keep = vec![true; f.blocks.len()];
+        let mut remap = vec![u32::MAX; f.blocks.len()];
+        for (new, old) in rpo.iter().enumerate() {
+            remap[*old] = new as u32;
+        }
+        renumber_blocks(f, &keep, &remap);
+        changed = true;
+    }
+    changed
+}
+
+// =====================================================================
+// CFG utilities shared by the loop passes
+// =====================================================================
+
+/// Drop blocks unreachable from the entry, compacting ids and remapping
+/// terminators and loop bounds. Returns `true` if anything was removed.
+pub fn remove_unreachable_blocks(f: &mut IrFunction) -> bool {
+    let reachable = teamplay_minic::cfg::reverse_postorder(f);
+    if reachable.len() == f.blocks.len() {
+        return false;
+    }
+    let mut keep = vec![false; f.blocks.len()];
+    for b in &reachable {
+        keep[*b] = true;
+    }
+    // Compact in index order so the entry stays block 0.
+    let mut remap = vec![u32::MAX; f.blocks.len()];
+    let mut next = 0u32;
+    for (i, kept) in keep.iter().enumerate() {
+        if *kept {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    renumber_blocks(f, &keep, &remap);
+    true
+}
+
+/// Apply a block renumbering: retain blocks with `keep[i]`, reindex via
+/// `remap[old] = new`, and rewrite terminators and loop bounds. Every
+/// retained terminator target must itself be retained.
+fn renumber_blocks(f: &mut IrFunction, keep: &[bool], remap: &[u32]) {
+    let old_blocks = std::mem::take(&mut f.blocks);
+    let mut new_blocks: Vec<(u32, teamplay_minic::ir::IrBlock)> = old_blocks
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| keep[*i])
+        .map(|(i, b)| (remap[i], b))
+        .collect();
+    new_blocks.sort_by_key(|(new_id, _)| *new_id);
+    let retarget = |t: IrBlockId| IrBlockId(remap[t.index()]);
+    f.blocks = new_blocks
+        .into_iter()
+        .map(|(_, mut b)| {
+            b.term = match b.term {
+                IrTerm::Jump(t) => IrTerm::Jump(retarget(t)),
+                IrTerm::Branch { cond, taken, fallthrough } => IrTerm::Branch {
+                    cond,
+                    taken: retarget(taken),
+                    fallthrough: retarget(fallthrough),
+                },
+                ret => ret,
+            };
+            b
+        })
+        .collect();
+    let old_bounds = std::mem::take(&mut f.loop_bounds);
+    f.loop_bounds = old_bounds
+        .into_iter()
+        .filter(|(h, _)| keep[h.index()])
+        .map(|(h, n)| (IrBlockId(remap[h.index()]), n))
+        .collect();
+}
+
 // =====================================================================
 // The Pass trait and its implementations
 // =====================================================================
@@ -814,6 +1515,73 @@ impl Pass for MulShiftAddPass {
     }
 }
 
+/// `licm`: loop-invariant code motion into loop preheaders.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LicmPass;
+
+impl Pass for LicmPass {
+    fn name(&self) -> &str {
+        "licm"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        licm(f)
+    }
+}
+
+/// `cse`: block-local common-subexpression elimination.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CsePass;
+
+impl Pass for CsePass {
+    fn name(&self) -> &str {
+        "cse"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        local_cse(f)
+    }
+}
+
+/// `unroll`: bound-aware full unrolling of constant-trip loops (the
+/// parameter caps the trip count eligible for unrolling).
+#[derive(Debug, Clone, Copy)]
+pub struct UnrollPass {
+    /// Maximum provable trip count that is fully unrolled.
+    pub max_trips: usize,
+}
+
+impl UnrollPass {
+    /// Default trip-count ceiling.
+    pub const DEFAULT_MAX_TRIPS: usize = 8;
+
+    /// An unroll pass with the given trip-count ceiling.
+    pub fn new(max_trips: usize) -> UnrollPass {
+        UnrollPass { max_trips }
+    }
+}
+
+impl Pass for UnrollPass {
+    fn name(&self) -> &str {
+        "unroll"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        unroll_loops(f, self.max_trips)
+    }
+}
+
+/// `block_layout`: CFG straightening (thread, merge, drop dead blocks,
+/// reverse-postorder renumbering) ahead of codegen.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockLayoutPass;
+
+impl Pass for BlockLayoutPass {
+    fn name(&self) -> &str {
+        "block_layout"
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+        block_layout(f)
+    }
+}
+
 /// `inline`: callee inlining below a size threshold (the parameter).
 /// The code-growth budget ([`MAX_INLINES_PER_FUNCTION`]) is shared
 /// across all fixpoint rounds on one function.
@@ -904,6 +1672,30 @@ pub static REGISTRY: &[PassDescriptor] = &[
         default_param: None,
         factory: |_| Box::new(MulShiftAddPass),
     },
+    PassDescriptor {
+        name: "licm",
+        summary: "hoist loop-invariant computations into loop preheaders",
+        default_param: None,
+        factory: |_| Box::new(LicmPass),
+    },
+    PassDescriptor {
+        name: "cse",
+        summary: "eliminate block-local common subexpressions",
+        default_param: None,
+        factory: |_| Box::new(CsePass),
+    },
+    PassDescriptor {
+        name: "unroll",
+        summary: "fully unroll constant-trip loops up to a trip ceiling (param)",
+        default_param: Some(UnrollPass::DEFAULT_MAX_TRIPS),
+        factory: |p| Box::new(UnrollPass::new(p.unwrap_or(UnrollPass::DEFAULT_MAX_TRIPS))),
+    },
+    PassDescriptor {
+        name: "block_layout",
+        summary: "straighten the CFG: thread, merge and drop blocks, reorder for codegen",
+        default_param: None,
+        factory: |_| Box::new(BlockLayoutPass),
+    },
 ];
 
 /// Look up a pass descriptor by registry name.
@@ -964,19 +1756,67 @@ pub enum PipelineError {
     Malformed(String),
     /// A parameter given to a pass that takes none.
     UnexpectedParam(String),
+    /// A [`PipelineCatalog::resolve`] spec that is neither a registered
+    /// catalogue name nor a valid pipeline.
+    UnknownName {
+        /// The unresolved spec.
+        spec: String,
+        /// The nearest catalogue or pass name (edit distance ≤ 2), if
+        /// one is close enough to be a plausible typo.
+        nearest: Option<String>,
+    },
+}
+
+/// Levenshtein distance, for near-miss pass-name suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The registry name closest to `name`, if it is close enough
+/// (edit distance ≤ 2) to be a plausible typo.
+fn nearest_pass_name(name: &str) -> Option<&'static str> {
+    REGISTRY
+        .iter()
+        .map(|d| (edit_distance(name, d.name), d.name))
+        .filter(|(dist, _)| *dist <= 2)
+        .min_by_key(|(dist, _)| *dist)
+        .map(|(_, best)| best)
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PipelineError::UnknownPass(name) => {
-                let known: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
-                write!(f, "unknown pass `{name}` (known: {})", known.join(", "))
-            }
+            PipelineError::UnknownPass(name) => match nearest_pass_name(name) {
+                Some(best) => write!(f, "unknown pass `{name}`; did you mean `{best}`?"),
+                None => {
+                    let known: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
+                    write!(f, "unknown pass `{name}` (known: {})", known.join(", "))
+                }
+            },
             PipelineError::Malformed(el) => write!(f, "malformed pipeline element `{el}`"),
             PipelineError::UnexpectedParam(name) => {
                 write!(f, "pass `{name}` takes no parameter")
             }
+            PipelineError::UnknownName { spec, nearest } => match nearest {
+                Some(best) => {
+                    write!(f, "unknown pipeline or pass `{spec}`; did you mean `{best}`?")
+                }
+                None => write!(
+                    f,
+                    "unknown pipeline or pass `{spec}` (catalogue names and \
+                     `pass,pass(param),…` lists are accepted)"
+                ),
+            },
         }
     }
 }
@@ -1001,9 +1841,11 @@ impl Pipeline {
             .expect("preset pipeline is valid")
     }
 
-    /// Aggressive: large inline threshold, all speed levers.
+    /// Aggressive: large inline threshold, all speed levers — invariant
+    /// hoisting and CSE after inlining, the cleanup trio, and CFG
+    /// straightening last so codegen sees the final shape.
     pub fn o3() -> Pipeline {
-        "inline(80),strength_reduce,const_fold,copy_prop,dce"
+        "inline(80),licm,cse,strength_reduce,const_fold,copy_prop,dce,block_layout"
             .parse()
             .expect("preset pipeline is valid")
     }
@@ -1083,6 +1925,102 @@ impl FromStr for Pipeline {
             passes.push(PassSpec { name: name.to_string(), param });
         }
         Ok(Pipeline { passes })
+    }
+}
+
+// =====================================================================
+// PipelineCatalog
+// =====================================================================
+
+/// A name → [`Pipeline`] catalogue, so layers above the compiler
+/// (coordination, workflows, benches) select pipelines by *string* —
+/// `"o2"`, `"camera_pill"`, or a literal pipeline like
+/// `"licm,const_fold,dce"` — instead of passing preset structs around.
+///
+/// [`PipelineCatalog::builtin`] carries the generic optimisation levels;
+/// applications register their tuned pipelines on top (see
+/// `teamplay_apps::catalog`). [`PipelineCatalog::resolve`] falls back to
+/// parsing the string as a pipeline, so every call-site accepts both
+/// catalogue names and inline pass lists.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineCatalog {
+    /// Registered `(name, pipeline)` entries, in registration order.
+    entries: Vec<(String, Pipeline)>,
+}
+
+impl PipelineCatalog {
+    /// An empty catalogue.
+    pub fn new() -> PipelineCatalog {
+        PipelineCatalog::default()
+    }
+
+    /// The generic optimisation levels (`o0`–`o3`).
+    pub fn builtin() -> PipelineCatalog {
+        let mut cat = PipelineCatalog::new();
+        for (name, p) in [
+            ("o0", Pipeline::o0()),
+            ("o1", Pipeline::o1()),
+            ("o2", Pipeline::o2()),
+            ("o3", Pipeline::o3()),
+        ] {
+            cat.entries.push((name.to_string(), p));
+        }
+        cat
+    }
+
+    /// Register (or replace) a named pipeline, parsed from a string.
+    ///
+    /// # Errors
+    /// [`PipelineError`] if the pipeline string does not parse.
+    pub fn register(&mut self, name: &str, pipeline: &str) -> Result<(), PipelineError> {
+        let parsed: Pipeline = pipeline.parse()?;
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => entry.1 = parsed,
+            None => self.entries.push((name.to_string(), parsed)),
+        }
+        Ok(())
+    }
+
+    /// Look up a registered pipeline by name.
+    pub fn get(&self, name: &str) -> Option<&Pipeline> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, p)| p)
+    }
+
+    /// Resolve `spec` as a catalogue name, falling back to parsing it as
+    /// a literal pipeline string.
+    ///
+    /// # Errors
+    /// [`PipelineError`] if `spec` is neither a registered name nor a
+    /// valid pipeline string; a single unresolvable element reports
+    /// [`PipelineError::UnknownName`] with the nearest catalogue (or
+    /// registry) name, so a mistyped entry like `"camera_pil"` points
+    /// back at `"camera_pill"` instead of at the pass registry.
+    pub fn resolve(&self, spec: &str) -> Result<Pipeline, PipelineError> {
+        if let Some(p) = self.get(spec) {
+            return Ok(p.clone());
+        }
+        match spec.parse() {
+            Ok(p) => Ok(p),
+            // The whole spec is one unknown element: it may just as well
+            // be a mistyped catalogue name — suggest across both
+            // namespaces, nearest catalogue entry first.
+            Err(PipelineError::UnknownPass(name)) if name == spec.trim() => {
+                let nearest = self
+                    .names()
+                    .map(|n| (edit_distance(&name, n), n))
+                    .filter(|(dist, _)| *dist <= 2)
+                    .min_by_key(|(dist, _)| *dist)
+                    .map(|(_, n)| n.to_string())
+                    .or_else(|| nearest_pass_name(&name).map(str::to_string));
+                Err(PipelineError::UnknownName { spec: spec.to_string(), nearest })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
     }
 }
 
@@ -1514,6 +2452,388 @@ mod tests {
         assert_eq!(run_ir(&m, "f", &[7]), expected);
     }
 
+    // --- licm ------------------------------------------------------
+
+    #[test]
+    fn licm_hoists_invariant_multiply_out_of_the_loop() {
+        let src = "int f(int x) {
+                       int s = 0;
+                       for (int i = 0; i < 10; i = i + 1) { s = s + x * 7 + i; }
+                       return s;
+                   }";
+        let reference = ir_of(src);
+        let mut m = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        assert!(licm(f), "x * 7 is loop-invariant");
+        m.validate().expect("valid after licm");
+        // The multiply left every loop body.
+        let f = m.function("f").expect("f");
+        let loops = teamplay_minic::cfg::natural_loops(f);
+        assert!(!loops.is_empty());
+        for l in &loops {
+            for &bi in &l.body {
+                assert!(
+                    !f.blocks[bi]
+                        .ops
+                        .iter()
+                        .any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. })),
+                    "multiply must be hoisted out of block {bi}"
+                );
+            }
+        }
+        for x in [0, 3, -9] {
+            assert_eq!(run_ir(&m, "f", &[x]), run_ir(&reference, "f", &[x]));
+        }
+    }
+
+    #[test]
+    fn licm_shrinks_the_wcet_bound() {
+        use teamplay_isa::CycleModel;
+        let src = "int f(int x) {
+                       int s = 0;
+                       for (int i = 0; i < 32; i = i + 1) { s = s + (x * 3) / 5; }
+                       return s;
+                   }";
+        let wcet = |m: &IrModule| {
+            let p = crate::codegen::generate_program(m, crate::codegen::CodegenOpts::default())
+                .expect("codegen");
+            teamplay_wcet::analyze_program(&p, &CycleModel::pg32())
+                .expect("analysable")
+                .wcet_cycles("f")
+                .expect("bounded")
+        };
+        let mut m = ir_of(src);
+        let before = wcet(&m);
+        assert!(licm(m.function_mut("f").expect("f")));
+        let after = wcet(&m);
+        assert!(after < before, "hoisting must shrink the bound: {after} vs {before}");
+    }
+
+    #[test]
+    fn licm_preserves_zero_trip_loops_and_multi_def_temps() {
+        // `t` has two definitions (init + loop) so its copy must stay in
+        // the loop; with a zero-trip loop the post-loop read of `t` then
+        // still sees the initial 0.
+        let src = "int f(int x) {
+                       int s = 0;
+                       int t = 0;
+                       for (int i = 0; i < 0; i = i + 1) { t = x * 3; s = s + t; }
+                       return s + t + 1;
+                   }";
+        let mut m = ir_of(src);
+        licm(m.function_mut("f").expect("f"));
+        m.validate().expect("valid after licm");
+        assert_eq!(run_ir(&m, "f", &[50]), Some(1), "zero-trip loop leaves t at 0");
+    }
+
+    // --- cse -------------------------------------------------------
+
+    fn count_matching(f: &IrFunction, pred: impl Fn(&IrOp) -> bool) -> usize {
+        f.blocks.iter().flat_map(|b| &b.ops).filter(|o| pred(o)).count()
+    }
+
+    #[test]
+    fn cse_reuses_repeated_and_commuted_expressions() {
+        let mut m = ir_of("int f(int x, int y) { return (x * y) + (y * x); }");
+        let f = m.function_mut("f").expect("f");
+        assert!(local_cse(f));
+        assert_eq!(
+            count_matching(f, |o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. })),
+            1,
+            "commuted product must be shared"
+        );
+        assert_eq!(run_ir(&m, "f", &[7, -3]), Some(2 * 7 * -3));
+    }
+
+    #[test]
+    fn cse_shares_loads_but_respects_stores() {
+        let src = "int g[4];
+                   int f(int i) {
+                       int a = g[1] + g[1];
+                       g[1] = a;
+                       int b = g[1];
+                       return a + b + i;
+                   }";
+        let mut m = ir_of(src);
+        let reference = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        let loads_before = count_matching(f, |o| matches!(o, IrOp::Load { .. }));
+        assert!(local_cse(f));
+        let loads_after = count_matching(f, |o| matches!(o, IrOp::Load { .. }));
+        // The duplicated pre-store load collapses; the post-store load
+        // survives the invalidation.
+        assert_eq!(loads_before - loads_after, 1, "exactly the safe load is shared");
+        assert_eq!(run_ir(&m, "f", &[5]), run_ir(&reference, "f", &[5]));
+    }
+
+    #[test]
+    fn cse_replacement_copy_still_invalidates_its_destination() {
+        // Non-SSA regression: when `t2 = a+1` is rewritten into a copy
+        // of the earlier `a+1`, the *write* to t2 must still evict the
+        // stale `(a+5) → t2` entry — otherwise the later `t4 = a+5`
+        // becomes a copy of the redefined t2. Multi-def temps like this
+        // come straight out of `unroll_loops`' cloned bodies, and the
+        // permutation genome can order `unroll` before `cse`.
+        use teamplay_minic::ir::{IrBlock, IrParam};
+        let a = Temp(0);
+        let (t1, t2, t3, t4) = (Temp(1), Temp(2), Temp(3), Temp(4));
+        let add = |dst, c| IrOp::Bin { op: BinOp::Add, dst, a: Operand::Temp(a), b: Operand::Const(c) };
+        let f = IrFunction {
+            name: "f".into(),
+            params: vec![IrParam { name: "a".into(), is_array: false, temp: a }],
+            returns_value: true,
+            blocks: vec![IrBlock {
+                ops: vec![
+                    add(t1, 1),
+                    add(t2, 5),
+                    IrOp::Bin { op: BinOp::Mul, dst: t3, a: Operand::Temp(t2), b: Operand::Const(3) },
+                    add(t2, 1),
+                    add(t4, 5),
+                ],
+                term: IrTerm::Ret(Some(Operand::Temp(t4))),
+            }],
+            temp_count: 5,
+            local_arrays: vec![],
+            loop_bounds: HashMap::new(),
+            annotations: vec![],
+        };
+        let module = IrModule { functions: vec![f], globals: vec![] };
+        let expected = run_ir(&module, "f", &[10]);
+        assert_eq!(expected, Some(15));
+        let mut m = module.clone();
+        assert!(local_cse(m.function_mut("f").expect("f")));
+        m.validate().expect("valid after cse");
+        assert_eq!(run_ir(&m, "f", &[10]), expected);
+    }
+
+    #[test]
+    fn cse_does_not_key_on_clobbered_operands() {
+        // x + 1 recomputed after x changed: must NOT be shared.
+        let src = "int f(int x) { int a = x + 1; x = x + 1; int b = x + 1; return a * 100 + b; }";
+        let mut m = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        local_cse(f);
+        assert_eq!(run_ir(&m, "f", &[4]), Some(5 * 100 + 6));
+    }
+
+    // --- unroll ----------------------------------------------------
+
+    fn loop_count(f: &IrFunction) -> usize {
+        teamplay_minic::cfg::natural_loops(f).len()
+    }
+
+    #[test]
+    fn unroll_flattens_constant_trip_loops() {
+        let src = "int f(int x) {
+                       int s = 0;
+                       for (int i = 0; i < 4; i = i + 1) { s = s + x + i; }
+                       return s;
+                   }";
+        let reference = ir_of(src);
+        let mut m = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        assert_eq!(loop_count(f), 1);
+        assert!(unroll_loops(f, 8));
+        assert_eq!(loop_count(f), 0, "the loop is gone");
+        assert!(f.loop_bounds.is_empty(), "no residual flow facts");
+        m.validate().expect("valid after unroll");
+        for x in [0, 9, -2] {
+            assert_eq!(run_ir(&m, "f", &[x]), run_ir(&reference, "f", &[x]));
+        }
+    }
+
+    #[test]
+    fn unroll_trades_cycles_for_code_size() {
+        use teamplay_isa::CycleModel;
+        let src = "int f(int x) {
+                       int s = 0;
+                       for (int i = 0; i < 6; i = i + 1) { s = s + x * i; }
+                       return s;
+                   }";
+        let build = |m: &IrModule| {
+            crate::codegen::generate_program(m, crate::codegen::CodegenOpts::default())
+                .expect("codegen")
+        };
+        let m0 = ir_of(src);
+        let rolled = build(&m0);
+        let mut m = ir_of(src);
+        assert!(unroll_loops(m.function_mut("f").expect("f"), 8));
+        let unrolled = build(&m);
+        let wcet = |p: &teamplay_isa::Program| {
+            teamplay_wcet::analyze_program(p, &CycleModel::pg32())
+                .expect("analysable")
+                .wcet_cycles("f")
+                .expect("bounded")
+        };
+        assert!(wcet(&unrolled) < wcet(&rolled), "no per-iteration compare+branch");
+        let size = |p: &teamplay_isa::Program| {
+            crate::driver::code_size_halfwords(p.function("f").expect("f"))
+        };
+        assert!(size(&unrolled) > size(&rolled), "six body copies cost code size");
+    }
+
+    #[test]
+    fn unroll_skips_variable_bounds_and_respects_the_ceiling() {
+        // Variable trip count: must not unroll even though annotated.
+        let src = "int f(int n) {
+                       int s = 0;
+                       /*@ loop bound(64) @*/
+                       while (n > 0) { n = n - 1; s = s + 1; }
+                       return s;
+                   }";
+        let mut m = ir_of(src);
+        assert!(!unroll_loops(m.function_mut("f").expect("f"), 64), "bound is not a trip count");
+
+        // Provable 6-trip loop under a ceiling of 4: left rolled.
+        let src = "int f(int x) {
+                       int s = 0;
+                       for (int i = 0; i < 6; i = i + 1) { s = s + x; }
+                       return s;
+                   }";
+        let mut m = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        assert!(!unroll_loops(f, 4));
+        assert_eq!(loop_count(f), 1);
+        assert!(unroll_loops(f, 6), "raising the ceiling unrolls it");
+    }
+
+    #[test]
+    fn unroll_handles_down_counting_and_strided_loops() {
+        let src = "int f(int x) {
+                       int s = 0;
+                       for (int i = 10; i > 0; i = i - 3) { s = s + x + i; }
+                       return s;
+                   }";
+        let reference = ir_of(src);
+        let mut m = ir_of(src);
+        assert!(unroll_loops(m.function_mut("f").expect("f"), 8));
+        assert_eq!(loop_count(m.function("f").expect("f")), 0);
+        for x in [1, -4] {
+            assert_eq!(run_ir(&m, "f", &[x]), run_ir(&reference, "f", &[x]));
+        }
+    }
+
+    // --- block_layout ----------------------------------------------
+
+    #[test]
+    fn block_layout_straightens_folded_branches() {
+        let src = "int f(int x) { if (1 < 2) { return x + 10; } return 20; }";
+        let mut m = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        const_fold(f); // the branch becomes a jump; dead blocks remain
+        let before = f.blocks.len();
+        assert!(block_layout(f));
+        assert!(f.blocks.len() < before, "dead + forwarding blocks collapse");
+        m.validate().expect("valid after layout");
+        assert_eq!(run_ir(&m, "f", &[1]), Some(11));
+    }
+
+    #[test]
+    fn block_layout_preserves_loops_and_their_bounds() {
+        let src = "int f(int x) {
+                       int s = 0;
+                       for (int i = 0; i < 12; i = i + 1) { s = s + x; }
+                       return s;
+                   }";
+        let reference = ir_of(src);
+        let mut m = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        block_layout(f);
+        m.validate().expect("valid after layout");
+        let f = m.function("f").expect("f");
+        assert_eq!(loop_count(f), 1, "the loop survives");
+        assert_eq!(f.loop_bounds.values().copied().collect::<Vec<_>>(), vec![12]);
+        assert_eq!(run_ir(&m, "f", &[3]), run_ir(&reference, "f", &[3]));
+    }
+
+    #[test]
+    fn block_layout_reduces_wcet_and_size_on_branchy_code() {
+        use teamplay_isa::CycleModel;
+        let src = "int f(int x) {
+                       int s = 0;
+                       if (x > 0) { s = s + 1; } else { s = s - 1; }
+                       if (x > 10) { s = s + 2; } else { s = s - 2; }
+                       return s;
+                   }";
+        let measure = |m: &IrModule| {
+            let p = crate::codegen::generate_program(m, crate::codegen::CodegenOpts::default())
+                .expect("codegen");
+            let w = teamplay_wcet::analyze_program(&p, &CycleModel::pg32())
+                .expect("analysable")
+                .wcet_cycles("f")
+                .expect("bounded");
+            (w, crate::driver::code_size_halfwords(p.function("f").expect("f")))
+        };
+        let m0 = ir_of(src);
+        let (w0, s0) = measure(&m0);
+        let mut m = ir_of(src);
+        assert!(block_layout(m.function_mut("f").expect("f")));
+        let (w1, s1) = measure(&m);
+        assert!(w1 <= w0 && s1 < s0, "({w1},{s1}) vs ({w0},{s0})");
+        for x in [-5, 5, 50] {
+            assert_eq!(run_ir(&m, "f", &[x]), run_ir(&m0, "f", &[x]));
+        }
+    }
+
+    #[test]
+    fn block_layout_reaches_a_fixpoint() {
+        let mut m = ir_of("int f(int x) { if (x > 0) { return 1; } return 2; }");
+        let f = m.function_mut("f").expect("f");
+        block_layout(f);
+        assert!(!block_layout(f), "second application must be a no-op");
+    }
+
+    // --- catalog and error ergonomics ------------------------------
+
+    #[test]
+    fn catalog_resolves_names_and_literal_pipelines() {
+        let mut cat = PipelineCatalog::builtin();
+        assert_eq!(cat.get("o2"), Some(&Pipeline::o2()));
+        cat.register("camera_pill", "inline(24),licm,cse,const_fold,copy_prop,dce")
+            .expect("registers");
+        assert!(cat.get("camera_pill").expect("registered").contains("licm"));
+        // Re-registration replaces.
+        cat.register("camera_pill", "dce").expect("re-registers");
+        assert_eq!(cat.get("camera_pill").expect("registered").passes.len(), 1);
+        // Fallback: a literal pipeline string resolves without registration.
+        let lit = cat.resolve("strength_reduce,dce").expect("literal resolves");
+        assert_eq!(lit.passes.len(), 2);
+        // A mistyped catalogue name points back at the catalogue…
+        cat.register("camera_pill", "dce").expect("re-registers");
+        let err = cat.resolve("camera_pil").expect_err("unknown");
+        assert_eq!(
+            err.to_string(),
+            "unknown pipeline or pass `camera_pil`; did you mean `camera_pill`?"
+        );
+        // …a mistyped pass name still points at the registry…
+        let err = cat.resolve("licn").expect_err("unknown");
+        assert_eq!(err.to_string(), "unknown pipeline or pass `licn`; did you mean `licm`?");
+        // …and something unlike either namespace explains the contract.
+        let err = cat.resolve("no_such_name_or_pass").expect_err("unknown");
+        assert!(matches!(&err, PipelineError::UnknownName { nearest: None, .. }), "{err}");
+        assert!(err.to_string().contains("catalogue names"), "{err}");
+        // Multi-element specs keep the precise per-element error.
+        assert!(matches!(
+            cat.resolve("dce,turbo_encabulate"),
+            Err(PipelineError::UnknownPass(_))
+        ));
+        assert!(cat.register("bad", "turbo(7)").is_err());
+        let builtin = PipelineCatalog::builtin();
+        let names: Vec<&str> = builtin.names().collect();
+        assert_eq!(names, ["o0", "o1", "o2", "o3"]);
+    }
+
+    #[test]
+    fn unknown_pass_error_suggests_the_nearest_name() {
+        let err = "licn".parse::<Pipeline>().expect_err("unknown");
+        assert_eq!(err.to_string(), "unknown pass `licn`; did you mean `licm`?");
+        let err = "unrol(4)".parse::<Pipeline>().expect_err("unknown");
+        assert_eq!(err.to_string(), "unknown pass `unrol`; did you mean `unroll`?");
+        // Nothing within distance 2: fall back to the full listing.
+        let err = "turbo_encabulate".parse::<Pipeline>().expect_err("unknown");
+        assert!(err.to_string().contains("known:"), "{err}");
+    }
+
     // --- framework-level tests -------------------------------------
 
     #[test]
@@ -1524,7 +2844,7 @@ mod tests {
             let mut m = ir_of("int f(int x) { return x * 8 + 0; }");
             pm.run(&mut m); // must not panic
         }
-        assert_eq!(REGISTRY.len(), 6, "all six optimisations are registered");
+        assert_eq!(REGISTRY.len(), 10, "all ten optimisations are registered");
     }
 
     #[test]

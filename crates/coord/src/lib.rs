@@ -23,7 +23,9 @@ pub mod schedule;
 pub mod task;
 
 pub use freq::{dvfs_options, gr712_levels, FreqLevel};
-pub use glue::{generate_parallel_glue, generate_sequential_glue};
+pub use glue::{
+    generate_parallel_glue, generate_parallel_glue_with_pipelines, generate_sequential_glue,
+};
 pub use schedule::{
     schedule_branch_and_bound, schedule_energy_aware, Schedule, ScheduleEntry, ScheduleError,
 };

@@ -1,15 +1,16 @@
 //! The TeamPlay workflow for predictable architectures (paper Fig. 1).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use teamplay_compiler::{
-    compile_module_per_function, pareto_search_on, CompilerConfig, FpaConfig, TaskVariant,
+    compile_module_per_function, pareto_search_with_cache, CompilerConfig, EvalCache, FpaConfig,
+    PipelineCatalog, SearchStats, TaskVariant,
 };
 use teamplay_contracts::{prove, Certificate, ProveError, TaskEvidence};
 use teamplay_coord::{
-    generate_parallel_glue, schedule_energy_aware, CoordTask, ExecOption, Schedule, ScheduleError,
-    TaskSet,
+    generate_parallel_glue_with_pipelines, schedule_energy_aware, CoordTask, ExecOption, Schedule,
+    ScheduleError, TaskSet,
 };
 use teamplay_csl::{extract_model, CslError, CslModel, SecurityReq};
 use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
@@ -37,6 +38,12 @@ pub struct WorkflowConfig {
     pub leakage_traces: usize,
     /// Search seed (determinism).
     pub seed: u64,
+    /// Named pipelines the workflow selects from — the generic levels
+    /// plus every application's tuned pipeline.
+    pub pipelines: PipelineCatalog,
+    /// Catalogue name (or literal pipeline string) compiled into the
+    /// final build's non-task functions.
+    pub default_pipeline: String,
 }
 
 impl WorkflowConfig {
@@ -50,6 +57,8 @@ impl WorkflowConfig {
             fpa: FpaConfig::standard(),
             leakage_traces: 48,
             seed: 0xC0FFEE,
+            pipelines: teamplay_apps::catalog(),
+            default_pipeline: "o2".to_string(),
         }
     }
 
@@ -103,6 +112,11 @@ pub struct PredictableOutcome {
     pub tasks: Vec<TaskReport>,
     /// Generated runtime glue code.
     pub glue: String,
+    /// Merged search instrumentation across every task's Pareto front:
+    /// total evaluations/generations, and the cache counters of the one
+    /// [`EvalCache`] all fronts shared (so `cache_misses` is the number
+    /// of distinct configurations compiled for the whole module).
+    pub search: SearchStats,
 }
 
 /// Workflow failures, in pipeline order.
@@ -216,30 +230,39 @@ impl PredictableWorkflow {
         //    IR and models), so they fan out over the global pool; each
         //    search gets a slice of the remaining width for its own
         //    genome batches. Results come back in task-index order, so
-        //    the outcome is identical to the sequential loop.
+        //    the outcome is identical to the sequential loop. All fronts
+        //    share one evaluation cache over the module: different tasks
+        //    probe largely the same configurations, so a configuration
+        //    any task compiled is free for every other task (per-entry
+        //    once-locks keep the sharing race-free and deterministic).
         let pool = minipool::global();
         let inner = pool.split_across(model.tasks.len());
+        let cache = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
         let fronts = pool.par_map(&model.tasks, |i, task| {
-            pareto_search_on(
+            pareto_search_with_cache(
                 &inner,
-                &ir,
+                &cache,
                 &task.function,
-                &cfg.cycle_model,
-                &cfg.energy_model,
                 cfg.fpa,
                 cfg.seed.wrapping_add(i as u64),
             )
-            .variants
         });
+        let mut search = SearchStats {
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            ..SearchStats::default()
+        };
         let mut variants: HashMap<String, Vec<TaskVariant>> = HashMap::new();
         for (task, front) in model.tasks.iter().zip(fronts) {
-            if front.is_empty() {
+            search.evaluations += front.stats.evaluations;
+            search.generations += front.stats.generations;
+            if front.variants.is_empty() {
                 return Err(WorkflowError::Compile(format!(
                     "no analysable variant for task `{}` (unbounded loops?)",
                     task.name
                 )));
             }
-            variants.insert(task.name.clone(), front);
+            variants.insert(task.name.clone(), front.variants);
         }
 
         // 4. Coordination: multi-version selection under the deadlines.
@@ -283,7 +306,15 @@ impl PredictableWorkflow {
             chosen.insert(task.function.clone(), config.clone());
             chosen_by_task.insert(task.name.clone(), config);
         }
-        let default = CompilerConfig::balanced();
+        // Non-task functions build under the configured catalogue
+        // pipeline (a name like "o2"/"camera_pill", or a literal pass
+        // list) with the balanced codegen knobs.
+        let default_pipeline = cfg
+            .pipelines
+            .resolve(&cfg.default_pipeline)
+            .map_err(|e| WorkflowError::Compile(format!("default pipeline: {e}")))?;
+        let default =
+            CompilerConfig { pipeline: default_pipeline, ..CompilerConfig::balanced() };
         let program = compile_module_per_function(&ir, &chosen, &default)
             .map_err(|e| WorkflowError::Compile(e.to_string()))?;
 
@@ -376,8 +407,13 @@ impl PredictableWorkflow {
         let certificate =
             prove("teamplay-system", &model, &evidence).map_err(WorkflowError::Contract)?;
 
-        // 9. Coordination glue.
-        let glue = generate_parallel_glue(&final_set, &schedule);
+        // 9. Coordination glue, recording each task's selected pipeline
+        //    so the deployed runtime carries its variants' provenance.
+        let task_pipelines: BTreeMap<String, String> = chosen_by_task
+            .iter()
+            .map(|(task, config)| (task.clone(), config.pipeline.to_string()))
+            .collect();
+        let glue = generate_parallel_glue_with_pipelines(&final_set, &schedule, &task_pipelines);
 
         let tasks = model
             .tasks
@@ -405,6 +441,7 @@ impl PredictableWorkflow {
             evidence,
             tasks,
             glue,
+            search,
         })
     }
 }
@@ -432,12 +469,89 @@ mod tests {
         let encrypt = outcome.tasks.iter().find(|t| t.name == "encrypt").expect("encrypt");
         assert!(encrypt.ladder.expect("hardened").fully_hardened());
         assert!(!encrypt.leakage.expect("measured").leaks());
-        // Glue mentions every task.
+        // Glue mentions every task, and records its selected pipeline.
         for t in &outcome.tasks {
             assert!(outcome.glue.contains(&format!("task_{}", t.name)), "{}", outcome.glue);
+            assert!(
+                outcome.glue.contains(&format!(
+                    "tp_set_pipeline(\"{}\");",
+                    t.selected_config.pipeline
+                )),
+                "pipeline of `{}` missing from glue:\n{}",
+                t.name,
+                outcome.glue
+            );
         }
         // Schedule respects the pipeline deadline.
         assert!(outcome.schedule.makespan_us <= 40_000.0);
+    }
+
+    #[test]
+    fn per_task_fronts_share_one_eval_cache() {
+        let outcome =
+            pill_workflow().run(teamplay_apps::camera_pill::SOURCE).expect("workflow succeeds");
+        let s = &outcome.search;
+        // Four tasks, each a full FPA budget.
+        let fpa = FpaConfig::tiny();
+        assert_eq!(s.evaluations, 4 * fpa.population * (1 + fpa.iterations), "{s:?}");
+        assert_eq!(s.generations, 4 * fpa.iterations, "{s:?}");
+        // Sharing compiles strictly less than the evaluation budget.
+        assert!(s.cache_misses < s.evaluations, "{s:?}");
+        // Probes from the searches plus one per reconstructed variant.
+        let offered: usize = outcome.tasks.iter().map(|t| t.variants_offered).sum();
+        assert_eq!(s.cache_hits + s.cache_misses, s.evaluations + offered, "{s:?}");
+    }
+
+    #[test]
+    fn shared_cache_compiles_less_than_per_task_caches() {
+        use teamplay_compiler::{pareto_search_with_cache, EvalCache};
+        // The ROADMAP follow-up, measured: four tasks of one module
+        // searched against one shared cache compile strictly fewer
+        // distinct configurations than the same searches with a cache
+        // each — tasks revisit each other's configurations.
+        let ir = teamplay_minic::compile_to_ir(teamplay_apps::camera_pill::SOURCE)
+            .expect("front-end");
+        let cfg = WorkflowConfig::pg32();
+        let pool = minipool::global();
+        let shared = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
+        let mut individual_misses = 0usize;
+        for (i, func) in ["capture", "compress", "encrypt", "transmit"].iter().enumerate() {
+            let seed = cfg.seed.wrapping_add(i as u64);
+            let own = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
+            pareto_search_with_cache(pool, &own, func, FpaConfig::tiny(), seed);
+            individual_misses += own.misses();
+            pareto_search_with_cache(pool, &shared, func, FpaConfig::tiny(), seed);
+        }
+        assert!(
+            shared.misses() < individual_misses,
+            "shared {} vs individual {}",
+            shared.misses(),
+            individual_misses
+        );
+    }
+
+    #[test]
+    fn default_pipeline_resolves_through_the_catalog() {
+        // A catalogue name and a literal pipeline string both work; an
+        // unresolvable spec is a compile-stage error.
+        let mut cfg = WorkflowConfig::pg32();
+        cfg.fpa = FpaConfig::tiny();
+        cfg.leakage_traces = 24;
+        cfg.default_pipeline = "camera_pill".to_string();
+        PredictableWorkflow::new(cfg.clone())
+            .run(teamplay_apps::camera_pill::SOURCE)
+            .expect("app-named default pipeline works");
+        cfg.default_pipeline = "const_fold,dce".to_string();
+        PredictableWorkflow::new(cfg.clone())
+            .run(teamplay_apps::camera_pill::SOURCE)
+            .expect("literal default pipeline works");
+        cfg.default_pipeline = "not_a_pass_or_name".to_string();
+        match PredictableWorkflow::new(cfg).run(teamplay_apps::camera_pill::SOURCE) {
+            Err(WorkflowError::Compile(msg)) => {
+                assert!(msg.contains("default pipeline"), "{msg}")
+            }
+            other => panic!("expected compile error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,25 +10,29 @@
 //!    every function it bounded before optimisation (lost bounds make
 //!    the analysis fail, so analysability is the flow-fact witness).
 
-use teamplay_compiler::{generate_program, CodegenOpts, PassManager, Pipeline, REGISTRY};
+use teamplay_compiler::{
+    generate_program, CodegenOpts, CompilerConfig, PassManager, Pipeline, REGISTRY,
+};
 use teamplay_isa::CycleModel;
 use teamplay_minic::compile_to_ir;
 use teamplay_minic::interp::RecordingPorts;
 use teamplay_minic::ir::{exec_module, IrModule};
 use teamplay_wcet::analyze_program;
 
-/// The Mini-C kernels the examples ship (see `examples/`): the camera
-/// pill pipeline, the SpaceWire downlink kernels and the parking CNN
-/// convolution layer.
+/// The Mini-C kernels of all four applications: the camera pill
+/// pipeline, the SpaceWire downlink kernels, the UAV pre-detector and
+/// the parking CNN convolution layer.
 fn kernels() -> Vec<(&'static str, &'static str)> {
     vec![
         ("camera_pill", teamplay_apps::camera_pill::SOURCE),
         ("spacewire", teamplay_apps::spacewire::SOURCE),
+        ("uav", teamplay_apps::uav::DETECT_KERNEL_SOURCE),
         ("parking_cnn", teamplay_apps::parking::CONV_KERNEL_SOURCE),
     ]
 }
 
-/// Every single-pass pipeline from the registry, plus the level presets.
+/// Every single-pass pipeline from the registry, the level presets, and
+/// every application's tuned pipeline.
 fn pipelines_under_test() -> Vec<(String, Pipeline)> {
     let mut out: Vec<(String, Pipeline)> = REGISTRY
         .iter()
@@ -40,6 +44,9 @@ fn pipelines_under_test() -> Vec<(String, Pipeline)> {
     out.push(("preset:o1".into(), Pipeline::o1()));
     out.push(("preset:o2".into(), Pipeline::o2()));
     out.push(("preset:o3".into(), Pipeline::o3()));
+    for (app, pipeline) in teamplay_apps::recommended_pipelines() {
+        out.push((format!("app:{app}"), pipeline.parse().expect("tuned pipelines parse")));
+    }
     out
 }
 
@@ -121,6 +128,91 @@ fn every_registered_pass_and_preset_preserves_semantics_and_flow_facts() {
                 }
             }
         }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig { cases: 6, ..proptest::ProptestConfig::default() })]
+
+    /// Phase-ordering fuzz: ANY genome — any pass subset in any order,
+    /// any duplicated cleanup round, any parameters — must decode to a
+    /// pipeline that preserves interpreter semantics, port traces and
+    /// WCET flow facts on all four application kernels.
+    #[test]
+    fn random_permutation_pipelines_preserve_semantics_and_flow_facts(
+        genome in proptest::collection::vec(0.0f64..1.0, CompilerConfig::GENOME_DIMS),
+    ) {
+        let pipeline = CompilerConfig::from_genome(&genome).pipeline;
+        let label = format!("genome:{pipeline}");
+        let cm = CycleModel::pg32();
+        for (kernel, src) in kernels() {
+            let reference = compile_to_ir(src).expect("kernel compiles");
+            let ref_program =
+                generate_program(&reference, CodegenOpts::default()).expect("reference codegen");
+            let ref_wcet =
+                analyze_program(&ref_program, &cm).expect("reference kernels are analysable");
+            let scalar_functions: Vec<(String, usize)> = reference
+                .functions
+                .iter()
+                .filter(|f| f.params.iter().all(|p| !p.is_array))
+                .map(|f| (f.name.clone(), f.params.len()))
+                .collect();
+
+            let mut optimised = reference.clone();
+            let mut pm = PassManager::new(pipeline.clone()).expect("genome pipelines resolve");
+            pm.run(&mut optimised);
+            optimised
+                .validate()
+                .unwrap_or_else(|e| panic!("{kernel}/{label}: invalid IR after pipeline: {e}"));
+
+            for (func, arity) in &scalar_functions {
+                for args in arg_sets(*arity).into_iter().take(1) {
+                    let (expect_val, expect_out) = run(&reference, func, &args);
+                    let (got_val, got_out) = run(&optimised, func, &args);
+                    proptest::prop_assert_eq!(
+                        got_val, expect_val,
+                        "{}/{}: `{}({:?})` diverged", kernel, label, func, args
+                    );
+                    proptest::prop_assert_eq!(
+                        got_out, expect_out,
+                        "{}/{}: `{}({:?})` port trace diverged", kernel, label, func, args
+                    );
+                }
+            }
+
+            let program = generate_program(&optimised, CodegenOpts::default())
+                .unwrap_or_else(|e| panic!("{kernel}/{label}: codegen failed: {e}"));
+            let wcet = analyze_program(&program, &cm)
+                .unwrap_or_else(|e| panic!("{kernel}/{label}: flow facts lost: {e}"));
+            for (func, _) in &scalar_functions {
+                if ref_wcet.wcet_cycles(func).is_some() {
+                    proptest::prop_assert!(
+                        wcet.wcet_cycles(func).is_some(),
+                        "{}/{}: `{}` lost its WCET bound", kernel, label, func
+                    );
+                }
+            }
+        }
+    }
+
+    /// Decoding is a pure function and its phenotype survives the full
+    /// serialisation cycle: decode → render → parse and decode → JSON →
+    /// parse both land on the identical configuration.
+    #[test]
+    fn genome_decode_serialize_parse_round_trips(
+        genome in proptest::collection::vec(0.0f64..1.0, CompilerConfig::GENOME_DIMS),
+    ) {
+        let config = CompilerConfig::from_genome(&genome);
+        let again = CompilerConfig::from_genome(&genome);
+        proptest::prop_assert_eq!(&config, &again, "decoding must be deterministic");
+
+        let rendered = config.pipeline.to_string();
+        let reparsed: Pipeline = rendered.parse().expect("rendered pipelines parse");
+        proptest::prop_assert_eq!(&reparsed, &config.pipeline, "string form: {}", rendered);
+
+        let json = serde_json::to_string(&config).expect("serializes");
+        let back: CompilerConfig = serde_json::from_str(&json).expect("deserializes");
+        proptest::prop_assert_eq!(&back, &config, "JSON form: {}", json);
     }
 }
 
