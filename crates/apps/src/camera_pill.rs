@@ -193,6 +193,65 @@ mod tests {
     }
 
     #[test]
+    fn multi_version_frame_pipeline_is_schedulable_at_48mhz() {
+        use teamplay_compiler::evaluate_module;
+        use teamplay_coord::{schedule_energy_aware, CoordTask, ExecOption, TaskSet};
+        // The HEFT scheduler's view of the pill: each task offers its
+        // tuned and its traditional variant; the 40 ms frame leaves
+        // slack, so the schedule must validate and settle on the
+        // energy-minimal option of every task (no upgrade fires).
+        let ir = compile_to_ir(SOURCE).expect("parses");
+        let cm = teamplay_isa::CycleModel::pg32();
+        let em = teamplay_energy::IsaEnergyModel::pg32_datasheet();
+        let tuned = CompilerConfig {
+            pipeline: recommended_pipeline().parse().expect("valid"),
+            ..CompilerConfig::balanced()
+        };
+        let variants = [
+            ("tuned", evaluate_module(&ir, &tuned, &cm, &em).expect("tuned analyses").1),
+            (
+                "o1",
+                evaluate_module(&ir, &CompilerConfig::traditional(), &cm, &em)
+                    .expect("o1 analyses")
+                    .1,
+            ),
+        ];
+        let mut tasks = Vec::new();
+        let mut prev: Option<&str> = None;
+        let mut greenest_total = 0.0f64;
+        for (task, func) in TASKS {
+            let options: Vec<ExecOption> = variants
+                .iter()
+                .map(|(label, metrics)| {
+                    let m = metrics.of(func).expect("task analysed");
+                    ExecOption {
+                        label: (*label).into(),
+                        core: "m0".into(),
+                        time_us: m.wcet_cycles as f64 / CLOCK_MHZ,
+                        energy_uj: m.wcec_pj / 1e6,
+                    }
+                })
+                .collect();
+            greenest_total +=
+                options.iter().map(|o| o.energy_uj).fold(f64::INFINITY, f64::min);
+            let mut t = CoordTask::new(task, options);
+            if let Some(p) = prev {
+                t.after.push(p.into());
+            }
+            prev = Some(task);
+            tasks.push(t);
+        }
+        let set = TaskSet::new(tasks, vec!["m0".into()], 40_000.0).expect("set");
+        let s = schedule_energy_aware(&set).expect("schedulable inside the 40ms frame");
+        s.validate(&set).expect("valid");
+        assert!(
+            (s.total_energy_uj - greenest_total).abs() <= 1e-6,
+            "slack should keep every task green: {} vs floor {greenest_total}",
+            s.total_energy_uj
+        );
+    }
+
+    #[test]
     fn pipeline_runs_end_to_end_and_transmits() {
         let mut m = build(&CompilerConfig::balanced());
         let (sent, checksum) = run_pipeline(&mut m, 3, 0x1234_5678);

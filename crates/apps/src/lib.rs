@@ -101,6 +101,31 @@ mod tests {
     }
 
     #[test]
+    fn tuned_pipelines_encode_as_search_seeds_where_representable() {
+        use teamplay_compiler::CompilerConfig;
+        // The predictable workflow seeds each task's FPA with the
+        // configured pipeline's genome; three of the four tuned
+        // pipelines sit inside the genome's range and round-trip
+        // exactly. The UAV pipeline's `unroll(64)` exceeds the genome's
+        // trip ceiling (16), so it is refused rather than approximated.
+        for (name, pipeline) in recommended_pipelines() {
+            let config = CompilerConfig {
+                pipeline: pipeline.parse().expect("valid"),
+                ..CompilerConfig::balanced()
+            };
+            match name {
+                "uav" => assert_eq!(config.to_genome(), None, "unroll(64) must be refused"),
+                _ => {
+                    let genome = config
+                        .to_genome()
+                        .unwrap_or_else(|| panic!("{name} pipeline should encode"));
+                    assert_eq!(CompilerConfig::from_genome(&genome), config, "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn recommended_pipelines_beat_the_generic_cleanup_level() {
         // Every tuned pipeline must preserve analysability on its own
         // kernel and beat the o1 "traditional toolchain" on its hottest

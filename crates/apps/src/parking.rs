@@ -299,6 +299,62 @@ mod tests {
     use super::*;
 
     #[test]
+    fn per_spot_conv_layers_spread_across_two_cores() {
+        use teamplay_compiler::{evaluate_module, CompilerConfig};
+        use teamplay_coord::{schedule_energy_aware, CoordTask, ExecOption, TaskSet};
+        use teamplay_minic::compile_to_ir;
+        // Six independent per-spot conv layers, each runnable on either
+        // of two M0 cores at identical cost. The energy-greedy start
+        // piles everything on one core; only the earliest-finish witness
+        // spreads the spots 3+3, so a deadline between the serial and
+        // the balanced makespan proves the HEFT witness (not the greedy
+        // loop) decides schedulability.
+        let ir = compile_to_ir(CONV_KERNEL_SOURCE).expect("parses");
+        let tuned = CompilerConfig {
+            pipeline: recommended_pipeline().parse().expect("valid"),
+            ..CompilerConfig::balanced()
+        };
+        let (_, metrics) = evaluate_module(
+            &ir,
+            &tuned,
+            &teamplay_isa::CycleModel::pg32(),
+            &teamplay_energy::IsaEnergyModel::pg32_datasheet(),
+        )
+        .expect("analyses");
+        let m = metrics.of("conv_layer").expect("kernel analysed");
+        let t_us = m.wcet_cycles as f64 / 48.0;
+        let e_uj = m.wcec_pj / 1e6;
+        let tasks: Vec<CoordTask> = (0..SPOTS)
+            .map(|i| {
+                CoordTask::new(
+                    format!("spot{i}"),
+                    ["m0a", "m0b"]
+                        .iter()
+                        .map(|core| ExecOption {
+                            label: (*core).into(),
+                            core: (*core).into(),
+                            time_us: t_us,
+                            energy_uj: e_uj,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let deadline = t_us * (SPOTS as f64 / 2.0 + 0.5);
+        let set =
+            TaskSet::new(tasks, vec!["m0a".into(), "m0b".into()], deadline).expect("set");
+        let s = schedule_energy_aware(&set).expect("balanced mapping fits the deadline");
+        s.validate(&set).expect("valid");
+        for core in ["m0a", "m0b"] {
+            assert!(s.entries.iter().any(|e| e.core == core), "core {core} unused: {s:?}");
+        }
+        assert!(
+            (s.makespan_us - t_us * 3.0).abs() <= 1e-6,
+            "six equal spots over two cores should finish in three rounds: {s:?}"
+        );
+    }
+
+    #[test]
     fn conv2d_identity_kernel() {
         let img = Tensor::from_data(4, 4, (0..16).map(|v| v * FP_ONE).collect());
         let mut kernel = [0i32; 9];

@@ -239,6 +239,46 @@ mod tests {
     }
 
     #[test]
+    fn dvfs_downlink_schedules_below_the_maximum_frequency() {
+        use teamplay_compiler::evaluate_module;
+        use teamplay_coord::{
+            dvfs_options, gr712_levels, schedule_energy_aware, CoordTask, TaskSet,
+        };
+        // Multi-version scheduling over the GR712 operating points: the
+        // 100 ms frame leaves headroom, so the energy-aware schedule must
+        // validate and run at least one task below f_max (the DVFS
+        // saving of Section IV-B).
+        let ir = compile_to_ir(SOURCE).expect("parses");
+        let cm = CycleModel::leon3();
+        let em = teamplay_energy::IsaEnergyModel::leon3_datasheet();
+        let tuned = CompilerConfig {
+            pipeline: recommended_pipeline().parse().expect("valid"),
+            ..CompilerConfig::balanced()
+        };
+        let (_, metrics) = evaluate_module(&ir, &tuned, &cm, &em).expect("analyses");
+        let mut tasks = Vec::new();
+        let mut prev: Option<&str> = None;
+        for task in TASKS {
+            let m = metrics.of(task).expect("task analysed");
+            let options =
+                dvfs_options(task, "leon3", m.wcet_cycles, m.wcec_pj / 1e6, &gr712_levels());
+            let mut t = CoordTask::new(task, options);
+            if let Some(p) = prev {
+                t.after.push(p.into());
+            }
+            prev = Some(task);
+            tasks.push(t);
+        }
+        let set = TaskSet::new(tasks, vec!["leon3".into()], FRAME_DEADLINE_US).expect("set");
+        let s = schedule_energy_aware(&set).expect("schedulable inside the frame");
+        s.validate(&set).expect("valid");
+        assert!(
+            s.entries.iter().any(|e| !e.option.contains("100MHz")),
+            "headroom should pull at least one task off f_max: {s:?}"
+        );
+    }
+
+    #[test]
     fn csl_extracts_the_dag() {
         let program = teamplay_minic::parse_and_check(SOURCE).expect("front-end");
         let model = teamplay_csl::extract_model(&program).expect("extract");

@@ -1,0 +1,199 @@
+//! Scheduler-quality baseline: makespan, energy and feasibility rate of
+//! the HEFT upward-rank/insertion scheduler on randomized instance
+//! families, plus its energy gap to the branch-and-bound optimum where
+//! the option space is exhaustively searchable.
+//!
+//! Three DAG families (chains, fork-joins, random DAGs), each at a
+//! *loose* deadline (1.6× the fastest serial sum — everything fits, the
+//! scheduler should sit on the energy floor) and a *tight* one (1.02×
+//! for chains, whose critical path is the serial sum itself; 0.7–0.78×
+//! for the parallel shapes, where only parallel and gap-filling
+//! placements fit) — so the witness chain and upgrade loop are
+//! exercised and some instances are genuinely infeasible.
+//!
+//! Everything is seeded, so the emitted `BENCH_sched.json` is identical
+//! across runs and machines; CI re-runs the bench and validates the
+//! fields the same way `BENCH_search.json` is validated. A run also
+//! re-measures the A2 ablation so the heuristic-vs-optimal gap has a
+//! recorded trajectory across PRs. Run with
+//! `cargo bench --bench sched_quality`.
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Duration;
+use teamplay_coord::{
+    schedule_branch_and_bound, schedule_energy_aware, CoordTask, ExecOption, TaskSet,
+};
+
+const INSTANCES_PER_FAMILY: usize = 24;
+
+#[derive(Clone, Copy)]
+enum Shape {
+    Chain,
+    ForkJoin,
+    RandomDag,
+}
+
+/// One random two-core instance: 5–8 tasks, 2–4 options per task with
+/// correlated time/energy (faster costs more), edges per `shape`.
+fn instance(shape: Shape, seed: u64, slack: f64) -> TaskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cores = vec!["c0".to_string(), "c1".to_string()];
+    let n = rng.gen_range(5..9);
+    let mut tasks = Vec::new();
+    for i in 0..n {
+        let n_opts = rng.gen_range(2..5);
+        let base_t = rng.gen_range(5.0..20.0);
+        let base_e = base_t * rng.gen_range(6.0..10.0);
+        let options: Vec<ExecOption> = (0..n_opts)
+            .map(|o| {
+                // Option o slows down and greens up relative to option 0.
+                let stretch = 1.0 + o as f64 * rng.gen_range(0.4..0.9);
+                ExecOption {
+                    label: format!("o{o}"),
+                    core: cores[rng.gen_range(0..cores.len())].clone(),
+                    time_us: base_t * stretch,
+                    energy_uj: base_e / stretch,
+                }
+            })
+            .collect();
+        let mut t = CoordTask::new(format!("t{i}"), options);
+        match shape {
+            Shape::Chain => {
+                if i > 0 {
+                    t.after.push(format!("t{}", i - 1));
+                }
+            }
+            Shape::ForkJoin => {
+                // t0 forks to the middle tasks; the last joins them all.
+                if i > 0 && i < n - 1 {
+                    t.after.push("t0".to_string());
+                } else if i == n - 1 {
+                    for d in 1..n - 1 {
+                        t.after.push(format!("t{d}"));
+                    }
+                }
+            }
+            Shape::RandomDag => {
+                for d in 0..i {
+                    if rng.gen_bool(0.3) {
+                        t.after.push(format!("t{d}"));
+                    }
+                }
+            }
+        }
+        tasks.push(t);
+    }
+    let fast_sum: f64 = tasks
+        .iter()
+        .map(|t| t.options.iter().map(|o| o.time_us).fold(f64::INFINITY, f64::min))
+        .sum();
+    TaskSet::new(tasks, cores, fast_sum * slack).expect("generated sets are valid")
+}
+
+#[derive(Serialize)]
+struct FamilyStats {
+    name: String,
+    instances: usize,
+    /// Instances the heuristic scheduled.
+    feasible: usize,
+    feasibility_rate: f64,
+    mean_makespan_us: f64,
+    mean_energy_uj: f64,
+    /// Mean heuristic/optimal energy overhead over the feasible
+    /// instances, percent (the two solvers agree on feasibility — the
+    /// run asserts it — so every feasible instance is compared).
+    mean_optimal_gap_pct: f64,
+}
+
+fn run_family(name: &str, shape: Shape, slack: f64, seed_base: u64) -> FamilyStats {
+    let mut feasible = 0usize;
+    let mut makespans = 0.0f64;
+    let mut energies = 0.0f64;
+    let mut gap = 0.0f64;
+    for i in 0..INSTANCES_PER_FAMILY {
+        let set = instance(shape, seed_base.wrapping_add(i as u64), slack);
+        let h = schedule_energy_aware(&set);
+        let o = schedule_branch_and_bound(&set);
+        assert_eq!(h.is_ok(), o.is_ok(), "feasibility oracle violated on {name}/{i}");
+        let (Ok(h), Ok(o)) = (h, o) else { continue };
+        h.validate(&set).expect("heuristic schedule validates");
+        feasible += 1;
+        makespans += h.makespan_us;
+        energies += h.total_energy_uj;
+        gap += (h.total_energy_uj / o.total_energy_uj - 1.0) * 100.0;
+    }
+    FamilyStats {
+        name: name.to_string(),
+        instances: INSTANCES_PER_FAMILY,
+        feasible,
+        feasibility_rate: feasible as f64 / INSTANCES_PER_FAMILY as f64,
+        mean_makespan_us: if feasible > 0 { makespans / feasible as f64 } else { 0.0 },
+        mean_energy_uj: if feasible > 0 { energies / feasible as f64 } else { 0.0 },
+        mean_optimal_gap_pct: if feasible > 0 { gap / feasible as f64 } else { 0.0 },
+    }
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    bench: String,
+    scheduler: String,
+    families: Vec<FamilyStats>,
+    /// A2 ablation re-measured under this scheduler: multi-version
+    /// saving and heuristic-vs-optimal gap (percent).
+    a2_mean_saving_pct: f64,
+    a2_mean_gap_pct: f64,
+}
+
+fn main() {
+    // Tight slacks differ per shape: a chain's critical path *is* its
+    // fastest serial sum (no placement can beat 1.0×), while fork-join
+    // and random DAGs only fit sub-1.0 deadlines through parallel and
+    // gap-filling placement.
+    let families = vec![
+        run_family("chain_loose", Shape::Chain, 1.6, 0x5C4ED001),
+        run_family("chain_tight", Shape::Chain, 1.02, 0x5C4ED002),
+        run_family("fork_join_loose", Shape::ForkJoin, 1.6, 0x5C4ED003),
+        run_family("fork_join_tight", Shape::ForkJoin, 0.78, 0x5C4ED004),
+        run_family("random_dag_loose", Shape::RandomDag, 1.6, 0x5C4ED005),
+        run_family("random_dag_tight", Shape::RandomDag, 0.7, 0x5C4ED006),
+    ];
+    let ((a2_saving, a2_gap), _table) = teamplay_bench::ablations::a2_multiversion();
+    let baseline = Baseline {
+        bench: "sched_quality".into(),
+        scheduler: "heft_upward_rank_insertion".into(),
+        families,
+        a2_mean_saving_pct: a2_saving,
+        a2_mean_gap_pct: a2_gap,
+    };
+    for f in &baseline.families {
+        println!(
+            "sched_quality: {:<18} feasible {:>2}/{:<2} mean makespan {:>7.1}µs \
+             mean energy {:>8.1}µJ gap-to-optimal {:>5.2}%",
+            f.name, f.feasible, f.instances, f.mean_makespan_us, f.mean_energy_uj,
+            f.mean_optimal_gap_pct
+        );
+    }
+    println!(
+        "sched_quality: A2 multi-version saving {a2_saving:.1}%, heuristic-vs-optimal gap \
+         {a2_gap:.2}%"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serializes");
+    std::fs::write(path, json + "\n").expect("baseline written");
+
+    // Criterion timing of the production scheduler on a representative
+    // tight random DAG (witness chain + upgrade loop + downgrade sweep).
+    let set = instance(Shape::RandomDag, 0x5C4ED0BE1, 0.7);
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    c.bench_function("sched_heft_random_dag", |b| {
+        b.iter(|| schedule_energy_aware(std::hint::black_box(&set)))
+    });
+    c.final_summary();
+}

@@ -330,7 +330,11 @@ mod tests {
     fn a2_multiversion_saves_energy_and_heuristic_is_near_optimal() {
         let ((saving, gap), table) = a2_multiversion();
         assert!(saving > 5.0, "multi-version must save energy: {table}");
-        assert!(gap < 20.0, "heuristic too far from optimal: {gap}% {table}");
+        // The HEFT upward-rank/insertion scheduler measures a 1.71 %
+        // mean gap on these DAGs (recorded in BENCH_sched.json); the
+        // bound leaves headroom but must not regress toward the old
+        // 20 % ceiling.
+        assert!(gap < 5.0, "heuristic too far from optimal: {gap}% {table}");
     }
 
     #[test]

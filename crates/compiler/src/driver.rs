@@ -141,6 +141,71 @@ impl CompilerConfig {
         }
     }
 
+    /// Encode this configuration as a genome [`CompilerConfig::from_genome`]
+    /// decodes back to it — the inverse phenotype mapping, used to *seed*
+    /// the FPA population with a known-good configuration (e.g. an
+    /// application's `recommended_pipeline()`), so the search starts from
+    /// the tuned point instead of the corners.
+    ///
+    /// Returns `None` when the configuration is outside the genome's
+    /// range: a pass not on [`CompilerConfig::SEARCH_PASSES`], a repeated
+    /// pass other than the `const_fold,copy_prop,dce` cleanup tail, an
+    /// `inline` threshold outside 20–80 or an `unroll` ceiling outside
+    /// 2–16. Every `Some` genome is verified by decoding, so round-trips
+    /// are exact by construction.
+    pub fn to_genome(&self) -> Option<Vec<f64>> {
+        let menu = Self::SEARCH_PASSES.len();
+        let encode = |passes: &[PassSpec], cleanup_tail: bool| -> Option<Vec<f64>> {
+            let mut genome = vec![0.0; Self::GENOME_DIMS];
+            for (j, spec) in passes.iter().enumerate() {
+                let i = Self::SEARCH_PASSES.iter().position(|n| *n == spec.name)?;
+                if genome[i] > 0.0 {
+                    return None; // repeated pass — not representable
+                }
+                // Selection keys above 0.5, ascending in pipeline order
+                // (the argsort decode reproduces exactly this order).
+                genome[i] = 0.5 + 0.5 * (j + 1) as f64 / (passes.len() + 1) as f64;
+                // Parameter genes: centre the gene on its truncation
+                // window so `(g * scale) as usize` lands on the value.
+                match (spec.name.as_str(), spec.param) {
+                    ("inline", Some(threshold)) => {
+                        genome[menu] =
+                            ((threshold as f64 - 20.0 + 0.5) / 60.0).clamp(0.0, 1.0);
+                    }
+                    ("unroll", Some(trips)) => {
+                        genome[menu + 1] =
+                            ((trips as f64 - 2.0 + 0.5) / 14.0).clamp(0.0, 1.0);
+                    }
+                    _ => {}
+                }
+            }
+            if cleanup_tail {
+                genome[menu + 2] = 1.0;
+            }
+            genome[menu + 3] = if self.mul_shift_add { 1.0 } else { 0.0 };
+            genome[menu + 4] = match self.pinned_regs {
+                0 => 0.0,
+                2 => 0.5,
+                _ => 1.0,
+            };
+            (Self::from_genome(&genome) == *self).then_some(genome)
+        };
+        let passes = &self.pipeline.passes;
+        // Direct encoding first; a pipeline ending in the cleanup trio
+        // can alternatively spend the duplicated-cleanup gene on it,
+        // which is the only way to represent a repeated cleanup round.
+        encode(passes, false).or_else(|| {
+            let tail: Vec<String> =
+                ["const_fold", "copy_prop", "dce"].iter().map(|s| s.to_string()).collect();
+            let stem = passes.len().checked_sub(3)?;
+            let tail_matches = passes[stem..]
+                .iter()
+                .zip(&tail)
+                .all(|(p, name)| p.param.is_none() && &p.name == name);
+            tail_matches.then(|| encode(&passes[..stem], true)).flatten()
+        })
+    }
+
     /// The fixed-order decoder of the pre-phase-ordering search (PR 2):
     /// 8 genes, each pass bit contributing its pipeline element in one
     /// canonical order. Kept as the baseline the benches and tests
@@ -501,8 +566,26 @@ pub fn pareto_search_with_cache(
     fpa_config: FpaConfig,
     seed: u64,
 ) -> ParetoFront {
+    pareto_search_with_cache_seeded(pool, cache, task, fpa_config, seed, &[])
+}
+
+/// [`pareto_search_with_cache`] with *seed genomes* mixed into the FPA's
+/// initial population — typically the application's tuned pipeline
+/// encoded by [`CompilerConfig::to_genome`], so the search's generation-0
+/// front already weakly dominates the tuned point instead of starting
+/// from the genome-space corners. With `seeds` empty this is exactly
+/// [`pareto_search_with_cache`] (same RNG stream, same evaluation
+/// budget); seeding preserves the pool-width bit-identity contract.
+pub fn pareto_search_with_cache_seeded(
+    pool: &Pool,
+    cache: &EvalCache<'_>,
+    task: &str,
+    fpa_config: FpaConfig,
+    seed: u64,
+    seeds: &[Vec<f64>],
+) -> ParetoFront {
     let fpa = MultiObjectiveFpa::new(fpa_config);
-    let outcome = fpa.run_on(pool, CompilerConfig::GENOME_DIMS, seed, |genome| {
+    let outcome = fpa.run_on_seeded(pool, CompilerConfig::GENOME_DIMS, seed, seeds, |genome| {
         let config = CompilerConfig::from_genome(genome);
         let (_, metrics) = cache.evaluate(&config)?;
         let m = metrics.of(task)?;
@@ -791,6 +874,100 @@ mod tests {
             permuted.iter().map(|v| v.metrics).collect::<Vec<_>>(),
             fixed.archive.iter().map(|p| p.objectives.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn to_genome_round_trips_representable_configs() {
+        // Presets and tuned-pipeline-shaped configurations encode to
+        // genomes that decode back bit-exactly (to_genome verifies the
+        // round-trip, so Some == exact).
+        for config in [
+            CompilerConfig::all_off(),
+            CompilerConfig::traditional(),
+            CompilerConfig::balanced(),
+            CompilerConfig::performance(),
+            CompilerConfig { // a camera-pill-style tuned pipeline
+                pipeline: "inline(24),licm,cse,const_fold,copy_prop,dce".parse().expect("valid"),
+                ..CompilerConfig::balanced()
+            },
+            CompilerConfig { // unroll parameter + trailing block_layout
+                pipeline: "inline(40),licm,cse,unroll(8),strength_reduce,const_fold,copy_prop,dce,block_layout"
+                    .parse()
+                    .expect("valid"),
+                ..CompilerConfig::balanced()
+            },
+            CompilerConfig { // repeated cleanup round → the dup-tail gene
+                pipeline: "inline(30),dce,const_fold,copy_prop,dce".parse().expect("valid"),
+                mul_shift_add: true,
+                pinned_regs: 4,
+            },
+        ] {
+            let genome = config.to_genome().unwrap_or_else(|| panic!("{config:?} representable"));
+            assert_eq!(genome.len(), CompilerConfig::GENOME_DIMS);
+            assert_eq!(CompilerConfig::from_genome(&genome), config);
+        }
+        // Out-of-range parameters and off-menu repetitions are refused,
+        // not silently approximated.
+        let too_deep = CompilerConfig {
+            pipeline: "unroll(64),const_fold".parse().expect("valid"),
+            ..CompilerConfig::balanced()
+        };
+        assert_eq!(too_deep.to_genome(), None, "unroll(64) is outside the genome range");
+        let doubled = CompilerConfig {
+            pipeline: "licm,licm".parse().expect("valid"),
+            ..CompilerConfig::balanced()
+        };
+        assert_eq!(doubled.to_genome(), None, "non-tail repetition is not representable");
+    }
+
+    #[test]
+    fn seeded_search_weakly_dominates_the_tuned_point_at_generation_zero() {
+        // The ROADMAP follow-up, measured: seeding the FPA with a tuned
+        // pipeline's genome puts (at least) that point on the archive
+        // before a single generation runs, so the generation-0 front
+        // weakly dominates the tuned configuration.
+        let ir = compile_to_ir(TASK).expect("front-end");
+        let cm = CycleModel::pg32();
+        let em = IsaEnergyModel::pg32_datasheet();
+        let tuned = CompilerConfig {
+            pipeline: "inline(24),licm,cse,const_fold,copy_prop,dce".parse().expect("valid"),
+            ..CompilerConfig::balanced()
+        };
+        let genome = tuned.to_genome().expect("tuned pipeline is representable");
+        let cache = EvalCache::new(&ir, &cm, &em);
+        let tuned_metrics =
+            *cache.evaluate(&tuned).expect("tuned compiles").1.of("filter").expect("task");
+
+        let gen0 = FpaConfig { iterations: 0, ..FpaConfig::tiny() };
+        let front = pareto_search_with_cache_seeded(
+            &Pool::new(1),
+            &cache,
+            "filter",
+            gen0,
+            2024,
+            std::slice::from_ref(&genome),
+        );
+        let weakly_dominates = |v: &VariantMetrics| {
+            v.wcet_cycles <= tuned_metrics.wcet_cycles
+                && v.wcec_pj <= tuned_metrics.wcec_pj
+                && v.code_halfwords <= tuned_metrics.code_halfwords
+        };
+        assert!(
+            front.variants.iter().any(|v| weakly_dominates(&v.metrics)),
+            "generation-0 front {:?} does not cover the tuned point {tuned_metrics:?}",
+            front.variants.iter().map(|v| v.metrics).collect::<Vec<_>>()
+        );
+        // The seeded search stays pool-width bit-identical.
+        let wide = pareto_search_with_cache_seeded(
+            &Pool::new(4),
+            &cache,
+            "filter",
+            gen0,
+            2024,
+            std::slice::from_ref(&genome),
+        );
+        let bytes = |f: &ParetoFront| serde_json::to_string(&f.variants).expect("serializes");
+        assert_eq!(bytes(&front), bytes(&wide));
     }
 
     #[test]

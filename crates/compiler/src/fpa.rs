@@ -172,14 +172,43 @@ impl MultiObjectiveFpa {
         seed: u64,
         eval: impl Fn(&[f64]) -> Option<Vec<f64>> + Sync,
     ) -> FpaOutcome {
+        self.run_on_seeded(pool, dims, seed, &[], eval)
+    }
+
+    /// [`MultiObjectiveFpa::run_on`] with caller-supplied *seed genomes*
+    /// mixed into the initial population (after the two corner points,
+    /// before the random fill, capped at the population size). Seeding a
+    /// known-good genome — e.g. an application's tuned pipeline encoded
+    /// via `CompilerConfig::to_genome` — starts the search from that
+    /// point instead of the corners, so its objectives are on the
+    /// archive from generation 0 onward. With `seeds` empty this is
+    /// exactly [`MultiObjectiveFpa::run_on`]: the RNG stream, evaluation
+    /// count and pool-width bit-identity contract are unchanged.
+    pub fn run_on_seeded(
+        &self,
+        pool: &Pool,
+        dims: usize,
+        seed: u64,
+        seeds: &[Vec<f64>],
+        eval: impl Fn(&[f64]) -> Option<Vec<f64>> + Sync,
+    ) -> FpaOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut stats = SearchStats::default();
 
-        // Initial population (uniform) + corner points to seed diversity.
+        // Initial population: corner points, then seed genomes (resized
+        // and clamped into `[0,1]^dims`), then uniform random fill.
         let mut population: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
         population.push(vec![0.0; dims]);
         population.push(vec![1.0; dims]);
+        for s in seeds.iter().take(cfg.population.saturating_sub(population.len())) {
+            let mut g = s.clone();
+            g.resize(dims, 0.0);
+            for x in &mut g {
+                *x = x.clamp(0.0, 1.0);
+            }
+            population.push(g);
+        }
         while population.len() < cfg.population {
             population.push((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect());
         }
@@ -428,6 +457,42 @@ mod tests {
             assert_eq!(sequential.stats, parallel.stats);
         }
         assert_eq!(sequential.stats.generations, FpaConfig::standard().iterations);
+    }
+
+    #[test]
+    fn empty_seed_list_is_bit_identical_to_unseeded() {
+        // The seeded entry point must not perturb the unseeded RNG
+        // stream: run_on is run_on_seeded(&[]).
+        let fpa = MultiObjectiveFpa::new(FpaConfig::standard());
+        let plain = fpa.run(3, 21, zdt1);
+        let seeded = fpa.run_on_seeded(minipool::global(), 3, 21, &[], zdt1);
+        assert_eq!(plain.archive, seeded.archive);
+        assert_eq!(plain.stats, seeded.stats);
+    }
+
+    #[test]
+    fn seed_genomes_reach_the_archive_at_generation_zero() {
+        // A known-good point seeds the population; with zero iterations
+        // the archive can only come from the initial population, so the
+        // front must weakly dominate the seed's objectives.
+        let seed_genome = vec![0.2, 0.0, 0.0]; // on the true ZDT1 front
+        let expected = zdt1(&seed_genome).expect("feasible");
+        let fpa = MultiObjectiveFpa::new(FpaConfig { iterations: 0, ..FpaConfig::tiny() });
+        let out =
+            fpa.run_on_seeded(&Pool::new(1), 3, 5, std::slice::from_ref(&seed_genome), zdt1);
+        assert!(
+            out.archive.iter().any(|p| {
+                p.objectives.iter().zip(&expected).all(|(a, b)| *a <= b + 1e-12)
+            }),
+            "no archive point weakly dominates the seed: {:?}",
+            out.archive
+        );
+        // Seeds count toward (not on top of) the population budget.
+        assert_eq!(out.stats.evaluations, FpaConfig::tiny().population);
+        // The seeded path honours the pool-width bit-identity contract.
+        let wide = fpa.run_on_seeded(&Pool::new(4), 3, 5, &[seed_genome], zdt1);
+        assert_eq!(out.archive, wide.archive);
+        assert_eq!(out.stats, wide.stats);
     }
 
     #[test]

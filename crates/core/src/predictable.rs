@@ -4,8 +4,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use teamplay_compiler::{
-    compile_module_per_function, pareto_search_with_cache, CompilerConfig, EvalCache, FpaConfig,
-    PipelineCatalog, SearchStats, TaskVariant,
+    compile_module_per_function, pareto_search_with_cache_seeded, CompilerConfig, EvalCache,
+    FpaConfig, PipelineCatalog, SearchStats, TaskVariant,
 };
 use teamplay_contracts::{prove, Certificate, ProveError, TaskEvidence};
 use teamplay_coord::{
@@ -235,16 +235,28 @@ impl PredictableWorkflow {
         //    probe largely the same configurations, so a configuration
         //    any task compiled is free for every other task (per-entry
         //    once-locks keep the sharing race-free and deterministic).
+        //    Each search is seeded with the configured catalogue
+        //    pipeline's genome (an app name selects the tuned per-app
+        //    pipeline), so the FPA starts from the tuned point instead
+        //    of the genome-space corners whenever it is representable.
+        let default_pipeline = cfg
+            .pipelines
+            .resolve(&cfg.default_pipeline)
+            .map_err(|e| WorkflowError::Compile(format!("default pipeline: {e}")))?;
+        let default =
+            CompilerConfig { pipeline: default_pipeline, ..CompilerConfig::balanced() };
+        let seeds: Vec<Vec<f64>> = default.to_genome().into_iter().collect();
         let pool = minipool::global();
         let inner = pool.split_across(model.tasks.len());
         let cache = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
         let fronts = pool.par_map(&model.tasks, |i, task| {
-            pareto_search_with_cache(
+            pareto_search_with_cache_seeded(
                 &inner,
                 &cache,
                 &task.function,
                 cfg.fpa,
                 cfg.seed.wrapping_add(i as u64),
+                &seeds,
             )
         });
         let mut search = SearchStats {
@@ -308,13 +320,8 @@ impl PredictableWorkflow {
         }
         // Non-task functions build under the configured catalogue
         // pipeline (a name like "o2"/"camera_pill", or a literal pass
-        // list) with the balanced codegen knobs.
-        let default_pipeline = cfg
-            .pipelines
-            .resolve(&cfg.default_pipeline)
-            .map_err(|e| WorkflowError::Compile(format!("default pipeline: {e}")))?;
-        let default =
-            CompilerConfig { pipeline: default_pipeline, ..CompilerConfig::balanced() };
+        // list) with the balanced codegen knobs — the same `default`
+        // configuration whose genome seeded the searches in step 3.
         let program = compile_module_per_function(&ir, &chosen, &default)
             .map_err(|e| WorkflowError::Compile(e.to_string()))?;
 
@@ -527,6 +534,44 @@ mod tests {
             "shared {} vs individual {}",
             shared.misses(),
             individual_misses
+        );
+    }
+
+    #[test]
+    fn seeded_search_covers_the_tuned_pipeline_at_generation_zero() {
+        use teamplay_compiler::{pareto_search_with_cache_seeded, EvalCache};
+        // The ROADMAP follow-up from PR 3: seeding the FPA with the
+        // app's recommended pipeline genome makes the generation-0 front
+        // weakly dominate the tuned point — the search starts *at* the
+        // tuned configuration rather than having to rediscover it.
+        let ir = teamplay_minic::compile_to_ir(teamplay_apps::camera_pill::SOURCE)
+            .expect("front-end");
+        let cfg = WorkflowConfig::pg32();
+        let tuned = CompilerConfig {
+            pipeline: cfg.pipelines.resolve("camera_pill").expect("registered"),
+            ..CompilerConfig::balanced()
+        };
+        let genome = tuned.to_genome().expect("camera_pill pipeline is representable");
+        let cache = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
+        let tuned_metrics =
+            *cache.evaluate(&tuned).expect("compiles").1.of("compress").expect("task");
+        let gen0 = FpaConfig { iterations: 0, ..FpaConfig::tiny() };
+        let front = pareto_search_with_cache_seeded(
+            minipool::global(),
+            &cache,
+            "compress",
+            gen0,
+            cfg.seed,
+            &[genome],
+        );
+        assert!(
+            front.variants.iter().any(|v| {
+                v.metrics.wcet_cycles <= tuned_metrics.wcet_cycles
+                    && v.metrics.wcec_pj <= tuned_metrics.wcec_pj
+                    && v.metrics.code_halfwords <= tuned_metrics.code_halfwords
+            }),
+            "generation-0 front {:?} misses the tuned point {tuned_metrics:?}",
+            front.variants.iter().map(|v| v.metrics).collect::<Vec<_>>()
         );
     }
 

@@ -1,0 +1,212 @@
+//! Property-based oracle suite for the coordination-layer schedulers.
+//!
+//! The scheduler sits on the path every workload takes (both workflows
+//! and all four apps go through `schedule_energy_aware`), yet until this
+//! suite only hand-built 2–4 task sets exercised it. Here random DAG
+//! task sets — random precedence edges, 2–4 cores, 1–4 options per task,
+//! tight to loose deadlines, occasional per-task deadlines — drive both
+//! solvers against three oracles:
+//!
+//! 1. **Structural**: every `Ok` schedule from either solver passes
+//!    `Schedule::validate` (placement exactly once, real options with
+//!    matching duration/energy, dependency order, core exclusivity,
+//!    deadlines, consistent aggregates).
+//! 2. **Feasibility**: on small instances the heuristic returns `Err`
+//!    only when the exhaustive branch-and-bound is `Err` too — no false
+//!    `Unschedulable`.
+//! 3. **Energy**: the heuristic never reports less energy than the
+//!    optimum; on correlated two-version instances it stays within a
+//!    fixed factor of it, and is *exactly* optimal whenever the deadline
+//!    is loose enough that no upgrade fires.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use teamplay_coord::{
+    schedule_branch_and_bound, schedule_energy_aware, CoordTask, ExecOption, TaskSet,
+};
+
+/// Random DAG task sets: 2–4 cores, 3–8 tasks, 1–4 options per task on
+/// random cores, random precedence edges, and a deadline scaled between
+/// tight (0.4× the serial lower bound) and loose (2.5×). One task in
+/// five also gets a per-task deadline.
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    (2usize..5, 3usize..9, any::<u64>()).prop_map(|(cores_n, tasks_n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cores: Vec<String> = (0..cores_n).map(|i| format!("c{i}")).collect();
+        let mut tasks = Vec::new();
+        for i in 0..tasks_n {
+            let n_opts = rng.gen_range(1..5);
+            let options: Vec<ExecOption> = (0..n_opts)
+                .map(|o| ExecOption {
+                    label: format!("o{o}"),
+                    core: cores[rng.gen_range(0..cores.len())].clone(),
+                    time_us: rng.gen_range(1.0..50.0),
+                    energy_uj: rng.gen_range(1.0..500.0),
+                })
+                .collect();
+            let mut t = CoordTask::new(format!("t{i}"), options);
+            for d in 0..i {
+                if rng.gen_bool(0.3) {
+                    t.after.push(format!("t{d}"));
+                }
+            }
+            if rng.gen_bool(0.2) {
+                // Generous enough to usually be satisfiable, tight
+                // enough to sometimes force upgrades or infeasibility.
+                t.deadline_us = Some(rng.gen_range(20.0..250.0));
+            }
+            tasks.push(t);
+        }
+        let serial: f64 = tasks
+            .iter()
+            .map(|t| t.options.iter().map(|o| o.time_us).fold(f64::INFINITY, f64::min))
+            .sum();
+        let deadline = serial * rng.gen_range(0.4..2.5);
+        TaskSet::new(tasks, cores, deadline).expect("generated sets are valid")
+    })
+}
+
+/// Correlated two-version tasks (fast/hungry vs slow/green) on two
+/// cores — the A2 ablation's instance family, exhaustively small so
+/// branch-and-bound is an exact oracle.
+fn arb_two_version_set() -> impl Strategy<Value = TaskSet> {
+    (2usize..7, any::<u64>(), 0.9f64..2.5).prop_map(|(tasks_n, seed, slack)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cores = vec!["c0".to_string(), "c1".to_string()];
+        let mut tasks = Vec::new();
+        for i in 0..tasks_n {
+            let fast_t = rng.gen_range(5.0..20.0);
+            let fast_e = fast_t * rng.gen_range(6.0..10.0);
+            let slow_t = fast_t * rng.gen_range(1.8..2.6);
+            let slow_e = fast_e * rng.gen_range(0.35..0.6);
+            let core = cores[i % 2].clone();
+            let mut t = CoordTask::new(
+                format!("t{i}"),
+                vec![
+                    ExecOption {
+                        label: "fast".into(),
+                        core: core.clone(),
+                        time_us: fast_t,
+                        energy_uj: fast_e,
+                    },
+                    ExecOption {
+                        label: "green".into(),
+                        core,
+                        time_us: slow_t,
+                        energy_uj: slow_e,
+                    },
+                ],
+            );
+            if i > 0 {
+                t.after.push(format!("t{}", rng.gen_range(0..i)));
+            }
+            tasks.push(t);
+        }
+        let fast_sum: f64 = tasks.iter().map(|t| t.options[0].time_us).sum();
+        let deadline = fast_sum * slack;
+        TaskSet::new(tasks, cores, deadline).expect("generated sets are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Oracle 1 — every emitted schedule is structurally valid, from
+    /// both solvers.
+    #[test]
+    fn every_ok_schedule_validates(set in arb_task_set()) {
+        if let Ok(s) = schedule_energy_aware(&set) {
+            prop_assert!(s.validate(&set).is_ok(), "heuristic: {:?}", s.validate(&set));
+        }
+        if let Ok(s) = schedule_branch_and_bound(&set) {
+            prop_assert!(s.validate(&set).is_ok(), "optimal: {:?}", s.validate(&set));
+        }
+    }
+
+    /// Oracle 2 — no false Unschedulable: on these small instances
+    /// (option space ≤ 4⁸, well inside the exact-fallback window) the
+    /// heuristic refuses exactly when the exhaustive solver proves there
+    /// is no feasible assignment. The heuristic also never claims a
+    /// schedule the optimum contradicts.
+    #[test]
+    fn feasibility_agrees_with_branch_and_bound(set in arb_task_set()) {
+        let h = schedule_energy_aware(&set);
+        let o = schedule_branch_and_bound(&set);
+        match (&h, &o) {
+            (Ok(h), Ok(o)) => prop_assert!(
+                h.total_energy_uj + 1e-6 >= o.total_energy_uj,
+                "heuristic {} beat the optimum {}",
+                h.total_energy_uj,
+                o.total_energy_uj
+            ),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "feasibility disagreement: {h:?} vs {o:?}"),
+        }
+    }
+
+    /// Oracle 3a — differential energy gap: the heuristic stays within a
+    /// fixed factor of branch-and-bound on the two-version family.
+    #[test]
+    fn heuristic_energy_within_factor_of_optimal(set in arb_two_version_set()) {
+        if let (Ok(h), Ok(o)) = (schedule_energy_aware(&set), schedule_branch_and_bound(&set)) {
+            prop_assert!(
+                h.total_energy_uj <= o.total_energy_uj * 2.0 + 1e-6,
+                "heuristic {} vs optimal {} exceeds the 2x bound",
+                h.total_energy_uj,
+                o.total_energy_uj
+            );
+        }
+    }
+
+    /// Oracle 3b — when the deadline is loose enough that no upgrade
+    /// fires, the heuristic is exactly optimal: every task keeps its
+    /// energy-minimal option.
+    #[test]
+    fn loose_deadlines_cost_exactly_the_greenest_energy(set in arb_two_version_set()) {
+        let mut loose = set.clone();
+        loose.deadline_us = f64::INFINITY;
+        let greenest: f64 = loose
+            .tasks
+            .iter()
+            .map(|t| t.options.iter().map(|o| o.energy_uj).fold(f64::INFINITY, f64::min))
+            .sum();
+        let h = schedule_energy_aware(&loose).expect("infinite deadline is schedulable");
+        prop_assert!(
+            (h.total_energy_uj - greenest).abs() <= 1e-6,
+            "{} vs greenest floor {}",
+            h.total_energy_uj,
+            greenest
+        );
+        let o = schedule_branch_and_bound(&loose).expect("infinite deadline is schedulable");
+        prop_assert!((h.total_energy_uj - o.total_energy_uj).abs() <= 1e-6);
+    }
+}
+
+/// A deterministic regression the random proptests are unlikely to pin
+/// down: with one option per task the scheduler can only trade list
+/// *orders*, and upward rank misorders this shape — the long independent
+/// task (rank 10) is laid down before the b→c chain (ranks 4, 2),
+/// starving core c0 past the deadline. The plain topological index order
+/// fits exactly, so the witness chain (and branch-and-bound's per-leaf
+/// placement) must try both orders rather than trusting ranks alone.
+#[test]
+fn index_order_witness_rescues_rank_misordered_single_option_sets() {
+    let mk = |core: &str, t: f64| ExecOption {
+        label: "only".into(),
+        core: core.into(),
+        time_us: t,
+        energy_uj: 1.0,
+    };
+    let tasks = vec![
+        CoordTask::new("a", vec![mk("c0", 10.0)]),
+        CoordTask::new("b", vec![mk("c0", 2.0)]),
+        CoordTask::new("c", vec![mk("c1", 2.0)]).after(&["b"]),
+    ];
+    let set = TaskSet::new(tasks, vec!["c0".into(), "c1".into()], 12.0).expect("set");
+    let s = schedule_energy_aware(&set).expect("the index order fits the 12µs deadline");
+    s.validate(&set).expect("valid");
+    assert!(s.makespan_us <= 12.0 + 1e-9, "{s:?}");
+    let o = schedule_branch_and_bound(&set).expect("b&b must try both orders too");
+    o.validate(&set).expect("valid");
+}
