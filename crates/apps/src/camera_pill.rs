@@ -103,8 +103,12 @@ void transmit() {
 "#;
 
 /// Task entry functions in pipeline order, with the argument each takes.
-pub const TASKS: [(&str, &str); 4] =
-    [("capture", "capture"), ("compress", "compress"), ("encrypt", "encrypt"), ("transmit", "transmit")];
+pub const TASKS: [(&str, &str); 4] = [
+    ("capture", "capture"),
+    ("compress", "compress"),
+    ("encrypt", "encrypt"),
+    ("transmit", "transmit"),
+];
 
 /// The tuned pass pipeline for this application (registered in the
 /// [`crate::catalog`] under `"camera_pill"`).
@@ -127,7 +131,11 @@ pub fn synthetic_frame(seed: u32) -> Vec<i32> {
     for y in 0..FRAME_DIM {
         for x in 0..FRAME_DIM {
             let gradient = (8 * x + 5 * y) as i32 % 97;
-            let feature = if (x * 7 + y * 13 + seed as usize).is_multiple_of(41) { 90 } else { 0 };
+            let feature = if (x * 7 + y * 13 + seed as usize).is_multiple_of(41) {
+                90
+            } else {
+                0
+            };
             frame.push(((gradient + feature + seed as i32) % 256).abs());
         }
     }
@@ -208,7 +216,12 @@ mod tests {
             ..CompilerConfig::balanced()
         };
         let variants = [
-            ("tuned", evaluate_module(&ir, &tuned, &cm, &em).expect("tuned analyses").1),
+            (
+                "tuned",
+                evaluate_module(&ir, &tuned, &cm, &em)
+                    .expect("tuned analyses")
+                    .1,
+            ),
             (
                 "o1",
                 evaluate_module(&ir, &CompilerConfig::traditional(), &cm, &em)
@@ -232,8 +245,10 @@ mod tests {
                     }
                 })
                 .collect();
-            greenest_total +=
-                options.iter().map(|o| o.energy_uj).fold(f64::INFINITY, f64::min);
+            greenest_total += options
+                .iter()
+                .map(|o| o.energy_uj)
+                .fold(f64::INFINITY, f64::min);
             let mut t = CoordTask::new(task, options);
             if let Some(p) = prev {
                 t.after.push(p.into());
@@ -291,7 +306,11 @@ mod tests {
             packed[2 * b + 1] = out[1];
         }
         let expected: Vec<i32> = packed.iter().map(|w| *w as i32).collect();
-        assert_eq!(&sent[..PACKED_WORDS], &expected[..], "Mini-C XTEA must match reference");
+        assert_eq!(
+            &sent[..PACKED_WORDS],
+            &expected[..],
+            "Mini-C XTEA must match reference"
+        );
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub fn recommended_pipelines() -> [(&'static str, &'static str); 4] {
 pub fn catalog() -> PipelineCatalog {
     let mut cat = PipelineCatalog::builtin();
     for (name, pipeline) in recommended_pipelines() {
-        cat.register(name, pipeline).expect("recommended pipelines are valid");
+        cat.register(name, pipeline)
+            .expect("recommended pipelines are valid");
     }
     cat
 }
@@ -95,7 +96,16 @@ mod tests {
     #[test]
     fn catalog_serves_every_app_and_the_levels() {
         let cat = catalog();
-        for name in ["o0", "o1", "o2", "o3", "camera_pill", "spacewire", "uav", "parking"] {
+        for name in [
+            "o0",
+            "o1",
+            "o2",
+            "o3",
+            "camera_pill",
+            "spacewire",
+            "uav",
+            "parking",
+        ] {
             assert!(cat.get(name).is_some(), "{name} missing from the catalogue");
         }
     }
@@ -152,8 +162,58 @@ mod tests {
             };
             let tuned = bounds_under(cat.get(app).expect("registered").clone());
             let generic = bounds_under(Pipeline::o1());
-            assert!(tuned.0 < generic.0, "{app}: tuned {tuned:?} not faster than o1 {generic:?}");
-            assert!(tuned.1 <= generic.1, "{app}: tuned {tuned:?} costlier than o1 {generic:?}");
+            assert!(
+                tuned.0 < generic.0,
+                "{app}: tuned {tuned:?} not faster than o1 {generic:?}"
+            );
+            assert!(
+                tuned.1 <= generic.1,
+                "{app}: tuned {tuned:?} costlier than o1 {generic:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ipet_strictly_tightens_every_kernel_bound() {
+        // The PR-5 acceptance criterion, asserted at app level: on every
+        // kernel's hot task, the IPET bound is at most the structural
+        // bound — and strictly below it (all four kernels are loop
+        // nests, where IPET stops charging the worst full iteration for
+        // the final header check). The same flow solver carries the
+        // energy model, so WCEC must tighten in lock-step.
+        let cat = catalog();
+        let cm = CycleModel::pg32();
+        let em = teamplay_energy::IsaEnergyModel::pg32_datasheet();
+        for (app, src, task) in kernels() {
+            let mut m = compile_to_ir(src).expect("kernel compiles");
+            let mut pm =
+                PassManager::new(cat.get(app).expect("registered").clone()).expect("resolves");
+            pm.run(&mut m);
+            let p = generate_program(&m, CodegenOpts::default()).expect("codegen");
+            let ipet = analyze_program(&p, &cm)
+                .expect("analysable")
+                .wcet_cycles(task)
+                .expect("bounded");
+            let structural = teamplay_wcet::analyze_program_structural(&p, &cm)
+                .expect("analysable")
+                .wcet_cycles(task)
+                .expect("bounded");
+            assert!(
+                ipet < structural,
+                "{app}/{task}: IPET {ipet} not strictly tighter than structural {structural}"
+            );
+            let wcec = teamplay_energy::analyze_program_energy(&p, &em, &cm)
+                .expect("analysable")
+                .wcec_pj(task)
+                .expect("bounded");
+            let wcec_structural = teamplay_energy::analyze_program_energy_structural(&p, &em, &cm)
+                .expect("analysable")
+                .wcec_pj(task)
+                .expect("bounded");
+            assert!(
+                wcec < wcec_structural,
+                "{app}/{task}: WCEC {wcec} not strictly tighter than {wcec_structural}"
+            );
         }
     }
 }

@@ -36,7 +36,11 @@ pub struct Tensor {
 impl Tensor {
     /// A zero tensor.
     pub fn zeros(h: usize, w: usize) -> Tensor {
-        Tensor { h, w, data: vec![0; h * w] }
+        Tensor {
+            h,
+            w,
+            data: vec![0; h * w],
+        }
     }
 
     /// Build from raw data.
@@ -118,8 +122,12 @@ pub fn dense(input: &[i32], weights: &[Vec<i32>], bias: &[i32]) -> Vec<i32> {
         .zip(bias)
         .map(|(row, b)| {
             assert_eq!(row.len(), input.len(), "weight row shape");
-            let acc: i64 =
-                row.iter().zip(input).map(|(w, x)| *w as i64 * *x as i64).sum::<i64>() >> 8;
+            let acc: i64 = row
+                .iter()
+                .zip(input)
+                .map(|(w, x)| *w as i64 * *x as i64)
+                .sum::<i64>()
+                >> 8;
             acc as i32 + b
         })
         .collect()
@@ -149,12 +157,12 @@ pub fn synthetic_lot(seed: u64) -> (Tensor, [bool; SPOTS]) {
         for y in 0..SPOT_DIM {
             for x in 0..SPOT_DIM {
                 let noise: i32 = rng.gen_range(-12..=12);
-                let base = if *occ && (1..SPOT_DIM - 1).contains(&y) && (1..SPOT_DIM - 1).contains(&x)
-                {
-                    180 // car body
-                } else {
-                    35 // asphalt
-                };
+                let base =
+                    if *occ && (1..SPOT_DIM - 1).contains(&y) && (1..SPOT_DIM - 1).contains(&x) {
+                        180 // car body
+                    } else {
+                        35 // asphalt
+                    };
                 *img.at_mut(y, spot * SPOT_DIM + x) = (base + noise) * FP_ONE / 256;
             }
         }
@@ -175,7 +183,10 @@ impl ParkingNet {
     pub fn new() -> ParkingNet {
         // Normalised blur kernel in Q8.8 (sums to ~1.0).
         let k = FP_ONE / 9;
-        ParkingNet { blur_kernel: [k; 9], threshold: 90 * FP_ONE / 256 }
+        ParkingNet {
+            blur_kernel: [k; 9],
+            threshold: 90 * FP_ONE / 256,
+        }
     }
 
     /// `true` per spot that is occupied.
@@ -341,12 +352,14 @@ mod tests {
             })
             .collect();
         let deadline = t_us * (SPOTS as f64 / 2.0 + 0.5);
-        let set =
-            TaskSet::new(tasks, vec!["m0a".into(), "m0b".into()], deadline).expect("set");
+        let set = TaskSet::new(tasks, vec!["m0a".into(), "m0b".into()], deadline).expect("set");
         let s = schedule_energy_aware(&set).expect("balanced mapping fits the deadline");
         s.validate(&set).expect("valid");
         for core in ["m0a", "m0b"] {
-            assert!(s.entries.iter().any(|e| e.core == core), "core {core} unused: {s:?}");
+            assert!(
+                s.entries.iter().any(|e| e.core == core),
+                "core {core} unused: {s:?}"
+            );
         }
         assert!(
             (s.makespan_us - t_us * 3.0).abs() <= 1e-6,
@@ -440,7 +453,9 @@ mod tests {
         }
         let program = compile_module(&ir, &CompilerConfig::balanced()).expect("compiles");
         let mut machine = Machine::new(program).expect("loads");
-        machine.call("conv_layer", &[], &mut NullDevice::new()).expect("runs");
+        machine
+            .call("conv_layer", &[], &mut NullDevice::new())
+            .expect("runs");
 
         let img = Tensor::from_data(8, 8, input);
         let mut expected = conv2d(&img, &kernel);
@@ -472,6 +487,9 @@ mod tests {
         assert!(variants.len() >= 2, "expected multiple trade-off variants");
         let wcets: Vec<u64> = variants.iter().map(|v| v.metrics.wcet_cycles).collect();
         assert!(wcets.windows(2).all(|w| w[0] <= w[1]));
-        assert!(wcets.first() != wcets.last(), "variants must differ in WCET");
+        assert!(
+            wcets.first() != wcets.last(),
+            "variants must differ in WCET"
+        );
     }
 }

@@ -129,7 +129,14 @@ pub fn synthetic_frame(seed: u32) -> Vec<i32> {
     let mut frame = Vec::with_capacity(FRAME_WORDS);
     for i in 0..FRAME_WORDS {
         let background = 12 + ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 28) as i32;
-        let star = if (i as u32).wrapping_mul(seed.wrapping_add(17)).is_multiple_of(53) { 200 } else { 0 };
+        let star = if (i as u32)
+            .wrapping_mul(seed.wrapping_add(17))
+            .is_multiple_of(53)
+        {
+            200
+        } else {
+            0
+        };
         frame.push((background + star).min(255));
     }
     frame
@@ -149,7 +156,11 @@ pub fn crc16_reference(bytes: &[u8]) -> u16 {
     for &b in bytes {
         crc ^= (b as u16) << 8;
         for _ in 0..8 {
-            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
         }
     }
     crc
@@ -219,8 +230,10 @@ mod tests {
     fn crc_matches_reference() {
         let mut m = build();
         let packet = run_pipeline(&mut m, 5);
-        let payload: Vec<u8> =
-            packet[3..3 + FRAME_WORDS].iter().map(|w| (*w & 255) as u8).collect();
+        let payload: Vec<u8> = packet[3..3 + FRAME_WORDS]
+            .iter()
+            .map(|w| (*w & 255) as u8)
+            .collect();
         let expected = crc16_reference(&payload);
         assert_eq!(*packet.last().expect("crc word"), expected as i32);
     }
@@ -230,8 +243,10 @@ mod tests {
         let ir = compile_to_ir(SOURCE).expect("parses");
         let program = compile_module(&ir, &CompilerConfig::balanced()).expect("compiles");
         let report = teamplay_wcet::analyze_program(&program, &CycleModel::leon3()).expect("wcet");
-        let total_us: f64 =
-            TASKS.iter().map(|t| report.wcet_us(t, CLOCK_MHZ).expect("bounded")).sum();
+        let total_us: f64 = TASKS
+            .iter()
+            .map(|t| report.wcet_us(t, CLOCK_MHZ).expect("bounded"))
+            .sum();
         assert!(
             total_us < FRAME_DEADLINE_US,
             "pipeline WCET {total_us}µs must fit the {FRAME_DEADLINE_US}µs frame"
@@ -260,8 +275,13 @@ mod tests {
         let mut prev: Option<&str> = None;
         for task in TASKS {
             let m = metrics.of(task).expect("task analysed");
-            let options =
-                dvfs_options(task, "leon3", m.wcet_cycles, m.wcec_pj / 1e6, &gr712_levels());
+            let options = dvfs_options(
+                task,
+                "leon3",
+                m.wcet_cycles,
+                m.wcec_pj / 1e6,
+                &gr712_levels(),
+            );
             let mut t = CoordTask::new(task, options);
             if let Some(p) = prev {
                 t.after.push(p.into());

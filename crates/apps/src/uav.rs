@@ -31,40 +31,76 @@ pub const FRAME_PERIOD_US: f64 = 300_000.0;
 /// is what puts the software draw in the paper's 2–11 W envelope.
 pub fn sar_pipeline() -> Vec<(String, WorkItem, Vec<String>)> {
     vec![
-        ("capture".into(), WorkItem { ref_mcycles: 36.0, gpu_speedup: 0.5, utilisation: 0.6 }, vec![]),
+        (
+            "capture".into(),
+            WorkItem {
+                ref_mcycles: 36.0,
+                gpu_speedup: 0.5,
+                utilisation: 0.6,
+            },
+            vec![],
+        ),
         (
             "preprocess".into(),
-            WorkItem { ref_mcycles: 135.0, gpu_speedup: 5.0, utilisation: 0.9 },
+            WorkItem {
+                ref_mcycles: 135.0,
+                gpu_speedup: 5.0,
+                utilisation: 0.9,
+            },
             vec!["capture".into()],
         ),
         (
             "detect".into(),
-            WorkItem { ref_mcycles: 660.0, gpu_speedup: 11.0, utilisation: 1.0 },
+            WorkItem {
+                ref_mcycles: 660.0,
+                gpu_speedup: 11.0,
+                utilisation: 1.0,
+            },
             vec!["preprocess".into()],
         ),
         (
             "track".into(),
-            WorkItem { ref_mcycles: 90.0, gpu_speedup: 2.0, utilisation: 0.8 },
+            WorkItem {
+                ref_mcycles: 90.0,
+                gpu_speedup: 2.0,
+                utilisation: 0.8,
+            },
             vec!["detect".into()],
         ),
         (
             "stabilise".into(),
-            WorkItem { ref_mcycles: 120.0, gpu_speedup: 0.4, utilisation: 0.8 },
+            WorkItem {
+                ref_mcycles: 120.0,
+                gpu_speedup: 0.4,
+                utilisation: 0.8,
+            },
             vec!["capture".into()],
         ),
         (
             "video_encode".into(),
-            WorkItem { ref_mcycles: 320.0, gpu_speedup: 0.8, utilisation: 0.9 },
+            WorkItem {
+                ref_mcycles: 320.0,
+                gpu_speedup: 0.8,
+                utilisation: 0.9,
+            },
             vec!["capture".into()],
         ),
         (
             "geotag".into(),
-            WorkItem { ref_mcycles: 60.0, gpu_speedup: 0.3, utilisation: 0.7 },
+            WorkItem {
+                ref_mcycles: 60.0,
+                gpu_speedup: 0.3,
+                utilisation: 0.7,
+            },
             vec!["stabilise".into()],
         ),
         (
             "downlink".into(),
-            WorkItem { ref_mcycles: 24.0, gpu_speedup: 0.3, utilisation: 0.5 },
+            WorkItem {
+                ref_mcycles: 24.0,
+                gpu_speedup: 0.3,
+                utilisation: 0.5,
+            },
             vec!["track".into(), "video_encode".into(), "geotag".into()],
         ),
     ]
@@ -212,7 +248,10 @@ mod tests {
         let set = sar_task_set(&report, cores, 1.2).expect("task set");
         let schedule = schedule_energy_aware(&set).expect("schedulable");
         let detect = schedule.entry("detect").expect("detect");
-        assert_eq!(detect.core, "gk20a", "an 11x-GPU kernel belongs on the GPU: {schedule:?}");
+        assert_eq!(
+            detect.core, "gk20a",
+            "an 11x-GPU kernel belongs on the GPU: {schedule:?}"
+        );
     }
 
     #[test]
@@ -267,13 +306,22 @@ mod tests {
             }
         }
 
-        for pipeline in [Pipeline::o0(), recommended_pipeline().parse().expect("parses")] {
-            let config = CompilerConfig { pipeline, mul_shift_add: false, pinned_regs: 0 };
+        for pipeline in [
+            Pipeline::o0(),
+            recommended_pipeline().parse().expect("parses"),
+        ] {
+            let config = CompilerConfig {
+                pipeline,
+                mul_shift_add: false,
+                pinned_regs: 0,
+            };
             let program = compile_module(&ir, &config).expect("compiles");
             let mut machine = Machine::new(program).expect("loads");
             let mut dev = RecordingDevice::new();
             dev.queue(TILE_PORT, raw.clone());
-            machine.call("predetect", &[threshold], &mut dev).expect("runs");
+            machine
+                .call("predetect", &[threshold], &mut dev)
+                .expect("runs");
             assert_eq!(machine.read_global("detections", 0), Some(expected_hits));
             assert_eq!(dev.outputs, vec![(REPORT_PORT, expected_hits)]);
         }

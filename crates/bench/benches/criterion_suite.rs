@@ -50,10 +50,15 @@ fn bench_toolchain(c: &mut Criterion) {
         b.iter(|| compile_to_ir(std::hint::black_box(src)).expect("parses"))
     });
     c.bench_function("compiler_balanced_config", |b| {
-        b.iter(|| compile_module(std::hint::black_box(&ir), &CompilerConfig::balanced()).expect("compiles"))
+        b.iter(|| {
+            compile_module(std::hint::black_box(&ir), &CompilerConfig::balanced())
+                .expect("compiles")
+        })
     });
     c.bench_function("wcet_analysis_pipeline", |b| {
-        b.iter(|| teamplay_wcet::analyze_program(std::hint::black_box(&program), &cm).expect("wcet"))
+        b.iter(|| {
+            teamplay_wcet::analyze_program(std::hint::black_box(&program), &cm).expect("wcet")
+        })
     });
     c.bench_function("wcec_analysis_pipeline", |b| {
         b.iter(|| analyze_program_energy(std::hint::black_box(&program), &em, &cm).expect("wcec"))
@@ -120,8 +125,7 @@ fn bench_scheduling(c: &mut Criterion) {
             t
         })
         .collect();
-    let set =
-        TaskSet::new(tasks, vec!["c0".into(), "c1".into()], 250.0).expect("set");
+    let set = TaskSet::new(tasks, vec!["c0".into(), "c1".into()], 250.0).expect("set");
     c.bench_function("scheduler_multiversion_8_tasks", |b| {
         b.iter(|| schedule_energy_aware(std::hint::black_box(&set)).expect("schedulable"))
     });

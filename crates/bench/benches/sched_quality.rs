@@ -88,7 +88,12 @@ fn instance(shape: Shape, seed: u64, slack: f64) -> TaskSet {
     }
     let fast_sum: f64 = tasks
         .iter()
-        .map(|t| t.options.iter().map(|o| o.time_us).fold(f64::INFINITY, f64::min))
+        .map(|t| {
+            t.options
+                .iter()
+                .map(|o| o.time_us)
+                .fold(f64::INFINITY, f64::min)
+        })
         .sum();
     TaskSet::new(tasks, cores, fast_sum * slack).expect("generated sets are valid")
 }
@@ -117,7 +122,11 @@ fn run_family(name: &str, shape: Shape, slack: f64, seed_base: u64) -> FamilySta
         let set = instance(shape, seed_base.wrapping_add(i as u64), slack);
         let h = schedule_energy_aware(&set);
         let o = schedule_branch_and_bound(&set);
-        assert_eq!(h.is_ok(), o.is_ok(), "feasibility oracle violated on {name}/{i}");
+        assert_eq!(
+            h.is_ok(),
+            o.is_ok(),
+            "feasibility oracle violated on {name}/{i}"
+        );
         let (Ok(h), Ok(o)) = (h, o) else { continue };
         h.validate(&set).expect("heuristic schedule validates");
         feasible += 1;
@@ -130,9 +139,21 @@ fn run_family(name: &str, shape: Shape, slack: f64, seed_base: u64) -> FamilySta
         instances: INSTANCES_PER_FAMILY,
         feasible,
         feasibility_rate: feasible as f64 / INSTANCES_PER_FAMILY as f64,
-        mean_makespan_us: if feasible > 0 { makespans / feasible as f64 } else { 0.0 },
-        mean_energy_uj: if feasible > 0 { energies / feasible as f64 } else { 0.0 },
-        mean_optimal_gap_pct: if feasible > 0 { gap / feasible as f64 } else { 0.0 },
+        mean_makespan_us: if feasible > 0 {
+            makespans / feasible as f64
+        } else {
+            0.0
+        },
+        mean_energy_uj: if feasible > 0 {
+            energies / feasible as f64
+        } else {
+            0.0
+        },
+        mean_optimal_gap_pct: if feasible > 0 {
+            gap / feasible as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -172,7 +193,11 @@ fn main() {
         println!(
             "sched_quality: {:<18} feasible {:>2}/{:<2} mean makespan {:>7.1}µs \
              mean energy {:>8.1}µJ gap-to-optimal {:>5.2}%",
-            f.name, f.feasible, f.instances, f.mean_makespan_us, f.mean_energy_uj,
+            f.name,
+            f.feasible,
+            f.instances,
+            f.mean_makespan_us,
+            f.mean_energy_uj,
             f.mean_optimal_gap_pct
         );
     }

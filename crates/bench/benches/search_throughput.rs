@@ -50,7 +50,11 @@ fn baseline_front(
         let config = CompilerConfig::from_genome(genome);
         let (_, metrics) = evaluate_module(ir, &config, cm, em).ok()?;
         let m = metrics.of(TASK)?;
-        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+        Some(vec![
+            m.wcet_cycles as f64,
+            m.wcec_pj,
+            m.code_halfwords as f64,
+        ])
     });
     let evaluations = outcome.stats.evaluations;
     let mut variants: Vec<TaskVariant> = Vec::new();
@@ -63,7 +67,11 @@ fn baseline_front(
             continue;
         };
         let m = *metrics.of(TASK).expect("task analysed");
-        variants.push(TaskVariant { config, metrics: m, program: std::sync::Arc::new(program) });
+        variants.push(TaskVariant {
+            config,
+            metrics: m,
+            program: std::sync::Arc::new(program),
+        });
     }
     variants.sort_by_key(|v| v.metrics.wcet_cycles);
     (variants, evaluations)
@@ -109,10 +117,17 @@ fn phase_ordering_space(ir: &IrModule, cm: &CycleModel, em: &IsaEnergyModel) -> 
     let fpa = MultiObjectiveFpa::new(FpaConfig::standard());
     let outcome = fpa.run_on(&Pool::new(1), CompilerConfig::GENOME_DIMS, SEED, |genome| {
         let config = CompilerConfig::from_genome(genome);
-        pipelines.lock().expect("lock").insert(config.pipeline.to_string());
+        pipelines
+            .lock()
+            .expect("lock")
+            .insert(config.pipeline.to_string());
         let (_, metrics) = cache.evaluate(&config)?;
         let m = metrics.of(TASK)?;
-        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+        Some(vec![
+            m.wcet_cycles as f64,
+            m.wcec_pj,
+            m.code_halfwords as f64,
+        ])
     });
     PhaseOrdering {
         genome_dims: CompilerConfig::GENOME_DIMS,
@@ -145,8 +160,7 @@ fn main() {
     let em = IsaEnergyModel::pg32_datasheet();
     let pool = minipool::global();
 
-    let (base_time, (base_variants, evaluations)) =
-        time_best(3, || baseline_front(&ir, &cm, &em));
+    let (base_time, (base_variants, evaluations)) = time_best(3, || baseline_front(&ir, &cm, &em));
     let (opt_time, front) = time_best(3, || {
         pareto_search_on(pool, &ir, TASK, &cm, &em, FpaConfig::standard(), SEED)
     });

@@ -3,9 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use teamplay_apps::camera_pill;
-use teamplay_compiler::{
-    evaluate_module, CompilerConfig, FpaConfig, MultiObjectiveFpa,
-};
+use teamplay_compiler::{evaluate_module, CompilerConfig, FpaConfig, MultiObjectiveFpa};
 use teamplay_coord::{
     schedule_branch_and_bound, schedule_energy_aware, CoordTask, ExecOption, TaskSet,
 };
@@ -29,7 +27,11 @@ pub fn a1_fpa_vs_random() -> ((usize, usize, f64, f64), String) {
         let config = CompilerConfig::from_genome(genome);
         let (_, metrics) = evaluate_module(&ir, &config, &cm, &em).ok()?;
         let m = metrics.of(task)?;
-        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+        Some(vec![
+            m.wcet_cycles as f64,
+            m.wcec_pj,
+            m.code_halfwords as f64,
+        ])
     };
 
     let fpa_cfg = FpaConfig::standard();
@@ -40,8 +42,9 @@ pub fn a1_fpa_vs_random() -> ((usize, usize, f64, f64), String) {
     let mut rng = StdRng::seed_from_u64(42);
     let mut random_front: Vec<Vec<f64>> = Vec::new();
     for _ in 0..fpa_out.stats.evaluations {
-        let genome: Vec<f64> =
-            (0..CompilerConfig::GENOME_DIMS).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let genome: Vec<f64> = (0..CompilerConfig::GENOME_DIMS)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         if let Some(obj) = eval(&genome) {
             if !random_front
                 .iter()
@@ -53,16 +56,20 @@ pub fn a1_fpa_vs_random() -> ((usize, usize, f64, f64), String) {
         }
     }
 
-    let best_energy = |objs: &[Vec<f64>]| {
-        objs.iter().map(|o| o[1]).fold(f64::INFINITY, f64::min)
-    };
-    let fpa_objs: Vec<Vec<f64>> = fpa_out.archive.iter().map(|p| p.objectives.clone()).collect();
+    let best_energy = |objs: &[Vec<f64>]| objs.iter().map(|o| o[1]).fold(f64::INFINITY, f64::min);
+    let fpa_objs: Vec<Vec<f64>> = fpa_out
+        .archive
+        .iter()
+        .map(|p| p.objectives.clone())
+        .collect();
     let fpa_best = best_energy(&fpa_objs);
     let rnd_best = best_energy(&random_front);
 
     let mut out = String::new();
     out.push_str("## A1 — FPA vs random search (equal evaluation budget)\n\n");
-    out.push_str("| search | evaluations | Pareto points | best energy (µJ) |\n|---|---|---|---|\n");
+    out.push_str(
+        "| search | evaluations | Pareto points | best energy (µJ) |\n|---|---|---|---|\n",
+    );
     out.push_str(&format!(
         "| FPA (ref [5]) | {} | {} | {:.2} |\n",
         fpa_out.stats.evaluations,
@@ -75,7 +82,15 @@ pub fn a1_fpa_vs_random() -> ((usize, usize, f64, f64), String) {
         random_front.len(),
         rnd_best / 1e6
     ));
-    ((fpa_out.archive.len(), random_front.len(), fpa_best, rnd_best), out)
+    (
+        (
+            fpa_out.archive.len(),
+            random_front.len(),
+            fpa_best,
+            rnd_best,
+        ),
+        out,
+    )
 }
 
 /// A2 — multi-version scheduling vs single-version (fastest-only), and
@@ -148,8 +163,8 @@ pub fn a2_multiversion() -> ((f64, f64), String) {
         let multi = schedule_energy_aware(&multi_set).expect("multi schedulable");
         let single = schedule_energy_aware(&single_set).expect("single schedulable");
         let optimal = schedule_branch_and_bound(&multi_set).expect("optimal");
-        let saving = (single.total_energy_uj - multi.total_energy_uj) / single.total_energy_uj
-            * 100.0;
+        let saving =
+            (single.total_energy_uj - multi.total_energy_uj) / single.total_energy_uj * 100.0;
         let gap = multi.total_energy_uj / optimal.total_energy_uj;
         savings.push(saving);
         gaps.push((gap - 1.0) * 100.0);
@@ -172,25 +187,58 @@ pub fn a2_multiversion() -> ((f64, f64), String) {
 fn random_microbench(rng: &mut StdRng) -> teamplay_isa::Program {
     use teamplay_isa::{AluOp, Block, BlockId, Function, Insn, Operand, Program, Reg, DATA_BASE};
     let mut insns = Vec::new();
-    insns.push(Insn::MovImm32 { rd: Reg::R1, imm: DATA_BASE as i32 });
+    insns.push(Insn::MovImm32 {
+        rd: Reg::R1,
+        imm: DATA_BASE as i32,
+    });
     let n_groups = rng.gen_range(3..9);
     for _ in 0..n_groups {
         let kind = rng.gen_range(0..8);
         let reps = rng.gen_range(1..40);
         for _ in 0..reps {
             let insn = match kind {
-                0 => Insn::Alu { op: AluOp::Add, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(3) },
-                1 => Insn::Alu { op: AluOp::Mul, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(5) },
-                2 => Insn::Alu { op: AluOp::Div, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(3) },
-                3 => Insn::Ldr { rd: Reg::R3, base: Reg::R1, offset: Operand::Imm(0) },
-                4 => Insn::Str { rs: Reg::R3, base: Reg::R1, offset: Operand::Imm(4) },
-                5 => Insn::Out { rs: Reg::R2, port: 1 },
+                0 => Insn::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::R2,
+                    rn: Reg::R2,
+                    src: Operand::Imm(3),
+                },
+                1 => Insn::Alu {
+                    op: AluOp::Mul,
+                    rd: Reg::R2,
+                    rn: Reg::R2,
+                    src: Operand::Imm(5),
+                },
+                2 => Insn::Alu {
+                    op: AluOp::Div,
+                    rd: Reg::R2,
+                    rn: Reg::R2,
+                    src: Operand::Imm(3),
+                },
+                3 => Insn::Ldr {
+                    rd: Reg::R3,
+                    base: Reg::R1,
+                    offset: Operand::Imm(0),
+                },
+                4 => Insn::Str {
+                    rs: Reg::R3,
+                    base: Reg::R1,
+                    offset: Operand::Imm(4),
+                },
+                5 => Insn::Out {
+                    rs: Reg::R2,
+                    port: 1,
+                },
                 6 => Insn::Nop,
-                _ => Insn::Push { regs: vec![Reg::R4, Reg::R5] },
+                _ => Insn::Push {
+                    regs: vec![Reg::R4, Reg::R5],
+                },
             };
             insns.push(insn.clone());
             if matches!(insn, Insn::Push { .. }) {
-                insns.push(Insn::Pop { regs: vec![Reg::R4, Reg::R5] });
+                insns.push(Insn::Pop {
+                    regs: vec![Reg::R4, Reg::R5],
+                });
             }
         }
     }
@@ -198,8 +246,14 @@ fn random_microbench(rng: &mut StdRng) -> teamplay_isa::Program {
     p.globals.insert("scratch".into(), vec![0; 8]);
     // A few chained blocks so the Branch class is exercised too.
     let blocks = vec![
-        Block { insns, terminator: teamplay_isa::Terminator::Branch(BlockId(1)) },
-        Block { insns: vec![Insn::Nop], terminator: teamplay_isa::Terminator::Return },
+        Block {
+            insns,
+            terminator: teamplay_isa::Terminator::Branch(BlockId(1)),
+        },
+        Block {
+            insns: vec![Insn::Nop],
+            terminator: teamplay_isa::Terminator::Return,
+        },
     ];
     p.add_function(Function {
         name: "bench".into(),
@@ -225,9 +279,12 @@ pub fn a3_model_fit() -> ((Vec<usize>, Vec<f64>), String) {
         let r = machine
             .call("bench", &[], &mut teamplay_sim::NullDevice::new())
             .expect("microbench runs");
-        let sample =
-            FitSample { class_counts: r.class_counts, cycles: r.cycles, energy_pj: r.energy_pj }
-                .with_noise(0.02, &mut noise);
+        let sample = FitSample {
+            class_counts: r.class_counts,
+            cycles: r.cycles,
+            energy_pj: r.energy_pj,
+        }
+        .with_noise(0.02, &mut noise);
         pool.push(sample);
     }
     let (eval_set, train_pool) = pool.split_at(120);
@@ -242,9 +299,15 @@ pub fn a3_model_fit() -> ((Vec<usize>, Vec<f64>), String) {
         let model = fit_isa_model(&train_pool[..n]).expect("fit");
         let q = evaluate_fit(&model, eval_set);
         mapes.push(q.mape * 100.0);
-        out.push_str(&format!("| {n} | {:.2} % | {:.2} % |\n", q.mape * 100.0, q.max_ape * 100.0));
+        out.push_str(&format!(
+            "| {n} | {:.2} % | {:.2} % |\n",
+            q.mape * 100.0,
+            q.max_ape * 100.0
+        ));
     }
-    out.push_str("\nfitting converges to a few-percent MAPE, matching ref [8]'s reported accuracy class\n\n");
+    out.push_str(
+        "\nfitting converges to a few-percent MAPE, matching ref [8]'s reported accuracy class\n\n",
+    );
     ((counts, mapes), out)
 }
 
@@ -268,19 +331,27 @@ pub fn a4_analysis_tightness() -> (Vec<(String, f64, f64)>, String) {
 
     let mut rows = Vec::new();
     let mut out = String::new();
-    out.push_str("## A4 — static-analysis tightness (bound / worst observed)
+    out.push_str(
+        "## A4 — static-analysis tightness (bound / worst observed)
 
-");
-    out.push_str("| task | WCET bound | worst cycles | ratio | WCEC bound (µJ) | worst energy (µJ) | ratio |
+",
+    );
+    out.push_str(
+        "| task | WCET bound | worst cycles | ratio | WCEC bound (µJ) | worst energy (µJ) | ratio |
 |---|---|---|---|---|---|---|
-");
+",
+    );
     for (task, _) in camera_pill::TASKS {
         let mut worst_cycles = 0u64;
         let mut worst_energy = 0.0f64;
         for seed in 0..24u32 {
             machine.reset_data();
             let mut dev = camera_pill::frame_device(seed);
-            let args: &[i32] = if task == "encrypt" { &[seed as i32 * 131 + 7] } else { &[] };
+            let args: &[i32] = if task == "encrypt" {
+                &[seed as i32 * 131 + 7]
+            } else {
+                &[]
+            };
             let r = machine.call(task, args, &mut dev).expect("task runs");
             worst_cycles = worst_cycles.max(r.cycles);
             worst_energy = worst_energy.max(r.energy_pj);
@@ -297,10 +368,12 @@ pub fn a4_analysis_tightness() -> (Vec<(String, f64, f64)>, String) {
         ));
         rows.push((task.to_string(), rc, re));
     }
-    out.push_str("
+    out.push_str(
+        "
 bounds are safe (ratio ≥ 1) and within the tightness class of structural IPET analyses
 
-");
+",
+    );
     (rows, out)
 }
 
@@ -323,7 +396,10 @@ mod tests {
     fn a1_fpa_not_worse_than_random() {
         let ((fpa_n, _rnd_n, fpa_best, rnd_best), table) = a1_fpa_vs_random();
         assert!(fpa_n >= 2, "{table}");
-        assert!(fpa_best <= rnd_best * 1.05, "FPA best {fpa_best} vs random {rnd_best}");
+        assert!(
+            fpa_best <= rnd_best * 1.05,
+            "FPA best {fpa_best} vs random {rnd_best}"
+        );
     }
 
     #[test]
@@ -346,6 +422,9 @@ mod tests {
         // The ISA-class model has ~5 % irreducible error on mixed
         // microbenchmarks (within-class cost variation the linear model
         // cannot see), so the converged bound must leave headroom above it.
-        assert!(last < 7.0, "converged MAPE should be a few percent: {table}");
+        assert!(
+            last < 7.0,
+            "converged MAPE should be a few percent: {table}"
+        );
     }
 }

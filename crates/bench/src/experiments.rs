@@ -6,11 +6,10 @@ use teamplay::predictable::{PredictableWorkflow, WorkflowConfig};
 use teamplay_apps::{camera_pill, parking, spacewire, uav};
 use teamplay_compiler::{compile_module, pareto_front_for, CompilerConfig, FpaConfig};
 use teamplay_contracts::verify_certificate;
-use teamplay_coord::{
-    dvfs_options, schedule_branch_and_bound, schedule_energy_aware, CoordTask,
-    ExecOption, TaskSet,
-};
 use teamplay_coord::freq::gr712_levels;
+use teamplay_coord::{
+    dvfs_options, schedule_branch_and_bound, schedule_energy_aware, CoordTask, ExecOption, TaskSet,
+};
 use teamplay_csl::extract_model;
 use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
 use teamplay_isa::CycleModel;
@@ -106,8 +105,9 @@ pub fn e1_camera_pill() -> (E1Result, String) {
     let mut cfg = WorkflowConfig::pg32();
     cfg.fpa = FpaConfig::standard();
     cfg.leakage_traces = 24;
-    let outcome =
-        PredictableWorkflow::new(cfg).run(camera_pill::SOURCE).expect("workflow completes");
+    let outcome = PredictableWorkflow::new(cfg)
+        .run(camera_pill::SOURCE)
+        .expect("workflow completes");
     let mut tp_machine = Machine::new(outcome.program.clone()).expect("teamplay loads");
     let (tp_cycles, tp_energy) = pill_frame_cost(&mut tp_machine, 1, 0x5EED);
 
@@ -123,7 +123,11 @@ pub fn e1_camera_pill() -> (E1Result, String) {
         base_cycles,
         base_energy / 1e6
     ));
-    out.push_str(&format!("| TeamPlay | {} | {:.1} |\n\n", tp_cycles, tp_energy / 1e6));
+    out.push_str(&format!(
+        "| TeamPlay | {} | {:.1} |\n\n",
+        tp_cycles,
+        tp_energy / 1e6
+    ));
     out.push_str(&format!(
         "measured: {:.1} % performance, {:.1} % energy improvement (paper: 18 %, 19 %)\n\n",
         result.perf_improvement_pct, result.energy_improvement_pct
@@ -201,8 +205,12 @@ pub fn e2_spacewire() -> (E2Result, String) {
         ct.deadline_us = spec.deadline.map(|d| d.as_us());
         coord_tasks.push(ct);
     }
-    let set = TaskSet::new(coord_tasks, vec!["cpu0".into()], spacewire::FRAME_DEADLINE_US)
-        .expect("task set");
+    let set = TaskSet::new(
+        coord_tasks,
+        vec!["cpu0".into()],
+        spacewire::FRAME_DEADLINE_US,
+    )
+    .expect("task set");
     let schedule = schedule_energy_aware(&set).expect("schedulable");
     schedule.validate(&set).expect("valid schedule");
 
@@ -221,7 +229,10 @@ pub fn e2_spacewire() -> (E2Result, String) {
         schedule.makespan_us, schedule.total_energy_uj
     ));
     for e in &schedule.entries {
-        out.push_str(&format!("  {} -> {} (finish {:.0}µs)\n", e.task, e.option, e.finish_us));
+        out.push_str(&format!(
+            "  {} -> {} (finish {:.0}µs)\n",
+            e.task, e.option, e.finish_us
+        ));
     }
     out.push_str(&format!(
         "\nmeasured: {:.1} % energy improvement, deadlines met: {} (paper: 52 %, all met)\n\n",
@@ -256,7 +267,10 @@ pub fn e3_uav() -> (E3Result, String) {
     // frequency and no energy-aware version selection happens.
     let profile = teamplay_profiler::profile_tasks(
         &platform,
-        &tasks.iter().map(|t| (t.name.clone(), t.work)).collect::<Vec<_>>(),
+        &tasks
+            .iter()
+            .map(|t| (t.name.clone(), t.work))
+            .collect::<Vec<_>>(),
         wf.runs,
         wf.seed,
     );
@@ -267,10 +281,11 @@ pub fn e3_uav() -> (E3Result, String) {
     let naive_tasks: Vec<CoordTask> = tasks
         .iter()
         .map(|t| {
-            let options = teamplay_profiler::exec_options_from_profile(&profile, &t.name, wf.margin)
-                .into_iter()
-                .filter(|o| o.label.ends_with(&max_op_label(&o.core)))
-                .collect();
+            let options =
+                teamplay_profiler::exec_options_from_profile(&profile, &t.name, wf.margin)
+                    .into_iter()
+                    .filter(|o| o.label.ends_with(&max_op_label(&o.core)))
+                    .collect();
             let mut ct = CoordTask::new(t.name.clone(), options);
             ct.after = t.after.clone();
             ct
@@ -348,8 +363,7 @@ pub fn e4_parking() -> (E4Result, String) {
     let ir = compile_to_ir(parking::CONV_KERNEL_SOURCE).expect("kernel parses");
     let cm = CycleModel::pg32();
     let em = IsaEnergyModel::pg32_datasheet();
-    let variants =
-        pareto_front_for(&ir, "conv_layer", &cm, &em, FpaConfig::standard(), 0xD1);
+    let variants = pareto_front_for(&ir, "conv_layer", &cm, &em, FpaConfig::standard(), 0xD1);
     let clock = camera_pill::CLOCK_MHZ;
     let rows: Vec<(f64, f64, usize)> = variants
         .iter()
@@ -368,28 +382,46 @@ pub fn e4_parking() -> (E4Result, String) {
     let cnn: Vec<ComplexTask> = vec![
         ComplexTask {
             name: "conv1".into(),
-            work: teamplay_sim::WorkItem { ref_mcycles: 90.0, gpu_speedup: 9.0, utilisation: 1.0 },
+            work: teamplay_sim::WorkItem {
+                ref_mcycles: 90.0,
+                gpu_speedup: 9.0,
+                utilisation: 1.0,
+            },
             after: vec![],
         },
         ComplexTask {
             name: "conv2".into(),
-            work: teamplay_sim::WorkItem { ref_mcycles: 60.0, gpu_speedup: 8.0, utilisation: 1.0 },
+            work: teamplay_sim::WorkItem {
+                ref_mcycles: 60.0,
+                gpu_speedup: 8.0,
+                utilisation: 1.0,
+            },
             after: vec!["conv1".into()],
         },
         ComplexTask {
             name: "dense".into(),
-            work: teamplay_sim::WorkItem { ref_mcycles: 14.0, gpu_speedup: 2.0, utilisation: 0.9 },
+            work: teamplay_sim::WorkItem {
+                ref_mcycles: 14.0,
+                gpu_speedup: 2.0,
+                utilisation: 0.9,
+            },
             after: vec!["conv2".into()],
         },
         ComplexTask {
             name: "report".into(),
-            work: teamplay_sim::WorkItem { ref_mcycles: 3.0, gpu_speedup: 0.4, utilisation: 0.5 },
+            work: teamplay_sim::WorkItem {
+                ref_mcycles: 3.0,
+                gpu_speedup: 0.4,
+                utilisation: 0.5,
+            },
             after: vec!["dense".into()],
         },
     ];
     let profile = teamplay_profiler::profile_tasks(
         &platform,
-        &cnn.iter().map(|t| (t.name.clone(), t.work)).collect::<Vec<_>>(),
+        &cnn.iter()
+            .map(|t| (t.name.clone(), t.work))
+            .collect::<Vec<_>>(),
         24,
         7,
     );
@@ -413,7 +445,10 @@ pub fn e4_parking() -> (E4Result, String) {
     let hand = schedule_branch_and_bound(&set).expect("optimal");
     let ratio = teamplay_sched.total_energy_uj / hand.total_energy_uj;
 
-    let result = E4Result { variants: rows.clone(), coordination_vs_hand_ratio: ratio };
+    let result = E4Result {
+        variants: rows.clone(),
+        coordination_vs_hand_ratio: ratio,
+    };
     let mut out = String::new();
     out.push_str("## E4 — parking CNN (Section IV-D)\n\n");
     out.push_str("Per-layer compiler variants (conv_layer, Cortex-M0 leg):\n\n");
@@ -465,7 +500,11 @@ pub fn e5_security() -> (Vec<E5Row>, String) {
                  return result;
              }",
             3,
-            SecretSpec { arg_index: 1, class0: 0x0001, class1: 0x7FFF },
+            SecretSpec {
+                arg_index: 1,
+                class0: 0x0001,
+                class1: 0x7FFF,
+            },
         ),
         (
             "key-parity round select",
@@ -476,7 +515,11 @@ pub fn e5_security() -> (Vec<E5Row>, String) {
                  return r;
              }",
             2,
-            SecretSpec { arg_index: 0, class0: 0x2468, class1: 0x1357 },
+            SecretSpec {
+                arg_index: 0,
+                class0: 0x2468,
+                class1: 0x1357,
+            },
         ),
         (
             "threshold gate",
@@ -487,7 +530,11 @@ pub fn e5_security() -> (Vec<E5Row>, String) {
                  return r;
              }",
             2,
-            SecretSpec { arg_index: 0, class0: 0, class1: 255 },
+            SecretSpec {
+                arg_index: 0,
+                class0: 0,
+                class1: 255,
+            },
         ),
     ];
 
@@ -608,8 +655,18 @@ mod tests {
     fn e5_hardening_closes_the_channel() {
         let (rows, _) = e5_security();
         for row in rows {
-            assert!(row.t_before > 4.5, "{}: expected leak before, t={}", row.name, row.t_before);
-            assert!(row.t_after <= 4.5, "{}: still leaking after, t={}", row.name, row.t_after);
+            assert!(
+                row.t_before > 4.5,
+                "{}: expected leak before, t={}",
+                row.name,
+                row.t_before
+            );
+            assert!(
+                row.t_after <= 4.5,
+                "{}: still leaking after, t={}",
+                row.name,
+                row.t_after
+            );
             assert!(row.ind_after < row.ind_before + 1e-9, "{}", row.name);
         }
     }

@@ -39,7 +39,10 @@ impl fmt::Display for CodegenError {
                 write!(f, "function `{name}` has more than 6 parameters")
             }
             CodegenError::FrameTooLarge(name) => {
-                write!(f, "function `{name}`: stack frame exceeds encodable offsets")
+                write!(
+                    f,
+                    "function `{name}`: stack frame exceeds encodable offsets"
+                )
             }
             CodegenError::InvalidIr(msg) => write!(f, "invalid IR: {msg}"),
         }
@@ -67,7 +70,10 @@ pub struct CodegenOpts {
 
 impl From<usize> for CodegenOpts {
     fn from(pinned_regs: usize) -> Self {
-        CodegenOpts { pinned_regs, mul_shift_add: false }
+        CodegenOpts {
+            pinned_regs,
+            mul_shift_add: false,
+        }
     }
 }
 
@@ -96,7 +102,10 @@ fn imm16(v: i32) -> bool {
 /// Emit `dst = value` materialisation.
 fn emit_const(insns: &mut Vec<Insn>, dst: Reg, v: i32) {
     if imm16(v) {
-        insns.push(Insn::Mov { rd: dst, src: IsaOperand::Imm(v) });
+        insns.push(Insn::Mov {
+            rd: dst,
+            src: IsaOperand::Imm(v),
+        });
     } else {
         insns.push(Insn::MovImm32 { rd: dst, imm: v });
     }
@@ -112,7 +121,10 @@ impl Ctx {
             Operand::Temp(t) => match self.homes[t.0 as usize] {
                 Home::Pinned(r) => {
                     if r != dst {
-                        insns.push(Insn::Mov { rd: dst, src: IsaOperand::Reg(r) });
+                        insns.push(Insn::Mov {
+                            rd: dst,
+                            src: IsaOperand::Reg(r),
+                        });
                     }
                 }
                 Home::Slot(off) => insns.push(Insn::Ldr {
@@ -134,7 +146,10 @@ impl Ctx {
         match self.homes[t.0 as usize] {
             Home::Pinned(r) => {
                 if r != src {
-                    insns.push(Insn::Mov { rd: r, src: IsaOperand::Reg(src) });
+                    insns.push(Insn::Mov {
+                        rd: r,
+                        src: IsaOperand::Reg(src),
+                    });
                 }
             }
             Home::Slot(off) => insns.push(Insn::Str {
@@ -156,7 +171,10 @@ impl Ctx {
             }
             MemBase::Local(id) => {
                 let off = self.array_offsets[*id as usize] as i32 + disp;
-                insns.push(Insn::Mov { rd: dst, src: IsaOperand::Reg(Reg::SP) });
+                insns.push(Insn::Mov {
+                    rd: dst,
+                    src: IsaOperand::Reg(Reg::SP),
+                });
                 insns.push(Insn::Alu {
                     op: AluOp::Add,
                     rd: dst,
@@ -197,7 +215,10 @@ impl Ctx {
                             src: IsaOperand::Imm(byte_off),
                         });
                     } else {
-                        insns.push(Insn::MovImm32 { rd: scratch, imm: byte_off });
+                        insns.push(Insn::MovImm32 {
+                            rd: scratch,
+                            imm: byte_off,
+                        });
                         insns.push(Insn::Alu {
                             op: AluOp::Add,
                             rd: dst,
@@ -280,12 +301,20 @@ fn temps_of_op(op: &IrOp, out: &mut Vec<Temp>) {
             operand(src, out);
             out.push(*dst);
         }
-        IrOp::Load { dst, base: m, index } => {
+        IrOp::Load {
+            dst,
+            base: m,
+            index,
+        } => {
             operand(index, out);
             base(m, out);
             out.push(*dst);
         }
-        IrOp::Store { base: m, index, value } => {
+        IrOp::Store {
+            base: m,
+            index,
+            value,
+        } => {
             operand(index, out);
             operand(value, out);
             base(m, out);
@@ -321,7 +350,10 @@ fn usage_counts(f: &IrFunction) -> Vec<u64> {
             temps_of_op(op, &mut mentioned);
         }
         match &b.term {
-            IrTerm::Branch { cond: Operand::Temp(t), .. } => mentioned.push(*t),
+            IrTerm::Branch {
+                cond: Operand::Temp(t),
+                ..
+            } => mentioned.push(*t),
             IrTerm::Ret(Some(Operand::Temp(t))) => mentioned.push(*t),
             _ => {}
         }
@@ -446,9 +478,16 @@ pub fn generate_function(
 
         let terminator = match &irb.term {
             IrTerm::Jump(t) => Terminator::Branch(BlockId(t.0)),
-            IrTerm::Branch { cond, taken, fallthrough } => {
+            IrTerm::Branch {
+                cond,
+                taken,
+                fallthrough,
+            } => {
                 ctx.load_operand(&mut insns, *cond, Reg::R1);
-                insns.push(Insn::Cmp { rn: Reg::R1, src: IsaOperand::Imm(0) });
+                insns.push(Insn::Cmp {
+                    rn: Reg::R1,
+                    src: IsaOperand::Imm(0),
+                });
                 Terminator::CondBranch {
                     cond: Cond::Ne,
                     taken: BlockId(taken.0),
@@ -476,13 +515,29 @@ pub fn generate_function(
         blocks.push(Block { insns, terminator });
     }
 
-    let loop_bounds = f
+    // Annotation/inference bounds, intersected with the trip counts the
+    // unroll recogniser can *prove* from IR constants: a provable count
+    // tightens an over-wide annotation (`bound(64)` on an 8-trip loop)
+    // and bounds counted loops that carry no annotation at all, so the
+    // IPET analysis downstream sees the sharpest available flow facts.
+    let mut loop_bounds: std::collections::BTreeMap<BlockId, u32> = f
         .loop_bounds
         .iter()
         .map(|(b, n)| (BlockId(b.0), *n))
         .collect();
+    for (header, trips) in crate::passes::proven_loop_bounds(f) {
+        loop_bounds
+            .entry(BlockId(header.0))
+            .and_modify(|b| *b = (*b).min(trips))
+            .or_insert(trips);
+    }
 
-    Ok(Function { name: f.name.clone(), blocks, loop_bounds, frame_size })
+    Ok(Function {
+        name: f.name.clone(),
+        blocks,
+        loop_bounds,
+        frame_size,
+    })
 }
 
 /// Small positive multiplier eligible for shift/add decomposition.
@@ -571,10 +626,24 @@ fn emit_op(ctx: &Ctx, insns: &mut Vec<Insn>, op: &IrOp) {
             } else if let Some(cond) = binop_to_cond(*op) {
                 ctx.load_operand(insns, *a, Reg::R1);
                 ctx.load_operand(insns, *b, Reg::R2);
-                insns.push(Insn::Cmp { rn: Reg::R1, src: IsaOperand::Reg(Reg::R2) });
-                insns.push(Insn::Mov { rd: Reg::R1, src: IsaOperand::Imm(1) });
-                insns.push(Insn::Mov { rd: Reg::R2, src: IsaOperand::Imm(0) });
-                insns.push(Insn::Csel { cond, rd: Reg::R0, rt: Reg::R1, rf: Reg::R2 });
+                insns.push(Insn::Cmp {
+                    rn: Reg::R1,
+                    src: IsaOperand::Reg(Reg::R2),
+                });
+                insns.push(Insn::Mov {
+                    rd: Reg::R1,
+                    src: IsaOperand::Imm(1),
+                });
+                insns.push(Insn::Mov {
+                    rd: Reg::R2,
+                    src: IsaOperand::Imm(0),
+                });
+                insns.push(Insn::Csel {
+                    cond,
+                    rd: Reg::R0,
+                    rt: Reg::R1,
+                    rf: Reg::R2,
+                });
                 ctx.store_temp(insns, *dst, Reg::R0);
             } else {
                 // LogAnd/LogOr appear only pre-lowering; treat as bitwise
@@ -588,7 +657,10 @@ fn emit_op(ctx: &Ctx, insns: &mut Vec<Insn>, op: &IrOp) {
             match op {
                 UnOp::Neg => {
                     ctx.load_operand(insns, *a, Reg::R1);
-                    insns.push(Insn::Mov { rd: Reg::R2, src: IsaOperand::Imm(0) });
+                    insns.push(Insn::Mov {
+                        rd: Reg::R2,
+                        src: IsaOperand::Imm(0),
+                    });
                     insns.push(Insn::Alu {
                         op: AluOp::Sub,
                         rd: Reg::R0,
@@ -607,9 +679,18 @@ fn emit_op(ctx: &Ctx, insns: &mut Vec<Insn>, op: &IrOp) {
                 }
                 UnOp::LogNot => {
                     ctx.load_operand(insns, *a, Reg::R1);
-                    insns.push(Insn::Cmp { rn: Reg::R1, src: IsaOperand::Imm(0) });
-                    insns.push(Insn::Mov { rd: Reg::R1, src: IsaOperand::Imm(1) });
-                    insns.push(Insn::Mov { rd: Reg::R2, src: IsaOperand::Imm(0) });
+                    insns.push(Insn::Cmp {
+                        rn: Reg::R1,
+                        src: IsaOperand::Imm(0),
+                    });
+                    insns.push(Insn::Mov {
+                        rd: Reg::R1,
+                        src: IsaOperand::Imm(1),
+                    });
+                    insns.push(Insn::Mov {
+                        rd: Reg::R2,
+                        src: IsaOperand::Imm(0),
+                    });
                     insns.push(Insn::Csel {
                         cond: Cond::Eq,
                         rd: Reg::R0,
@@ -626,13 +707,21 @@ fn emit_op(ctx: &Ctx, insns: &mut Vec<Insn>, op: &IrOp) {
         }
         IrOp::Load { dst, base, index } => {
             ctx.emit_element_address(insns, base, *index, Reg::R1, Reg::R2);
-            insns.push(Insn::Ldr { rd: Reg::R0, base: Reg::R1, offset: IsaOperand::Imm(0) });
+            insns.push(Insn::Ldr {
+                rd: Reg::R0,
+                base: Reg::R1,
+                offset: IsaOperand::Imm(0),
+            });
             ctx.store_temp(insns, *dst, Reg::R0);
         }
         IrOp::Store { base, index, value } => {
             ctx.emit_element_address(insns, base, *index, Reg::R1, Reg::R2);
             ctx.load_operand(insns, *value, Reg::R0);
-            insns.push(Insn::Str { rs: Reg::R0, base: Reg::R1, offset: IsaOperand::Imm(0) });
+            insns.push(Insn::Str {
+                rs: Reg::R0,
+                base: Reg::R1,
+                offset: IsaOperand::Imm(0),
+            });
         }
         IrOp::Call { dst, func, args } => {
             // Stage arguments in a scratch area below the frame so that
@@ -683,17 +772,31 @@ fn emit_op(ctx: &Ctx, insns: &mut Vec<Insn>, op: &IrOp) {
             ctx.load_operand(insns, *cond, Reg::R1);
             ctx.load_operand(insns, *t, Reg::R2);
             ctx.load_operand(insns, *f, Reg::R3);
-            insns.push(Insn::Cmp { rn: Reg::R1, src: IsaOperand::Imm(0) });
-            insns.push(Insn::Csel { cond: Cond::Ne, rd: Reg::R0, rt: Reg::R2, rf: Reg::R3 });
+            insns.push(Insn::Cmp {
+                rn: Reg::R1,
+                src: IsaOperand::Imm(0),
+            });
+            insns.push(Insn::Csel {
+                cond: Cond::Ne,
+                rd: Reg::R0,
+                rt: Reg::R2,
+                rf: Reg::R3,
+            });
             ctx.store_temp(insns, *dst, Reg::R0);
         }
         IrOp::In { dst, port } => {
-            insns.push(Insn::In { rd: Reg::R0, port: *port });
+            insns.push(Insn::In {
+                rd: Reg::R0,
+                port: *port,
+            });
             ctx.store_temp(insns, *dst, Reg::R0);
         }
         IrOp::Out { port, value } => {
             ctx.load_operand(insns, *value, Reg::R1);
-            insns.push(Insn::Out { rs: Reg::R1, port: *port });
+            insns.push(Insn::Out {
+                rs: Reg::R1,
+                port: *port,
+            });
         }
     }
 }
@@ -854,10 +957,19 @@ mod tests {
         let p4 = generate_program(&module, 4).expect("codegen 4");
         let mut m0 = Machine::new(p0).expect("load 0");
         let mut m4 = Machine::new(p4).expect("load 4");
-        let r0 = m0.call("f", &[8], &mut RecordingDevice::new()).expect("run 0");
-        let r4 = m4.call("f", &[8], &mut RecordingDevice::new()).expect("run 4");
+        let r0 = m0
+            .call("f", &[8], &mut RecordingDevice::new())
+            .expect("run 0");
+        let r4 = m4
+            .call("f", &[8], &mut RecordingDevice::new())
+            .expect("run 4");
         assert_eq!(r0.return_value, r4.return_value);
-        assert!(r4.cycles < r0.cycles, "pinning must save cycles: {} vs {}", r4.cycles, r0.cycles);
+        assert!(
+            r4.cycles < r0.cycles,
+            "pinning must save cycles: {} vs {}",
+            r4.cycles,
+            r0.cycles
+        );
         assert!(r4.energy_pj < r0.energy_pj, "pinning must save energy");
     }
 
@@ -865,10 +977,9 @@ mod tests {
     fn six_args_supported_seven_rejected() {
         let src6 = "int f(int a, int b, int c, int d, int e, int g) { return a+b+c+d+e+g; }";
         check_compiled(src6, "f", &[vec![1, 2, 3, 4, 5, 6]], 0);
-        let module = compile_to_ir(
-            "int f(int a, int b, int c, int d, int e, int g, int h) { return a+h; }",
-        )
-        .expect("front-end");
+        let module =
+            compile_to_ir("int f(int a, int b, int c, int d, int e, int g, int h) { return a+h; }")
+                .expect("front-end");
         assert!(matches!(
             generate_program(&module, 0),
             Err(CodegenError::TooManyParams(_))
@@ -883,7 +994,10 @@ mod tests {
         .expect("front-end");
         let program = generate_program(&module, 0).expect("codegen");
         let f = program.function("f").expect("f");
-        assert_eq!(f.loop_bounds.values().copied().collect::<Vec<_>>(), vec![12]);
+        assert_eq!(
+            f.loop_bounds.values().copied().collect::<Vec<_>>(),
+            vec![12]
+        );
     }
 
     #[test]
@@ -898,7 +1012,9 @@ mod tests {
             let mut machine = Machine::new(program).expect("load");
             for n in [0, 3, 8] {
                 machine.reset_data();
-                let r = machine.call("f", &[n], &mut RecordingDevice::new()).expect("run");
+                let r = machine
+                    .call("f", &[n], &mut RecordingDevice::new())
+                    .expect("run");
                 assert!(
                     wcet >= r.cycles,
                     "pinned={pinned} n={n}: WCET {wcet} < measured {}",
@@ -924,8 +1040,14 @@ mod tests {
         let mut machine = Machine::new(program).expect("load");
         for n in [0, 3, 8] {
             machine.reset_data();
-            let r = machine.call("f", &[n], &mut RecordingDevice::new()).expect("run");
-            assert!(wcec >= r.energy_pj, "WCEC {wcec} < measured {}", r.energy_pj);
+            let r = machine
+                .call("f", &[n], &mut RecordingDevice::new())
+                .expect("run");
+            assert!(
+                wcec >= r.energy_pj,
+                "WCEC {wcec} < measured {}",
+                r.energy_pj
+            );
         }
     }
 }

@@ -10,14 +10,14 @@ use crate::codegen::{generate_program, generate_program_with, CodegenError, Code
 use crate::fpa::{FpaConfig, MultiObjectiveFpa, ParetoPoint, SearchStats};
 use crate::passes::{run_passes, run_passes_per_function, PassSpec, Pipeline};
 use minipool::Pool;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use serde::{Deserialize, Serialize};
-use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
+use teamplay_energy::{analyze_program_energy_cached, IsaEnergyModel};
 use teamplay_isa::{encode::encode_sequence, CycleModel, Function, Program};
 use teamplay_minic::ir::IrModule;
-use teamplay_wcet::analyze_program;
+use teamplay_wcet::{analyze_program_cached, AnalysisCache};
 
 /// One compiler configuration — the genome the multi-objective search
 /// explores: a registry-backed IR pass [`Pipeline`] plus the two codegen
@@ -36,24 +36,40 @@ pub struct CompilerConfig {
 impl CompilerConfig {
     /// Everything off: the unoptimised reference point (O0).
     pub fn all_off() -> CompilerConfig {
-        CompilerConfig { pipeline: Pipeline::o0(), mul_shift_add: false, pinned_regs: 0 }
+        CompilerConfig {
+            pipeline: Pipeline::o0(),
+            mul_shift_add: false,
+            pinned_regs: 0,
+        }
     }
 
     /// The "traditional toolchain" baseline of the paper's evaluation:
     /// a generic single-objective setting (the O1 cleanup trio, no
     /// ETS-aware choices).
     pub fn traditional() -> CompilerConfig {
-        CompilerConfig { pipeline: Pipeline::o1(), mul_shift_add: false, pinned_regs: 0 }
+        CompilerConfig {
+            pipeline: Pipeline::o1(),
+            mul_shift_add: false,
+            pinned_regs: 0,
+        }
     }
 
     /// A balanced multi-criteria default (O2).
     pub fn balanced() -> CompilerConfig {
-        CompilerConfig { pipeline: Pipeline::o2(), mul_shift_add: false, pinned_regs: 2 }
+        CompilerConfig {
+            pipeline: Pipeline::o2(),
+            mul_shift_add: false,
+            pinned_regs: 2,
+        }
     }
 
     /// Time-first: every speed lever pulled (O3 + full pinning).
     pub fn performance() -> CompilerConfig {
-        CompilerConfig { pipeline: Pipeline::o3(), mul_shift_add: false, pinned_regs: 4 }
+        CompilerConfig {
+            pipeline: Pipeline::o3(),
+            mul_shift_add: false,
+            pinned_regs: 4,
+        }
     }
 
     /// Energy-first: accepts extra cycles for lower picojoules.
@@ -112,8 +128,10 @@ impl CompilerConfig {
     pub fn from_genome(genome: &[f64]) -> CompilerConfig {
         let g = |i: usize| genome.get(i).copied().unwrap_or(0.0);
         let menu = Self::SEARCH_PASSES.len();
-        let mut picks: Vec<(f64, usize)> =
-            (0..menu).filter(|&i| g(i) > 0.5).map(|i| (g(i), i)).collect();
+        let mut picks: Vec<(f64, usize)> = (0..menu)
+            .filter(|&i| g(i) > 0.5)
+            .map(|i| (g(i), i))
+            .collect();
         picks.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut pipeline = Pipeline::default();
         for (_, i) in picks {
@@ -169,12 +187,10 @@ impl CompilerConfig {
                 // window so `(g * scale) as usize` lands on the value.
                 match (spec.name.as_str(), spec.param) {
                     ("inline", Some(threshold)) => {
-                        genome[menu] =
-                            ((threshold as f64 - 20.0 + 0.5) / 60.0).clamp(0.0, 1.0);
+                        genome[menu] = ((threshold as f64 - 20.0 + 0.5) / 60.0).clamp(0.0, 1.0);
                     }
                     ("unroll", Some(trips)) => {
-                        genome[menu + 1] =
-                            ((trips as f64 - 2.0 + 0.5) / 14.0).clamp(0.0, 1.0);
+                        genome[menu + 1] = ((trips as f64 - 2.0 + 0.5) / 14.0).clamp(0.0, 1.0);
                     }
                     _ => {}
                 }
@@ -195,14 +211,18 @@ impl CompilerConfig {
         // can alternatively spend the duplicated-cleanup gene on it,
         // which is the only way to represent a repeated cleanup round.
         encode(passes, false).or_else(|| {
-            let tail: Vec<String> =
-                ["const_fold", "copy_prop", "dce"].iter().map(|s| s.to_string()).collect();
+            let tail: Vec<String> = ["const_fold", "copy_prop", "dce"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             let stem = passes.len().checked_sub(3)?;
             let tail_matches = passes[stem..]
                 .iter()
                 .zip(&tail)
                 .all(|(p, name)| p.param.is_none() && &p.name == name);
-            tail_matches.then(|| encode(&passes[..stem], true)).flatten()
+            tail_matches
+                .then(|| encode(&passes[..stem], true))
+                .flatten()
         })
     }
 
@@ -268,7 +288,10 @@ pub fn compile_module(ir: &IrModule, config: &CompilerConfig) -> Result<Program,
     run_passes(&mut module, config);
     generate_program(
         &module,
-        CodegenOpts { pinned_regs: config.pinned_regs, mul_shift_add: config.mul_shift_add },
+        CodegenOpts {
+            pinned_regs: config.pinned_regs,
+            mul_shift_add: config.mul_shift_add,
+        },
     )
 }
 
@@ -290,14 +313,20 @@ pub fn compile_module_per_function(
         .map(|(name, c)| {
             (
                 name.clone(),
-                CodegenOpts { pinned_regs: c.pinned_regs, mul_shift_add: c.mul_shift_add },
+                CodegenOpts {
+                    pinned_regs: c.pinned_regs,
+                    mul_shift_add: c.mul_shift_add,
+                },
             )
         })
         .collect();
     generate_program_with(
         &module,
         &codegen_opts,
-        CodegenOpts { pinned_regs: default.pinned_regs, mul_shift_add: default.mul_shift_add },
+        CodegenOpts {
+            pinned_regs: default.pinned_regs,
+            mul_shift_add: default.mul_shift_add,
+        },
     )
 }
 
@@ -367,6 +396,27 @@ impl serde::Deserialize for ModuleMetrics {
     }
 }
 
+/// The per-function analysis memos one [`EvalCache`] owns: WCET and
+/// WCEC results keyed by function content hash, shared by every
+/// configuration evaluated against the same module and platform. Across
+/// the thousands of variants a search compiles, most configurations
+/// leave most functions byte-identical — those functions are analysed
+/// once, ever.
+#[derive(Debug, Default)]
+pub struct AnalysisMemo {
+    /// Cycle-bound memo (one per [`CycleModel`]).
+    pub wcet: AnalysisCache,
+    /// Energy-bound memo (one per model pair).
+    pub energy: AnalysisCache,
+}
+
+impl AnalysisMemo {
+    /// Fresh, empty memos.
+    pub fn new() -> AnalysisMemo {
+        AnalysisMemo::default()
+    }
+}
+
 /// Compile and statically analyse a module under a configuration.
 ///
 /// # Errors
@@ -378,10 +428,30 @@ pub fn evaluate_module(
     cycle_model: &CycleModel,
     energy_model: &IsaEnergyModel,
 ) -> Result<(Program, ModuleMetrics), String> {
+    evaluate_module_memo(ir, config, cycle_model, energy_model, &AnalysisMemo::new())
+}
+
+/// [`evaluate_module`] with per-function analysis memoization: the
+/// WCET/WCEC of every function whose compiled form (content hash +
+/// callee bounds) was already analysed under any earlier configuration
+/// is replayed from `memo`. Memoized results are exact, so this is
+/// observationally identical to [`evaluate_module`] — the [`EvalCache`]
+/// routes every evaluation through its own memo.
+///
+/// # Errors
+/// See [`evaluate_module`].
+pub fn evaluate_module_memo(
+    ir: &IrModule,
+    config: &CompilerConfig,
+    cycle_model: &CycleModel,
+    energy_model: &IsaEnergyModel,
+    memo: &AnalysisMemo,
+) -> Result<(Program, ModuleMetrics), String> {
     let program = compile_module(ir, config).map_err(|e| e.to_string())?;
-    let wcet = analyze_program(&program, cycle_model).map_err(|e| e.to_string())?;
-    let energy =
-        analyze_program_energy(&program, energy_model, cycle_model).map_err(|e| e.to_string())?;
+    let wcet =
+        analyze_program_cached(&program, cycle_model, &memo.wcet).map_err(|e| e.to_string())?;
+    let energy = analyze_program_energy_cached(&program, energy_model, cycle_model, &memo.energy)
+        .map_err(|e| e.to_string())?;
     let mut functions = Vec::new();
     for (name, f) in &program.functions {
         functions.push((
@@ -411,6 +481,11 @@ pub struct EvalCache<'a> {
     cycle_model: &'a CycleModel,
     energy_model: &'a IsaEnergyModel,
     entries: Mutex<HashMap<CompilerConfig, Arc<OnceLock<Option<CachedEval>>>>>,
+    /// Per-function WCET/WCEC memos shared by every configuration this
+    /// cache evaluates (a second memoization layer *below* the
+    /// config-keyed one: distinct configs mostly recompile identical
+    /// functions).
+    memo: AnalysisMemo,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -431,6 +506,7 @@ impl<'a> EvalCache<'a> {
             cycle_model,
             energy_model,
             entries: Mutex::new(HashMap::new()),
+            memo: AnalysisMemo::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -441,14 +517,23 @@ impl<'a> EvalCache<'a> {
     pub fn evaluate(&self, config: &CompilerConfig) -> Option<CachedEval> {
         let cell = {
             let mut entries = self.entries.lock().expect("eval cache lock");
-            entries.entry(config.clone()).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+            entries
+                .entry(config.clone())
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
         };
         let mut computed = false;
         let value = cell.get_or_init(|| {
             computed = true;
-            evaluate_module(self.ir, config, self.cycle_model, self.energy_model)
-                .ok()
-                .map(|(program, metrics)| (Arc::new(program), metrics))
+            evaluate_module_memo(
+                self.ir,
+                config,
+                self.cycle_model,
+                self.energy_model,
+                &self.memo,
+            )
+            .ok()
+            .map(|(program, metrics)| (Arc::new(program), metrics))
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -468,6 +553,12 @@ impl<'a> EvalCache<'a> {
     /// probed).
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The per-function analysis memos this cache's evaluations share
+    /// (hit/miss counters tell how many function analyses were replays).
+    pub fn analysis_memo(&self) -> &AnalysisMemo {
+        &self.memo
     }
 }
 
@@ -521,7 +612,15 @@ pub fn pareto_search(
     fpa_config: FpaConfig,
     seed: u64,
 ) -> ParetoFront {
-    pareto_search_on(minipool::global(), ir, task, cycle_model, energy_model, fpa_config, seed)
+    pareto_search_on(
+        minipool::global(),
+        ir,
+        task,
+        cycle_model,
+        energy_model,
+        fpa_config,
+        seed,
+    )
 }
 
 /// The full variant search on an explicit pool: FPA-driven, memoized by
@@ -589,7 +688,11 @@ pub fn pareto_search_with_cache_seeded(
         let config = CompilerConfig::from_genome(genome);
         let (_, metrics) = cache.evaluate(&config)?;
         let m = metrics.of(task)?;
-        Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+        Some(vec![
+            m.wcet_cycles as f64,
+            m.wcec_pj,
+            m.code_halfwords as f64,
+        ])
     });
 
     let mut variants: Vec<TaskVariant> = Vec::new();
@@ -605,12 +708,23 @@ pub fn pareto_search_with_cache_seeded(
             continue;
         };
         let m = *metrics.of(task).expect("task analysed");
-        debug_assert!((m.wcet_cycles as f64 - objectives[0]).abs() < 1.0);
-        variants.push(TaskVariant { config, metrics: m, program });
+        // The objective vector carries the cycle bound *exactly* (u64 →
+        // f64 is lossless far beyond any realistic bound), so a 1-cycle
+        // IPET improvement can never hide behind an epsilon.
+        debug_assert_eq!(m.wcet_cycles, objectives[0] as u64);
+        debug_assert_eq!(m.wcet_cycles as f64, objectives[0]);
+        variants.push(TaskVariant {
+            config,
+            metrics: m,
+            program,
+        });
     }
     variants.sort_by_key(|v| v.metrics.wcet_cycles);
 
-    ParetoFront { variants, stats: outcome.stats }
+    ParetoFront {
+        variants,
+        stats: outcome.stats,
+    }
 }
 
 #[cfg(test)]
@@ -651,7 +765,12 @@ mod tests {
         let cm = CycleModel::pg32();
         let em = IsaEnergyModel::pg32_datasheet();
         let eval = |c: &CompilerConfig| {
-            evaluate_module(&ir, c, &cm, &em).expect("evaluate").1.of("filter").copied().expect("filter")
+            evaluate_module(&ir, c, &cm, &em)
+                .expect("evaluate")
+                .1
+                .of("filter")
+                .copied()
+                .expect("filter")
         };
         let off = eval(&CompilerConfig::all_off());
         let traditional = eval(&CompilerConfig::traditional());
@@ -678,7 +797,9 @@ mod tests {
         ] {
             let program = compile_module(&ir, &config).expect("compile");
             let mut machine = Machine::new(program).expect("load");
-            let r = machine.call("filter", &[5], &mut RecordingDevice::new()).expect("run");
+            let r = machine
+                .call("filter", &[5], &mut RecordingDevice::new())
+                .expect("run");
             match reference {
                 None => reference = Some(r.return_value),
                 Some(v) => assert_eq!(v, r.return_value, "config {config:?} diverged"),
@@ -692,10 +813,21 @@ mod tests {
         assert!(lo.pipeline.passes.is_empty() && lo.pinned_regs == 0 && !lo.mul_shift_add);
         let hi = CompilerConfig::from_genome(&[1.0; CompilerConfig::GENOME_DIMS]);
         assert!(hi.pipeline.contains("inline") && hi.pinned_regs == 4 && hi.mul_shift_add);
-        assert_eq!(hi.pipeline.param_of("inline"), Some(80), "threshold scales with its gene");
-        assert_eq!(hi.pipeline.param_of("unroll"), Some(16), "trip ceiling scales with its gene");
+        assert_eq!(
+            hi.pipeline.param_of("inline"),
+            Some(80),
+            "threshold scales with its gene"
+        );
+        assert_eq!(
+            hi.pipeline.param_of("unroll"),
+            Some(16),
+            "trip ceiling scales with its gene"
+        );
         for name in CompilerConfig::SEARCH_PASSES {
-            assert!(hi.pipeline.contains(name), "{name} missing from the full genome");
+            assert!(
+                hi.pipeline.contains(name),
+                "{name} missing from the full genome"
+            );
         }
         // All keys tied at 1.0: menu order, plus the duplicated cleanup tail.
         assert_eq!(
@@ -765,14 +897,20 @@ mod tests {
                     && (a.metrics.wcet_cycles < b.metrics.wcet_cycles
                         || a.metrics.wcec_pj < b.metrics.wcec_pj
                         || a.metrics.code_halfwords < b.metrics.code_halfwords);
-                assert!(!adom, "archive member dominated: {:?} vs {:?}", a.metrics, b.metrics);
+                assert!(
+                    !adom,
+                    "archive member dominated: {:?} vs {:?}",
+                    a.metrics, b.metrics
+                );
             }
         }
         // All variants still compute the same function.
         let mut reference: Option<i32> = None;
         for v in &variants {
             let mut machine = Machine::new(v.program.as_ref().clone()).expect("load");
-            let r = machine.call("filter", &[3], &mut RecordingDevice::new()).expect("run");
+            let r = machine
+                .call("filter", &[3], &mut RecordingDevice::new())
+                .expect("run");
             match reference {
                 None => reference = Some(r.return_value),
                 Some(x) => assert_eq!(x, r.return_value),
@@ -788,8 +926,15 @@ mod tests {
         let ir = compile_to_ir(TASK).expect("front-end");
         let cm = CycleModel::pg32();
         let em = IsaEnergyModel::pg32_datasheet();
-        let sequential =
-            pareto_search_on(&Pool::new(1), &ir, "filter", &cm, &em, FpaConfig::standard(), 77);
+        let sequential = pareto_search_on(
+            &Pool::new(1),
+            &ir,
+            "filter",
+            &cm,
+            &em,
+            FpaConfig::standard(),
+            77,
+        );
         let seq_bytes = serde_json::to_string(&sequential.variants).expect("serializes");
         for threads in [2, 4] {
             let parallel = pareto_search_on(
@@ -803,7 +948,10 @@ mod tests {
             );
             let par_bytes = serde_json::to_string(&parallel.variants).expect("serializes");
             assert_eq!(seq_bytes, par_bytes, "{threads}-thread front diverged");
-            assert_eq!(sequential.stats, parallel.stats, "{threads}-thread stats diverged");
+            assert_eq!(
+                sequential.stats, parallel.stats,
+                "{threads}-thread stats diverged"
+            );
         }
     }
 
@@ -830,7 +978,10 @@ mod tests {
         assert!(stats.cache_hits > front.variants.len(), "{stats:?}");
         // Every cache probe is either a hit or a miss, and the archive
         // reconstruction probes are all hits (≥ one per variant).
-        assert_eq!(stats.cache_hits + stats.cache_misses, stats.evaluations + front.variants.len());
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses,
+            stats.evaluations + front.variants.len()
+        );
         assert!(stats.cache_hits >= front.variants.len(), "{stats:?}");
     }
 
@@ -855,15 +1006,22 @@ mod tests {
                 let config = CompilerConfig::from_genome_fixed_order(genome);
                 let (_, metrics) = cache.evaluate(&config)?;
                 let m = metrics.of("filter")?;
-                Some(vec![m.wcet_cycles as f64, m.wcec_pj, m.code_halfwords as f64])
+                Some(vec![
+                    m.wcet_cycles as f64,
+                    m.wcec_pj,
+                    m.code_halfwords as f64,
+                ])
             },
         );
         assert!(!fixed.archive.is_empty());
 
-        let permuted =
-            pareto_search(&ir, "filter", &cm, &em, FpaConfig::standard(), seed).variants;
+        let permuted = pareto_search(&ir, "filter", &cm, &em, FpaConfig::standard(), seed).variants;
         let dominates = |new: &VariantMetrics, old: &[f64]| {
-            let n = [new.wcet_cycles as f64, new.wcec_pj, new.code_halfwords as f64];
+            let n = [
+                new.wcet_cycles as f64,
+                new.wcec_pj,
+                new.code_halfwords as f64,
+            ];
             n.iter().zip(old).all(|(a, b)| a <= b) && n.iter().zip(old).any(|(a, b)| a < b)
         };
         assert!(
@@ -912,12 +1070,20 @@ mod tests {
             pipeline: "unroll(64),const_fold".parse().expect("valid"),
             ..CompilerConfig::balanced()
         };
-        assert_eq!(too_deep.to_genome(), None, "unroll(64) is outside the genome range");
+        assert_eq!(
+            too_deep.to_genome(),
+            None,
+            "unroll(64) is outside the genome range"
+        );
         let doubled = CompilerConfig {
             pipeline: "licm,licm".parse().expect("valid"),
             ..CompilerConfig::balanced()
         };
-        assert_eq!(doubled.to_genome(), None, "non-tail repetition is not representable");
+        assert_eq!(
+            doubled.to_genome(),
+            None,
+            "non-tail repetition is not representable"
+        );
     }
 
     #[test]
@@ -930,15 +1096,24 @@ mod tests {
         let cm = CycleModel::pg32();
         let em = IsaEnergyModel::pg32_datasheet();
         let tuned = CompilerConfig {
-            pipeline: "inline(24),licm,cse,const_fold,copy_prop,dce".parse().expect("valid"),
+            pipeline: "inline(24),licm,cse,const_fold,copy_prop,dce"
+                .parse()
+                .expect("valid"),
             ..CompilerConfig::balanced()
         };
         let genome = tuned.to_genome().expect("tuned pipeline is representable");
         let cache = EvalCache::new(&ir, &cm, &em);
-        let tuned_metrics =
-            *cache.evaluate(&tuned).expect("tuned compiles").1.of("filter").expect("task");
+        let tuned_metrics = *cache
+            .evaluate(&tuned)
+            .expect("tuned compiles")
+            .1
+            .of("filter")
+            .expect("task");
 
-        let gen0 = FpaConfig { iterations: 0, ..FpaConfig::tiny() };
+        let gen0 = FpaConfig {
+            iterations: 0,
+            ..FpaConfig::tiny()
+        };
         let front = pareto_search_with_cache_seeded(
             &Pool::new(1),
             &cache,
@@ -974,8 +1149,10 @@ mod tests {
     fn eval_cache_failures_are_memoized_as_infeasible() {
         // Unbounded loop: WCET analysis fails, so evaluation must yield
         // None — from the cache on the second probe.
-        let ir = compile_to_ir("int spin(int n) { int s = 0; while (n > 0) { n = n - 1; s = s + 1; } return s; }")
-            .expect("front-end");
+        let ir = compile_to_ir(
+            "int spin(int n) { int s = 0; while (n > 0) { n = n - 1; s = s + 1; } return s; }",
+        )
+        .expect("front-end");
         let cm = CycleModel::pg32();
         let em = IsaEnergyModel::pg32_datasheet();
         let cache = EvalCache::new(&ir, &cm, &em);
@@ -985,8 +1162,52 @@ mod tests {
     }
 
     #[test]
+    fn analysis_memo_replays_functions_untouched_by_a_config_change() {
+        // Two configurations whose pipelines differ only in a pass that
+        // rewrites one function: the untouched function compiles
+        // byte-identically under both, so its WCET/WCEC analyses are
+        // memo replays (hits on the per-function content-hash caches),
+        // not re-analyses.
+        let src = "
+            int leaf(int v) { return v + v + 3; }
+            int hot(int x) {
+                int s = 0;
+                for (int i = 0; i < 6; i = i + 1) { s = s + x * i; }
+                return s + leaf(x);
+            }";
+        let ir = compile_to_ir(src).expect("front-end");
+        let cm = CycleModel::pg32();
+        let em = IsaEnergyModel::pg32_datasheet();
+        let cache = EvalCache::new(&ir, &cm, &em);
+        let base = CompilerConfig::all_off();
+        cache.evaluate(&base).expect("base evaluates");
+        let memo = cache.analysis_memo();
+        let (h0, m0) = (memo.wcet.hits(), memo.wcet.misses());
+        assert_eq!((h0, m0), (0, 2), "leaf and hot analysed once each");
+
+        // `unroll(8)` rewrites `hot` (provable 6-trip loop) and leaves
+        // `leaf` untouched.
+        let unrolled = CompilerConfig {
+            pipeline: "unroll(8)".parse().expect("valid"),
+            ..CompilerConfig::all_off()
+        };
+        let (_, metrics) = cache.evaluate(&unrolled).expect("unrolled evaluates");
+        assert!(memo.wcet.hits() > h0, "leaf's analysis must be a replay");
+        assert_eq!(memo.wcet.misses(), m0 + 1, "only hot is re-analysed");
+        assert!(memo.energy.hits() > 0, "the energy memo shares the keying");
+        // Memoized evaluation is observationally identical to a fresh
+        // one.
+        let (_, fresh) = evaluate_module(&ir, &unrolled, &cm, &em).expect("fresh");
+        assert_eq!(&fresh, &metrics);
+    }
+
+    #[test]
     fn module_metrics_sort_and_binary_search() {
-        let m = |w| VariantMetrics { wcet_cycles: w, wcec_pj: 1.0, code_halfwords: 4 };
+        let m = |w| VariantMetrics {
+            wcet_cycles: w,
+            wcec_pj: 1.0,
+            code_halfwords: 4,
+        };
         let metrics = ModuleMetrics::new(vec![
             ("zeta".into(), m(3)),
             ("alpha".into(), m(1)),

@@ -75,7 +75,11 @@ impl FpaConfig {
 
     /// A smoke-test-sized configuration.
     pub fn tiny() -> FpaConfig {
-        FpaConfig { population: 6, iterations: 4, ..FpaConfig::standard() }
+        FpaConfig {
+            population: 6,
+            iterations: 4,
+            ..FpaConfig::standard()
+        }
     }
 }
 
@@ -201,7 +205,10 @@ impl MultiObjectiveFpa {
         let mut population: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
         population.push(vec![0.0; dims]);
         population.push(vec![1.0; dims]);
-        for s in seeds.iter().take(cfg.population.saturating_sub(population.len())) {
+        for s in seeds
+            .iter()
+            .take(cfg.population.saturating_sub(population.len()))
+        {
             let mut g = s.clone();
             g.resize(dims, 0.0);
             for x in &mut g {
@@ -338,12 +345,17 @@ fn gamma_approx(x: f64) -> f64 {
 /// Insert into the archive, keeping it non-dominated and within `cap`
 /// (crowding-distance pruning, NSGA-II style).
 fn insert_archive(archive: &mut Vec<ParetoPoint>, genome: &[f64], objectives: &[f64], cap: usize) {
-    if archive.iter().any(|p| dominates(&p.objectives, objectives) || p.objectives == objectives)
+    if archive
+        .iter()
+        .any(|p| dominates(&p.objectives, objectives) || p.objectives == objectives)
     {
         return;
     }
     archive.retain(|p| !dominates(objectives, &p.objectives));
-    archive.push(ParetoPoint { genome: genome.to_vec(), objectives: objectives.to_vec() });
+    archive.push(ParetoPoint {
+        genome: genome.to_vec(),
+        objectives: objectives.to_vec(),
+    });
     if archive.len() > cap {
         let distances = crowding_distances(archive);
         let (victim, _) = distances
@@ -373,9 +385,8 @@ fn crowding_distances(archive: &[ParetoPoint]) -> Vec<f64> {
         dist[idx[0]] = f64::INFINITY;
         dist[idx[n - 1]] = f64::INFINITY;
         for w in 1..n - 1 {
-            dist[idx[w]] += (archive[idx[w + 1]].objectives[obj]
-                - archive[idx[w - 1]].objectives[obj])
-                / range;
+            dist[idx[w]] +=
+                (archive[idx[w + 1]].objectives[obj] - archive[idx[w - 1]].objectives[obj]) / range;
         }
     }
     dist
@@ -423,7 +434,10 @@ mod tests {
     fn search_approaches_the_zdt1_front() {
         // The true front has g = 1 (x1..=0). After a short run the
         // archive should contain points with small g.
-        let fpa = MultiObjectiveFpa::new(FpaConfig { iterations: 40, ..FpaConfig::standard() });
+        let fpa = MultiObjectiveFpa::new(FpaConfig {
+            iterations: 40,
+            ..FpaConfig::standard()
+        });
         let out = fpa.run(3, 7, zdt1);
         let best_g = out
             .archive
@@ -453,10 +467,16 @@ mod tests {
         let sequential = fpa.run_on(&Pool::new(1), 3, 1337, zdt1);
         for threads in [2, 4, 8] {
             let parallel = fpa.run_on(&Pool::new(threads), 3, 1337, zdt1);
-            assert_eq!(sequential.archive, parallel.archive, "{threads} threads diverged");
+            assert_eq!(
+                sequential.archive, parallel.archive,
+                "{threads} threads diverged"
+            );
             assert_eq!(sequential.stats, parallel.stats);
         }
-        assert_eq!(sequential.stats.generations, FpaConfig::standard().iterations);
+        assert_eq!(
+            sequential.stats.generations,
+            FpaConfig::standard().iterations
+        );
     }
 
     #[test]
@@ -477,12 +497,23 @@ mod tests {
         // front must weakly dominate the seed's objectives.
         let seed_genome = vec![0.2, 0.0, 0.0]; // on the true ZDT1 front
         let expected = zdt1(&seed_genome).expect("feasible");
-        let fpa = MultiObjectiveFpa::new(FpaConfig { iterations: 0, ..FpaConfig::tiny() });
-        let out =
-            fpa.run_on_seeded(&Pool::new(1), 3, 5, std::slice::from_ref(&seed_genome), zdt1);
+        let fpa = MultiObjectiveFpa::new(FpaConfig {
+            iterations: 0,
+            ..FpaConfig::tiny()
+        });
+        let out = fpa.run_on_seeded(
+            &Pool::new(1),
+            3,
+            5,
+            std::slice::from_ref(&seed_genome),
+            zdt1,
+        );
         assert!(
             out.archive.iter().any(|p| {
-                p.objectives.iter().zip(&expected).all(|(a, b)| *a <= b + 1e-12)
+                p.objectives
+                    .iter()
+                    .zip(&expected)
+                    .all(|(a, b)| *a <= b + 1e-12)
             }),
             "no archive point weakly dominates the seed: {:?}",
             out.archive
@@ -512,7 +543,11 @@ mod tests {
 
     #[test]
     fn archive_cap_is_respected() {
-        let cfg = FpaConfig { archive_cap: 5, iterations: 30, ..FpaConfig::standard() };
+        let cfg = FpaConfig {
+            archive_cap: 5,
+            iterations: 30,
+            ..FpaConfig::standard()
+        };
         let fpa = MultiObjectiveFpa::new(cfg);
         let out = fpa.run(3, 11, zdt1);
         assert!(out.archive.len() <= 5);

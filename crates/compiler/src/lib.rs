@@ -47,10 +47,10 @@ pub mod passes;
 
 pub use codegen::{generate_function, generate_program, CodegenError, CodegenOpts};
 pub use driver::{
-    compile_module, compile_module_per_function, evaluate_module, pareto_front_for,
-    pareto_search, pareto_search_on, pareto_search_with_cache, pareto_search_with_cache_seeded,
-    CachedEval, CompilerConfig,
-    EvalCache, ModuleMetrics, ParetoFront, TaskVariant, VariantMetrics,
+    compile_module, compile_module_per_function, evaluate_module, evaluate_module_memo,
+    pareto_front_for, pareto_search, pareto_search_on, pareto_search_with_cache,
+    pareto_search_with_cache_seeded, AnalysisMemo, CachedEval, CompilerConfig, EvalCache,
+    ModuleMetrics, ParetoFront, TaskVariant, VariantMetrics,
 };
 pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint, SearchStats};
 pub use passes::{

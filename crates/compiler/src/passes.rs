@@ -85,7 +85,9 @@ use std::fmt;
 use std::str::FromStr;
 use teamplay_minic::ast::{BinOp, UnOp};
 use teamplay_minic::interp::eval_binop;
-use teamplay_minic::ir::{CallArg, IrBlockId, IrFunction, IrModule, IrOp, IrTerm, MemBase, Operand, Temp};
+use teamplay_minic::ir::{
+    CallArg, IrBlockId, IrFunction, IrModule, IrOp, IrTerm, MemBase, Operand, Temp,
+};
 
 // =====================================================================
 // Pass implementations (free functions — the reusable cores)
@@ -141,10 +143,17 @@ pub fn const_fold(f: &mut IrFunction) -> bool {
             }
             // Then fold.
             let folded: Option<(Temp, i32)> = match op {
-                IrOp::Bin { op: bop, dst, a: Operand::Const(x), b: Operand::Const(y) } => {
-                    Some((*dst, eval_binop(*bop, *x, *y)))
-                }
-                IrOp::Un { op: uop, dst, a: Operand::Const(x) } => {
+                IrOp::Bin {
+                    op: bop,
+                    dst,
+                    a: Operand::Const(x),
+                    b: Operand::Const(y),
+                } => Some((*dst, eval_binop(*bop, *x, *y))),
+                IrOp::Un {
+                    op: uop,
+                    dst,
+                    a: Operand::Const(x),
+                } => {
                     let v = match uop {
                         UnOp::Neg => x.wrapping_neg(),
                         UnOp::BitNot => !*x,
@@ -152,13 +161,24 @@ pub fn const_fold(f: &mut IrFunction) -> bool {
                     };
                     Some((*dst, v))
                 }
-                IrOp::Copy { dst, src: Operand::Const(x) } => Some((*dst, *x)),
-                IrOp::Select { dst, cond: Operand::Const(c), t, f: fv } => {
+                IrOp::Copy {
+                    dst,
+                    src: Operand::Const(x),
+                } => Some((*dst, *x)),
+                IrOp::Select {
+                    dst,
+                    cond: Operand::Const(c),
+                    t,
+                    f: fv,
+                } => {
                     let chosen = if *c != 0 { *t } else { *fv };
                     if let Operand::Const(v) = chosen {
                         Some((*dst, v))
                     } else {
-                        *op = IrOp::Copy { dst: *dst, src: chosen };
+                        *op = IrOp::Copy {
+                            dst: *dst,
+                            src: chosen,
+                        };
                         changed = true;
                         // The copy may still bind a constant next pass.
                         None
@@ -173,18 +193,34 @@ pub fn const_fold(f: &mut IrFunction) -> bool {
                 env.remove(d);
             }
             if let Some((dst, v)) = folded {
-                if !matches!(op, IrOp::Copy { src: Operand::Const(_), .. }) {
-                    *op = IrOp::Copy { dst, src: Operand::Const(v) };
+                if !matches!(
+                    op,
+                    IrOp::Copy {
+                        src: Operand::Const(_),
+                        ..
+                    }
+                ) {
+                    *op = IrOp::Copy {
+                        dst,
+                        src: Operand::Const(v),
+                    };
                     changed = true;
                 }
                 env.insert(dst, v);
             }
         }
         // Terminator folding: constant branches become jumps.
-        if let IrTerm::Branch { cond, taken, fallthrough } = &b.term {
+        if let IrTerm::Branch {
+            cond,
+            taken,
+            fallthrough,
+        } = &b.term
+        {
             let folded = match cond {
                 Operand::Const(c) => Some(if *c != 0 { *taken } else { *fallthrough }),
-                Operand::Temp(t) => env.get(t).map(|v| if *v != 0 { *taken } else { *fallthrough }),
+                Operand::Temp(t) => env
+                    .get(t)
+                    .map(|v| if *v != 0 { *taken } else { *fallthrough }),
             };
             if let Some(target) = folded {
                 b.term = IrTerm::Jump(target);
@@ -407,7 +443,12 @@ pub fn strength_reduce_mul(f: &mut IrFunction, shift_add: bool) -> bool {
         for op in ops {
             // Normalise const-on-left multiplications.
             let (dst, x, c) = match op {
-                IrOp::Bin { op: BinOp::Mul, dst, a, b } => match (a, b) {
+                IrOp::Bin {
+                    op: BinOp::Mul,
+                    dst,
+                    a,
+                    b,
+                } => match (a, b) {
                     (x, Operand::Const(c)) => (dst, x, Some(c)),
                     (Operand::Const(c), x) => (dst, x, Some(c)),
                     _ => {
@@ -421,12 +462,20 @@ pub fn strength_reduce_mul(f: &mut IrFunction, shift_add: bool) -> bool {
                 }
             };
             let Some(c) = c else {
-                new_ops.push(IrOp::Bin { op: BinOp::Mul, dst, a: x, b: x });
+                new_ops.push(IrOp::Bin {
+                    op: BinOp::Mul,
+                    dst,
+                    a: x,
+                    b: x,
+                });
                 continue;
             };
             match c {
                 0 => {
-                    new_ops.push(IrOp::Copy { dst, src: Operand::Const(0) });
+                    new_ops.push(IrOp::Copy {
+                        dst,
+                        src: Operand::Const(0),
+                    });
                     changed = true;
                 }
                 1 => {
@@ -469,7 +518,10 @@ pub fn strength_reduce_mul(f: &mut IrFunction, shift_add: bool) -> bool {
                             });
                             acc = t;
                         }
-                        new_ops.push(IrOp::Copy { dst, src: Operand::Temp(acc) });
+                        new_ops.push(IrOp::Copy {
+                            dst,
+                            src: Operand::Temp(acc),
+                        });
                         changed = true;
                     } else {
                         new_ops.push(IrOp::Bin {
@@ -493,7 +545,11 @@ const MAX_INLINES_PER_FUNCTION: usize = 24;
 /// Clone every function body by name — the callee snapshot inlining
 /// reads from ([`PassContext::functions`]).
 pub fn snapshot_functions(module: &IrModule) -> HashMap<String, IrFunction> {
-    module.functions.iter().map(|f| (f.name.clone(), f.clone())).collect()
+    module
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), f.clone()))
+        .collect()
 }
 
 /// Is `start` (even mutually) recursive, judged on a body snapshot?
@@ -501,7 +557,9 @@ fn is_recursive(snapshot: &HashMap<String, IrFunction>, start: &str) -> bool {
     let mut stack = vec![start.to_string()];
     let mut seen = vec![start.to_string()];
     while let Some(cur) = stack.pop() {
-        let Some(f) = snapshot.get(&cur) else { continue };
+        let Some(f) = snapshot.get(&cur) else {
+            continue;
+        };
         for b in &f.blocks {
             for op in &b.ops {
                 if let IrOp::Call { func, .. } = op {
@@ -567,7 +625,9 @@ fn inline_with_budget(
                 }
             }
         }
-        let Some((bi, oi, callee_name)) = site else { break };
+        let Some((bi, oi, callee_name)) = site else {
+            break;
+        };
         let callee = snapshot[&callee_name].clone();
         inline_site(f, bi, oi, &callee);
         *budget -= 1;
@@ -701,18 +761,24 @@ fn inline_site(caller: &mut IrFunction, bi: usize, oi: usize, callee: &IrFunctio
                     t: remap_operand(*t),
                     f: remap_operand(*f),
                 },
-                IrOp::In { dst, port } => {
-                    IrOp::In { dst: Temp(dst.0 + temp_offset), port: *port }
-                }
-                IrOp::Out { port, value } => {
-                    IrOp::Out { port: *port, value: remap_operand(*value) }
-                }
+                IrOp::In { dst, port } => IrOp::In {
+                    dst: Temp(dst.0 + temp_offset),
+                    port: *port,
+                },
+                IrOp::Out { port, value } => IrOp::Out {
+                    port: *port,
+                    value: remap_operand(*value),
+                },
             };
             ops.push(new_op);
         }
         let term = match &cb.term {
             IrTerm::Jump(t) => IrTerm::Jump(IrBlockId(t.0 + block_offset)),
-            IrTerm::Branch { cond, taken, fallthrough } => IrTerm::Branch {
+            IrTerm::Branch {
+                cond,
+                taken,
+                fallthrough,
+            } => IrTerm::Branch {
                 cond: remap_operand(*cond),
                 taken: IrBlockId(taken.0 + block_offset),
                 fallthrough: IrBlockId(fallthrough.0 + block_offset),
@@ -721,22 +787,30 @@ fn inline_site(caller: &mut IrFunction, bi: usize, oi: usize, callee: &IrFunctio
                 // Return becomes: bind the destination, jump to the
                 // continuation.
                 if let (Some(d), Some(v)) = (dst, v) {
-                    ops.push(IrOp::Copy { dst: d, src: remap_operand(*v) });
+                    ops.push(IrOp::Copy {
+                        dst: d,
+                        src: remap_operand(*v),
+                    });
                 }
                 IrTerm::Jump(cont_id)
             }
         };
-        caller.blocks.push(teamplay_minic::ir::IrBlock { ops, term });
+        caller
+            .blocks
+            .push(teamplay_minic::ir::IrBlock { ops, term });
     }
 
     // Continuation block.
-    caller
-        .blocks
-        .push(teamplay_minic::ir::IrBlock { ops: post_ops, term: original_term });
+    caller.blocks.push(teamplay_minic::ir::IrBlock {
+        ops: post_ops,
+        term: original_term,
+    });
 
     // Callee loop bounds transfer (remapped).
     for (hb, bound) in &callee.loop_bounds {
-        caller.loop_bounds.insert(IrBlockId(hb.0 + block_offset), *bound);
+        caller
+            .loop_bounds
+            .insert(IrBlockId(hb.0 + block_offset), *bound);
     }
 
     // Enter the inlined body.
@@ -880,7 +954,11 @@ fn ensure_preheader(
     let outside: Vec<usize> = (0..f.blocks.len())
         .filter(|bi| !body.contains(bi))
         .filter(|bi| {
-            f.blocks[*bi].term.successors().iter().any(|s| s.index() == header)
+            f.blocks[*bi]
+                .term
+                .successors()
+                .iter()
+                .any(|s| s.index() == header)
         })
         .collect();
     if let [single] = outside[..] {
@@ -902,7 +980,9 @@ fn ensure_preheader(
         };
         match &mut f.blocks[bi].term {
             IrTerm::Jump(t) => retarget(t),
-            IrTerm::Branch { taken, fallthrough, .. } => {
+            IrTerm::Branch {
+                taken, fallthrough, ..
+            } => {
                 retarget(taken);
                 retarget(fallthrough);
             }
@@ -931,8 +1011,13 @@ impl ExprKey {
         Some(match op {
             IrOp::Bin { op, a, b, .. } => {
                 let (a, b) = match op {
-                    BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
-                    | BinOp::Eq | BinOp::Ne
+                    BinOp::Add
+                    | BinOp::Mul
+                    | BinOp::And
+                    | BinOp::Or
+                    | BinOp::Xor
+                    | BinOp::Eq
+                    | BinOp::Ne
                         if rank(b) < rank(a) =>
                     {
                         (*b, *a)
@@ -998,7 +1083,10 @@ pub fn local_cse(f: &mut IrFunction) -> bool {
             if let (Some(key), Some(dst)) = (&key, op_dst(op)) {
                 if let Some(prev) = available.get(key) {
                     if *prev != dst {
-                        *op = IrOp::Copy { dst, src: Operand::Temp(*prev) };
+                        *op = IrOp::Copy {
+                            dst,
+                            src: Operand::Temp(*prev),
+                        };
                         changed = true;
                         replaced = true;
                     }
@@ -1066,18 +1154,214 @@ fn exact_trips(init: i64, limit: i64, step: i64, cmp: BinOp) -> Option<i64> {
     Some(count)
 }
 
+/// A recognised canonical counted loop with a provable exact trip
+/// count: shared between [`unroll_loops`] (which replays the body
+/// `trips` times) and [`proven_loop_bounds`] (which surfaces `trips` as
+/// a WCET flow fact even when the loop is *not* unrolled).
+struct CountedLoop {
+    /// Header block index.
+    header: usize,
+    /// The single body block.
+    body: usize,
+    /// The header's condition temp (`ct = i <cmp> limit`).
+    ct: Temp,
+    /// The induction temp.
+    i: Temp,
+    /// The header comparison.
+    cmp: BinOp,
+    /// The constant limit.
+    limit: i32,
+    /// The loop's exit block.
+    exit: IrBlockId,
+    /// Exact body-execution count, provable from IR constants.
+    trips: i64,
+}
+
+/// Recognise the canonical lowered counted-loop shape over natural loop
+/// `l` — a two-block loop whose header's only op compares the induction
+/// temp against a constant, whose body jumps straight back, updates the
+/// induction temp exactly once by a constant step (directly or through
+/// the lowered `t = i ± s; i = t` pair) and never reads the condition
+/// temp, with a constant init in the unique entry predecessor — and
+/// compute its exact trip count. Upper-bound annotations are never
+/// trusted; only IR constants are.
+fn recognise_counted_loop(
+    f: &IrFunction,
+    l: &teamplay_minic::cfg::NaturalLoop,
+) -> Option<CountedLoop> {
+    if l.body.len() != 2 || l.header == 0 {
+        return None;
+    }
+    let h = l.header;
+    let &bb = l.body.iter().find(|b| **b != h).expect("two-block loop");
+    // Header: exactly `ct = i <cmp> limit`, branching into the body.
+    let [IrOp::Bin {
+        op: cmp,
+        dst: ct,
+        a: Operand::Temp(i),
+        b: Operand::Const(limit),
+    }] = &f.blocks[h].ops[..]
+    else {
+        return None;
+    };
+    let (cmp, ct, i, limit) = (*cmp, *ct, *i, *limit);
+    let (taken, exit) = match &f.blocks[h].term {
+        IrTerm::Branch {
+            cond: Operand::Temp(bc),
+            taken,
+            fallthrough,
+        } if *bc == ct => (*taken, *fallthrough),
+        _ => return None,
+    };
+    if ct == i || taken.index() != bb || exit.index() == bb {
+        return None;
+    }
+    if !matches!(f.blocks[bb].term, IrTerm::Jump(t) if t.index() == h) {
+        return None;
+    }
+    // The body must not read the condition temp (it goes stale in the
+    // unrolled form) and must update `i` exactly once by a constant
+    // step — either directly or through the lowered `t = i + s; i = t`
+    // pair.
+    let body_ops = &f.blocks[bb].ops;
+    if body_ops
+        .iter()
+        .any(|op| read_operands(op).contains(&Operand::Temp(ct)))
+    {
+        return None;
+    }
+    let writes_of = |needle: Temp| -> Vec<usize> {
+        body_ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| {
+                let mut defs = Vec::new();
+                written_temps(op, &mut defs);
+                defs.contains(&needle)
+            })
+            .map(|(oi, _)| oi)
+            .collect()
+    };
+    let const_step = |op: &IrOp, dst_want: Temp| -> Option<i64> {
+        match op {
+            IrOp::Bin {
+                op: BinOp::Add,
+                dst,
+                a,
+                b,
+            } if *dst == dst_want => match (a, b) {
+                (Operand::Temp(t), Operand::Const(s)) | (Operand::Const(s), Operand::Temp(t))
+                    if *t == i =>
+                {
+                    Some(i64::from(*s))
+                }
+                _ => None,
+            },
+            IrOp::Bin {
+                op: BinOp::Sub,
+                dst,
+                a: Operand::Temp(t),
+                b: Operand::Const(s),
+            } if *dst == dst_want && *t == i => Some(-i64::from(*s)),
+            _ => None,
+        }
+    };
+    let i_writes = writes_of(i);
+    let [iw] = i_writes[..] else { return None };
+    let step = match const_step(&body_ops[iw], i) {
+        Some(s) => s,
+        None => {
+            // Lowered pair: `t = i ± s; ...; i = copy t`.
+            let IrOp::Copy {
+                src: Operand::Temp(t),
+                ..
+            } = &body_ops[iw]
+            else {
+                return None;
+            };
+            let t = *t;
+            if t == i {
+                return None;
+            }
+            let t_writes = writes_of(t);
+            let [tw] = t_writes[..] else { return None };
+            if tw >= iw {
+                return None;
+            }
+            const_step(&body_ops[tw], t)?
+        }
+    };
+    if step == 0 {
+        return None;
+    }
+    // Constant init: the unique outside predecessor's last write of `i`
+    // must be a constant copy.
+    let outside: Vec<usize> = (0..f.blocks.len())
+        .filter(|p| !l.body.contains(p))
+        .filter(|p| {
+            f.blocks[*p]
+                .term
+                .successors()
+                .iter()
+                .any(|s| s.index() == h)
+        })
+        .collect();
+    let [pre] = outside[..] else { return None };
+    let init = f.blocks[pre].ops.iter().rev().find_map(|op| {
+        let mut defs = Vec::new();
+        written_temps(op, &mut defs);
+        if !defs.contains(&i) {
+            return None;
+        }
+        match op {
+            IrOp::Copy {
+                src: Operand::Const(c),
+                ..
+            } => Some(Some(i64::from(*c))),
+            _ => Some(None), // last write is not a constant: give up
+        }
+    });
+    let Some(Some(init)) = init else { return None };
+    let trips = exact_trips(init, i64::from(limit), step, cmp)?;
+    Some(CountedLoop {
+        header: h,
+        body: bb,
+        ct,
+        i,
+        cmp,
+        limit,
+        exit,
+        trips,
+    })
+}
+
+/// Loop bounds provable from the IR itself: the exact trip counts the
+/// `unroll` recogniser computes, surfaced as flow facts for the WCET/
+/// WCEC analyses even when the loop is *not* unrolled (trip count above
+/// the unroll ceiling, or `unroll` absent from the pipeline). Codegen
+/// intersects these with the annotation/inference bounds — a proven
+/// count can only tighten, never replace, an annotated upper bound.
+pub fn proven_loop_bounds(f: &IrFunction) -> Vec<(IrBlockId, u32)> {
+    teamplay_minic::cfg::natural_loops(f)
+        .iter()
+        .filter_map(|l| {
+            let c = recognise_counted_loop(f, l)?;
+            let trips = u32::try_from(c.trips).ok()?;
+            Some((IrBlockId(c.header as u32), trips))
+        })
+        .collect()
+}
+
 /// Bound-aware full unrolling of constant-trip counted loops.
 ///
-/// Recognises the canonical lowered shape — a header whose only op
-/// compares the induction temp against a constant, a single body block
-/// jumping back, a constant init in the unique entry predecessor, and a
-/// single constant-step update of the induction temp — computes the
-/// *exact* trip count from those constants, and replaces the loop with
-/// that many straight-line copies of the body followed by one final
-/// compare (so the condition temp and the induction temp leave the loop
-/// with exactly the values the rolled form produced). The per-iteration
-/// compare + branch disappear: WCET and energy drop, code size grows —
-/// the classic unrolling trade-off the search can now weigh.
+/// Recognises the canonical lowered shape (see
+/// [`recognise_counted_loop`]), computes the *exact* trip count from the
+/// IR constants, and replaces the loop with that many straight-line
+/// copies of the body followed by one final compare (so the condition
+/// temp and the induction temp leave the loop with exactly the values
+/// the rolled form produced). The per-iteration compare + branch
+/// disappear: WCET and energy drop, code size grows — the classic
+/// unrolling trade-off the search can now weigh.
 ///
 /// Upper-bound annotations are never trusted as trip counts; only loops
 /// whose count is provable from the IR are touched, and only up to
@@ -1091,126 +1375,20 @@ pub fn unroll_loops(f: &mut IrFunction, max_trips: usize) -> bool {
     'restart: loop {
         let loops = teamplay_minic::cfg::natural_loops(f);
         for l in &loops {
-            if l.body.len() != 2 || l.header == 0 {
-                continue;
-            }
-            let h = l.header;
-            let &bb = l.body.iter().find(|b| **b != h).expect("two-block loop");
-            // Header: exactly `ct = i <cmp> limit`, branching into the body.
-            let [IrOp::Bin { op: cmp, dst: ct, a: Operand::Temp(i), b: Operand::Const(limit) }] =
-                &f.blocks[h].ops[..]
-            else {
+            let Some(counted) = recognise_counted_loop(f, l) else {
                 continue;
             };
-            let (cmp, ct, i, limit) = (*cmp, *ct, *i, *limit);
-            let (taken, exit) = match &f.blocks[h].term {
-                IrTerm::Branch { cond: Operand::Temp(bc), taken, fallthrough }
-                    if *bc == ct =>
-                {
-                    (*taken, *fallthrough)
-                }
-                _ => continue,
-            };
-            if ct == i || taken.index() != bb || exit.index() == bb {
-                continue;
-            }
-            if !matches!(f.blocks[bb].term, IrTerm::Jump(t) if t.index() == h) {
-                continue;
-            }
-            // The body must not read the condition temp (it goes stale in
-            // the unrolled form) and must update `i` exactly once by a
-            // constant step — either directly or through the lowered
-            // `t = i + s; i = t` pair.
+            let CountedLoop {
+                header: h,
+                body: bb,
+                ct,
+                i,
+                cmp,
+                limit,
+                exit,
+                trips,
+            } = counted;
             let body_ops = &f.blocks[bb].ops;
-            if body_ops.iter().any(|op| {
-                read_operands(op).contains(&Operand::Temp(ct))
-            }) {
-                continue;
-            }
-            let writes_of = |needle: Temp| -> Vec<usize> {
-                body_ops
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, op)| {
-                        let mut defs = Vec::new();
-                        written_temps(op, &mut defs);
-                        defs.contains(&needle)
-                    })
-                    .map(|(oi, _)| oi)
-                    .collect()
-            };
-            let const_step = |op: &IrOp, dst_want: Temp| -> Option<i64> {
-                match op {
-                    IrOp::Bin { op: BinOp::Add, dst, a, b } if *dst == dst_want => {
-                        match (a, b) {
-                            (Operand::Temp(t), Operand::Const(s))
-                            | (Operand::Const(s), Operand::Temp(t))
-                                if *t == i =>
-                            {
-                                Some(i64::from(*s))
-                            }
-                            _ => None,
-                        }
-                    }
-                    IrOp::Bin { op: BinOp::Sub, dst, a: Operand::Temp(t), b: Operand::Const(s) }
-                        if *dst == dst_want && *t == i =>
-                    {
-                        Some(-i64::from(*s))
-                    }
-                    _ => None,
-                }
-            };
-            let i_writes = writes_of(i);
-            let [iw] = i_writes[..] else { continue };
-            let step = match const_step(&body_ops[iw], i) {
-                Some(s) => s,
-                None => {
-                    // Lowered pair: `t = i ± s; ...; i = copy t`.
-                    let IrOp::Copy { src: Operand::Temp(t), .. } = &body_ops[iw] else {
-                        continue;
-                    };
-                    let t = *t;
-                    if t == i {
-                        continue;
-                    }
-                    let t_writes = writes_of(t);
-                    let [tw] = t_writes[..] else { continue };
-                    if tw >= iw {
-                        continue;
-                    }
-                    match const_step(&body_ops[tw], t) {
-                        Some(s) => s,
-                        None => continue,
-                    }
-                }
-            };
-            if step == 0 {
-                continue;
-            }
-            // Constant init: the unique outside predecessor's last write
-            // of `i` must be a constant copy.
-            let outside: Vec<usize> = (0..f.blocks.len())
-                .filter(|p| !l.body.contains(p))
-                .filter(|p| {
-                    f.blocks[*p].term.successors().iter().any(|s| s.index() == h)
-                })
-                .collect();
-            let [pre] = outside[..] else { continue };
-            let init = f.blocks[pre].ops.iter().rev().find_map(|op| {
-                let mut defs = Vec::new();
-                written_temps(op, &mut defs);
-                if !defs.contains(&i) {
-                    return None;
-                }
-                match op {
-                    IrOp::Copy { src: Operand::Const(c), .. } => Some(Some(i64::from(*c))),
-                    _ => Some(None), // last write is not a constant: give up
-                }
-            });
-            let Some(Some(init)) = init else { continue };
-            let Some(trips) = exact_trips(init, i64::from(limit), step, cmp) else {
-                continue;
-            };
             let trips = match usize::try_from(trips) {
                 Ok(t) if t <= max_trips => t,
                 _ => continue,
@@ -1266,7 +1444,9 @@ pub fn block_layout(f: &mut IrFunction) -> bool {
         let mut seen = vec![false; f.blocks.len()];
         loop {
             let b = &f.blocks[cur.index()];
-            let IrTerm::Jump(next) = &b.term else { return cur };
+            let IrTerm::Jump(next) = &b.term else {
+                return cur;
+            };
             if cur.index() == 0
                 || !b.ops.is_empty()
                 || f.loop_bounds.contains_key(&cur)
@@ -1291,7 +1471,9 @@ pub fn block_layout(f: &mut IrFunction) -> bool {
             };
             match &mut term {
                 IrTerm::Jump(t) => thread(t),
-                IrTerm::Branch { taken, fallthrough, .. } => {
+                IrTerm::Branch {
+                    taken, fallthrough, ..
+                } => {
                     thread(taken);
                     thread(fallthrough);
                 }
@@ -1339,7 +1521,11 @@ pub fn block_layout(f: &mut IrFunction) -> bool {
 
     // 4. Renumber into reverse postorder (entry-first by construction).
     let rpo = teamplay_minic::cfg::reverse_postorder(f);
-    debug_assert_eq!(rpo.len(), f.blocks.len(), "unreachable blocks already dropped");
+    debug_assert_eq!(
+        rpo.len(),
+        f.blocks.len(),
+        "unreachable blocks already dropped"
+    );
     if !rpo.iter().enumerate().all(|(new, old)| new == *old) {
         let keep = vec![true; f.blocks.len()];
         let mut remap = vec![u32::MAX; f.blocks.len()];
@@ -1398,7 +1584,11 @@ fn renumber_blocks(f: &mut IrFunction, keep: &[bool], remap: &[u32]) {
         .map(|(_, mut b)| {
             b.term = match b.term {
                 IrTerm::Jump(t) => IrTerm::Jump(retarget(t)),
-                IrTerm::Branch { cond, taken, fallthrough } => IrTerm::Branch {
+                IrTerm::Branch {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => IrTerm::Branch {
                     cond,
                     taken: retarget(taken),
                     fallthrough: retarget(fallthrough),
@@ -1595,7 +1785,10 @@ pub struct InlinePass {
 impl InlinePass {
     /// An inline pass with the given callee-size threshold.
     pub fn new(threshold: usize) -> InlinePass {
-        InlinePass { threshold, budget: MAX_INLINES_PER_FUNCTION }
+        InlinePass {
+            threshold,
+            budget: MAX_INLINES_PER_FUNCTION,
+        }
     }
 }
 
@@ -1720,12 +1913,18 @@ pub struct PassSpec {
 impl PassSpec {
     /// A spec without a parameter.
     pub fn new(name: &str) -> PassSpec {
-        PassSpec { name: name.to_string(), param: None }
+        PassSpec {
+            name: name.to_string(),
+            param: None,
+        }
     }
 
     /// A spec with a parameter.
     pub fn with_param(name: &str, param: usize) -> PassSpec {
-        PassSpec { name: name.to_string(), param: Some(param) }
+        PassSpec {
+            name: name.to_string(),
+            param: Some(param),
+        }
     }
 }
 
@@ -1809,7 +2008,10 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::UnknownName { spec, nearest } => match nearest {
                 Some(best) => {
-                    write!(f, "unknown pipeline or pass `{spec}`; did you mean `{best}`?")
+                    write!(
+                        f,
+                        "unknown pipeline or pass `{spec}`; did you mean `{best}`?"
+                    )
                 }
                 None => write!(
                     f,
@@ -1831,7 +2033,9 @@ impl Pipeline {
 
     /// Cleanup trio (the "traditional toolchain" baseline).
     pub fn o1() -> Pipeline {
-        "const_fold,copy_prop,dce".parse().expect("preset pipeline is valid")
+        "const_fold,copy_prop,dce"
+            .parse()
+            .expect("preset pipeline is valid")
     }
 
     /// Balanced: moderate inlining plus strength reduction and cleanup.
@@ -1857,7 +2061,10 @@ impl Pipeline {
 
     /// The parameter of the first pass with this name, if any.
     pub fn param_of(&self, name: &str) -> Option<usize> {
-        self.passes.iter().find(|p| p.name == name).and_then(|p| p.param)
+        self.passes
+            .iter()
+            .find(|p| p.name == name)
+            .and_then(|p| p.param)
     }
 
     /// Append a pass spec.
@@ -1922,7 +2129,10 @@ impl FromStr for Pipeline {
             if param.is_some() && descriptor.default_param.is_none() {
                 return Err(PipelineError::UnexpectedParam(name.to_string()));
             }
-            passes.push(PassSpec { name: name.to_string(), param });
+            passes.push(PassSpec {
+                name: name.to_string(),
+                param,
+            });
         }
         Ok(Pipeline { passes })
     }
@@ -2012,7 +2222,10 @@ impl PipelineCatalog {
                     .min_by_key(|(dist, _)| *dist)
                     .map(|(_, n)| n.to_string())
                     .or_else(|| nearest_pass_name(&name).map(str::to_string));
-                Err(PipelineError::UnknownName { spec: spec.to_string(), nearest })
+                Err(PipelineError::UnknownName {
+                    spec: spec.to_string(),
+                    nearest,
+                })
             }
             Err(e) => Err(e),
         }
@@ -2071,9 +2284,18 @@ impl PassManager {
         let stats = pipeline
             .passes
             .iter()
-            .map(|spec| PassStats { name: spec.name.clone(), invocations: 0, changes: 0 })
+            .map(|spec| PassStats {
+                name: spec.name.clone(),
+                invocations: 0,
+                changes: 0,
+            })
             .collect();
-        Ok(PassManager { pipeline, passes, stats, max_rounds: Self::DEFAULT_MAX_ROUNDS })
+        Ok(PassManager {
+            pipeline,
+            passes,
+            stats,
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+        })
     }
 
     /// Build a manager by parsing a pipeline string
@@ -2121,10 +2343,13 @@ impl PassManager {
     /// anything changed.
     pub fn run(&mut self, module: &mut IrModule) -> bool {
         let snapshot = snapshot_functions(module);
-        let cx = PassContext { functions: &snapshot };
+        let cx = PassContext {
+            functions: &snapshot,
+        };
         let mut changed = false;
         for f in &mut module.functions {
-            changed |= Self::run_pipeline(&mut self.passes, &mut self.stats, self.max_rounds, f, &cx);
+            changed |=
+                Self::run_pipeline(&mut self.passes, &mut self.stats, self.max_rounds, f, &cx);
         }
         changed
     }
@@ -2134,7 +2359,9 @@ impl PassManager {
     /// unknown names.
     pub fn run_function(&mut self, module: &mut IrModule, name: &str) -> bool {
         let snapshot = snapshot_functions(module);
-        let cx = PassContext { functions: &snapshot };
+        let cx = PassContext {
+            functions: &snapshot,
+        };
         let Some(f) = module.functions.iter_mut().find(|f| f.name == name) else {
             return false;
         };
@@ -2234,8 +2461,8 @@ pub fn run_passes_per_function(
                 .cloned()
                 .collect(),
         };
-        let mut pm = PassManager::new(rest)
-            .unwrap_or_else(|e| panic!("invalid configured pipeline: {e}"));
+        let mut pm =
+            PassManager::new(rest).unwrap_or_else(|e| panic!("invalid configured pipeline: {e}"));
         pm.run_function(module, name);
     }
 }
@@ -2257,7 +2484,11 @@ mod tests {
     }
 
     fn op_total(module: &IrModule) -> usize {
-        module.functions.iter().map(|f| f.blocks.iter().map(|b| b.ops.len()).sum::<usize>()).sum()
+        module
+            .functions
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.ops.len()).sum::<usize>())
+            .sum()
     }
 
     #[test]
@@ -2318,7 +2549,10 @@ mod tests {
         copy_propagate(f);
         dead_code_elim(f);
         let remaining: usize = f.blocks.iter().map(|b| b.ops.len()).sum();
-        assert!(remaining <= 1, "copy chain should collapse, {remaining} ops left");
+        assert!(
+            remaining <= 1,
+            "copy chain should collapse, {remaining} ops left"
+        );
         assert_eq!(run_ir(&m, "f", &[9]), Some(9));
     }
 
@@ -2398,8 +2632,7 @@ mod tests {
                    int buf[8] = {1,2,3,4,5,6,7,8};
                    int f(int n) { int loc[8]; loc[0] = 100; return acc(buf, n) + acc(loc, n); }";
         let mut m = ir_of(src);
-        let bounds_before: usize =
-            m.functions.iter().map(|f| f.loop_bounds.len()).sum();
+        let bounds_before: usize = m.functions.iter().map(|f| f.loop_bounds.len()).sum();
         assert!(bounds_before >= 1);
         assert!(inline_functions(&mut m, 100));
         m.validate().expect("valid after inline");
@@ -2506,7 +2739,10 @@ mod tests {
         let before = wcet(&m);
         assert!(licm(m.function_mut("f").expect("f")));
         let after = wcet(&m);
-        assert!(after < before, "hoisting must shrink the bound: {after} vs {before}");
+        assert!(
+            after < before,
+            "hoisting must shrink the bound: {after} vs {before}"
+        );
     }
 
     #[test]
@@ -2523,13 +2759,21 @@ mod tests {
         let mut m = ir_of(src);
         licm(m.function_mut("f").expect("f"));
         m.validate().expect("valid after licm");
-        assert_eq!(run_ir(&m, "f", &[50]), Some(1), "zero-trip loop leaves t at 0");
+        assert_eq!(
+            run_ir(&m, "f", &[50]),
+            Some(1),
+            "zero-trip loop leaves t at 0"
+        );
     }
 
     // --- cse -------------------------------------------------------
 
     fn count_matching(f: &IrFunction, pred: impl Fn(&IrOp) -> bool) -> usize {
-        f.blocks.iter().flat_map(|b| &b.ops).filter(|o| pred(o)).count()
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| pred(o))
+            .count()
     }
 
     #[test]
@@ -2562,7 +2806,11 @@ mod tests {
         let loads_after = count_matching(f, |o| matches!(o, IrOp::Load { .. }));
         // The duplicated pre-store load collapses; the post-store load
         // survives the invalidation.
-        assert_eq!(loads_before - loads_after, 1, "exactly the safe load is shared");
+        assert_eq!(
+            loads_before - loads_after,
+            1,
+            "exactly the safe load is shared"
+        );
         assert_eq!(run_ir(&m, "f", &[5]), run_ir(&reference, "f", &[5]));
     }
 
@@ -2577,16 +2825,30 @@ mod tests {
         use teamplay_minic::ir::{IrBlock, IrParam};
         let a = Temp(0);
         let (t1, t2, t3, t4) = (Temp(1), Temp(2), Temp(3), Temp(4));
-        let add = |dst, c| IrOp::Bin { op: BinOp::Add, dst, a: Operand::Temp(a), b: Operand::Const(c) };
+        let add = |dst, c| IrOp::Bin {
+            op: BinOp::Add,
+            dst,
+            a: Operand::Temp(a),
+            b: Operand::Const(c),
+        };
         let f = IrFunction {
             name: "f".into(),
-            params: vec![IrParam { name: "a".into(), is_array: false, temp: a }],
+            params: vec![IrParam {
+                name: "a".into(),
+                is_array: false,
+                temp: a,
+            }],
             returns_value: true,
             blocks: vec![IrBlock {
                 ops: vec![
                     add(t1, 1),
                     add(t2, 5),
-                    IrOp::Bin { op: BinOp::Mul, dst: t3, a: Operand::Temp(t2), b: Operand::Const(3) },
+                    IrOp::Bin {
+                        op: BinOp::Mul,
+                        dst: t3,
+                        a: Operand::Temp(t2),
+                        b: Operand::Const(3),
+                    },
                     add(t2, 1),
                     add(t4, 5),
                 ],
@@ -2597,7 +2859,10 @@ mod tests {
             loop_bounds: HashMap::new(),
             annotations: vec![],
         };
-        let module = IrModule { functions: vec![f], globals: vec![] };
+        let module = IrModule {
+            functions: vec![f],
+            globals: vec![],
+        };
         let expected = run_ir(&module, "f", &[10]);
         assert_eq!(expected, Some(15));
         let mut m = module.clone();
@@ -2665,11 +2930,17 @@ mod tests {
                 .wcet_cycles("f")
                 .expect("bounded")
         };
-        assert!(wcet(&unrolled) < wcet(&rolled), "no per-iteration compare+branch");
+        assert!(
+            wcet(&unrolled) < wcet(&rolled),
+            "no per-iteration compare+branch"
+        );
         let size = |p: &teamplay_isa::Program| {
             crate::driver::code_size_halfwords(p.function("f").expect("f"))
         };
-        assert!(size(&unrolled) > size(&rolled), "six body copies cost code size");
+        assert!(
+            size(&unrolled) > size(&rolled),
+            "six body copies cost code size"
+        );
     }
 
     #[test]
@@ -2682,7 +2953,10 @@ mod tests {
                        return s;
                    }";
         let mut m = ir_of(src);
-        assert!(!unroll_loops(m.function_mut("f").expect("f"), 64), "bound is not a trip count");
+        assert!(
+            !unroll_loops(m.function_mut("f").expect("f"), 64),
+            "bound is not a trip count"
+        );
 
         // Provable 6-trip loop under a ceiling of 4: left rolled.
         let src = "int f(int x) {
@@ -2742,7 +3016,10 @@ mod tests {
         m.validate().expect("valid after layout");
         let f = m.function("f").expect("f");
         assert_eq!(loop_count(f), 1, "the loop survives");
-        assert_eq!(f.loop_bounds.values().copied().collect::<Vec<_>>(), vec![12]);
+        assert_eq!(
+            f.loop_bounds.values().copied().collect::<Vec<_>>(),
+            vec![12]
+        );
         assert_eq!(run_ir(&m, "f", &[3]), run_ir(&reference, "f", &[3]));
     }
 
@@ -2762,7 +3039,10 @@ mod tests {
                 .expect("analysable")
                 .wcet_cycles("f")
                 .expect("bounded");
-            (w, crate::driver::code_size_halfwords(p.function("f").expect("f")))
+            (
+                w,
+                crate::driver::code_size_halfwords(p.function("f").expect("f")),
+            )
         };
         let m0 = ir_of(src);
         let (w0, s0) = measure(&m0);
@@ -2789,14 +3069,19 @@ mod tests {
     fn catalog_resolves_names_and_literal_pipelines() {
         let mut cat = PipelineCatalog::builtin();
         assert_eq!(cat.get("o2"), Some(&Pipeline::o2()));
-        cat.register("camera_pill", "inline(24),licm,cse,const_fold,copy_prop,dce")
-            .expect("registers");
+        cat.register(
+            "camera_pill",
+            "inline(24),licm,cse,const_fold,copy_prop,dce",
+        )
+        .expect("registers");
         assert!(cat.get("camera_pill").expect("registered").contains("licm"));
         // Re-registration replaces.
         cat.register("camera_pill", "dce").expect("re-registers");
         assert_eq!(cat.get("camera_pill").expect("registered").passes.len(), 1);
         // Fallback: a literal pipeline string resolves without registration.
-        let lit = cat.resolve("strength_reduce,dce").expect("literal resolves");
+        let lit = cat
+            .resolve("strength_reduce,dce")
+            .expect("literal resolves");
         assert_eq!(lit.passes.len(), 2);
         // A mistyped catalogue name points back at the catalogue…
         cat.register("camera_pill", "dce").expect("re-registers");
@@ -2807,10 +3092,16 @@ mod tests {
         );
         // …a mistyped pass name still points at the registry…
         let err = cat.resolve("licn").expect_err("unknown");
-        assert_eq!(err.to_string(), "unknown pipeline or pass `licn`; did you mean `licm`?");
+        assert_eq!(
+            err.to_string(),
+            "unknown pipeline or pass `licn`; did you mean `licm`?"
+        );
         // …and something unlike either namespace explains the contract.
         let err = cat.resolve("no_such_name_or_pass").expect_err("unknown");
-        assert!(matches!(&err, PipelineError::UnknownName { nearest: None, .. }), "{err}");
+        assert!(
+            matches!(&err, PipelineError::UnknownName { nearest: None, .. }),
+            "{err}"
+        );
         assert!(err.to_string().contains("catalogue names"), "{err}");
         // Multi-element specs keep the precise per-element error.
         assert!(matches!(
@@ -2828,7 +3119,10 @@ mod tests {
         let err = "licn".parse::<Pipeline>().expect_err("unknown");
         assert_eq!(err.to_string(), "unknown pass `licn`; did you mean `licm`?");
         let err = "unrol(4)".parse::<Pipeline>().expect_err("unknown");
-        assert_eq!(err.to_string(), "unknown pass `unrol`; did you mean `unroll`?");
+        assert_eq!(
+            err.to_string(),
+            "unknown pass `unrol`; did you mean `unroll`?"
+        );
         // Nothing within distance 2: fall back to the full listing.
         let err = "turbo_encabulate".parse::<Pipeline>().expect_err("unknown");
         assert!(err.to_string().contains("known:"), "{err}");
@@ -2862,9 +3156,18 @@ mod tests {
             "turbo_encabulate".parse::<Pipeline>(),
             Err(PipelineError::UnknownPass(_))
         ));
-        assert!(matches!("inline(".parse::<Pipeline>(), Err(PipelineError::Malformed(_))));
-        assert!(matches!("inline(x)".parse::<Pipeline>(), Err(PipelineError::Malformed(_))));
-        assert!(matches!("dce,,dce".parse::<Pipeline>(), Err(PipelineError::Malformed(_))));
+        assert!(matches!(
+            "inline(".parse::<Pipeline>(),
+            Err(PipelineError::Malformed(_))
+        ));
+        assert!(matches!(
+            "inline(x)".parse::<Pipeline>(),
+            Err(PipelineError::Malformed(_))
+        ));
+        assert!(matches!(
+            "dce,,dce".parse::<Pipeline>(),
+            Err(PipelineError::Malformed(_))
+        ));
         assert!(matches!(
             "dce(7)".parse::<Pipeline>(),
             Err(PipelineError::UnexpectedParam(name)) if name == "dce"
@@ -2878,7 +3181,10 @@ mod tests {
         assert!(pm.run(&mut m));
         let stats = pm.stats();
         assert_eq!(stats.len(), 3);
-        assert!(stats.iter().any(|s| s.changes > 0), "cleanup must report changes");
+        assert!(
+            stats.iter().any(|s| s.changes > 0),
+            "cleanup must report changes"
+        );
         for s in stats {
             assert!(s.invocations >= s.changes);
         }
@@ -2909,11 +3215,17 @@ mod tests {
         let mut pm = PassManager::from_str("strength_reduce").expect("pipeline");
         assert!(pm.run_function(&mut m, "a"));
         let has_mul = |f: &IrFunction| {
-            f.blocks.iter().flat_map(|b| &b.ops).any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. }))
+            f.blocks
+                .iter()
+                .flat_map(|b| &b.ops)
+                .any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. }))
         };
         assert!(!has_mul(m.function("a").expect("a")), "a is optimised");
         assert!(has_mul(m.function("b").expect("b")), "b is untouched");
-        assert!(!pm.run_function(&mut m, "missing"), "unknown names are no-ops");
+        assert!(
+            !pm.run_function(&mut m, "missing"),
+            "unknown names are no-ops"
+        );
     }
 
     #[test]
@@ -2925,17 +3237,32 @@ mod tests {
         let mut configs = HashMap::new();
         configs.insert(
             "hot".to_string(),
-            CompilerConfig { pipeline: Pipeline::o3(), mul_shift_add: false, pinned_regs: 0 },
+            CompilerConfig {
+                pipeline: Pipeline::o3(),
+                mul_shift_add: false,
+                pinned_regs: 0,
+            },
         );
-        let default =
-            CompilerConfig { pipeline: Pipeline::o0(), mul_shift_add: false, pinned_regs: 0 };
+        let default = CompilerConfig {
+            pipeline: Pipeline::o0(),
+            mul_shift_add: false,
+            pinned_regs: 0,
+        };
         run_passes_per_function(&mut m, &configs, &default);
         m.validate().expect("valid after per-function pipelines");
         let calls = |f: &IrFunction| {
-            f.blocks.iter().flat_map(|b| &b.ops).filter(|o| matches!(o, IrOp::Call { .. })).count()
+            f.blocks
+                .iter()
+                .flat_map(|b| &b.ops)
+                .filter(|o| matches!(o, IrOp::Call { .. }))
+                .count()
         };
         assert_eq!(calls(m.function("hot").expect("hot")), 0, "hot inlines sq");
-        assert_eq!(calls(m.function("cold").expect("cold")), 1, "cold keeps the call");
+        assert_eq!(
+            calls(m.function("cold").expect("cold")),
+            1,
+            "cold keeps the call"
+        );
         assert_eq!(run_ir(&m, "hot", &[3]), Some(10));
         assert_eq!(run_ir(&m, "cold", &[3]), Some(11));
     }

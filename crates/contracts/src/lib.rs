@@ -322,13 +322,19 @@ pub fn prove(
     }
 
     if !violations.is_empty() || !missing.is_empty() {
-        return Err(ProveError { violations, missing_evidence: missing });
+        return Err(ProveError {
+            violations,
+            missing_evidence: missing,
+        });
     }
     let obligations = premises.len();
     Ok(Certificate {
         system: system.to_string(),
         root: Judgement {
-            claim: Claim::System { name: system.to_string(), obligations },
+            claim: Claim::System {
+                name: system.to_string(),
+                obligations,
+            },
             rule: Rule::Conjunction,
             premises,
         },
@@ -358,7 +364,10 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::InvalidRule { detail } => write!(f, "invalid derivation step: {detail}"),
             VerifyError::EvidenceMismatch { task } => {
-                write!(f, "certificate figures for `{task}` do not match the evidence")
+                write!(
+                    f,
+                    "certificate figures for `{task}` do not match the evidence"
+                )
             }
             VerifyError::MalformedRoot => write!(f, "malformed certificate root"),
         }
@@ -396,11 +405,22 @@ pub fn verify_certificate(
         let task = leaf.claim.task().ok_or(VerifyError::MalformedRoot)?;
         let ev = evidence
             .get(task)
-            .ok_or_else(|| VerifyError::EvidenceMismatch { task: task.to_string() })?;
+            .ok_or_else(|| VerifyError::EvidenceMismatch {
+                task: task.to_string(),
+            })?;
         match (&leaf.claim, leaf.rule) {
-            (Claim::WcetWithin { analysed_us, budget_us, .. }, Rule::LeqCheck) => {
+            (
+                Claim::WcetWithin {
+                    analysed_us,
+                    budget_us,
+                    ..
+                },
+                Rule::LeqCheck,
+            ) => {
                 if (analysed_us - ev.wcet_us).abs() > EPS {
-                    return Err(VerifyError::EvidenceMismatch { task: task.to_string() });
+                    return Err(VerifyError::EvidenceMismatch {
+                        task: task.to_string(),
+                    });
                 }
                 if analysed_us > budget_us {
                     return Err(VerifyError::InvalidRule {
@@ -408,9 +428,18 @@ pub fn verify_certificate(
                     });
                 }
             }
-            (Claim::EnergyWithin { analysed_pj, budget_pj, .. }, Rule::LeqCheck) => {
+            (
+                Claim::EnergyWithin {
+                    analysed_pj,
+                    budget_pj,
+                    ..
+                },
+                Rule::LeqCheck,
+            ) => {
                 if (analysed_pj - ev.wcec_pj).abs() > EPS {
-                    return Err(VerifyError::EvidenceMismatch { task: task.to_string() });
+                    return Err(VerifyError::EvidenceMismatch {
+                        task: task.to_string(),
+                    });
                 }
                 if analysed_pj > budget_pj {
                     return Err(VerifyError::InvalidRule {
@@ -418,20 +447,40 @@ pub fn verify_certificate(
                     });
                 }
             }
-            (Claim::SideChannelFree { residual_branches, leaks, .. }, Rule::SecurityCheck) => {
+            (
+                Claim::SideChannelFree {
+                    residual_branches,
+                    leaks,
+                    ..
+                },
+                Rule::SecurityCheck,
+            ) => {
                 if *residual_branches != 0 || *leaks {
                     return Err(VerifyError::InvalidRule {
                         detail: format!("{task}: security claim with residual risk"),
                     });
                 }
                 if ev.residual_branches != Some(0) || ev.leaks != Some(false) {
-                    return Err(VerifyError::EvidenceMismatch { task: task.to_string() });
+                    return Err(VerifyError::EvidenceMismatch {
+                        task: task.to_string(),
+                    });
                 }
             }
-            (Claim::DeadlineMet { finish_us, deadline_us, .. }, Rule::LeqCheck) => {
+            (
+                Claim::DeadlineMet {
+                    finish_us,
+                    deadline_us,
+                    ..
+                },
+                Rule::LeqCheck,
+            ) => {
                 match ev.finish_us {
                     Some(f) if (finish_us - f).abs() <= EPS => {}
-                    _ => return Err(VerifyError::EvidenceMismatch { task: task.to_string() }),
+                    _ => {
+                        return Err(VerifyError::EvidenceMismatch {
+                            task: task.to_string(),
+                        })
+                    }
                 }
                 if finish_us > deadline_us {
                     return Err(VerifyError::InvalidRule {
@@ -592,7 +641,10 @@ mod tests {
         let ev = good_evidence();
         let mut cert = prove("camera-pill", &model(), &ev).expect("prove");
         cert.root.premises.pop();
-        assert_eq!(verify_certificate(&cert, &ev), Err(VerifyError::MalformedRoot));
+        assert_eq!(
+            verify_certificate(&cert, &ev),
+            Err(VerifyError::MalformedRoot)
+        );
     }
 
     #[test]
@@ -602,7 +654,11 @@ mod tests {
         let mut ev = HashMap::new();
         ev.insert("free".into(), TaskEvidence::default());
         let cert = prove("s", &m, &ev).expect("prove");
-        assert_eq!(cert.obligation_count(), 1, "root with no premises counts as one leaf");
+        assert_eq!(
+            cert.obligation_count(),
+            1,
+            "root with no premises counts as one leaf"
+        );
         assert!(cert.root.premises.is_empty());
     }
 }

@@ -37,11 +37,31 @@ pub struct FreqLevel {
 /// frequency-dependent).
 pub fn gr712_levels() -> Vec<FreqLevel> {
     vec![
-        FreqLevel { mhz: 12.5, volt_rel: 0.55, leak_mw: 10.0 },
-        FreqLevel { mhz: 25.0, volt_rel: 0.60, leak_mw: 11.0 },
-        FreqLevel { mhz: 50.0, volt_rel: 0.72, leak_mw: 13.0 },
-        FreqLevel { mhz: 75.0, volt_rel: 0.85, leak_mw: 16.0 },
-        FreqLevel { mhz: 100.0, volt_rel: 1.00, leak_mw: 20.0 },
+        FreqLevel {
+            mhz: 12.5,
+            volt_rel: 0.55,
+            leak_mw: 10.0,
+        },
+        FreqLevel {
+            mhz: 25.0,
+            volt_rel: 0.60,
+            leak_mw: 11.0,
+        },
+        FreqLevel {
+            mhz: 50.0,
+            volt_rel: 0.72,
+            leak_mw: 13.0,
+        },
+        FreqLevel {
+            mhz: 75.0,
+            volt_rel: 0.85,
+            leak_mw: 16.0,
+        },
+        FreqLevel {
+            mhz: 100.0,
+            volt_rel: 1.00,
+            leak_mw: 20.0,
+        },
     ]
 }
 

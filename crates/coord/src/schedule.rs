@@ -120,7 +120,9 @@ impl Schedule {
             ));
         }
         for t in &set.tasks {
-            let e = self.entry(&t.name).ok_or(format!("task `{}` not scheduled", t.name))?;
+            let e = self
+                .entry(&t.name)
+                .ok_or(format!("task `{}` not scheduled", t.name))?;
             if e.finish_us < e.start_us {
                 return Err(format!("task `{}` finishes before it starts", t.name));
             }
@@ -153,7 +155,9 @@ impl Schedule {
                 ));
             }
             for d in &t.after {
-                let de = self.entry(d).ok_or(format!("dependency `{d}` not scheduled"))?;
+                let de = self
+                    .entry(d)
+                    .ok_or(format!("dependency `{d}` not scheduled"))?;
                 if de.finish_us > e.start_us + 1e-9 {
                     return Err(format!(
                         "task `{}` starts at {} before `{}` finishes at {}",
@@ -186,7 +190,11 @@ impl Schedule {
             }
         }
         // The recorded aggregates must be the recomputed ones.
-        let makespan = self.entries.iter().map(|e| e.finish_us).fold(0.0f64, f64::max);
+        let makespan = self
+            .entries
+            .iter()
+            .map(|e| e.finish_us)
+            .fold(0.0f64, f64::max);
         if !approx_eq(self.makespan_us, makespan) {
             return Err(format!(
                 "recorded makespan {} differs from recomputed {makespan}",
@@ -225,7 +233,10 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::Unschedulable { best_makespan_us, deadline_us } => write!(
+            ScheduleError::Unschedulable {
+                best_makespan_us,
+                deadline_us,
+            } => write!(
                 f,
                 "unschedulable: best makespan {best_makespan_us:.1}µs exceeds deadline \
                  {deadline_us:.1}µs"
@@ -288,7 +299,12 @@ fn heft_order(set: &TaskSet) -> Vec<usize> {
         order.push(next);
         let done = set.tasks[next].name.as_str();
         for (j, t) in set.tasks.iter().enumerate() {
-            remaining[j] -= t.after.iter().filter(|d| d.as_str() == done).count().min(remaining[j]);
+            remaining[j] -= t
+                .after
+                .iter()
+                .filter(|d| d.as_str() == done)
+                .count()
+                .min(remaining[j]);
         }
     }
     order
@@ -301,7 +317,9 @@ struct Timeline<'a> {
 
 impl<'a> Timeline<'a> {
     fn new(set: &'a TaskSet) -> Timeline<'a> {
-        Timeline { by_core: set.cores.iter().map(|c| (c.as_str(), Vec::new())).collect() }
+        Timeline {
+            by_core: set.cores.iter().map(|c| (c.as_str(), Vec::new())).collect(),
+        }
     }
 
     /// Earliest start `≥ ready` for a `dur`-long execution on `core`.
@@ -358,7 +376,11 @@ fn place_in(set: &TaskSet, order: &[usize], choice: &[usize], insertion: bool) -
     entries.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).expect("finite times"));
     let makespan = entries.iter().map(|e| e.finish_us).fold(0.0f64, f64::max);
     let energy = entries.iter().map(|e| e.energy_uj).sum();
-    Schedule { entries, makespan_us: makespan, total_energy_uj: energy }
+    Schedule {
+        entries,
+        makespan_us: makespan,
+        total_energy_uj: energy,
+    }
 }
 
 /// Does the schedule satisfy all per-task deadlines and the global one?
@@ -398,7 +420,11 @@ fn greedy_earliest_finish(set: &TaskSet, order: &[usize]) -> (Vec<usize>, Schedu
                 let start = timeline.earliest_start(&o.core, ready, o.time_us, true);
                 (oi, start, start + o.time_us, o.energy_uj)
             })
-            .min_by(|a, b| (a.2, a.3, a.0).partial_cmp(&(b.2, b.3, b.0)).expect("finite times"))
+            .min_by(|a, b| {
+                (a.2, a.3, a.0)
+                    .partial_cmp(&(b.2, b.3, b.0))
+                    .expect("finite times")
+            })
             .map(|(oi, start, end, _)| (oi, start, end))
             .expect("non-empty options");
         let opt = &t.options[oi];
@@ -456,8 +482,11 @@ pub fn schedule_energy_aware(set: &TaskSet) -> Result<Schedule, ScheduleError> {
     // that proved feasible.
     let mut witness: Option<(Vec<usize>, Schedule, &[usize])> = None;
     let mut best_makespan = f64::INFINITY;
-    let orders: &[&[usize]] =
-        if heft == topo { &[&heft] } else { &[&heft, &topo] };
+    let orders: &[&[usize]] = if heft == topo {
+        &[&heft]
+    } else {
+        &[&heft, &topo]
+    };
     'orders: for &order in orders {
         let fast = place_in(set, order, &fastest, true);
         best_makespan = best_makespan.min(fast.makespan_us);
@@ -586,7 +615,11 @@ pub fn schedule_branch_and_bound(set: &TaskSet) -> Result<Schedule, ScheduleErro
     let topo: Vec<usize> = (0..n).collect();
     // On shapes where ranks reproduce the index order (chains, most
     // trees) one placement per leaf suffices.
-    let orders: Vec<Vec<usize>> = if heft == topo { vec![heft] } else { vec![heft, topo] };
+    let orders: Vec<Vec<usize>> = if heft == topo {
+        vec![heft]
+    } else {
+        vec![heft, topo]
+    };
     let mut best: Option<Schedule> = None;
     let mut choice = vec![0usize; n];
     // Minimum possible remaining energy per suffix, for pruning.
@@ -628,7 +661,10 @@ pub fn schedule_branch_and_bound(set: &TaskSet) -> Result<Schedule, ScheduleErro
                 .map(|order| place_in(set, order, choice, true))
                 .find(|s| meets_deadlines(set, s));
             if let Some(s) = s {
-                if best.as_ref().is_none_or(|b| s.total_energy_uj < b.total_energy_uj) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| s.total_energy_uj < b.total_energy_uj)
+                {
                     *best = Some(s);
                 }
             }
@@ -637,11 +673,27 @@ pub fn schedule_branch_and_bound(set: &TaskSet) -> Result<Schedule, ScheduleErro
         for oi in 0..set.tasks[depth].options.len() {
             choice[depth] = oi;
             let e = set.tasks[depth].options[oi].energy_uj;
-            dfs(set, orders, depth + 1, choice, energy_so_far + e, min_energy_suffix, best);
+            dfs(
+                set,
+                orders,
+                depth + 1,
+                choice,
+                energy_so_far + e,
+                min_energy_suffix,
+                best,
+            );
         }
     }
 
-    dfs(set, &orders, 0, &mut choice, 0.0, &min_energy_suffix, &mut best);
+    dfs(
+        set,
+        &orders,
+        0,
+        &mut choice,
+        0.0,
+        &min_energy_suffix,
+        &mut best,
+    );
     best.ok_or_else(|| {
         let fastest: Vec<usize> = set.tasks.iter().map(fastest_choice).collect();
         let best_makespan = orders
@@ -661,14 +713,22 @@ mod tests {
     use crate::task::{CoordTask, ExecOption};
 
     fn opt(label: &str, core: &str, t: f64, e: f64) -> ExecOption {
-        ExecOption { label: label.into(), core: core.into(), time_us: t, energy_uj: e }
+        ExecOption {
+            label: label.into(),
+            core: core.into(),
+            time_us: t,
+            energy_uj: e,
+        }
     }
 
     /// Two versions per task: fast/hungry and slow/green.
     fn two_version_task(name: &str, core: &str, fast: (f64, f64), slow: (f64, f64)) -> CoordTask {
         CoordTask::new(
             name,
-            vec![opt("fast", core, fast.0, fast.1), opt("green", core, slow.0, slow.1)],
+            vec![
+                opt("fast", core, fast.0, fast.1),
+                opt("green", core, slow.0, slow.1),
+            ],
         )
     }
 
@@ -681,7 +741,10 @@ mod tests {
         let set = TaskSet::new(tasks, vec!["c0".into()], 100.0).expect("set");
         let s = schedule_energy_aware(&set).expect("schedulable");
         s.validate(&set).expect("valid");
-        assert_eq!(s.total_energy_uj, 80.0, "both green versions fit in the deadline");
+        assert_eq!(
+            s.total_energy_uj, 80.0,
+            "both green versions fit in the deadline"
+        );
         assert!(s.makespan_us <= 60.0 + 1e-9);
     }
 
@@ -703,7 +766,10 @@ mod tests {
         let tasks = vec![two_version_task("a", "c0", (50.0, 1.0), (80.0, 0.5))];
         let set = TaskSet::new(tasks, vec!["c0".into()], 20.0).expect("set");
         match schedule_energy_aware(&set) {
-            Err(ScheduleError::Unschedulable { best_makespan_us, deadline_us }) => {
+            Err(ScheduleError::Unschedulable {
+                best_makespan_us,
+                deadline_us,
+            }) => {
                 assert_eq!(best_makespan_us, 50.0);
                 assert_eq!(deadline_us, 20.0);
             }
@@ -752,7 +818,10 @@ mod tests {
             order.iter().position(|&x| x == i).expect("ordered")
         };
         assert!(pos("src") < pos("mid") && pos("mid") < pos("sink"));
-        assert!(pos("mid") < pos("leaf"), "higher-rank ready task goes first");
+        assert!(
+            pos("mid") < pos("leaf"),
+            "higher-rank ready task goes first"
+        );
     }
 
     #[test]
@@ -770,7 +839,10 @@ mod tests {
         s.validate(&set).expect("valid");
         let filler = s.entry("filler").expect("filler");
         let consumer = s.entry("consumer").expect("consumer");
-        assert_eq!(filler.start_us, 0.0, "filler fills the pre-consumer gap: {s:?}");
+        assert_eq!(
+            filler.start_us, 0.0,
+            "filler fills the pre-consumer gap: {s:?}"
+        );
         assert!(filler.finish_us <= consumer.start_us + 1e-9);
         assert!(s.makespan_us <= 10.0 + 1e-9);
     }
@@ -785,8 +857,7 @@ mod tests {
             two_version_task("m", "c1", (4.0, 30.0), (9.0, 12.0)).after(&["src"]),
             two_version_task("sink", "c0", (6.0, 40.0), (14.0, 15.0)).after(&["l", "r", "m"]),
         ];
-        let set =
-            TaskSet::new(tasks, vec!["c0".into(), "c1".into()], 70.0).expect("set");
+        let set = TaskSet::new(tasks, vec!["c0".into(), "c1".into()], 70.0).expect("set");
         let h = schedule_energy_aware(&set).expect("heuristic");
         let o = schedule_branch_and_bound(&set).expect("optimal");
         h.validate(&set).expect("heuristic valid");
@@ -797,7 +868,10 @@ mod tests {
             h = h.total_energy_uj,
             o = o.total_energy_uj
         );
-        assert!(o.total_energy_uj <= h.total_energy_uj + 1e-9, "optimal must be best");
+        assert!(
+            o.total_energy_uj <= h.total_energy_uj + 1e-9,
+            "optimal must be best"
+        );
     }
 
     #[test]
@@ -946,7 +1020,12 @@ mod proptests {
             // A deadline somewhere between "hopeless" and "trivial".
             let total: f64 = tasks
                 .iter()
-                .map(|t| t.options.iter().map(|o| o.time_us).fold(f64::INFINITY, f64::min))
+                .map(|t| {
+                    t.options
+                        .iter()
+                        .map(|o| o.time_us)
+                        .fold(f64::INFINITY, f64::min)
+                })
                 .sum();
             let deadline = total * rng.gen_range(0.4..2.5);
             TaskSet::new(tasks, cores, deadline).expect("generated sets are valid")

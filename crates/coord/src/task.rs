@@ -34,7 +34,12 @@ pub struct CoordTask {
 impl CoordTask {
     /// A task with the given options and no dependencies.
     pub fn new(name: impl Into<String>, options: Vec<ExecOption>) -> CoordTask {
-        CoordTask { name: name.into(), options, after: Vec::new(), deadline_us: None }
+        CoordTask {
+            name: name.into(),
+            options,
+            after: Vec::new(),
+            deadline_us: None,
+        }
     }
 
     /// Builder-style dependency addition.
@@ -143,8 +148,10 @@ impl TaskSet {
             }
         }
         // Kahn topological sort.
-        let mut indegree: HashMap<&str, usize> =
-            tasks.iter().map(|t| (t.name.as_str(), t.after.len())).collect();
+        let mut indegree: HashMap<&str, usize> = tasks
+            .iter()
+            .map(|t| (t.name.as_str(), t.after.len()))
+            .collect();
         let mut ready: Vec<usize> = tasks
             .iter()
             .enumerate()
@@ -168,7 +175,11 @@ impl TaskSet {
             return Err(TaskSetError::Cyclic);
         }
         let sorted = order.into_iter().map(|i| tasks[i].clone()).collect();
-        Ok(TaskSet { tasks: sorted, cores, deadline_us })
+        Ok(TaskSet {
+            tasks: sorted,
+            cores,
+            deadline_us,
+        })
     }
 
     /// Look up a task.
@@ -187,7 +198,12 @@ mod tests {
     use super::*;
 
     fn opt(core: &str, t: f64, e: f64) -> ExecOption {
-        ExecOption { label: format!("{core}-{t}"), core: core.into(), time_us: t, energy_uj: e }
+        ExecOption {
+            label: format!("{core}-{t}"),
+            core: core.into(),
+            time_us: t,
+            energy_uj: e,
+        }
     }
 
     fn cores() -> Vec<String> {
@@ -213,12 +229,18 @@ mod tests {
             CoordTask::new("a", vec![opt("c0", 1.0, 1.0)]),
             CoordTask::new("a", vec![opt("c0", 1.0, 1.0)]),
         ];
-        assert!(matches!(TaskSet::new(dup, cores(), 10.0), Err(TaskSetError::Duplicate(_))));
+        assert!(matches!(
+            TaskSet::new(dup, cores(), 10.0),
+            Err(TaskSetError::Duplicate(_))
+        ));
         let cyc = vec![
             CoordTask::new("a", vec![opt("c0", 1.0, 1.0)]).after(&["b"]),
             CoordTask::new("b", vec![opt("c0", 1.0, 1.0)]).after(&["a"]),
         ];
-        assert!(matches!(TaskSet::new(cyc, cores(), 10.0), Err(TaskSetError::Cyclic)));
+        assert!(matches!(
+            TaskSet::new(cyc, cores(), 10.0),
+            Err(TaskSetError::Cyclic)
+        ));
     }
 
     #[test]
@@ -229,7 +251,10 @@ mod tests {
             Err(TaskSetError::UnknownCore { .. })
         ));
         let no_opt = vec![CoordTask::new("a", vec![])];
-        assert!(matches!(TaskSet::new(no_opt, cores(), 10.0), Err(TaskSetError::NoOptions(_))));
+        assert!(matches!(
+            TaskSet::new(no_opt, cores(), 10.0),
+            Err(TaskSetError::NoOptions(_))
+        ));
     }
 
     #[test]

@@ -202,7 +202,11 @@ mod tests {
         let err = quick().run(src).unwrap_err();
         let advice = advise(&err);
         assert!(!advice.is_empty());
-        let text = advice.iter().map(|a| a.to_string()).collect::<Vec<_>>().join("\n");
+        let text = advice
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("busy"), "{text}");
         assert!(text.contains("% over budget"), "{text}");
         assert!(text.contains("wcet_budget"), "{text}");
@@ -241,7 +245,9 @@ mod tests {
         "#;
         let err = quick().run(src).unwrap_err();
         let advice = advise(&err);
-        assert!(advice.iter().any(|a| a.task == "leaky" && a.action.contains("if-converted")));
+        assert!(advice
+            .iter()
+            .any(|a| a.task == "leaky" && a.action.contains("if-converted")));
         assert!(advice.iter().any(|a| a.confidence == Confidence::Possible));
     }
 
@@ -258,7 +264,10 @@ mod tests {
         "#;
         let err = quick().run(src).unwrap_err();
         let advice = advise(&err);
-        assert!(advice.iter().any(|a| a.action.contains("deadline")), "{advice:?}");
+        assert!(
+            advice.iter().any(|a| a.action.contains("deadline")),
+            "{advice:?}"
+        );
     }
 
     #[test]

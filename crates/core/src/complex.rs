@@ -79,7 +79,12 @@ impl ComplexWorkflow {
     /// A workflow on the given platform with sensible defaults
     /// (24 profiling runs, 20 % p95 margin).
     pub fn new(platform: ComplexPlatform) -> ComplexWorkflow {
-        ComplexWorkflow { platform, runs: 24, margin: 1.2, seed: 0xD2073 }
+        ComplexWorkflow {
+            platform,
+            runs: 24,
+            margin: 1.2,
+            seed: 0xD2073,
+        }
     }
 
     /// Run the two-pass workflow for the given application and frame
@@ -142,7 +147,13 @@ impl ComplexWorkflow {
         let parallel_glue = generate_parallel_glue(&set, &schedule);
         let frame_energy_uj = schedule.total_energy_uj;
 
-        Ok(ComplexOutcome { sequential_glue, profile, schedule, parallel_glue, frame_energy_uj })
+        Ok(ComplexOutcome {
+            sequential_glue,
+            profile,
+            schedule,
+            parallel_glue,
+            frame_energy_uj,
+        })
     }
 }
 
@@ -160,8 +171,12 @@ mod tests {
     #[test]
     fn sar_pipeline_completes_both_passes() {
         let wf = ComplexWorkflow::new(ComplexPlatform::tk1());
-        let outcome = wf.run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US).expect("workflow");
-        assert!(outcome.sequential_glue.contains("tp_measure_begin(\"detect\")"));
+        let outcome = wf
+            .run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US)
+            .expect("workflow");
+        assert!(outcome
+            .sequential_glue
+            .contains("tp_measure_begin(\"detect\")"));
         assert!(outcome.parallel_glue.contains("tp_thread_create"));
         assert!(outcome.schedule.makespan_us <= teamplay_apps::uav::FRAME_PERIOD_US);
         assert!(outcome.frame_energy_uj > 0.0);
@@ -207,8 +222,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let wf = ComplexWorkflow::new(ComplexPlatform::tk1());
-        let a = wf.run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US).expect("a");
-        let b = wf.run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US).expect("b");
+        let a = wf
+            .run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US)
+            .expect("a");
+        let b = wf
+            .run(&sar_tasks(), teamplay_apps::uav::FRAME_PERIOD_US)
+            .expect("b");
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.profile, b.profile);
     }

@@ -13,12 +13,12 @@ use teamplay_coord::{
     ScheduleError, TaskSet,
 };
 use teamplay_csl::{extract_model, CslError, CslModel, SecurityReq};
-use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
+use teamplay_energy::{analyze_program_energy_cached, IsaEnergyModel};
 use teamplay_isa::{CycleModel, Program};
 use teamplay_minic::{lower::lower_program, parse_and_check, FrontendError};
 use teamplay_security::{assess_leakage, ladderise, LadderReport, LeakageReport, SecretSpec};
 use teamplay_sim::GroundTruthEnergy;
-use teamplay_wcet::analyze_program;
+use teamplay_wcet::analyze_program_cached;
 
 /// Configuration of the predictable workflow: platform models, clock and
 /// search budget.
@@ -85,9 +85,9 @@ pub struct TaskReport {
     pub selected_config: CompilerConfig,
     /// Variants the FPA offered for this task.
     pub variants_offered: usize,
-    /// Final analysed WCET (µs, at the configured clock).
+    /// Final IPET-analysed WCET (µs, at the configured clock).
     pub wcet_us: f64,
-    /// Final analysed worst-case energy (µJ).
+    /// Final IPET-analysed worst-case energy (µJ).
     pub wcec_uj: f64,
     /// Ladderisation outcome (secure tasks only).
     pub ladder: Option<LadderReport>,
@@ -213,14 +213,16 @@ impl PredictableWorkflow {
             if task.security != Some(SecurityReq::ConstantTime) {
                 continue;
             }
-            let secrets: std::collections::HashSet<String> =
-                task.secrets.iter().cloned().collect();
+            let secrets: std::collections::HashSet<String> = task.secrets.iter().cloned().collect();
             let f = ir
                 .function_mut(&task.function)
                 .expect("CSL extraction guarantees the function exists");
             let report = ladderise(f, &secrets);
             if !report.fully_hardened() {
-                return Err(WorkflowError::ResidualLeakRisk { task: task.name.clone(), report });
+                return Err(WorkflowError::ResidualLeakRisk {
+                    task: task.name.clone(),
+                    report,
+                });
             }
             ladder_reports.insert(task.name.clone(), report);
         }
@@ -243,8 +245,10 @@ impl PredictableWorkflow {
             .pipelines
             .resolve(&cfg.default_pipeline)
             .map_err(|e| WorkflowError::Compile(format!("default pipeline: {e}")))?;
-        let default =
-            CompilerConfig { pipeline: default_pipeline, ..CompilerConfig::balanced() };
+        let default = CompilerConfig {
+            pipeline: default_pipeline,
+            ..CompilerConfig::balanced()
+        };
         let seeds: Vec<Vec<f64>> = default.to_genome().into_iter().collect();
         let pool = minipool::global();
         let inner = pool.split_across(model.tasks.len());
@@ -313,7 +317,11 @@ impl PredictableWorkflow {
         let mut chosen_by_task: HashMap<String, CompilerConfig> = HashMap::new();
         for task in &model.tasks {
             let entry = provisional.entry(&task.name).expect("scheduled");
-            let vi: usize = entry.option.trim_start_matches('v').parse().expect("vN label");
+            let vi: usize = entry
+                .option
+                .trim_start_matches('v')
+                .parse()
+                .expect("vN label");
             let config = variants[&task.name][vi].config.clone();
             chosen.insert(task.function.clone(), config.clone());
             chosen_by_task.insert(task.name.clone(), config);
@@ -327,11 +335,20 @@ impl PredictableWorkflow {
 
         // 6. Re-analyse the final binary (callees may now differ from the
         //    per-variant estimates) and re-validate the schedule with the
-        //    final numbers.
-        let wcet = analyze_program(&program, &cfg.cycle_model)
+        //    final numbers. The IPET bounds come through the search
+        //    cache's per-function memo: every function of the final
+        //    build whose compiled form already appeared in some searched
+        //    variant is a replay, not a re-analysis.
+        let memo = cache.analysis_memo();
+        let wcet = analyze_program_cached(&program, &cfg.cycle_model, &memo.wcet)
             .map_err(|e| WorkflowError::Compile(e.to_string()))?;
-        let energy = analyze_program_energy(&program, &cfg.energy_model, &cfg.cycle_model)
-            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
+        let energy = analyze_program_energy_cached(
+            &program,
+            &cfg.energy_model,
+            &cfg.cycle_model,
+            &memo.energy,
+        )
+        .map_err(|e| WorkflowError::Compile(e.to_string()))?;
         let final_tasks: Vec<CoordTask> = model
             .tasks
             .iter()
@@ -385,7 +402,11 @@ impl PredictableWorkflow {
                 &program,
                 &task.function,
                 arg_count.max(1),
-                SecretSpec { arg_index: secret_idx, class0: 0x0F0F_0F0F, class1: -0x6543_2110 },
+                SecretSpec {
+                    arg_index: secret_idx,
+                    class0: 0x0F0F_0F0F,
+                    class1: -0x6543_2110,
+                },
                 cfg.leakage_traces,
                 0..4096,
                 cfg.seed ^ 0x5EC0_0001,
@@ -467,18 +488,27 @@ mod tests {
 
     #[test]
     fn camera_pill_pipeline_certifies_end_to_end() {
-        let outcome =
-            pill_workflow().run(teamplay_apps::camera_pill::SOURCE).expect("workflow succeeds");
+        let outcome = pill_workflow()
+            .run(teamplay_apps::camera_pill::SOURCE)
+            .expect("workflow succeeds");
         assert_eq!(outcome.tasks.len(), 4);
         // The certificate re-verifies against the emitted evidence.
         verify_certificate(&outcome.certificate, &outcome.evidence).expect("certificate checks");
         // Secure task was hardened and measured clean.
-        let encrypt = outcome.tasks.iter().find(|t| t.name == "encrypt").expect("encrypt");
+        let encrypt = outcome
+            .tasks
+            .iter()
+            .find(|t| t.name == "encrypt")
+            .expect("encrypt");
         assert!(encrypt.ladder.expect("hardened").fully_hardened());
         assert!(!encrypt.leakage.expect("measured").leaks());
         // Glue mentions every task, and records its selected pipeline.
         for t in &outcome.tasks {
-            assert!(outcome.glue.contains(&format!("task_{}", t.name)), "{}", outcome.glue);
+            assert!(
+                outcome.glue.contains(&format!("task_{}", t.name)),
+                "{}",
+                outcome.glue
+            );
             assert!(
                 outcome.glue.contains(&format!(
                     "tp_set_pipeline(\"{}\");",
@@ -495,18 +525,27 @@ mod tests {
 
     #[test]
     fn per_task_fronts_share_one_eval_cache() {
-        let outcome =
-            pill_workflow().run(teamplay_apps::camera_pill::SOURCE).expect("workflow succeeds");
+        let outcome = pill_workflow()
+            .run(teamplay_apps::camera_pill::SOURCE)
+            .expect("workflow succeeds");
         let s = &outcome.search;
         // Four tasks, each a full FPA budget.
         let fpa = FpaConfig::tiny();
-        assert_eq!(s.evaluations, 4 * fpa.population * (1 + fpa.iterations), "{s:?}");
+        assert_eq!(
+            s.evaluations,
+            4 * fpa.population * (1 + fpa.iterations),
+            "{s:?}"
+        );
         assert_eq!(s.generations, 4 * fpa.iterations, "{s:?}");
         // Sharing compiles strictly less than the evaluation budget.
         assert!(s.cache_misses < s.evaluations, "{s:?}");
         // Probes from the searches plus one per reconstructed variant.
         let offered: usize = outcome.tasks.iter().map(|t| t.variants_offered).sum();
-        assert_eq!(s.cache_hits + s.cache_misses, s.evaluations + offered, "{s:?}");
+        assert_eq!(
+            s.cache_hits + s.cache_misses,
+            s.evaluations + offered,
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -516,13 +555,16 @@ mod tests {
         // searched against one shared cache compile strictly fewer
         // distinct configurations than the same searches with a cache
         // each — tasks revisit each other's configurations.
-        let ir = teamplay_minic::compile_to_ir(teamplay_apps::camera_pill::SOURCE)
-            .expect("front-end");
+        let ir =
+            teamplay_minic::compile_to_ir(teamplay_apps::camera_pill::SOURCE).expect("front-end");
         let cfg = WorkflowConfig::pg32();
         let pool = minipool::global();
         let shared = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
         let mut individual_misses = 0usize;
-        for (i, func) in ["capture", "compress", "encrypt", "transmit"].iter().enumerate() {
+        for (i, func) in ["capture", "compress", "encrypt", "transmit"]
+            .iter()
+            .enumerate()
+        {
             let seed = cfg.seed.wrapping_add(i as u64);
             let own = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
             pareto_search_with_cache(pool, &own, func, FpaConfig::tiny(), seed);
@@ -544,18 +586,27 @@ mod tests {
         // app's recommended pipeline genome makes the generation-0 front
         // weakly dominate the tuned point — the search starts *at* the
         // tuned configuration rather than having to rediscover it.
-        let ir = teamplay_minic::compile_to_ir(teamplay_apps::camera_pill::SOURCE)
-            .expect("front-end");
+        let ir =
+            teamplay_minic::compile_to_ir(teamplay_apps::camera_pill::SOURCE).expect("front-end");
         let cfg = WorkflowConfig::pg32();
         let tuned = CompilerConfig {
             pipeline: cfg.pipelines.resolve("camera_pill").expect("registered"),
             ..CompilerConfig::balanced()
         };
-        let genome = tuned.to_genome().expect("camera_pill pipeline is representable");
+        let genome = tuned
+            .to_genome()
+            .expect("camera_pill pipeline is representable");
         let cache = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
-        let tuned_metrics =
-            *cache.evaluate(&tuned).expect("compiles").1.of("compress").expect("task");
-        let gen0 = FpaConfig { iterations: 0, ..FpaConfig::tiny() };
+        let tuned_metrics = *cache
+            .evaluate(&tuned)
+            .expect("compiles")
+            .1
+            .of("compress")
+            .expect("task");
+        let gen0 = FpaConfig {
+            iterations: 0,
+            ..FpaConfig::tiny()
+        };
         let front = pareto_search_with_cache_seeded(
             minipool::global(),
             &cache,

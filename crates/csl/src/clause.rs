@@ -226,9 +226,8 @@ pub fn parse_clauses(payload: &str) -> Result<Vec<CslClause>, ClauseParseError> 
     let mut clauses = Vec::new();
     let mut iter = tokens.into_iter().peekable();
     while let Some((word, arg)) = iter.next() {
-        let need = |arg: Option<String>| {
-            arg.ok_or_else(|| ClauseParseError::Malformed(word_err(&word)))
-        };
+        let need =
+            |arg: Option<String>| arg.ok_or_else(|| ClauseParseError::Malformed(word_err(&word)));
         fn word_err(w: &str) -> String {
             format!("{w}: missing argument")
         }
@@ -255,9 +254,11 @@ pub fn parse_clauses(payload: &str) -> Result<Vec<CslClause>, ClauseParseError> 
                     "ct" | "constant_time" | "leakfree" => {
                         CslClause::Security(SecurityReq::ConstantTime)
                     }
-                    other => return Err(ClauseParseError::UnknownClause(format!(
-                        "security({other})"
-                    ))),
+                    other => {
+                        return Err(ClauseParseError::UnknownClause(format!(
+                            "security({other})"
+                        )))
+                    }
                 }
             }
             "secret" => CslClause::Secret(need(arg)?.trim().to_string()),
@@ -323,7 +324,10 @@ mod tests {
     fn display_round_trips_sensible_units() {
         assert_eq!(TimeValue::parse("5ms").expect("ms").to_string(), "5ms");
         assert_eq!(EnergyValue::parse("3mJ").expect("mJ").to_string(), "3mJ");
-        assert_eq!(EnergyValue::parse("1500uJ").expect("uJ").to_string(), "1.5mJ");
+        assert_eq!(
+            EnergyValue::parse("1500uJ").expect("uJ").to_string(),
+            "1.5mJ"
+        );
     }
 
     #[test]

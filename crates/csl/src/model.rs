@@ -4,7 +4,9 @@
 //! collects the points of interest and produces the task graph handed to
 //! the compiler, the contract system and the coordination layer.
 
-use crate::clause::{parse_clauses, ClauseParseError, CslClause, EnergyValue, SecurityReq, TimeValue};
+use crate::clause::{
+    parse_clauses, ClauseParseError, CslClause, EnergyValue, SecurityReq, TimeValue,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -77,7 +79,10 @@ impl fmt::Display for CslError {
                 write!(f, "cyclic task dependencies through `{task}`")
             }
             CslError::UnknownSecret { task, param } => {
-                write!(f, "task `{task}` declares unknown secret parameter `{param}`")
+                write!(
+                    f,
+                    "task `{task}` declares unknown secret parameter `{param}`"
+                )
             }
         }
     }
@@ -102,8 +107,11 @@ impl CslModel {
     /// (dependencies first). The model is validated acyclic on
     /// extraction.
     pub fn topological_order(&self) -> Vec<&str> {
-        let mut indegree: HashMap<&str, usize> =
-            self.tasks.iter().map(|t| (t.name.as_str(), t.after.len())).collect();
+        let mut indegree: HashMap<&str, usize> = self
+            .tasks
+            .iter()
+            .map(|t| (t.name.as_str(), t.after.len()))
+            .collect();
         let mut order: Vec<&str> = Vec::with_capacity(self.tasks.len());
         let mut ready: Vec<&str> = self
             .tasks
@@ -183,7 +191,10 @@ pub fn extract_model(program: &Program) -> Result<CslModel, CslError> {
         }
         for s in &spec.secrets {
             if !func.params.iter().any(|p| &p.name == s) {
-                return Err(CslError::UnknownSecret { task: spec.name, param: s.clone() });
+                return Err(CslError::UnknownSecret {
+                    task: spec.name,
+                    param: s.clone(),
+                });
             }
         }
         if tasks.iter().any(|t| t.name == spec.name) {
@@ -206,7 +217,11 @@ pub fn extract_model(program: &Program) -> Result<CslModel, CslError> {
     }
     let model = CslModel { tasks };
     if model.topological_order().len() != model.tasks.len() {
-        let name = model.tasks.first().map(|t| t.name.clone()).unwrap_or_default();
+        let name = model
+            .tasks
+            .first()
+            .map(|t| t.name.clone())
+            .unwrap_or_default();
         return Err(CslError::CyclicDependencies(name));
     }
     Ok(model)
@@ -247,7 +262,10 @@ mod tests {
         assert_eq!(encrypt.security, Some(SecurityReq::ConstantTime));
         assert_eq!(encrypt.after, vec!["compress".to_string()]);
         assert!(encrypt.wcet_budget.expect("budget").as_ms() == 2.0);
-        assert!(m.task("helper").is_none(), "unannotated functions are not tasks");
+        assert!(
+            m.task("helper").is_none(),
+            "unannotated functions are not tasks"
+        );
     }
 
     #[test]
@@ -276,7 +294,10 @@ mod tests {
     #[test]
     fn unknown_dependency_rejected() {
         let src = "/*@ task a after(ghost) @*/ void a() { return; }";
-        assert!(matches!(model(src), Err(CslError::UnknownDependency { .. })));
+        assert!(matches!(
+            model(src),
+            Err(CslError::UnknownDependency { .. })
+        ));
     }
 
     #[test]

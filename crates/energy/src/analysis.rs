@@ -1,17 +1,26 @@
 //! Static worst-case energy consumption (WCEC) analysis.
 //!
 //! Mirrors the WCET analysis exactly — per-block worst-case picojoule
-//! costs fed to `teamplay_wcet::structural_bound` — which is how WCC's
+//! costs fed to the *same IPET flow solver*
+//! (`teamplay_wcet::flow_bound_with`) — which is how WCC's
 //! EnergyAnalyser plug-in shares flow facts with aiT in the paper's
-//! toolchain. With a conservative model the result is a safe upper bound
+//! toolchain: one constraint system (Kirchhoff conservation, loop-bound
+//! caps, infeasible-path facts), two objective vectors. Terminator
+//! energy and leakage ride the CFG *edges*, so a fall-through branch is
+//! charged its actual single leakage cycle, and loop bodies are charged
+//! `bound` times rather than `bound + 1` — WCEC tightens exactly as WCET
+//! does. With a conservative model the result remains a safe upper bound
 //! on the energy of any run (the property tests check this against the
-//! simulator's ground truth).
+//! simulator's ground truth); the pre-IPET engine survives as
+//! [`analyze_program_energy_structural`] for tightness measurement.
 
 use crate::model::IsaEnergyModel;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
-use teamplay_isa::{CycleModel, EnergyClass, Function, Insn, Program};
-use teamplay_wcet::{structural_bound, WcetError};
+use std::collections::{BTreeMap, HashSet};
+use teamplay_isa::{CycleModel, EnergyClass, Function, Insn, Program, Terminator};
+use teamplay_wcet::{
+    flow_bound_with, resolve_bottom_up, structural_bound, AnalysisCache, WcetError,
+};
 
 /// Scale factor: picojoules are analysed in integer millipicojoules so
 /// the shared integer flow solver can be reused without rounding drift.
@@ -45,14 +54,14 @@ impl EnergyReport {
     }
 }
 
-/// Worst-case energy of one function given callee results, in
-/// millipicojoules (internal).
-fn function_wcec_mpj(
+/// Per-block instruction-body energy in millipicojoules (terminators
+/// excluded, callee WCECs and per-cycle leakage folded in).
+fn body_costs_mpj(
     f: &Function,
     energy_model: &IsaEnergyModel,
     cycle_model: &CycleModel,
-    callee_mpj: &HashMap<String, u64>,
-) -> Result<u64, WcetError> {
+    callee_mpj: &BTreeMap<String, u64>,
+) -> Result<Vec<u64>, WcetError> {
     let mut cost = vec![0u64; f.blocks.len()];
     for (i, b) in f.blocks.iter().enumerate() {
         let mut pj = 0.0f64;
@@ -67,25 +76,92 @@ fn function_wcec_mpj(
             pj += energy_model.worst_case_insn(class, regs_moved);
             cycles += cycle_model.cycles(insn, false);
             if let Insn::Call { func } = insn {
-                let callee =
-                    callee_mpj.get(func).ok_or_else(|| WcetError::UnknownCallee {
+                let callee = callee_mpj
+                    .get(func)
+                    .ok_or_else(|| WcetError::UnknownCallee {
                         function: f.name.clone(),
                         callee: func.clone(),
                     })?;
                 extra_mpj = extra_mpj.saturating_add(*callee);
             }
         }
-        let tclass = EnergyClass::of_terminator(&b.terminator);
-        pj += energy_model.worst_case_insn(tclass, 0);
-        cycles += cycle_model.terminator_worst_case(&b.terminator);
         pj += energy_model.leakage_per_cycle * cycles as f64;
         cost[i] = (pj * MILLI).ceil() as u64 + extra_mpj;
     }
+    Ok(cost)
+}
+
+/// One terminator traversal in millipicojoules: its switching class
+/// plus the leakage of the cycles that traversal actually takes (the
+/// per-edge `taken` flag is the IPET tightening — a fall-through leaks
+/// for one cycle, not three).
+fn term_cost_mpj(
+    t: &Terminator,
+    taken: bool,
+    energy_model: &IsaEnergyModel,
+    cycle_model: &CycleModel,
+) -> u64 {
+    let pj = energy_model.worst_case_insn(EnergyClass::of_terminator(t), 0)
+        + energy_model.leakage_per_cycle * cycle_model.terminator_cycles(t, taken) as f64;
+    (pj * MILLI).ceil() as u64
+}
+
+/// Worst-case energy of one function given callee results, in
+/// millipicojoules (internal): the shared IPET flow solver over energy
+/// costs.
+fn function_wcec_mpj(
+    f: &Function,
+    energy_model: &IsaEnergyModel,
+    cycle_model: &CycleModel,
+    callee_mpj: &BTreeMap<String, u64>,
+) -> Result<u64, WcetError> {
+    let cost = body_costs_mpj(f, energy_model, cycle_model, callee_mpj)?;
+    flow_bound_with(f, &cost, &|t, taken| {
+        term_cost_mpj(t, taken, energy_model, cycle_model)
+    })
+}
+
+/// [`function_wcec_mpj`] under the pre-IPET structural engine (worst
+/// terminator folded into every block, loops at `(bound + 1) ×` the
+/// worst iteration) — the WCEC tightness baseline.
+fn function_wcec_mpj_structural(
+    f: &Function,
+    energy_model: &IsaEnergyModel,
+    cycle_model: &CycleModel,
+    callee_mpj: &BTreeMap<String, u64>,
+) -> Result<u64, WcetError> {
+    let body = body_costs_mpj(f, energy_model, cycle_model, callee_mpj)?;
+    let cost: Vec<u64> = body
+        .iter()
+        .zip(&f.blocks)
+        .map(|(c, b)| {
+            let worst = term_cost_mpj(&b.terminator, true, energy_model, cycle_model).max(
+                term_cost_mpj(&b.terminator, false, energy_model, cycle_model),
+            );
+            c.saturating_add(worst)
+        })
+        .collect();
     structural_bound(f, &cost)
 }
 
-/// Static WCEC analysis of every function in the program, resolved
-/// bottom-up over the (recursion-free) call graph.
+/// Wrap the shared `teamplay-wcet` bottom-up driver (validation,
+/// recursion rejection, callee-first ordering, content-hash cache
+/// routing — one policy for both metrics) and scale the resolved
+/// millipicojoule bounds back to picojoules.
+fn analyze_energy_with(
+    program: &Program,
+    cache: Option<&AnalysisCache>,
+    analyse: impl Fn(&Function, &BTreeMap<String, u64>) -> Result<u64, WcetError>,
+) -> Result<EnergyReport, WcetError> {
+    let per_function = resolve_bottom_up(program, cache, analyse)?
+        .into_iter()
+        .map(|(n, mpj)| (n, mpj as f64 / MILLI))
+        .collect();
+    Ok(EnergyReport { per_function })
+}
+
+/// Static WCEC analysis of every function in the program (IPET engine),
+/// resolved bottom-up over the (recursion-free) call graph.
 ///
 /// # Errors
 /// The same classes of error as the WCET analysis (unbounded loops,
@@ -95,37 +171,42 @@ pub fn analyze_program_energy(
     energy_model: &IsaEnergyModel,
     cycle_model: &CycleModel,
 ) -> Result<EnergyReport, WcetError> {
-    program.validate().map_err(WcetError::InvalidProgram)?;
-    if program.has_recursion() {
-        let name = program.functions.keys().next().cloned().unwrap_or_default();
-        return Err(WcetError::Recursion(name));
-    }
-    // Bottom-up over the call graph: repeatedly pick functions whose
-    // callees are all resolved (the call graph is acyclic).
-    let mut resolved: HashMap<String, u64> = HashMap::new();
-    let mut pending: Vec<&Function> = program.functions.values().collect();
-    while !pending.is_empty() {
-        let before = pending.len();
-        let mut still_pending = Vec::new();
-        for f in pending {
-            let callees = f.callees();
-            let ready = callees.iter().all(|c| resolved.contains_key(c));
-            if ready {
-                let w = function_wcec_mpj(f, energy_model, cycle_model, &resolved)?;
-                resolved.insert(f.name.clone(), w);
-            } else {
-                still_pending.push(f);
-            }
-        }
-        pending = still_pending;
-        assert!(
-            pending.len() < before,
-            "call graph resolution must progress (recursion was pre-checked)"
-        );
-    }
-    let per_function =
-        resolved.into_iter().map(|(n, mpj)| (n, mpj as f64 / MILLI)).collect();
-    Ok(EnergyReport { per_function })
+    analyze_energy_with(program, None, |f, callees| {
+        function_wcec_mpj(f, energy_model, cycle_model, callees)
+    })
+}
+
+/// [`analyze_program_energy`] with per-function memoization: unchanged
+/// functions (same content hash, same callee bounds) are answered from
+/// `cache`. Use one cache per (energy-model, cycle-model) pair — the
+/// models are not part of the key.
+///
+/// # Errors
+/// See [`analyze_program_energy`].
+pub fn analyze_program_energy_cached(
+    program: &Program,
+    energy_model: &IsaEnergyModel,
+    cycle_model: &CycleModel,
+    cache: &AnalysisCache,
+) -> Result<EnergyReport, WcetError> {
+    analyze_energy_with(program, Some(cache), |f, callees| {
+        function_wcec_mpj(f, energy_model, cycle_model, callees)
+    })
+}
+
+/// Whole-program WCEC under the structural baseline engine — the
+/// tightness denominator next to [`analyze_program_energy`].
+///
+/// # Errors
+/// See [`analyze_program_energy`].
+pub fn analyze_program_energy_structural(
+    program: &Program,
+    energy_model: &IsaEnergyModel,
+    cycle_model: &CycleModel,
+) -> Result<EnergyReport, WcetError> {
+    analyze_energy_with(program, None, |f, callees| {
+        function_wcec_mpj_structural(f, energy_model, cycle_model, callees)
+    })
 }
 
 /// Quick sanity statistic: the set of energy classes a function actually
@@ -148,7 +229,12 @@ mod tests {
     use teamplay_isa::{AluOp, Block, BlockId, Cond, Operand, Reg, Terminator};
 
     fn alu() -> Insn {
-        Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(1) }
+        Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Imm(1),
+        }
     }
 
     fn straight(name: &str, n: usize) -> Function {
@@ -185,9 +271,15 @@ mod tests {
             let f = Function {
                 name: "f".into(),
                 blocks: vec![
-                    Block { insns: vec![], terminator: Terminator::Branch(BlockId(1)) },
                     Block {
-                        insns: vec![Insn::Cmp { rn: Reg::R1, src: Operand::Imm(8) }],
+                        insns: vec![],
+                        terminator: Terminator::Branch(BlockId(1)),
+                    },
+                    Block {
+                        insns: vec![Insn::Cmp {
+                            rn: Reg::R1,
+                            src: Operand::Imm(8),
+                        }],
                         terminator: Terminator::CondBranch {
                             cond: Cond::Lt,
                             taken: BlockId(2),
@@ -198,7 +290,10 @@ mod tests {
                         insns: vec![alu(), alu()],
                         terminator: Terminator::Branch(BlockId(1)),
                     },
-                    Block { insns: vec![], terminator: Terminator::Return },
+                    Block {
+                        insns: vec![],
+                        terminator: Terminator::Return,
+                    },
                 ],
                 loop_bounds,
                 frame_size: 0,
@@ -217,7 +312,10 @@ mod tests {
             .expect("e8")
             .wcec_pj("f")
             .expect("f");
-        assert!(e8 > e4 * 1.5, "energy must grow with the bound: {e4} -> {e8}");
+        assert!(
+            e8 > e4 * 1.5,
+            "energy must grow with the bound: {e4} -> {e8}"
+        );
     }
 
     #[test]
@@ -225,7 +323,9 @@ mod tests {
         let mut p = Program::new();
         p.add_function(straight("leaf", 10));
         let mut caller = straight("caller", 0);
-        caller.blocks[0].insns.push(Insn::Call { func: "leaf".into() });
+        caller.blocks[0].insns.push(Insn::Call {
+            func: "leaf".into(),
+        });
         p.add_function(caller);
         let m = IsaEnergyModel::pg32_datasheet();
         let cm = CycleModel::pg32();
@@ -235,7 +335,12 @@ mod tests {
 
     #[test]
     fn mul_heavy_code_costs_more_than_alu_heavy() {
-        let mul = Insn::Alu { op: AluOp::Mul, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R1) };
+        let mul = Insn::Alu {
+            op: AluOp::Mul,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Reg(Reg::R1),
+        };
         let mut p = Program::new();
         p.add_function(straight("adds", 20));
         let mut f = straight("muls", 0);
@@ -251,12 +356,8 @@ mod tests {
     fn unit_conversions() {
         let mut p = Program::new();
         p.add_function(straight("f", 1));
-        let r = analyze_program_energy(
-            &p,
-            &IsaEnergyModel::pg32_datasheet(),
-            &CycleModel::pg32(),
-        )
-        .expect("analysis");
+        let r = analyze_program_energy(&p, &IsaEnergyModel::pg32_datasheet(), &CycleModel::pg32())
+            .expect("analysis");
         let pj = r.wcec_pj("f").expect("f");
         assert!((r.wcec_nj("f").expect("f") - pj / 1e3).abs() < 1e-12);
         assert!((r.wcec_uj("f").expect("f") - pj / 1e6).abs() < 1e-12);

@@ -108,7 +108,11 @@ impl ComponentModel {
     /// # Panics
     /// Panics if `utilisation.len()` differs from the component count.
     pub fn predict_mw(&self, utilisation: &[f64]) -> f64 {
-        assert_eq!(utilisation.len(), self.coefficients.len(), "utilisation shape");
+        assert_eq!(
+            utilisation.len(),
+            self.coefficients.len(),
+            "utilisation shape"
+        );
         self.base_mw
             + self
                 .coefficients
@@ -128,7 +132,10 @@ fn gaussian_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
@@ -168,7 +175,10 @@ mod tests {
             .map(|_| {
                 let u: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
                 let p = 2000.0 + 4500.0 * u[0] + 6000.0 * u[1] + 800.0 * u[2];
-                ComponentSample { utilisation: u, power_mw: p }
+                ComponentSample {
+                    utilisation: u,
+                    power_mw: p,
+                }
             })
             .collect()
     }
@@ -184,9 +194,21 @@ mod tests {
         // solution at the ~1e-4 level; compare with a relative tolerance.
         let close = |got: f64, truth: f64| (got - truth).abs() / truth < 1e-4;
         assert!(close(model.base_mw, 2000.0), "base {}", model.base_mw);
-        assert!(close(model.coefficients[0], 4500.0), "cpu {}", model.coefficients[0]);
-        assert!(close(model.coefficients[1], 6000.0), "gpu {}", model.coefficients[1]);
-        assert!(close(model.coefficients[2], 800.0), "radio {}", model.coefficients[2]);
+        assert!(
+            close(model.coefficients[0], 4500.0),
+            "cpu {}",
+            model.coefficients[0]
+        );
+        assert!(
+            close(model.coefficients[1], 6000.0),
+            "gpu {}",
+            model.coefficients[1]
+        );
+        assert!(
+            close(model.coefficients[2], 800.0),
+            "radio {}",
+            model.coefficients[2]
+        );
     }
 
     #[test]
@@ -201,7 +223,13 @@ mod tests {
 
     #[test]
     fn shape_mismatch_rejected() {
-        let bad = vec![ComponentSample { utilisation: vec![0.5], power_mw: 100.0 }; 10];
+        let bad = vec![
+            ComponentSample {
+                utilisation: vec![0.5],
+                power_mw: 100.0
+            };
+            10
+        ];
         assert_eq!(
             ComponentModel::fit(names(), &bad),
             Err(ComponentFitError::ShapeMismatch)
@@ -211,7 +239,10 @@ mod tests {
     #[test]
     fn too_few_samples_rejected() {
         let s = synth(2, 3);
-        assert_eq!(ComponentModel::fit(names(), &s), Err(ComponentFitError::TooFewSamples));
+        assert_eq!(
+            ComponentModel::fit(names(), &s),
+            Err(ComponentFitError::TooFewSamples)
+        );
     }
 
     #[test]

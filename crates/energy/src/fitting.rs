@@ -67,7 +67,10 @@ impl fmt::Display for FitError {
                 write!(f, "need at least {need} samples to fit, got {got}")
             }
             FitError::Singular => {
-                write!(f, "degenerate sample set: workloads must vary their instruction mix")
+                write!(
+                    f,
+                    "degenerate sample set: workloads must vary their instruction mix"
+                )
             }
         }
     }
@@ -93,7 +96,10 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
@@ -140,7 +146,10 @@ fn design_row(s: &FitSample) -> [f64; N_COEF] {
 /// [`FitError::Singular`] for degenerate mixes.
 pub fn fit_isa_model(samples: &[FitSample]) -> Result<IsaEnergyModel, FitError> {
     if samples.len() < N_COEF {
-        return Err(FitError::TooFewSamples { got: samples.len(), need: N_COEF });
+        return Err(FitError::TooFewSamples {
+            got: samples.len(),
+            need: N_COEF,
+        });
     }
     // Normal equations: (XᵀX) β = Xᵀy.
     let mut xtx = vec![vec![0.0f64; N_COEF]; N_COEF];
@@ -183,7 +192,10 @@ pub fn evaluate(model: &IsaEnergyModel, samples: &[FitSample]) -> FitQuality {
         max = max.max(ape);
         n += 1;
     }
-    FitQuality { mape: if n == 0 { 0.0 } else { sum / n as f64 }, max_ape: max }
+    FitQuality {
+        mape: if n == 0 { 0.0 } else { sum / n as f64 },
+        max_ape: max,
+    }
 }
 
 /// Deterministic RNG for noise injection in experiments.
@@ -198,8 +210,9 @@ mod tests {
 
     /// Generate synthetic samples from a known linear truth.
     fn synth_samples(n: usize, seed: u64, noise: f64) -> (Vec<FitSample>, [f64; N_COEF]) {
-        let truth: [f64; N_COEF] =
-            [800.0, 1900.0, 2700.0, 1600.0, 1500.0, 1100.0, 1300.0, 2900.0, 400.0, 95.0];
+        let truth: [f64; N_COEF] = [
+            800.0, 1900.0, 2700.0, 1600.0, 1500.0, 1100.0, 1300.0, 2900.0, 400.0, 95.0,
+        ];
         let mut rng = noise_rng(seed);
         let samples = (0..n)
             .map(|_| {
@@ -213,7 +226,11 @@ mod tests {
                 for (i, c) in counts.iter().enumerate() {
                     energy += truth[i] * *c as f64;
                 }
-                let s = FitSample { class_counts: counts, cycles, energy_pj: energy };
+                let s = FitSample {
+                    class_counts: counts,
+                    cycles,
+                    energy_pj: energy,
+                };
                 if noise > 0.0 {
                     s.with_noise(noise, &mut rng)
                 } else {
@@ -230,7 +247,12 @@ mod tests {
         let model = fit_isa_model(&samples).expect("fit");
         for (i, class) in EnergyClass::ALL.iter().enumerate() {
             let rel = (model.base(*class) - truth[i]).abs() / truth[i];
-            assert!(rel < 1e-6, "class {class}: {} vs {}", model.base(*class), truth[i]);
+            assert!(
+                rel < 1e-6,
+                "class {class}: {} vs {}",
+                model.base(*class),
+                truth[i]
+            );
         }
         assert!((model.leakage_per_cycle - truth[N_COEF - 1]).abs() < 1e-3);
     }
@@ -264,7 +286,10 @@ mod tests {
     #[test]
     fn too_few_samples_rejected() {
         let (samples, _) = synth_samples(5, 6, 0.0);
-        assert!(matches!(fit_isa_model(&samples), Err(FitError::TooFewSamples { .. })));
+        assert!(matches!(
+            fit_isa_model(&samples),
+            Err(FitError::TooFewSamples { .. })
+        ));
     }
 
     #[test]
@@ -290,7 +315,10 @@ mod tests {
                 // With ridge regularisation the solver may return a model;
                 // it must at least reproduce the (degenerate) data.
                 let q = evaluate(&model, &samples);
-                assert!(q.mape < 0.05, "degenerate fit must still explain its own data");
+                assert!(
+                    q.mape < 0.05,
+                    "degenerate fit must still explain its own data"
+                );
             }
             Err(other) => panic!("unexpected error {other:?}"),
         }

@@ -24,7 +24,10 @@ pub mod component;
 pub mod fitting;
 pub mod model;
 
-pub use analysis::{analyze_program_energy, EnergyReport};
+pub use analysis::{
+    analyze_program_energy, analyze_program_energy_cached, analyze_program_energy_structural,
+    EnergyReport,
+};
 pub use component::{ComponentModel, ComponentSample};
 pub use fitting::{fit_isa_model, FitQuality, FitSample};
 pub use model::IsaEnergyModel;

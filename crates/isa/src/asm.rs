@@ -29,7 +29,10 @@ impl fmt::Display for AsmParseError {
 impl std::error::Error for AsmParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmParseError> {
-    Err(AsmParseError { message: message.into(), line })
+    Err(AsmParseError {
+        message: message.into(),
+        line,
+    })
 }
 
 fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmParseError> {
@@ -38,10 +41,13 @@ fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmParseError> {
         "sp" => Ok(Reg::SP),
         "lr" => Ok(Reg::LR),
         _ => {
-            let idx: usize = t
-                .strip_prefix('r')
-                .and_then(|n| n.parse().ok())
-                .ok_or(AsmParseError { message: format!("bad register `{t}`"), line })?;
+            let idx: usize =
+                t.strip_prefix('r')
+                    .and_then(|n| n.parse().ok())
+                    .ok_or(AsmParseError {
+                        message: format!("bad register `{t}`"),
+                        line,
+                    })?;
             Reg::from_index(idx).ok_or(AsmParseError {
                 message: format!("register index {idx} out of range"),
                 line,
@@ -52,10 +58,12 @@ fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmParseError> {
 
 fn parse_imm(token: &str, line: usize) -> Result<i32, AsmParseError> {
     let t = token.trim().trim_end_matches(',');
-    let body = t
-        .strip_prefix('#')
-        .ok_or(AsmParseError { message: format!("expected immediate, got `{t}`"), line })?;
-    body.parse().or(err(line, format!("bad immediate `{body}`")))
+    let body = t.strip_prefix('#').ok_or(AsmParseError {
+        message: format!("expected immediate, got `{t}`"),
+        line,
+    })?;
+    body.parse()
+        .or(err(line, format!("bad immediate `{body}`")))
 }
 
 fn parse_operand(token: &str, line: usize) -> Result<Operand, AsmParseError> {
@@ -72,28 +80,39 @@ fn parse_label(token: &str, line: usize) -> Result<BlockId, AsmParseError> {
     let n: u32 = t
         .strip_prefix(".L")
         .and_then(|n| n.parse().ok())
-        .ok_or(AsmParseError { message: format!("bad label `{t}`"), line })?;
+        .ok_or(AsmParseError {
+            message: format!("bad label `{t}`"),
+            line,
+        })?;
     Ok(BlockId(n))
 }
 
 fn split_args(rest: &str) -> Vec<String> {
-    rest.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn parse_mem(args: &str, line: usize) -> Result<(Reg, Reg, Operand), AsmParseError> {
     // Format: `rd, [base, offset]`
-    let (rd, rest) = args
-        .split_once(',')
-        .ok_or(AsmParseError { message: "memory operand expected".into(), line })?;
+    let (rd, rest) = args.split_once(',').ok_or(AsmParseError {
+        message: "memory operand expected".into(),
+        line,
+    })?;
     let rd = parse_reg(rd, line)?;
     let inner = rest
         .trim()
         .strip_prefix('[')
         .and_then(|r| r.strip_suffix(']'))
-        .ok_or(AsmParseError { message: "expected [base, offset]".into(), line })?;
-    let (base, off) = inner
-        .split_once(',')
-        .ok_or(AsmParseError { message: "expected base, offset".into(), line })?;
+        .ok_or(AsmParseError {
+            message: "expected [base, offset]".into(),
+            line,
+        })?;
+    let (base, off) = inner.split_once(',').ok_or(AsmParseError {
+        message: "expected base, offset".into(),
+        line,
+    })?;
     Ok((rd, parse_reg(base, line)?, parse_operand(off, line)?))
 }
 
@@ -102,7 +121,10 @@ fn parse_reg_list(args: &str, line: usize) -> Result<Vec<Reg>, AsmParseError> {
         .trim()
         .strip_prefix('{')
         .and_then(|r| r.strip_suffix('}'))
-        .ok_or(AsmParseError { message: "expected {reg, ...}".into(), line })?;
+        .ok_or(AsmParseError {
+            message: "expected {reg, ...}".into(),
+            line,
+        })?;
     inner
         .split(',')
         .map(|r| parse_reg(r, line))
@@ -149,21 +171,30 @@ fn parse_insn(text: &str, line: usize) -> Result<Insn, AsmParseError> {
             if args.len() != 2 {
                 return err(line, "mov needs rd, src");
             }
-            Ok(Insn::Mov { rd: parse_reg(&args[0], line)?, src: parse_operand(&args[1], line)? })
+            Ok(Insn::Mov {
+                rd: parse_reg(&args[0], line)?,
+                src: parse_operand(&args[1], line)?,
+            })
         }
         "mov32" => {
             let args = split_args(rest);
             if args.len() != 2 {
                 return err(line, "mov32 needs rd, #imm");
             }
-            Ok(Insn::MovImm32 { rd: parse_reg(&args[0], line)?, imm: parse_imm(&args[1], line)? })
+            Ok(Insn::MovImm32 {
+                rd: parse_reg(&args[0], line)?,
+                imm: parse_imm(&args[1], line)?,
+            })
         }
         "cmp" => {
             let args = split_args(rest);
             if args.len() != 2 {
                 return err(line, "cmp needs rn, src");
             }
-            Ok(Insn::Cmp { rn: parse_reg(&args[0], line)?, src: parse_operand(&args[1], line)? })
+            Ok(Insn::Cmp {
+                rn: parse_reg(&args[0], line)?,
+                src: parse_operand(&args[1], line)?,
+            })
         }
         "ldr" => {
             let (rd, base, offset) = parse_mem(rest, line)?;
@@ -173,13 +204,19 @@ fn parse_insn(text: &str, line: usize) -> Result<Insn, AsmParseError> {
             let (rs, base, offset) = parse_mem(rest, line)?;
             Ok(Insn::Str { rs, base, offset })
         }
-        "push" => Ok(Insn::Push { regs: parse_reg_list(rest, line)? }),
-        "pop" => Ok(Insn::Pop { regs: parse_reg_list(rest, line)? }),
+        "push" => Ok(Insn::Push {
+            regs: parse_reg_list(rest, line)?,
+        }),
+        "pop" => Ok(Insn::Pop {
+            regs: parse_reg_list(rest, line)?,
+        }),
         "bl" => {
             if rest.is_empty() {
                 return err(line, "bl needs a function name");
             }
-            Ok(Insn::Call { func: rest.to_string() })
+            Ok(Insn::Call {
+                func: rest.to_string(),
+            })
         }
         "in" => {
             let args = split_args(rest);
@@ -189,8 +226,14 @@ fn parse_insn(text: &str, line: usize) -> Result<Insn, AsmParseError> {
             let port = args[1]
                 .strip_prefix('p')
                 .and_then(|p| p.parse().ok())
-                .ok_or(AsmParseError { message: format!("bad port `{}`", args[1]), line })?;
-            Ok(Insn::In { rd: parse_reg(&args[0], line)?, port })
+                .ok_or(AsmParseError {
+                    message: format!("bad port `{}`", args[1]),
+                    line,
+                })?;
+            Ok(Insn::In {
+                rd: parse_reg(&args[0], line)?,
+                port,
+            })
         }
         "out" => {
             let args = split_args(rest);
@@ -200,8 +243,14 @@ fn parse_insn(text: &str, line: usize) -> Result<Insn, AsmParseError> {
             let port = args[1]
                 .strip_prefix('p')
                 .and_then(|p| p.parse().ok())
-                .ok_or(AsmParseError { message: format!("bad port `{}`", args[1]), line })?;
-            Ok(Insn::Out { rs: parse_reg(&args[0], line)?, port })
+                .ok_or(AsmParseError {
+                    message: format!("bad port `{}`", args[1]),
+                    line,
+                })?;
+            Ok(Insn::Out {
+                rs: parse_reg(&args[0], line)?,
+                port,
+            })
         }
         "nop" => Ok(Insn::Nop),
         other => err(line, format!("unknown mnemonic `{other}`")),
@@ -219,12 +268,14 @@ pub fn parse_function(text: &str) -> Result<Function, AsmParseError> {
     let mut current: Option<(BlockId, Vec<Insn>, Option<Terminator>)> = None;
 
     let finish_block = |current: &mut Option<(BlockId, Vec<Insn>, Option<Terminator>)>,
-                            blocks: &mut Vec<Block>,
-                            line: usize|
+                        blocks: &mut Vec<Block>,
+                        line: usize|
      -> Result<(), AsmParseError> {
         if let Some((id, insns, term)) = current.take() {
-            let terminator =
-                term.ok_or(AsmParseError { message: format!("block {id} lacks a terminator"), line })?;
+            let terminator = term.ok_or(AsmParseError {
+                message: format!("block {id} lacks a terminator"),
+                line,
+            })?;
             if id.index() != blocks.len() {
                 return err(line, format!("blocks must be listed in order, found {id}"));
             }
@@ -278,9 +329,7 @@ pub fn parse_function(text: &str) -> Result<Function, AsmParseError> {
             "b" => *term = Some(Terminator::Branch(parse_label(rest, line)?)),
             "ret" => *term = Some(Terminator::Return),
             "halt" => *term = Some(Terminator::Halt),
-            m if m.starts_with('b')
-                && Cond::ALL.iter().any(|c| c.mnemonic() == &m[1..]) =>
-            {
+            m if m.starts_with('b') && Cond::ALL.iter().any(|c| c.mnemonic() == &m[1..]) => {
                 let cond = *Cond::ALL
                     .iter()
                     .find(|c| c.mnemonic() == &m[1..])
@@ -294,16 +343,31 @@ pub fn parse_function(text: &str) -> Result<Function, AsmParseError> {
                         message: "conditional branch needs `; else .Ln`".into(),
                         line,
                     })?;
-                *term = Some(Terminator::CondBranch { cond, taken, fallthrough });
+                *term = Some(Terminator::CondBranch {
+                    cond,
+                    taken,
+                    fallthrough,
+                });
             }
             _ => insns.push(parse_insn(trimmed, line)?),
         }
     }
     let last_line = text.lines().count();
     finish_block(&mut current, &mut blocks, last_line)?;
-    let name = name.ok_or(AsmParseError { message: "missing function label".into(), line: 1 })?;
-    let f = Function { name, blocks, loop_bounds, frame_size: 0 };
-    f.validate().map_err(|m| AsmParseError { message: m, line: last_line })?;
+    let name = name.ok_or(AsmParseError {
+        message: "missing function label".into(),
+        line: 1,
+    })?;
+    let f = Function {
+        name,
+        blocks,
+        loop_bounds,
+        frame_size: 0,
+    };
+    f.validate().map_err(|m| AsmParseError {
+        message: m,
+        line: last_line,
+    })?;
     Ok(f)
 }
 
@@ -340,7 +404,11 @@ pub fn render_function(f: &Function) -> String {
             Terminator::Branch(t) => {
                 let _ = writeln!(out, "    b {t}");
             }
-            Terminator::CondBranch { cond, taken, fallthrough } => {
+            Terminator::CondBranch {
+                cond,
+                taken,
+                fallthrough,
+            } => {
                 let _ = writeln!(out, "    b{cond} {taken}  ; else {fallthrough}");
             }
             Terminator::Return => {
@@ -365,9 +433,8 @@ pub fn parse_program(text: &str) -> Result<Program, AsmParseError> {
     let mut chunks: Vec<String> = Vec::new();
     for raw in text.lines() {
         let trimmed = raw.trim();
-        let is_fn_label = trimmed.ends_with(':')
-            && !trimmed.starts_with(".L")
-            && !trimmed.is_empty();
+        let is_fn_label =
+            trimmed.ends_with(':') && !trimmed.starts_with(".L") && !trimmed.is_empty();
         if is_fn_label && !chunk.trim().is_empty() {
             chunks.push(std::mem::take(&mut chunk));
         }
@@ -458,10 +525,22 @@ kitchen_sink:
     #[test]
     fn rejects_malformed_listings() {
         assert!(parse_function("f:\n.L0:\n    badop r0\n    ret\n").is_err());
-        assert!(parse_function("f:\n.L0:\n    ret\n    nop\n").is_err(), "code after terminator");
-        assert!(parse_function("f:\n.L0:\n    nop\n").is_err(), "missing terminator");
-        assert!(parse_function(".L0:\n    ret\n").is_err(), "missing function label");
-        assert!(parse_function("f:\n.L0:\n    b .L9\n").is_err(), "dangling branch target");
+        assert!(
+            parse_function("f:\n.L0:\n    ret\n    nop\n").is_err(),
+            "code after terminator"
+        );
+        assert!(
+            parse_function("f:\n.L0:\n    nop\n").is_err(),
+            "missing terminator"
+        );
+        assert!(
+            parse_function(".L0:\n    ret\n").is_err(),
+            "missing function label"
+        );
+        assert!(
+            parse_function("f:\n.L0:\n    b .L9\n").is_err(),
+            "dangling branch target"
+        );
         assert!(
             parse_function("f:\n.L0:\n    beq .L0\n").is_err(),
             "conditional without else comment"
@@ -508,19 +587,44 @@ mod proptests {
 
     fn arb_insn() -> impl Strategy<Value = Insn> {
         prop_oneof![
-            (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), arb_operand())
-                .prop_map(|(o, rd, rn, src)| Insn::Alu { op: AluOp::ALL[o], rd, rn, src }),
+            (
+                0usize..AluOp::ALL.len(),
+                arb_reg(),
+                arb_reg(),
+                arb_operand()
+            )
+                .prop_map(|(o, rd, rn, src)| Insn::Alu {
+                    op: AluOp::ALL[o],
+                    rd,
+                    rn,
+                    src
+                }),
             (arb_reg(), arb_operand()).prop_map(|(rd, src)| Insn::Mov { rd, src }),
             (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Insn::MovImm32 { rd, imm }),
             (arb_reg(), arb_operand()).prop_map(|(rn, src)| Insn::Cmp { rn, src }),
-            (0usize..Cond::ALL.len(), arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(c, rd, rt, rf)| Insn::Csel { cond: Cond::ALL[c], rd, rt, rf }),
-            (arb_reg(), arb_reg(), arb_operand())
-                .prop_map(|(rd, base, offset)| Insn::Ldr { rd, base, offset }),
-            (arb_reg(), arb_reg(), arb_operand())
-                .prop_map(|(rs, base, offset)| Insn::Str { rs, base, offset }),
+            (0usize..Cond::ALL.len(), arb_reg(), arb_reg(), arb_reg()).prop_map(
+                |(c, rd, rt, rf)| Insn::Csel {
+                    cond: Cond::ALL[c],
+                    rd,
+                    rt,
+                    rf
+                }
+            ),
+            (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, base, offset)| Insn::Ldr {
+                rd,
+                base,
+                offset
+            }),
+            (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rs, base, offset)| Insn::Str {
+                rs,
+                base,
+                offset
+            }),
             proptest::collection::btree_set(0usize..16, 1..6).prop_map(|s| Insn::Push {
-                regs: s.into_iter().map(|i| Reg::from_index(i).expect("idx")).collect(),
+                regs: s
+                    .into_iter()
+                    .map(|i| Reg::from_index(i).expect("idx"))
+                    .collect(),
             }),
             "[a-z_][a-z0-9_]{0,20}".prop_map(|func| Insn::Call { func }),
             (arb_reg(), any::<u8>()).prop_map(|(rd, port)| Insn::In { rd, port }),
@@ -536,7 +640,11 @@ mod proptests {
                     proptest::collection::vec(arb_insn(), 0..6),
                     prop_oneof![
                         (0..n_blocks as u32).prop_map(|t| Terminator::Branch(BlockId(t))),
-                        (0usize..Cond::ALL.len(), 0..n_blocks as u32, 0..n_blocks as u32)
+                        (
+                            0usize..Cond::ALL.len(),
+                            0..n_blocks as u32,
+                            0..n_blocks as u32
+                        )
                             .prop_map(|(c, t, f)| Terminator::CondBranch {
                                 cond: Cond::ALL[c],
                                 taken: BlockId(t),
@@ -548,7 +656,10 @@ mod proptests {
                 ),
                 n_blocks..=n_blocks,
             );
-            (blocks, proptest::collection::btree_map(0..n_blocks as u32, 1u32..100, 0..3))
+            (
+                blocks,
+                proptest::collection::btree_map(0..n_blocks as u32, 1u32..100, 0..3),
+            )
                 .prop_map(|(blocks, bounds)| Function {
                     name: "prop_fn".into(),
                     blocks: blocks

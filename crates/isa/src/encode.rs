@@ -51,7 +51,10 @@ const OP_IO: u16 = 0xB;
 const OP_NOP: u16 = 0xC;
 
 fn alu_code(op: AluOp) -> u16 {
-    AluOp::ALL.iter().position(|o| *o == op).expect("alu op in table") as u16
+    AluOp::ALL
+        .iter()
+        .position(|o| *o == op)
+        .expect("alu op in table") as u16
 }
 
 fn alu_from_code(c: u16) -> Option<AluOp> {
@@ -59,7 +62,10 @@ fn alu_from_code(c: u16) -> Option<AluOp> {
 }
 
 fn cond_code(c: Cond) -> u16 {
-    Cond::ALL.iter().position(|o| *o == c).expect("cond in table") as u16
+    Cond::ALL
+        .iter()
+        .position(|o| *o == c)
+        .expect("cond in table") as u16
 }
 
 fn cond_from_code(c: u16) -> Option<Cond> {
@@ -133,11 +139,20 @@ pub fn encode_insn(insn: &Insn, out: &mut Vec<u16>) {
             out.push(word(OP_CSEL, reg4(*rd), reg4(*rt), reg4(*rf)));
             out.push(cond_code(*cond));
         }
-        Insn::Ldr { rd, base, offset } | Insn::Str { rs: rd, base, offset } => {
+        Insn::Ldr { rd, base, offset }
+        | Insn::Str {
+            rs: rd,
+            base,
+            offset,
+        } => {
             // Fixed two-halfword form: mode nibble selects the meaning of
             // the second halfword (0 = offset register index, 1 = signed
             // immediate).
-            let major = if matches!(insn, Insn::Ldr { .. }) { OP_LDR } else { OP_STR };
+            let major = if matches!(insn, Insn::Ldr { .. }) {
+                OP_LDR
+            } else {
+                OP_STR
+            };
             match offset {
                 Operand::Reg(ro) => {
                     out.push(word(major, reg4(*rd), reg4(*base), 0));
@@ -154,7 +169,11 @@ pub fn encode_insn(insn: &Insn, out: &mut Vec<u16>) {
             }
         }
         Insn::Push { regs } | Insn::Pop { regs } => {
-            let major = if matches!(insn, Insn::Push { .. }) { OP_PUSH } else { OP_POP };
+            let major = if matches!(insn, Insn::Push { .. }) {
+                OP_PUSH
+            } else {
+                OP_POP
+            };
             out.push(word(major, 0, 0, 0));
             let mut mask: u16 = 0;
             for r in regs {
@@ -169,7 +188,11 @@ pub fn encode_insn(insn: &Insn, out: &mut Vec<u16>) {
             let mut i = 0;
             while i < bytes.len() {
                 let lo = bytes[i] as u16;
-                let hi = if i + 1 < bytes.len() { bytes[i + 1] as u16 } else { 0 };
+                let hi = if i + 1 < bytes.len() {
+                    bytes[i + 1] as u16
+                } else {
+                    0
+                };
                 out.push(lo | (hi << 8));
                 i += 2;
             }
@@ -200,14 +223,22 @@ pub fn decode_insn(words: &[u16], pos: usize) -> Result<(Insn, usize), DecodeIns
     let b = (w >> 4) & 0xF;
     let c = w & 0xF;
     let need = |n: usize| -> Result<u16, DecodeInsnError> {
-        words.get(pos + n).copied().ok_or(DecodeInsnError::Truncated)
+        words
+            .get(pos + n)
+            .copied()
+            .ok_or(DecodeInsnError::Truncated)
     };
     match major {
         OP_ALU_REG => {
             let opw = need(1)?;
             let op = alu_from_code(opw).ok_or(DecodeInsnError::BadField("alu op"))?;
             Ok((
-                Insn::Alu { op, rd: reg_from(a), rn: reg_from(b), src: Operand::Reg(reg_from(c)) },
+                Insn::Alu {
+                    op,
+                    rd: reg_from(a),
+                    rn: reg_from(b),
+                    src: Operand::Reg(reg_from(c)),
+                },
                 pos + 2,
             ))
         }
@@ -215,36 +246,76 @@ pub fn decode_insn(words: &[u16], pos: usize) -> Result<(Insn, usize), DecodeIns
             let op = alu_from_code(c).ok_or(DecodeInsnError::BadField("alu op"))?;
             let imm = need(1)? as i16 as i32;
             Ok((
-                Insn::Alu { op, rd: reg_from(a), rn: reg_from(b), src: Operand::Imm(imm) },
+                Insn::Alu {
+                    op,
+                    rd: reg_from(a),
+                    rn: reg_from(b),
+                    src: Operand::Imm(imm),
+                },
                 pos + 2,
             ))
         }
         OP_MOV => {
             if c == 1 {
                 let imm = need(1)? as i16 as i32;
-                Ok((Insn::Mov { rd: reg_from(a), src: Operand::Imm(imm) }, pos + 2))
+                Ok((
+                    Insn::Mov {
+                        rd: reg_from(a),
+                        src: Operand::Imm(imm),
+                    },
+                    pos + 2,
+                ))
             } else {
-                Ok((Insn::Mov { rd: reg_from(a), src: Operand::Reg(reg_from(b)) }, pos + 1))
+                Ok((
+                    Insn::Mov {
+                        rd: reg_from(a),
+                        src: Operand::Reg(reg_from(b)),
+                    },
+                    pos + 1,
+                ))
             }
         }
         OP_MOV32 => {
             let lo = need(1)? as u32;
             let hi = need(2)? as u32;
-            Ok((Insn::MovImm32 { rd: reg_from(a), imm: (lo | (hi << 16)) as i32 }, pos + 3))
+            Ok((
+                Insn::MovImm32 {
+                    rd: reg_from(a),
+                    imm: (lo | (hi << 16)) as i32,
+                },
+                pos + 3,
+            ))
         }
         OP_CMP => {
             if c == 1 {
                 let imm = need(1)? as i16 as i32;
-                Ok((Insn::Cmp { rn: reg_from(a), src: Operand::Imm(imm) }, pos + 2))
+                Ok((
+                    Insn::Cmp {
+                        rn: reg_from(a),
+                        src: Operand::Imm(imm),
+                    },
+                    pos + 2,
+                ))
             } else {
-                Ok((Insn::Cmp { rn: reg_from(a), src: Operand::Reg(reg_from(b)) }, pos + 1))
+                Ok((
+                    Insn::Cmp {
+                        rn: reg_from(a),
+                        src: Operand::Reg(reg_from(b)),
+                    },
+                    pos + 1,
+                ))
             }
         }
         OP_CSEL => {
             let cw = need(1)?;
             let cond = cond_from_code(cw).ok_or(DecodeInsnError::BadField("condition"))?;
             Ok((
-                Insn::Csel { cond, rd: reg_from(a), rt: reg_from(b), rf: reg_from(c) },
+                Insn::Csel {
+                    cond,
+                    rd: reg_from(a),
+                    rt: reg_from(b),
+                    rf: reg_from(c),
+                },
                 pos + 2,
             ))
         }
@@ -261,9 +332,23 @@ pub fn decode_insn(words: &[u16], pos: usize) -> Result<(Insn, usize), DecodeIns
                 _ => return Err(DecodeInsnError::BadField("memory addressing mode")),
             };
             if major == OP_LDR {
-                Ok((Insn::Ldr { rd: reg_from(a), base: reg_from(b), offset }, pos + 2))
+                Ok((
+                    Insn::Ldr {
+                        rd: reg_from(a),
+                        base: reg_from(b),
+                        offset,
+                    },
+                    pos + 2,
+                ))
             } else {
-                Ok((Insn::Str { rs: reg_from(a), base: reg_from(b), offset }, pos + 2))
+                Ok((
+                    Insn::Str {
+                        rs: reg_from(a),
+                        base: reg_from(b),
+                        offset,
+                    },
+                    pos + 2,
+                ))
             }
         }
         OP_PUSH | OP_POP => {
@@ -300,9 +385,21 @@ pub fn decode_insn(words: &[u16], pos: usize) -> Result<(Insn, usize), DecodeIns
                 return Err(DecodeInsnError::BadField("port"));
             }
             if b == 1 {
-                Ok((Insn::Out { rs: reg_from(a), port: port as u8 }, pos + 2))
+                Ok((
+                    Insn::Out {
+                        rs: reg_from(a),
+                        port: port as u8,
+                    },
+                    pos + 2,
+                ))
             } else {
-                Ok((Insn::In { rd: reg_from(a), port: port as u8 }, pos + 2))
+                Ok((
+                    Insn::In {
+                        rd: reg_from(a),
+                        port: port as u8,
+                    },
+                    pos + 2,
+                ))
             }
         }
         OP_NOP => Ok((Insn::Nop, pos + 1)),
@@ -340,23 +437,77 @@ mod tests {
 
     fn samples() -> Vec<Insn> {
         vec![
-            Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R1, src: Operand::Reg(Reg::R2) },
-            Insn::Alu { op: AluOp::Lsr, rd: Reg::R7, rn: Reg::R7, src: Operand::Imm(-5) },
-            Insn::Mov { rd: Reg::R3, src: Operand::Reg(Reg::SP) },
-            Insn::Mov { rd: Reg::R3, src: Operand::Imm(1234) },
-            Insn::MovImm32 { rd: Reg::R4, imm: -123_456_789 },
-            Insn::Cmp { rn: Reg::R1, src: Operand::Imm(0) },
-            Insn::Cmp { rn: Reg::R1, src: Operand::Reg(Reg::R9) },
-            Insn::Csel { cond: Cond::Le, rd: Reg::R0, rt: Reg::R1, rf: Reg::R2 },
-            Insn::Ldr { rd: Reg::R0, base: Reg::SP, offset: Operand::Imm(-8) },
-            Insn::Ldr { rd: Reg::R0, base: Reg::R1, offset: Operand::Reg(Reg::R2) },
-            Insn::Str { rs: Reg::R5, base: Reg::R6, offset: Operand::Imm(16) },
-            Insn::Push { regs: vec![Reg::R4, Reg::R5, Reg::LR] },
-            Insn::Pop { regs: vec![Reg::R4, Reg::R5, Reg::LR] },
-            Insn::Call { func: "xtea_encrypt".into() },
+            Insn::Alu {
+                op: AluOp::Add,
+                rd: Reg::R0,
+                rn: Reg::R1,
+                src: Operand::Reg(Reg::R2),
+            },
+            Insn::Alu {
+                op: AluOp::Lsr,
+                rd: Reg::R7,
+                rn: Reg::R7,
+                src: Operand::Imm(-5),
+            },
+            Insn::Mov {
+                rd: Reg::R3,
+                src: Operand::Reg(Reg::SP),
+            },
+            Insn::Mov {
+                rd: Reg::R3,
+                src: Operand::Imm(1234),
+            },
+            Insn::MovImm32 {
+                rd: Reg::R4,
+                imm: -123_456_789,
+            },
+            Insn::Cmp {
+                rn: Reg::R1,
+                src: Operand::Imm(0),
+            },
+            Insn::Cmp {
+                rn: Reg::R1,
+                src: Operand::Reg(Reg::R9),
+            },
+            Insn::Csel {
+                cond: Cond::Le,
+                rd: Reg::R0,
+                rt: Reg::R1,
+                rf: Reg::R2,
+            },
+            Insn::Ldr {
+                rd: Reg::R0,
+                base: Reg::SP,
+                offset: Operand::Imm(-8),
+            },
+            Insn::Ldr {
+                rd: Reg::R0,
+                base: Reg::R1,
+                offset: Operand::Reg(Reg::R2),
+            },
+            Insn::Str {
+                rs: Reg::R5,
+                base: Reg::R6,
+                offset: Operand::Imm(16),
+            },
+            Insn::Push {
+                regs: vec![Reg::R4, Reg::R5, Reg::LR],
+            },
+            Insn::Pop {
+                regs: vec![Reg::R4, Reg::R5, Reg::LR],
+            },
+            Insn::Call {
+                func: "xtea_encrypt".into(),
+            },
             Insn::Call { func: "f".into() },
-            Insn::In { rd: Reg::R0, port: 3 },
-            Insn::Out { rs: Reg::R1, port: 250 },
+            Insn::In {
+                rd: Reg::R0,
+                port: 3,
+            },
+            Insn::Out {
+                rs: Reg::R1,
+                port: 250,
+            },
             Insn::Nop,
         ]
     }
@@ -382,14 +533,23 @@ mod tests {
     #[test]
     fn truncated_stream_is_an_error() {
         let mut words = Vec::new();
-        encode_insn(&Insn::MovImm32 { rd: Reg::R0, imm: 7 }, &mut words);
+        encode_insn(
+            &Insn::MovImm32 {
+                rd: Reg::R0,
+                imm: 7,
+            },
+            &mut words,
+        );
         words.pop();
         assert_eq!(decode_insn(&words, 0), Err(DecodeInsnError::Truncated));
     }
 
     #[test]
     fn bad_opcode_is_an_error() {
-        assert!(matches!(decode_insn(&[0xF000], 0), Err(DecodeInsnError::BadOpcode(_))));
+        assert!(matches!(
+            decode_insn(&[0xF000], 0),
+            Err(DecodeInsnError::BadOpcode(_))
+        ));
     }
 
     #[test]
@@ -421,19 +581,44 @@ mod proptests {
     }
 
     fn arb_insn() -> impl Strategy<Value = Insn> {
-        let alu = (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), arb_operand())
-            .prop_map(|(o, rd, rn, src)| Insn::Alu { op: AluOp::ALL[o], rd, rn, src });
+        let alu = (
+            0usize..AluOp::ALL.len(),
+            arb_reg(),
+            arb_reg(),
+            arb_operand(),
+        )
+            .prop_map(|(o, rd, rn, src)| Insn::Alu {
+                op: AluOp::ALL[o],
+                rd,
+                rn,
+                src,
+            });
         let mov = (arb_reg(), arb_operand()).prop_map(|(rd, src)| Insn::Mov { rd, src });
         let mov32 = (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Insn::MovImm32 { rd, imm });
         let cmp = (arb_reg(), arb_operand()).prop_map(|(rn, src)| Insn::Cmp { rn, src });
-        let csel = (0usize..Cond::ALL.len(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(c, rd, rt, rf)| Insn::Csel { cond: Cond::ALL[c], rd, rt, rf });
-        let ldr = (arb_reg(), arb_reg(), arb_operand())
-            .prop_map(|(rd, base, offset)| Insn::Ldr { rd, base, offset });
-        let str_ = (arb_reg(), arb_reg(), arb_operand())
-            .prop_map(|(rs, base, offset)| Insn::Str { rs, base, offset });
+        let csel = (0usize..Cond::ALL.len(), arb_reg(), arb_reg(), arb_reg()).prop_map(
+            |(c, rd, rt, rf)| Insn::Csel {
+                cond: Cond::ALL[c],
+                rd,
+                rt,
+                rf,
+            },
+        );
+        let ldr = (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, base, offset)| Insn::Ldr {
+            rd,
+            base,
+            offset,
+        });
+        let str_ = (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rs, base, offset)| Insn::Str {
+            rs,
+            base,
+            offset,
+        });
         let push = proptest::collection::btree_set(0usize..16, 0..8).prop_map(|s| Insn::Push {
-            regs: s.into_iter().map(|i| Reg::from_index(i).expect("idx")).collect(),
+            regs: s
+                .into_iter()
+                .map(|i| Reg::from_index(i).expect("idx"))
+                .collect(),
         });
         let call = "[a-z_][a-z0-9_]{0,30}".prop_map(|func| Insn::Call { func });
         let io = (arb_reg(), any::<u8>(), any::<bool>()).prop_map(|(r, port, dir)| {
@@ -443,7 +628,19 @@ mod proptests {
                 Insn::Out { rs: r, port }
             }
         });
-        prop_oneof![alu, mov, mov32, cmp, csel, ldr, str_, push, call, io, Just(Insn::Nop)]
+        prop_oneof![
+            alu,
+            mov,
+            mov32,
+            cmp,
+            csel,
+            ldr,
+            str_,
+            push,
+            call,
+            io,
+            Just(Insn::Nop)
+        ]
     }
 
     proptest! {

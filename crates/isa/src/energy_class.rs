@@ -130,11 +130,24 @@ mod tests {
 
     #[test]
     fn classification_covers_key_opcodes() {
-        let mul = Insn::Alu { op: AluOp::Mul, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R1) };
+        let mul = Insn::Alu {
+            op: AluOp::Mul,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Reg(Reg::R1),
+        };
         assert_eq!(EnergyClass::of_insn(&mul), EnergyClass::Mul);
-        let shl = Insn::Alu { op: AluOp::Lsl, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(3) };
+        let shl = Insn::Alu {
+            op: AluOp::Lsl,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Imm(3),
+        };
         assert_eq!(EnergyClass::of_insn(&shl), EnergyClass::Alu);
-        let outp = Insn::Out { rs: Reg::R0, port: 1 };
+        let outp = Insn::Out {
+            rs: Reg::R0,
+            port: 1,
+        };
         assert_eq!(EnergyClass::of_insn(&outp), EnergyClass::Io);
         assert_eq!(EnergyClass::of_insn(&Insn::Nop), EnergyClass::Idle);
     }
@@ -146,6 +159,9 @@ mod tests {
             EnergyClass::of_terminator(&Terminator::Branch(BlockId(0))),
             EnergyClass::Branch
         );
-        assert_eq!(EnergyClass::of_terminator(&Terminator::Halt), EnergyClass::Idle);
+        assert_eq!(
+            EnergyClass::of_terminator(&Terminator::Halt),
+            EnergyClass::Idle
+        );
     }
 }

@@ -289,7 +289,12 @@ impl From<Reg> for Operand {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Insn {
     /// `rd = rn <op> src`.
-    Alu { op: AluOp, rd: Reg, rn: Reg, src: Operand },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rn: Reg,
+        src: Operand,
+    },
     /// `rd = src` (register move or 16-bit immediate).
     Mov { rd: Reg, src: Operand },
     /// `rd = imm` for a full 32-bit constant (costs an extra fetch cycle).
@@ -301,7 +306,12 @@ pub enum Insn {
     /// This is the constant-time primitive used by the ladderisation
     /// hardening pass (paper refs \[11\], \[12\]); its timing never depends
     /// on the condition.
-    Csel { cond: Cond, rd: Reg, rt: Reg, rf: Reg },
+    Csel {
+        cond: Cond,
+        rd: Reg,
+        rt: Reg,
+        rf: Reg,
+    },
     /// Load a 32-bit word: `rd = mem[base + offset]` (byte-addressed).
     Ldr { rd: Reg, base: Reg, offset: Operand },
     /// Store a 32-bit word: `mem[base + offset] = rs`.
@@ -424,19 +434,35 @@ mod tests {
 
     #[test]
     fn writes_tracks_destinations() {
-        let i = Insn::Alu { op: AluOp::Add, rd: Reg::R3, rn: Reg::R1, src: Operand::Imm(1) };
+        let i = Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::R3,
+            rn: Reg::R1,
+            src: Operand::Imm(1),
+        };
         assert!(i.writes(Reg::R3));
         assert!(!i.writes(Reg::R1));
-        let p = Insn::Push { regs: vec![Reg::R4] };
+        let p = Insn::Push {
+            regs: vec![Reg::R4],
+        };
         assert!(p.writes(Reg::SP));
         assert!(!p.writes(Reg::R4));
     }
 
     #[test]
     fn display_formats_are_assembly_like() {
-        let i = Insn::Ldr { rd: Reg::R0, base: Reg::SP, offset: Operand::Imm(8) };
+        let i = Insn::Ldr {
+            rd: Reg::R0,
+            base: Reg::SP,
+            offset: Operand::Imm(8),
+        };
         assert_eq!(i.to_string(), "ldr r0, [sp, #8]");
-        let c = Insn::Csel { cond: Cond::Eq, rd: Reg::R0, rt: Reg::R1, rf: Reg::R2 };
+        let c = Insn::Csel {
+            cond: Cond::Eq,
+            rd: Reg::R0,
+            rt: Reg::R1,
+            rf: Reg::R2,
+        };
         assert_eq!(c.to_string(), "cseleq r0, r1, r2");
     }
 }

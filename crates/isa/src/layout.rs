@@ -34,7 +34,10 @@ impl DataLayout {
             addresses.insert(name.clone(), cursor);
             cursor += (words.len() as u32) * 4;
         }
-        DataLayout { addresses, data_end: cursor }
+        DataLayout {
+            addresses,
+            data_end: cursor,
+        }
     }
 
     /// Byte address of a global symbol.

@@ -28,16 +28,16 @@
 //! ```
 
 pub mod asm;
-pub mod energy_class;
 pub mod encode;
+pub mod energy_class;
 pub mod insn;
 pub mod layout;
 pub mod program;
 pub mod timing;
 
 pub use asm::{parse_function, parse_program, render_function, render_program, AsmParseError};
-pub use energy_class::{EnergyClass, ENERGY_CLASS_COUNT};
 pub use encode::{decode_insn, encode_insn, DecodeInsnError};
+pub use energy_class::{EnergyClass, ENERGY_CLASS_COUNT};
 pub use insn::{AluOp, Cond, Insn, Operand, Reg};
 pub use layout::{DataLayout, DATA_BASE, MEMORY_BYTES, STACK_TOP};
 pub use program::{Block, BlockId, Function, Program, Terminator};

@@ -51,14 +51,16 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Branch(t) => vec![*t],
-            Terminator::CondBranch { taken, fallthrough, .. } => vec![*taken, *fallthrough],
+            Terminator::CondBranch {
+                taken, fallthrough, ..
+            } => vec![*taken, *fallthrough],
             Terminator::Return | Terminator::Halt => Vec::new(),
         }
     }
 }
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Block {
     /// Straight-line body (calls allowed; branches are not).
     pub insns: Vec<Insn>,
@@ -69,23 +71,29 @@ pub struct Block {
 impl Block {
     /// A block with no instructions and the given terminator.
     pub fn empty(terminator: Terminator) -> Block {
-        Block { insns: Vec::new(), terminator }
+        Block {
+            insns: Vec::new(),
+            terminator,
+        }
     }
 }
 
 /// A PG32 function in CFG form.
 ///
-/// `loop_bounds` maps loop-header blocks to the maximum number of times the
-/// header can execute per entry to the loop; the bounds originate from the
-/// Mini-C loop-bound inference or from CSL `loop bound(...)` annotations and
-/// are what makes static WCET analysis possible (paper Section II-A).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// `loop_bounds` maps loop-header blocks to the maximum number of *body
+/// iterations* per entry to the loop (so the header itself executes at
+/// most `bound + 1` times — once more for the final exit check); the
+/// bounds originate from the Mini-C loop-bound inference, from CSL
+/// `loop bound(...)` annotations, or from the trip counts the compiler
+/// proves, and are what makes static WCET analysis possible (paper
+/// Section II-A).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Function {
     /// Symbol name.
     pub name: String,
     /// Basic blocks; block 0 is the entry.
     pub blocks: Vec<Block>,
-    /// Maximum header executions per loop entry, keyed by header block.
+    /// Maximum body iterations per loop entry, keyed by header block.
     pub loop_bounds: BTreeMap<BlockId, u32>,
     /// Bytes of stack frame the function owns (spill slots + locals).
     pub frame_size: u32,
@@ -179,9 +187,11 @@ impl fmt::Display for Function {
             }
             match &b.terminator {
                 Terminator::Branch(t) => writeln!(f, "    b {t}")?,
-                Terminator::CondBranch { cond, taken, fallthrough } => {
-                    writeln!(f, "    b{cond} {taken}  ; else {fallthrough}")?
-                }
+                Terminator::CondBranch {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => writeln!(f, "    b{cond} {taken}  ; else {fallthrough}")?,
                 Terminator::Return => writeln!(f, "    ret")?,
                 Terminator::Halt => writeln!(f, "    halt")?,
             }
@@ -249,8 +259,11 @@ impl Program {
             Grey,
             Black,
         }
-        let mut colour: BTreeMap<&str, Colour> =
-            self.functions.keys().map(|k| (k.as_str(), Colour::White)).collect();
+        let mut colour: BTreeMap<&str, Colour> = self
+            .functions
+            .keys()
+            .map(|k| (k.as_str(), Colour::White))
+            .collect();
         for start in self.functions.keys() {
             if colour[start.as_str()] != Colour::White {
                 continue;
@@ -291,13 +304,25 @@ mod tests {
     use crate::insn::{AluOp, Cond, Insn, Operand, Reg};
 
     fn add_insn() -> Insn {
-        Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(1) }
+        Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Imm(1),
+        }
     }
 
     #[test]
     fn terminator_successors() {
-        assert_eq!(Terminator::Branch(BlockId(3)).successors(), vec![BlockId(3)]);
-        let c = Terminator::CondBranch { cond: Cond::Eq, taken: BlockId(1), fallthrough: BlockId(2) };
+        assert_eq!(
+            Terminator::Branch(BlockId(3)).successors(),
+            vec![BlockId(3)]
+        );
+        let c = Terminator::CondBranch {
+            cond: Cond::Eq,
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
         assert_eq!(c.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Return.successors().is_empty());
     }
@@ -317,7 +342,9 @@ mod tests {
     fn validate_rejects_unknown_callee() {
         let mut p = Program::new();
         let mut f = Function::stub("main");
-        f.blocks[0].insns.push(Insn::Call { func: "ghost".into() });
+        f.blocks[0].insns.push(Insn::Call {
+            func: "ghost".into(),
+        });
         p.add_function(f);
         let err = p.validate().unwrap_err();
         assert!(err.contains("ghost"), "{err}");

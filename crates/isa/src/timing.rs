@@ -120,7 +120,9 @@ impl CycleModel {
             Insn::Csel { .. } => self.csel,
             Insn::Ldr { .. } => self.load,
             Insn::Str { .. } => self.store,
-            Insn::Push { regs } | Insn::Pop { regs } => 1 + self.push_pop_per_reg * regs.len() as u64,
+            Insn::Push { regs } | Insn::Pop { regs } => {
+                1 + self.push_pop_per_reg * regs.len() as u64
+            }
             Insn::Call { .. } => self.call,
             Insn::In { .. } => self.port_in,
             Insn::Out { .. } => self.port_out,
@@ -172,9 +174,24 @@ mod tests {
     #[test]
     fn alu_classes_have_distinct_costs() {
         let m = CycleModel::pg32();
-        let add = Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(1) };
-        let mul = Insn::Alu { op: AluOp::Mul, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R1) };
-        let div = Insn::Alu { op: AluOp::Div, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R1) };
+        let add = Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Imm(1),
+        };
+        let mul = Insn::Alu {
+            op: AluOp::Mul,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Reg(Reg::R1),
+        };
+        let div = Insn::Alu {
+            op: AluOp::Div,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Reg(Reg::R1),
+        };
         assert_eq!(m.cycles(&add, false), 1);
         assert_eq!(m.cycles(&mul, false), 1);
         assert_eq!(m.cycles(&div, false), 12);
@@ -183,8 +200,12 @@ mod tests {
     #[test]
     fn push_pop_scales_with_register_count() {
         let m = CycleModel::pg32();
-        let p1 = Insn::Push { regs: vec![Reg::R4] };
-        let p3 = Insn::Push { regs: vec![Reg::R4, Reg::R5, Reg::R6] };
+        let p1 = Insn::Push {
+            regs: vec![Reg::R4],
+        };
+        let p3 = Insn::Push {
+            regs: vec![Reg::R4, Reg::R5, Reg::R6],
+        };
         assert_eq!(m.cycles(&p3, false) - m.cycles(&p1, false), 2);
     }
 
@@ -205,7 +226,11 @@ mod tests {
     fn leon3_is_slower_on_memory() {
         let pg = CycleModel::pg32();
         let leon = CycleModel::leon3();
-        let ldr = Insn::Ldr { rd: Reg::R0, base: Reg::SP, offset: Operand::Imm(0) };
+        let ldr = Insn::Ldr {
+            rd: Reg::R0,
+            base: Reg::SP,
+            offset: Operand::Imm(0),
+        };
         assert!(leon.cycles(&ldr, false) > pg.cycles(&ldr, false));
     }
 

@@ -59,7 +59,10 @@ pub enum BinOp {
 impl BinOp {
     /// `true` for the six relational operators.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 
@@ -278,7 +281,11 @@ mod tests {
     fn program_accessors() {
         let p = Program {
             items: vec![
-                Item::Global(Global { name: "g".into(), array_len: None, init: vec![3] }),
+                Item::Global(Global {
+                    name: "g".into(),
+                    array_len: None,
+                    init: vec![3],
+                }),
                 Item::Function(Function {
                     name: "f".into(),
                     params: vec![],

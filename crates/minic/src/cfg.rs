@@ -26,7 +26,12 @@ impl CfgView for crate::ir::IrFunction {
         0
     }
     fn successors(&self, block: usize) -> Vec<usize> {
-        self.blocks[block].term.successors().iter().map(|b| b.index()).collect()
+        self.blocks[block]
+            .term
+            .successors()
+            .iter()
+            .map(|b| b.index())
+            .collect()
     }
 }
 
@@ -240,12 +245,16 @@ mod tests {
 
     /// 0 -> 1 -> 2 -> 1 (loop), 2 -> 3
     fn single_loop() -> TestCfg {
-        TestCfg { succs: vec![vec![1], vec![2], vec![1, 3], vec![]] }
+        TestCfg {
+            succs: vec![vec![1], vec![2], vec![1, 3], vec![]],
+        }
     }
 
     /// Nested: 0 -> 1(h1) -> 2(h2) -> 3 -> 2, 3 -> 1 exit path 1 -> 4
     fn nested_loops() -> TestCfg {
-        TestCfg { succs: vec![vec![1], vec![2, 4], vec![3], vec![2, 1], vec![]] }
+        TestCfg {
+            succs: vec![vec![1], vec![2, 4], vec![3], vec![2, 1], vec![]],
+        }
     }
 
     #[test]
@@ -258,7 +267,9 @@ mod tests {
 
     #[test]
     fn rpo_omits_unreachable() {
-        let g = TestCfg { succs: vec![vec![1], vec![], vec![1]] };
+        let g = TestCfg {
+            succs: vec![vec![1], vec![], vec![1]],
+        };
         let rpo = reverse_postorder(&g);
         assert_eq!(rpo, vec![0, 1]);
     }
@@ -266,7 +277,9 @@ mod tests {
     #[test]
     fn dominators_of_diamond() {
         // 0 -> {1,2} -> 3
-        let g = TestCfg { succs: vec![vec![1, 2], vec![3], vec![3], vec![]] };
+        let g = TestCfg {
+            succs: vec![vec![1, 2], vec![3], vec![3], vec![]],
+        };
         let idom = immediate_dominators(&g);
         assert_eq!(idom[1], 0);
         assert_eq!(idom[2], 0);
@@ -298,7 +311,9 @@ mod tests {
 
     #[test]
     fn self_loop_is_detected() {
-        let g = TestCfg { succs: vec![vec![1], vec![1, 2], vec![]] };
+        let g = TestCfg {
+            succs: vec![vec![1], vec![1, 2], vec![]],
+        };
         let loops = natural_loops(&g);
         assert_eq!(loops.len(), 1);
         assert_eq!(loops[0].header, 1);
@@ -307,7 +322,9 @@ mod tests {
 
     #[test]
     fn acyclic_graph_has_no_loops() {
-        let g = TestCfg { succs: vec![vec![1, 2], vec![3], vec![3], vec![]] };
+        let g = TestCfg {
+            succs: vec![vec![1, 2], vec![3], vec![3], vec![]],
+        };
         assert!(natural_loops(&g).is_empty());
     }
 }

@@ -85,7 +85,12 @@ impl RecordingPorts {
 impl Ports for RecordingPorts {
     fn input(&mut self, port: u8) -> i32 {
         let idx = self.cursor.entry(port).or_insert(0);
-        let v = self.inputs.get(&port).and_then(|q| q.get(*idx)).copied().unwrap_or(0);
+        let v = self
+            .inputs
+            .get(&port)
+            .and_then(|q| q.get(*idx))
+            .copied()
+            .unwrap_or(0);
         *idx += 1;
         v
     }
@@ -148,7 +153,14 @@ impl<'p, P: Ports> Interp<'p, P> {
                 globals.insert(g.name.clone(), Binding::Scalar(g.init[0]));
             }
         }
-        Interp { program, arena, globals, ports, fuel, steps: 0 }
+        Interp {
+            program,
+            arena,
+            globals,
+            ports,
+            fuel,
+            steps: 0,
+        }
     }
 
     /// Read back a scalar global after a run.
@@ -190,7 +202,10 @@ impl<'p, P: Ports> Interp<'p, P> {
         let bindings: Vec<Binding> = args.iter().map(|v| Binding::Scalar(*v)).collect();
         let start = self.steps;
         let ret = self.call_function(f, bindings, 0)?;
-        Ok(ExecOutcome { return_value: ret, steps: self.steps - start })
+        Ok(ExecOutcome {
+            return_value: ret,
+            steps: self.steps - start,
+        })
     }
 
     fn tick(&mut self) -> Result<(), InterpError> {
@@ -211,7 +226,9 @@ impl<'p, P: Ports> Interp<'p, P> {
         if depth >= MAX_CALL_DEPTH {
             return Err(InterpError::StackOverflow);
         }
-        let mut frame = Frame { vars: vec![HashMap::new()] };
+        let mut frame = Frame {
+            vars: vec![HashMap::new()],
+        };
         for (p, b) in f.params.iter().zip(args) {
             frame.vars[0].insert(p.name.clone(), b);
         }
@@ -231,7 +248,11 @@ impl<'p, P: Ports> Interp<'p, P> {
     ) -> Result<Flow, InterpError> {
         self.tick()?;
         match stmt {
-            Stmt::Decl { name, array_len, init } => {
+            Stmt::Decl {
+                name,
+                array_len,
+                init,
+            } => {
                 let binding = if let Some(len) = array_len {
                     let idx = self.arena.len();
                     self.arena.push(vec![0; *len as usize]);
@@ -243,7 +264,11 @@ impl<'p, P: Ports> Interp<'p, P> {
                     };
                     Binding::Scalar(v)
                 };
-                frame.vars.last_mut().expect("scope").insert(name.clone(), binding);
+                frame
+                    .vars
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), binding);
                 Ok(Flow::Normal)
             }
             Stmt::Assign { target, value } => {
@@ -268,7 +293,11 @@ impl<'p, P: Ports> Interp<'p, P> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval(cond, frame, depth)? != 0 {
                     self.exec_scoped(then_branch, frame, depth)
                 } else if let Some(e) = else_branch {
@@ -285,7 +314,13 @@ impl<'p, P: Ports> Interp<'p, P> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 frame.vars.push(HashMap::new());
                 let result = (|| {
                     if let Some(init) = init {
@@ -363,7 +398,10 @@ impl<'p, P: Ports> Interp<'p, P> {
                 return *b;
             }
         }
-        *self.globals.get(name).expect("sema guarantees declared names")
+        *self
+            .globals
+            .get(name)
+            .expect("sema guarantees declared names")
     }
 
     fn set_scalar(&mut self, name: &str, value: i32, frame: &mut Frame) {
@@ -373,7 +411,8 @@ impl<'p, P: Ports> Interp<'p, P> {
                 return;
             }
         }
-        self.globals.insert(name.to_string(), Binding::Scalar(value));
+        self.globals
+            .insert(name.to_string(), Binding::Scalar(value));
     }
 
     fn array_binding(&self, name: &str, frame: &Frame) -> usize {
@@ -453,22 +492,31 @@ impl<'p, P: Ports> Interp<'p, P> {
         };
         match func.as_str() {
             "__in" => {
-                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port literal") };
+                let Expr::Lit(port) = &args[0] else {
+                    unreachable!("sema checked port literal")
+                };
                 return Ok(Some(self.ports.input(*port as u8)));
             }
             "__out" => {
-                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port literal") };
+                let Expr::Lit(port) = &args[0] else {
+                    unreachable!("sema checked port literal")
+                };
                 let v = self.eval(&args[1], frame, depth)?;
                 self.ports.output(*port as u8, v);
                 return Ok(None);
             }
             _ => {}
         }
-        let f = self.program.function(func).expect("sema guarantees defined callee");
+        let f = self
+            .program
+            .function(func)
+            .expect("sema guarantees defined callee");
         let mut bindings = Vec::with_capacity(args.len());
         for (arg, param) in args.iter().zip(&f.params) {
             if param.is_array {
-                let Expr::Var(name) = arg else { unreachable!("sema checked array arg") };
+                let Expr::Var(name) = arg else {
+                    unreachable!("sema checked array arg")
+                };
                 bindings.push(Binding::Array(self.array_binding(name, frame)));
             } else {
                 bindings.push(Binding::Scalar(self.eval(arg, frame, depth)?));
@@ -524,7 +572,11 @@ mod tests {
     fn run(src: &str, func: &str, args: &[i32]) -> i32 {
         let program = parse_and_check(src).expect("front-end");
         let mut interp = Interp::new(&program, RecordingPorts::new(), 1_000_000);
-        interp.call(func, args).expect("run").return_value.expect("value")
+        interp
+            .call(func, args)
+            .expect("run")
+            .return_value
+            .expect("value")
     }
 
     #[test]
@@ -602,8 +654,14 @@ mod tests {
         let src = "int f(int i) { int a[2]; return a[i]; }";
         let program = parse_and_check(src).expect("front-end");
         let mut interp = Interp::new(&program, RecordingPorts::new(), 1_000);
-        assert!(matches!(interp.call("f", &[5]), Err(InterpError::OutOfBounds { .. })));
-        assert!(matches!(interp.call("f", &[-1]), Err(InterpError::OutOfBounds { .. })));
+        assert!(matches!(
+            interp.call("f", &[5]),
+            Err(InterpError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            interp.call("f", &[-1]),
+            Err(InterpError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -612,7 +670,10 @@ mod tests {
         let program = parse_and_check(src).expect("front-end");
         let mut interp = Interp::new(&program, RecordingPorts::new(), 10_000_000);
         assert_eq!(interp.call("f", &[10]).expect("run").return_value, Some(10));
-        assert_eq!(interp.call("f", &[100_000]), Err(InterpError::StackOverflow));
+        assert_eq!(
+            interp.call("f", &[100_000]),
+            Err(InterpError::StackOverflow)
+        );
     }
 
     #[test]

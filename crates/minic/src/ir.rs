@@ -198,7 +198,12 @@ impl fmt::Display for IrOp {
                 }
                 write!(f, ")")
             }
-            IrOp::Select { dst, cond, t, f: fv } => write!(f, "{dst} = {cond} ? {t} : {fv}"),
+            IrOp::Select {
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => write!(f, "{dst} = {cond} ? {t} : {fv}"),
             IrOp::In { dst, port } => write!(f, "{dst} = __in({port})"),
             IrOp::Out { port, value } => write!(f, "__out({port}, {value})"),
         }
@@ -245,7 +250,9 @@ impl IrTerm {
     pub fn successors(&self) -> Vec<IrBlockId> {
         match self {
             IrTerm::Jump(t) => vec![*t],
-            IrTerm::Branch { taken, fallthrough, .. } => vec![*taken, *fallthrough],
+            IrTerm::Branch {
+                taken, fallthrough, ..
+            } => vec![*taken, *fallthrough],
             IrTerm::Ret(_) => Vec::new(),
         }
     }
@@ -303,7 +310,10 @@ impl IrFunction {
 
     /// Append a new empty block, returning its id.
     pub fn new_block(&mut self) -> IrBlockId {
-        self.blocks.push(IrBlock { ops: Vec::new(), term: IrTerm::Ret(None) });
+        self.blocks.push(IrBlock {
+            ops: Vec::new(),
+            term: IrTerm::Ret(None),
+        });
         IrBlockId(self.blocks.len() as u32 - 1)
     }
 
@@ -406,7 +416,13 @@ impl fmt::Display for IrFunction {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{}: {}{}", p.temp, if p.is_array { "&" } else { "" }, p.name)?;
+            write!(
+                f,
+                "{}: {}{}",
+                p.temp,
+                if p.is_array { "&" } else { "" },
+                p.name
+            )?;
         }
         writeln!(f, ")")?;
         for (i, b) in self.blocks.iter().enumerate() {
@@ -421,9 +437,11 @@ impl fmt::Display for IrFunction {
             }
             match &b.term {
                 IrTerm::Jump(t) => writeln!(f, "    jump {t}")?,
-                IrTerm::Branch { cond, taken, fallthrough } => {
-                    writeln!(f, "    br {cond} ? {taken} : {fallthrough}")?
-                }
+                IrTerm::Branch {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => writeln!(f, "    br {cond} ? {taken} : {fallthrough}")?,
                 IrTerm::Ret(Some(v)) => writeln!(f, "    ret {v}")?,
                 IrTerm::Ret(None) => writeln!(f, "    ret")?,
             }
@@ -562,7 +580,11 @@ impl<'m, P: Ports> IrExec<'m, P> {
         let resolve = move |arrays: &HashMap<Temp, ArrRef>, base: &MemBase| -> ArrRef {
             match base {
                 MemBase::Global(name) => ArrRef::Global(
-                    module.globals.iter().position(|(n, _)| n == name).expect("validated global"),
+                    module
+                        .globals
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .expect("validated global"),
                 ),
                 MemBase::Local(id) => local_refs[*id as usize],
                 MemBase::Param(t) => arrays[t],
@@ -594,7 +616,11 @@ impl<'m, P: Ports> IrExec<'m, P> {
                         let v = self.read(r, i)?;
                         temps[dst.0 as usize] = v;
                     }
-                    IrOp::Store { base, index, value: v } => {
+                    IrOp::Store {
+                        base,
+                        index,
+                        value: v,
+                    } => {
                         let i = value(&temps, *index);
                         let val = value(&temps, *v);
                         let r = resolve(&arrays, base);
@@ -619,7 +645,12 @@ impl<'m, P: Ports> IrExec<'m, P> {
                             temps[d.0 as usize] = ret.unwrap_or(0);
                         }
                     }
-                    IrOp::Select { dst, cond, t, f: fv } => {
+                    IrOp::Select {
+                        dst,
+                        cond,
+                        t,
+                        f: fv,
+                    } => {
                         let c = value(&temps, *cond);
                         // Branch-free arithmetic select, exactly as the
                         // hardware `csel` computes it.
@@ -637,8 +668,16 @@ impl<'m, P: Ports> IrExec<'m, P> {
             self.tick()?;
             match &block.term {
                 IrTerm::Jump(t) => bb = *t,
-                IrTerm::Branch { cond, taken, fallthrough } => {
-                    bb = if value(&temps, *cond) != 0 { *taken } else { *fallthrough };
+                IrTerm::Branch {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => {
+                    bb = if value(&temps, *cond) != 0 {
+                        *taken
+                    } else {
+                        *fallthrough
+                    };
                 }
                 IrTerm::Ret(v) => return Ok(v.map(|o| value(&temps, o))),
             }
@@ -696,7 +735,11 @@ pub fn exec_module<P: Ports>(
     }
     let mut exec = IrExec {
         module,
-        globals: module.globals.iter().map(|(n, v)| (n.as_str(), v.clone())).collect(),
+        globals: module
+            .globals
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect(),
         arena: Vec::new(),
         ports,
         fuel,
@@ -714,7 +757,11 @@ mod tests {
         // fn f(x): return x + 1
         IrFunction {
             name: "f".into(),
-            params: vec![IrParam { name: "x".into(), is_array: false, temp: Temp(0) }],
+            params: vec![IrParam {
+                name: "x".into(),
+                is_array: false,
+                temp: Temp(0),
+            }],
             returns_value: true,
             blocks: vec![IrBlock {
                 ops: vec![IrOp::Bin {
@@ -753,7 +800,10 @@ mod tests {
 
     #[test]
     fn exec_runs_simple_function() {
-        let module = IrModule { functions: vec![tiny_function()], globals: vec![] };
+        let module = IrModule {
+            functions: vec![tiny_function()],
+            globals: vec![],
+        };
         let mut ports = RecordingPorts::new();
         let out = exec_module(&module, "f", &[41], &mut ports, 1000).expect("run");
         assert_eq!(out, Some(42));
@@ -768,18 +818,33 @@ mod tests {
             t: Operand::Const(7),
             f: Operand::Const(9),
         }];
-        let module = IrModule { functions: vec![f], globals: vec![] };
+        let module = IrModule {
+            functions: vec![f],
+            globals: vec![],
+        };
         let mut ports = RecordingPorts::new();
-        assert_eq!(exec_module(&module, "f", &[1], &mut ports, 100).expect("run"), Some(7));
-        assert_eq!(exec_module(&module, "f", &[0], &mut ports, 100).expect("run"), Some(9));
-        assert_eq!(exec_module(&module, "f", &[-5], &mut ports, 100).expect("run"), Some(7));
+        assert_eq!(
+            exec_module(&module, "f", &[1], &mut ports, 100).expect("run"),
+            Some(7)
+        );
+        assert_eq!(
+            exec_module(&module, "f", &[0], &mut ports, 100).expect("run"),
+            Some(9)
+        );
+        assert_eq!(
+            exec_module(&module, "f", &[-5], &mut ports, 100).expect("run"),
+            Some(7)
+        );
     }
 
     #[test]
     fn exec_fuel_exhausts() {
         let mut f = tiny_function();
         f.blocks[0].term = IrTerm::Jump(IrBlockId(0));
-        let module = IrModule { functions: vec![f], globals: vec![] };
+        let module = IrModule {
+            functions: vec![f],
+            globals: vec![],
+        };
         let mut ports = RecordingPorts::new();
         assert_eq!(
             exec_module(&module, "f", &[0], &mut ports, 100),

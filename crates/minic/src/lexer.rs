@@ -206,7 +206,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), line: self.line }
+        LexError {
+            message: message.into(),
+            line: self.line,
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<Option<Token>, LexError> {
@@ -224,7 +227,10 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(b'/') if self.peek2() == Some(b'*') => {
-                    let span = Span { offset: self.pos, line: self.line };
+                    let span = Span {
+                        offset: self.pos,
+                        line: self.line,
+                    };
                     self.bump();
                     self.bump();
                     let is_annotation = self.peek() == Some(b'@');
@@ -260,7 +266,10 @@ impl<'a> Lexer<'a> {
                             .map_err(|_| self.error("annotation is not valid UTF-8"))?
                             .trim()
                             .to_string();
-                        return Ok(Some(Token { kind: TokenKind::Annotation(payload), span }));
+                        return Ok(Some(Token {
+                            kind: TokenKind::Annotation(payload),
+                            span,
+                        }));
                     }
                 }
                 _ => return Ok(None),
@@ -272,14 +281,23 @@ impl<'a> Lexer<'a> {
         if let Some(ann) = self.skip_trivia()? {
             return Ok(ann);
         }
-        let span = Span { offset: self.pos, line: self.line };
+        let span = Span {
+            offset: self.pos,
+            line: self.line,
+        };
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, span });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
         };
         let kind = match c {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = self.pos;
-                while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                while matches!(
+                    self.peek(),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                ) {
                     self.bump();
                 }
                 let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
@@ -319,8 +337,9 @@ impl<'a> Lexer<'a> {
                         self.bump();
                     }
                     let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
-                    let value: i64 =
-                        text.parse().map_err(|_| self.error("integer literal out of range"))?;
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| self.error("integer literal out of range"))?;
                     if value > u32::MAX as i64 {
                         return Err(self.error("integer literal exceeds 32 bits"));
                     }
@@ -416,7 +435,11 @@ impl<'a> Lexer<'a> {
 /// Returns a [`LexError`] for unterminated comments, malformed literals or
 /// characters outside the language.
 pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
-    let mut lexer = Lexer { src: source.as_bytes(), pos: 0, line: 1 };
+    let mut lexer = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
     let mut tokens = Vec::new();
     loop {
         let tok = lexer.next_token()?;
@@ -498,7 +521,11 @@ mod tests {
         let toks = kinds("/*@ task period(10) */ int");
         assert_eq!(
             toks,
-            vec![TokenKind::Annotation("task period(10)".into()), TokenKind::KwInt, TokenKind::Eof]
+            vec![
+                TokenKind::Annotation("task period(10)".into()),
+                TokenKind::KwInt,
+                TokenKind::Eof
+            ]
         );
     }
 

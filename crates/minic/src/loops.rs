@@ -32,7 +32,10 @@ pub fn parse_bound_annotation(ann: &Annotation) -> Option<Result<u32, String>> {
         Some(num) => num
             .parse::<u32>()
             .map_err(|_| format!("line {}: invalid loop bound `{num}`", ann.line)),
-        None => Err(format!("line {}: malformed loop bound annotation", ann.line)),
+        None => Err(format!(
+            "line {}: malformed loop bound annotation",
+            ann.line
+        )),
     })
 }
 
@@ -60,12 +63,20 @@ fn assigns_or_shadows(stmt: &Stmt, name: &str) -> bool {
             LValue::Var(n) => n == name,
             LValue::Index { .. } => false,
         },
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             assigns_or_shadows(then_branch, name)
-                || else_branch.as_deref().is_some_and(|e| assigns_or_shadows(e, name))
+                || else_branch
+                    .as_deref()
+                    .is_some_and(|e| assigns_or_shadows(e, name))
         }
         Stmt::While { body, .. } => assigns_or_shadows(body, name),
-        Stmt::For { init, step, body, .. } => {
+        Stmt::For {
+            init, step, body, ..
+        } => {
             init.as_deref().is_some_and(|s| assigns_or_shadows(s, name))
                 || step.as_deref().is_some_and(|s| assigns_or_shadows(s, name))
                 || assigns_or_shadows(body, name)
@@ -87,12 +98,15 @@ pub fn const_init_var(stmt: &Stmt) -> Option<&str> {
 /// `(var, const)`.
 fn as_const_init(stmt: &Stmt) -> Option<(&str, i64)> {
     match stmt {
-        Stmt::Decl { name, array_len: None, init: Some(Expr::Lit(v)) } => {
-            Some((name.as_str(), *v as i64))
-        }
-        Stmt::Assign { target: LValue::Var(name), value: Expr::Lit(v) } => {
-            Some((name.as_str(), *v as i64))
-        }
+        Stmt::Decl {
+            name,
+            array_len: None,
+            init: Some(Expr::Lit(v)),
+        } => Some((name.as_str(), *v as i64)),
+        Stmt::Assign {
+            target: LValue::Var(name),
+            value: Expr::Lit(v),
+        } => Some((name.as_str(), *v as i64)),
         _ => None,
     }
 }
@@ -100,7 +114,11 @@ fn as_const_init(stmt: &Stmt) -> Option<(&str, i64)> {
 /// Recognise `var = var + const` / `var = var - const` with `const != 0`,
 /// returning the signed step.
 fn as_step(stmt: &Stmt, var: &str) -> Option<i64> {
-    let Stmt::Assign { target: LValue::Var(name), value } = stmt else {
+    let Stmt::Assign {
+        target: LValue::Var(name),
+        value,
+    } = stmt
+    else {
         return None;
     };
     if name != var {
@@ -218,7 +236,10 @@ mod tests {
     use super::*;
 
     fn ann(text: &str) -> Annotation {
-        Annotation { text: text.into(), line: 1 }
+        Annotation {
+            text: text.into(),
+            line: 1,
+        }
     }
 
     #[test]
@@ -235,13 +256,22 @@ mod tests {
 
     #[test]
     fn malformed_bound_is_error() {
-        assert!(matches!(parse_bound_annotation(&ann("loop bound(-1)")), Some(Err(_))));
-        assert!(matches!(parse_bound_annotation(&ann("loop bound")), Some(Err(_))));
+        assert!(matches!(
+            parse_bound_annotation(&ann("loop bound(-1)")),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_bound_annotation(&ann("loop bound")),
+            Some(Err(_))
+        ));
         assert!(annotated_bound(&[ann("loop bound(huge)")]).is_err());
     }
 
     fn stmt_assign(var: &str, value: Expr) -> Stmt {
-        Stmt::Assign { target: LValue::Var(var.into()), value }
+        Stmt::Assign {
+            target: LValue::Var(var.into()),
+            value,
+        }
     }
 
     fn step_plus(var: &str, c: i32) -> Stmt {
@@ -265,7 +295,11 @@ mod tests {
 
     #[test]
     fn infers_canonical_up_loop() {
-        let init = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(0)) };
+        let init = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(0)),
+        };
         let body = Stmt::Block(vec![]);
         let step = step_plus("i", 1);
         assert_eq!(
@@ -276,7 +310,11 @@ mod tests {
 
     #[test]
     fn infers_strided_and_le_loops() {
-        let init = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(0)) };
+        let init = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(0)),
+        };
         let body = Stmt::Block(vec![]);
         let step3 = step_plus("i", 3);
         assert_eq!(
@@ -289,12 +327,19 @@ mod tests {
             rhs: Box::new(Expr::Lit(10)),
         };
         let step1 = step_plus("i", 1);
-        assert_eq!(infer_for_bound(Some(&init), Some(&le), Some(&step1), &body), Some(11));
+        assert_eq!(
+            infer_for_bound(Some(&init), Some(&le), Some(&step1), &body),
+            Some(11)
+        );
     }
 
     #[test]
     fn infers_down_counting_loop() {
-        let init = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(10)) };
+        let init = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(10)),
+        };
         let cond = Expr::Bin {
             op: BinOp::Gt,
             lhs: Box::new(Expr::Var("i".into())),
@@ -309,20 +354,34 @@ mod tests {
             },
         );
         let body = Stmt::Block(vec![]);
-        assert_eq!(infer_for_bound(Some(&init), Some(&cond), Some(&step), &body), Some(5));
+        assert_eq!(
+            infer_for_bound(Some(&init), Some(&cond), Some(&step), &body),
+            Some(5)
+        );
     }
 
     #[test]
     fn rejects_body_writes_to_induction_var() {
-        let init = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(0)) };
+        let init = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(0)),
+        };
         let step = step_plus("i", 1);
         let body = Stmt::Block(vec![stmt_assign("i", Expr::Lit(0))]);
-        assert_eq!(infer_for_bound(Some(&init), Some(&cond_lt("i", 10)), Some(&step), &body), None);
+        assert_eq!(
+            infer_for_bound(Some(&init), Some(&cond_lt("i", 10)), Some(&step), &body),
+            None
+        );
     }
 
     #[test]
     fn rejects_non_constant_limit() {
-        let init = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(0)) };
+        let init = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(0)),
+        };
         let step = step_plus("i", 1);
         let cond = Expr::Bin {
             op: BinOp::Lt,
@@ -330,12 +389,19 @@ mod tests {
             rhs: Box::new(Expr::Var("n".into())),
         };
         let body = Stmt::Block(vec![]);
-        assert_eq!(infer_for_bound(Some(&init), Some(&cond), Some(&step), &body), None);
+        assert_eq!(
+            infer_for_bound(Some(&init), Some(&cond), Some(&step), &body),
+            None
+        );
     }
 
     #[test]
     fn ne_condition_requires_divisible_step() {
-        let init = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(0)) };
+        let init = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(0)),
+        };
         let body = Stmt::Block(vec![]);
         let ne = |c: i32| Expr::Bin {
             op: BinOp::Ne,
@@ -343,32 +409,62 @@ mod tests {
             rhs: Box::new(Expr::Lit(c)),
         };
         let step2 = step_plus("i", 2);
-        assert_eq!(infer_for_bound(Some(&init), Some(&ne(10)), Some(&step2), &body), Some(5));
-        assert_eq!(infer_for_bound(Some(&init), Some(&ne(9)), Some(&step2), &body), None);
+        assert_eq!(
+            infer_for_bound(Some(&init), Some(&ne(10)), Some(&step2), &body),
+            Some(5)
+        );
+        assert_eq!(
+            infer_for_bound(Some(&init), Some(&ne(9)), Some(&step2), &body),
+            None
+        );
     }
 
     #[test]
     fn zero_or_negative_trip_counts() {
-        let init = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(20)) };
+        let init = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(20)),
+        };
         let step = step_plus("i", 1);
         let body = Stmt::Block(vec![]);
-        assert_eq!(infer_for_bound(Some(&init), Some(&cond_lt("i", 10)), Some(&step), &body), Some(0));
+        assert_eq!(
+            infer_for_bound(Some(&init), Some(&cond_lt("i", 10)), Some(&step), &body),
+            Some(0)
+        );
     }
 
     #[test]
     fn while_bound_with_trailing_step() {
-        let prev = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(0)) };
+        let prev = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(0)),
+        };
         let body = Stmt::Block(vec![
-            Stmt::ExprStmt(Expr::Call { func: "work".into(), args: vec![] }),
+            Stmt::ExprStmt(Expr::Call {
+                func: "work".into(),
+                args: vec![],
+            }),
             step_plus("i", 1),
         ]);
-        assert_eq!(infer_while_bound(Some(&prev), &cond_lt("i", 7), &body), Some(7));
+        assert_eq!(
+            infer_while_bound(Some(&prev), &cond_lt("i", 7), &body),
+            Some(7)
+        );
     }
 
     #[test]
     fn while_bound_rejects_midbody_writes() {
-        let prev = Stmt::Decl { name: "i".into(), array_len: None, init: Some(Expr::Lit(0)) };
+        let prev = Stmt::Decl {
+            name: "i".into(),
+            array_len: None,
+            init: Some(Expr::Lit(0)),
+        };
         let body = Stmt::Block(vec![stmt_assign("i", Expr::Lit(5)), step_plus("i", 1)]);
-        assert_eq!(infer_while_bound(Some(&prev), &cond_lt("i", 7), &body), None);
+        assert_eq!(
+            infer_while_bound(Some(&prev), &cond_lt("i", 7), &body),
+            None
+        );
     }
 }

@@ -105,11 +105,23 @@ impl<'p> Lowerer<'p> {
                 let idx = self.lower_expr(index);
                 let base = self.array_base(array);
                 let dst = self.func.fresh_temp();
-                self.emit(IrOp::Load { dst, base, index: idx });
+                self.emit(IrOp::Load {
+                    dst,
+                    base,
+                    index: idx,
+                });
                 Operand::Temp(dst)
             }
-            Expr::Bin { op: BinOp::LogAnd, lhs, rhs } => self.lower_short_circuit(lhs, rhs, true),
-            Expr::Bin { op: BinOp::LogOr, lhs, rhs } => self.lower_short_circuit(lhs, rhs, false),
+            Expr::Bin {
+                op: BinOp::LogAnd,
+                lhs,
+                rhs,
+            } => self.lower_short_circuit(lhs, rhs, true),
+            Expr::Bin {
+                op: BinOp::LogOr,
+                lhs,
+                rhs,
+            } => self.lower_short_circuit(lhs, rhs, false),
             Expr::Bin { op, lhs, rhs } => {
                 let a = self.lower_expr(lhs);
                 let b = self.lower_expr(rhs);
@@ -123,9 +135,10 @@ impl<'p> Lowerer<'p> {
                 self.emit(IrOp::Un { op: *op, dst, a });
                 Operand::Temp(dst)
             }
-            Expr::Call { .. } => {
-                self.lower_call(e).map(Operand::Temp).expect("sema guarantees value call")
-            }
+            Expr::Call { .. } => self
+                .lower_call(e)
+                .map(Operand::Temp)
+                .expect("sema guarantees value call"),
         }
     }
 
@@ -139,7 +152,12 @@ impl<'p> Lowerer<'p> {
         let rhs_block = self.start_block();
         let b = self.lower_expr(rhs);
         // Normalise rhs to 0/1.
-        self.emit(IrOp::Bin { op: BinOp::Ne, dst: result, a: b, b: Operand::Const(0) });
+        self.emit(IrOp::Bin {
+            op: BinOp::Ne,
+            dst: result,
+            a: b,
+            b: Operand::Const(0),
+        });
         let rhs_end = self.current;
 
         let short_block = self.func.new_block();
@@ -150,9 +168,17 @@ impl<'p> Lowerer<'p> {
 
         let join = self.func.new_block();
         self.func.blocks[decide.index()].term = if is_and {
-            IrTerm::Branch { cond: a, taken: rhs_block, fallthrough: short_block }
+            IrTerm::Branch {
+                cond: a,
+                taken: rhs_block,
+                fallthrough: short_block,
+            }
         } else {
-            IrTerm::Branch { cond: a, taken: short_block, fallthrough: rhs_block }
+            IrTerm::Branch {
+                cond: a,
+                taken: short_block,
+                fallthrough: rhs_block,
+            }
         };
         self.func.blocks[rhs_end.index()].term = IrTerm::Jump(join);
         self.func.blocks[short_block.index()].term = IrTerm::Jump(join);
@@ -167,15 +193,25 @@ impl<'p> Lowerer<'p> {
         };
         match func.as_str() {
             "__in" => {
-                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port") };
+                let Expr::Lit(port) = &args[0] else {
+                    unreachable!("sema checked port")
+                };
                 let dst = self.func.fresh_temp();
-                self.emit(IrOp::In { dst, port: *port as u8 });
+                self.emit(IrOp::In {
+                    dst,
+                    port: *port as u8,
+                });
                 return Some(dst);
             }
             "__out" => {
-                let Expr::Lit(port) = &args[0] else { unreachable!("sema checked port") };
+                let Expr::Lit(port) = &args[0] else {
+                    unreachable!("sema checked port")
+                };
                 let value = self.lower_expr(&args[1]);
-                self.emit(IrOp::Out { port: *port as u8, value });
+                self.emit(IrOp::Out {
+                    port: *port as u8,
+                    value,
+                });
                 return None;
             }
             _ => {}
@@ -184,14 +220,24 @@ impl<'p> Lowerer<'p> {
         let mut lowered = Vec::with_capacity(args.len());
         for (arg, param) in args.iter().zip(&callee.params) {
             if param.is_array {
-                let Expr::Var(name) = arg else { unreachable!("sema checked array arg") };
+                let Expr::Var(name) = arg else {
+                    unreachable!("sema checked array arg")
+                };
                 lowered.push(CallArg::ArrayRef(self.array_base(name)));
             } else {
                 lowered.push(CallArg::Value(self.lower_expr(arg)));
             }
         }
-        let dst = if callee.returns_value { Some(self.func.fresh_temp()) } else { None };
-        self.emit(IrOp::Call { dst, func: func.clone(), args: lowered });
+        let dst = if callee.returns_value {
+            Some(self.func.fresh_temp())
+        } else {
+            None
+        };
+        self.emit(IrOp::Call {
+            dst,
+            func: func.clone(),
+            args: lowered,
+        });
         dst
     }
 
@@ -208,7 +254,11 @@ impl<'p> Lowerer<'p> {
 
     fn lower_stmt(&mut self, stmt: &Stmt, prev: Option<&Stmt>) {
         match stmt {
-            Stmt::Decl { name, array_len, init } => {
+            Stmt::Decl {
+                name,
+                array_len,
+                init,
+            } => {
                 if let Some(len) = array_len {
                     let id = self.func.local_arrays.len() as u32;
                     self.func.local_arrays.push(*len);
@@ -254,11 +304,19 @@ impl<'p> Lowerer<'p> {
                     LValue::Index { array, index } => {
                         let idx = self.lower_expr(index);
                         let base = self.array_base(array);
-                        self.emit(IrOp::Store { base, index: idx, value: v });
+                        self.emit(IrOp::Store {
+                            base,
+                            index: idx,
+                            value: v,
+                        });
                     }
                 }
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.lower_expr(cond);
                 let decide = self.current;
                 let then_block = self.start_block();
@@ -277,8 +335,11 @@ impl<'p> Lowerer<'p> {
                     (b, None)
                 };
                 let join = self.func.new_block();
-                self.func.blocks[decide.index()].term =
-                    IrTerm::Branch { cond: c, taken: then_block, fallthrough: else_block };
+                self.func.blocks[decide.index()].term = IrTerm::Branch {
+                    cond: c,
+                    taken: then_block,
+                    fallthrough: else_block,
+                };
                 self.func.blocks[then_end.index()].term = IrTerm::Jump(join);
                 match else_end {
                     Some(end) => self.func.blocks[end.index()].term = IrTerm::Jump(join),
@@ -286,7 +347,11 @@ impl<'p> Lowerer<'p> {
                 }
                 self.current = join;
             }
-            Stmt::While { cond, body, annotations } => {
+            Stmt::While {
+                cond,
+                body,
+                annotations,
+            } => {
                 let bound = match loops::annotated_bound(annotations) {
                     Ok(Some(b)) => Some(b),
                     Ok(None) => {
@@ -307,7 +372,13 @@ impl<'p> Lowerer<'p> {
                 };
                 self.lower_loop(None, cond, None, body, bound);
             }
-            Stmt::For { init, cond, step, body, annotations } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                annotations,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.lower_stmt(init, None);
@@ -382,8 +453,11 @@ impl<'p> Lowerer<'p> {
         self.func.blocks[body_end.index()].term = IrTerm::Jump(header);
 
         let exit = self.func.new_block();
-        self.func.blocks[decide.index()].term =
-            IrTerm::Branch { cond: c, taken: body_block, fallthrough: exit };
+        self.func.blocks[decide.index()].term = IrTerm::Branch {
+            cond: c,
+            taken: body_block,
+            fallthrough: exit,
+        };
         self.current = exit;
     }
 }
@@ -404,13 +478,24 @@ pub fn lower_function(program: &Program, f: &Function) -> IrFunction {
     let mut scope = HashMap::new();
     for p in &f.params {
         let t = func.fresh_temp();
-        func.params.push(IrParam { name: p.name.clone(), is_array: p.is_array, temp: t });
-        let binding =
-            if p.is_array { VarBinding::ParamArray(t) } else { VarBinding::Scalar(t) };
+        func.params.push(IrParam {
+            name: p.name.clone(),
+            is_array: p.is_array,
+            temp: t,
+        });
+        let binding = if p.is_array {
+            VarBinding::ParamArray(t)
+        } else {
+            VarBinding::Scalar(t)
+        };
         scope.insert(p.name.clone(), binding);
     }
-    let mut lowerer =
-        Lowerer { func, scopes: vec![scope], program, current: IrBlockId(0) };
+    let mut lowerer = Lowerer {
+        func,
+        scopes: vec![scope],
+        program,
+        current: IrBlockId(0),
+    };
     lowerer.lower_stmts(&f.body);
     // The final (possibly unreachable) block falls back to `ret`.
     lowerer.set_term(IrTerm::Ret(None));
@@ -419,8 +504,14 @@ pub fn lower_function(program: &Program, f: &Function) -> IrFunction {
 
 /// Lower a whole type-checked [`Program`] to an [`IrModule`].
 pub fn lower_program(program: &Program) -> IrModule {
-    let functions = program.functions().map(|f| lower_function(program, f)).collect();
-    let globals = program.globals().map(|g| (g.name.clone(), g.init.clone())).collect();
+    let functions = program
+        .functions()
+        .map(|f| lower_function(program, f))
+        .collect();
+    let globals = program
+        .globals()
+        .map(|g| (g.name.clone(), g.init.clone()))
+        .collect();
     IrModule { functions, globals }
 }
 
@@ -599,7 +690,10 @@ mod tests {
         }";
         let module = compile(src);
         let f = module.function("f").expect("f");
-        assert!(f.loop_bounds.is_empty(), "global induction var must not be inferred");
+        assert!(
+            f.loop_bounds.is_empty(),
+            "global induction var must not be inferred"
+        );
     }
 
     fn compile(src: &str) -> IrModule {

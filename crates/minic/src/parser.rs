@@ -55,7 +55,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), line: self.line() }
+        ParseError {
+            message: message.into(),
+            line: self.line(),
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> PResult<()> {
@@ -101,7 +104,10 @@ impl<'a> Parser<'a> {
     fn collect_annotations(&mut self) -> Vec<Annotation> {
         let mut anns = Vec::new();
         while let TokenKind::Annotation(text) = self.peek().clone() {
-            anns.push(Annotation { text, line: self.line() });
+            anns.push(Annotation {
+                text,
+                line: self.line(),
+            });
             self.bump();
         }
         anns
@@ -137,7 +143,8 @@ impl<'a> Parser<'a> {
         };
         let name = self.expect_ident()?;
         if *self.peek() == TokenKind::LParen {
-            self.function(name, returns_value, annotations).map(Item::Function)
+            self.function(name, returns_value, annotations)
+                .map(Item::Function)
         } else {
             if !returns_value {
                 return Err(self.error("globals must have type `int`"));
@@ -181,7 +188,11 @@ impl<'a> Parser<'a> {
         self.expect(&TokenKind::Semi)?;
         let total = array_len.unwrap_or(1) as usize;
         init.resize(total, 0);
-        Ok(Global { name, array_len, init })
+        Ok(Global {
+            name,
+            array_len,
+            init,
+        })
     }
 
     fn function(
@@ -202,7 +213,10 @@ impl<'a> Parser<'a> {
                 } else {
                     false
                 };
-                params.push(Param { name: pname, is_array });
+                params.push(Param {
+                    name: pname,
+                    is_array,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -214,7 +228,13 @@ impl<'a> Parser<'a> {
         while !self.eat(&TokenKind::RBrace) {
             body.push(self.statement()?);
         }
-        Ok(Function { name, params, returns_value, body, annotations })
+        Ok(Function {
+            name,
+            params,
+            returns_value,
+            body,
+            annotations,
+        })
     }
 
     // ----- statements -----
@@ -222,9 +242,7 @@ impl<'a> Parser<'a> {
     fn statement(&mut self) -> PResult<Stmt> {
         let annotations = self.collect_annotations();
         let stmt = self.statement_inner(&annotations)?;
-        if !annotations.is_empty()
-            && !matches!(stmt, Stmt::While { .. } | Stmt::For { .. })
-        {
+        if !annotations.is_empty() && !matches!(stmt, Stmt::While { .. } | Stmt::For { .. }) {
             return Err(self.error("annotation here must precede a `while` or `for` loop"));
         }
         Ok(stmt)
@@ -248,7 +266,11 @@ impl<'a> Parser<'a> {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
             }
             TokenKind::KwWhile => {
                 self.bump();
@@ -256,7 +278,11 @@ impl<'a> Parser<'a> {
                 let cond = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
                 let body = Box::new(self.statement()?);
-                Ok(Stmt::While { cond, body, annotations: annotations.to_vec() })
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    annotations: annotations.to_vec(),
+                })
             }
             TokenKind::KwFor => {
                 self.bump();
@@ -269,8 +295,11 @@ impl<'a> Parser<'a> {
                     Some(Box::new(self.assign_or_expr()?))
                 };
                 self.expect(&TokenKind::Semi)?;
-                let cond =
-                    if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
+                let cond = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi)?;
                 let step = if *self.peek() == TokenKind::RParen {
                     None
@@ -279,12 +308,21 @@ impl<'a> Parser<'a> {
                 };
                 self.expect(&TokenKind::RParen)?;
                 let body = Box::new(self.statement()?);
-                Ok(Stmt::For { init, cond, step, body, annotations: annotations.to_vec() })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    annotations: annotations.to_vec(),
+                })
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value =
-                    if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return(value))
             }
@@ -315,10 +353,22 @@ impl<'a> Parser<'a> {
                 return Err(self.error("local array length must be between 1 and 65536"));
             }
             self.expect(&TokenKind::RBracket)?;
-            Ok(Stmt::Decl { name, array_len: Some(n as u32), init: None })
+            Ok(Stmt::Decl {
+                name,
+                array_len: Some(n as u32),
+                init: None,
+            })
         } else {
-            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
-            Ok(Stmt::Decl { name, array_len: None, init })
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Ok(Stmt::Decl {
+                name,
+                array_len: None,
+                init,
+            })
         }
     }
 
@@ -330,7 +380,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 self.bump();
                 let value = self.expr()?;
-                return Ok(Stmt::Assign { target: LValue::Var(name), value });
+                return Ok(Stmt::Assign {
+                    target: LValue::Var(name),
+                    value,
+                });
             }
             if *self.peek_ahead(1) == TokenKind::LBracket {
                 // Could be `a[i] = e` or the expression `a[i]` in a larger
@@ -363,7 +416,11 @@ impl<'a> Parser<'a> {
         let mut lhs = self.logic_and()?;
         while self.eat(&TokenKind::OrOr) {
             let rhs = self.logic_and()?;
-            lhs = Expr::Bin { op: BinOp::LogOr, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::LogOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -372,7 +429,11 @@ impl<'a> Parser<'a> {
         let mut lhs = self.bit_or()?;
         while self.eat(&TokenKind::AndAnd) {
             let rhs = self.bit_or()?;
-            lhs = Expr::Bin { op: BinOp::LogAnd, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::LogAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -381,7 +442,11 @@ impl<'a> Parser<'a> {
         let mut lhs = self.bit_xor()?;
         while self.eat(&TokenKind::Pipe) {
             let rhs = self.bit_xor()?;
-            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -390,7 +455,11 @@ impl<'a> Parser<'a> {
         let mut lhs = self.bit_and()?;
         while self.eat(&TokenKind::Caret) {
             let rhs = self.bit_and()?;
-            lhs = Expr::Bin { op: BinOp::Xor, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Xor,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -399,7 +468,11 @@ impl<'a> Parser<'a> {
         let mut lhs = self.equality()?;
         while self.eat(&TokenKind::Amp) {
             let rhs = self.equality()?;
-            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -414,7 +487,11 @@ impl<'a> Parser<'a> {
             };
             self.bump();
             let rhs = self.relational()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -430,7 +507,11 @@ impl<'a> Parser<'a> {
             };
             self.bump();
             let rhs = self.shift()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -444,7 +525,11 @@ impl<'a> Parser<'a> {
             };
             self.bump();
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -458,7 +543,11 @@ impl<'a> Parser<'a> {
             };
             self.bump();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -473,7 +562,11 @@ impl<'a> Parser<'a> {
             };
             self.bump();
             let rhs = self.unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -487,7 +580,10 @@ impl<'a> Parser<'a> {
         if let Some(op) = op {
             self.bump();
             let operand = self.unary()?;
-            return Ok(Expr::Un { op, operand: Box::new(operand) });
+            return Ok(Expr::Un {
+                op,
+                operand: Box::new(operand),
+            });
         }
         self.postfix()
     }
@@ -525,7 +621,10 @@ impl<'a> Parser<'a> {
                         self.bump();
                         let index = self.expr()?;
                         self.expect(&TokenKind::RBracket)?;
-                        Ok(Expr::Index { array: name, index: Box::new(index) })
+                        Ok(Expr::Index {
+                            array: name,
+                            index: Box::new(index),
+                        })
                     }
                     _ => Ok(Expr::Var(name)),
                 }
@@ -582,7 +681,12 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse_src("int f() { return 1 + 2 * 3; }").expect("parse");
         let f = p.function("f").expect("f");
-        let Stmt::Return(Some(Expr::Bin { op: BinOp::Add, rhs, .. })) = &f.body[0] else {
+        let Stmt::Return(Some(Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        })) = &f.body[0]
+        else {
             panic!("expected add at top");
         };
         assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
@@ -593,7 +697,10 @@ mod tests {
         let p = parse_src("int f() { return 1 << 2 + 3 < 4; }").expect("parse");
         let f = p.function("f").expect("f");
         // C parse: (1 << (2+3)) < 4.
-        let Stmt::Return(Some(Expr::Bin { op: BinOp::Lt, lhs, .. })) = &f.body[0] else {
+        let Stmt::Return(Some(Expr::Bin {
+            op: BinOp::Lt, lhs, ..
+        })) = &f.body[0]
+        else {
             panic!("expected < at top");
         };
         assert!(matches!(**lhs, Expr::Bin { op: BinOp::Shl, .. }));
@@ -616,10 +723,13 @@ mod tests {
 
     #[test]
     fn loop_annotations_attach() {
-        let src = "int f() { int s = 0; /*@ loop bound(8) @*/ while (s < 8) { s = s + 1; } return s; }";
+        let src =
+            "int f() { int s = 0; /*@ loop bound(8) @*/ while (s < 8) { s = s + 1; } return s; }";
         let p = parse_src(src).expect("parse");
         let f = p.function("f").expect("f");
-        let Stmt::While { annotations, .. } = &f.body[1] else { panic!("expected while") };
+        let Stmt::While { annotations, .. } = &f.body[1] else {
+            panic!("expected while")
+        };
         assert_eq!(annotations[0].text, "loop bound(8)");
     }
 
@@ -627,7 +737,10 @@ mod tests {
     fn function_annotations_attach() {
         let src = "/*@ task camera period(40) @*/ void snap() { return; }";
         let p = parse_src(src).expect("parse");
-        assert_eq!(p.function("snap").expect("snap").annotations[0].text, "task camera period(40)");
+        assert_eq!(
+            p.function("snap").expect("snap").annotations[0].text,
+            "task camera period(40)"
+        );
     }
 
     #[test]
@@ -638,10 +751,16 @@ mod tests {
 
     #[test]
     fn for_loop_full_form() {
-        let src = "int f() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }";
+        let src =
+            "int f() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }";
         let p = parse_src(src).expect("parse");
         let f = p.function("f").expect("f");
-        let Stmt::For { init, cond, step, .. } = &f.body[1] else { panic!("expected for") };
+        let Stmt::For {
+            init, cond, step, ..
+        } = &f.body[1]
+        else {
+            panic!("expected for")
+        };
         assert!(init.is_some() && cond.is_some() && step.is_some());
     }
 
@@ -650,7 +769,12 @@ mod tests {
         let src = "int f() { for (;;) { return 1; } return 0; }";
         let p = parse_src(src).expect("parse");
         let f = p.function("f").expect("f");
-        let Stmt::For { init, cond, step, .. } = &f.body[0] else { panic!("expected for") };
+        let Stmt::For {
+            init, cond, step, ..
+        } = &f.body[0]
+        else {
+            panic!("expected for")
+        };
         assert!(init.is_none() && cond.is_none() && step.is_none());
     }
 
@@ -659,7 +783,13 @@ mod tests {
         let src = "int f(int a[]) { a[2] = a[1] + 1; return a[2]; }";
         let p = parse_src(src).expect("parse");
         let f = p.function("f").expect("f");
-        assert!(matches!(&f.body[0], Stmt::Assign { target: LValue::Index { .. }, .. }));
+        assert!(matches!(
+            &f.body[0],
+            Stmt::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -72,7 +72,11 @@ fn indent(level: usize, out: &mut String) {
 
 fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
     match s {
-        Stmt::Decl { name, array_len, init } => {
+        Stmt::Decl {
+            name,
+            array_len,
+            init,
+        } => {
             indent(level, out);
             match array_len {
                 Some(n) => {
@@ -95,12 +99,20 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
                     let _ = writeln!(out, "{name} = {};", print_expr(value));
                 }
                 LValue::Index { array, index } => {
-                    let _ =
-                        writeln!(out, "{array}[{}] = {};", print_expr(index), print_expr(value));
+                    let _ = writeln!(
+                        out,
+                        "{array}[{}] = {};",
+                        print_expr(index),
+                        print_expr(value)
+                    );
                 }
             }
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             indent(level, out);
             let _ = writeln!(out, "if ({}) {{", print_expr(cond));
             print_stmt_body(then_branch, level + 1, out);
@@ -115,7 +127,11 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
                 None => out.push_str("}\n"),
             }
         }
-        Stmt::While { cond, body, annotations } => {
+        Stmt::While {
+            cond,
+            body,
+            annotations,
+        } => {
             for ann in annotations {
                 indent(level, out);
                 let _ = writeln!(out, "/*@ {} @*/", ann.text);
@@ -126,7 +142,13 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("}\n");
         }
-        Stmt::For { init, cond, step, body, annotations } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            annotations,
+        } => {
             for ann in annotations {
                 indent(level, out);
                 let _ = writeln!(out, "/*@ {} @*/", ann.text);
@@ -190,14 +212,28 @@ fn print_stmt_body(s: &Stmt, level: usize, out: &mut String) {
 /// Print an init/step clause without trailing semicolon.
 fn print_simple_stmt(s: &Stmt) -> String {
     match s {
-        Stmt::Decl { name, init: Some(e), array_len: None } => {
+        Stmt::Decl {
+            name,
+            init: Some(e),
+            array_len: None,
+        } => {
             format!("int {name} = {}", print_expr(e))
         }
-        Stmt::Decl { name, init: None, array_len: None } => format!("int {name}"),
-        Stmt::Assign { target: LValue::Var(name), value } => {
+        Stmt::Decl {
+            name,
+            init: None,
+            array_len: None,
+        } => format!("int {name}"),
+        Stmt::Assign {
+            target: LValue::Var(name),
+            value,
+        } => {
             format!("{name} = {}", print_expr(value))
         }
-        Stmt::Assign { target: LValue::Index { array, index }, value } => {
+        Stmt::Assign {
+            target: LValue::Index { array, index },
+            value,
+        } => {
             format!("{array}[{}] = {}", print_expr(index), print_expr(value))
         }
         Stmt::ExprStmt(e) => print_expr(e),
@@ -278,7 +314,10 @@ mod tests {
         let mut i2 = Interp::new(&p2, RecordingPorts::new(), 1_000_000);
         let r1 = i1.call(func, args).expect("original runs");
         let r2 = i2.call(func, args).expect("printed runs");
-        assert_eq!(r1.return_value, r2.return_value, "behaviour changed:\n{printed}");
+        assert_eq!(
+            r1.return_value, r2.return_value,
+            "behaviour changed:\n{printed}"
+        );
     }
 
     #[test]
@@ -305,7 +344,10 @@ mod tests {
         let src = "/*@ task cam period(40ms) secret(k) @*/ void f(int k) { __out(1, k); return; }";
         let p = parse_and_check(src).expect("parses");
         let printed = print_program(&p);
-        assert!(printed.contains("/*@ task cam period(40ms) secret(k) @*/"), "{printed}");
+        assert!(
+            printed.contains("/*@ task cam period(40ms) secret(k) @*/"),
+            "{printed}"
+        );
         let p2 = parse_and_check(&printed).expect("re-parses");
         assert_eq!(
             p2.function("f").expect("f").annotations,

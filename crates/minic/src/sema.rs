@@ -27,7 +27,9 @@ impl fmt::Display for SemaError {
 impl std::error::Error for SemaError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, SemaError> {
-    Err(SemaError { message: message.into() })
+    Err(SemaError {
+        message: message.into(),
+    })
 }
 
 /// Shape of a named value.
@@ -65,7 +67,9 @@ impl<'a> Checker<'a> {
             return err(format!("`{name}` redeclared in the same scope"));
         }
         if self.funcs.contains_key(name) {
-            return err(format!("`{name}` conflicts with a function of the same name"));
+            return err(format!(
+                "`{name}` conflicts with a function of the same name"
+            ));
         }
         scope.insert(name.to_string(), shape);
         Ok(())
@@ -76,9 +80,7 @@ impl<'a> Checker<'a> {
             Expr::Lit(_) => Ok(()),
             Expr::Var(name) => match self.lookup(name) {
                 Some(Shape::Scalar) => Ok(()),
-                Some(Shape::Array) => {
-                    err(format!("array `{name}` used as a scalar value"))
-                }
+                Some(Shape::Array) => err(format!("array `{name}` used as a scalar value")),
                 None => err(format!("use of undeclared variable `{name}`")),
             },
             Expr::Index { array, index } => {
@@ -152,12 +154,16 @@ impl<'a> Checker<'a> {
         for (arg, is_array) in args.iter().zip(&sig.params) {
             if *is_array {
                 let Expr::Var(name) = arg else {
-                    return err(format!("array parameter of `{func}` requires an array name"));
+                    return err(format!(
+                        "array parameter of `{func}` requires an array name"
+                    ));
                 };
                 match self.lookup(name) {
                     Some(Shape::Array) => {}
                     Some(Shape::Scalar) => {
-                        return err(format!("`{name}` is a scalar but `{func}` expects an array"))
+                        return err(format!(
+                            "`{name}` is a scalar but `{func}` expects an array"
+                        ))
                     }
                     None => return err(format!("use of undeclared array `{name}`")),
                 }
@@ -170,11 +176,19 @@ impl<'a> Checker<'a> {
 
     fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), SemaError> {
         match stmt {
-            Stmt::Decl { name, array_len, init } => {
+            Stmt::Decl {
+                name,
+                array_len,
+                init,
+            } => {
                 if let Some(init) = init {
                     self.check_scalar_expr(init)?;
                 }
-                let shape = if array_len.is_some() { Shape::Array } else { Shape::Scalar };
+                let shape = if array_len.is_some() {
+                    Shape::Array
+                } else {
+                    Shape::Scalar
+                };
                 if array_len.is_some() && init.is_some() {
                     return err(format!("array `{name}` cannot have a scalar initialiser"));
                 }
@@ -194,13 +208,19 @@ impl<'a> Checker<'a> {
                             Some(Shape::Scalar) => {
                                 return err(format!("`{array}` is not an array"))
                             }
-                            None => return err(format!("assignment to undeclared array `{array}`")),
+                            None => {
+                                return err(format!("assignment to undeclared array `{array}`"))
+                            }
                         }
                         self.check_scalar_expr(index)
                     }
                 }
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.check_scalar_expr(cond)?;
                 self.check_stmt(then_branch)?;
                 if let Some(e) = else_branch {
@@ -212,7 +232,13 @@ impl<'a> Checker<'a> {
                 self.check_scalar_expr(cond)?;
                 self.check_stmt(body)
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.check_stmt(init)?;
@@ -259,9 +285,11 @@ impl<'a> Checker<'a> {
 fn always_returns(stmt: &Stmt) -> bool {
     match stmt {
         Stmt::Return(_) => true,
-        Stmt::If { then_branch, else_branch: Some(e), .. } => {
-            always_returns(then_branch) && always_returns(e)
-        }
+        Stmt::If {
+            then_branch,
+            else_branch: Some(e),
+            ..
+        } => always_returns(then_branch) && always_returns(e),
         Stmt::Block(stmts) => stmts.iter().any(always_returns),
         _ => false,
     }
@@ -301,7 +329,11 @@ pub fn check(program: &Program) -> Result<(), SemaError> {
                 if globals.contains_key(g.name.as_str()) || funcs.contains_key(g.name.as_str()) {
                     return err(format!("duplicate definition of `{}`", g.name));
                 }
-                let shape = if g.array_len.is_some() { Shape::Array } else { Shape::Scalar };
+                let shape = if g.array_len.is_some() {
+                    Shape::Array
+                } else {
+                    Shape::Scalar
+                };
                 globals.insert(&g.name, shape);
             }
         }
@@ -318,7 +350,11 @@ pub fn check(program: &Program) -> Result<(), SemaError> {
         // the borrow checker happy without cloning signatures).
         std::mem::swap(&mut checker.funcs, &mut funcs);
         for p in &f.params {
-            let shape = if p.is_array { Shape::Array } else { Shape::Scalar };
+            let shape = if p.is_array {
+                Shape::Array
+            } else {
+                Shape::Scalar
+            };
             checker.declare(&p.name, shape)?;
         }
         let mut result = Ok(());
@@ -331,7 +367,10 @@ pub fn check(program: &Program) -> Result<(), SemaError> {
         std::mem::swap(&mut checker.funcs, &mut funcs);
         result?;
         if f.returns_value && !f.body.iter().any(always_returns) {
-            return err(format!("function `{}` does not return on every path", f.name));
+            return err(format!(
+                "function `{}` does not return on every path",
+                f.name
+            ));
         }
     }
     Ok(())
@@ -382,8 +421,10 @@ mod tests {
 
     #[test]
     fn rejects_scalar_for_array_param() {
-        assert!(check_src("int g(int a[]) { return a[0]; } int f() { int x = 0; return g(x); }")
-            .is_err());
+        assert!(
+            check_src("int g(int a[]) { return a[0]; } int f() { int x = 0; return g(x); }")
+                .is_err()
+        );
     }
 
     #[test]

@@ -98,8 +98,9 @@ pub fn profile_tasks(
     for (name, work) in tasks {
         for core in &platform.cores {
             for op in 0..core.ops.len() {
-                let samples: Vec<TaskExecution> =
-                    (0..runs).map(|_| platform.execute(core, op, work, &mut rng)).collect();
+                let samples: Vec<TaskExecution> = (0..runs)
+                    .map(|_| platform.execute(core, op, work, &mut rng))
+                    .collect();
                 profiles.insert(
                     (name.clone(), core.name.clone(), op),
                     TaskStats::from_runs(&samples),
@@ -176,9 +177,21 @@ mod tests {
     #[test]
     fn stats_summarise_runs() {
         let samples = vec![
-            TaskExecution { time_ms: 10.0, energy_mj: 5.0, avg_power_mw: 500.0 },
-            TaskExecution { time_ms: 12.0, energy_mj: 6.0, avg_power_mw: 500.0 },
-            TaskExecution { time_ms: 11.0, energy_mj: 5.5, avg_power_mw: 500.0 },
+            TaskExecution {
+                time_ms: 10.0,
+                energy_mj: 5.0,
+                avg_power_mw: 500.0,
+            },
+            TaskExecution {
+                time_ms: 12.0,
+                energy_mj: 6.0,
+                avg_power_mw: 500.0,
+            },
+            TaskExecution {
+                time_ms: 11.0,
+                energy_mj: 5.5,
+                avg_power_mw: 500.0,
+            },
         ];
         let s = TaskStats::from_runs(&samples);
         assert_eq!(s.runs, 3);
@@ -258,7 +271,11 @@ mod tests {
     #[test]
     fn sampled_energy_converges_to_truth() {
         // Three back-to-back spans at known power.
-        let spans = vec![(0.0, 100.0, 2000.0), (100.0, 250.0, 3500.0), (250.0, 400.0, 1000.0)];
+        let spans = vec![
+            (0.0, 100.0, 2000.0),
+            (100.0, 250.0, 3500.0),
+            (250.0, 400.0, 1000.0),
+        ];
         let truth_mj = 2000.0 * 0.1 + 3500.0 * 0.15 + 1000.0 * 0.15;
         let coarse = integrate_energy_mj(&sample_power_trace(&spans, 10.0), 10.0);
         let fine = integrate_energy_mj(&sample_power_trace(&spans, 0.5), 0.5);

@@ -104,14 +104,20 @@ pub fn assess_leakage(
     let mut machine = Machine::new(program.clone()).map_err(AssessError::Load)?;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut time = [Vec::with_capacity(traces_per_class), Vec::with_capacity(traces_per_class)];
-    let mut energy =
-        [Vec::with_capacity(traces_per_class), Vec::with_capacity(traces_per_class)];
+    let mut time = [
+        Vec::with_capacity(traces_per_class),
+        Vec::with_capacity(traces_per_class),
+    ];
+    let mut energy = [
+        Vec::with_capacity(traces_per_class),
+        Vec::with_capacity(traces_per_class),
+    ];
 
     for _ in 0..traces_per_class {
         // One public draw, replayed for both classes.
-        let publics: Vec<i32> =
-            (0..arg_count).map(|_| rng.gen_range(public_range.clone())).collect();
+        let publics: Vec<i32> = (0..arg_count)
+            .map(|_| rng.gen_range(public_range.clone()))
+            .collect();
         for (class, secret) in [(0usize, spec.class0), (1usize, spec.class1)] {
             let mut args = publics.clone();
             args[spec.arg_index] = secret;
@@ -164,14 +170,17 @@ mod tests {
     }
 
     fn spec() -> SecretSpec {
-        SecretSpec { arg_index: 0, class0: 0, class1: 200 }
+        SecretSpec {
+            arg_index: 0,
+            class0: 0,
+            class1: 200,
+        }
     }
 
     #[test]
     fn branchy_code_leaks_time_and_energy() {
         let program = compile(BRANCHY, false);
-        let report =
-            assess_leakage(&program, "check", 2, spec(), 64, 0..1000, 7).expect("assess");
+        let report = assess_leakage(&program, "check", 2, spec(), 64, 0..1000, 7).expect("assess");
         assert_eq!(report.time.verdict, Verdict::Leaking, "{report:?}");
         assert_eq!(report.energy.verdict, Verdict::Leaking, "{report:?}");
     }
@@ -179,10 +188,17 @@ mod tests {
     #[test]
     fn ladderised_code_is_indistinguishable() {
         let program = compile(BRANCHY, true);
-        let report =
-            assess_leakage(&program, "check", 2, spec(), 64, 0..1000, 7).expect("assess");
-        assert_eq!(report.time.verdict, Verdict::Indistinguishable, "{report:?}");
-        assert_eq!(report.energy.verdict, Verdict::Indistinguishable, "{report:?}");
+        let report = assess_leakage(&program, "check", 2, spec(), 64, 0..1000, 7).expect("assess");
+        assert_eq!(
+            report.time.verdict,
+            Verdict::Indistinguishable,
+            "{report:?}"
+        );
+        assert_eq!(
+            report.energy.verdict,
+            Verdict::Indistinguishable,
+            "{report:?}"
+        );
         assert!(!report.leaks());
     }
 
@@ -197,10 +213,17 @@ mod tests {
         let mut mp = Machine::new(plain).expect("load");
         let mut mh = Machine::new(hard).expect("load");
         // k=0 takes the cheap arm in the branchy version.
-        let rp = mp.call("check", &[0, 5], &mut NullDevice::new()).expect("run");
-        let rh = mh.call("check", &[0, 5], &mut NullDevice::new()).expect("run");
+        let rp = mp
+            .call("check", &[0, 5], &mut NullDevice::new())
+            .expect("run");
+        let rh = mh
+            .call("check", &[0, 5], &mut NullDevice::new())
+            .expect("run");
         assert_eq!(rp.return_value, rh.return_value);
-        assert!(rh.cycles > rp.cycles, "ladder must cost cycles on the cheap path");
+        assert!(
+            rh.cycles > rp.cycles,
+            "ladder must cost cycles on the cheap path"
+        );
     }
 
     #[test]
@@ -210,7 +233,11 @@ mod tests {
             &program,
             "check",
             2,
-            SecretSpec { arg_index: 5, class0: 0, class1: 1 },
+            SecretSpec {
+                arg_index: 5,
+                class0: 0,
+                class1: 1,
+            },
             8,
             0..10,
             1,

@@ -62,9 +62,10 @@ pub fn tainted_temps(f: &IrFunction, secret_params: &HashSet<String>) -> HashSet
         for b in &f.blocks {
             for op in &b.ops {
                 let (dst, sources_tainted): (Option<Temp>, bool) = match op {
-                    IrOp::Bin { dst, a, b, .. } => {
-                        (Some(*dst), is_tainted(&tainted, a) || is_tainted(&tainted, b))
-                    }
+                    IrOp::Bin { dst, a, b, .. } => (
+                        Some(*dst),
+                        is_tainted(&tainted, a) || is_tainted(&tainted, b),
+                    ),
                     IrOp::Un { dst, a, .. } => (Some(*dst), is_tainted(&tainted, a)),
                     IrOp::Copy { dst, src } => (Some(*dst), is_tainted(&tainted, src)),
                     IrOp::Select { dst, cond, t, f } => (
@@ -132,13 +133,22 @@ fn rename_arm(f: &mut IrFunction, ops: &[IrOp]) -> (Vec<IrOp>, HashMap<Temp, Tem
                 let b = rewrite(&subst, *b);
                 let nd = f.fresh_temp();
                 subst.insert(*dst, nd);
-                IrOp::Bin { op: *op, dst: nd, a, b }
+                IrOp::Bin {
+                    op: *op,
+                    dst: nd,
+                    a,
+                    b,
+                }
             }
             IrOp::Un { op, dst, a } => {
                 let a = rewrite(&subst, *a);
                 let nd = f.fresh_temp();
                 subst.insert(*dst, nd);
-                IrOp::Un { op: *op, dst: nd, a }
+                IrOp::Un {
+                    op: *op,
+                    dst: nd,
+                    a,
+                }
             }
             IrOp::Copy { dst, src } => {
                 let src = rewrite(&subst, *src);
@@ -146,13 +156,23 @@ fn rename_arm(f: &mut IrFunction, ops: &[IrOp]) -> (Vec<IrOp>, HashMap<Temp, Tem
                 subst.insert(*dst, nd);
                 IrOp::Copy { dst: nd, src }
             }
-            IrOp::Select { dst, cond, t, f: fv } => {
+            IrOp::Select {
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => {
                 let cond = rewrite(&subst, *cond);
                 let t = rewrite(&subst, *t);
                 let fv = rewrite(&subst, *fv);
                 let nd = f.fresh_temp();
                 subst.insert(*dst, nd);
-                IrOp::Select { dst: nd, cond, t, f: fv }
+                IrOp::Select {
+                    dst: nd,
+                    cond,
+                    t,
+                    f: fv,
+                }
             }
             other => unreachable!("non-speculatable op in arm: {other:?}"),
         };
@@ -183,7 +203,14 @@ pub fn ladderise(f: &mut IrFunction, secret_params: &HashSet<String>) -> LadderR
         }
         let mut candidate: Option<usize> = None;
         for (bi, b) in f.blocks.iter().enumerate() {
-            let IrTerm::Branch { cond, taken, fallthrough } = &b.term else { continue };
+            let IrTerm::Branch {
+                cond,
+                taken,
+                fallthrough,
+            } = &b.term
+            else {
+                continue;
+            };
             let cond_tainted = match cond {
                 Operand::Temp(t) => tainted.contains(t),
                 Operand::Const(_) => false,
@@ -214,7 +241,12 @@ pub fn ladderise(f: &mut IrFunction, secret_params: &HashSet<String>) -> LadderR
         let Some(bi) = candidate else { break };
 
         // Destructure the diamond.
-        let IrTerm::Branch { cond, taken, fallthrough } = f.blocks[bi].term.clone() else {
+        let IrTerm::Branch {
+            cond,
+            taken,
+            fallthrough,
+        } = f.blocks[bi].term.clone()
+        else {
             unreachable!("candidate was a branch");
         };
         let IrTerm::Jump(join) = f.blocks[taken.index()].term.clone() else {
@@ -253,7 +285,11 @@ pub fn ladderise(f: &mut IrFunction, secret_params: &HashSet<String>) -> LadderR
     // Residual: tainted branches that remain.
     let tainted = tainted_temps(f, secret_params);
     for b in &f.blocks {
-        if let IrTerm::Branch { cond: Operand::Temp(t), .. } = &b.term {
+        if let IrTerm::Branch {
+            cond: Operand::Temp(t),
+            ..
+        } = &b.term
+        {
             if tainted.contains(t) {
                 report.residual += 1;
             }

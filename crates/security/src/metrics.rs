@@ -46,7 +46,10 @@ impl LeakageAssessment {
     /// # Panics
     /// Panics if either sample set is empty.
     pub fn from_samples(class0: &[f64], class1: &[f64]) -> LeakageAssessment {
-        assert!(!class0.is_empty() && !class1.is_empty(), "need samples for both classes");
+        assert!(
+            !class0.is_empty() && !class1.is_empty(),
+            "need samples for both classes"
+        );
         let t = welch_t(class0, class1).abs();
         let ks = ks_distance(class0, class1);
         let ind = indiscernibility(class0, class1);
@@ -55,7 +58,12 @@ impl LeakageAssessment {
         } else {
             Verdict::Indistinguishable
         };
-        LeakageAssessment { welch_t: t, ks, indiscernibility: ind, verdict }
+        LeakageAssessment {
+            welch_t: t,
+            ks,
+            indiscernibility: ind,
+            verdict,
+        }
     }
 }
 
@@ -122,16 +130,8 @@ pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
 /// the secret). The bin count follows the Freedman–Diaconis-flavoured
 /// `√n` rule on the pooled samples.
 pub fn indiscernibility(a: &[f64], b: &[f64]) -> f64 {
-    let lo = a
-        .iter()
-        .chain(b)
-        .copied()
-        .fold(f64::INFINITY, f64::min);
-    let hi = a
-        .iter()
-        .chain(b)
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(b).copied().fold(f64::NEG_INFINITY, f64::max);
     if lo == hi {
         return 0.0; // all observations identical across both classes
     }

@@ -20,8 +20,14 @@ impl Battery {
     /// # Panics
     /// Panics if `capacity_j` is not a positive, finite number.
     pub fn new(capacity_j: f64) -> Battery {
-        assert!(capacity_j.is_finite() && capacity_j > 0.0, "capacity must be positive");
-        Battery { capacity_j, remaining_j: capacity_j }
+        assert!(
+            capacity_j.is_finite() && capacity_j > 0.0,
+            "capacity must be positive"
+        );
+        Battery {
+            capacity_j,
+            remaining_j: capacity_j,
+        }
     }
 
     /// A battery specified in watt-hours.

@@ -67,7 +67,11 @@ impl WorkItem {
     /// A compute-bound kernel with the given reference mega-cycles and
     /// GPU speed-up.
     pub fn new(ref_mcycles: f64, gpu_speedup: f64) -> WorkItem {
-        WorkItem { ref_mcycles, gpu_speedup, utilisation: 1.0 }
+        WorkItem {
+            ref_mcycles,
+            gpu_speedup,
+            utilisation: 1.0,
+        }
     }
 }
 
@@ -98,17 +102,53 @@ impl ComplexPlatform {
     /// GPU.
     pub fn tk1() -> ComplexPlatform {
         let cpu_ops = vec![
-            OperatingPoint { freq_mhz: 204.0, dyn_power_mw: 420.0, idle_power_mw: 110.0 },
-            OperatingPoint { freq_mhz: 696.0, dyn_power_mw: 980.0, idle_power_mw: 130.0 },
-            OperatingPoint { freq_mhz: 1092.0, dyn_power_mw: 1750.0, idle_power_mw: 160.0 },
-            OperatingPoint { freq_mhz: 1530.0, dyn_power_mw: 2900.0, idle_power_mw: 200.0 },
-            OperatingPoint { freq_mhz: 2065.0, dyn_power_mw: 4600.0, idle_power_mw: 260.0 },
+            OperatingPoint {
+                freq_mhz: 204.0,
+                dyn_power_mw: 420.0,
+                idle_power_mw: 110.0,
+            },
+            OperatingPoint {
+                freq_mhz: 696.0,
+                dyn_power_mw: 980.0,
+                idle_power_mw: 130.0,
+            },
+            OperatingPoint {
+                freq_mhz: 1092.0,
+                dyn_power_mw: 1750.0,
+                idle_power_mw: 160.0,
+            },
+            OperatingPoint {
+                freq_mhz: 1530.0,
+                dyn_power_mw: 2900.0,
+                idle_power_mw: 200.0,
+            },
+            OperatingPoint {
+                freq_mhz: 2065.0,
+                dyn_power_mw: 4600.0,
+                idle_power_mw: 260.0,
+            },
         ];
         let gpu_ops = vec![
-            OperatingPoint { freq_mhz: 72.0, dyn_power_mw: 650.0, idle_power_mw: 180.0 },
-            OperatingPoint { freq_mhz: 252.0, dyn_power_mw: 1600.0, idle_power_mw: 220.0 },
-            OperatingPoint { freq_mhz: 468.0, dyn_power_mw: 3000.0, idle_power_mw: 280.0 },
-            OperatingPoint { freq_mhz: 852.0, dyn_power_mw: 6200.0, idle_power_mw: 380.0 },
+            OperatingPoint {
+                freq_mhz: 72.0,
+                dyn_power_mw: 650.0,
+                idle_power_mw: 180.0,
+            },
+            OperatingPoint {
+                freq_mhz: 252.0,
+                dyn_power_mw: 1600.0,
+                idle_power_mw: 220.0,
+            },
+            OperatingPoint {
+                freq_mhz: 468.0,
+                dyn_power_mw: 3000.0,
+                idle_power_mw: 280.0,
+            },
+            OperatingPoint {
+                freq_mhz: 852.0,
+                dyn_power_mw: 6200.0,
+                idle_power_mw: 380.0,
+            },
         ];
         let mut cores: Vec<CoreDesc> = (0..4)
             .map(|i| CoreDesc {
@@ -124,21 +164,49 @@ impl ComplexPlatform {
             ops: gpu_ops,
             perf_factor: 1.0,
         });
-        ComplexPlatform { name: "apalis-tk1".into(), cores, jitter_sigma: 0.03 }
+        ComplexPlatform {
+            name: "apalis-tk1".into(),
+            cores,
+            jitter_sigma: 0.03,
+        }
     }
 
     /// A Jetson-Nano-like platform: 4 smaller CPU cores + Maxwell GPU,
     /// lower power envelope.
     pub fn nano() -> ComplexPlatform {
         let cpu_ops = vec![
-            OperatingPoint { freq_mhz: 102.0, dyn_power_mw: 180.0, idle_power_mw: 60.0 },
-            OperatingPoint { freq_mhz: 710.0, dyn_power_mw: 620.0, idle_power_mw: 80.0 },
-            OperatingPoint { freq_mhz: 1428.0, dyn_power_mw: 1500.0, idle_power_mw: 110.0 },
+            OperatingPoint {
+                freq_mhz: 102.0,
+                dyn_power_mw: 180.0,
+                idle_power_mw: 60.0,
+            },
+            OperatingPoint {
+                freq_mhz: 710.0,
+                dyn_power_mw: 620.0,
+                idle_power_mw: 80.0,
+            },
+            OperatingPoint {
+                freq_mhz: 1428.0,
+                dyn_power_mw: 1500.0,
+                idle_power_mw: 110.0,
+            },
         ];
         let gpu_ops = vec![
-            OperatingPoint { freq_mhz: 76.0, dyn_power_mw: 400.0, idle_power_mw: 120.0 },
-            OperatingPoint { freq_mhz: 460.0, dyn_power_mw: 1900.0, idle_power_mw: 180.0 },
-            OperatingPoint { freq_mhz: 921.0, dyn_power_mw: 4200.0, idle_power_mw: 260.0 },
+            OperatingPoint {
+                freq_mhz: 76.0,
+                dyn_power_mw: 400.0,
+                idle_power_mw: 120.0,
+            },
+            OperatingPoint {
+                freq_mhz: 460.0,
+                dyn_power_mw: 1900.0,
+                idle_power_mw: 180.0,
+            },
+            OperatingPoint {
+                freq_mhz: 921.0,
+                dyn_power_mw: 4200.0,
+                idle_power_mw: 260.0,
+            },
         ];
         let mut cores: Vec<CoreDesc> = (0..4)
             .map(|i| CoreDesc {
@@ -154,7 +222,11 @@ impl ComplexPlatform {
             ops: gpu_ops,
             perf_factor: 1.0,
         });
-        ComplexPlatform { name: "jetson-nano".into(), cores, jitter_sigma: 0.04 }
+        ComplexPlatform {
+            name: "jetson-nano".into(),
+            cores,
+            jitter_sigma: 0.04,
+        }
     }
 
     /// Look up a core by name.
@@ -200,7 +272,11 @@ impl ComplexPlatform {
         let t_ms = t_nom * (1.0 + self.jitter_sigma * z).max(0.05);
         let op = &core.ops[op_idx];
         let p_mw = op.idle_power_mw + op.dyn_power_mw * work.utilisation;
-        TaskExecution { time_ms: t_ms, energy_mj: p_mw * t_ms / 1000.0, avg_power_mw: p_mw }
+        TaskExecution {
+            time_ms: t_ms,
+            energy_mj: p_mw * t_ms / 1000.0,
+            avg_power_mw: p_mw,
+        }
     }
 
     /// Create a seeded RNG for reproducible experiments.
@@ -242,7 +318,10 @@ mod tests {
         let w = WorkItem::new(8520.0, 10.0);
         let t_cpu = p.nominal_time_ms(cpu, cpu.ops.len() - 1, &w);
         let t_gpu = p.nominal_time_ms(gpu, gpu.ops.len() - 1, &w);
-        assert!(t_gpu < t_cpu, "GPU should win for a 10x kernel: {t_gpu} vs {t_cpu}");
+        assert!(
+            t_gpu < t_cpu,
+            "GPU should win for a 10x kernel: {t_gpu} vs {t_cpu}"
+        );
     }
 
     #[test]
@@ -252,15 +331,19 @@ mod tests {
         let p = ComplexPlatform::tk1();
         let core = p.core("a15-0").expect("core");
         let w = WorkItem::new(5000.0, 1.0);
-        let energies: Vec<f64> =
-            (0..core.ops.len()).map(|i| p.nominal_energy_mj(core, i, &w)).collect();
+        let energies: Vec<f64> = (0..core.ops.len())
+            .map(|i| p.nominal_energy_mj(core, i, &w))
+            .collect();
         let min_idx = energies
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .expect("non-empty")
             .0;
-        assert!(min_idx != core.ops.len() - 1, "max frequency should not be energy-optimal");
+        assert!(
+            min_idx != core.ops.len() - 1,
+            "max frequency should not be energy-optimal"
+        );
     }
 
     #[test]
@@ -284,9 +367,20 @@ mod tests {
     fn utilisation_reduces_energy_not_time() {
         let p = ComplexPlatform::tk1();
         let core = p.core("a15-0").expect("core");
-        let busy = WorkItem { ref_mcycles: 1000.0, gpu_speedup: 1.0, utilisation: 1.0 };
-        let membound = WorkItem { ref_mcycles: 1000.0, gpu_speedup: 1.0, utilisation: 0.5 };
-        assert_eq!(p.nominal_time_ms(core, 3, &busy), p.nominal_time_ms(core, 3, &membound));
+        let busy = WorkItem {
+            ref_mcycles: 1000.0,
+            gpu_speedup: 1.0,
+            utilisation: 1.0,
+        };
+        let membound = WorkItem {
+            ref_mcycles: 1000.0,
+            gpu_speedup: 1.0,
+            utilisation: 0.5,
+        };
+        assert_eq!(
+            p.nominal_time_ms(core, 3, &busy),
+            p.nominal_time_ms(core, 3, &membound)
+        );
         assert!(p.nominal_energy_mj(core, 3, &membound) < p.nominal_energy_mj(core, 3, &busy));
     }
 
@@ -297,7 +391,11 @@ mod tests {
             for c in &p.cores {
                 assert!(!c.ops.is_empty(), "{} has no operating points", c.name);
                 for w in c.ops.windows(2) {
-                    assert!(w[0].freq_mhz < w[1].freq_mhz, "{}: ops must be sorted", c.name);
+                    assert!(
+                        w[0].freq_mhz < w[1].freq_mhz,
+                        "{}: ops must be sorted",
+                        c.name
+                    );
                     assert!(w[0].dyn_power_mw < w[1].dyn_power_mw);
                 }
             }

@@ -182,9 +182,14 @@ impl Machine {
         let flags = &mut self.flags;
         let max_cycles = self.max_cycles;
 
-        let funcs: HashMap<&str, &Function> =
-            program.functions.iter().map(|(n, f)| (n.as_str(), f)).collect();
-        let entry = *funcs.get(func).ok_or_else(|| MachineError::UnknownFunction(func.into()))?;
+        let funcs: HashMap<&str, &Function> = program
+            .functions
+            .iter()
+            .map(|(n, f)| (n.as_str(), f))
+            .collect();
+        let entry = *funcs
+            .get(func)
+            .ok_or_else(|| MachineError::UnknownFunction(func.into()))?;
 
         *regs = [0; 16];
         for (i, a) in args.iter().enumerate() {
@@ -208,13 +213,13 @@ impl Machine {
         // not hold a borrow of `self` across the mutating execution loop.
         let energy_model = self.energy_model.clone();
         let charge = move |class: EnergyClass,
-                               cyc: u64,
-                               regs_moved: usize,
-                               cycles: &mut u64,
-                               insns: &mut u64,
-                               energy: &mut f64,
-                               prev: &mut Option<EnergyClass>,
-                               counts: &mut [u64; ENERGY_CLASS_COUNT]| {
+                           cyc: u64,
+                           regs_moved: usize,
+                           cycles: &mut u64,
+                           insns: &mut u64,
+                           energy: &mut f64,
+                           prev: &mut Option<EnergyClass>,
+                           counts: &mut [u64; ENERGY_CLASS_COUNT]| {
             *cycles += cyc;
             *insns += 1;
             counts[class.index()] += 1;
@@ -264,8 +269,11 @@ impl Machine {
                     }
                     Insn::Csel { cond, rd, rt, rf } => {
                         let (a, b) = *flags;
-                        regs[rd.index()] =
-                            if cond.holds(a, b) { regs[rt.index()] } else { regs[rf.index()] };
+                        regs[rd.index()] = if cond.holds(a, b) {
+                            regs[rt.index()]
+                        } else {
+                            regs[rf.index()]
+                        };
                     }
                     Insn::Ldr { rd, base, offset } => {
                         let addr = (regs[base.index()] as u32)
@@ -339,7 +347,11 @@ impl Machine {
                         cur_block = *t;
                         cur_idx = 0;
                     }
-                    Terminator::CondBranch { taken: t, fallthrough: f, .. } => {
+                    Terminator::CondBranch {
+                        taken: t,
+                        fallthrough: f,
+                        ..
+                    } => {
                         cur_block = if taken { *t } else { *f };
                         cur_idx = 0;
                     }
@@ -420,8 +432,16 @@ mod tests {
             name: "answer".into(),
             blocks: vec![Block {
                 insns: vec![
-                    Insn::Mov { rd: Reg::R1, src: Operand::Imm(40) },
-                    Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R1, src: Operand::Imm(2) },
+                    Insn::Mov {
+                        rd: Reg::R1,
+                        src: Operand::Imm(40),
+                    },
+                    Insn::Alu {
+                        op: AluOp::Add,
+                        rd: Reg::R0,
+                        rn: Reg::R1,
+                        src: Operand::Imm(2),
+                    },
                 ],
                 terminator: Terminator::Return,
             }],
@@ -452,7 +472,11 @@ mod tests {
             + t.dynamic_energy(Some(EnergyClass::Alu), EnergyClass::Alu, 0)
             + t.dynamic_energy(Some(EnergyClass::Alu), EnergyClass::Branch, 0)
             + t.leakage_per_cycle * 6.0;
-        assert!((r.energy_pj - expected).abs() < 1e-9, "{} vs {expected}", r.energy_pj);
+        assert!(
+            (r.energy_pj - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            r.energy_pj
+        );
     }
 
     /// Loop: sum 0..n passed in r0.
@@ -467,13 +491,22 @@ mod tests {
             blocks: vec![
                 Block {
                     insns: vec![
-                        Insn::Mov { rd: Reg::R1, src: Operand::Imm(0) },
-                        Insn::Mov { rd: Reg::R2, src: Operand::Imm(0) },
+                        Insn::Mov {
+                            rd: Reg::R1,
+                            src: Operand::Imm(0),
+                        },
+                        Insn::Mov {
+                            rd: Reg::R2,
+                            src: Operand::Imm(0),
+                        },
                     ],
                     terminator: Terminator::Branch(BlockId(1)),
                 },
                 Block {
-                    insns: vec![Insn::Cmp { rn: Reg::R2, src: Operand::Reg(Reg::R0) }],
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R2,
+                        src: Operand::Reg(Reg::R0),
+                    }],
                     terminator: Terminator::CondBranch {
                         cond: Cond::Lt,
                         taken: BlockId(2),
@@ -488,12 +521,20 @@ mod tests {
                             rn: Reg::R1,
                             src: Operand::Reg(Reg::R2),
                         },
-                        Insn::Alu { op: AluOp::Add, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(1) },
+                        Insn::Alu {
+                            op: AluOp::Add,
+                            rd: Reg::R2,
+                            rn: Reg::R2,
+                            src: Operand::Imm(1),
+                        },
                     ],
                     terminator: Terminator::Branch(BlockId(1)),
                 },
                 Block {
-                    insns: vec![Insn::Mov { rd: Reg::R0, src: Operand::Reg(Reg::R1) }],
+                    insns: vec![Insn::Mov {
+                        rd: Reg::R0,
+                        src: Operand::Reg(Reg::R1),
+                    }],
                     terminator: Terminator::Return,
                 },
             ],
@@ -524,14 +565,20 @@ mod tests {
         let mut p = Program::new();
         let f = Function {
             name: "spin".into(),
-            blocks: vec![Block { insns: vec![], terminator: Terminator::Branch(BlockId(0)) }],
+            blocks: vec![Block {
+                insns: vec![],
+                terminator: Terminator::Branch(BlockId(0)),
+            }],
             loop_bounds: BTreeMap::new(),
             frame_size: 0,
         };
         p.add_function(f);
         let mut m = Machine::new(p).expect("load");
         m.set_max_cycles(1_000);
-        assert_eq!(m.call("spin", &[], &mut NullDevice::new()), Err(MachineError::CycleLimit));
+        assert_eq!(
+            m.call("spin", &[], &mut NullDevice::new()),
+            Err(MachineError::CycleLimit)
+        );
     }
 
     #[test]
@@ -557,12 +604,29 @@ mod tests {
             name: "main".into(),
             blocks: vec![Block {
                 insns: vec![
-                    Insn::Push { regs: vec![Reg::R4] },
-                    Insn::Mov { rd: Reg::R4, src: Operand::Imm(5) },
-                    Insn::Mov { rd: Reg::R0, src: Operand::Imm(7) },
-                    Insn::Call { func: "double".into() },
-                    Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Reg(Reg::R4) },
-                    Insn::Pop { regs: vec![Reg::R4] },
+                    Insn::Push {
+                        regs: vec![Reg::R4],
+                    },
+                    Insn::Mov {
+                        rd: Reg::R4,
+                        src: Operand::Imm(5),
+                    },
+                    Insn::Mov {
+                        rd: Reg::R0,
+                        src: Operand::Imm(7),
+                    },
+                    Insn::Call {
+                        func: "double".into(),
+                    },
+                    Insn::Alu {
+                        op: AluOp::Add,
+                        rd: Reg::R0,
+                        rn: Reg::R0,
+                        src: Operand::Reg(Reg::R4),
+                    },
+                    Insn::Pop {
+                        regs: vec![Reg::R4],
+                    },
                 ],
                 terminator: Terminator::Return,
             }],
@@ -589,11 +653,30 @@ mod tests {
             name: "bump".into(),
             blocks: vec![Block {
                 insns: vec![
-                    Insn::MovImm32 { rd: Reg::R1, imm: layout_addr },
-                    Insn::Ldr { rd: Reg::R2, base: Reg::R1, offset: Operand::Imm(0) },
-                    Insn::Alu { op: AluOp::Add, rd: Reg::R2, rn: Reg::R2, src: Operand::Imm(1) },
-                    Insn::Str { rs: Reg::R2, base: Reg::R1, offset: Operand::Imm(0) },
-                    Insn::Mov { rd: Reg::R0, src: Operand::Reg(Reg::R2) },
+                    Insn::MovImm32 {
+                        rd: Reg::R1,
+                        imm: layout_addr,
+                    },
+                    Insn::Ldr {
+                        rd: Reg::R2,
+                        base: Reg::R1,
+                        offset: Operand::Imm(0),
+                    },
+                    Insn::Alu {
+                        op: AluOp::Add,
+                        rd: Reg::R2,
+                        rn: Reg::R2,
+                        src: Operand::Imm(1),
+                    },
+                    Insn::Str {
+                        rs: Reg::R2,
+                        base: Reg::R1,
+                        offset: Operand::Imm(0),
+                    },
+                    Insn::Mov {
+                        rd: Reg::R0,
+                        src: Operand::Reg(Reg::R2),
+                    },
                 ],
                 terminator: Terminator::Return,
             }],
@@ -602,8 +685,18 @@ mod tests {
         };
         p.add_function(f);
         let mut m = Machine::new(p).expect("load");
-        assert_eq!(m.call("bump", &[], &mut NullDevice::new()).expect("run").return_value, 101);
-        assert_eq!(m.call("bump", &[], &mut NullDevice::new()).expect("run").return_value, 102);
+        assert_eq!(
+            m.call("bump", &[], &mut NullDevice::new())
+                .expect("run")
+                .return_value,
+            101
+        );
+        assert_eq!(
+            m.call("bump", &[], &mut NullDevice::new())
+                .expect("run")
+                .return_value,
+            102
+        );
         assert_eq!(m.read_global("g", 0), Some(102));
         m.reset_data();
         assert_eq!(m.read_global("g", 0), Some(100));
@@ -616,9 +709,20 @@ mod tests {
             name: "echo".into(),
             blocks: vec![Block {
                 insns: vec![
-                    Insn::In { rd: Reg::R0, port: 4 },
-                    Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(1) },
-                    Insn::Out { rs: Reg::R0, port: 9 },
+                    Insn::In {
+                        rd: Reg::R0,
+                        port: 4,
+                    },
+                    Insn::Alu {
+                        op: AluOp::Add,
+                        rd: Reg::R0,
+                        rn: Reg::R0,
+                        src: Operand::Imm(1),
+                    },
+                    Insn::Out {
+                        rs: Reg::R0,
+                        port: 9,
+                    },
                 ],
                 terminator: Terminator::Return,
             }],
@@ -640,7 +744,11 @@ mod tests {
         let f = Function {
             name: "bad".into(),
             blocks: vec![Block {
-                insns: vec![Insn::Ldr { rd: Reg::R0, base: Reg::R1, offset: Operand::Imm(2) }],
+                insns: vec![Insn::Ldr {
+                    rd: Reg::R0,
+                    base: Reg::R1,
+                    offset: Operand::Imm(2),
+                }],
                 terminator: Terminator::Return,
             }],
             loop_bounds: BTreeMap::new(),
@@ -648,15 +756,25 @@ mod tests {
         };
         p.add_function(f);
         let mut m = Machine::new(p).expect("load");
-        assert_eq!(m.call("bad", &[], &mut NullDevice::new()), Err(MachineError::Unaligned(2)));
+        assert_eq!(
+            m.call("bad", &[], &mut NullDevice::new()),
+            Err(MachineError::Unaligned(2))
+        );
 
         let mut p2 = Program::new();
         let f2 = Function {
             name: "far".into(),
             blocks: vec![Block {
                 insns: vec![
-                    Insn::MovImm32 { rd: Reg::R1, imm: (MEMORY_BYTES + 8) as i32 },
-                    Insn::Ldr { rd: Reg::R0, base: Reg::R1, offset: Operand::Imm(0) },
+                    Insn::MovImm32 {
+                        rd: Reg::R1,
+                        imm: (MEMORY_BYTES + 8) as i32,
+                    },
+                    Insn::Ldr {
+                        rd: Reg::R0,
+                        base: Reg::R1,
+                        offset: Operand::Imm(0),
+                    },
                 ],
                 terminator: Terminator::Return,
             }],

@@ -55,7 +55,12 @@ impl RecordingDevice {
 impl PortDevice for RecordingDevice {
     fn input(&mut self, port: u8) -> i32 {
         let idx = self.cursor.entry(port).or_insert(0);
-        let v = self.inputs.get(&port).and_then(|q| q.get(*idx)).copied().unwrap_or(0);
+        let v = self
+            .inputs
+            .get(&port)
+            .and_then(|q| q.get(*idx))
+            .copied()
+            .unwrap_or(0);
         *idx += 1;
         v
     }

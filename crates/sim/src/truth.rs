@@ -48,7 +48,12 @@ impl GroundTruthEnergy {
                 }
             }
         }
-        GroundTruthEnergy { base, overhead, leakage_per_cycle: 95.0, stack_per_reg: 240.0 }
+        GroundTruthEnergy {
+            base,
+            overhead,
+            leakage_per_cycle: 95.0,
+            stack_per_reg: 240.0,
+        }
     }
 
     /// A LEON3-flavoured truth: higher leakage (rad-hard process) and more

@@ -3,23 +3,39 @@
 //! The reproduction's analogue of the aiT tool (paper ref \[6\]) that the
 //! multi-criteria compiler invokes as a plug-in (Fig. 1). Because PG32 is
 //! a *predictable* architecture — every instruction has a statically known
-//! cycle cost — WCET analysis reduces to a flow problem:
+//! cycle cost — WCET analysis reduces to a flow problem, and since PR 5 it
+//! is solved with a genuine **IPET** (implicit path enumeration)
+//! formulation, the technique the paper inherits from the WCC/aiT
+//! toolchain:
 //!
 //! 1. cost every basic block from the shared [`teamplay_isa::CycleModel`]
 //!    (so the analyser and the simulator can never disagree on unit
-//!    costs; only path feasibility is approximated);
-//! 2. condense every natural loop, innermost first, into a super-node
-//!    costing `(bound + 1) × longest-iteration-path` — the `loop bound`
-//!    flow facts come from CSL annotations or counted-loop inference;
-//! 3. take the longest path through the resulting DAG; and
-//! 4. resolve calls bottom-up over the (recursion-free) call graph.
+//!    costs; only path feasibility is approximated) — conditional-branch
+//!    costs are attached *per edge*, so a fall-through no longer pays the
+//!    taken-branch worst case;
+//! 2. formulate per-edge execution-count flow constraints over the CFG:
+//!    Kirchhoff conservation at every block, loop-bound caps on the
+//!    back-edge counts (from CSL annotations, counted-loop inference, and
+//!    the trip counts the compiler's `unroll` pass proves), and
+//!    infeasible-path facts for mutually exclusive branches on the same
+//!    unwritten register;
+//! 3. solve the resulting max-cost flow problem **exactly** with the
+//!    in-tree loop-nest dynamic program in [`flow`] (reducible CFGs; no
+//!    external LP crate, consistent with the vendored-offline rule),
+//!    falling back to [`structural_bound`] on irreducible graphs; and
+//! 4. resolve calls bottom-up over the (recursion-free) call graph,
+//!    memoizing per-function results by content hash in an
+//!    [`AnalysisCache`] so the thousands of variants a Pareto search
+//!    compiles never re-analyse an unchanged function.
 //!
-//! On structured, reducible control flow this is equivalent to the IPET
-//! formulation industrial tools solve with an ILP. The result is a *safe*
-//! upper bound: the property tests assert `wcet ≥ measured cycles` for
-//! randomly generated programs and inputs, and the benches report the
-//! overestimation factor (analysis tightness), mirroring how the paper's
-//! toolchain validates against hardware measurements.
+//! The same flow solver serves the worst-case *energy* analysis in
+//! `teamplay-energy` through [`flow_bound_with`]: per-block picojoule
+//! costs ride the identical constraint system, exactly as WCC shares its
+//! flow facts between its aiT and EnergyAnalyser plug-ins. On every
+//! program the IPET bound is at most the structural bound (kept available
+//! as [`analyze_program_structural`] for tightness measurement —
+//! `BENCH_wcet.json` records the per-kernel ratios) and never below the
+//! simulator's observed cycles; both properties are property-tested.
 //!
 //! ```
 //! use teamplay_isa::{Block, CycleModel, Function, Program, Terminator};
@@ -32,10 +48,16 @@
 //! # Ok::<(), teamplay_wcet::WcetError>(())
 //! ```
 
+pub mod flow;
+
+use flow::{FlowError, FlowProblem};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use teamplay_isa::{CycleModel, Function, Insn, Program};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use teamplay_isa::{CycleModel, Function, Insn, Program, Terminator};
 use teamplay_minic::cfg::{natural_loops, reverse_postorder, CfgView};
 
 /// Errors the analysis can report.
@@ -74,7 +96,10 @@ impl fmt::Display for WcetError {
                 )
             }
             WcetError::Recursion(func) => {
-                write!(f, "recursion involving `{func}` — WCET analysis requires a call tree")
+                write!(
+                    f,
+                    "recursion involving `{func}` — WCET analysis requires a call tree"
+                )
             }
             WcetError::IrreducibleCfg(func) => {
                 write!(f, "function `{func}` has irreducible control flow")
@@ -123,11 +148,91 @@ impl CfgView for FnView<'_> {
         0
     }
     fn successors(&self, block: usize) -> Vec<usize> {
-        self.0.blocks[block].terminator.successors().iter().map(|b| b.index()).collect()
+        self.0.blocks[block]
+            .terminator
+            .successors()
+            .iter()
+            .map(|b| b.index())
+            .collect()
     }
 }
 
-/// Analyse one function given already-known callee WCETs.
+/// Per-block instruction-body costs (terminators excluded, callee WCETs
+/// folded in) for the flow formulation; unreachable blocks cost zero.
+fn body_costs(
+    f: &Function,
+    model: &CycleModel,
+    callee_wcets: &BTreeMap<String, u64>,
+) -> Result<Vec<u64>, WcetError> {
+    let view = FnView(f);
+    let reachable: HashSet<usize> = reverse_postorder(&view).into_iter().collect();
+    let mut cost = vec![0u64; f.blocks.len()];
+    for (i, b) in f.blocks.iter().enumerate() {
+        if !reachable.contains(&i) {
+            continue;
+        }
+        let mut c = 0u64;
+        for insn in &b.insns {
+            c += model.cycles(insn, false);
+            if let Insn::Call { func } = insn {
+                let callee = callee_wcets
+                    .get(func)
+                    .ok_or_else(|| WcetError::UnknownCallee {
+                        function: f.name.clone(),
+                        callee: func.clone(),
+                    })?;
+                c += *callee;
+            }
+        }
+        cost[i] = c;
+    }
+    Ok(cost)
+}
+
+/// The shared time/energy flow bound: build the IPET problem for `f`
+/// from per-block body costs (terminators excluded) and a per-edge
+/// terminator-cost closure, solve it exactly, and fall back to the
+/// [`structural_bound`] on irreducible control flow.
+///
+/// This is the single engine behind both the cycle-based WCET analysis
+/// here and the worst-case *energy* analysis in `teamplay-energy`
+/// (which supplies millipicojoule costs) — one flow solver, two
+/// non-functional properties, exactly as WCC shares its flow facts
+/// between its aiT and EnergyAnalyser plug-ins.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn flow_bound_with(
+    f: &Function,
+    node_cost: &[u64],
+    term_cost: &dyn Fn(&Terminator, bool) -> u64,
+) -> Result<u64, WcetError> {
+    let problem = FlowProblem::from_function(f, node_cost, term_cost);
+    match problem.solve() {
+        Ok(bound) => Ok(bound),
+        Err(FlowError::Unbounded { header }) => Err(WcetError::UnboundedLoop {
+            function: f.name.clone(),
+            header: header as u32,
+        }),
+        Err(FlowError::Irreducible) => {
+            // Structural fallback: fold the worst-case terminator cost
+            // back into the block costs, as the structural engine
+            // expects.
+            let cost: Vec<u64> = node_cost
+                .iter()
+                .zip(&f.blocks)
+                .map(|(c, b)| {
+                    c.saturating_add(
+                        term_cost(&b.terminator, true).max(term_cost(&b.terminator, false)),
+                    )
+                })
+                .collect();
+            structural_bound(f, &cost)
+        }
+    }
+}
+
+/// Analyse one function given already-known callee WCETs (IPET engine).
 ///
 /// Exposed for the compiler's per-variant evaluation loop, which analyses
 /// a single function against a cache of callee results.
@@ -139,29 +244,29 @@ pub fn analyze_function(
     model: &CycleModel,
     callee_wcets: &BTreeMap<String, u64>,
 ) -> Result<u64, WcetError> {
-    let view = FnView(f);
-    let reachable: HashSet<usize> = reverse_postorder(&view).into_iter().collect();
+    let cost = body_costs(f, model, callee_wcets)?;
+    flow_bound_with(f, &cost, &|t, taken| model.terminator_cycles(t, taken))
+}
 
-    // Block costs (including worst-case terminator and call costs).
-    let mut cost = vec![0u64; f.blocks.len()];
-    for (i, b) in f.blocks.iter().enumerate() {
-        if !reachable.contains(&i) {
-            continue;
-        }
-        let mut c = 0u64;
-        for insn in &b.insns {
-            c += model.cycles(insn, false);
-            if let Insn::Call { func } = insn {
-                let callee = callee_wcets.get(func).ok_or_else(|| WcetError::UnknownCallee {
-                    function: f.name.clone(),
-                    callee: func.clone(),
-                })?;
-                c += *callee;
-            }
-        }
-        c += model.terminator_worst_case(&b.terminator);
-        cost[i] = c;
-    }
+/// [`analyze_function`] under the pre-IPET structural engine: loops are
+/// condensed at `(bound + 1) × worst-iteration-path` and every block
+/// pays its worst-case terminator. Kept as the tightness baseline the
+/// benches and the oracle tests compare the IPET bound against (IPET ≤
+/// structural on every function).
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn analyze_function_structural(
+    f: &Function,
+    model: &CycleModel,
+    callee_wcets: &BTreeMap<String, u64>,
+) -> Result<u64, WcetError> {
+    let body = body_costs(f, model, callee_wcets)?;
+    let cost: Vec<u64> = body
+        .iter()
+        .zip(&f.blocks)
+        .map(|(c, b)| c.saturating_add(model.terminator_worst_case(&b.terminator)))
+        .collect();
     structural_bound(f, &cost)
 }
 
@@ -169,11 +274,9 @@ pub fn analyze_function(
 /// costs: loops are condensed innermost-first at `(bound + 1) ×
 /// iteration-cost` and the condensed DAG's longest path is returned.
 ///
-/// This is the engine behind both the cycle-based WCET analysis and the
-/// worst-case *energy* analysis in `teamplay-energy` (which supplies
-/// per-block picojoule costs) — one flow solver, two non-functional
-/// properties, exactly as WCC shares its flow facts between its aiT and
-/// EnergyAnalyser plug-ins.
+/// Costs must *include* each block's (worst-case) terminator cost; the
+/// engine is path-insensitive and edge-cost-blind, which is exactly what
+/// makes it the conservative baseline for the IPET solver in [`flow`].
 ///
 /// # Errors
 /// See [`WcetError`].
@@ -267,8 +370,7 @@ fn longest_path_within(
         Grey,
         Black,
     }
-    let mut colour: HashMap<usize, Colour> =
-        members.iter().map(|&m| (m, Colour::White)).collect();
+    let mut colour: HashMap<usize, Colour> = members.iter().map(|&m| (m, Colour::White)).collect();
     let mut topo: Vec<usize> = Vec::with_capacity(members.len());
     let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
     let next_of = |node: usize| -> Vec<usize> {
@@ -313,18 +415,75 @@ fn longest_path_within(
     Some(best.get(&start).copied().unwrap_or(node_cost[start]))
 }
 
-/// Analyse a whole program: every function gets a WCET, resolved bottom-up
-/// over the call graph.
+/// A thread-safe memo of per-function analysis results, keyed by the
+/// function's *content hash* (its blocks, bounds and frame, plus the
+/// callee bounds it was analysed against).
 ///
-/// # Errors
-/// See [`WcetError`].
-pub fn analyze_program(program: &Program, model: &CycleModel) -> Result<WcetReport, WcetError> {
-    program.validate().map_err(WcetError::InvalidProgram)?;
-    if program.has_recursion() {
-        let name = program.functions.keys().next().cloned().unwrap_or_default();
-        return Err(WcetError::Recursion(name));
+/// The compiler's variant search compiles thousands of configurations of
+/// one module; most configurations leave most functions byte-identical,
+/// so their analyses are pure replays. One `AnalysisCache` per
+/// (cost-model, metric) pair — e.g. one for cycles and one for energy
+/// inside the driver's `EvalCache` — turns those replays into hash-map
+/// hits. Results are exact values of a pure function of the key, so
+/// sharing a cache across threads or searches cannot change any result.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    entries: Mutex<HashMap<u64, u64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl AnalysisCache {
+    /// An empty cache. Use one per cost model and metric.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
     }
-    // Topological order over the call graph (callees first).
+
+    /// The content key of `f` analysed against `callee_bounds`: a hash
+    /// of the function body plus the bound of every callee (in callee
+    /// order, so a callee's change re-keys its callers too).
+    pub fn key(f: &Function, callee_bounds: &BTreeMap<String, u64>) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        f.hash(&mut h);
+        for callee in f.callees() {
+            callee_bounds.get(&callee).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Look up `key`, or compute and remember it. Errors are not cached
+    /// (the program-level drivers abort on the first error anyway).
+    pub fn get_or_try_insert(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<u64, WcetError>,
+    ) -> Result<u64, WcetError> {
+        if let Some(v) = self.entries.lock().expect("analysis cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*v);
+        }
+        let v = compute()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("analysis cache lock")
+            .insert(key, v);
+        Ok(v)
+    }
+
+    /// Lookups answered from the memo.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the analysis.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// The callee-first analysis order over the (recursion-free) call graph.
+fn call_order(program: &Program) -> Vec<&str> {
     let mut order: Vec<&str> = Vec::new();
     let mut done: HashSet<&str> = HashSet::new();
     let mut visiting: Vec<(&str, usize)> = Vec::new();
@@ -335,8 +494,9 @@ pub fn analyze_program(program: &Program, model: &CycleModel) -> Result<WcetRepo
         visiting.push((start.as_str(), 0));
         let mut callee_cache: HashMap<&str, Vec<String>> = HashMap::new();
         while let Some((name, idx)) = visiting.pop() {
-            let callees =
-                callee_cache.entry(name).or_insert_with(|| program.functions[name].callees());
+            let callees = callee_cache
+                .entry(name)
+                .or_insert_with(|| program.functions[name].callees());
             if idx < callees.len() {
                 let next = callees[idx].clone();
                 visiting.push((name, idx + 1));
@@ -352,14 +512,92 @@ pub fn analyze_program(program: &Program, model: &CycleModel) -> Result<WcetRepo
             }
         }
     }
+    order
+}
 
-    let mut wcets: BTreeMap<String, u64> = BTreeMap::new();
-    for name in order {
-        let f = &program.functions[name];
-        let w = analyze_function(f, model, &wcets)?;
-        wcets.insert(name.to_string(), w);
+/// The shared program-level analysis driver: validate, reject
+/// recursion, then analyse every function in callee-first order with
+/// `analyse` (handing each its already-resolved callee bounds),
+/// optionally memoized through a per-function content-hash `cache`.
+///
+/// Returns the raw per-function bounds; both this crate's WCET drivers
+/// and `teamplay-energy`'s WCEC drivers wrap their reports around it,
+/// so validation, ordering and cache-keying policy live in exactly one
+/// place.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn resolve_bottom_up(
+    program: &Program,
+    cache: Option<&AnalysisCache>,
+    analyse: impl Fn(&Function, &BTreeMap<String, u64>) -> Result<u64, WcetError>,
+) -> Result<BTreeMap<String, u64>, WcetError> {
+    program.validate().map_err(WcetError::InvalidProgram)?;
+    if program.has_recursion() {
+        let name = program.functions.keys().next().cloned().unwrap_or_default();
+        return Err(WcetError::Recursion(name));
     }
-    Ok(WcetReport { per_function: wcets })
+    let mut bounds: BTreeMap<String, u64> = BTreeMap::new();
+    for name in call_order(program) {
+        let f = &program.functions[name];
+        let w = match cache {
+            Some(cache) => {
+                cache.get_or_try_insert(AnalysisCache::key(f, &bounds), || analyse(f, &bounds))?
+            }
+            None => analyse(f, &bounds)?,
+        };
+        bounds.insert(name.to_string(), w);
+    }
+    Ok(bounds)
+}
+
+/// Analyse a whole program with the IPET engine: every function gets a
+/// WCET, resolved bottom-up over the call graph.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn analyze_program(program: &Program, model: &CycleModel) -> Result<WcetReport, WcetError> {
+    Ok(WcetReport {
+        per_function: resolve_bottom_up(program, None, |f, callees| {
+            analyze_function(f, model, callees)
+        })?,
+    })
+}
+
+/// [`analyze_program`] with per-function memoization: unchanged
+/// functions (same content hash, same callee bounds) are answered from
+/// `cache` instead of re-analysed. Use one cache per [`CycleModel`] —
+/// the model is not part of the key.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn analyze_program_cached(
+    program: &Program,
+    model: &CycleModel,
+    cache: &AnalysisCache,
+) -> Result<WcetReport, WcetError> {
+    Ok(WcetReport {
+        per_function: resolve_bottom_up(program, Some(cache), |f, callees| {
+            analyze_function(f, model, callees)
+        })?,
+    })
+}
+
+/// Whole-program analysis under the structural baseline engine (see
+/// [`analyze_function_structural`]); the tightness denominator in
+/// `BENCH_wcet.json`.
+///
+/// # Errors
+/// See [`WcetError`].
+pub fn analyze_program_structural(
+    program: &Program,
+    model: &CycleModel,
+) -> Result<WcetReport, WcetError> {
+    Ok(WcetReport {
+        per_function: resolve_bottom_up(program, None, |f, callees| {
+            analyze_function_structural(f, model, callees)
+        })?,
+    })
 }
 
 #[cfg(test)]
@@ -369,7 +607,12 @@ mod tests {
     use teamplay_isa::{AluOp, Block, BlockId, Cond, Operand, Reg, Terminator};
 
     fn alu() -> Insn {
-        Insn::Alu { op: AluOp::Add, rd: Reg::R0, rn: Reg::R0, src: Operand::Imm(1) }
+        Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            src: Operand::Imm(1),
+        }
     }
 
     fn straight_function(name: &str, n_insns: usize) -> Function {
@@ -400,7 +643,10 @@ mod tests {
             name: "f".into(),
             blocks: vec![
                 Block {
-                    insns: vec![Insn::Cmp { rn: Reg::R0, src: Operand::Imm(0) }],
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R0,
+                        src: Operand::Imm(0),
+                    }],
                     terminator: Terminator::CondBranch {
                         cond: Cond::Eq,
                         taken: BlockId(1),
@@ -415,7 +661,10 @@ mod tests {
                     insns: (0..2).map(|_| alu()).collect(),
                     terminator: Terminator::Branch(BlockId(3)),
                 },
-                Block { insns: vec![], terminator: Terminator::Return },
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Return,
+                },
             ],
             loop_bounds: Map::new(),
             frame_size: 0,
@@ -427,6 +676,57 @@ mod tests {
         assert_eq!(r.wcet_cycles("f"), Some(21));
     }
 
+    #[test]
+    fn heavier_fallthrough_arm_is_charged_the_cheap_edge() {
+        // Same diamond, long arm on the *fall-through* side: IPET pays
+        // cond_not_taken (1) into it, the structural engine still pays
+        // the worst-case terminator (3).
+        let f = Function {
+            name: "f".into(),
+            blocks: vec![
+                Block {
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R0,
+                        src: Operand::Imm(0),
+                    }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Eq,
+                        taken: BlockId(2),
+                        fallthrough: BlockId(1),
+                    },
+                },
+                Block {
+                    insns: (0..10).map(|_| alu()).collect(),
+                    terminator: Terminator::Branch(BlockId(3)),
+                },
+                Block {
+                    insns: (0..2).map(|_| alu()).collect(),
+                    terminator: Terminator::Branch(BlockId(3)),
+                },
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Return,
+                },
+            ],
+            loop_bounds: Map::new(),
+            frame_size: 0,
+        };
+        let mut p = Program::new();
+        p.add_function(f);
+        let model = CycleModel::pg32();
+        let ipet = analyze_program(&p, &model)
+            .expect("ipet")
+            .wcet_cycles("f")
+            .expect("f");
+        let structural = analyze_program_structural(&p, &model)
+            .expect("structural")
+            .wcet_cycles("f")
+            .expect("f");
+        // cmp(1) + not-taken(1) + 10 alu + b(3) + ret(4) = 19.
+        assert_eq!(ipet, 19);
+        assert_eq!(structural, 21);
+    }
+
     fn loop_function(bound: Option<u32>) -> Function {
         // bb0 -> bb1(header: cmp, cond) -> bb2(body: 3 alu) -> bb1; exit bb3
         let mut loop_bounds = Map::new();
@@ -436,9 +736,15 @@ mod tests {
         Function {
             name: "f".into(),
             blocks: vec![
-                Block { insns: vec![], terminator: Terminator::Branch(BlockId(1)) },
                 Block {
-                    insns: vec![Insn::Cmp { rn: Reg::R1, src: Operand::Imm(8) }],
+                    insns: vec![],
+                    terminator: Terminator::Branch(BlockId(1)),
+                },
+                Block {
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R1,
+                        src: Operand::Imm(8),
+                    }],
                     terminator: Terminator::CondBranch {
                         cond: Cond::Lt,
                         taken: BlockId(2),
@@ -449,7 +755,10 @@ mod tests {
                     insns: (0..3).map(|_| alu()).collect(),
                     terminator: Terminator::Branch(BlockId(1)),
                 },
-                Block { insns: vec![], terminator: Terminator::Return },
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Return,
+                },
             ],
             loop_bounds,
             frame_size: 0,
@@ -463,12 +772,37 @@ mod tests {
         let mut p16 = Program::new();
         p16.add_function(loop_function(Some(16)));
         let model = CycleModel::pg32();
-        let w8 = analyze_program(&p8, &model).expect("w8").wcet_cycles("f").expect("f");
-        let w16 = analyze_program(&p16, &model).expect("w16").wcet_cycles("f").expect("f");
-        // iteration cost: header cmp(1)+taken(3) + body 3 alu(3)+b(3) = 10
-        // loop = (bound+1)*10; plus entry b(3) + exit ret(4).
-        assert_eq!(w8, 3 + 9 * 10 + 4);
-        assert_eq!(w16, 3 + 17 * 10 + 4);
+        let w8 = analyze_program(&p8, &model)
+            .expect("w8")
+            .wcet_cycles("f")
+            .expect("f");
+        let w16 = analyze_program(&p16, &model)
+            .expect("w16")
+            .wcet_cycles("f")
+            .expect("f");
+        // IPET charges the body exactly `bound` times and the header
+        // once more: entry b(3) + bound × [cmp(1) + taken(3) + 3 alu +
+        // b(3)] + final check cmp(1) + not-taken(1) + ret(4).
+        assert_eq!(w8, 3 + 8 * 10 + 1 + 1 + 4);
+        assert_eq!(w16, 3 + 16 * 10 + 1 + 1 + 4);
+    }
+
+    #[test]
+    fn ipet_is_tighter_than_structural_on_loops() {
+        let mut p = Program::new();
+        p.add_function(loop_function(Some(8)));
+        let model = CycleModel::pg32();
+        let ipet = analyze_program(&p, &model)
+            .expect("ipet")
+            .wcet_cycles("f")
+            .expect("f");
+        let structural = analyze_program_structural(&p, &model)
+            .expect("structural")
+            .wcet_cycles("f")
+            .expect("f");
+        // Structural: (8+1) × worst iteration (10) + entry 3 + ret 4.
+        assert_eq!(structural, 3 + 9 * 10 + 4);
+        assert!(ipet < structural, "{ipet} vs {structural}");
     }
 
     #[test]
@@ -489,7 +823,9 @@ mod tests {
         let mut p = Program::new();
         p.add_function(straight_function("leaf", 7));
         let mut caller = straight_function("caller", 1);
-        caller.blocks[0].insns.push(Insn::Call { func: "leaf".into() });
+        caller.blocks[0].insns.push(Insn::Call {
+            func: "leaf".into(),
+        });
         p.add_function(caller);
         let r = analyze_program(&p, &CycleModel::pg32()).expect("analysis");
         let leaf = r.wcet_cycles("leaf").expect("leaf");
@@ -519,10 +855,16 @@ mod tests {
         let f = Function {
             name: "f".into(),
             blocks: vec![
-                Block { insns: vec![], terminator: Terminator::Branch(BlockId(1)) },
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Branch(BlockId(1)),
+                },
                 // outer header
                 Block {
-                    insns: vec![Insn::Cmp { rn: Reg::R1, src: Operand::Imm(4) }],
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R1,
+                        src: Operand::Imm(4),
+                    }],
                     terminator: Terminator::CondBranch {
                         cond: Cond::Lt,
                         taken: BlockId(2),
@@ -531,7 +873,10 @@ mod tests {
                 },
                 // inner header
                 Block {
-                    insns: vec![Insn::Cmp { rn: Reg::R2, src: Operand::Imm(6) }],
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R2,
+                        src: Operand::Imm(6),
+                    }],
                     terminator: Terminator::CondBranch {
                         cond: Cond::Lt,
                         taken: BlockId(3),
@@ -543,7 +888,10 @@ mod tests {
                     insns: vec![alu(), alu()],
                     terminator: Terminator::Branch(BlockId(2)),
                 },
-                Block { insns: vec![], terminator: Terminator::Return },
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Return,
+                },
             ],
             loop_bounds,
             frame_size: 0,
@@ -554,10 +902,18 @@ mod tests {
             .expect("analysis")
             .wcet_cycles("f")
             .expect("f");
-        // inner iteration: header 1+3 + body 2+3 = 9 → inner loop (6+1)*9 = 63
-        // outer iteration: outer header 1+3 + inner 63 = 67 → outer (4+1)*67 = 335
-        // + entry 3 + ret 4 = 342
-        assert_eq!(w, 342);
+        // Inner latch circuit: header 1+3 + body 2+3 = 9; six of them
+        // plus the inner final check (1 + not-taken 1) = 56 per outer
+        // iteration. Outer circuit: 1 + 3 + 56 = 60; four of them plus
+        // the outer final check (1 + 1), entry 3, ret 4.
+        assert_eq!(w, 3 + 4 * 60 + 1 + 1 + 4);
+        // And that is strictly below the structural 342.
+        let s = analyze_program_structural(&p, &CycleModel::pg32())
+            .expect("structural")
+            .wcet_cycles("f")
+            .expect("f");
+        assert_eq!(s, 342);
+        assert!(w < s);
     }
 
     #[test]
@@ -565,8 +921,14 @@ mod tests {
         let f = Function {
             name: "f".into(),
             blocks: vec![
-                Block { insns: vec![alu()], terminator: Terminator::Return },
-                Block { insns: (0..100).map(|_| alu()).collect(), terminator: Terminator::Return },
+                Block {
+                    insns: vec![alu()],
+                    terminator: Terminator::Return,
+                },
+                Block {
+                    insns: (0..100).map(|_| alu()).collect(),
+                    terminator: Terminator::Return,
+                },
             ],
             loop_bounds: Map::new(),
             frame_size: 0,
@@ -584,5 +946,170 @@ mod tests {
         let r = analyze_program(&p, &CycleModel::pg32()).expect("analysis");
         // 100 cycles at 50 MHz = 2 µs.
         assert!((r.wcet_us("f", 50.0).expect("f") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn irreducible_cfg_is_rejected_by_both_engines() {
+        // 0 branches into a 1 ↔ 2 cycle at both nodes: no header
+        // dominates the other, so there is no natural loop to condense
+        // and the flow solver's structural fallback rejects it too.
+        let f = Function {
+            name: "f".into(),
+            blocks: vec![
+                Block {
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R0,
+                        src: Operand::Imm(0),
+                    }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Eq,
+                        taken: BlockId(1),
+                        fallthrough: BlockId(2),
+                    },
+                },
+                Block {
+                    insns: vec![alu()],
+                    terminator: Terminator::Branch(BlockId(2)),
+                },
+                Block {
+                    insns: vec![alu()],
+                    terminator: Terminator::Branch(BlockId(1)),
+                },
+            ],
+            loop_bounds: Map::new(),
+            frame_size: 0,
+        };
+        let mut p = Program::new();
+        p.add_function(f);
+        assert!(matches!(
+            analyze_program(&p, &CycleModel::pg32()),
+            Err(WcetError::IrreducibleCfg(_))
+        ));
+    }
+
+    #[test]
+    fn exclusive_branches_tighten_the_dag_bound() {
+        // Two diamonds testing R0 (a parameter, never written): r0 < 3
+        // guards a heavy arm, r0 > 7 guards another. Value-wise only one
+        // can fire; the structural engine charges both.
+        let heavy = |n: usize| Block {
+            insns: (0..n).map(|_| alu()).collect(),
+            terminator: Terminator::Branch(BlockId(3)),
+        };
+        let f = Function {
+            name: "f".into(),
+            blocks: vec![
+                Block {
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R1,
+                        src: Operand::Imm(3),
+                    }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Lt,
+                        taken: BlockId(1),
+                        fallthrough: BlockId(2),
+                    },
+                },
+                heavy(50),
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Branch(BlockId(3)),
+                },
+                Block {
+                    insns: vec![Insn::Cmp {
+                        rn: Reg::R1,
+                        src: Operand::Imm(7),
+                    }],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Gt,
+                        taken: BlockId(4),
+                        fallthrough: BlockId(5),
+                    },
+                },
+                Block {
+                    insns: (0..50).map(|_| alu()).collect(),
+                    terminator: Terminator::Branch(BlockId(6)),
+                },
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Branch(BlockId(6)),
+                },
+                Block {
+                    insns: vec![],
+                    terminator: Terminator::Return,
+                },
+            ],
+            loop_bounds: Map::new(),
+            frame_size: 0,
+        };
+        let mut p = Program::new();
+        p.add_function(f);
+        let model = CycleModel::pg32();
+        let ipet = analyze_program(&p, &model)
+            .expect("ipet")
+            .wcet_cycles("f")
+            .expect("f");
+        let structural = analyze_program_structural(&p, &model)
+            .expect("structural")
+            .wcet_cycles("f")
+            .expect("f");
+        // One heavy arm (50) plus one light arm; structurally both stack.
+        assert!(structural >= ipet + 50, "{ipet} vs {structural}");
+        // cmp(1)+taken(3)+50+b(3) + cmp(1)+nt(1)+b(3) + ret(4) = 66.
+        assert_eq!(ipet, 66);
+    }
+
+    #[test]
+    fn analysis_cache_replays_unchanged_functions() {
+        let mut p = Program::new();
+        p.add_function(straight_function("leaf", 7));
+        let mut caller = straight_function("caller", 1);
+        caller.blocks[0].insns.push(Insn::Call {
+            func: "leaf".into(),
+        });
+        p.add_function(caller);
+        let model = CycleModel::pg32();
+        let cache = AnalysisCache::new();
+        let a = analyze_program_cached(&p, &model, &cache).expect("first");
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        let b = analyze_program_cached(&p, &model, &cache).expect("second");
+        assert_eq!(a, b);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        // Cached and uncached agree.
+        assert_eq!(a, analyze_program(&p, &model).expect("uncached"));
+
+        // Changing the *leaf* re-keys the caller too (its callee bound
+        // is part of the key).
+        let mut p2 = p.clone();
+        p2.functions.get_mut("leaf").expect("leaf").blocks[0]
+            .insns
+            .push(alu());
+        let c = analyze_program_cached(&p2, &model, &cache).expect("third");
+        assert_eq!((cache.hits(), cache.misses()), (2, 4));
+        assert!(c.wcet_cycles("caller") > a.wcet_cycles("caller"));
+        assert_eq!(c, analyze_program(&p2, &model).expect("uncached"));
+    }
+
+    #[test]
+    fn ipet_never_exceeds_structural_on_every_fixture() {
+        let model = CycleModel::pg32();
+        let fixtures: Vec<Function> = vec![
+            straight_function("f", 5),
+            loop_function(Some(8)),
+            loop_function(Some(0)),
+        ];
+        for f in fixtures {
+            let mut p = Program::new();
+            p.add_function(f);
+            let ipet = analyze_program(&p, &model)
+                .expect("ipet")
+                .wcet_cycles("f")
+                .expect("f");
+            let s = analyze_program_structural(&p, &model)
+                .expect("structural")
+                .wcet_cycles("f")
+                .expect("f");
+            assert!(ipet <= s, "{ipet} > {s}");
+        }
     }
 }

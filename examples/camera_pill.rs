@@ -17,7 +17,11 @@ fn frame_cost(machine: &mut Machine, seed: u32) -> (u64, f64) {
     let mut dev = camera_pill::frame_device(seed);
     let (mut cycles, mut energy) = (0u64, 0.0f64);
     for (task, _) in camera_pill::TASKS {
-        let args: &[i32] = if task == "encrypt" { &[0x13579BDF] } else { &[] };
+        let args: &[i32] = if task == "encrypt" {
+            &[0x13579BDF]
+        } else {
+            &[]
+        };
         let r = machine.call(task, args, &mut dev).expect("task runs");
         cycles += r.cycles;
         energy += r.energy_pj;
@@ -26,7 +30,10 @@ fn frame_cost(machine: &mut Machine, seed: u32) -> (u64, f64) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("camera pill — capture → compress → encrypt → transmit @ {} MHz\n", camera_pill::CLOCK_MHZ);
+    println!(
+        "camera pill — capture → compress → encrypt → transmit @ {} MHz\n",
+        camera_pill::CLOCK_MHZ
+    );
 
     // Traditional toolchain baseline.
     let ir = compile_to_ir(camera_pill::SOURCE)?;
@@ -64,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base_cycles,
         base_energy / 1e6
     );
-    println!("  TeamPlay:    {:>9} cycles  {:>9.1} µJ", tp_cycles, tp_energy / 1e6);
+    println!(
+        "  TeamPlay:    {:>9} cycles  {:>9.1} µJ",
+        tp_cycles,
+        tp_energy / 1e6
+    );
     println!(
         "  improvement: {:>8.1} %        {:>8.1} %   (paper: 18 %, 19 %)",
         (base_cycles - tp_cycles) as f64 / base_cycles as f64 * 100.0,

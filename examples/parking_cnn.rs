@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let acc = classification_accuracy(&net, 200, 99);
-    println!("\nclassification accuracy over 200 lots: {:.1} %", acc * 100.0);
+    println!(
+        "\nclassification accuracy over 200 lots: {:.1} %",
+        acc * 100.0
+    );
 
     // Cortex-M0 leg: per-layer Pareto variants.
     let ir = compile_to_ir(CONV_KERNEL_SOURCE)?;
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         7,
     );
     println!("\nconv-layer compiler variants (the designer's menu, Section IV-D):");
-    println!("  {:<4} {:>11} {:>12} {:>10}", "id", "WCET (µs)", "energy (µJ)", "halfwords");
+    println!(
+        "  {:<4} {:>11} {:>12} {:>10}",
+        "id", "WCET (µs)", "energy (µJ)", "halfwords"
+    );
     for (i, v) in variants.iter().enumerate() {
         println!(
             "  v{:<3} {:>11.1} {:>12.2} {:>10}",

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nschedule (single predictable core):");
     for e in &outcome.schedule.entries {
-        println!("  {:<8} {:>8.1} → {:>8.1} µs", e.task, e.start_us, e.finish_us);
+        println!(
+            "  {:<8} {:>8.1} → {:>8.1} µs",
+            e.task, e.start_us, e.finish_us
+        );
     }
     println!(
         "  makespan {:.1} µs, total energy {:.2} µJ",

@@ -30,7 +30,11 @@ int modexp(int base, int exp, int m) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("side-channel audit of square-and-multiply modexp\n");
-    let spec = SecretSpec { arg_index: 1, class0: 0x0001, class1: 0x7FFF };
+    let spec = SecretSpec {
+        arg_index: 1,
+        class0: 0x0001,
+        class1: 0x7FFF,
+    };
 
     // Plain build.
     let ir = compile_to_ir(SOURCE)?;
@@ -57,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "| timing | Welch t | {:.1} | {:.2} |",
         before.time.welch_t, after.time.welch_t
     );
-    println!("| timing | KS distance | {:.2} | {:.2} |", before.time.ks, after.time.ks);
+    println!(
+        "| timing | KS distance | {:.2} | {:.2} |",
+        before.time.ks, after.time.ks
+    );
     println!(
         "| timing | indiscernibility | {:.2} | {:.2} |",
         before.time.indiscernibility, after.time.indiscernibility
@@ -76,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .filter(|a| a.verdict == teamplay_security::Verdict::Leaking)
             .count(),
-        if after.leaks() { "STILL LEAKING" } else { "indistinguishable (TVLA threshold)" }
+        if after.leaks() {
+            "STILL LEAKING"
+        } else {
+            "indistinguishable (TVLA threshold)"
+        }
     );
     Ok(())
 }

@@ -8,7 +8,9 @@
 
 use teamplay_apps::spacewire;
 use teamplay_compiler::{compile_module, pareto_front_for, CompilerConfig, FpaConfig};
-use teamplay_coord::{dvfs_options, gr712_levels, schedule_energy_aware, CoordTask, ExecOption, TaskSet};
+use teamplay_coord::{
+    dvfs_options, gr712_levels, schedule_energy_aware, CoordTask, ExecOption, TaskSet,
+};
 use teamplay_csl::extract_model;
 use teamplay_energy::{analyze_program_energy, IsaEnergyModel};
 use teamplay_isa::CycleModel;
@@ -31,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_err(std::io::Error::other)?;
     let mut dev = spacewire::frame_device(7);
     for task in spacewire::TASKS {
-        machine.call(task, &[], &mut dev).map_err(std::io::Error::other)?;
+        machine
+            .call(task, &[], &mut dev)
+            .map_err(std::io::Error::other)?;
     }
     println!(
         "downlink packet: dest {:#04x}, protocol {:#04x}, {} payload words, crc {:#06x}\n",
@@ -78,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ct.deadline_us = spec.deadline.map(|d| d.as_us());
         coord_tasks.push(ct);
     }
-    let set = TaskSet::new(coord_tasks, vec!["cpu0".into()], spacewire::FRAME_DEADLINE_US)?;
+    let set = TaskSet::new(
+        coord_tasks,
+        vec!["cpu0".into()],
+        spacewire::FRAME_DEADLINE_US,
+    )?;
     let schedule = schedule_energy_aware(&set)?;
     schedule.validate(&set).map_err(std::io::Error::other)?;
 

@@ -40,10 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let est = uav::mission_estimate(&battery, outcome.frame_energy_uj, 0.5);
     println!("\nmission estimate:");
     println!("  mechanical power   {:>6.1} W", uav::MECHANICAL_POWER_W);
-    println!("  software power     {:>6.2} W  (paper envelope: 2–11 W)", est.software_power_w);
+    println!(
+        "  software power     {:>6.2} W  (paper envelope: 2–11 W)",
+        est.software_power_w
+    );
     println!("  total power        {:>6.2} W", est.total_power_w);
     println!("  flight endurance   {:>6.1} min", est.endurance_min);
-    println!("  survey coverage    {:>6.1} km²", uav::coverage_km2(est.endurance_min));
+    println!(
+        "  survey coverage    {:>6.1} km²",
+        uav::coverage_km2(est.endurance_min)
+    );
 
     // What an 18 % software-energy saving buys (the paper's headline).
     let improved = uav::mission_estimate(&battery, outcome.frame_energy_uj * 0.82, 0.5);

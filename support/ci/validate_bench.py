@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate every committed BENCH_*.json baseline in one CI step.
+
+Each baseline file has a named rule set below; the script fails if
+
+* an expected baseline file is missing,
+* a BENCH_*.json exists that no rule covers (add a rule when adding a
+  bench — silent, unvalidated baselines are how gates rot), or
+* any per-file rule fails.
+
+Run from the repository root: ``python3 support/ci/validate_bench.py``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+
+def validate_search(data: dict) -> str:
+    """BENCH_search.json: the phase-ordering search-throughput record."""
+    po = data["phase_ordering"]
+    for field in ("genome_dims", "evaluations", "distinct_pipelines", "distinct_configs"):
+        assert isinstance(po[field], int) and po[field] > 0, field
+    assert po["distinct_pipelines"] <= po["distinct_configs"] <= po["evaluations"]
+    assert data["cache_misses"] == po["distinct_configs"], "cache key space drifted"
+    return f"phase ordering {po['distinct_pipelines']}/{po['distinct_configs']} distinct"
+
+
+def validate_sched(data: dict) -> str:
+    """BENCH_sched.json: HEFT scheduler quality per instance family."""
+    assert data["scheduler"] == "heft_upward_rank_insertion"
+    fams = data["families"]
+    assert len(fams) == 6, "six instance families expected"
+    for f in fams:
+        assert f["instances"] > 0 and 0 <= f["feasible"] <= f["instances"], f
+        assert abs(f["feasibility_rate"] - f["feasible"] / f["instances"]) < 1e-9, f
+        if f["feasible"]:
+            assert f["mean_makespan_us"] > 0 and f["mean_energy_uj"] > 0, f
+        # The heuristic never beats the exhaustive optimum.
+        assert f["mean_optimal_gap_pct"] >= -1e-9, f
+    loose = [f for f in fams if f["name"].endswith("_loose")]
+    assert all(f["feasibility_rate"] == 1.0 for f in loose), "loose deadlines must fit"
+    assert 0 <= data["a2_mean_gap_pct"] < 5.0, "A2 gap regressed"
+    assert data["a2_mean_saving_pct"] > 5.0, "multi-version saving collapsed"
+    rates = {f["name"]: f["feasibility_rate"] for f in fams}
+    return f"feasibility {rates}"
+
+
+def validate_wcet(data: dict) -> str:
+    """BENCH_wcet.json: IPET-vs-structural tightness per app kernel."""
+    assert data["engine"] == "ipet_loop_nest_dp"
+    kernels = data["kernels"]
+    assert len(kernels) == 4, "four app kernels expected"
+    strict = 0
+    for k in kernels:
+        assert k["ipet_cycles"] > 0 and k["structural_cycles"] > 0, k
+        # IPET may only sharpen the structural bound, never exceed it.
+        assert k["ipet_cycles"] <= k["structural_cycles"], k
+        ratio = k["tightness_ratio"]
+        assert 0.0 < ratio <= 1.0, k
+        assert abs(ratio - k["ipet_cycles"] / k["structural_cycles"]) < 1e-9, k
+        # The shared flow solver must tighten energy in lock-step.
+        assert 0.0 < k["ipet_wcec_pj"] <= k["structural_wcec_pj"], k
+        assert 0.0 < k["wcec_tightness_ratio"] <= 1.0, k
+        if k["ipet_cycles"] < k["structural_cycles"]:
+            strict += 1
+    assert strict >= 1, "IPET must be strictly tighter on at least one kernel"
+    assert data["analyses_per_sec_uncached"] > 0, "throughput record missing"
+    assert data["analyses_per_sec_memoized"] > 0, "memoized throughput record missing"
+    ratios = {k["app"]: round(k["tightness_ratio"], 3) for k in kernels}
+    return f"tightness {ratios}, {strict}/4 strict"
+
+
+RULES = {
+    "BENCH_search.json": validate_search,
+    "BENCH_sched.json": validate_sched,
+    "BENCH_wcet.json": validate_wcet,
+}
+
+
+def main() -> int:
+    root = os.getcwd()
+    present = {os.path.basename(p) for p in glob.glob(os.path.join(root, "BENCH_*.json"))}
+    missing = sorted(set(RULES) - present)
+    if missing:
+        print(f"FAIL: missing baseline file(s): {', '.join(missing)}")
+        return 1
+    unknown = sorted(present - set(RULES))
+    if unknown:
+        print(
+            f"FAIL: no validation rule for {', '.join(unknown)} — "
+            "add one to support/ci/validate_bench.py"
+        )
+        return 1
+    failures = 0
+    for name in sorted(RULES):
+        with open(os.path.join(root, name)) as fh:
+            data = json.load(fh)
+        try:
+            summary = RULES[name](data)
+        except (AssertionError, KeyError, TypeError, ZeroDivisionError) as exc:
+            print(f"FAIL: {name}: {exc!r}")
+            failures += 1
+            continue
+        print(f"ok: {name}: {summary}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,10 @@ impl Criterion {
 
     /// Run one benchmark and print its median iteration time.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
 
         // Warm-up: let the closure run until the warm-up budget is spent,
         // scaling the iteration count to something measurable.
@@ -78,7 +81,12 @@ impl Criterion {
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         let median = samples[samples.len() / 2];
-        println!("{name:<40} {:>12}/iter ({} samples × {} iters)", fmt_time(median), samples.len(), b.iters);
+        println!(
+            "{name:<40} {:>12}/iter ({} samples × {} iters)",
+            fmt_time(median),
+            samples.len(),
+            b.iters
+        );
         self
     }
 

@@ -40,7 +40,9 @@ pub struct Pool {
 impl Pool {
     /// A pool that runs work on `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Pool {
-        Pool { threads: threads.max(1) }
+        Pool {
+            threads: threads.max(1),
+        }
     }
 
     /// A pool sized from `MINIPOOL_THREADS` if set, otherwise
@@ -51,7 +53,9 @@ impl Pool {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
         Pool::new(threads)
     }
@@ -113,7 +117,10 @@ impl Pool {
             debug_assert!(slots[i].is_none(), "index {i} evaluated twice");
             slots[i] = Some(r);
         }
-        slots.into_iter().map(|s| s.expect("every index evaluated exactly once")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index evaluated exactly once"))
+            .collect()
     }
 
     /// Run `f` with a [`Scope`] whose spawned tasks execute on this
@@ -235,7 +242,11 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     /// Queue a task for execution on the pool. Tasks run in FIFO order
     /// across the workers; completion is awaited by `Pool::scope`.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
-        self.shared.queue.lock().expect("job queue lock").push_back(Box::new(job));
+        self.shared
+            .queue
+            .lock()
+            .expect("job queue lock")
+            .push_back(Box::new(job));
         self.shared.ready.notify_one();
     }
 }

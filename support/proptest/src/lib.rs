@@ -30,7 +30,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
     }
 }
 
@@ -66,7 +69,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { sampler: Rc::new(move |rng| self.sample(rng)) }
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| self.sample(rng)),
+        }
     }
 }
 
@@ -389,20 +394,29 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> SizeRange {
-        SizeRange { lo: n, hi_inclusive: n }
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 
 impl From<std::ops::Range<usize>> for SizeRange {
     fn from(r: std::ops::Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty collection size range");
-        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
@@ -420,7 +434,10 @@ pub mod collection {
 
     /// `Vec` of `size` elements drawn from `elem`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -445,7 +462,10 @@ pub mod collection {
     where
         S::Value: Ord,
     {
-        BTreeSetStrategy { elem, size: size.into() }
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     /// See [`btree_set`].
@@ -475,7 +495,11 @@ pub mod collection {
     where
         K::Value: Ord,
     {
-        BTreeMapStrategy { key, value, size: size.into() }
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     /// See [`btree_map`].
@@ -493,7 +517,9 @@ pub mod collection {
         type Value = BTreeMap<K::Value, V::Value>;
         fn sample(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
             let n = self.size.sample(rng);
-            (0..n).map(|_| (self.key.sample(rng), self.value.sample(rng))).collect()
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
         }
     }
 }
@@ -502,7 +528,11 @@ pub use collection::{BTreeMapStrategy, BTreeSetStrategy, VecStrategy};
 
 /// Build the deterministic generator for one test case.
 pub fn case_rng(case: u64) -> StdRng {
-    StdRng::seed_from_u64(0x70_72_6F_70u64.wrapping_mul(0x9E37_79B9).wrapping_add(case))
+    StdRng::seed_from_u64(
+        0x70_72_6F_70u64
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(case),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -556,7 +586,9 @@ macro_rules! prop_assert_ne {
         let (left, right) = (&$a, &$b);
         $crate::prop_assert!(
             *left != *right,
-            "assertion failed: `{:?}` == `{:?}`", left, right
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
         );
     }};
 }
@@ -597,8 +629,8 @@ macro_rules! proptest {
 /// The common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 

@@ -169,7 +169,9 @@ impl Deserialize for u64 {
         match v {
             Value::U64(n) => Ok(*n),
             _ => {
-                let n = v.as_int().ok_or_else(|| DeError(format!("expected integer, got {v:?}")))?;
+                let n = v
+                    .as_int()
+                    .ok_or_else(|| DeError(format!("expected integer, got {v:?}")))?;
                 u64::try_from(n).map_err(|_| DeError(format!("integer {n} out of range for u64")))
             }
         }
@@ -199,7 +201,8 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_f64().ok_or_else(|| DeError(format!("expected number, got {v:?}")))
+        v.as_f64()
+            .ok_or_else(|| DeError(format!("expected number, got {v:?}")))
     }
 }
 
@@ -350,7 +353,11 @@ impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
 fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
     entries: impl Iterator<Item = (&'a K, &'a V)>,
 ) -> Value {
-    Value::Seq(entries.map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+    Value::Seq(
+        entries
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
 }
 
 fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
@@ -444,7 +451,10 @@ mod tests {
         assert_eq!(u64::from_value(&u64::MAX.to_value()), Ok(u64::MAX));
         assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
         assert_eq!(bool::from_value(&true.to_value()), Ok(true));
-        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
     }
 
     #[test]

@@ -19,17 +19,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
-                    )
+                    format!("m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));")
                 })
                 .collect();
             format!("let mut m = ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(m)")
         }
         Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("::serde::Value::Seq(vec![{}])", items.join(", "))
         }
         Shape::UnitStruct => "::serde::Value::Null".to_string(),
@@ -40,9 +39,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 .map(|v| {
                     let vn = &v.name;
                     match &v.shape {
-                        VariantShape::Unit => format!(
-                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
-                        ),
+                        VariantShape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),")
+                        }
                         VariantShape::Tuple(1) => format!(
                             "{name}::{vn}(a0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
                              ::serde::Serialize::to_value(a0))]),"
@@ -100,9 +99,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::field(m, {f:?})?)?"
-                    )
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(m, {f:?})?)?")
                 })
                 .collect();
             format!(

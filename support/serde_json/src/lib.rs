@@ -44,7 +44,10 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 /// [`Error`] with the position of the first malformed construct, or the
 /// deserialiser's type mismatch.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -73,18 +76,32 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             }
         }
         Value::Str(s) => write_string(out, s),
-        Value::Seq(items) => write_delimited(out, items.iter(), indent, depth, ('[', ']'), |o, item, ind, d| {
-            write_value(o, item, ind, d);
-        }),
+        Value::Seq(items) => write_delimited(
+            out,
+            items.iter(),
+            indent,
+            depth,
+            ('[', ']'),
+            |o, item, ind, d| {
+                write_value(o, item, ind, d);
+            },
+        ),
         Value::Map(entries) => {
-            write_delimited(out, entries.iter(), indent, depth, ('{', '}'), |o, (k, val), ind, d| {
-                write_string(o, k);
-                o.push(':');
-                if ind.is_some() {
-                    o.push(' ');
-                }
-                write_value(o, val, ind, d);
-            });
+            write_delimited(
+                out,
+                entries.iter(),
+                indent,
+                depth,
+                ('{', '}'),
+                |o, (k, val), ind, d| {
+                    write_string(o, k);
+                    o.push(':');
+                    if ind.is_some() {
+                        o.push(' ');
+                    }
+                    write_value(o, val, ind, d);
+                },
+            );
         }
     }
 }
@@ -157,7 +174,10 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
         }
     }
 
@@ -195,7 +215,9 @@ impl Parser<'_> {
                             self.pos += 1;
                             return Ok(Value::Seq(items));
                         }
-                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -222,12 +244,17 @@ impl Parser<'_> {
                             self.pos += 1;
                             return Ok(Value::Map(entries));
                         }
-                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
             Some(c) if *c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(Error(format!("unexpected `{}` at byte {}", *c as char, self.pos))),
+            Some(c) => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                *c as char, self.pos
+            ))),
         }
     }
 
@@ -323,7 +350,16 @@ mod tests {
 
     #[test]
     fn scalars_round_trip() {
-        for json in ["null", "true", "false", "0", "-7", "18446744073709551615", "1.5", "\"hi\""] {
+        for json in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-7",
+            "18446744073709551615",
+            "1.5",
+            "\"hi\"",
+        ] {
             let v: Value = from_str(json).expect(json);
             assert_eq!(to_string(&v).expect("print"), json);
         }
@@ -333,7 +369,10 @@ mod tests {
     fn nested_structures_round_trip() {
         let v = Value::Map(vec![
             ("name".into(), Value::Str("x\n\"quoted\"".into())),
-            ("items".into(), Value::Seq(vec![Value::I64(1), Value::Null, Value::Bool(true)])),
+            (
+                "items".into(),
+                Value::Seq(vec![Value::I64(1), Value::Null, Value::Bool(true)]),
+            ),
             ("empty".into(), Value::Seq(vec![])),
         ]);
         let compact = to_string(&v).expect("print");

@@ -15,7 +15,9 @@ fn sar_tasks() -> Vec<ComplexTask> {
 #[test]
 fn profiles_schedule_and_mission_compose() {
     let workflow = ComplexWorkflow::new(ComplexPlatform::tk1());
-    let outcome = workflow.run(&sar_tasks(), uav::FRAME_PERIOD_US).expect("workflow");
+    let outcome = workflow
+        .run(&sar_tasks(), uav::FRAME_PERIOD_US)
+        .expect("workflow");
 
     // The profile covers every (task, core, op) combination.
     let platform = ComplexPlatform::tk1();
@@ -51,12 +53,20 @@ fn gpu_hostile_pipeline_stays_on_cpu() {
     let tasks = vec![
         ComplexTask {
             name: "serial".into(),
-            work: WorkItem { ref_mcycles: 40.0, gpu_speedup: 0.2, utilisation: 0.8 },
+            work: WorkItem {
+                ref_mcycles: 40.0,
+                gpu_speedup: 0.2,
+                utilisation: 0.8,
+            },
             after: vec![],
         },
         ComplexTask {
             name: "branchy".into(),
-            work: WorkItem { ref_mcycles: 25.0, gpu_speedup: 0.3, utilisation: 0.7 },
+            work: WorkItem {
+                ref_mcycles: 25.0,
+                gpu_speedup: 0.3,
+                utilisation: 0.7,
+            },
             after: vec!["serial".into()],
         },
     ];
@@ -75,13 +85,19 @@ fn gpu_hostile_pipeline_stays_on_cpu() {
 #[test]
 fn glue_reflects_the_actual_mapping() {
     let workflow = ComplexWorkflow::new(ComplexPlatform::tk1());
-    let outcome = workflow.run(&sar_tasks(), uav::FRAME_PERIOD_US).expect("workflow");
+    let outcome = workflow
+        .run(&sar_tasks(), uav::FRAME_PERIOD_US)
+        .expect("workflow");
     for e in &outcome.schedule.entries {
         assert!(
-            outcome.parallel_glue.contains(&format!("thread_{}", e.core)),
+            outcome
+                .parallel_glue
+                .contains(&format!("thread_{}", e.core)),
             "glue missing thread for {}",
             e.core
         );
-        assert!(outcome.parallel_glue.contains(&format!("task_{}();", e.task)));
+        assert!(outcome
+            .parallel_glue
+            .contains(&format!("task_{}();", e.task)));
     }
 }

@@ -45,7 +45,10 @@ fn pipelines_under_test() -> Vec<(String, Pipeline)> {
     out.push(("preset:o2".into(), Pipeline::o2()));
     out.push(("preset:o3".into(), Pipeline::o3()));
     for (app, pipeline) in teamplay_apps::recommended_pipelines() {
-        out.push((format!("app:{app}"), pipeline.parse().expect("tuned pipelines parse")));
+        out.push((
+            format!("app:{app}"),
+            pipeline.parse().expect("tuned pipelines parse"),
+        ));
     }
     out
 }
@@ -55,7 +58,11 @@ const ARG_POOL: [i32; 8] = [0, 1, -1, 7, -13, 255, 4096, -100_000];
 
 fn arg_sets(arity: usize) -> Vec<Vec<i32>> {
     (0..3)
-        .map(|round| (0..arity).map(|i| ARG_POOL[(i + round * 3) % ARG_POOL.len()]).collect())
+        .map(|round| {
+            (0..arity)
+                .map(|i| ARG_POOL[(i + round * 3) % ARG_POOL.len()])
+                .collect()
+        })
         .collect()
 }
 
@@ -64,7 +71,10 @@ fn arg_sets(arity: usize) -> Vec<Vec<i32>> {
 fn run(module: &IrModule, func: &str, args: &[i32]) -> (Option<i32>, Vec<(u8, i32)>) {
     let mut ports = RecordingPorts::new();
     for port in 0..4u8 {
-        ports.queue(port, (0..512).map(|i| (i * 37 + i32::from(port) * 11 + 5) & 0xFFFF));
+        ports.queue(
+            port,
+            (0..512).map(|i| (i * 37 + i32::from(port) * 11 + 5) & 0xFFFF),
+        );
     }
     let value = exec_module(module, func, args, &mut ports, 200_000_000)
         .unwrap_or_else(|e| panic!("{func} must run: {e:?}"));
@@ -78,7 +88,8 @@ fn every_registered_pass_and_preset_preserves_semantics_and_flow_facts() {
         let reference = compile_to_ir(src).expect("kernel compiles");
         let ref_program =
             generate_program(&reference, CodegenOpts::default()).expect("reference codegen");
-        let ref_wcet = analyze_program(&ref_program, &cm).expect("reference kernels are analysable");
+        let ref_wcet =
+            analyze_program(&ref_program, &cm).expect("reference kernels are analysable");
 
         // The scalar-argument functions are the differential drivers.
         let scalar_functions: Vec<(String, usize)> = reference
@@ -87,7 +98,10 @@ fn every_registered_pass_and_preset_preserves_semantics_and_flow_facts() {
             .filter(|f| f.params.iter().all(|p| !p.is_array))
             .map(|f| (f.name.clone(), f.params.len()))
             .collect();
-        assert!(!scalar_functions.is_empty(), "{kernel}: no scalar entry points");
+        assert!(
+            !scalar_functions.is_empty(),
+            "{kernel}: no scalar entry points"
+        );
 
         for (label, pipeline) in pipelines_under_test() {
             let mut optimised = reference.clone();
@@ -228,9 +242,11 @@ fn optimisation_levels_do_not_regress_wcet() {
         &cm,
     )
     .expect("analysable");
-    for (label, mut pm) in
-        [("o1", PassManager::o1()), ("o2", PassManager::o2()), ("o3", PassManager::o3())]
-    {
+    for (label, mut pm) in [
+        ("o1", PassManager::o1()),
+        ("o2", PassManager::o2()),
+        ("o3", PassManager::o3()),
+    ] {
         let mut optimised = reference.clone();
         pm.run(&mut optimised);
         let wcet = analyze_program(

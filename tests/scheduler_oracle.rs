@@ -60,7 +60,12 @@ fn arb_task_set() -> impl Strategy<Value = TaskSet> {
         }
         let serial: f64 = tasks
             .iter()
-            .map(|t| t.options.iter().map(|o| o.time_us).fold(f64::INFINITY, f64::min))
+            .map(|t| {
+                t.options
+                    .iter()
+                    .map(|o| o.time_us)
+                    .fold(f64::INFINITY, f64::min)
+            })
             .sum();
         let deadline = serial * rng.gen_range(0.4..2.5);
         TaskSet::new(tasks, cores, deadline).expect("generated sets are valid")

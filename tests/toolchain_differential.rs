@@ -36,15 +36,14 @@ fn arb_program() -> impl Strategy<Value = String> {
         Just("<<"),
         Just(">>"),
     ];
-    let expr = (expr_leaf.clone(), bin_op, expr_leaf.clone())
-        .prop_map(|(a, op, b)| {
-            // Mask shift amounts so semantics stay within the friendly range.
-            if op == "<<" || op == ">>" {
-                format!("(({a}) {op} (({b}) & 7))")
-            } else {
-                format!("(({a}) {op} ({b}))")
-            }
-        });
+    let expr = (expr_leaf.clone(), bin_op, expr_leaf.clone()).prop_map(|(a, op, b)| {
+        // Mask shift amounts so semantics stay within the friendly range.
+        if op == "<<" || op == ">>" {
+            format!("(({a}) {op} (({b}) & 7))")
+        } else {
+            format!("(({a}) {op} ({b}))")
+        }
+    });
     (
         proptest::collection::vec(expr, 1..5),
         2u32..9,   // loop bound
