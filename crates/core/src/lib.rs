@@ -35,5 +35,6 @@ pub mod predictable;
 pub use advisor::{advise, Advice, Confidence};
 pub use complex::{ComplexOutcome, ComplexWorkflow};
 pub use predictable::{
-    PredictableOutcome, PredictableWorkflow, TaskReport, WorkflowConfig, WorkflowError,
+    MeasureConfig, PredictableOutcome, PredictableWorkflow, TaskMeasurement, TaskReport,
+    VariantMeasurement, WorkflowConfig, WorkflowError,
 };

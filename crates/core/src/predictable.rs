@@ -17,7 +17,7 @@ use teamplay_energy::{analyze_program_energy_cached, IsaEnergyModel};
 use teamplay_isa::{CycleModel, Program};
 use teamplay_minic::{lower::lower_program, parse_and_check, FrontendError};
 use teamplay_security::{assess_leakage, ladderise, LadderReport, LeakageReport, SecretSpec};
-use teamplay_sim::GroundTruthEnergy;
+use teamplay_sim::{seeded_inputs, simulate_batch, DecodedProgram, GroundTruthEnergy};
 use teamplay_wcet::analyze_program_cached;
 
 /// Configuration of the predictable workflow: platform models, clock and
@@ -44,6 +44,64 @@ pub struct WorkflowConfig {
     /// Catalogue name (or literal pipeline string) compiled into the
     /// final build's non-task functions.
     pub default_pipeline: String,
+    /// Opt-in measurement step: simulate every front variant on the
+    /// pre-decoded engine and report the observed-vs-IPET gap per task.
+    /// `None` (the default) skips the step entirely.
+    pub measure: Option<MeasureConfig>,
+}
+
+/// Configuration of the opt-in measurement step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MeasureConfig {
+    /// Seeded input vectors simulated per variant.
+    pub runs: usize,
+    /// Inclusive lower bound of the argument range.
+    pub input_lo: i32,
+    /// Exclusive upper bound of the argument range.
+    pub input_hi: i32,
+}
+
+impl MeasureConfig {
+    /// A dozen runs over a small signed range — enough to exercise both
+    /// branch polarities of typical kernels without dominating workflow
+    /// time.
+    pub fn standard() -> MeasureConfig {
+        MeasureConfig {
+            runs: 12,
+            input_lo: -64,
+            input_hi: 64,
+        }
+    }
+}
+
+/// Observed behaviour of one Pareto-front variant under the measurement
+/// step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantMeasurement {
+    /// Index of the variant on its task's front.
+    pub variant: usize,
+    /// The variant's static IPET bound (cycles).
+    pub ipet_cycles: u64,
+    /// Worst observed cycles across the seeded runs.
+    pub observed_max_cycles: u64,
+    /// `observed_max_cycles / ipet_cycles` — the per-variant tightness
+    /// evidence (must be ≤ 1 by IPET soundness).
+    pub observed_over_ipet: f64,
+    /// Worst observed ground-truth energy across the runs (pJ).
+    pub observed_max_energy_pj: f64,
+    /// Seeded runs simulated.
+    pub runs: usize,
+}
+
+/// Measurement results for one task's whole Pareto front.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskMeasurement {
+    /// Task name.
+    pub task: String,
+    /// Implementing function.
+    pub function: String,
+    /// One record per front variant, in front order.
+    pub variants: Vec<VariantMeasurement>,
 }
 
 impl WorkflowConfig {
@@ -59,6 +117,7 @@ impl WorkflowConfig {
             seed: 0xC0FFEE,
             pipelines: teamplay_apps::catalog(),
             default_pipeline: "o2".to_string(),
+            measure: None,
         }
     }
 
@@ -117,6 +176,11 @@ pub struct PredictableOutcome {
     /// [`EvalCache`] all fronts shared (so `cache_misses` is the number
     /// of distinct configurations compiled for the whole module).
     pub search: SearchStats,
+    /// Observed-vs-IPET gap per task and front variant, from the opt-in
+    /// measurement step. Empty unless [`WorkflowConfig::measure`] is set;
+    /// tasks with array parameters are skipped (no scalar input vectors
+    /// can drive them).
+    pub measurements: Vec<TaskMeasurement>,
 }
 
 /// Workflow failures, in pipeline order.
@@ -279,6 +343,69 @@ impl PredictableWorkflow {
                 )));
             }
             variants.insert(task.name.clone(), front.variants);
+        }
+
+        // 3b. Opt-in measurement: every front variant simulated on the
+        //     pre-decoded engine over deterministic seeded inputs, so the
+        //     outcome carries observed-vs-IPET evidence next to the
+        //     static bounds. Tasks with array parameters are skipped (no
+        //     scalar input vectors can drive them).
+        let mut measurements: Vec<TaskMeasurement> = Vec::new();
+        if let Some(mc) = cfg.measure {
+            for (ti, task) in model.tasks.iter().enumerate() {
+                let func = ast.function(&task.function).expect("function exists");
+                if func.params.iter().any(|p| p.is_array) {
+                    continue;
+                }
+                let arg_count = func.params.len();
+                let mut per_variant = Vec::new();
+                for (vi, v) in variants[&task.name].iter().enumerate() {
+                    let decoded =
+                        DecodedProgram::with_models(&v.program, &cfg.cycle_model, &cfg.truth)
+                            .map_err(|e| {
+                                WorkflowError::Compile(format!(
+                                    "measure: task `{}` variant {vi}: {e}",
+                                    task.name
+                                ))
+                            })?;
+                    let inputs = seeded_inputs(
+                        cfg.seed ^ 0x3EA5_0000 ^ (((ti as u64) << 32) | vi as u64),
+                        mc.runs,
+                        arg_count,
+                        mc.input_lo,
+                        mc.input_hi,
+                    );
+                    let mut observed_cycles = 0u64;
+                    let mut observed_energy = 0.0f64;
+                    for (run, r) in simulate_batch(pool, &decoded, &task.function, &inputs)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        let r = r.map_err(|e| {
+                            WorkflowError::Compile(format!(
+                                "measure: task `{}` variant {vi} run {run}: {e}",
+                                task.name
+                            ))
+                        })?;
+                        observed_cycles = observed_cycles.max(r.cycles);
+                        observed_energy = observed_energy.max(r.energy_pj);
+                    }
+                    let ipet = v.metrics.wcet_cycles;
+                    per_variant.push(VariantMeasurement {
+                        variant: vi,
+                        ipet_cycles: ipet,
+                        observed_max_cycles: observed_cycles,
+                        observed_over_ipet: observed_cycles as f64 / ipet as f64,
+                        observed_max_energy_pj: observed_energy,
+                        runs: inputs.len(),
+                    });
+                }
+                measurements.push(TaskMeasurement {
+                    task: task.name.clone(),
+                    function: task.function.clone(),
+                    variants: per_variant,
+                });
+            }
         }
 
         // 4. Coordination: multi-version selection under the deadlines.
@@ -470,6 +597,7 @@ impl PredictableWorkflow {
             tasks,
             glue,
             search,
+            measurements,
         })
     }
 }
@@ -648,6 +776,47 @@ mod tests {
             }
             other => panic!("expected compile error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn measure_step_reports_observed_within_ipet_per_variant() {
+        let mut cfg = WorkflowConfig::pg32();
+        cfg.fpa = FpaConfig::tiny();
+        cfg.leakage_traces = 24;
+        cfg.measure = Some(MeasureConfig::standard());
+        let outcome = PredictableWorkflow::new(cfg)
+            .run(teamplay_apps::camera_pill::SOURCE)
+            .expect("workflow succeeds");
+        // All four pill tasks take scalar (or no) parameters, so every
+        // task's whole front is measured.
+        assert_eq!(outcome.measurements.len(), outcome.tasks.len());
+        for (tm, report) in outcome.measurements.iter().zip(&outcome.tasks) {
+            assert_eq!(tm.task, report.name);
+            assert_eq!(tm.variants.len(), report.variants_offered);
+            for vm in &tm.variants {
+                assert!(
+                    vm.observed_max_cycles <= vm.ipet_cycles,
+                    "task `{}` variant {}: observed {} over IPET {}",
+                    tm.task,
+                    vm.variant,
+                    vm.observed_max_cycles,
+                    vm.ipet_cycles
+                );
+                assert!(vm.observed_over_ipet > 0.0 && vm.observed_over_ipet <= 1.0);
+                assert!(vm.observed_max_energy_pj > 0.0);
+                assert_eq!(vm.runs, MeasureConfig::standard().runs);
+            }
+        }
+        // Off by default: the same workflow without the flag reports
+        // nothing (and remains deterministic either way).
+        let mut off = WorkflowConfig::pg32();
+        off.fpa = FpaConfig::tiny();
+        off.leakage_traces = 24;
+        let silent = PredictableWorkflow::new(off)
+            .run(teamplay_apps::camera_pill::SOURCE)
+            .expect("workflow succeeds");
+        assert!(silent.measurements.is_empty());
+        assert_eq!(outcome.certificate, silent.certificate);
     }
 
     #[test]

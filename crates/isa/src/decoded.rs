@@ -1,0 +1,488 @@
+//! Pre-decoded, index-addressed PG32 programs.
+//!
+//! CFG-form [`Program`]s are convenient for analysis and compilation but
+//! expensive to *execute*: every simulated step re-matches [`Operand`]s,
+//! chases `Vec<Block>` indirections and resolves call targets by name.
+//! [`decode_program`] performs all of that resolution **once**, lowering a
+//! validated program into a single flat [`DecodedOp`] array:
+//!
+//! * registers become dense `u8` indices,
+//! * flexible operands split into register/immediate op variants (no
+//!   per-step [`Operand`] match),
+//! * block terminators become ordinary ops, so one program counter
+//!   addresses the whole program and a branch is just `pc = target`,
+//! * branch targets and call targets are **global instruction indices**
+//!   (a call pushes `pc + 1`; a return pops it — no per-frame
+//!   function/block bookkeeping),
+//! * push/pop register lists live in one shared [`DecodedImage::reg_pool`]
+//!   so every op stays `Copy` and cache-dense.
+//!
+//! The decoded form is purely an ISA-level artefact: it carries no cost
+//! model. `teamplay-sim` bakes per-op cycle and energy costs on top of it
+//! to build its pre-decoded execution engine.
+
+use crate::insn::{AluOp, Cond, Insn, Operand, Reg};
+use crate::program::{Program, Terminator};
+
+/// A slice reference into [`DecodedImage::reg_pool`]: the register list of
+/// one push/pop instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegListRef {
+    /// Offset of the first register in the pool.
+    pub start: u32,
+    /// Number of registers in the list.
+    pub len: u8,
+}
+
+/// One dense PG32 operation with every name and operand indirection
+/// resolved. Register fields are indices `0..16`; `target` fields are
+/// global instruction indices into [`DecodedImage::ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedOp {
+    /// `rd = rn <op> rm`.
+    AluRR { op: AluOp, rd: u8, rn: u8, rm: u8 },
+    /// `rd = rn <op> imm`.
+    AluRI { op: AluOp, rd: u8, rn: u8, imm: i32 },
+    /// Register move.
+    MovR { rd: u8, rm: u8 },
+    /// 16-bit immediate move.
+    MovI { rd: u8, imm: i32 },
+    /// 32-bit constant materialisation (extra fetch cycle).
+    MovI32 { rd: u8, imm: i32 },
+    /// Compare two registers and latch the flags.
+    CmpR { rn: u8, rm: u8 },
+    /// Compare a register with an immediate and latch the flags.
+    CmpI { rn: u8, imm: i32 },
+    /// Conditional select on the latched flags.
+    Csel { cond: Cond, rd: u8, rt: u8, rf: u8 },
+    /// `rd = mem[base + roff]`.
+    LdrR { rd: u8, base: u8, roff: u8 },
+    /// `rd = mem[base + imm]`.
+    LdrI { rd: u8, base: u8, imm: i32 },
+    /// `mem[base + roff] = rs`.
+    StrR { rs: u8, base: u8, roff: u8 },
+    /// `mem[base + imm] = rs`.
+    StrI { rs: u8, base: u8, imm: i32 },
+    /// Push the pooled register list (ascending order).
+    Push { list: RegListRef },
+    /// Pop the pooled register list (reverse of push).
+    Pop { list: RegListRef },
+    /// Call: push `pc + 1`, jump to the callee's entry index.
+    Call { target: u32 },
+    /// Port input into `rd`.
+    In { rd: u8, port: u8 },
+    /// Port output from `rs`.
+    Out { rs: u8, port: u8 },
+    /// One idle cycle.
+    Nop,
+    /// Unconditional jump (was a block terminator).
+    Branch { target: u32 },
+    /// Two-way jump on the latched flags (was a block terminator).
+    CondBranch {
+        cond: Cond,
+        taken: u32,
+        fallthrough: u32,
+    },
+    /// Return: pop the continuation index, or finish the run.
+    Ret,
+    /// Stop the machine.
+    Halt,
+}
+
+/// One function's location in the flat instruction array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedFunction {
+    /// Symbol name.
+    pub name: String,
+    /// Global index of the function's first op (entry block).
+    pub entry: u32,
+}
+
+/// A whole program in pre-decoded form: one flat op array plus the
+/// function directory and the shared push/pop register pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedImage {
+    /// Every instruction and terminator of every function, functions in
+    /// name order, blocks in block order, each block's terminator last.
+    pub ops: Vec<DecodedOp>,
+    /// Backing storage for [`DecodedOp::Push`]/[`DecodedOp::Pop`] lists.
+    pub reg_pool: Vec<Reg>,
+    /// Function directory, sorted by name (the [`Program`] map order).
+    pub functions: Vec<DecodedFunction>,
+}
+
+impl DecodedImage {
+    /// Index of the named function in [`DecodedImage::functions`].
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions
+            .binary_search_by(|f| f.name.as_str().cmp(name))
+            .ok()
+    }
+
+    /// Entry op index of the named function.
+    pub fn entry_of(&self, name: &str) -> Option<u32> {
+        self.function_index(name).map(|i| self.functions[i].entry)
+    }
+
+    /// The register list a push/pop op refers to.
+    pub fn reg_list(&self, list: RegListRef) -> &[Reg] {
+        &self.reg_pool[list.start as usize..list.start as usize + list.len as usize]
+    }
+}
+
+/// Lower a program into its flat, index-addressed decoded form.
+///
+/// # Errors
+/// Returns the program's own validation error text if it is structurally
+/// invalid (decoding requires in-range branch targets and resolvable call
+/// names).
+pub fn decode_program(program: &Program) -> Result<DecodedImage, String> {
+    program.validate()?;
+
+    // Pass 1: lay out every function and block in the flat index space.
+    // Each block contributes its instructions plus one terminator op.
+    let mut functions = Vec::with_capacity(program.functions.len());
+    let mut block_starts: Vec<Vec<u32>> = Vec::with_capacity(program.functions.len());
+    let mut cursor: u32 = 0;
+    for (name, f) in &program.functions {
+        functions.push(DecodedFunction {
+            name: name.clone(),
+            entry: cursor,
+        });
+        let mut starts = Vec::with_capacity(f.blocks.len());
+        for b in &f.blocks {
+            starts.push(cursor);
+            let ops = b.insns.len() + 1;
+            cursor = cursor
+                .checked_add(ops as u32)
+                .ok_or_else(|| format!("function {name}: decoded image exceeds u32 indices"))?;
+        }
+        block_starts.push(starts);
+    }
+    let entry_by_name: std::collections::BTreeMap<&str, u32> = functions
+        .iter()
+        .map(|f| (f.name.as_str(), f.entry))
+        .collect();
+
+    // Pass 2: emit ops with all targets resolved.
+    let mut ops = Vec::with_capacity(cursor as usize);
+    let mut reg_pool = Vec::new();
+    for (fi, f) in program.functions.values().enumerate() {
+        let starts = &block_starts[fi];
+        for b in &f.blocks {
+            for insn in &b.insns {
+                ops.push(decode_insn(insn, &entry_by_name, &mut reg_pool)?);
+            }
+            ops.push(match &b.terminator {
+                Terminator::Branch(t) => DecodedOp::Branch {
+                    target: starts[t.index()],
+                },
+                Terminator::CondBranch {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => DecodedOp::CondBranch {
+                    cond: *cond,
+                    taken: starts[taken.index()],
+                    fallthrough: starts[fallthrough.index()],
+                },
+                Terminator::Return => DecodedOp::Ret,
+                Terminator::Halt => DecodedOp::Halt,
+            });
+        }
+    }
+    debug_assert_eq!(ops.len(), cursor as usize);
+
+    Ok(DecodedImage {
+        ops,
+        reg_pool,
+        functions,
+    })
+}
+
+fn decode_insn(
+    insn: &Insn,
+    entry_by_name: &std::collections::BTreeMap<&str, u32>,
+    reg_pool: &mut Vec<Reg>,
+) -> Result<DecodedOp, String> {
+    let r = |reg: Reg| reg.index() as u8;
+    Ok(match insn {
+        Insn::Alu { op, rd, rn, src } => match src {
+            Operand::Reg(rm) => DecodedOp::AluRR {
+                op: *op,
+                rd: r(*rd),
+                rn: r(*rn),
+                rm: r(*rm),
+            },
+            Operand::Imm(imm) => DecodedOp::AluRI {
+                op: *op,
+                rd: r(*rd),
+                rn: r(*rn),
+                imm: *imm,
+            },
+        },
+        Insn::Mov { rd, src } => match src {
+            Operand::Reg(rm) => DecodedOp::MovR {
+                rd: r(*rd),
+                rm: r(*rm),
+            },
+            Operand::Imm(imm) => DecodedOp::MovI {
+                rd: r(*rd),
+                imm: *imm,
+            },
+        },
+        Insn::MovImm32 { rd, imm } => DecodedOp::MovI32 {
+            rd: r(*rd),
+            imm: *imm,
+        },
+        Insn::Cmp { rn, src } => match src {
+            Operand::Reg(rm) => DecodedOp::CmpR {
+                rn: r(*rn),
+                rm: r(*rm),
+            },
+            Operand::Imm(imm) => DecodedOp::CmpI {
+                rn: r(*rn),
+                imm: *imm,
+            },
+        },
+        Insn::Csel { cond, rd, rt, rf } => DecodedOp::Csel {
+            cond: *cond,
+            rd: r(*rd),
+            rt: r(*rt),
+            rf: r(*rf),
+        },
+        Insn::Ldr { rd, base, offset } => match offset {
+            Operand::Reg(ro) => DecodedOp::LdrR {
+                rd: r(*rd),
+                base: r(*base),
+                roff: r(*ro),
+            },
+            Operand::Imm(imm) => DecodedOp::LdrI {
+                rd: r(*rd),
+                base: r(*base),
+                imm: *imm,
+            },
+        },
+        Insn::Str { rs, base, offset } => match offset {
+            Operand::Reg(ro) => DecodedOp::StrR {
+                rs: r(*rs),
+                base: r(*base),
+                roff: r(*ro),
+            },
+            Operand::Imm(imm) => DecodedOp::StrI {
+                rs: r(*rs),
+                base: r(*base),
+                imm: *imm,
+            },
+        },
+        Insn::Push { regs } => DecodedOp::Push {
+            list: pool_list(regs, reg_pool)?,
+        },
+        Insn::Pop { regs } => DecodedOp::Pop {
+            list: pool_list(regs, reg_pool)?,
+        },
+        Insn::Call { func } => DecodedOp::Call {
+            target: *entry_by_name
+                .get(func.as_str())
+                .ok_or_else(|| format!("call to unknown function `{func}`"))?,
+        },
+        Insn::In { rd, port } => DecodedOp::In {
+            rd: r(*rd),
+            port: *port,
+        },
+        Insn::Out { rs, port } => DecodedOp::Out {
+            rs: r(*rs),
+            port: *port,
+        },
+        Insn::Nop => DecodedOp::Nop,
+    })
+}
+
+fn pool_list(regs: &[Reg], reg_pool: &mut Vec<Reg>) -> Result<RegListRef, String> {
+    let start = u32::try_from(reg_pool.len()).map_err(|_| "register pool overflow".to_string())?;
+    let len = u8::try_from(regs.len())
+        .map_err(|_| format!("push/pop list of {} registers", regs.len()))?;
+    reg_pool.extend_from_slice(regs);
+    Ok(RegListRef { start, len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Block, BlockId, Function};
+    use std::collections::BTreeMap;
+
+    fn two_function_program() -> Program {
+        let mut p = Program::new();
+        let callee = Function {
+            name: "callee".into(),
+            blocks: vec![Block {
+                insns: vec![Insn::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::R0,
+                    rn: Reg::R0,
+                    src: Operand::Imm(1),
+                }],
+                terminator: Terminator::Return,
+            }],
+            loop_bounds: BTreeMap::new(),
+            frame_size: 0,
+        };
+        let main = Function {
+            name: "main".into(),
+            blocks: vec![
+                Block {
+                    insns: vec![
+                        Insn::Push {
+                            regs: vec![Reg::R4, Reg::R5],
+                        },
+                        Insn::Call {
+                            func: "callee".into(),
+                        },
+                        Insn::Pop {
+                            regs: vec![Reg::R4, Reg::R5],
+                        },
+                        Insn::Cmp {
+                            rn: Reg::R0,
+                            src: Operand::Imm(3),
+                        },
+                    ],
+                    terminator: Terminator::CondBranch {
+                        cond: Cond::Lt,
+                        taken: BlockId(0),
+                        fallthrough: BlockId(1),
+                    },
+                },
+                Block::empty(Terminator::Halt),
+            ],
+            loop_bounds: BTreeMap::new(),
+            frame_size: 0,
+        };
+        p.add_function(callee);
+        p.add_function(main);
+        p
+    }
+
+    #[test]
+    fn decodes_functions_in_name_order_with_resolved_targets() {
+        let image = decode_program(&two_function_program()).expect("decodes");
+        // "callee" < "main": callee occupies ops [0, 2), main starts at 2.
+        assert_eq!(image.functions.len(), 2);
+        assert_eq!(image.functions[0].name, "callee");
+        assert_eq!(image.functions[0].entry, 0);
+        assert_eq!(image.functions[1].name, "main");
+        assert_eq!(image.functions[1].entry, 2);
+        assert_eq!(image.entry_of("main"), Some(2));
+        assert_eq!(image.entry_of("ghost"), None);
+        // The call resolved to callee's entry index.
+        assert_eq!(image.ops[3], DecodedOp::Call { target: 0 });
+        // The conditional terminator resolved both block targets: block 0
+        // starts at main's entry, block 1 right after block 0's 5 ops
+        // (4 instructions + the terminator itself).
+        assert_eq!(
+            image.ops[6],
+            DecodedOp::CondBranch {
+                cond: Cond::Lt,
+                taken: 2,
+                fallthrough: 7,
+            }
+        );
+        assert_eq!(image.ops[7], DecodedOp::Halt);
+        assert_eq!(image.ops.len(), 8);
+    }
+
+    #[test]
+    fn push_pop_share_the_register_pool() {
+        let image = decode_program(&two_function_program()).expect("decodes");
+        let (push, pop) = match (&image.ops[2], &image.ops[4]) {
+            (DecodedOp::Push { list: a }, DecodedOp::Pop { list: b }) => (*a, *b),
+            other => panic!("unexpected ops {other:?}"),
+        };
+        assert_eq!(image.reg_list(push), &[Reg::R4, Reg::R5]);
+        assert_eq!(image.reg_list(pop), &[Reg::R4, Reg::R5]);
+        assert_eq!(image.reg_pool.len(), 4);
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected() {
+        let mut p = Program::new();
+        let mut f = Function::stub("f");
+        f.blocks[0].insns.push(Insn::Call {
+            func: "ghost".into(),
+        });
+        p.add_function(f);
+        assert!(decode_program(&p).is_err());
+    }
+
+    #[test]
+    fn every_insn_shape_decodes() {
+        let mut p = Program::new();
+        let f = Function {
+            name: "all".into(),
+            blocks: vec![
+                Block {
+                    insns: vec![
+                        Insn::Alu {
+                            op: AluOp::Mul,
+                            rd: Reg::R1,
+                            rn: Reg::R2,
+                            src: Operand::Reg(Reg::R3),
+                        },
+                        Insn::Mov {
+                            rd: Reg::R1,
+                            src: Operand::Imm(7),
+                        },
+                        Insn::MovImm32 {
+                            rd: Reg::R2,
+                            imm: 1 << 20,
+                        },
+                        Insn::Cmp {
+                            rn: Reg::R1,
+                            src: Operand::Reg(Reg::R2),
+                        },
+                        Insn::Csel {
+                            cond: Cond::Eq,
+                            rd: Reg::R3,
+                            rt: Reg::R1,
+                            rf: Reg::R2,
+                        },
+                        Insn::Ldr {
+                            rd: Reg::R4,
+                            base: Reg::SP,
+                            offset: Operand::Imm(0),
+                        },
+                        Insn::Str {
+                            rs: Reg::R4,
+                            base: Reg::SP,
+                            offset: Operand::Reg(Reg::R1),
+                        },
+                        Insn::In {
+                            rd: Reg::R0,
+                            port: 1,
+                        },
+                        Insn::Out {
+                            rs: Reg::R0,
+                            port: 2,
+                        },
+                        Insn::Nop,
+                    ],
+                    terminator: Terminator::Branch(BlockId(1)),
+                },
+                Block::empty(Terminator::Return),
+            ],
+            loop_bounds: BTreeMap::new(),
+            frame_size: 0,
+        };
+        p.add_function(f);
+        let image = decode_program(&p).expect("decodes");
+        // 10 insns + branch + ret.
+        assert_eq!(image.ops.len(), 12);
+        assert_eq!(image.ops[10], DecodedOp::Branch { target: 11 });
+        assert!(matches!(
+            image.ops[0],
+            DecodedOp::AluRR { op: AluOp::Mul, .. }
+        ));
+        assert!(matches!(image.ops[2], DecodedOp::MovI32 { .. }));
+        assert!(matches!(image.ops[6], DecodedOp::StrR { .. }));
+    }
+}

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod asm;
+pub mod decoded;
 pub mod encode;
 pub mod energy_class;
 pub mod insn;
@@ -36,6 +37,7 @@ pub mod program;
 pub mod timing;
 
 pub use asm::{parse_function, parse_program, render_function, render_program, AsmParseError};
+pub use decoded::{decode_program, DecodedFunction, DecodedImage, DecodedOp, RegListRef};
 pub use encode::{decode_insn, encode_insn, DecodeInsnError};
 pub use energy_class::{EnergyClass, ENERGY_CLASS_COUNT};
 pub use insn::{AluOp, Cond, Insn, Operand, Reg};

@@ -2,14 +2,43 @@
 //!
 //! The paper evaluates on real hardware (Cortex-M0 camera pill, LEON3FT
 //! GR712RC, Apalis TK1 / Jetson TX2 / Nano). This crate provides the
-//! simulated equivalents the reproduction runs on:
+//! simulated equivalents the reproduction runs on.
 //!
-//! * [`machine`] — a cycle-accurate executor for PG32 programs with a
-//!   *hidden ground-truth energy model* ([`truth`]). Static analyses never
-//!   see this model directly; they see either the fitted analytical model
-//!   (`teamplay-energy`) or noisy "measurements" from runs here — exactly
-//!   the epistemic situation of the real toolchain, where aiT and the
-//!   EnergyAnalyser predict what the lab power rig then measures.
+//! ## The two PG32 engines
+//!
+//! PG32 programs execute on two engines with one contract:
+//!
+//! * [`machine`] — the **reference interpreter**. It walks the CFG form
+//!   directly, instruction by instruction, calling the cost models as it
+//!   goes. It is deliberately simple — close to a transliteration of the
+//!   PG32 semantics — and is the *authoritative* definition of what a run
+//!   costs: every other execution path is judged against it.
+//! * [`decoded`] — the **pre-decoded engine**. A one-time lowering bakes
+//!   a validated program into flat, index-addressed op and cost arrays
+//!   ([`DecodedProgram`]); a direct-threaded dispatch loop
+//!   ([`DecodedEngine`]) then executes with no per-step map lookups,
+//!   operand matches or cost-model calls. Its [`RunResult`]s are
+//!   **bit-identical** to the reference (energy included, to the last
+//!   f64 bit) — enforced by the differential oracle suite — so it is the
+//!   engine of choice wherever throughput matters: batched measurement,
+//!   bound validation, energy-model fitting.
+//!
+//! The reference stays authoritative (new ISA semantics land there
+//! first); the decoded engine is a performance artefact whose only
+//! license to exist is bit-identity. [`batch`] builds on the decoded
+//! engine: [`simulate_batch`] fans deterministic seeded input vectors
+//! ([`seeded_inputs`]) across a `minipool` pool with results in input
+//! order, bit-identical at any pool width.
+//!
+//! Both engines charge a *hidden ground-truth energy model* ([`truth`]).
+//! Static analyses never see this model directly; they see either the
+//! fitted analytical model (`teamplay-energy`) or noisy "measurements"
+//! from runs here — exactly the epistemic situation of the real
+//! toolchain, where aiT and the EnergyAnalyser predict what the lab
+//! power rig then measures.
+//!
+//! ## Task-level simulation
+//!
 //! * [`complex`] — a task-level simulator for complex heterogeneous
 //!   platforms (TK1-like big CPU cluster + GPU) with DVFS operating
 //!   points, execution-time jitter and sampled power measurement: the
@@ -19,14 +48,18 @@
 //! * [`ports`] — simulated sensor/radio port devices shared with the
 //!   front-end interpreter conventions.
 
+pub mod batch;
 pub mod battery;
 pub mod complex;
+pub mod decoded;
 pub mod machine;
 pub mod ports;
 pub mod truth;
 
+pub use batch::{seeded_inputs, simulate_batch, simulate_batch_with};
 pub use battery::Battery;
 pub use complex::{ComplexPlatform, CoreDesc, CoreKind, OperatingPoint, TaskExecution, WorkItem};
+pub use decoded::{DecodedEngine, DecodedProgram, OpCost};
 pub use machine::{Machine, MachineError, RunResult};
 pub use ports::{NullDevice, PortDevice, RecordingDevice};
 pub use truth::GroundTruthEnergy;

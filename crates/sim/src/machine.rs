@@ -12,7 +12,7 @@
 use crate::ports::PortDevice;
 use crate::truth::GroundTruthEnergy;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use teamplay_isa::{
     AluOp, BlockId, Cond, CycleModel, DataLayout, EnergyClass, Function, Insn, Operand, Program,
@@ -79,18 +79,32 @@ impl RunResult {
     }
 }
 
-const MAX_CALL_DEPTH: usize = 256;
+pub(crate) const MAX_CALL_DEPTH: usize = 256;
 
 /// A loaded PG32 machine: program + memory image + cost models.
 ///
 /// Globals persist across [`Machine::call`]s (like a device running task
 /// after task); use [`Machine::reset_data`] to restore the initial image.
+///
+/// All name resolution happens at load time: the program is decomposed
+/// into an index-addressed function table, and every `call` instruction's
+/// target is pre-resolved to a function index (validation guarantees the
+/// targets exist), so the execution loop never touches a map.
 pub struct Machine {
-    program: Program,
+    /// Functions in name order (the program map order).
+    functions: Vec<Function>,
+    /// Name → index into [`Machine::functions`], consulted once per
+    /// [`Machine::call`] for the entry point only.
+    func_index: HashMap<String, usize>,
+    /// `[function][block][insn]` → callee function index for `call`
+    /// instructions (`usize::MAX` elsewhere).
+    call_targets: Vec<Vec<Vec<usize>>>,
+    /// Initial global images, kept for [`Machine::reset_data`].
+    globals: BTreeMap<String, Vec<i32>>,
     layout: DataLayout,
     cycle_model: CycleModel,
     energy_model: GroundTruthEnergy,
-    mem: Vec<i32>,
+    mem: Box<[i32; MEM_WORDS]>,
     regs: [i32; 16],
     flags: (i32, i32), // last cmp operands (a, b)
     max_cycles: u64,
@@ -118,12 +132,40 @@ impl Machine {
     ) -> Result<Machine, String> {
         program.validate()?;
         let layout = DataLayout::of_program(&program);
+        let functions: Vec<Function> = program.functions.into_values().collect();
+        let func_index: HashMap<String, usize> = functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        let call_targets = functions
+            .iter()
+            .map(|f| {
+                f.blocks
+                    .iter()
+                    .map(|b| {
+                        b.insns
+                            .iter()
+                            .map(|insn| match insn {
+                                Insn::Call { func } => {
+                                    *func_index.get(func).expect("validated call target")
+                                }
+                                _ => usize::MAX,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
         let mut machine = Machine {
-            program,
+            functions,
+            func_index,
+            call_targets,
+            globals: program.globals,
             layout,
             cycle_model,
             energy_model,
-            mem: vec![0; (MEMORY_BYTES / 4) as usize],
+            mem: zeroed_mem(),
             regs: [0; 16],
             flags: (0, 0),
             max_cycles: 50_000_000,
@@ -140,7 +182,7 @@ impl Machine {
     /// Restore the initial global-data image and clear the rest of memory.
     pub fn reset_data(&mut self) {
         self.mem.fill(0);
-        for (name, words) in &self.program.globals {
+        for (name, words) in &self.globals {
             let base = self.layout.address(name).expect("layout covers globals") / 4;
             for (i, w) in words.iter().enumerate() {
                 self.mem[base as usize + i] = *w;
@@ -173,21 +215,19 @@ impl Machine {
         if args.len() > 6 {
             return Err(MachineError::TooManyArgs);
         }
-        // Disjoint field borrows: the program (and derived references into
-        // it) stays immutable while registers/memory/flags mutate.
-        let program = &self.program;
+        // Disjoint field borrows: the function tables (and derived
+        // references into them) stay immutable while registers/memory/
+        // flags mutate.
+        let functions = &self.functions;
+        let call_targets = &self.call_targets;
         let cycle_model = &self.cycle_model;
         let regs = &mut self.regs;
-        let mem = &mut self.mem;
+        let mem = &mut *self.mem;
         let flags = &mut self.flags;
         let max_cycles = self.max_cycles;
 
-        let funcs: HashMap<&str, &Function> = program
-            .functions
-            .iter()
-            .map(|(n, f)| (n.as_str(), f))
-            .collect();
-        let entry = *funcs
+        let entry_idx = *self
+            .func_index
             .get(func)
             .ok_or_else(|| MachineError::UnknownFunction(func.into()))?;
 
@@ -203,9 +243,10 @@ impl Machine {
         let mut counts = [0u64; ENERGY_CLASS_COUNT];
         let mut prev_class: Option<EnergyClass> = None;
 
-        // (function, block, next instruction index) continuations.
-        let mut stack: Vec<(&Function, BlockId, usize)> = Vec::new();
-        let mut cur_fn = entry;
+        // (function index, block, next instruction index) continuations.
+        let mut stack: Vec<(usize, BlockId, usize)> = Vec::new();
+        let mut cur_fi = entry_idx;
+        let mut cur_fn: &Function = &functions[cur_fi];
         let mut cur_block = cur_fn.entry();
         let mut cur_idx = 0usize;
 
@@ -300,16 +341,17 @@ impl Machine {
                             regs[Reg::SP.index()] = sp.wrapping_add(4) as i32;
                         }
                     }
-                    Insn::Call { func } => {
+                    Insn::Call { .. } => {
                         if stack.len() >= MAX_CALL_DEPTH {
                             return Err(MachineError::CallDepth);
                         }
-                        let callee = *funcs
-                            .get(func.as_str())
-                            .ok_or_else(|| MachineError::UnknownFunction(func.clone()))?;
-                        stack.push((cur_fn, cur_block, cur_idx));
-                        cur_fn = callee;
-                        cur_block = callee.entry();
+                        // Pre-resolved at load time; `cur_idx` was already
+                        // advanced past this instruction.
+                        let callee = call_targets[cur_fi][cur_block.index()][cur_idx - 1];
+                        stack.push((cur_fi, cur_block, cur_idx));
+                        cur_fi = callee;
+                        cur_fn = &functions[cur_fi];
+                        cur_block = cur_fn.entry();
                         cur_idx = 0;
                     }
                     Insn::In { rd, port } => {
@@ -356,8 +398,9 @@ impl Machine {
                         cur_idx = 0;
                     }
                     Terminator::Return => match stack.pop() {
-                        Some((f, b, i)) => {
-                            cur_fn = f;
+                        Some((fi, b, i)) => {
+                            cur_fi = fi;
+                            cur_fn = &functions[cur_fi];
                             cur_block = b;
                             cur_idx = i;
                         }
@@ -385,22 +428,41 @@ fn operand_value(regs: &[i32; 16], op: Operand) -> i32 {
     }
 }
 
-fn check_addr(addr: u32) -> Result<usize, MachineError> {
+/// Simulated memory in words. A power of two, so a checked address can
+/// be masked into provable range — the compiler drops the slice bounds
+/// check in both interpreter hot loops.
+pub(crate) const MEM_WORDS: usize = (MEMORY_BYTES / 4) as usize;
+
+/// Zeroed simulated memory, built on the heap (a stack-allocated
+/// `[i32; MEM_WORDS]` would not fit worker-thread stacks).
+pub(crate) fn zeroed_mem() -> Box<[i32; MEM_WORDS]> {
+    vec![0i32; MEM_WORDS]
+        .into_boxed_slice()
+        .try_into()
+        .expect("MEM_WORDS-sized allocation")
+}
+
+pub(crate) fn check_addr(addr: u32) -> Result<usize, MachineError> {
     if !addr.is_multiple_of(4) {
         return Err(MachineError::Unaligned(addr));
     }
     if addr >= MEMORY_BYTES {
         return Err(MachineError::OutOfRange(addr));
     }
-    Ok((addr / 4) as usize)
+    // `addr < MEMORY_BYTES` makes the mask an identity.
+    Ok((addr / 4) as usize & (MEM_WORDS - 1))
 }
 
-fn load_word(mem: &[i32], addr: u32) -> Result<i32, MachineError> {
+pub(crate) fn load_word(mem: &[i32; MEM_WORDS], addr: u32) -> Result<i32, MachineError> {
     let idx = check_addr(addr)?;
     Ok(mem[idx])
 }
 
-fn store_word(mem: &mut [i32], addr: u32, value: i32) -> Result<(), MachineError> {
+pub(crate) fn store_word(
+    mem: &mut [i32; MEM_WORDS],
+    addr: u32,
+    value: i32,
+) -> Result<(), MachineError> {
     let idx = check_addr(addr)?;
     mem[idx] = value;
     Ok(())

@@ -74,9 +74,41 @@ def validate_wcet(data: dict) -> str:
     return f"tightness {ratios}, {strict}/4 strict"
 
 
+def validate_sim(data: dict) -> str:
+    """BENCH_sim.json: pre-decoded engine throughput vs the reference."""
+    assert data["engine"] == "pre_decoded_direct_threaded"
+    assert isinstance(data["pool_threads"], int) and data["pool_threads"] > 0
+    kernels = data["kernels"]
+    assert len(kernels) == 4, "four app kernels expected"
+    for k in kernels:
+        assert k["cycles_per_run"] > 0 and k["batch_runs"] > 0, k
+        assert k["ref_cycles_per_sec"] > 0 and k["decoded_cycles_per_sec"] > 0, k
+        assert k["batch_cycles_per_sec"] > 0, k
+        # The pre-decoded engine must never lose to the interpreter it
+        # lowers from (speedup >= 1.0 is the hard floor; the headline
+        # target is tracked in the baseline itself).
+        assert k["decoded_cycles_per_sec"] >= k["ref_cycles_per_sec"], k
+        assert k["speedup"] >= 1.0, k
+        assert (
+            abs(k["speedup"] - k["decoded_cycles_per_sec"] / k["ref_cycles_per_sec"]) < 1e-9
+        ), k
+        # Every observed batch run stays under the static bound — the
+        # fleet doubles as a soundness probe for IPET.
+        assert 0 < k["observed_max_cycles"] <= k["ipet_cycles"], k
+        assert 0.0 < k["observed_over_ipet"] <= 1.0, k
+        assert (
+            abs(k["observed_over_ipet"] - k["observed_max_cycles"] / k["ipet_cycles"]) < 1e-9
+        ), k
+    floor = min(k["speedup"] for k in kernels)
+    assert abs(data["min_single_thread_speedup"] - floor) < 1e-9, "floor drifted"
+    speedups = {k["app"]: round(k["speedup"], 2) for k in kernels}
+    return f"speedups {speedups}, floor {floor:.2f}x"
+
+
 RULES = {
     "BENCH_search.json": validate_search,
     "BENCH_sched.json": validate_sched,
+    "BENCH_sim.json": validate_sim,
     "BENCH_wcet.json": validate_wcet,
 }
 

@@ -1,4 +1,5 @@
-//! The WCET/WCEC tightness oracle (PR 5 acceptance suite).
+//! The WCET/WCEC tightness oracle (PR 5 acceptance suite, extended to
+//! the pre-decoded engine in PR 6).
 //!
 //! For randomly generated Mini-C kernels, compiled under **every**
 //! registry pipeline (each single-pass pipeline, the `o1`–`o3` presets
@@ -16,6 +17,14 @@
 //! model — energy soundness is already property-tested elsewhere, so
 //! here only `WCEC(ipet) ≤ WCEC(structural)` is checked.
 //!
+//! Since PR 6 the simulator leg runs on **both** engines: the reference
+//! [`Machine`] interpreter and the pre-decoded direct-threaded
+//! [`DecodedProgram`] engine. Every run is asserted bit-identical
+//! between the two (full [`RunResult`], energy compared by bit pattern),
+//! so the observed-cycles side of the sandwich is simultaneously a
+//! differential oracle for the fast engine — across every pipeline,
+//! every preset, the proptest kernels and the four app kernels.
+//!
 //! A deterministic regression case pins the *strict* part: an if/else
 //! with unbalanced arms inside a bounded loop, where the structural
 //! engine must charge the worst full iteration once more than IPET.
@@ -23,7 +32,7 @@
 use teamplay_compiler::{generate_program, CodegenOpts, PassManager, Pipeline, REGISTRY};
 use teamplay_isa::CycleModel;
 use teamplay_minic::compile_to_ir;
-use teamplay_sim::{Machine, RecordingDevice};
+use teamplay_sim::{DecodedProgram, Machine, NullDevice, RecordingDevice};
 use teamplay_wcet::{analyze_program, analyze_program_structural};
 
 /// Every single-pass registry pipeline plus the level presets and the
@@ -87,11 +96,26 @@ fn assert_sandwich(label: &str, src: &str, func: &str, args_sets: &[Vec<i32>]) -
             wcec <= wcec_structural + 1e-6,
             "{label}/{plabel}: WCEC {wcec} exceeds structural {wcec_structural}"
         );
+        let decoded = DecodedProgram::new(&program)
+            .unwrap_or_else(|e| panic!("{label}/{plabel}: decode: {e:?}"));
         for args in args_sets {
             let mut machine = Machine::new(program.clone()).expect("loads");
             let r = machine
                 .call(func, args, &mut RecordingDevice::new())
                 .unwrap_or_else(|e| panic!("{label}/{plabel}: run {args:?}: {e:?}"));
+            let mut engine = decoded.engine();
+            let d = engine
+                .call(func, args, &mut RecordingDevice::new())
+                .unwrap_or_else(|e| panic!("{label}/{plabel}: decoded run {args:?}: {e:?}"));
+            assert_eq!(
+                r, d,
+                "{label}/{plabel}: engines diverge for {args:?} (reference vs pre-decoded)"
+            );
+            assert_eq!(
+                r.energy_pj.to_bits(),
+                d.energy_pj.to_bits(),
+                "{label}/{plabel}: energy bit patterns diverge for {args:?}"
+            );
             assert!(
                 r.cycles <= ipet,
                 "{label}/{plabel}: observed {} cycles over IPET bound {ipet} for {args:?}",
@@ -137,6 +161,87 @@ fn unbalanced_if_else_in_a_bounded_loop_is_strictly_tighter() {
         ipet < structural,
         "IPET {ipet} must be strictly below structural {structural} on the unbalanced loop"
     );
+}
+
+#[test]
+fn app_kernels_bit_identical_across_engines_and_inside_the_sandwich() {
+    // The four benchmark kernels under their tuned pipelines — the same
+    // configurations `sim_throughput` times. Each kernel is run four
+    // times back to back *without* data resets, so the differential
+    // check also covers evolving global state (the regime the
+    // throughput bench measures), not just the fresh-image run.
+    let cm = CycleModel::pg32();
+    let cat = teamplay_apps::catalog();
+    for (app, src, task, args) in [
+        (
+            "camera_pill",
+            teamplay_apps::camera_pill::SOURCE,
+            "compress",
+            vec![],
+        ),
+        (
+            "spacewire",
+            teamplay_apps::spacewire::SOURCE,
+            "crc_frame",
+            vec![],
+        ),
+        (
+            "uav",
+            teamplay_apps::uav::DETECT_KERNEL_SOURCE,
+            "predetect",
+            vec![40],
+        ),
+        (
+            "parking",
+            teamplay_apps::parking::CONV_KERNEL_SOURCE,
+            "conv_layer",
+            vec![],
+        ),
+    ] {
+        let mut module = compile_to_ir(src).expect("kernel compiles");
+        let mut pm =
+            PassManager::new(cat.get(app).expect("registered").clone()).expect("pipeline resolves");
+        pm.run(&mut module);
+        let program = generate_program(&module, CodegenOpts::default()).expect("codegen succeeds");
+        let ipet = analyze_program(&program, &cm)
+            .expect("ipet")
+            .wcet_cycles(task)
+            .expect("bounded");
+        let structural = analyze_program_structural(&program, &cm)
+            .expect("structural")
+            .wcet_cycles(task)
+            .expect("bounded");
+        assert!(
+            ipet <= structural,
+            "{app}/{task}: IPET {ipet} exceeds structural {structural}"
+        );
+        let decoded = DecodedProgram::new(&program).expect("decodes");
+        let mut machine = Machine::new(program.clone()).expect("loads");
+        let mut engine = decoded.engine();
+        for round in 0..4 {
+            let want = machine
+                .call(task, &args, &mut NullDevice::new())
+                .expect("reference runs");
+            let got = engine
+                .call(task, &args, &mut NullDevice::new())
+                .expect("decoded runs");
+            assert_eq!(want, got, "{app}/{task}: engines diverge on round {round}");
+            assert_eq!(
+                want.energy_pj.to_bits(),
+                got.energy_pj.to_bits(),
+                "{app}/{task}: energy bit patterns diverge on round {round}"
+            );
+            if round == 0 {
+                // Only the fresh-image run is IPET-comparable; later
+                // rounds see globals mutated by earlier ones.
+                assert!(
+                    want.cycles <= ipet,
+                    "{app}/{task}: observed {} cycles over IPET bound {ipet}",
+                    want.cycles
+                );
+            }
+        }
+    }
 }
 
 proptest::proptest! {
