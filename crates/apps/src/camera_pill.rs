@@ -74,7 +74,7 @@ void xtea_block(int block[], int idx) {
     return;
 }
 
-/*@ task encrypt after(compress) security(ct) secret(key) wcet_budget(20ms) energy_budget(2600uJ) @*/
+/*@ task encrypt after(compress) security(ct) secret(key) reliability(1) wcet_budget(20ms) energy_budget(2600uJ) @*/
 void encrypt(int key) {
     xtea_key[0] = key;
     xtea_key[1] = key ^ 0x9E3779B9;
@@ -89,7 +89,7 @@ void encrypt(int key) {
     return;
 }
 
-/*@ task transmit after(encrypt) deadline(40ms) wcet_budget(10ms) energy_budget(1400uJ) @*/
+/*@ task transmit after(encrypt) deadline(40ms) degraded_deadline(48ms) wcet_budget(10ms) energy_budget(1400uJ) @*/
 void transmit() {
     int check = 0;
     for (int i = 0; i < 64; i = i + 1) {
@@ -379,5 +379,17 @@ mod tests {
         assert_eq!(order.last(), Some(&"transmit"));
         let encrypt = model.task("encrypt").expect("encrypt");
         assert_eq!(encrypt.secrets, vec!["key".to_string()]);
+        // The fault-tolerance clauses reach the model: encrypt reserves
+        // one re-execution, transmit declares a degraded-mode deadline.
+        assert_eq!(encrypt.reexecutions, 1);
+        assert_eq!(
+            model
+                .task("transmit")
+                .expect("transmit")
+                .degraded_deadline
+                .expect("declared")
+                .as_ms(),
+            48.0
+        );
     }
 }

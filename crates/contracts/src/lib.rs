@@ -42,6 +42,11 @@ pub struct TaskEvidence {
     pub leaks: Option<bool>,
     /// Scheduled completion time within the frame (µs).
     pub finish_us: Option<f64>,
+    /// Graceful-degradation rung the coordinator settled on: 0 = the
+    /// full nominal contract (re-executions reserved), 1 = re-execution
+    /// reservations dropped, 2 = degraded-mode deadlines substituted.
+    /// Recorded so a certificate carries *which* contract was proven.
+    pub degradation_rung: u8,
 }
 
 /// A provable (and checkable) claim.
@@ -525,6 +530,7 @@ mod tests {
                 residual_branches: None,
                 leaks: None,
                 finish_us: Some(30_000.0),
+                degradation_rung: 0,
             },
         );
         ev.insert(
@@ -535,6 +541,7 @@ mod tests {
                 residual_branches: Some(0),
                 leaks: Some(false),
                 finish_us: Some(35_000.0),
+                degradation_rung: 0,
             },
         );
         ev
@@ -681,6 +688,8 @@ mod proptests {
             security: None,
             secrets: vec![],
             after: vec![],
+            reexecutions: 0,
+            degraded_deadline: None,
         }
     }
 

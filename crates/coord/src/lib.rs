@@ -25,6 +25,7 @@ pub mod task;
 pub use freq::{dvfs_options, gr712_levels, FreqLevel};
 pub use glue::{
     generate_parallel_glue, generate_parallel_glue_with_pipelines, generate_sequential_glue,
+    GlueError,
 };
 pub use schedule::{
     schedule_branch_and_bound, schedule_energy_aware, Schedule, ScheduleEntry, ScheduleError,

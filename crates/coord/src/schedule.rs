@@ -50,6 +50,18 @@
 //! proved feasible — and a final downgrade sweep relaxes tasks back
 //! toward greener options wherever slack remains.
 //!
+//! # Re-execution slack
+//!
+//! A task whose CSL contract carries `reliability(k)` reserves `(1+k)×`
+//! its chosen option's duration on its core: the primary run plus `k`
+//! back-to-back recovery slots for fault-detected re-execution.
+//! Successors, core exclusivity, deadlines and the makespan all count
+//! the full reserved window, so a valid schedule *proves* the deadline
+//! holds even when every task's recovery runs execute. Energy accounts
+//! only the primary run (recovery energy is spent only on an actual
+//! fault). With `k = 0` everywhere the recovery terms are exactly
+//! `0.0`, so schedules are bit-identical to the recovery-free policy.
+//!
 //! Two solvers:
 //!
 //! * [`schedule_energy_aware`] — the production heuristic above;
@@ -73,10 +85,26 @@ pub struct ScheduleEntry {
     pub core: String,
     /// Start time (µs).
     pub start_us: f64,
-    /// Finish time (µs).
+    /// Finish time of the primary (fault-free) run (µs).
     pub finish_us: f64,
     /// Energy of this execution (µJ).
     pub energy_uj: f64,
+    /// Re-execution slack reserved after the primary run (µs): the
+    /// task's contracted `reliability(k)` recovery runs, `k` back-to-back
+    /// repeats of the chosen option. The core stays reserved until
+    /// `finish_us + recovery_us`, and successors may not start before
+    /// then — the schedule proves the deadline holds even when every
+    /// recovery run executes. 0 when no fault tolerance is contracted.
+    pub recovery_us: f64,
+}
+
+impl ScheduleEntry {
+    /// End of the reserved window: primary finish plus recovery slack.
+    /// Dependencies, core exclusivity and deadlines are all judged
+    /// against this, not `finish_us`.
+    pub fn reserved_until_us(&self) -> f64 {
+        self.finish_us + self.recovery_us
+    }
 }
 
 /// A complete schedule.
@@ -104,10 +132,14 @@ impl Schedule {
 
     /// Validate the schedule against its task set: every task placed
     /// exactly once, each entry's `(option, core)` pair is a real option
-    /// of its task with matching duration and energy, dependencies
-    /// precede, cores never overlap, deadlines met (global and
-    /// per-task), and the recorded `makespan_us` / `total_energy_uj`
-    /// equal the sums recomputed from the entries.
+    /// of its task with matching duration, energy and re-execution
+    /// slack (`recovery_us` must equal `reexecutions ×` the option's
+    /// duration), dependencies precede, cores never overlap, deadlines
+    /// met (global and per-task), and the recorded `makespan_us` /
+    /// `total_energy_uj` equal the sums recomputed from the entries.
+    /// Dependency order, core exclusivity, deadlines and the makespan
+    /// all count the recovery slack: the schedule is proven feasible
+    /// even when every task's `k` recovery runs execute.
     ///
     /// # Errors
     /// Returns a description of the first violation.
@@ -154,30 +186,47 @@ impl Schedule {
                     t.name, e.energy_uj, e.option, opt.energy_uj
                 ));
             }
+            // The reserved recovery slack must be exactly the contracted
+            // k repeats of the chosen option — an entry that under- (or
+            // over-)reserves re-execution room must not validate.
+            if !approx_eq(e.recovery_us, f64::from(t.reexecutions) * opt.time_us) {
+                return Err(format!(
+                    "task `{}`: recovery slack {} differs from {} re-executions of \
+                     option `{}`'s {}",
+                    t.name, e.recovery_us, t.reexecutions, e.option, opt.time_us
+                ));
+            }
             for d in &t.after {
                 let de = self
                     .entry(d)
                     .ok_or(format!("dependency `{d}` not scheduled"))?;
-                if de.finish_us > e.start_us + 1e-9 {
+                if de.reserved_until_us() > e.start_us + 1e-9 {
                     return Err(format!(
-                        "task `{}` starts at {} before `{}` finishes at {}",
-                        t.name, e.start_us, d, de.finish_us
+                        "task `{}` starts at {} before `{}` releases its window at {}",
+                        t.name,
+                        e.start_us,
+                        d,
+                        de.reserved_until_us()
                     ));
                 }
             }
             if let Some(dl) = t.deadline_us {
-                if e.finish_us > dl + 1e-9 {
-                    return Err(format!("task `{}` misses its deadline {dl}", t.name));
+                if e.reserved_until_us() > dl + 1e-9 {
+                    return Err(format!(
+                        "task `{}` misses its deadline {dl} with recovery included",
+                        t.name
+                    ));
                 }
             }
         }
-        // Core exclusivity.
+        // Core exclusivity (recovery windows included — a recovery run
+        // occupies its core like the primary run does).
         for core in &set.cores {
             let mut spans: Vec<(f64, f64, &str)> = self
                 .entries
                 .iter()
                 .filter(|e| &e.core == core)
-                .map(|e| (e.start_us, e.finish_us, e.task.as_str()))
+                .map(|e| (e.start_us, e.reserved_until_us(), e.task.as_str()))
                 .collect();
             spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
             for w in spans.windows(2) {
@@ -189,11 +238,13 @@ impl Schedule {
                 }
             }
         }
-        // The recorded aggregates must be the recomputed ones.
+        // The recorded aggregates must be the recomputed ones. The
+        // makespan covers the recovery windows: the frame is only over
+        // once the last reserved slot has drained.
         let makespan = self
             .entries
             .iter()
-            .map(|e| e.finish_us)
+            .map(ScheduleEntry::reserved_until_us)
             .fold(0.0f64, f64::max);
         if !approx_eq(self.makespan_us, makespan) {
             return Err(format!(
@@ -258,8 +309,10 @@ fn ready_time(finish: &HashMap<&str, f64>, t: &CoordTask) -> f64 {
 
 /// HEFT upward ranks, indexed like `set.tasks`:
 /// `rank(t) = mean option time + max over successors' rank` (0 for
-/// sinks). Option-independent, so one rank vector serves every option
-/// assignment of the set.
+/// sinks). A task contracted for `k` re-executions weighs `(1 + k)×`
+/// its mean option time — its reserved window is that long, so it sits
+/// on the critical path accordingly. Option-independent, so one rank
+/// vector serves every option assignment of the set.
 fn upward_ranks(set: &TaskSet) -> Vec<f64> {
     let n = set.tasks.len();
     let mut ranks = vec![0.0f64; n];
@@ -267,7 +320,9 @@ fn upward_ranks(set: &TaskSet) -> Vec<f64> {
     // indices and a reverse sweep sees them ranked already.
     for i in (0..n).rev() {
         let t = &set.tasks[i];
-        let mean = t.options.iter().map(|o| o.time_us).sum::<f64>() / t.options.len() as f64;
+        let mean = (1.0 + f64::from(t.reexecutions))
+            * t.options.iter().map(|o| o.time_us).sum::<f64>()
+            / t.options.len() as f64;
         let succ_max = set
             .tasks
             .iter()
@@ -352,6 +407,14 @@ impl<'a> Timeline<'a> {
 /// Place the tasks of `order` with fixed option choices (`choice` is
 /// indexed like `set.tasks`); returns the schedule, ignoring deadlines —
 /// the caller checks.
+///
+/// A task contracted for `k` re-executions reserves `(1 + k)×` its
+/// option's duration on the core: the primary run plus `k` back-to-back
+/// recovery slots. Successors wait for the whole window (a recovery run
+/// may still be producing the task's output), and the insertion scan
+/// needs a gap wide enough for the window, not just the primary run.
+/// With `k = 0` the recovery term is exactly `0.0` and placement is
+/// bit-identical to the recovery-free policy.
 fn place_in(set: &TaskSet, order: &[usize], choice: &[usize], insertion: bool) -> Schedule {
     let mut timeline = Timeline::new(set);
     let mut finish: HashMap<&str, f64> = HashMap::new();
@@ -359,11 +422,12 @@ fn place_in(set: &TaskSet, order: &[usize], choice: &[usize], insertion: bool) -
     for &i in order {
         let t = &set.tasks[i];
         let opt = &t.options[choice[i]];
+        let recovery = f64::from(t.reexecutions) * opt.time_us;
         let ready = ready_time(&finish, t);
-        let start = timeline.earliest_start(&opt.core, ready, opt.time_us, insertion);
+        let start = timeline.earliest_start(&opt.core, ready, opt.time_us + recovery, insertion);
         let end = start + opt.time_us;
-        timeline.occupy(&opt.core, start, end);
-        finish.insert(&t.name, end);
+        timeline.occupy(&opt.core, start, end + recovery);
+        finish.insert(&t.name, end + recovery);
         entries.push(ScheduleEntry {
             task: t.name.clone(),
             option: opt.label.clone(),
@@ -371,10 +435,14 @@ fn place_in(set: &TaskSet, order: &[usize], choice: &[usize], insertion: bool) -
             start_us: start,
             finish_us: end,
             energy_uj: opt.energy_uj,
+            recovery_us: recovery,
         });
     }
     entries.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).expect("finite times"));
-    let makespan = entries.iter().map(|e| e.finish_us).fold(0.0f64, f64::max);
+    let makespan = entries
+        .iter()
+        .map(ScheduleEntry::reserved_until_us)
+        .fold(0.0f64, f64::max);
     let energy = entries.iter().map(|e| e.energy_uj).sum();
     Schedule {
         entries,
@@ -384,6 +452,9 @@ fn place_in(set: &TaskSet, order: &[usize], choice: &[usize], insertion: bool) -
 }
 
 /// Does the schedule satisfy all per-task deadlines and the global one?
+/// Deadlines are judged against the end of each task's reserved window
+/// (`finish + recovery`): the contract must hold even when every
+/// recovery run executes.
 fn meets_deadlines(set: &TaskSet, s: &Schedule) -> bool {
     if s.makespan_us > set.deadline_us + 1e-9 {
         return false;
@@ -391,7 +462,7 @@ fn meets_deadlines(set: &TaskSet, s: &Schedule) -> bool {
     for t in &set.tasks {
         if let Some(dl) = t.deadline_us {
             let e = s.entry(&t.name).expect("placed");
-            if e.finish_us > dl + 1e-9 {
+            if e.reserved_until_us() > dl + 1e-9 {
                 return false;
             }
         }
@@ -411,14 +482,18 @@ fn greedy_earliest_finish(set: &TaskSet, order: &[usize]) -> (Vec<usize>, Schedu
     let mut choice = vec![0usize; set.tasks.len()];
     for &i in order {
         let t = &set.tasks[i];
+        let window = 1.0 + f64::from(t.reexecutions);
         let ready = ready_time(&finish, t);
+        // "Finishes soonest" means the whole reserved window drains
+        // soonest — that is what successors and the core wait for.
         let (oi, start, end) = t
             .options
             .iter()
             .enumerate()
             .map(|(oi, o)| {
-                let start = timeline.earliest_start(&o.core, ready, o.time_us, true);
-                (oi, start, start + o.time_us, o.energy_uj)
+                let dur = window * o.time_us;
+                let start = timeline.earliest_start(&o.core, ready, dur, true);
+                (oi, start, start + dur, o.energy_uj)
             })
             .min_by(|a, b| {
                 (a.2, a.3, a.0)
@@ -967,6 +1042,90 @@ mod tests {
     }
 
     #[test]
+    fn reexecution_slack_is_reserved_and_validated() {
+        // b depends on a; a reserves 2 recovery runs, so b may not start
+        // before a's whole window (10 + 2×10 = 30µs) drains.
+        let tasks = vec![
+            two_version_task("a", "c0", (10.0, 100.0), (30.0, 40.0)).with_reexecutions(2),
+            two_version_task("b", "c0", (10.0, 100.0), (30.0, 40.0)).after(&["a"]),
+        ];
+        let set = TaskSet::new(tasks, vec!["c0".into()], 45.0).expect("set");
+        let s = schedule_energy_aware(&set).expect("schedulable with fast options");
+        s.validate(&set).expect("valid with recovery included");
+        let a = s.entry("a").expect("a");
+        assert_eq!(a.option, "fast", "only the fast window fits");
+        assert_eq!(a.recovery_us, 20.0, "2 recovery runs of the 10µs option");
+        let b = s.entry("b").expect("b");
+        assert!(
+            b.start_us >= a.finish_us + a.recovery_us - 1e-9,
+            "successor waits for the recovery window: {s:?}"
+        );
+        assert!(s.makespan_us >= 40.0 - 1e-9);
+    }
+
+    #[test]
+    fn reexecution_makes_tight_contracts_unschedulable() {
+        // Fits exactly without recovery (50 = deadline), but one reserved
+        // re-execution pushes the window to 100µs.
+        let tasks =
+            vec![two_version_task("a", "c0", (50.0, 1.0), (80.0, 0.5)).with_reexecutions(1)];
+        let set = TaskSet::new(tasks, vec!["c0".into()], 50.0).expect("set");
+        match schedule_energy_aware(&set) {
+            Err(ScheduleError::Unschedulable {
+                best_makespan_us, ..
+            }) => assert_eq!(best_makespan_us, 100.0),
+            other => panic!("expected unschedulable, got {other:?}"),
+        }
+        // Dropping the reservation restores schedulability.
+        let relaxed = vec![two_version_task("a", "c0", (50.0, 1.0), (80.0, 0.5))];
+        let set = TaskSet::new(relaxed, vec!["c0".into()], 50.0).expect("set");
+        schedule_energy_aware(&set).expect("schedulable without recovery");
+    }
+
+    #[test]
+    fn validate_rejects_missing_recovery_slack() {
+        let tasks =
+            vec![two_version_task("a", "c0", (10.0, 100.0), (30.0, 40.0)).with_reexecutions(1)];
+        let set = TaskSet::new(tasks, vec!["c0".into()], 100.0).expect("set");
+        let s = schedule_energy_aware(&set).expect("schedulable");
+        s.validate(&set).expect("valid");
+        // Forge the slack away (and patch the makespan so only the
+        // per-entry recovery check can catch the lie).
+        let mut bad = s;
+        bad.entries[0].recovery_us = 0.0;
+        bad.makespan_us = bad.entries[0].finish_us;
+        let err = bad.validate(&set).expect_err("under-reserved recovery");
+        assert!(err.contains("recovery"), "{err}");
+    }
+
+    #[test]
+    fn zero_reexecutions_is_bit_identical_to_the_default() {
+        // `with_reexecutions(0)` must produce byte-for-byte the schedule
+        // of a task set that never mentions reliability.
+        let plain = vec![
+            two_version_task("a", "c0", (10.0, 100.0), (30.0, 40.0)),
+            two_version_task("b", "c1", (10.0, 100.0), (30.0, 40.0)).after(&["a"]),
+        ];
+        let tagged: Vec<CoordTask> = plain
+            .iter()
+            .cloned()
+            .map(|t| t.with_reexecutions(0))
+            .collect();
+        let set_a = TaskSet::new(plain, vec!["c0".into(), "c1".into()], 200.0).expect("set");
+        let set_b = TaskSet::new(tagged, vec!["c0".into(), "c1".into()], 200.0).expect("set");
+        let a = schedule_energy_aware(&set_a).expect("schedulable");
+        let b = schedule_energy_aware(&set_b).expect("schedulable");
+        assert_eq!(a, b);
+        assert!(a
+            .entries
+            .iter()
+            .zip(&b.entries)
+            .all(|(x, y)| x.start_us.to_bits() == y.start_us.to_bits()
+                && x.finish_us.to_bits() == y.finish_us.to_bits()
+                && x.recovery_us.to_bits() == y.recovery_us.to_bits()));
+    }
+
+    #[test]
     fn dvfs_expansion_schedules_at_the_sweet_spot() {
         use crate::freq::{dvfs_options, gr712_levels};
         // One long task, generous deadline: the scheduler should pick an
@@ -989,8 +1148,10 @@ mod proptests {
     use crate::task::{CoordTask, ExecOption};
     use proptest::prelude::*;
 
-    /// Random DAG task sets: every task gets 1–3 options on 1–3 cores and
-    /// depends on a random subset of earlier tasks.
+    /// Random DAG task sets: every task gets 1–3 options on 1–3 cores,
+    /// depends on a random subset of earlier tasks, and occasionally
+    /// contracts 1–2 re-executions (so the recovery-slack machinery is
+    /// exercised across every property below).
     fn arb_task_set() -> impl Strategy<Value = TaskSet> {
         let core_count = 1usize..4;
         (core_count, 2usize..8, any::<u64>()).prop_map(|(cores_n, tasks_n, seed)| {
@@ -1015,16 +1176,21 @@ mod proptests {
                         t.after.push(format!("t{d}"));
                     }
                 }
+                if rng.gen_bool(0.3) {
+                    t.reexecutions = rng.gen_range(1..3);
+                }
                 tasks.push(t);
             }
-            // A deadline somewhere between "hopeless" and "trivial".
+            // A deadline somewhere between "hopeless" and "trivial",
+            // sized to the reserved windows rather than the bare runs.
             let total: f64 = tasks
                 .iter()
                 .map(|t| {
-                    t.options
-                        .iter()
-                        .map(|o| o.time_us)
-                        .fold(f64::INFINITY, f64::min)
+                    (1.0 + f64::from(t.reexecutions))
+                        * t.options
+                            .iter()
+                            .map(|o| o.time_us)
+                            .fold(f64::INFINITY, f64::min)
                 })
                 .sum();
             let deadline = total * rng.gen_range(0.4..2.5);
@@ -1082,6 +1248,39 @@ mod proptests {
             if meets_deadlines(&set, &legacy) {
                 let s = schedule_energy_aware(&set);
                 prop_assert!(s.is_ok(), "legacy witness {legacy:?} accepted, HEFT refused: {s:?}");
+            }
+        }
+
+        /// Re-execution schedules always validate with recovery included:
+        /// forcing a reservation onto every task, any schedule the
+        /// heuristic accepts proves its deadlines with all `k` recovery
+        /// runs of every task executing (validate counts the windows),
+        /// and every entry carries exactly `k ×` its option's duration
+        /// of slack.
+        #[test]
+        fn reexecution_schedules_validate_with_recovery_included(set in arb_task_set()) {
+            let mut tasks = set.tasks.clone();
+            for (i, t) in tasks.iter_mut().enumerate() {
+                t.reexecutions = 1 + (i as u32 % 2);
+            }
+            // Re-validate through the public constructor; windows grew,
+            // so stretch the deadline by the largest possible factor to
+            // keep a useful share of feasible instances.
+            let set = TaskSet::new(tasks, set.cores.clone(), set.deadline_us * 3.0)
+                .expect("same DAG, still valid");
+            if let Ok(s) = schedule_energy_aware(&set) {
+                prop_assert!(s.validate(&set).is_ok(), "{:?}", s.validate(&set));
+                for t in &set.tasks {
+                    let e = s.entry(&t.name).expect("placed");
+                    let opt = t
+                        .options
+                        .iter()
+                        .find(|o| o.label == e.option && o.core == e.core)
+                        .expect("real option");
+                    prop_assert!(
+                        (e.recovery_us - f64::from(t.reexecutions) * opt.time_us).abs() < 1e-9
+                    );
+                }
             }
         }
 

@@ -29,6 +29,11 @@ pub struct CoordTask {
     pub after: Vec<String>,
     /// Optional per-task absolute deadline (µs from frame start).
     pub deadline_us: Option<f64>,
+    /// Re-executions reserved on fault detection (the CSL
+    /// `reliability(k)` clause): the schedule must keep room for `k`
+    /// back-to-back recovery runs of the chosen option after the
+    /// primary run. 0 = no fault tolerance contracted.
+    pub reexecutions: u32,
 }
 
 impl CoordTask {
@@ -39,6 +44,7 @@ impl CoordTask {
             options,
             after: Vec::new(),
             deadline_us: None,
+            reexecutions: 0,
         }
     }
 
@@ -51,6 +57,12 @@ impl CoordTask {
     /// Builder-style per-task deadline.
     pub fn with_deadline_us(mut self, deadline: f64) -> CoordTask {
         self.deadline_us = Some(deadline);
+        self
+    }
+
+    /// Builder-style re-execution (reliability) reservation.
+    pub fn with_reexecutions(mut self, k: u32) -> CoordTask {
+        self.reexecutions = k;
         self
     }
 }

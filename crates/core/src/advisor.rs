@@ -125,6 +125,24 @@ pub fn advise(error: &WorkflowError) -> Vec<Advice> {
                 ),
                 confidence: Confidence::Direct,
             });
+            advice.push(Advice {
+                task: String::new(),
+                action: "declare a fallback contract — `degraded_deadline(t)` lets the \
+                         degradation ladder relax the deadline instead of failing, and the \
+                         ladder drops `reliability(k)` reservations before giving up"
+                    .into(),
+                confidence: Confidence::Possible,
+            });
+        }
+        WorkflowError::Glue(e) => {
+            advice.push(Advice {
+                task: String::new(),
+                action: format!(
+                    "internal schedule/task-set mismatch at glue generation ({e}); this is a \
+                     toolchain defect — report it with the failing source"
+                ),
+                confidence: Confidence::Direct,
+            });
         }
         WorkflowError::Security(msg) => {
             advice.push(Advice {

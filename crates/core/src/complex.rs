@@ -62,6 +62,8 @@ pub enum ComplexError {
     TaskSet(String),
     /// No mapping meets the frame deadline.
     Unschedulable(ScheduleError),
+    /// Glue generation found the schedule and task set inconsistent.
+    Glue(teamplay_coord::GlueError),
 }
 
 impl fmt::Display for ComplexError {
@@ -69,6 +71,7 @@ impl fmt::Display for ComplexError {
         match self {
             ComplexError::TaskSet(msg) => write!(f, "task set: {msg}"),
             ComplexError::Unschedulable(e) => write!(f, "coordination: {e}"),
+            ComplexError::Glue(e) => write!(f, "coordination: {e}"),
         }
     }
 }
@@ -144,7 +147,7 @@ impl ComplexWorkflow {
         )
         .map_err(|e| ComplexError::TaskSet(e.to_string()))?;
         let schedule = schedule_energy_aware(&set).map_err(ComplexError::Unschedulable)?;
-        let parallel_glue = generate_parallel_glue(&set, &schedule);
+        let parallel_glue = generate_parallel_glue(&set, &schedule).map_err(ComplexError::Glue)?;
         let frame_energy_uj = schedule.total_energy_uj;
 
         Ok(ComplexOutcome {

@@ -35,6 +35,6 @@ pub mod predictable;
 pub use advisor::{advise, Advice, Confidence};
 pub use complex::{ComplexOutcome, ComplexWorkflow};
 pub use predictable::{
-    MeasureConfig, PredictableOutcome, PredictableWorkflow, TaskMeasurement, TaskReport,
-    VariantMeasurement, WorkflowConfig, WorkflowError,
+    DegradationRung, MeasureConfig, PredictableOutcome, PredictableWorkflow, TaskMeasurement,
+    TaskReport, VariantMeasurement, WorkflowConfig, WorkflowError,
 };

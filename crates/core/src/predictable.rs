@@ -9,15 +9,15 @@ use teamplay_compiler::{
 };
 use teamplay_contracts::{prove, Certificate, ProveError, TaskEvidence};
 use teamplay_coord::{
-    generate_parallel_glue_with_pipelines, schedule_energy_aware, CoordTask, ExecOption, Schedule,
-    ScheduleError, TaskSet,
+    generate_parallel_glue_with_pipelines, schedule_energy_aware, CoordTask, ExecOption, GlueError,
+    Schedule, ScheduleError, TaskSet,
 };
 use teamplay_csl::{extract_model, CslError, CslModel, SecurityReq};
 use teamplay_energy::{analyze_program_energy_cached, IsaEnergyModel};
 use teamplay_isa::{CycleModel, Program};
 use teamplay_minic::{lower::lower_program, parse_and_check, FrontendError};
 use teamplay_security::{assess_leakage, ladderise, LadderReport, LeakageReport, SecretSpec};
-use teamplay_sim::{seeded_inputs, simulate_batch, DecodedProgram, GroundTruthEnergy};
+use teamplay_sim::{seeded_inputs, simulate_batch_budgeted, DecodedProgram, GroundTruthEnergy};
 use teamplay_wcet::analyze_program_cached;
 
 /// Configuration of the predictable workflow: platform models, clock and
@@ -154,6 +154,38 @@ pub struct TaskReport {
     pub leakage: Option<LeakageReport>,
 }
 
+/// Rung of the graceful-degradation ladder the coordinator settled on.
+///
+/// When the nominal contract is unschedulable, the workflow does not
+/// give up immediately: it walks a ladder of progressively weaker — but
+/// still explicit and certifiable — contracts, and records which rung
+/// was actually proven. Each rung is only attempted when the source
+/// declared the clause that enables it (`reliability(k)` for rung 1,
+/// `degraded_deadline(t)` for rung 2); a source with neither degrades
+/// straight to [`WorkflowError::Unschedulable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationRung {
+    /// Rung 0: the full nominal contract, re-execution slack included.
+    Full,
+    /// Rung 1: re-execution reservations dropped — the system stays on
+    /// its nominal deadlines but loses fault-recovery guarantees.
+    NoReexecution,
+    /// Rung 2: degraded-mode deadlines substituted where declared
+    /// (re-executions stay dropped) — the relaxed real-time contract.
+    DegradedDeadline,
+}
+
+impl DegradationRung {
+    /// Numeric form recorded in [`TaskEvidence::degradation_rung`].
+    pub fn as_u8(self) -> u8 {
+        match self {
+            DegradationRung::Full => 0,
+            DegradationRung::NoReexecution => 1,
+            DegradationRung::DegradedDeadline => 2,
+        }
+    }
+}
+
 /// The "certified, coordinated binary" of Fig. 1.
 #[derive(Debug, Clone)]
 pub struct PredictableOutcome {
@@ -171,6 +203,9 @@ pub struct PredictableOutcome {
     pub tasks: Vec<TaskReport>,
     /// Generated runtime glue code.
     pub glue: String,
+    /// The degradation rung the coordinator settled on (recorded in
+    /// every task's certificate evidence as well).
+    pub degradation: DegradationRung,
     /// Merged search instrumentation across every task's Pareto front:
     /// total evaluations/generations, and the cache counters of the one
     /// [`EvalCache`] all fronts shared (so `cache_misses` is the number
@@ -202,8 +237,11 @@ pub enum WorkflowError {
     },
     /// Compilation or analysis of a variant failed.
     Compile(String),
-    /// No variant assignment meets the deadlines.
+    /// No variant assignment meets the deadlines, even after walking
+    /// every declared rung of the degradation ladder.
     Unschedulable(ScheduleError),
+    /// Glue generation found the schedule and task set inconsistent.
+    Glue(GlueError),
     /// Leakage assessment failed to run.
     Security(String),
     /// The contract system rejected the budgets.
@@ -223,6 +261,7 @@ impl fmt::Display for WorkflowError {
             ),
             WorkflowError::Compile(msg) => write!(f, "compilation: {msg}"),
             WorkflowError::Unschedulable(e) => write!(f, "coordination: {e}"),
+            WorkflowError::Glue(e) => write!(f, "coordination: {e}"),
             WorkflowError::Security(msg) => write!(f, "security analysis: {msg}"),
             WorkflowError::Contract(e) => write!(f, "contract system: {e}"),
         }
@@ -240,6 +279,76 @@ impl From<CslError> for WorkflowError {
     fn from(e: CslError) -> Self {
         WorkflowError::Csl(e)
     }
+}
+
+/// Walk the graceful-degradation ladder: try the nominal contract
+/// (re-execution slack included), then — where the source declared the
+/// enabling clauses — drop the re-execution reservations, then
+/// substitute degraded-mode deadlines. Returns the first rung that
+/// schedules, with the task set actually used; exhausting the ladder
+/// reports the *last* rung's scheduling failure (the weakest contract
+/// that was still infeasible).
+///
+/// The global deadline is recomputed per rung as the tightest per-task
+/// deadline in effect, so rung 2 relaxes the frame end alongside the
+/// substituted task deadlines.
+fn schedule_with_degradation(
+    model: &CslModel,
+    nominal: &[CoordTask],
+) -> Result<(TaskSet, Schedule, DegradationRung), WorkflowError> {
+    let attempt =
+        |tasks: Vec<CoordTask>| -> Result<Result<(TaskSet, Schedule), ScheduleError>, WorkflowError> {
+            let deadline_us = tasks
+                .iter()
+                .filter_map(|t| t.deadline_us)
+                .fold(f64::INFINITY, f64::min)
+                .min(1e12);
+            let set = TaskSet::new(tasks, vec!["cpu0".into()], deadline_us)
+                .map_err(|e| WorkflowError::Compile(e.to_string()))?;
+            Ok(match schedule_energy_aware(&set) {
+                Ok(s) => Ok((set, s)),
+                Err(e) => Err(e),
+            })
+        };
+    // Rung 0 — the full nominal contract.
+    let mut last = match attempt(nominal.to_vec())? {
+        Ok((set, s)) => return Ok((set, s, DegradationRung::Full)),
+        Err(e) => e,
+    };
+    // Rung 1 — drop re-execution reservations (only meaningful when the
+    // source contracted any).
+    if nominal.iter().any(|t| t.reexecutions > 0) {
+        let relaxed: Vec<CoordTask> = nominal
+            .iter()
+            .cloned()
+            .map(|t| t.with_reexecutions(0))
+            .collect();
+        match attempt(relaxed)? {
+            Ok((set, s)) => return Ok((set, s, DegradationRung::NoReexecution)),
+            Err(e) => last = e,
+        }
+    }
+    // Rung 2 — degraded-mode deadlines where declared (re-executions
+    // stay dropped: the degraded mode is the last resort before
+    // reporting the system unschedulable).
+    if model.tasks.iter().any(|t| t.degraded_deadline.is_some()) {
+        let degraded: Vec<CoordTask> = nominal
+            .iter()
+            .cloned()
+            .map(|mut t| {
+                t.reexecutions = 0;
+                if let Some(d) = model.task(&t.name).and_then(|spec| spec.degraded_deadline) {
+                    t.deadline_us = Some(d.as_us());
+                }
+                t
+            })
+            .collect();
+        match attempt(degraded)? {
+            Ok((set, s)) => return Ok((set, s, DegradationRung::DegradedDeadline)),
+            Err(e) => last = e,
+        }
+    }
+    Err(WorkflowError::Unschedulable(last))
 }
 
 /// The Fig. 1 toolchain driver.
@@ -377,9 +486,19 @@ impl PredictableWorkflow {
                     );
                     let mut observed_cycles = 0u64;
                     let mut observed_energy = 0.0f64;
-                    for (run, r) in simulate_batch(pool, &decoded, &task.function, &inputs)
-                        .into_iter()
-                        .enumerate()
+                    // Explicit watchdog: the variant's own IPET bound.
+                    // By IPET soundness no run may exceed it, so a
+                    // `CycleLimit` trap here is a genuine analysis or
+                    // simulator defect surfacing — not a tuning knob.
+                    for (run, r) in simulate_batch_budgeted(
+                        pool,
+                        &decoded,
+                        &task.function,
+                        &inputs,
+                        v.metrics.wcet_cycles,
+                    )
+                    .into_iter()
+                    .enumerate()
                     {
                         let r = r.map_err(|e| {
                             WorkflowError::Compile(format!(
@@ -408,13 +527,9 @@ impl PredictableWorkflow {
             }
         }
 
-        // 4. Coordination: multi-version selection under the deadlines.
-        let global_deadline_us = model
-            .tasks
-            .iter()
-            .filter_map(|t| t.deadline.map(|d| d.as_us()))
-            .fold(f64::INFINITY, f64::min)
-            .min(1e12);
+        // 4. Coordination: multi-version selection under the deadlines,
+        //    with re-execution slack reserved for `reliability(k)` tasks
+        //    and the degradation ladder as the schedulability fallback.
         let coord_tasks: Vec<CoordTask> = model
             .tasks
             .iter()
@@ -432,12 +547,11 @@ impl PredictableWorkflow {
                 let mut ct = CoordTask::new(t.name.clone(), options);
                 ct.after = t.after.clone();
                 ct.deadline_us = t.deadline.map(|d| d.as_us());
+                ct.reexecutions = t.reexecutions;
                 ct
             })
             .collect();
-        let set = TaskSet::new(coord_tasks, vec!["cpu0".into()], global_deadline_us)
-            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
-        let provisional = schedule_energy_aware(&set).map_err(WorkflowError::Unschedulable)?;
+        let (_, provisional, _) = schedule_with_degradation(&model, &coord_tasks)?;
 
         // 5. Final build: every task keeps its selected variant's config.
         let mut chosen: HashMap<String, CompilerConfig> = HashMap::new();
@@ -493,12 +607,11 @@ impl PredictableWorkflow {
                 );
                 ct.after = t.after.clone();
                 ct.deadline_us = t.deadline.map(|d| d.as_us());
+                ct.reexecutions = t.reexecutions;
                 ct
             })
             .collect();
-        let final_set = TaskSet::new(final_tasks, vec!["cpu0".into()], global_deadline_us)
-            .map_err(|e| WorkflowError::Compile(e.to_string()))?;
-        let schedule = schedule_energy_aware(&final_set).map_err(WorkflowError::Unschedulable)?;
+        let (final_set, schedule, rung) = schedule_with_degradation(&model, &final_tasks)?;
 
         // 7. SecurityAnalyser: measured leakage of secure tasks on the
         //    final binary.
@@ -543,11 +656,19 @@ impl PredictableWorkflow {
         }
 
         // 8. Contract system: prove every budget, emit the certificate.
+        //    The scheduled finish counts the re-execution slack — the
+        //    deadline claim holds even when every recovery run executes —
+        //    and each task's evidence records the degradation rung the
+        //    coordinator settled on. At rung 2 the proof runs against
+        //    the effective model (degraded deadlines substituted), so
+        //    the certificate certifies the contract actually deployed.
         let mut evidence: HashMap<String, TaskEvidence> = HashMap::new();
         for task in &model.tasks {
             let cycles = wcet.wcet_cycles(&task.function).expect("analysed");
             let pj = energy.wcec_pj(&task.function).expect("analysed");
-            let finish = schedule.entry(&task.name).map(|e| e.finish_us);
+            let finish = schedule
+                .entry(&task.name)
+                .map(|e| e.finish_us + e.recovery_us);
             evidence.insert(
                 task.name.clone(),
                 TaskEvidence {
@@ -556,11 +677,23 @@ impl PredictableWorkflow {
                     residual_branches: ladder_reports.get(&task.name).map(|r| r.residual),
                     leaks: leakage_reports.get(&task.name).map(|r| r.leaks()),
                     finish_us: finish,
+                    degradation_rung: rung.as_u8(),
                 },
             );
         }
-        let certificate =
-            prove("teamplay-system", &model, &evidence).map_err(WorkflowError::Contract)?;
+        let effective_model = if rung == DegradationRung::DegradedDeadline {
+            let mut m = model.clone();
+            for t in &mut m.tasks {
+                if let Some(d) = t.degraded_deadline {
+                    t.deadline = Some(d);
+                }
+            }
+            m
+        } else {
+            model.clone()
+        };
+        let certificate = prove("teamplay-system", &effective_model, &evidence)
+            .map_err(WorkflowError::Contract)?;
 
         // 9. Coordination glue, recording each task's selected pipeline
         //    so the deployed runtime carries its variants' provenance.
@@ -568,7 +701,8 @@ impl PredictableWorkflow {
             .iter()
             .map(|(task, config)| (task.clone(), config.pipeline.to_string()))
             .collect();
-        let glue = generate_parallel_glue_with_pipelines(&final_set, &schedule, &task_pipelines);
+        let glue = generate_parallel_glue_with_pipelines(&final_set, &schedule, &task_pipelines)
+            .map_err(WorkflowError::Glue)?;
 
         let tasks = model
             .tasks
@@ -596,6 +730,7 @@ impl PredictableWorkflow {
             evidence,
             tasks,
             glue,
+            degradation: rung,
             search,
             measurements,
         })
@@ -649,6 +784,15 @@ mod tests {
         }
         // Schedule respects the pipeline deadline.
         assert!(outcome.schedule.makespan_us <= 40_000.0);
+        // The frame has ample slack, so the full nominal contract holds:
+        // no degradation rung was taken, and every task's evidence says so.
+        assert_eq!(outcome.degradation, DegradationRung::Full);
+        for ev in outcome.evidence.values() {
+            assert_eq!(ev.degradation_rung, 0);
+        }
+        // `reliability(1)` on encrypt reserved one re-execution slot.
+        let encrypt_entry = outcome.schedule.entry("encrypt").expect("scheduled");
+        assert!(encrypt_entry.recovery_us > 0.0);
     }
 
     #[test]
@@ -908,5 +1052,79 @@ mod tests {
         let b = pill_workflow().run(src).expect("run b");
         assert_eq!(a.certificate, b.certificate);
         assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn infeasible_reliability_degrades_to_rung_one() {
+        // k = 100000 re-executions cannot fit any 10 ms deadline, but the
+        // task itself schedules comfortably once the reservations are
+        // dropped: the ladder lands on rung 1 and records it everywhere.
+        let src = r#"
+            /*@ task heavy period(20ms) deadline(10ms) reliability(100000) @*/
+            void heavy() {
+                int s = 0;
+                for (int i = 0; i < 5000; i = i + 1) { s = s + i * i; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        let outcome = pill_workflow().run(src).expect("rung 1 schedules");
+        assert_eq!(outcome.degradation, DegradationRung::NoReexecution);
+        for ev in outcome.evidence.values() {
+            assert_eq!(ev.degradation_rung, 1);
+        }
+        // The reservations really were dropped, and the relaxed schedule
+        // still proves the contract.
+        let entry = outcome.schedule.entry("heavy").expect("scheduled");
+        assert_eq!(entry.recovery_us.to_bits(), 0.0f64.to_bits());
+        verify_certificate(&outcome.certificate, &outcome.evidence).expect("certificate checks");
+    }
+
+    #[test]
+    fn degraded_deadline_rescues_an_unschedulable_task() {
+        // The nominal 5 µs deadline is impossible (same workload as
+        // `unschedulable_deadline_is_detected`), but the declared
+        // degraded-mode deadline of 10 ms is generous: the ladder skips
+        // rung 1 (no re-executions declared) and settles on rung 2.
+        let src = r#"
+            /*@ task heavy period(20ms) deadline(5us) degraded_deadline(10ms) @*/
+            void heavy() {
+                int s = 0;
+                for (int i = 0; i < 5000; i = i + 1) { s = s + i * i; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        let outcome = pill_workflow().run(src).expect("rung 2 schedules");
+        assert_eq!(outcome.degradation, DegradationRung::DegradedDeadline);
+        for ev in outcome.evidence.values() {
+            assert_eq!(ev.degradation_rung, 2);
+        }
+        // The certificate was proven against the substituted deadline and
+        // re-verifies against the emitted evidence.
+        verify_certificate(&outcome.certificate, &outcome.evidence).expect("certificate checks");
+        // The schedule misses 5 µs but meets the degraded 10 ms deadline.
+        let entry = outcome.schedule.entry("heavy").expect("scheduled");
+        assert!(entry.reserved_until_us() > 5.0);
+        assert!(entry.reserved_until_us() <= 10_000.0);
+    }
+
+    #[test]
+    fn ladder_exhaustion_still_reports_unschedulable() {
+        // Even the degraded-mode deadline is impossible: the ladder walks
+        // every rung and surfaces the final scheduling error.
+        let src = r#"
+            /*@ task heavy period(20ms) deadline(5us) reliability(1) degraded_deadline(6us) @*/
+            void heavy() {
+                int s = 0;
+                for (int i = 0; i < 5000; i = i + 1) { s = s + i * i; }
+                __out(1, s);
+                return;
+            }
+        "#;
+        match pill_workflow().run(src) {
+            Err(WorkflowError::Unschedulable(_)) => {}
+            other => panic!("expected unschedulable, got {other:?}"),
+        }
     }
 }

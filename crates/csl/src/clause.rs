@@ -150,6 +150,14 @@ pub enum CslClause {
     Secret(String),
     /// `after(a, b, ...)` — dependency edges.
     After(Vec<String>),
+    /// `reliability(k)` — the task re-executes up to `k` times on fault
+    /// detection; the scheduler must reserve slack for every recovery
+    /// run inside the deadline.
+    Reliability(u32),
+    /// `degraded_deadline(48ms)` — the relaxed deadline the task may
+    /// fall back to in degraded mode when the nominal contract is
+    /// unschedulable.
+    DegradedDeadline(TimeValue),
     /// `loop bound(n)` — owned by the front-end; carried through
     /// untouched.
     LoopBound(u32),
@@ -262,6 +270,16 @@ pub fn parse_clauses(payload: &str) -> Result<Vec<CslClause>, ClauseParseError> 
                 }
             }
             "secret" => CslClause::Secret(need(arg)?.trim().to_string()),
+            "reliability" => {
+                let k: u32 = need(arg)?
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClauseParseError::BadQuantity("reliability".into()))?;
+                CslClause::Reliability(k)
+            }
+            "degraded_deadline" => {
+                CslClause::DegradedDeadline(TimeValue::parse(need(arg)?.trim())?)
+            }
             "after" => {
                 let list = need(arg)?;
                 let deps: Vec<String> = list
@@ -358,6 +376,17 @@ mod tests {
     fn loop_bound_clause() {
         let clauses = parse_clauses("loop bound(64)").expect("parse");
         assert_eq!(clauses, vec![CslClause::LoopBound(64)]);
+    }
+
+    #[test]
+    fn reliability_and_degraded_deadline_clauses() {
+        let clauses =
+            parse_clauses("task encrypt reliability(2) degraded_deadline(48ms)").expect("parse");
+        assert_eq!(clauses[1], CslClause::Reliability(2));
+        assert!(matches!(clauses[2], CslClause::DegradedDeadline(t) if t.as_ms() == 48.0));
+        assert!(parse_clauses("reliability(two)").is_err());
+        assert!(parse_clauses("reliability").is_err());
+        assert!(parse_clauses("degraded_deadline(5min)").is_err());
     }
 
     #[test]

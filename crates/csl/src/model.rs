@@ -33,6 +33,12 @@ pub struct TaskSpec {
     pub secrets: Vec<String>,
     /// Names of tasks that must complete first.
     pub after: Vec<String>,
+    /// Re-executions reserved on fault detection (`reliability(k)`;
+    /// 0 = no fault tolerance contracted).
+    pub reexecutions: u32,
+    /// Relaxed deadline the task may degrade to when the nominal
+    /// contract is unschedulable.
+    pub degraded_deadline: Option<TimeValue>,
 }
 
 /// Extraction errors.
@@ -176,6 +182,8 @@ pub fn extract_model(program: &Program) -> Result<CslModel, CslError> {
             security: None,
             secrets: Vec::new(),
             after: Vec::new(),
+            reexecutions: 0,
+            degraded_deadline: None,
         };
         for c in clauses {
             match c {
@@ -187,6 +195,8 @@ pub fn extract_model(program: &Program) -> Result<CslModel, CslError> {
                 CslClause::Security(s) => spec.security = Some(s),
                 CslClause::Secret(p) => spec.secrets.push(p),
                 CslClause::After(deps) => spec.after.extend(deps),
+                CslClause::Reliability(k) => spec.reexecutions = k,
+                CslClause::DegradedDeadline(t) => spec.degraded_deadline = Some(t),
             }
         }
         for s in &spec.secrets {
@@ -283,6 +293,20 @@ mod tests {
         let m = model(PIPELINE).expect("extract");
         assert_eq!(m.successors("capture"), vec!["compress"]);
         assert!(m.successors("transmit").is_empty());
+    }
+
+    #[test]
+    fn reliability_and_degraded_deadline_reach_the_spec() {
+        let src = "/*@ task a reliability(2) degraded_deadline(48ms) deadline(40ms) @*/
+                   void a() { return; }
+                   /*@ task b @*/ void b() { return; }";
+        let m = model(src).expect("extract");
+        let a = m.task("a").expect("a");
+        assert_eq!(a.reexecutions, 2);
+        assert_eq!(a.degraded_deadline.expect("degraded").as_ms(), 48.0);
+        let b = m.task("b").expect("b");
+        assert_eq!(b.reexecutions, 0, "reliability defaults to none");
+        assert!(b.degraded_deadline.is_none());
     }
 
     #[test]

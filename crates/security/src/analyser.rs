@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use teamplay_isa::Program;
-use teamplay_sim::{Machine, MachineError, NullDevice};
+use teamplay_sim::{LoadError, Machine, MachineError, NullDevice};
 
 /// Which argument is secret and which two values to compare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,7 +53,7 @@ pub enum AssessError {
     /// Bad argument shape (secret index out of range, > 6 args).
     BadSpec(String),
     /// Program failed to load.
-    Load(String),
+    Load(LoadError),
 }
 
 impl fmt::Display for AssessError {
@@ -61,7 +61,7 @@ impl fmt::Display for AssessError {
         match self {
             AssessError::Machine(e) => write!(f, "measurement run trapped: {e}"),
             AssessError::BadSpec(msg) => write!(f, "bad secret spec: {msg}"),
-            AssessError::Load(msg) => write!(f, "program load failed: {msg}"),
+            AssessError::Load(e) => write!(f, "program load failed: {e}"),
         }
     }
 }

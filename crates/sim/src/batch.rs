@@ -49,6 +49,29 @@ pub fn simulate_batch(
     simulate_batch_with(pool, program, func, inputs, NullDevice::new)
 }
 
+/// [`simulate_batch`] under an explicit per-run cycle-budget watchdog:
+/// any run that exceeds `watchdog_cycles` traps
+/// [`MachineError::CycleLimit`] deterministically instead of burning
+/// the engine's (much larger) default budget. Measurement flows with a
+/// static bound in hand (e.g. the workflow's measure step, which knows
+/// each variant's IPET WCET) should always prefer this entry point.
+pub fn simulate_batch_budgeted(
+    pool: &Pool,
+    program: &DecodedProgram,
+    func: &str,
+    inputs: &[Vec<i32>],
+    watchdog_cycles: u64,
+) -> Vec<Result<RunResult, MachineError>> {
+    simulate_batch_inner(
+        pool,
+        program,
+        func,
+        inputs,
+        NullDevice::new,
+        Some(watchdog_cycles),
+    )
+}
+
 /// [`simulate_batch`] with a caller-supplied device factory — one fresh
 /// device per run, so device state can never couple runs (or pool
 /// widths) together.
@@ -63,12 +86,30 @@ where
     D: PortDevice,
     F: Fn() -> D + Sync,
 {
+    simulate_batch_inner(pool, program, func, inputs, make_device, None)
+}
+
+fn simulate_batch_inner<D, F>(
+    pool: &Pool,
+    program: &DecodedProgram,
+    func: &str,
+    inputs: &[Vec<i32>],
+    make_device: F,
+    watchdog_cycles: Option<u64>,
+) -> Vec<Result<RunResult, MachineError>>
+where
+    D: PortDevice,
+    F: Fn() -> D + Sync,
+{
     // Fixed-size chunks (never pool-width-derived): the chunk boundaries,
     // and therefore each run's engine state, are independent of how many
     // workers execute them.
     let chunks: Vec<&[Vec<i32>]> = inputs.chunks(CHUNK).collect();
     let per_chunk: Vec<Vec<Result<RunResult, MachineError>>> = pool.par_map(&chunks, |_, chunk| {
         let mut engine: DecodedEngine<'_> = program.engine();
+        if let Some(budget) = watchdog_cycles {
+            engine.set_max_cycles(budget);
+        }
         chunk
             .iter()
             .map(|args| {
@@ -195,6 +236,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn budgeted_batch_traps_runaway_runs_and_matches_otherwise() {
+        let p = triangle_program();
+        let decoded = DecodedProgram::new(&p).expect("decodes");
+        let inputs = vec![vec![2], vec![50], vec![3]];
+        let batch = simulate_batch_budgeted(minipool::global(), &decoded, "tri", &inputs, 60);
+        // tri(2)/tri(3) fit 60 cycles; tri(50) cannot.
+        assert!(batch[0].is_ok());
+        assert_eq!(batch[1], Err(MachineError::CycleLimit));
+        assert!(batch[2].is_ok());
+        // Inside the budget the results are the unbudgeted results.
+        let free = simulate_batch(minipool::global(), &decoded, "tri", &inputs);
+        assert_eq!(batch[0], free[0]);
+        assert_eq!(batch[2], free[2]);
     }
 
     #[test]

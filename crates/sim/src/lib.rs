@@ -4,15 +4,19 @@
 //! GR712RC, Apalis TK1 / Jetson TX2 / Nano). This crate provides the
 //! simulated equivalents the reproduction runs on.
 //!
-//! ## The two PG32 engines
+//! ## The PG32 execution stack: reference, decoded, fault wrapper
 //!
-//! PG32 programs execute on two engines with one contract:
+//! PG32 programs execute on three layers with one contract:
 //!
 //! * [`machine`] — the **reference interpreter**. It walks the CFG form
 //!   directly, instruction by instruction, calling the cost models as it
 //!   goes. It is deliberately simple — close to a transliteration of the
 //!   PG32 semantics — and is the *authoritative* definition of what a run
-//!   costs: every other execution path is judged against it.
+//!   costs: every other execution path is judged against it. Loading is
+//!   fallible with a structured [`LoadError`] (matchable alongside the
+//!   [`MachineError`] runtime traps), and every run executes under a
+//!   cycle-budget watchdog ([`machine::DEFAULT_MAX_CYCLES`] unless
+//!   overridden) so runaway kernels trap `CycleLimit` deterministically.
 //! * [`decoded`] — the **pre-decoded engine**. A one-time lowering bakes
 //!   a validated program into flat, index-addressed op and cost arrays
 //!   ([`DecodedProgram`]); a direct-threaded dispatch loop
@@ -22,13 +26,25 @@
 //!   f64 bit) — enforced by the differential oracle suite — so it is the
 //!   engine of choice wherever throughput matters: batched measurement,
 //!   bound validation, energy-model fitting.
+//! * [`fault`] — the **fault-injection wrapper** around the reference.
+//!   [`Machine::call_faulted`] runs to a target cycle, applies one
+//!   single-event upset (register/memory bit flip or instruction skip),
+//!   and keeps executing; [`fault::run_campaign`] fans seeded
+//!   [`fault::FaultPlan`]s across the pool and classifies each run as
+//!   masked / silent data corruption / trapped / timing violation /
+//!   hang against the fault-free reference observables. The wrapper
+//!   injects *through* the reference semantics — with no fault attached
+//!   the path is bit-identical to [`Machine::call`] — and its masked
+//!   verdicts are cross-checked against the decoded engine.
 //!
 //! The reference stays authoritative (new ISA semantics land there
 //! first); the decoded engine is a performance artefact whose only
-//! license to exist is bit-identity. [`batch`] builds on the decoded
+//! license to exist is bit-identity; the fault wrapper perturbs single
+//! runs but never redefines semantics. [`batch`] builds on the decoded
 //! engine: [`simulate_batch`] fans deterministic seeded input vectors
 //! ([`seeded_inputs`]) across a `minipool` pool with results in input
-//! order, bit-identical at any pool width.
+//! order, bit-identical at any pool width — and fault campaigns reuse
+//! exactly that fixed-chunk determinism discipline.
 //!
 //! Both engines charge a *hidden ground-truth energy model* ([`truth`]).
 //! Static analyses never see this model directly; they see either the
@@ -52,14 +68,19 @@ pub mod batch;
 pub mod battery;
 pub mod complex;
 pub mod decoded;
+pub mod fault;
 pub mod machine;
 pub mod ports;
 pub mod truth;
 
-pub use batch::{seeded_inputs, simulate_batch, simulate_batch_with};
+pub use batch::{seeded_inputs, simulate_batch, simulate_batch_budgeted, simulate_batch_with};
 pub use battery::Battery;
 pub use complex::{ComplexPlatform, CoreDesc, CoreKind, OperatingPoint, TaskExecution, WorkItem};
 pub use decoded::{DecodedEngine, DecodedProgram, OpCost};
-pub use machine::{Machine, MachineError, RunResult};
+pub use fault::{
+    run_campaign, run_campaign_with_plan, CampaignConfig, CampaignResult, CampaignStats, FaultKind,
+    FaultOutcome, FaultPlan, FaultSpec,
+};
+pub use machine::{LoadError, Machine, MachineError, RunResult};
 pub use ports::{NullDevice, PortDevice, RecordingDevice};
 pub use truth::GroundTruthEnergy;

@@ -9,6 +9,7 @@
 //! the energy-model *fitting* flow regresses against — the reproduction of
 //! paper ref \[8\]'s "fine-grain power models with no on-chip PMU".
 
+use crate::fault::{FaultKind, FaultSpec};
 use crate::ports::PortDevice;
 use crate::truth::GroundTruthEnergy;
 use serde::{Deserialize, Serialize};
@@ -16,7 +17,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use teamplay_isa::{
     AluOp, BlockId, Cond, CycleModel, DataLayout, EnergyClass, Function, Insn, Operand, Program,
-    Reg, Terminator, ENERGY_CLASS_COUNT, MEMORY_BYTES, STACK_TOP,
+    Reg, Terminator, DATA_BASE, ENERGY_CLASS_COUNT, MEMORY_BYTES, STACK_TOP,
 };
 
 /// Execution errors (traps).
@@ -51,6 +52,25 @@ impl fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
+/// Load-time failures: the program could not be turned into a runnable
+/// machine image. Structured (rather than a bare `String`) so callers
+/// can match load failures alongside [`MachineError`] traps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadError {
+    /// The program failed its own structural validation.
+    InvalidProgram(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// The result of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
@@ -80,6 +100,12 @@ impl RunResult {
 }
 
 pub(crate) const MAX_CALL_DEPTH: usize = 256;
+
+/// The default cycle-budget watchdog applied at load time. Entry points
+/// that care about determinism under runaway kernels (the workflow's
+/// measure step, fault campaigns, benches) override it with an explicit
+/// budget via [`Machine::set_max_cycles`].
+pub const DEFAULT_MAX_CYCLES: u64 = 50_000_000;
 
 /// A loaded PG32 machine: program + memory image + cost models.
 ///
@@ -111,26 +137,27 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Load a program with PG32 cost models and a 50 M cycle budget.
+    /// Load a program with PG32 cost models and the
+    /// [`DEFAULT_MAX_CYCLES`] watchdog budget.
     ///
     /// # Errors
-    /// Returns the program's own validation error text if it is
-    /// structurally invalid.
-    pub fn new(program: Program) -> Result<Machine, String> {
+    /// [`LoadError::InvalidProgram`] if the program is structurally
+    /// invalid.
+    pub fn new(program: Program) -> Result<Machine, LoadError> {
         Machine::with_models(program, CycleModel::pg32(), GroundTruthEnergy::pg32())
     }
 
     /// Load a program with explicit cost models.
     ///
     /// # Errors
-    /// Returns the program's own validation error text if it is
-    /// structurally invalid.
+    /// [`LoadError::InvalidProgram`] if the program is structurally
+    /// invalid.
     pub fn with_models(
         program: Program,
         cycle_model: CycleModel,
         energy_model: GroundTruthEnergy,
-    ) -> Result<Machine, String> {
-        program.validate()?;
+    ) -> Result<Machine, LoadError> {
+        program.validate().map_err(LoadError::InvalidProgram)?;
         let layout = DataLayout::of_program(&program);
         let functions: Vec<Function> = program.functions.into_values().collect();
         let func_index: HashMap<String, usize> = functions
@@ -168,7 +195,7 @@ impl Machine {
             mem: zeroed_mem(),
             regs: [0; 16],
             flags: (0, 0),
-            max_cycles: 50_000_000,
+            max_cycles: DEFAULT_MAX_CYCLES,
         };
         machine.reset_data();
         Ok(machine)
@@ -201,6 +228,15 @@ impl Machine {
         self.mem.get(base as usize + index).copied()
     }
 
+    /// Snapshot of the whole global data segment, in address order —
+    /// the "globals" observable the fault classifier compares between a
+    /// faulted run and the fault-free reference.
+    pub fn data_image(&self) -> Vec<i32> {
+        let lo = (DATA_BASE / 4) as usize;
+        let hi = (self.layout.data_end() / 4) as usize;
+        self.mem[lo..hi].to_vec()
+    }
+
     /// Call `func` with up to 6 scalar arguments in `r0..r5`.
     ///
     /// # Errors
@@ -211,6 +247,37 @@ impl Machine {
         func: &str,
         args: &[i32],
         device: &mut dyn PortDevice,
+    ) -> Result<RunResult, MachineError> {
+        self.run(func, args, device, None)
+    }
+
+    /// [`Machine::call`] with one transient fault injected mid-run.
+    ///
+    /// The machine executes normally until the fault's target cycle is
+    /// reached, applies the upset at the next instruction boundary, and
+    /// continues. A fault whose target cycle lies past the end of the run
+    /// never fires (the run is trivially masked). With `fault` absent the
+    /// path is bit-identical to [`Machine::call`].
+    ///
+    /// # Errors
+    /// Any [`MachineError`] trap — under a fault a trap is an *outcome*
+    /// (the classifier maps it to `Trapped`/`Hang`), not a bug.
+    pub fn call_faulted(
+        &mut self,
+        func: &str,
+        args: &[i32],
+        device: &mut dyn PortDevice,
+        fault: &FaultSpec,
+    ) -> Result<RunResult, MachineError> {
+        self.run(func, args, device, Some(fault))
+    }
+
+    fn run(
+        &mut self,
+        func: &str,
+        args: &[i32],
+        device: &mut dyn PortDevice,
+        fault: Option<&FaultSpec>,
     ) -> Result<RunResult, MachineError> {
         if args.len() > 6 {
             return Err(MachineError::TooManyArgs);
@@ -269,9 +336,30 @@ impl Machine {
             *prev = Some(class);
         };
 
+        // SEU injection state: the fault fires exactly once, at the first
+        // instruction boundary at or past its target cycle. `skip_armed`
+        // carries a pending instruction-skip across terminators (a skip
+        // upsets the next *instruction*, never a branch).
+        let mut fault_pending = fault;
+        let mut skip_armed = false;
+
         loop {
             if cycles > max_cycles {
                 return Err(MachineError::CycleLimit);
+            }
+            if let Some(f) = fault_pending {
+                if cycles >= f.at_cycle {
+                    match f.kind {
+                        FaultKind::RegisterBitFlip { reg, bit } => {
+                            regs[reg as usize % regs.len()] ^= 1i32 << (bit % 32);
+                        }
+                        FaultKind::MemoryBitFlip { word, bit } => {
+                            mem[word as usize % MEM_WORDS] ^= 1i32 << (bit % 32);
+                        }
+                        FaultKind::SkipInstruction => skip_armed = true,
+                    }
+                    fault_pending = None;
+                }
             }
             let block = &cur_fn.blocks[cur_block.index()];
             if cur_idx < block.insns.len() {
@@ -293,6 +381,15 @@ impl Machine {
                     &mut prev_class,
                     &mut counts,
                 );
+                if skip_armed {
+                    // A skipped instruction models a writeback-enable
+                    // upset: the pipeline still pays the instruction's
+                    // normal cost, but its architectural effect is
+                    // suppressed. Timing therefore stays on the fault-free
+                    // trajectory unless control flow diverges later.
+                    skip_armed = false;
+                    continue;
+                }
                 match insn {
                     Insn::Alu { op, rd, rn, src } => {
                         let a = regs[rn.index()];

@@ -105,7 +105,36 @@ def validate_sim(data: dict) -> str:
     return f"speedups {speedups}, floor {floor:.2f}x"
 
 
+def validate_fault(data: dict) -> str:
+    """BENCH_fault.json: deterministic SEU campaigns per app kernel."""
+    assert data["bench"] == "fault_campaign"
+    assert isinstance(data["injections_per_kernel"], int) and data["injections_per_kernel"] > 0
+    kernels = data["kernels"]
+    assert len(kernels) == 4, "four app kernels expected"
+    rate_fields = ("masked_rate", "sdc_rate", "trapped_rate", "timing_rate", "hang_rate")
+    for k in kernels:
+        assert k["injections"] == data["injections_per_kernel"], k
+        assert 0 < k["reference_cycles"] <= k["ipet_cycles"], k
+        # Every run executed under an explicit watchdog budget that
+        # exceeds the fault-free run.
+        assert k["watchdog_cycles"] > k["reference_cycles"], k
+        for field in rate_fields:
+            assert 0.0 <= k[field] <= 1.0, (k["app"], field)
+        assert abs(sum(k[f] for f in rate_fields) - 1.0) < 1e-9, k
+        # Harness invariants, not outcomes: the zero-fault control is
+        # bit-identical to the reference and the serialized campaign is
+        # byte-equal across pool widths.
+        assert k["control_masked"] is True, k
+        assert k["pool_width_invariant"] is True, k
+        # A kernel that masks nothing (or everything) signals a broken
+        # classifier rather than a vulnerability result.
+        assert 0.0 < k["masked_rate"] < 1.0, k
+    rates = {k["app"]: round(k["masked_rate"], 2) for k in kernels}
+    return f"masked {rates} over {data['injections_per_kernel']} injections"
+
+
 RULES = {
+    "BENCH_fault.json": validate_fault,
     "BENCH_search.json": validate_search,
     "BENCH_sched.json": validate_sched,
     "BENCH_sim.json": validate_sim,

@@ -1,0 +1,191 @@
+//! Determinism oracle for the fault-injection campaign runner.
+//!
+//! `run_campaign` promises the same contract as the batched trace
+//! fleet: outcomes in plan order, **byte-identical at any pool width**,
+//! with the zero-fault control run reproducing the fault-free reference
+//! bit for bit. This suite pins that contract on real app kernels under
+//! their tuned pipelines — the serialized [`CampaignResult`] (plan,
+//! per-injection outcomes, aggregated stats) must be byte-for-byte
+//! equal on pools of 1, 2 and 4 workers.
+//!
+//! A second case checks the empty-plan identity: a campaign over
+//! [`FaultPlan::empty`] performs no injections and still certifies the
+//! masked control, so wiring the campaign harness into a flow cannot
+//! perturb it.
+//!
+//! [`CampaignResult`]: teamplay_sim::CampaignResult
+//! [`FaultPlan::empty`]: teamplay_sim::FaultPlan::empty
+
+use minipool::Pool;
+use teamplay_compiler::{generate_program, CodegenOpts, PassManager};
+use teamplay_isa::CycleModel;
+use teamplay_minic::compile_to_ir;
+use teamplay_sim::{
+    run_campaign, run_campaign_with_plan, CampaignConfig, FaultPlan, RecordingDevice,
+};
+use teamplay_wcet::analyze_program;
+
+/// App kernels under their tuned pipelines, with the IPET bound the
+/// campaign uses as its timing-violation threshold.
+fn kernels() -> Vec<(String, String, Vec<i32>, teamplay_isa::Program, u64)> {
+    let cat = teamplay_apps::catalog();
+    let cm = CycleModel::pg32();
+    [
+        (
+            "camera_pill",
+            teamplay_apps::camera_pill::SOURCE,
+            "compress",
+            vec![],
+        ),
+        (
+            "uav",
+            teamplay_apps::uav::DETECT_KERNEL_SOURCE,
+            "predetect",
+            vec![40],
+        ),
+    ]
+    .into_iter()
+    .map(|(app, src, task, args)| {
+        let mut module = compile_to_ir(src).expect("kernel compiles");
+        let mut pm =
+            PassManager::new(cat.get(app).expect("registered").clone()).expect("pipeline resolves");
+        pm.run(&mut module);
+        let program = generate_program(&module, CodegenOpts::default()).expect("codegen succeeds");
+        let ipet = analyze_program(&program, &cm)
+            .expect("ipet")
+            .wcet_cycles(task)
+            .expect("bounded");
+        (app.to_string(), task.to_string(), args, program, ipet)
+    })
+    .collect()
+}
+
+fn config(ipet: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed: 0xFA17_0C1E,
+        // 67 injections: not a multiple of the campaign's chunk size, so
+        // the last chunk is ragged and boundary bookkeeping is exercised.
+        injections: 67,
+        watchdog_cycles: ipet * 2,
+        ipet_bound_cycles: Some(ipet),
+    }
+}
+
+#[test]
+fn campaigns_are_byte_identical_across_pool_widths() {
+    for (app, task, args, program, ipet) in kernels() {
+        let cfg = config(ipet);
+        let run = |width: usize| {
+            let result = run_campaign(
+                &Pool::new(width),
+                &program,
+                &task,
+                &args,
+                &cfg,
+                RecordingDevice::new,
+            );
+            assert!(
+                result.control_masked,
+                "{app}/{task}: zero-fault control diverged at width {width}"
+            );
+            serde_json::to_string(&result).expect("serializes")
+        };
+        let baseline = run(1);
+        for width in [2usize, 4] {
+            assert_eq!(
+                baseline,
+                run(width),
+                "{app}/{task}: campaign differs between pool width 1 and {width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_rates_cover_every_injection_exactly_once() {
+    for (app, task, args, program, ipet) in kernels() {
+        let cfg = config(ipet);
+        let result = run_campaign(
+            minipool::global(),
+            &program,
+            &task,
+            &args,
+            &cfg,
+            RecordingDevice::new,
+        );
+        assert_eq!(
+            result.outcomes.len(),
+            cfg.injections,
+            "{app}/{task}: outcome arity"
+        );
+        assert_eq!(result.stats.total(), cfg.injections, "{app}/{task}");
+        let rates_sum: f64 = result.stats.rates().iter().sum();
+        assert!(
+            (rates_sum - 1.0).abs() < 1e-12,
+            "{app}/{task}: rates sum to {rates_sum}"
+        );
+        // The plan really was sized from the fault-free reference run.
+        assert!(result
+            .plan
+            .faults
+            .iter()
+            .all(|f| f.at_cycle < result.reference_cycles));
+    }
+}
+
+#[test]
+fn empty_plan_campaign_is_a_no_op_on_a_real_kernel() {
+    for (app, task, args, program, ipet) in kernels() {
+        let result = run_campaign_with_plan(
+            minipool::global(),
+            &program,
+            &task,
+            &args,
+            &FaultPlan::empty(),
+            &config(ipet),
+            RecordingDevice::new,
+        );
+        assert!(result.outcomes.is_empty(), "{app}/{task}");
+        assert_eq!(result.stats.total(), 0, "{app}/{task}");
+        assert_eq!(result.stats.rates(), [0.0; 5], "{app}/{task}");
+        assert!(result.control_masked, "{app}/{task}");
+    }
+}
+
+#[test]
+fn campaigns_are_reproducible_from_the_seed_alone() {
+    let (app, task, args, program, ipet) = kernels().remove(1);
+    let cfg = config(ipet);
+    let a = run_campaign(
+        minipool::global(),
+        &program,
+        &task,
+        &args,
+        &cfg,
+        RecordingDevice::new,
+    );
+    let b = run_campaign(
+        minipool::global(),
+        &program,
+        &task,
+        &args,
+        &cfg,
+        RecordingDevice::new,
+    );
+    assert_eq!(a, b, "{app}/{task}: same seed, different campaign");
+    let other = run_campaign(
+        minipool::global(),
+        &program,
+        &task,
+        &args,
+        &CampaignConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        },
+        RecordingDevice::new,
+    );
+    assert_ne!(
+        a.plan, other.plan,
+        "{app}/{task}: the seed must actually steer the plan"
+    );
+}
