@@ -5,10 +5,41 @@
 //! compiles a configuration, invokes the WCET and energy analyser
 //! plug-ins, and [`pareto_front_for`] runs the FPA to produce the
 //! multi-version task variants the coordination layer schedules.
+//!
+//! # The three-tier cache hierarchy
+//!
+//! Every evaluation the search performs flows through up to three
+//! memoization tiers, each answering a different repetition pattern:
+//!
+//! 1. **[`EvalCache`]** (in-memory, config-keyed): the many genomes
+//!    that decode to the same [`CompilerConfig`] — and the archive
+//!    reconstruction after a search — compile and analyse exactly once
+//!    per process. Concurrent probes of one configuration block on a
+//!    per-entry `OnceLock`, so `misses()` counts distinct
+//!    configurations at any pool width.
+//! 2. **[`AnalysisMemo`]** (in-memory, function-content-keyed): below
+//!    the config tier, distinct configurations mostly recompile
+//!    byte-identical functions; their WCET/WCEC analyses are replayed
+//!    from per-function content-hash memos instead of re-solving IPET.
+//! 3. **[`DiskStore`](crate::store::DiskStore)** (persistent,
+//!    content-addressed): an optional bottom tier
+//!    ([`EvalCache::with_store`]) that spills every evaluation —
+//!    including *infeasible* ones — to a directory keyed by a versioned
+//!    hash of the IR, both cost models, and the configuration. A fresh
+//!    process (or a [`compile_many`](crate::service::compile_many)
+//!    batch) warm-starts from it and skips compilation entirely; stale
+//!    poisoning is impossible because any input change moves the key.
+//!
+//! Tier-1/2 counters surface as `cache_hits`/`cache_misses` and tier-3
+//! counters as `disk_hits`/`disk_misses` in
+//! [`SearchStats`](crate::fpa::SearchStats): `disk_hits + disk_misses
+//! == cache_misses` when a store is attached, and `disk_misses` is the
+//! number of actual compiles.
 
 use crate::codegen::{generate_program, generate_program_with, CodegenError, CodegenOpts};
 use crate::fpa::{FpaConfig, MultiObjectiveFpa, ParetoPoint, SearchStats};
-use crate::passes::{run_passes, run_passes_per_function, PassSpec, Pipeline};
+use crate::passes::{run_passes, run_passes_per_function_on, PassSpec, Pipeline};
+use crate::store::{self, DiskStore, STORE_FORMAT_VERSION};
 use minipool::Pool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -299,6 +330,9 @@ pub fn compile_module(ir: &IrModule, config: &CompilerConfig) -> Result<Program,
 /// optimised and code-generated under its own [`CompilerConfig`] (tasks
 /// keep their selected Pareto variants; everything else uses `default`).
 ///
+/// Sequential; [`compile_module_per_function_on`] fans the per-function
+/// pass pipelines across a pool with byte-identical output.
+///
 /// # Errors
 /// Propagates [`CodegenError`].
 pub fn compile_module_per_function(
@@ -306,8 +340,24 @@ pub fn compile_module_per_function(
     configs: &HashMap<String, CompilerConfig>,
     default: &CompilerConfig,
 ) -> Result<Program, CodegenError> {
+    compile_module_per_function_on(&Pool::new(1), ir, configs, default)
+}
+
+/// [`compile_module_per_function`] on an explicit pool: unique function
+/// bodies (by content hash, per configuration) run their pass pipelines
+/// in parallel, each exactly once. Output is byte-identical at any pool
+/// width — see [`run_passes_per_function_on`].
+///
+/// # Errors
+/// Propagates [`CodegenError`].
+pub fn compile_module_per_function_on(
+    pool: &Pool,
+    ir: &IrModule,
+    configs: &HashMap<String, CompilerConfig>,
+    default: &CompilerConfig,
+) -> Result<Program, CodegenError> {
     let mut module = ir.clone();
-    run_passes_per_function(&mut module, configs, default);
+    run_passes_per_function_on(pool, &mut module, configs, default);
     let codegen_opts: HashMap<String, CodegenOpts> = configs
         .iter()
         .map(|(name, c)| {
@@ -476,6 +526,12 @@ pub fn evaluate_module_memo(
 /// one thread: `misses()` equals the number of distinct configurations
 /// probed, whatever the pool width. Failed evaluations are cached as
 /// `None` (infeasible), so repeated failures are free too.
+///
+/// With [`EvalCache::with_store`] the cache additionally spills to (and
+/// warm-starts from) a persistent [`DiskStore`]: an in-memory miss first
+/// probes the store under a content-addressed key before compiling, and
+/// every computed result — feasible or not — is written back. The
+/// module docs describe the full three-tier hierarchy.
 pub struct EvalCache<'a> {
     ir: &'a IrModule,
     cycle_model: &'a CycleModel,
@@ -486,8 +542,16 @@ pub struct EvalCache<'a> {
     /// config-keyed one: distinct configs mostly recompile identical
     /// functions).
     memo: AnalysisMemo,
+    /// Optional persistent bottom tier.
+    disk: Option<&'a DiskStore>,
+    /// FNV chain over (format version, IR, cost models); each probe
+    /// extends it with the configuration to form the store key. Zero
+    /// when no store is attached.
+    key_prefix: u128,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    disk_hits: AtomicUsize,
+    disk_misses: AtomicUsize,
 }
 
 /// One memoized evaluation: the compiled program (shared, never
@@ -507,9 +571,34 @@ impl<'a> EvalCache<'a> {
             energy_model,
             entries: Mutex::new(HashMap::new()),
             memo: AnalysisMemo::new(),
+            disk: None,
+            key_prefix: 0,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+            disk_misses: AtomicUsize::new(0),
         }
+    }
+
+    /// An [`EvalCache`] backed by a persistent [`DiskStore`]: in-memory
+    /// misses probe the store before compiling, and computed results
+    /// (feasible or infeasible) are written back. The store key commits
+    /// to the IR, both cost models, the configuration, and
+    /// [`STORE_FORMAT_VERSION`], so a store shared across modules or
+    /// model revisions can never serve a stale entry.
+    pub fn with_store(
+        ir: &'a IrModule,
+        cycle_model: &'a CycleModel,
+        energy_model: &'a IsaEnergyModel,
+        disk: &'a DiskStore,
+    ) -> EvalCache<'a> {
+        let mut cache = EvalCache::new(ir, cycle_model, energy_model);
+        cache.key_prefix = store::hash_json(
+            store::fnv_offset(),
+            &(STORE_FORMAT_VERSION, ir, cycle_model, energy_model),
+        );
+        cache.disk = Some(disk);
+        cache
     }
 
     /// [`evaluate_module`] through the cache. `None` means the
@@ -523,20 +612,44 @@ impl<'a> EvalCache<'a> {
                 .clone()
         };
         let mut computed = false;
+        let mut from_disk = false;
         let value = cell.get_or_init(|| {
             computed = true;
-            evaluate_module_memo(
-                self.ir,
-                config,
-                self.cycle_model,
-                self.energy_model,
-                &self.memo,
-            )
-            .ok()
-            .map(|(program, metrics)| (Arc::new(program), metrics))
+            let compute = || {
+                evaluate_module_memo(
+                    self.ir,
+                    config,
+                    self.cycle_model,
+                    self.energy_model,
+                    &self.memo,
+                )
+                .ok()
+                .map(|(program, metrics)| (Arc::new(program), metrics))
+            };
+            match self.disk {
+                Some(disk) => {
+                    let key = store::hash_json(self.key_prefix, config);
+                    if let Some(found) = disk.load(key) {
+                        from_disk = true;
+                        found
+                    } else {
+                        let fresh = compute();
+                        disk.store(key, &fresh);
+                        fresh
+                    }
+                }
+                None => compute(),
+            }
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if self.disk.is_some() {
+                if from_disk {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -550,9 +663,22 @@ impl<'a> EvalCache<'a> {
     }
 
     /// Lookups that compiled + analysed (= distinct configurations
-    /// probed).
+    /// probed). With a disk store attached, "compiled" includes replays
+    /// from disk: `misses() == disk_hits() + disk_misses()`.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// In-memory misses answered from the disk store without compiling
+    /// (always 0 without [`EvalCache::with_store`]).
+    pub fn disk_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// In-memory misses that compiled + analysed and were written back
+    /// to the disk store (always 0 without [`EvalCache::with_store`]).
+    pub fn disk_misses(&self) -> usize {
+        self.disk_misses.load(Ordering::Relaxed)
     }
 
     /// The per-function analysis memos this cache's evaluations share
@@ -641,9 +767,39 @@ pub fn pareto_search_on(
 ) -> ParetoFront {
     let cache = EvalCache::new(ir, cycle_model, energy_model);
     let mut front = pareto_search_with_cache(pool, &cache, task, fpa_config, seed);
-    front.stats.cache_hits = cache.hits();
-    front.stats.cache_misses = cache.misses();
+    copy_cache_counters(&mut front.stats, &cache);
     front
+}
+
+/// [`pareto_search_on`] with a persistent [`DiskStore`] as the bottom
+/// cache tier: evaluations warm-start from `store` and spill back to
+/// it, so a rerun of the same search (same IR, models, and seed — even
+/// in a fresh process) recompiles nothing and returns a byte-identical
+/// front. `stats.disk_hits`/`disk_misses` report the store traffic.
+#[allow(clippy::too_many_arguments)] // pareto_search_on's signature + the store
+pub fn pareto_search_with_store(
+    pool: &Pool,
+    ir: &IrModule,
+    task: &str,
+    cycle_model: &CycleModel,
+    energy_model: &IsaEnergyModel,
+    fpa_config: FpaConfig,
+    seed: u64,
+    disk: &DiskStore,
+) -> ParetoFront {
+    let cache = EvalCache::with_store(ir, cycle_model, energy_model, disk);
+    let mut front = pareto_search_with_cache(pool, &cache, task, fpa_config, seed);
+    copy_cache_counters(&mut front.stats, &cache);
+    front
+}
+
+/// Copy a cache's hit/miss counters (all three tiers) into the stats a
+/// search returns.
+pub(crate) fn copy_cache_counters(stats: &mut SearchStats, cache: &EvalCache<'_>) {
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    stats.disk_hits = cache.disk_hits();
+    stats.disk_misses = cache.disk_misses();
 }
 
 /// [`pareto_search_on`] against a caller-owned [`EvalCache`], so the

@@ -130,6 +130,14 @@ pub struct SearchStats {
     /// Memoized evaluations that had to compile + analyse (0 when
     /// uncached).
     pub cache_misses: usize,
+    /// Cache misses answered from the persistent disk store without
+    /// compiling (0 unless the cache spills to a
+    /// `crate::store::DiskStore`).
+    pub disk_hits: usize,
+    /// Cache misses that actually compiled + analysed and were written
+    /// back to the disk store (0 when no store is attached; equals
+    /// `cache_misses` on a fully cold store).
+    pub disk_misses: usize,
 }
 
 /// Search outcome.

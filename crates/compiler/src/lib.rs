@@ -27,8 +27,18 @@
 //!   out over the vendored `minipool` work-stealing pool (see the
 //!   module docs for the batched-generation determinism contract),
 //! * [`driver`] — configuration plumbing, per-task variant evaluation
-//!   (memoized by decoded configuration in an [`driver::EvalCache`]) and
-//!   the Pareto front construction ([`driver::pareto_search_on`]).
+//!   (memoized through a three-tier cache hierarchy: the config-keyed
+//!   [`driver::EvalCache`], the per-function [`driver::AnalysisMemo`],
+//!   and an optional persistent [`store::DiskStore`] — see the
+//!   [`driver`] module docs) and the Pareto front construction
+//!   ([`driver::pareto_search_on`]),
+//! * [`store`] — the content-addressed on-disk evaluation store that
+//!   lets searches warm-start across processes (keys commit to the IR,
+//!   the cost models and a format version, so stale entries are
+//!   unreachable by construction),
+//! * [`service`] — the batched [`service::compile_many`] front-end:
+//!   many module+contract jobs, deduplicated by content hash and
+//!   sharded across the pool with one shared persistent store.
 //!
 //! ```
 //! use teamplay_compiler::{compile_module, CompilerConfig};
@@ -44,16 +54,22 @@ pub mod codegen;
 pub mod driver;
 pub mod fpa;
 pub mod passes;
+pub mod service;
+pub mod store;
 
 pub use codegen::{generate_function, generate_program, CodegenError, CodegenOpts};
 pub use driver::{
-    compile_module, compile_module_per_function, evaluate_module, evaluate_module_memo,
-    pareto_front_for, pareto_search, pareto_search_on, pareto_search_with_cache,
-    pareto_search_with_cache_seeded, AnalysisMemo, CachedEval, CompilerConfig, EvalCache,
-    ModuleMetrics, ParetoFront, TaskVariant, VariantMetrics,
+    compile_module, compile_module_per_function, compile_module_per_function_on, evaluate_module,
+    evaluate_module_memo, pareto_front_for, pareto_search, pareto_search_on,
+    pareto_search_with_cache, pareto_search_with_cache_seeded, pareto_search_with_store,
+    AnalysisMemo, CachedEval, CompilerConfig, EvalCache, ModuleMetrics, ParetoFront, TaskVariant,
+    VariantMetrics,
 };
 pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint, SearchStats};
 pub use passes::{
-    run_passes, run_passes_per_function, Pass, PassContext, PassManager, PassSpec, PassStats,
-    Pipeline, PipelineCatalog, PipelineError, REGISTRY,
+    function_content_key, run_passes, run_passes_per_function, run_passes_per_function_on, Pass,
+    PassContext, PassManager, PassSpec, PassStats, Pipeline, PipelineCatalog, PipelineError,
+    REGISTRY,
 };
+pub use service::{compile_many, BatchStats, CompileJob, JobResult};
+pub use store::{DiskStore, STORE_FORMAT_VERSION};

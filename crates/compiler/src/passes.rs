@@ -79,7 +79,9 @@
 //! ```
 
 use crate::driver::CompilerConfig;
+use minipool::Pool;
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
@@ -2238,6 +2240,47 @@ impl PipelineCatalog {
 }
 
 // =====================================================================
+// Function-content keys (parallel-pass dedup)
+// =====================================================================
+
+/// A name-independent 128-bit content key of a function body: FNV-1a
+/// over the serialized IR with the function's own `name` cleared.
+///
+/// Two functions with equal keys are indistinguishable to every pass:
+/// call *operands* stay in the serialization, so bodies that call
+/// different callees key differently, and the only name-sensitive pass
+/// behaviour — inline's self-call guard — cannot diverge either. If a
+/// body contains a call to its own enclosing function, that function is
+/// recursive, and any *other* function with a byte-equal body calls the
+/// same (recursive) callee — which inlining refuses for both callers.
+/// Every other pass is a pure function of the body alone. The pooled
+/// pass runners therefore optimise one representative per key and copy
+/// its result to the duplicates.
+pub fn function_content_key(f: &IrFunction) -> u128 {
+    let mut body = f.clone();
+    body.name = String::new();
+    crate::store::hash_json(crate::store::fnv_offset(), &body)
+}
+
+/// Group item indices by a per-item key, preserving first-seen order:
+/// `groups[k][0]` is the representative of group `k` (also used by the
+/// batch front-end to dedup whole jobs).
+pub(crate) fn group_indices_by_key<K: std::hash::Hash + Eq>(keys: Vec<K>) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut index_of: HashMap<K, usize> = HashMap::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        match index_of.entry(key) {
+            Entry::Occupied(slot) => groups[*slot.get()].push(i),
+            Entry::Vacant(slot) => {
+                slot.insert(groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
+// =====================================================================
 // PassManager
 // =====================================================================
 
@@ -2250,6 +2293,19 @@ pub struct PassStats {
     pub invocations: usize,
     /// How many invocations reported a change.
     pub changes: usize,
+}
+
+/// Fresh zeroed per-pass stats aligned with a pipeline's order.
+fn pipeline_stats(pipeline: &Pipeline) -> Vec<PassStats> {
+    pipeline
+        .passes
+        .iter()
+        .map(|spec| PassStats {
+            name: spec.name.clone(),
+            invocations: 0,
+            changes: 0,
+        })
+        .collect()
 }
 
 /// Applies a [`Pipeline`] to modules/functions, iterating to fixpoint
@@ -2281,15 +2337,7 @@ impl PassManager {
     /// [`PipelineError`] if a pass does not resolve in the registry.
     pub fn new(pipeline: Pipeline) -> Result<PassManager, PipelineError> {
         let passes = pipeline.instantiate()?;
-        let stats = pipeline
-            .passes
-            .iter()
-            .map(|spec| PassStats {
-                name: spec.name.clone(),
-                invocations: 0,
-                changes: 0,
-            })
-            .collect();
+        let stats = pipeline_stats(&pipeline);
         Ok(PassManager {
             pipeline,
             passes,
@@ -2341,6 +2389,11 @@ impl PassManager {
     /// Run the pipeline over every function of a module. Callee bodies
     /// for inlining are snapshotted once, up front. Returns `true` if
     /// anything changed.
+    ///
+    /// Sequential and dedup-free (the per-genome search hot path, where
+    /// hashing every function would cost more than it saves);
+    /// [`PassManager::run_on`] is the fan-out variant with byte-identical
+    /// module output.
     pub fn run(&mut self, module: &mut IrModule) -> bool {
         let snapshot = snapshot_functions(module);
         let cx = PassContext {
@@ -2350,6 +2403,61 @@ impl PassManager {
         for f in &mut module.functions {
             changed |=
                 Self::run_pipeline(&mut self.passes, &mut self.stats, self.max_rounds, f, &cx);
+        }
+        changed
+    }
+
+    /// Run the pipeline over every function of a module, fanning
+    /// individual functions across `pool` after deduplicating identical
+    /// bodies by [`function_content_key`]: each unique body runs the
+    /// pipeline exactly once, on fresh pass instances, and duplicates
+    /// copy the result (keeping their own names).
+    ///
+    /// Module output is byte-identical to [`PassManager::run`] at any
+    /// pool width — work items are formed deterministically before the
+    /// fan-out, `par_map` preserves index order, and every pass is a
+    /// pure function of the body and the up-front snapshot. Only the
+    /// [`PassManager::stats`] accounting differs from `run`: duplicates
+    /// contribute no invocations here, because they never run a pass.
+    pub fn run_on(&mut self, pool: &Pool, module: &mut IrModule) -> bool {
+        let snapshot = snapshot_functions(module);
+        let cx = PassContext {
+            functions: &snapshot,
+        };
+        let groups = group_indices_by_key(
+            module
+                .functions
+                .iter()
+                .map(function_content_key)
+                .collect::<Vec<_>>(),
+        );
+        let reps: Vec<&IrFunction> = groups.iter().map(|g| &module.functions[g[0]]).collect();
+        let pipeline = &self.pipeline;
+        let max_rounds = self.max_rounds;
+        let results = pool.par_map(&reps, |_, rep| {
+            let mut f = (*rep).clone();
+            // `Box<dyn Pass>` is not `Sync`, so every work item
+            // instantiates its own passes; `begin_function` resets all
+            // per-function pass state either way.
+            let mut passes = pipeline
+                .instantiate()
+                .expect("pipeline validated at construction");
+            let mut stats = pipeline_stats(pipeline);
+            let changed = Self::run_pipeline(&mut passes, &mut stats, max_rounds, &mut f, &cx);
+            (f, stats, changed)
+        });
+        let mut changed = false;
+        for (group, (body, stats, group_changed)) in groups.iter().zip(results) {
+            for (stat, item) in self.stats.iter_mut().zip(&stats) {
+                stat.invocations += item.invocations;
+                stat.changes += item.changes;
+            }
+            changed |= group_changed;
+            for &i in group {
+                let name = std::mem::take(&mut module.functions[i].name);
+                module.functions[i] = body.clone();
+                module.functions[i].name = name;
+            }
         }
         changed
     }
@@ -2432,26 +2540,62 @@ pub fn run_passes_per_function(
     configs: &HashMap<String, CompilerConfig>,
     default: &CompilerConfig,
 ) {
-    let names: Vec<String> = module.functions.iter().map(|f| f.name.clone()).collect();
-    // Phase 1: inlining, per caller with its configured threshold.
+    run_passes_per_function_on(&Pool::new(1), module, configs, default);
+}
+
+/// [`run_passes_per_function`] on an explicit pool: functions are
+/// deduplicated by ([`function_content_key`], configuration) — each
+/// unique pair runs its two-phase pipeline exactly once — and the
+/// unique work items fan out across `pool`.
+///
+/// Byte-identical to the sequential runner at any pool width: both
+/// phases of one function are pure in (its own body, the shared
+/// up-front snapshot, its configuration). Phase 1 reads only the
+/// snapshot, and no phase-2 pass reads other functions (inlining is the
+/// sole snapshot consumer and runs entirely in phase 1), so fusing the
+/// phases per work item cannot observe another item's output.
+///
+/// # Panics
+/// As [`run_passes`], for invalid pipelines.
+pub fn run_passes_per_function_on(
+    pool: &Pool,
+    module: &mut IrModule,
+    configs: &HashMap<String, CompilerConfig>,
+    default: &CompilerConfig,
+) {
     let snapshot = snapshot_functions(module);
-    for name in &names {
-        let config = configs.get(name).unwrap_or(default);
+    let config_of = |f: &IrFunction| -> &CompilerConfig { configs.get(&f.name).unwrap_or(default) };
+    let groups = group_indices_by_key(
+        module
+            .functions
+            .iter()
+            .map(|f| (function_content_key(f), config_of(f)))
+            .collect::<Vec<_>>(),
+    );
+    let reps: Vec<(&IrFunction, &CompilerConfig)> = groups
+        .iter()
+        .map(|g| {
+            let f = &module.functions[g[0]];
+            (f, config_of(f))
+        })
+        .collect();
+    let results = pool.par_map(&reps, |_, &(rep, config)| {
+        let mut f = rep.clone();
+        // Phase 1: inlining, in pipeline order, against the shared
+        // pre-pass snapshot — callers inline the same pristine bodies
+        // the whole-module pipeline saw when the variant was measured.
         for spec in &config.pipeline.passes {
             if spec.name == "inline" {
                 let threshold = spec
                     .param
                     .or_else(|| lookup_pass("inline").and_then(|d| d.default_param))
                     .unwrap_or(40);
-                if let Some(f) = module.functions.iter_mut().find(|f| &f.name == name) {
-                    inline_with_snapshot(f, &snapshot, threshold);
-                }
+                inline_with_snapshot(&mut f, &snapshot, threshold);
             }
         }
-    }
-    // Phase 2: the remaining pipeline, per function, to fixpoint.
-    for name in &names {
-        let config = configs.get(name).unwrap_or(default);
+        // Phase 2: the remaining pipeline, to fixpoint. The snapshot
+        // context is inert here — inline is filtered out and no other
+        // pass reads `PassContext::functions`.
         let rest = Pipeline {
             passes: config
                 .pipeline
@@ -2461,9 +2605,28 @@ pub fn run_passes_per_function(
                 .cloned()
                 .collect(),
         };
-        let mut pm =
-            PassManager::new(rest).unwrap_or_else(|e| panic!("invalid configured pipeline: {e}"));
-        pm.run_function(module, name);
+        let mut passes = rest
+            .instantiate()
+            .unwrap_or_else(|e| panic!("invalid configured pipeline: {e}"));
+        let mut stats = pipeline_stats(&rest);
+        let cx = PassContext {
+            functions: &snapshot,
+        };
+        PassManager::run_pipeline(
+            &mut passes,
+            &mut stats,
+            PassManager::DEFAULT_MAX_ROUNDS,
+            &mut f,
+            &cx,
+        );
+        f
+    });
+    for (group, body) in groups.iter().zip(results) {
+        for &i in group {
+            let name = std::mem::take(&mut module.functions[i].name);
+            module.functions[i] = body.clone();
+            module.functions[i].name = name;
+        }
     }
 }
 

@@ -1,0 +1,181 @@
+//! Persistent content-addressed evaluation store.
+//!
+//! The bottom tier of the driver's cache hierarchy (see [`crate::driver`]):
+//! a directory of JSON files, one per evaluated configuration, keyed by a
+//! 128-bit FNV-1a hash over the *serialized content* of everything the
+//! evaluation depends on — the IR module, both cost models, the
+//! [`CompilerConfig`](crate::CompilerConfig), and
+//! [`STORE_FORMAT_VERSION`]. Because the key commits to the inputs rather
+//! than to names or paths, a store can never serve a stale result: any
+//! change to the module, the cost models, or the on-disk format lands on
+//! a different key and reads as a cold miss. Infeasible configurations
+//! are persisted too (as explicit `null` evaluations), so a warm process
+//! does not re-discover known-bad genomes.
+//!
+//! All disk traffic is best-effort: unreadable, corrupt, or missing
+//! entries behave as misses, and failed writes are dropped silently. The
+//! store is therefore safe to share between concurrent processes —
+//! writers land entries atomically (temp file + rename), and the worst
+//! outcome of a race is a redundant compile.
+
+use crate::driver::CachedEval;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version stamp mixed into every store key. Bump when the serialized
+/// entry layout (or the meaning of any hashed input) changes: old
+/// entries then simply stop matching instead of deserializing wrongly.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// Fold `bytes` into a running FNV-1a-128 hash. Seed the first call
+/// with [`fnv_offset`]; chain later calls from the previous result so
+/// compound keys (model prefix, then per-config suffix) need not
+/// re-serialize their shared prefix.
+pub(crate) fn fnv1a128(mut hash: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The FNV-1a-128 offset basis (the seed for a fresh hash chain).
+pub(crate) fn fnv_offset() -> u128 {
+    FNV_OFFSET
+}
+
+/// Hash a serializable value into a running FNV-1a-128 chain via its
+/// compact JSON rendering. The vendored serde serializes hash maps in
+/// canonical key order and floats in shortest round-trip form, so equal
+/// values hash equally across processes.
+pub(crate) fn hash_json<T: Serialize>(hash: u128, value: &T) -> u128 {
+    let text = serde_json::to_string(value).expect("serializable value");
+    fnv1a128(hash, text.as_bytes())
+}
+
+/// On-disk entry: the outcome of one evaluation. `eval: None` records
+/// an infeasible configuration (codegen or analysis failed) — serving
+/// it from disk skips the whole compile-and-fail path.
+#[derive(Serialize, Deserialize)]
+struct StoredEval {
+    eval: Option<CachedEval>,
+}
+
+/// Distinguishes temp files (in-flight writes) from committed entries.
+const ENTRY_EXT: &str = "json";
+
+/// Monotonic suffix keeping concurrent in-process writers' temp files
+/// distinct (the process id distinguishes concurrent processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed directory of evaluation results shared across
+/// processes. See the module docs for keying and corruption semantics.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error when the directory cannot be created.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<DiskStore> {
+        let root = path.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(DiskStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of committed entries (a diagnostic, not a fast path).
+    pub fn entries(&self) -> usize {
+        fs::read_dir(&self.root)
+            .map(|dir| {
+                dir.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(ENTRY_EXT))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    fn entry_path(&self, key: u128) -> PathBuf {
+        self.root.join(format!("{key:032x}.{ENTRY_EXT}"))
+    }
+
+    /// Load the entry for `key`. Outer `None` means absent (or
+    /// unreadable/corrupt — both behave as a cold miss); inner `None`
+    /// is a *recorded* infeasible configuration.
+    pub fn load(&self, key: u128) -> Option<Option<CachedEval>> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let stored: StoredEval = serde_json::from_str(&text).ok()?;
+        Some(stored.eval)
+    }
+
+    /// Persist the entry for `key` (best effort: write failures are
+    /// dropped, leaving the slot cold). The temp-file + rename dance
+    /// keeps concurrent readers from ever observing a half-written
+    /// entry.
+    pub fn store(&self, key: u128, eval: &Option<CachedEval>) {
+        let Ok(text) = serde_json::to_string(&StoredEval { eval: eval.clone() }) else {
+            return;
+        };
+        let tmp = self.root.join(format!(
+            "{key:032x}.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, self.entry_path(key)).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DiskStore {
+        let dir =
+            std::env::temp_dir().join(format!("teamplay-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DiskStore::open(&dir).expect("create store dir")
+    }
+
+    #[test]
+    fn fnv_chain_matches_one_shot() {
+        let one = fnv1a128(fnv_offset(), b"hello world");
+        let chained = fnv1a128(fnv1a128(fnv_offset(), b"hello "), b"world");
+        assert_eq!(one, chained);
+        assert_ne!(one, fnv1a128(fnv_offset(), b"hello worlc"));
+    }
+
+    #[test]
+    fn missing_and_corrupt_entries_are_misses() {
+        let store = temp_store("corrupt");
+        assert!(store.load(42).is_none());
+        fs::write(store.entry_path(42), "{not json").expect("write corrupt entry");
+        assert!(store.load(42).is_none());
+        let _ = fs::remove_dir_all(store.path());
+    }
+
+    #[test]
+    fn infeasible_entries_round_trip() {
+        let store = temp_store("infeasible");
+        store.store(7, &None);
+        assert_eq!(store.entries(), 1);
+        // Outer Some: the entry exists; inner None: recorded failure.
+        assert_eq!(store.load(7).map(|e| e.is_none()), Some(true));
+        let _ = fs::remove_dir_all(store.path());
+    }
+}

@@ -4,8 +4,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use teamplay_compiler::{
-    compile_module_per_function, pareto_search_with_cache_seeded, CompilerConfig, EvalCache,
-    FpaConfig, PipelineCatalog, SearchStats, TaskVariant,
+    compile_module_per_function_on, pareto_search_with_cache_seeded, CompilerConfig, DiskStore,
+    EvalCache, FpaConfig, PipelineCatalog, SearchStats, TaskVariant,
 };
 use teamplay_contracts::{prove, Certificate, ProveError, TaskEvidence};
 use teamplay_coord::{
@@ -48,6 +48,13 @@ pub struct WorkflowConfig {
     /// pre-decoded engine and report the observed-vs-IPET gap per task.
     /// `None` (the default) skips the step entirely.
     pub measure: Option<MeasureConfig>,
+    /// Optional persistent evaluation store (a
+    /// [`teamplay_compiler::DiskStore`] directory): the search
+    /// warm-starts from it and spills back to it, so repeated workflow
+    /// runs — across processes — skip compilation of every
+    /// configuration they have seen before. `None` (the default) keeps
+    /// all caching in-memory.
+    pub store_dir: Option<String>,
 }
 
 /// Configuration of the opt-in measurement step.
@@ -118,6 +125,7 @@ impl WorkflowConfig {
             pipelines: teamplay_apps::catalog(),
             default_pipeline: "o2".to_string(),
             measure: None,
+            store_dir: None,
         }
     }
 
@@ -363,12 +371,46 @@ impl PredictableWorkflow {
         PredictableWorkflow { config }
     }
 
-    /// Run the full workflow on annotated Mini-C source.
+    /// Run the full workflow on annotated Mini-C source, on the
+    /// process-wide pool.
     ///
     /// # Errors
     /// See [`WorkflowError`]; every stage reports its own failure class so
     /// the developer knows which contract or analysis to fix.
     pub fn run(&self, source: &str) -> Result<PredictableOutcome, WorkflowError> {
+        self.run_on(minipool::global(), source)
+    }
+
+    /// Run the full workflow over many independent sources, fanning the
+    /// programs across the process-wide pool (each gets a slice of the
+    /// remaining width for its own searches). With
+    /// [`WorkflowConfig::store_dir`] set, all programs — and later
+    /// reruns — share one persistent evaluation store. One program's
+    /// failure does not abort its batch mates: results come back
+    /// per-source, in input order.
+    pub fn run_many(&self, sources: &[&str]) -> Vec<Result<PredictableOutcome, WorkflowError>> {
+        self.run_many_on(minipool::global(), sources)
+    }
+
+    /// [`PredictableWorkflow::run_many`] on an explicit pool.
+    pub fn run_many_on(
+        &self,
+        pool: &minipool::Pool,
+        sources: &[&str],
+    ) -> Vec<Result<PredictableOutcome, WorkflowError>> {
+        let inner = pool.split_across(sources.len());
+        pool.par_map(sources, |_, source| self.run_on(&inner, source))
+    }
+
+    /// [`PredictableWorkflow::run`] on an explicit pool.
+    ///
+    /// # Errors
+    /// See [`PredictableWorkflow::run`].
+    pub fn run_on(
+        &self,
+        pool: &minipool::Pool,
+        source: &str,
+    ) -> Result<PredictableOutcome, WorkflowError> {
         let cfg = &self.config;
 
         // 1. Front-end + CSL extraction.
@@ -423,9 +465,18 @@ impl PredictableWorkflow {
             ..CompilerConfig::balanced()
         };
         let seeds: Vec<Vec<f64>> = default.to_genome().into_iter().collect();
-        let pool = minipool::global();
         let inner = pool.split_across(model.tasks.len());
-        let cache = EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model);
+        let disk =
+            match &cfg.store_dir {
+                Some(dir) => Some(DiskStore::open(dir).map_err(|e| {
+                    WorkflowError::Compile(format!("evaluation store `{dir}`: {e}"))
+                })?),
+                None => None,
+            };
+        let cache = match &disk {
+            Some(disk) => EvalCache::with_store(&ir, &cfg.cycle_model, &cfg.energy_model, disk),
+            None => EvalCache::new(&ir, &cfg.cycle_model, &cfg.energy_model),
+        };
         let fronts = pool.par_map(&model.tasks, |i, task| {
             pareto_search_with_cache_seeded(
                 &inner,
@@ -439,6 +490,8 @@ impl PredictableWorkflow {
         let mut search = SearchStats {
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            disk_hits: cache.disk_hits(),
+            disk_misses: cache.disk_misses(),
             ..SearchStats::default()
         };
         let mut variants: HashMap<String, Vec<TaskVariant>> = HashMap::new();
@@ -571,7 +624,10 @@ impl PredictableWorkflow {
         // pipeline (a name like "o2"/"camera_pill", or a literal pass
         // list) with the balanced codegen knobs — the same `default`
         // configuration whose genome seeded the searches in step 3.
-        let program = compile_module_per_function(&ir, &chosen, &default)
+        // The per-function pipelines of the final build fan out over
+        // the pool (unique bodies deduplicated; byte-identical at any
+        // width).
+        let program = compile_module_per_function_on(pool, &ir, &chosen, &default)
             .map_err(|e| WorkflowError::Compile(e.to_string()))?;
 
         // 6. Re-analyse the final binary (callees may now differ from the

@@ -26,7 +26,28 @@ def validate_search(data: dict) -> str:
         assert isinstance(po[field], int) and po[field] > 0, field
     assert po["distinct_pipelines"] <= po["distinct_configs"] <= po["evaluations"]
     assert data["cache_misses"] == po["distinct_configs"], "cache key space drifted"
-    return f"phase ordering {po['distinct_pipelines']}/{po['distinct_configs']} distinct"
+    batch = data["batch"]
+    assert isinstance(batch["jobs"], int) and batch["jobs"] > 0
+    assert isinstance(batch["unique_jobs"], int) and 0 < batch["unique_jobs"] <= batch["jobs"]
+    assert 0.0 <= batch["dedup_rate"] <= 1.0, "dedup rate out of range"
+    assert (
+        abs(batch["dedup_rate"] - (batch["jobs"] - batch["unique_jobs"]) / batch["jobs"]) < 1e-9
+    ), "dedup rate inconsistent with job counts"
+    assert batch["cold_modules_per_sec"] > 0, "cold batch throughput missing"
+    assert batch["warm_modules_per_sec"] > 0, "warm batch throughput missing"
+    # The persistent store must pay for itself: a fully warm batch is at
+    # least as fast as the cold batch that populated it…
+    assert (
+        batch["warm_modules_per_sec"] >= batch["cold_modules_per_sec"]
+    ), "warm batch slower than cold — the disk store is a pessimisation"
+    # …and it must do so by answering every evaluation from disk.
+    assert batch["warm_disk_misses"] == 0, "warm batch recompiled"
+    assert batch["warm_disk_hits"] > 0, "warm batch never touched the store"
+    return (
+        f"phase ordering {po['distinct_pipelines']}/{po['distinct_configs']} distinct, "
+        f"batch warm/cold {batch['warm_over_cold']:.2f}x at "
+        f"{batch['dedup_rate']:.0%} dedup"
+    )
 
 
 def validate_sched(data: dict) -> str:

@@ -79,6 +79,58 @@ impl Value {
     }
 }
 
+/// Total, deterministic ordering over [`Value`] trees.
+///
+/// Values of the same variant compare by payload (floats via
+/// `total_cmp`, sequences and maps lexicographically); different
+/// variants compare by a fixed rank. The order itself is arbitrary —
+/// what matters is that it is stable across processes, so serialised
+/// hash maps (whose iteration order is seeded per map instance) can be
+/// rendered in one canonical entry order and safely byte-compared or
+/// content-addressed downstream.
+#[must_use]
+pub fn canonical_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 2,
+            Value::U64(_) => 3,
+            Value::F64(_) => 4,
+            Value::Str(_) => 5,
+            Value::Seq(_) => 6,
+            Value::Map(_) => 7,
+        }
+    }
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::I64(x), Value::I64(y)) => x.cmp(y),
+        (Value::U64(x), Value::U64(y)) => x.cmp(y),
+        (Value::F64(x), Value::F64(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Seq(x), Value::Seq(y)) => {
+            for (xi, yi) in x.iter().zip(y) {
+                let c = canonical_cmp(xi, yi);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            for ((kx, vx), (ky, vy)) in x.iter().zip(y) {
+                let c = kx.cmp(ky).then_with(|| canonical_cmp(vx, vy));
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
 /// Deserialisation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError(pub String);
@@ -373,7 +425,16 @@ fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>,
 
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
-        map_to_value(self.iter())
+        // Hash-map iteration order is seeded per map *instance*, so the
+        // raw entry order would differ between equal maps (and between
+        // processes). Sorting by [`canonical_cmp`] fixes one canonical
+        // rendering for any map with the same content.
+        let mut entries: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect();
+        entries.sort_by(canonical_cmp);
+        Value::Seq(entries)
     }
 }
 
@@ -480,5 +541,27 @@ mod tests {
 
         let opt: Option<i32> = None;
         assert_eq!(Option::<i32>::from_value(&opt.to_value()), Ok(None));
+    }
+
+    #[test]
+    fn hash_maps_serialise_in_canonical_key_order() {
+        // Two maps with the same content but different insertion orders
+        // (and different per-instance hash seeds) must render
+        // identically: downstream code content-addresses and
+        // byte-compares serialised forms.
+        let mut a = HashMap::new();
+        for k in [9u32, 2, 7, 1, 4] {
+            a.insert(k, k * 10);
+        }
+        let mut b = HashMap::new();
+        for k in [4u32, 1, 7, 2, 9] {
+            b.insert(k, k * 10);
+        }
+        assert_eq!(a.to_value(), b.to_value());
+        let expected: Vec<Value> = [1u32, 2, 4, 7, 9]
+            .iter()
+            .map(|k| Value::Seq(vec![k.to_value(), (k * 10).to_value()]))
+            .collect();
+        assert_eq!(a.to_value(), Value::Seq(expected));
     }
 }
