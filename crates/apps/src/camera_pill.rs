@@ -74,12 +74,14 @@ void xtea_block(int block[], int idx) {
     return;
 }
 
-/*@ task encrypt after(compress) security(ct) secret(key) reliability(1) wcet_budget(20ms) energy_budget(2600uJ) @*/
+/*@ task encrypt after(compress) security(ct) security_floor(1) secret(key) reliability(1) wcet_budget(20ms) energy_budget(2600uJ) @*/
 void encrypt(int key) {
-    xtea_key[0] = key;
-    xtea_key[1] = key ^ 0x9E3779B9;
-    xtea_key[2] = key + 0x9E3779B9;
-    xtea_key[3] = ~key;
+    int k = key;
+    if (key < 0) { k = key ^ 0x5A5A5A5A; } else { k = key; }
+    xtea_key[0] = k;
+    xtea_key[1] = k ^ 0x9E3779B9;
+    xtea_key[2] = k + 0x9E3779B9;
+    xtea_key[3] = ~k;
     for (int i = 0; i < 64; i = i + 1) {
         cipher[i] = packed[i];
     }
@@ -169,9 +171,11 @@ pub fn xtea_encipher_reference(v: [u32; 2], key: [u32; 4]) -> [u32; 2] {
     [v0, v1]
 }
 
-/// The key-expansion used by the pipeline (one secret word → 4-word key).
+/// The key-expansion used by the pipeline (one secret word → 4-word
+/// key): negative keys are whitened first — the secret-guarded diamond
+/// the countermeasure ladder must flatten for the contract to hold.
 pub fn expand_key(key: i32) -> [u32; 4] {
-    let k = key as u32;
+    let k = if key < 0 { key ^ 0x5A5A_5A5A } else { key } as u32;
     [k, k ^ 0x9E37_79B9, k.wrapping_add(0x9E37_79B9), !k]
 }
 
@@ -242,6 +246,7 @@ mod tests {
                         core: "m0".into(),
                         time_us: m.wcet_cycles as f64 / CLOCK_MHZ,
                         energy_uj: m.wcec_pj / 1e6,
+                        security_level: 0,
                     }
                 })
                 .collect();

@@ -346,6 +346,7 @@ mod tests {
                             core: (*core).into(),
                             time_us: t_us,
                             energy_uj: e_uj,
+                            security_level: 0,
                         })
                         .collect(),
                 )

@@ -3,8 +3,11 @@
 //! An image-processing and SpaceWire-downlink application for a
 //! LEON3FT/GR712RC-class platform: `acquire` loads a frame, `denoise`
 //! runs a 3×3 smoothing kernel, `crc` computes the CRC-16/CCITT of the
-//! payload and `packetize` emits a SpaceWire-flavoured packet (destination
-//! logical address, protocol id, length, payload, CRC) on the link port.
+//! payload, `auth` tags the payload with a keyed checksum under a
+//! constant-time contract (`security(ct) security_floor(1)`, with the
+//! link key marked `secret`), and `packetize` emits a
+//! SpaceWire-flavoured packet (destination logical address, protocol
+//! id, length, payload, CRC, auth tag) on the link port.
 //!
 //! The energy headline of the paper (52 % saving while meeting all
 //! deadlines) comes from combining the multi-criteria compiler with
@@ -35,6 +38,7 @@ pub const SOURCE: &str = r#"
 int frame[256];
 int smooth[256];
 int crc_value = 0;
+int auth_tag = 0;
 
 /*@ task acquire period(100ms) deadline(100ms) wcet_budget(40ms) energy_budget(4mJ) @*/
 void acquire() {
@@ -92,7 +96,17 @@ void crc_frame() {
     return;
 }
 
-/*@ task packetize after(crc) deadline(100ms) wcet_budget(30ms) energy_budget(5mJ) @*/
+/*@ task auth after(crc) security(ct) security_floor(1) secret(token) wcet_budget(40ms) energy_budget(6mJ) @*/
+void auth(int token) {
+    int tag = (token ^ 0x5EC0FFEE) & 0x7FFFFFFF;
+    for (int i = 0; i < 256; i = i + 1) {
+        tag = (((tag << 5) ^ (tag >> 27)) + (smooth[i] ^ token)) & 0x7FFFFFFF;
+    }
+    auth_tag = tag;
+    return;
+}
+
+/*@ task packetize after(auth) deadline(100ms) wcet_budget(30ms) energy_budget(5mJ) @*/
 void packetize() {
     __out(3, 0x42);
     __out(3, 0xF0);
@@ -101,13 +115,17 @@ void packetize() {
         __out(3, smooth[i]);
     }
     __out(3, crc_value);
+    __out(3, auth_tag);
     return;
 }
 "#;
 
 /// Task entry *functions* in pipeline order (the `crc` task is
 /// implemented by `crc_frame`).
-pub const TASKS: [&str; 4] = ["acquire", "denoise", "crc_frame", "packetize"];
+pub const TASKS: [&str; 5] = ["acquire", "denoise", "crc_frame", "auth", "packetize"];
+
+/// The link key the demos and tests hand to the `auth` task.
+pub const DEMO_TOKEN: i32 = 0x00C0_FFEE;
 
 /// The tuned pass pipeline for this application (registered in the
 /// [`crate::catalog`] under `"spacewire"`).
@@ -166,6 +184,18 @@ pub fn crc16_reference(bytes: &[u8]) -> u16 {
     crc
 }
 
+/// Reference keyed payload tag, for validating the Mini-C `auth` task.
+/// Mirrors the interpreter's shift semantics: the running tag is masked
+/// to 31 bits each round, so `>> 27` never sees a negative value and
+/// the arithmetic/logical distinction cannot bite.
+pub fn auth_reference(payload: &[i32], token: i32) -> i32 {
+    let mut tag = (token ^ 0x5EC0_FFEE) & 0x7FFF_FFFF;
+    for &w in payload {
+        tag = ((tag << 5) ^ (tag >> 27)).wrapping_add(w ^ token) & 0x7FFF_FFFF;
+    }
+    tag
+}
+
 /// Reference 3×3 smoothing used to validate `denoise` (centre weight 4,
 /// plus-neighbours weight 1, divide by 8, borders copied).
 pub fn denoise_reference(frame: &[i32]) -> Vec<i32> {
@@ -203,7 +233,8 @@ mod tests {
         machine.reset_data();
         let mut dev = frame_device(seed);
         for task in TASKS {
-            machine.call(task, &[], &mut dev).expect("task runs");
+            let args: &[i32] = if task == "auth" { &[DEMO_TOKEN] } else { &[] };
+            machine.call(task, args, &mut dev).expect("task runs");
         }
         dev.outputs.iter().map(|(_, v)| *v).collect()
     }
@@ -212,7 +243,11 @@ mod tests {
     fn packet_structure_is_correct() {
         let mut m = build();
         let packet = run_pipeline(&mut m, 11);
-        assert_eq!(packet.len(), 3 + FRAME_WORDS + 1);
+        assert_eq!(
+            packet.len(),
+            3 + FRAME_WORDS + 2,
+            "header, payload, crc, tag"
+        );
         assert_eq!(packet[0], DEST_ADDRESS);
         assert_eq!(packet[1], PROTOCOL_ID);
         assert_eq!(packet[2], FRAME_WORDS as i32);
@@ -235,7 +270,15 @@ mod tests {
             .map(|w| (*w & 255) as u8)
             .collect();
         let expected = crc16_reference(&payload);
-        assert_eq!(*packet.last().expect("crc word"), expected as i32);
+        assert_eq!(packet[3 + FRAME_WORDS], expected as i32);
+    }
+
+    #[test]
+    fn auth_tag_matches_reference() {
+        let mut m = build();
+        let packet = run_pipeline(&mut m, 5);
+        let expected = auth_reference(&packet[3..3 + FRAME_WORDS], DEMO_TOKEN);
+        assert_eq!(*packet.last().expect("auth word"), expected);
     }
 
     #[test]
@@ -302,9 +345,12 @@ mod tests {
     fn csl_extracts_the_dag() {
         let program = teamplay_minic::parse_and_check(SOURCE).expect("front-end");
         let model = teamplay_csl::extract_model(&program).expect("extract");
-        assert_eq!(model.tasks.len(), 4);
+        assert_eq!(model.tasks.len(), 5);
         assert_eq!(model.successors("acquire"), vec!["denoise"]);
-        assert_eq!(model.successors("crc"), vec!["packetize"]);
+        assert_eq!(model.successors("crc"), vec!["auth"]);
+        assert_eq!(model.successors("auth"), vec!["packetize"]);
+        let auth = model.tasks.iter().find(|t| t.name == "auth").expect("auth");
+        assert_eq!(auth.security_floor, 1, "auth carries the floor clause");
     }
 
     #[test]

@@ -110,12 +110,14 @@ fn bench_scheduling(c: &mut Criterion) {
                         core: format!("c{}", i % 2),
                         time_us: 10.0 + i as f64,
                         energy_uj: 100.0,
+                        security_level: 0,
                     },
                     ExecOption {
                         label: "green".into(),
                         core: format!("c{}", i % 2),
                         time_us: 25.0 + i as f64,
                         energy_uj: 40.0,
+                        security_level: 0,
                     },
                 ],
             );

@@ -56,6 +56,7 @@ fn instance(shape: Shape, seed: u64, slack: f64) -> TaskSet {
                     core: cores[rng.gen_range(0..cores.len())].clone(),
                     time_us: base_t * stretch,
                     energy_uj: base_e / stretch,
+                    security_level: 0,
                 }
             })
             .collect();

@@ -71,6 +71,7 @@ fn baseline_front(
             config,
             metrics: m,
             program: std::sync::Arc::new(program),
+            security: None,
         });
     }
     variants.sort_by_key(|v| v.metrics.wcet_cycles);
@@ -225,6 +226,88 @@ fn batch_throughput(cm: &CycleModel, em: &IsaEnergyModel, pool: &Pool) -> BatchT
     }
 }
 
+/// The 3-D (time/energy/leakage) secure search on the camera-pill
+/// crypto task: per-rung front composition and best leakage scores.
+/// Mirrors the rig of `tests/security_search_oracle.rs`, so the CI rule
+/// `rung1_min_leakage < rung0_min_leakage` restates the oracle's
+/// "the ladder strictly cuts leakage" at baseline level.
+#[derive(Serialize)]
+struct SecuritySearch {
+    task: String,
+    secure_genome_dims: usize,
+    evaluations: usize,
+    variants: usize,
+    rung0_variants: usize,
+    rung1_variants: usize,
+    rung0_min_leakage: f64,
+    rung1_min_leakage: f64,
+    secs: f64,
+}
+
+/// Run the secure search once and summarise its front per rung.
+fn security_search(
+    ir: &IrModule,
+    cm: &CycleModel,
+    em: &IsaEnergyModel,
+    pool: &Pool,
+) -> SecuritySearch {
+    use teamplay_compiler::{ladderised_ir, pareto_search_secure_on, LeakageRig};
+    use teamplay_security::SecretSpec;
+    let (hard, reports) = ladderised_ir(ir);
+    assert!(reports["encrypt"].fully_hardened(), "{reports:?}");
+    let rig = LeakageRig {
+        arg_count: 1,
+        secret: SecretSpec {
+            arg_index: 0,
+            class0: -123,
+            class1: 77,
+        },
+        traces_per_class: 8,
+        public_lo: 0,
+        public_hi: 256,
+        seed: 11,
+    };
+    let start = Instant::now();
+    let front = pareto_search_secure_on(
+        pool,
+        ir,
+        &hard,
+        "encrypt",
+        cm,
+        em,
+        FpaConfig::tiny(),
+        0xA11CE,
+        &rig,
+    );
+    let secs = start.elapsed().as_secs_f64();
+    let of_rung = |rung: u32| {
+        front
+            .variants
+            .iter()
+            .filter_map(|v| v.security.filter(|s| s.rung == rung))
+            .collect::<Vec<_>>()
+    };
+    let (r0, r1) = (of_rung(0), of_rung(1));
+    let min_leak = |rs: &[teamplay_compiler::VariantSecurity]| {
+        rs.iter().map(|s| s.leakage).fold(f64::INFINITY, f64::min)
+    };
+    assert!(
+        !r0.is_empty() && !r1.is_empty(),
+        "both rungs must survive on the camera-pill front"
+    );
+    SecuritySearch {
+        task: "encrypt".into(),
+        secure_genome_dims: teamplay_compiler::SECURE_GENOME_DIMS,
+        evaluations: front.stats.evaluations,
+        variants: front.variants.len(),
+        rung0_variants: r0.len(),
+        rung1_variants: r1.len(),
+        rung0_min_leakage: min_leak(&r0),
+        rung1_min_leakage: min_leak(&r1),
+        secs,
+    }
+}
+
 #[derive(Serialize)]
 struct Baseline {
     bench: String,
@@ -241,6 +324,7 @@ struct Baseline {
     speedup: f64,
     phase_ordering: PhaseOrdering,
     batch: BatchThroughput,
+    security: SecuritySearch,
 }
 
 fn main() {
@@ -261,6 +345,7 @@ fn main() {
 
     let phase_ordering = phase_ordering_space(&ir, &cm, &em);
     let batch = batch_throughput(&cm, &em, pool);
+    let security = security_search(&ir, &cm, &em, pool);
 
     let gps = |evals: usize, t: Duration| evals as f64 / t.as_secs_f64().max(1e-9);
     let speedup = base_time.as_secs_f64() / opt_time.as_secs_f64().max(1e-9);
@@ -279,6 +364,7 @@ fn main() {
         speedup,
         phase_ordering,
         batch,
+        security,
     };
     println!(
         "search_throughput: sequential {:.0} genomes/s, memoized+parallel {:.0} genomes/s \
@@ -303,6 +389,16 @@ fn main() {
         baseline.batch.warm_over_cold,
         baseline.batch.warm_disk_hits,
         baseline.batch.warm_disk_misses,
+    );
+    println!(
+        "security: {} variants ({} rung0 / {} rung1) — min leakage rung0 {:.3e}, \
+         rung1 {:.3e} in {:.1}s",
+        baseline.security.variants,
+        baseline.security.rung0_variants,
+        baseline.security.rung1_variants,
+        baseline.security.rung0_min_leakage,
+        baseline.security.rung1_min_leakage,
+        baseline.security.secs,
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");

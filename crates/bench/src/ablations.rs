@@ -124,12 +124,14 @@ pub fn a2_multiversion() -> ((f64, f64), String) {
                         core: core.clone(),
                         time_us: fast_t,
                         energy_uj: fast_e,
+                        security_level: 0,
                     },
                     ExecOption {
                         label: "green".into(),
                         core,
                         time_us: slow_t,
                         energy_uj: slow_e,
+                        security_level: 0,
                     },
                 ],
             );

@@ -688,6 +688,18 @@ impl<'a> EvalCache<'a> {
     }
 }
 
+/// The security coordinates of one secure-search variant: which
+/// countermeasure rung it was compiled under and the leakage the rig
+/// measured for it (the third Pareto axis — always finite, capped by
+/// [`WELCH_T_CAP`](teamplay_security::WELCH_T_CAP)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariantSecurity {
+    /// Countermeasure ladder rung (0 = plain IR, 1 = ladderised).
+    pub rung: u32,
+    /// Measured leakage score: the worse channel's |Welch t|.
+    pub leakage: f64,
+}
+
 /// A compiled task variant on the Pareto front.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TaskVariant {
@@ -699,6 +711,10 @@ pub struct TaskVariant {
     /// shared with the evaluation cache — cloning a variant or a front
     /// bumps a refcount instead of deep-copying compiled modules.
     pub program: Arc<Program>,
+    /// Rung and measured leakage when the variant came from the secure
+    /// search ([`crate::secure::pareto_search_secure_on`]); `None` for
+    /// the time/energy/size-only searches.
+    pub security: Option<VariantSecurity>,
 }
 
 /// A task's Pareto front plus the search instrumentation that produced
@@ -873,6 +889,7 @@ pub fn pareto_search_with_cache_seeded(
             config,
             metrics: m,
             program,
+            security: None,
         });
     }
     variants.sort_by_key(|v| v.metrics.wcet_cycles);

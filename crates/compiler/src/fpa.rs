@@ -233,10 +233,14 @@ impl MultiObjectiveFpa {
         stats.evaluations += initial.len();
         let mut scores: Vec<Option<Vec<f64>>> = Vec::with_capacity(population.len());
         for (genome, obj) in population.iter().zip(initial) {
-            if let Some(o) = &obj {
-                insert_archive(&mut archive, genome, o, cfg.archive_cap);
-            }
-            scores.push(obj);
+            // A non-finite objective vector is demoted to infeasible: it
+            // may neither enter the archive nor linger in `scores` where
+            // later dominance comparisons would consult it.
+            let feasible = match &obj {
+                Some(o) => insert_archive(&mut archive, genome, o, cfg.archive_cap).is_ok(),
+                None => false,
+            };
+            scores.push(if feasible { obj } else { None });
         }
 
         for _iter in 0..cfg.iterations {
@@ -287,6 +291,12 @@ impl MultiObjectiveFpa {
             // Phase 3 — apply archive/acceptance updates in index order.
             for (i, ((candidate, lucky), obj)) in moves.into_iter().zip(objs).enumerate() {
                 let Some(o) = obj else { continue };
+                if insert_archive(&mut archive, &candidate, &o, cfg.archive_cap).is_err() {
+                    // Non-finite objectives: the candidate is treated as
+                    // infeasible rather than panicking downstream in the
+                    // crowding-distance sort.
+                    continue;
+                }
                 // Replace if the candidate dominates (or the old one was
                 // infeasible, or neither dominates and the pre-drawn
                 // acceptance coin came up heads).
@@ -294,7 +304,6 @@ impl MultiObjectiveFpa {
                     None => true,
                     Some(old) => dominates(&o, old) || !dominates(old, &o) && lucky,
                 };
-                insert_archive(&mut archive, &candidate, &o, cfg.archive_cap);
                 if accept {
                     population[i] = candidate;
                     scores[i] = Some(o);
@@ -350,14 +359,67 @@ fn gamma_approx(x: f64) -> f64 {
     }
 }
 
+/// A candidate carried a NaN or ±∞ objective and was refused at the
+/// archive boundary. Structured so callers can distinguish "infeasible
+/// genome" (an expected search outcome) from "an objective function
+/// produced garbage" (a caller bug worth surfacing) — and so the
+/// non-finite value never reaches the crowding-distance sort, which
+/// used to panic on it far from the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NonFiniteObjective {
+    /// Index of the first offending objective in the vector.
+    pub index: usize,
+}
+
+impl std::fmt::Display for NonFiniteObjective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite value at objective index {}", self.index)
+    }
+}
+
+impl std::error::Error for NonFiniteObjective {}
+
+/// The bit pattern of an objective for duplicate detection, with `-0.0`
+/// normalised to `+0.0` (they compare equal and describe the same
+/// objective value, so they must dedup together; distinct NaN payloads
+/// must *not* silently collapse an archive invariant — but NaN is
+/// rejected before ever reaching this comparison).
+fn objective_bits(x: f64) -> u64 {
+    (x + 0.0).to_bits()
+}
+
+/// Exact duplicate check by (normalised) bit pattern rather than `==`,
+/// so `-0.0`/`0.0` pairs dedup and NaN can never satisfy *nor* defeat
+/// the check in surprising ways.
+fn same_objectives(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| objective_bits(*x) == objective_bits(*y))
+}
+
 /// Insert into the archive, keeping it non-dominated and within `cap`
 /// (crowding-distance pruning, NSGA-II style).
-fn insert_archive(archive: &mut Vec<ParetoPoint>, genome: &[f64], objectives: &[f64], cap: usize) {
+///
+/// # Errors
+/// [`NonFiniteObjective`] when `objectives` contains NaN or ±∞; the
+/// archive is left untouched. The search loop treats such candidates as
+/// infeasible, so an objective function that misbehaves on one genome
+/// degrades the search instead of panicking it.
+pub(crate) fn insert_archive(
+    archive: &mut Vec<ParetoPoint>,
+    genome: &[f64],
+    objectives: &[f64],
+    cap: usize,
+) -> Result<(), NonFiniteObjective> {
+    if let Some(index) = objectives.iter().position(|x| !x.is_finite()) {
+        return Err(NonFiniteObjective { index });
+    }
     if archive
         .iter()
-        .any(|p| dominates(&p.objectives, objectives) || p.objectives == objectives)
+        .any(|p| dominates(&p.objectives, objectives) || same_objectives(&p.objectives, objectives))
     {
-        return;
+        return Ok(());
     }
     archive.retain(|p| !dominates(objectives, &p.objectives));
     archive.push(ParetoPoint {
@@ -369,24 +431,24 @@ fn insert_archive(archive: &mut Vec<ParetoPoint>, genome: &[f64], objectives: &[
         let (victim, _) = distances
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty archive");
         archive.remove(victim);
     }
+    Ok(())
 }
 
-/// NSGA-II crowding distance per archive member.
+/// NSGA-II crowding distance per archive member. Archived objectives
+/// are finite by construction ([`insert_archive`] rejects the rest), and
+/// `total_cmp` keeps the sort total even if that invariant is ever
+/// violated — boundary distances are ±∞ on purpose and must still sort.
 fn crowding_distances(archive: &[ParetoPoint]) -> Vec<f64> {
     let n = archive.len();
     let m = archive[0].objectives.len();
     let mut dist = vec![0.0f64; n];
     for obj in 0..m {
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| {
-            archive[a].objectives[obj]
-                .partial_cmp(&archive[b].objectives[obj])
-                .expect("finite objectives")
-        });
+        idx.sort_by(|&a, &b| archive[a].objectives[obj].total_cmp(&archive[b].objectives[obj]));
         let lo = archive[idx[0]].objectives[obj];
         let hi = archive[idx[n - 1]].objectives[obj];
         let range = (hi - lo).max(1e-12);
@@ -559,6 +621,65 @@ mod tests {
         let fpa = MultiObjectiveFpa::new(cfg);
         let out = fpa.run(3, 11, zdt1);
         assert!(out.archive.len() <= 5);
+    }
+
+    #[test]
+    fn non_finite_objectives_are_rejected_with_a_structured_error() {
+        let mut archive = Vec::new();
+        insert_archive(&mut archive, &[0.5], &[1.0, 2.0], 8).expect("finite");
+        for bad in [
+            vec![f64::NAN, 1.0],
+            vec![1.0, f64::INFINITY],
+            vec![f64::NEG_INFINITY, 0.0],
+        ] {
+            let idx = bad.iter().position(|x| !x.is_finite()).expect("bad value");
+            let err = insert_archive(&mut archive, &[0.5], &bad, 8)
+                .expect_err("non-finite objectives must be refused");
+            assert_eq!(err, NonFiniteObjective { index: idx });
+        }
+        // The archive is untouched by refused insertions.
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive[0].objectives, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn non_finite_evals_are_skipped_without_panicking() {
+        // An objective function that sometimes produces NaN used to
+        // panic in the crowding-distance sort ("finite objectives");
+        // now those candidates degrade to infeasible.
+        let fpa = MultiObjectiveFpa::new(FpaConfig {
+            archive_cap: 4,
+            iterations: 20,
+            ..FpaConfig::standard()
+        });
+        let out = fpa.run(2, 13, |x| {
+            if x[0] > 0.6 {
+                Some(vec![f64::NAN, x[1]])
+            } else if x[1] > 0.8 {
+                Some(vec![x[0], f64::INFINITY])
+            } else {
+                Some(vec![x[0], 1.0 - x[0]])
+            }
+        });
+        assert!(!out.archive.is_empty());
+        for p in &out.archive {
+            assert!(p.objectives.iter().all(|o| o.is_finite()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_deduplicates_against_positive_zero() {
+        // -0.0 == 0.0 describes the same objective value; the bit-pattern
+        // dedup must normalise the sign so the archive can't accumulate
+        // both spellings of one point.
+        let mut archive = Vec::new();
+        insert_archive(&mut archive, &[0.1], &[0.0, 1.0], 8).expect("finite");
+        insert_archive(&mut archive, &[0.9], &[-0.0, 1.0], 8).expect("finite");
+        assert_eq!(archive.len(), 1, "{archive:?}");
+        assert_eq!(archive[0].genome, vec![0.1], "first spelling wins");
+        // Genuinely distinct non-dominated points still coexist.
+        insert_archive(&mut archive, &[0.5], &[1.0, 0.0], 8).expect("finite");
+        assert_eq!(archive.len(), 2);
     }
 
     #[test]

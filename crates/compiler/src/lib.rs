@@ -32,6 +32,11 @@
 //!   and an optional persistent [`store::DiskStore`] — see the
 //!   [`driver`] module docs) and the Pareto front construction
 //!   ([`driver::pareto_search_on`]),
+//! * [`secure`] — the security-aware variant of the search: a
+//!   ladder-rung gene selects the countermeasure level each candidate
+//!   compiles under, and the leakage measured on the simulator rig
+//!   joins the objective vector, yielding time/energy/leakage Pareto
+//!   fronts ([`secure::pareto_search_secure_on`]),
 //! * [`store`] — the content-addressed on-disk evaluation store that
 //!   lets searches warm-start across processes (keys commit to the IR,
 //!   the cost models and a format version, so stale entries are
@@ -54,6 +59,7 @@ pub mod codegen;
 pub mod driver;
 pub mod fpa;
 pub mod passes;
+pub mod secure;
 pub mod service;
 pub mod store;
 
@@ -63,13 +69,17 @@ pub use driver::{
     evaluate_module_memo, pareto_front_for, pareto_search, pareto_search_on,
     pareto_search_with_cache, pareto_search_with_cache_seeded, pareto_search_with_store,
     AnalysisMemo, CachedEval, CompilerConfig, EvalCache, ModuleMetrics, ParetoFront, TaskVariant,
-    VariantMetrics,
+    VariantMetrics, VariantSecurity,
 };
 pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint, SearchStats};
 pub use passes::{
     function_content_key, run_passes, run_passes_per_function, run_passes_per_function_on, Pass,
     PassContext, PassManager, PassSpec, PassStats, Pipeline, PipelineCatalog, PipelineError,
     REGISTRY,
+};
+pub use secure::{
+    genome_with_rung, ladderised_ir, pareto_search_secure_on, pareto_search_secure_with_store,
+    rung_of_genome, LeakageRig, LADDER_RUNGS, SECURE_GENOME_DIMS,
 };
 pub use service::{compile_many, BatchStats, CompileJob, JobResult};
 pub use store::{DiskStore, STORE_FORMAT_VERSION};

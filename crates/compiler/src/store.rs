@@ -27,7 +27,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Version stamp mixed into every store key. Bump when the serialized
 /// entry layout (or the meaning of any hashed input) changes: old
 /// entries then simply stop matching instead of deserializing wrongly.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — evaluation entries only; 2 — the secure search
+/// added leakage-score entries ([`DiskStore::store_score`]) and stored
+/// evals can now originate from ladderised IR, so every key moved.
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a 128-bit offset basis.
 const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -66,6 +70,14 @@ pub(crate) fn hash_json<T: Serialize>(hash: u128, value: &T) -> u128 {
 #[derive(Serialize, Deserialize)]
 struct StoredEval {
     eval: Option<CachedEval>,
+}
+
+/// On-disk entry: one memoized leakage score of the secure search.
+/// `score: None` records a variant whose measurement rig trapped —
+/// persisted so a warm process skips the failing simulation too.
+#[derive(Serialize, Deserialize)]
+struct StoredScore {
+    score: Option<f64>,
 }
 
 /// Distinguishes temp files (in-flight writes) from committed entries.
@@ -130,6 +142,30 @@ impl DiskStore {
         let Ok(text) = serde_json::to_string(&StoredEval { eval: eval.clone() }) else {
             return;
         };
+        self.commit(key, text);
+    }
+
+    /// Load the leakage-score entry for `key`. Outer `None` means
+    /// absent/corrupt (a cold miss); inner `None` is a *recorded*
+    /// measurement failure.
+    pub fn load_score(&self, key: u128) -> Option<Option<f64>> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let stored: StoredScore = serde_json::from_str(&text).ok()?;
+        Some(stored.score)
+    }
+
+    /// Persist a leakage score under `key` (best effort, atomic — same
+    /// semantics as [`DiskStore::store`]). Score keys must chain in a
+    /// discriminator distinct from evaluation keys so the two entry
+    /// kinds can never collide on one slot.
+    pub fn store_score(&self, key: u128, score: &Option<f64>) {
+        let Ok(text) = serde_json::to_string(&StoredScore { score: *score }) else {
+            return;
+        };
+        self.commit(key, text);
+    }
+
+    fn commit(&self, key: u128, text: String) {
         let tmp = self.root.join(format!(
             "{key:032x}.tmp.{}.{}",
             std::process::id(),
@@ -166,6 +202,18 @@ mod tests {
         assert!(store.load(42).is_none());
         fs::write(store.entry_path(42), "{not json").expect("write corrupt entry");
         assert!(store.load(42).is_none());
+        let _ = fs::remove_dir_all(store.path());
+    }
+
+    #[test]
+    fn scores_round_trip_including_recorded_failures() {
+        let store = temp_store("scores");
+        assert!(store.load_score(11).is_none());
+        store.store_score(11, &Some(4.25));
+        assert_eq!(store.load_score(11), Some(Some(4.25)));
+        store.store_score(12, &None);
+        assert_eq!(store.load_score(12), Some(None));
+        assert_eq!(store.entries(), 2);
         let _ = fs::remove_dir_all(store.path());
     }
 

@@ -686,6 +686,7 @@ mod proptests {
             wcet_budget: Some(TimeValue(wcet_budget)),
             energy_budget: Some(EnergyValue(energy_budget)),
             security: None,
+            security_floor: 0,
             secrets: vec![],
             after: vec![],
             reexecutions: 0,

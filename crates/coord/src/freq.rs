@@ -91,6 +91,7 @@ pub fn dvfs_options(
                 core: core.to_string(),
                 time_us,
                 energy_uj: e_dyn + e_leak,
+                security_level: 0,
             }
         })
         .collect()

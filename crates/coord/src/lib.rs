@@ -30,4 +30,4 @@ pub use glue::{
 pub use schedule::{
     schedule_branch_and_bound, schedule_energy_aware, Schedule, ScheduleEntry, ScheduleError,
 };
-pub use task::{CoordTask, ExecOption, TaskSet};
+pub use task::{CoordTask, ExecOption, TaskSet, TaskSetError};

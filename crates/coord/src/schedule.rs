@@ -793,6 +793,7 @@ mod tests {
             core: core.into(),
             time_us: t,
             energy_uj: e,
+            security_level: 0,
         }
     }
 
@@ -1168,6 +1169,7 @@ mod proptests {
                         core: cores[rng.gen_range(0..cores.len())].clone(),
                         time_us: rng.gen_range(1.0..50.0),
                         energy_uj: rng.gen_range(1.0..500.0),
+                        security_level: 0,
                     })
                     .collect();
                 let mut t = CoordTask::new(format!("t{i}"), options);

@@ -16,6 +16,10 @@ pub struct ExecOption {
     pub time_us: f64,
     /// Energy per activation, microjoules.
     pub energy_uj: f64,
+    /// Countermeasure rung of the compiled variant behind this option
+    /// (0 = unhardened, 1 = ladderised). Judged against the owning
+    /// task's `security_floor`.
+    pub security_level: u32,
 }
 
 /// A schedulable task with its execution options.
@@ -34,6 +38,11 @@ pub struct CoordTask {
     /// back-to-back recovery runs of the chosen option after the
     /// primary run. 0 = no fault tolerance contracted.
     pub reexecutions: u32,
+    /// Minimum countermeasure rung acceptable at placement (the CSL
+    /// `security_floor(n)` clause). Options whose `security_level` is
+    /// below the floor are filtered out during [`TaskSet::new`]; 0
+    /// (the default) accepts every option.
+    pub security_floor: u32,
 }
 
 impl CoordTask {
@@ -45,6 +54,7 @@ impl CoordTask {
             after: Vec::new(),
             deadline_us: None,
             reexecutions: 0,
+            security_floor: 0,
         }
     }
 
@@ -63,6 +73,13 @@ impl CoordTask {
     /// Builder-style re-execution (reliability) reservation.
     pub fn with_reexecutions(mut self, k: u32) -> CoordTask {
         self.reexecutions = k;
+        self
+    }
+
+    /// Builder-style security floor (minimum acceptable countermeasure
+    /// rung for any placed option).
+    pub fn with_security_floor(mut self, floor: u32) -> CoordTask {
+        self.security_floor = floor;
         self
     }
 }
@@ -90,6 +107,16 @@ pub enum TaskSetError {
         /// The unknown core.
         core: String,
     },
+    /// Every option of a task sits below its contracted security
+    /// floor, so nothing can be placed for it.
+    BelowSecurityFloor {
+        /// The task.
+        task: String,
+        /// The contracted floor.
+        floor: u32,
+        /// The highest security level any of its options offered.
+        best_level: u32,
+    },
 }
 
 impl fmt::Display for TaskSetError {
@@ -103,6 +130,17 @@ impl fmt::Display for TaskSetError {
             TaskSetError::NoOptions(n) => write!(f, "task `{n}` has no execution options"),
             TaskSetError::UnknownCore { task, core } => {
                 write!(f, "task `{task}` has an option on unknown core `{core}`")
+            }
+            TaskSetError::BelowSecurityFloor {
+                task,
+                floor,
+                best_level,
+            } => {
+                write!(
+                    f,
+                    "task `{task}` requires security_floor({floor}) but its best \
+                     option only reaches level {best_level}"
+                )
             }
         }
     }
@@ -128,10 +166,34 @@ impl TaskSet {
     /// # Errors
     /// See [`TaskSetError`].
     pub fn new(
-        tasks: Vec<CoordTask>,
+        mut tasks: Vec<CoordTask>,
         cores: Vec<String>,
         deadline_us: f64,
     ) -> Result<TaskSet, TaskSetError> {
+        // Enforce each task's security floor before any placement can
+        // see the options: a below-floor variant must never be chosen,
+        // not merely deprioritised. Floor 0 filters nothing, so task
+        // sets without security contracts are bit-identical to before.
+        for t in &mut tasks {
+            if t.security_floor == 0 || t.options.is_empty() {
+                continue;
+            }
+            let best = t
+                .options
+                .iter()
+                .map(|o| o.security_level)
+                .max()
+                .unwrap_or(0);
+            if best < t.security_floor {
+                return Err(TaskSetError::BelowSecurityFloor {
+                    task: t.name.clone(),
+                    floor: t.security_floor,
+                    best_level: best,
+                });
+            }
+            let floor = t.security_floor;
+            t.options.retain(|o| o.security_level >= floor);
+        }
         let mut seen = HashSet::new();
         for t in &tasks {
             if !seen.insert(t.name.clone()) {
@@ -215,6 +277,7 @@ mod tests {
             core: core.into(),
             time_us: t,
             energy_uj: e,
+            security_level: 0,
         }
     }
 
@@ -267,6 +330,53 @@ mod tests {
             TaskSet::new(no_opt, cores(), 10.0),
             Err(TaskSetError::NoOptions(_))
         ));
+    }
+
+    #[test]
+    fn security_floor_filters_below_floor_options() {
+        let mut hardened = opt("c0", 20.0, 4.0);
+        hardened.security_level = 1;
+        let tasks = vec![
+            CoordTask::new("enc", vec![opt("c0", 10.0, 2.0), hardened.clone()])
+                .with_security_floor(1),
+        ];
+        let set = TaskSet::new(tasks, cores(), 100.0).expect("valid");
+        let enc = set.task("enc").expect("present");
+        assert_eq!(enc.options, vec![hardened]);
+    }
+
+    #[test]
+    fn security_floor_zero_is_bit_identical_to_no_floor() {
+        let tasks = || {
+            vec![
+                CoordTask::new("a", vec![opt("c0", 5.0, 1.0), opt("c1", 3.0, 2.0)]),
+                CoordTask::new("b", vec![opt("c0", 10.0, 1.0)]).after(&["a"]),
+            ]
+        };
+        let plain = TaskSet::new(tasks(), cores(), 100.0).expect("valid");
+        let floored = TaskSet::new(
+            tasks()
+                .into_iter()
+                .map(|t| t.with_security_floor(0))
+                .collect(),
+            cores(),
+            100.0,
+        )
+        .expect("valid");
+        assert_eq!(plain, floored);
+    }
+
+    #[test]
+    fn all_options_below_floor_is_a_structured_error() {
+        let tasks = vec![CoordTask::new("enc", vec![opt("c0", 10.0, 2.0)]).with_security_floor(2)];
+        assert_eq!(
+            TaskSet::new(tasks, cores(), 100.0),
+            Err(TaskSetError::BelowSecurityFloor {
+                task: "enc".into(),
+                floor: 2,
+                best_level: 0,
+            })
+        );
     }
 
     #[test]

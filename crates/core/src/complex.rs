@@ -115,6 +115,7 @@ impl ComplexWorkflow {
                             core: self.platform.cores[0].name.clone(),
                             time_us: 1.0,
                             energy_uj: 0.0,
+                            security_level: 0,
                         }],
                     );
                     ct.after = t.after.clone();

@@ -587,6 +587,14 @@ impl PredictableWorkflow {
             .tasks
             .iter()
             .map(|t| {
+                // Step 2 ladderised every `security(ct)` task's function
+                // before the searches (erroring on residual leaks), so
+                // each of its variants is a hardened build: rung 1.
+                let level = if t.security == Some(SecurityReq::ConstantTime) {
+                    1
+                } else {
+                    0
+                };
                 let options = variants[&t.name]
                     .iter()
                     .enumerate()
@@ -595,12 +603,14 @@ impl PredictableWorkflow {
                         core: "cpu0".into(),
                         time_us: v.metrics.wcet_cycles as f64 / cfg.clock_mhz,
                         energy_uj: v.metrics.wcec_pj / 1e6,
+                        security_level: level,
                     })
                     .collect();
                 let mut ct = CoordTask::new(t.name.clone(), options);
                 ct.after = t.after.clone();
                 ct.deadline_us = t.deadline.map(|d| d.as_us());
                 ct.reexecutions = t.reexecutions;
+                ct.security_floor = t.security_floor;
                 ct
             })
             .collect();
@@ -652,6 +662,11 @@ impl PredictableWorkflow {
             .map(|t| {
                 let cycles = wcet.wcet_cycles(&t.function).expect("analysed");
                 let pj = energy.wcec_pj(&t.function).expect("analysed");
+                let level = if t.security == Some(SecurityReq::ConstantTime) {
+                    1
+                } else {
+                    0
+                };
                 let mut ct = CoordTask::new(
                     t.name.clone(),
                     vec![ExecOption {
@@ -659,11 +674,13 @@ impl PredictableWorkflow {
                         core: "cpu0".into(),
                         time_us: cycles as f64 / cfg.clock_mhz,
                         energy_uj: pj / 1e6,
+                        security_level: level,
                     }],
                 );
                 ct.after = t.after.clone();
                 ct.deadline_us = t.deadline.map(|d| d.as_us());
                 ct.reexecutions = t.reexecutions;
+                ct.security_floor = t.security_floor;
                 ct
             })
             .collect();

@@ -4,6 +4,18 @@
 //! parenthesised clause arguments may not contain spaces. Quantities
 //! carry units: time in `us`/`ms`/`s` (stored as microseconds), energy in
 //! `pj`/`nj`/`uj`/`mj`/`j` (stored as picojoules).
+//!
+//! Security clauses come in two strengths:
+//!
+//! * `security(ct)` (aliases `constant_time`, `leakfree`) — the task's
+//!   *code* must be constant-time with respect to its `secret(...)`
+//!   parameters; the workflow ladderises the function and measures the
+//!   residual leakage.
+//! * `security_floor(n)` — the task's *placement* must use an execution
+//!   option of countermeasure rung ≥ `n` (`0` = unhardened, `1` =
+//!   ladderised). The coordination layer filters below-floor options
+//!   before scheduling, so the floor binds even when a tuned Pareto
+//!   front offers cheaper unhardened variants.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -146,6 +158,12 @@ pub enum CslClause {
     EnergyBudget(EnergyValue),
     /// `security(ct)`.
     Security(SecurityReq),
+    /// `security_floor(n)` — minimum countermeasure rung the scheduler
+    /// may place: every execution option offered for the task must carry
+    /// `security_level ≥ n` (rung 0 = no hardening, rung 1 =
+    /// ladderised). Options below the floor are filtered out at task-set
+    /// construction, so a below-floor variant can never be scheduled.
+    SecurityFloor(u32),
     /// `secret(param)`.
     Secret(String),
     /// `after(a, b, ...)` — dependency edges.
@@ -268,6 +286,13 @@ pub fn parse_clauses(payload: &str) -> Result<Vec<CslClause>, ClauseParseError> 
                         )))
                     }
                 }
+            }
+            "security_floor" => {
+                let n: u32 = need(arg)?
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClauseParseError::BadQuantity("security_floor".into()))?;
+                CslClause::SecurityFloor(n)
             }
             "secret" => CslClause::Secret(need(arg)?.trim().to_string()),
             "reliability" => {
@@ -396,6 +421,21 @@ mod tests {
             Err(ClauseParseError::UnknownClause(_))
         ));
         assert!(parse_clauses("security(rot13)").is_err());
+    }
+
+    #[test]
+    fn security_floor_clause() {
+        let clauses = parse_clauses("task encrypt security(ct) security_floor(1) secret(key)")
+            .expect("parse");
+        assert_eq!(clauses[1], CslClause::Security(SecurityReq::ConstantTime));
+        assert_eq!(clauses[2], CslClause::SecurityFloor(1));
+        assert_eq!(
+            parse_clauses("security_floor(0)").expect("rung 0 is legal"),
+            vec![CslClause::SecurityFloor(0)]
+        );
+        assert!(parse_clauses("security_floor(one)").is_err());
+        assert!(parse_clauses("security_floor(-1)").is_err());
+        assert!(parse_clauses("security_floor").is_err());
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct TaskSpec {
     pub energy_budget: Option<EnergyValue>,
     /// Security requirement, if any.
     pub security: Option<SecurityReq>,
+    /// Minimum countermeasure rung the scheduler may place
+    /// (`security_floor(n)`; 0 — the default — accepts any option).
+    pub security_floor: u32,
     /// Parameters holding secrets.
     pub secrets: Vec<String>,
     /// Names of tasks that must complete first.
@@ -180,6 +183,7 @@ pub fn extract_model(program: &Program) -> Result<CslModel, CslError> {
             wcet_budget: None,
             energy_budget: None,
             security: None,
+            security_floor: 0,
             secrets: Vec::new(),
             after: Vec::new(),
             reexecutions: 0,
@@ -193,6 +197,7 @@ pub fn extract_model(program: &Program) -> Result<CslModel, CslError> {
                 CslClause::WcetBudget(t) => spec.wcet_budget = Some(t),
                 CslClause::EnergyBudget(e) => spec.energy_budget = Some(e),
                 CslClause::Security(s) => spec.security = Some(s),
+                CslClause::SecurityFloor(n) => spec.security_floor = n,
                 CslClause::Secret(p) => spec.secrets.push(p),
                 CslClause::After(deps) => spec.after.extend(deps),
                 CslClause::Reliability(k) => spec.reexecutions = k,
@@ -307,6 +312,16 @@ mod tests {
         let b = m.task("b").expect("b");
         assert_eq!(b.reexecutions, 0, "reliability defaults to none");
         assert!(b.degraded_deadline.is_none());
+    }
+
+    #[test]
+    fn security_floor_reaches_the_spec_and_defaults_to_zero() {
+        let src = "/*@ task enc security(ct) security_floor(1) secret(key) @*/
+                   void enc(int key) { return; }
+                   /*@ task plain @*/ void plain() { return; }";
+        let m = model(src).expect("extract");
+        assert_eq!(m.task("enc").expect("enc").security_floor, 1);
+        assert_eq!(m.task("plain").expect("plain").security_floor, 0);
     }
 
     #[test]

@@ -131,6 +131,7 @@ pub fn exec_options_from_profile(
             core: core.clone(),
             time_us: stats.p95_time_ms * margin * 1e3,
             energy_uj: stats.mean_energy_mj * 1e3,
+            security_level: 0,
         })
         .collect()
 }

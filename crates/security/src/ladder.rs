@@ -10,7 +10,10 @@
 //!
 //! 1. **taint analysis** — temps derived from `secret` parameters
 //!    (transitively, through arithmetic, copies, selects and loads with
-//!    tainted indices) are tainted;
+//!    tainted indices) are tainted, and so is memory written under
+//!    secret control: a store of a tainted value (or at a tainted index)
+//!    taints its base array, and later loads from — or by-ref calls
+//!    with — that array carry the taint onward;
 //! 2. **diamond matching** — a branch on a tainted condition whose arms
 //!    are single, pure (arithmetic-only) blocks joining at a common
 //!    continuation;
@@ -47,12 +50,32 @@ impl LadderReport {
 
 /// Temps transitively derived from the given secret parameters.
 pub fn tainted_temps(f: &IrFunction, secret_params: &HashSet<String>) -> HashSet<Temp> {
+    tainted_state(f, secret_params).0
+}
+
+/// Flow-insensitive taint fixpoint over temps *and* memory bases.
+///
+/// A [`MemBase`] becomes tainted when a store writes a tainted value (or
+/// uses a tainted index — the written slot's identity then depends on
+/// the secret) through it; any load from a tainted base, and any
+/// `CallArg::ArrayRef` passing one, then carries the taint onward. This
+/// is what makes a global array *written under secret control earlier in
+/// the function* taint a later by-ref call — the old
+/// `CallArg::ArrayRef(_) => false` rule silently dropped exactly that
+/// flow. The analysis stays intra-procedural: callees' own global reads
+/// and writes are not modelled, which is why the workflow ladderises and
+/// then *measures* (`assess_leakage`) rather than trusting taint alone.
+fn tainted_state(
+    f: &IrFunction,
+    secret_params: &HashSet<String>,
+) -> (HashSet<Temp>, HashSet<MemBase>) {
     let mut tainted: HashSet<Temp> = f
         .params
         .iter()
         .filter(|p| secret_params.contains(&p.name))
         .map(|p| p.temp)
         .collect();
+    let mut tainted_bases: HashSet<MemBase> = HashSet::new();
     let is_tainted = |t: &HashSet<Temp>, o: &Operand| match o {
         Operand::Temp(x) => t.contains(x),
         Operand::Const(_) => false,
@@ -61,6 +84,11 @@ pub fn tainted_temps(f: &IrFunction, secret_params: &HashSet<String>) -> HashSet
         let mut changed = false;
         for b in &f.blocks {
             for op in &b.ops {
+                // `Param` bases are tainted through the base-address
+                // temp; `Global`/`Local` bases through the store rule.
+                let base_is_tainted = |t: &HashSet<Temp>, bases: &HashSet<MemBase>, base| {
+                    matches!(base, &MemBase::Param(p) if t.contains(&p)) || bases.contains(base)
+                };
                 let (dst, sources_tainted): (Option<Temp>, bool) = match op {
                     IrOp::Bin { dst, a, b, .. } => (
                         Some(*dst),
@@ -74,21 +102,32 @@ pub fn tainted_temps(f: &IrFunction, secret_params: &HashSet<String>) -> HashSet
                             || is_tainted(&tainted, t)
                             || is_tainted(&tainted, f),
                     ),
-                    IrOp::Load { dst, base, index } => {
-                        let base_tainted = matches!(base, MemBase::Param(t) if tainted.contains(t));
-                        (Some(*dst), is_tainted(&tainted, index) || base_tainted)
-                    }
+                    IrOp::Load { dst, base, index } => (
+                        Some(*dst),
+                        is_tainted(&tainted, index)
+                            || base_is_tainted(&tainted, &tainted_bases, base),
+                    ),
                     // Calls are conservative: a call with any tainted
-                    // argument taints its result.
+                    // argument — by value, or by ref to tainted memory —
+                    // taints its result.
                     IrOp::Call { dst, args, .. } => {
                         let any = args.iter().any(|a| match a {
                             CallArg::Value(v) => is_tainted(&tainted, v),
-                            CallArg::ArrayRef(MemBase::Param(t)) => tainted.contains(t),
-                            CallArg::ArrayRef(_) => false,
+                            CallArg::ArrayRef(base) => {
+                                base_is_tainted(&tainted, &tainted_bases, base)
+                            }
                         });
                         (*dst, any)
                     }
-                    IrOp::In { .. } | IrOp::Out { .. } | IrOp::Store { .. } => (None, false),
+                    IrOp::Store { base, index, value } => {
+                        if (is_tainted(&tainted, value) || is_tainted(&tainted, index))
+                            && tainted_bases.insert(base.clone())
+                        {
+                            changed = true;
+                        }
+                        (None, false)
+                    }
+                    IrOp::In { .. } | IrOp::Out { .. } => (None, false),
                 };
                 if sources_tainted {
                     if let Some(d) = dst {
@@ -100,7 +139,7 @@ pub fn tainted_temps(f: &IrFunction, secret_params: &HashSet<String>) -> HashSet
             }
         }
         if !changed {
-            return tainted;
+            return (tainted, tainted_bases);
         }
     }
 }
@@ -446,6 +485,61 @@ mod tests {
             let got = exec_module(&m, "f", &[k, 10], &mut p2, 100_000).expect("hardened");
             assert_eq!(got, want, "k={k}");
         }
+    }
+
+    #[test]
+    fn secret_store_taints_the_array_through_loads_and_refs() {
+        // A global array written under secret control earlier in the
+        // function must taint everything read back from it — including a
+        // by-ref call argument. The old `CallArg::ArrayRef(_) => false`
+        // rule dropped this flow, so the branch on `probe` below went
+        // unreported.
+        let src = "int keybuf[2];
+        int mix(int buf[], int x) { return buf[0] + x; }
+        int f(int k, int x) {
+            keybuf[0] = k * 3;
+            int probe = mix(keybuf, x);
+            int r = 0;
+            if (probe > 0) { r = x + 1; } else { r = x - 1; }
+            return r;
+        }";
+        let m = compile_to_ir(src).expect("front-end");
+        let f = m.function("f").expect("f");
+        let t = tainted_temps(f, &secrets(&["k"]));
+        // The call result (and hence the branch condition) is tainted.
+        let mut m2 = compile_to_ir(src).expect("front-end");
+        let report = ladderise(m2.function_mut("f").expect("f"), &secrets(&["k"]));
+        assert_eq!(
+            report.converted + report.residual,
+            1,
+            "the probe branch must be accounted for (tainted temps: {t:?})"
+        );
+        // Control: with the secret store replaced by a constant store the
+        // very same branch is public — the taint above really flowed
+        // store → array → by-ref call, not from some blanket rule.
+        let control = src.replace("keybuf[0] = k * 3;", "keybuf[0] = 3;");
+        let mut m3 = compile_to_ir(&control).expect("front-end");
+        let report = ladderise(m3.function_mut("f").expect("f"), &secrets(&["k"]));
+        assert_eq!((report.converted, report.residual), (0, 0));
+    }
+
+    #[test]
+    fn secret_indexed_store_taints_the_array() {
+        // Writing to a secret-selected slot makes the array's contents
+        // secret-dependent even when the stored value is public.
+        let src = "int table[4];
+        int f(int k, int x) {
+            table[k & 3] = x;
+            return table[0];
+        }";
+        let m = compile_to_ir(src).expect("front-end");
+        let f = m.function("f").expect("f");
+        let t = tainted_temps(f, &secrets(&["k"]));
+        let untainted = tainted_temps(f, &secrets(&[]));
+        assert!(
+            t.len() > untainted.len() + 1,
+            "load from table must be tainted: {t:?}"
+        );
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum Verdict {
 /// The TVLA t-statistic threshold conventionally separating the verdicts.
 pub const TVLA_THRESHOLD: f64 = 4.5;
 
+/// Saturation value for [`welch_t`]: the statistic is clamped to
+/// `±WELCH_T_CAP` so that degenerate sample sets (zero variance,
+/// constant-but-distinct observables — exactly what hardened
+/// constant-time code produces) yield a *defined, finite* number that
+/// can safely enter a Pareto objective vector. Any real leak saturates
+/// far above [`TVLA_THRESHOLD`] long before the cap matters.
+pub const WELCH_T_CAP: f64 = 1e9;
+
 /// A scored observable channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LeakageAssessment {
@@ -78,34 +86,50 @@ fn variance(xs: &[f64], m: f64) -> f64 {
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
 }
 
-/// Welch's two-sample t-statistic.
+/// Welch's two-sample t-statistic, saturated to `±`[`WELCH_T_CAP`].
 ///
-/// When both samples are constant: 0 if equal (no information), `+∞` in
-/// magnitude (represented as a large sentinel) if different — a constant,
-/// distinct observable identifies the secret with one trace.
+/// When both samples are constant: 0 if equal (no information),
+/// `±WELCH_T_CAP` if different — a constant, distinct observable
+/// identifies the secret with one trace. The result is always finite
+/// (never NaN, never ±∞), including for non-finite inputs, so it can be
+/// used directly as a search objective.
 pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
     let ma = mean(a);
     let mb = mean(b);
     let va = variance(a, ma);
     let vb = variance(b, mb);
     let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
-    if denom == 0.0 {
+    let t = if denom == 0.0 {
         if ma == mb {
             0.0
         } else {
-            1e9
+            WELCH_T_CAP.copysign(ma - mb)
         }
     } else {
         (ma - mb) / denom
+    };
+    if t.is_nan() {
+        // NaN means the inputs themselves were degenerate (e.g. a NaN
+        // sample, or ∞ − ∞ of two infinite means): report the
+        // conservative "maximally distinguishable" cap rather than
+        // poisoning downstream comparisons.
+        WELCH_T_CAP
+    } else {
+        t.clamp(-WELCH_T_CAP, WELCH_T_CAP)
     }
 }
 
 /// Two-sample Kolmogorov–Smirnov distance (sup |F_a − F_b|).
+///
+/// NaN samples are dropped before comparison (they carry no ordering
+/// information and would otherwise wedge the merge scan); ±∞ samples
+/// participate normally. An entirely-NaN sample set contributes an
+/// empty distribution, scoring 0 against anything.
 pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
-    let mut sa: Vec<f64> = a.to_vec();
-    let mut sb: Vec<f64> = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    let mut sa: Vec<f64> = a.iter().copied().filter(|x| !x.is_nan()).collect();
+    let mut sb: Vec<f64> = b.iter().copied().filter(|x| !x.is_nan()).collect();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d = 0.0f64;
     while i < sa.len() && j < sb.len() {
@@ -129,13 +153,31 @@ pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
 /// nothing from one trace); 1 means they are disjoint (one trace reveals
 /// the secret). The bin count follows the Freedman–Diaconis-flavoured
 /// `√n` rule on the pooled samples.
+///
+/// Non-finite samples are dropped (a NaN or ±∞ observation has no bin;
+/// keeping ±∞ would stretch the histogram range to ∞ and collapse every
+/// finite sample into one bin). The result is always finite and in
+/// `[0, 1]`: if exactly one class survives filtering the distributions
+/// are trivially disjoint (1.0); if neither survives, nothing is
+/// observable (0.0).
 pub fn indiscernibility(a: &[f64], b: &[f64]) -> f64 {
-    let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
-    let hi = a.iter().chain(b).copied().fold(f64::NEG_INFINITY, f64::max);
+    let fa: Vec<f64> = a.iter().copied().filter(|x| x.is_finite()).collect();
+    let fb: Vec<f64> = b.iter().copied().filter(|x| x.is_finite()).collect();
+    match (fa.is_empty(), fb.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        (false, false) => {}
+    }
+    let lo = fa.iter().chain(&fb).copied().fold(f64::INFINITY, f64::min);
+    let hi = fa
+        .iter()
+        .chain(&fb)
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     if lo == hi {
         return 0.0; // all observations identical across both classes
     }
-    let n = (a.len() + b.len()) as f64;
+    let n = (fa.len() + fb.len()) as f64;
     let bins = (n.sqrt().ceil() as usize).clamp(4, 256);
     let width = (hi - lo) / bins as f64;
     let histogram = |xs: &[f64]| -> Vec<f64> {
@@ -146,8 +188,8 @@ pub fn indiscernibility(a: &[f64], b: &[f64]) -> f64 {
         }
         h
     };
-    let ha = histogram(a);
-    let hb = histogram(b);
+    let ha = histogram(&fa);
+    let hb = histogram(&fb);
     let overlap: f64 = ha.iter().zip(&hb).map(|(p, q)| p.min(*q)).sum();
     (1.0 - overlap).clamp(0.0, 1.0)
 }
@@ -229,6 +271,75 @@ mod tests {
     #[should_panic(expected = "need samples")]
     fn empty_samples_panic() {
         let _ = LeakageAssessment::from_samples(&[], &[1.0]);
+    }
+
+    #[test]
+    fn welch_t_is_always_finite_on_degenerate_inputs() {
+        // Zero variance, distinct means: saturates at the cap instead of ∞.
+        assert_eq!(welch_t(&[1.0; 8], &[2.0; 8]), -WELCH_T_CAP);
+        assert_eq!(welch_t(&[2.0; 8], &[1.0; 8]), WELCH_T_CAP);
+        // Zero variance, equal means: exactly zero.
+        assert_eq!(welch_t(&[5.0; 3], &[5.0; 9]), 0.0);
+        // NaN / ±∞ samples must not escape as NaN.
+        let degenerates: [&[f64]; 4] = [
+            &[f64::NAN, 1.0],
+            &[f64::INFINITY, 0.0],
+            &[f64::NEG_INFINITY],
+            &[f64::INFINITY],
+        ];
+        for a in degenerates {
+            for b in degenerates {
+                let t = welch_t(a, b);
+                assert!(t.is_finite(), "welch_t({a:?}, {b:?}) = {t}");
+                assert!(t.abs() <= WELCH_T_CAP);
+            }
+        }
+        // Huge but finite separations clamp instead of overflowing.
+        assert_eq!(
+            welch_t(&[f64::MAX, f64::MAX], &[f64::MIN, f64::MIN]).abs(),
+            WELCH_T_CAP
+        );
+    }
+
+    #[test]
+    fn ks_distance_tolerates_nan_and_infinite_samples() {
+        // NaN samples are dropped; the remainder still compares sanely.
+        let a = [f64::NAN, 0.0, 1.0, 2.0];
+        let b = [10.0, 11.0, f64::NAN, 12.0];
+        let d = ks_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+        assert!(d > 0.9, "disjoint finite parts: {d}");
+        // All-NaN sets degrade to an empty distribution (distance 0),
+        // and ±∞ participates as an extreme order statistic.
+        assert_eq!(ks_distance(&[f64::NAN, f64::NAN], &[1.0, 2.0]), 0.0);
+        let inf = [f64::INFINITY, f64::NEG_INFINITY, 0.0];
+        let d = ks_distance(&inf, &inf);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn indiscernibility_is_defined_on_degenerate_inputs() {
+        // Non-finite samples are filtered, not smeared into the bins.
+        let a = [f64::INFINITY, 0.0, 1.0];
+        let b = [f64::NAN, 0.5, 1.5];
+        let ind = indiscernibility(&a, &b);
+        assert!((0.0..=1.0).contains(&ind));
+        // One class entirely non-finite: trivially disjoint.
+        assert_eq!(indiscernibility(&[f64::NAN], &[1.0, 2.0]), 1.0);
+        assert_eq!(indiscernibility(&[1.0], &[f64::INFINITY]), 1.0);
+        // Both classes non-finite: nothing observable.
+        assert_eq!(indiscernibility(&[f64::NAN], &[f64::INFINITY]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_assessments_stay_finite_end_to_end() {
+        // Constant-time code yields exactly this shape: zero variance in
+        // both classes. Every metric must come back finite so the
+        // assessment can feed a Pareto objective.
+        let r = LeakageAssessment::from_samples(&[7.0; 16], &[9.0; 16]);
+        assert!(r.welch_t.is_finite() && r.ks.is_finite() && r.indiscernibility.is_finite());
+        assert_eq!(r.welch_t, WELCH_T_CAP);
+        assert_eq!(r.verdict, Verdict::Leaking);
     }
 }
 

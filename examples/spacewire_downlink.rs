@@ -33,16 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_err(std::io::Error::other)?;
     let mut dev = spacewire::frame_device(7);
     for task in spacewire::TASKS {
+        let args: &[i32] = if task == "auth" {
+            &[spacewire::DEMO_TOKEN]
+        } else {
+            &[]
+        };
         machine
-            .call(task, &[], &mut dev)
+            .call(task, args, &mut dev)
             .map_err(std::io::Error::other)?;
     }
     println!(
-        "downlink packet: dest {:#04x}, protocol {:#04x}, {} payload words, crc {:#06x}\n",
+        "downlink packet: dest {:#04x}, protocol {:#04x}, {} payload words, crc {:#06x}, auth {:#010x}\n",
         dev.outputs[0].1,
         dev.outputs[1].1,
         dev.outputs[2].1,
-        dev.outputs.last().expect("crc").1
+        dev.outputs[3 + spacewire::FRAME_WORDS].1,
+        dev.outputs.last().expect("auth tag").1
     );
 
     // Baseline: traditional compiler at the nominal frequency.

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import glob
 import json
+import math
 import os
 import sys
 
@@ -43,10 +44,24 @@ def validate_search(data: dict) -> str:
     # …and it must do so by answering every evaluation from disk.
     assert batch["warm_disk_misses"] == 0, "warm batch recompiled"
     assert batch["warm_disk_hits"] > 0, "warm batch never touched the store"
+    sec = data["security"]
+    assert sec["secure_genome_dims"] == po["genome_dims"] + 1, "rung gene missing"
+    assert isinstance(sec["evaluations"], int) and sec["evaluations"] > 0
+    assert isinstance(sec["variants"], int) and sec["variants"] > 0
+    # Both countermeasure rungs must survive on the 3-D front…
+    assert sec["rung0_variants"] > 0 and sec["rung1_variants"] > 0, "a rung vanished"
+    assert sec["rung0_variants"] + sec["rung1_variants"] == sec["variants"]
+    r0, r1 = sec["rung0_min_leakage"], sec["rung1_min_leakage"]
+    # …with finite leakage scores (WELCH_T_CAP bounds degenerate sets)…
+    assert math.isfinite(r0) and math.isfinite(r1), "leakage scores must be finite"
+    assert r0 >= 0.0 and r1 >= 0.0, "leakage is a |t| statistic"
+    # …and the ladder must strictly cut the leakage axis.
+    assert r1 < r0, f"ladderised rung does not reduce leakage: {r1} vs {r0}"
     return (
         f"phase ordering {po['distinct_pipelines']}/{po['distinct_configs']} distinct, "
         f"batch warm/cold {batch['warm_over_cold']:.2f}x at "
-        f"{batch['dedup_rate']:.0%} dedup"
+        f"{batch['dedup_rate']:.0%} dedup, "
+        f"leakage rung1 {r1:.3g} < rung0 {r0:.3g}"
     )
 
 

@@ -43,6 +43,7 @@ fn arb_task_set() -> impl Strategy<Value = TaskSet> {
                     core: cores[rng.gen_range(0..cores.len())].clone(),
                     time_us: rng.gen_range(1.0..50.0),
                     energy_uj: rng.gen_range(1.0..500.0),
+                    security_level: 0,
                 })
                 .collect();
             let mut t = CoordTask::new(format!("t{i}"), options);
@@ -94,12 +95,14 @@ fn arb_two_version_set() -> impl Strategy<Value = TaskSet> {
                         core: core.clone(),
                         time_us: fast_t,
                         energy_uj: fast_e,
+                        security_level: 0,
                     },
                     ExecOption {
                         label: "green".into(),
                         core,
                         time_us: slow_t,
                         energy_uj: slow_e,
+                        security_level: 0,
                     },
                 ],
             );
@@ -202,6 +205,7 @@ fn index_order_witness_rescues_rank_misordered_single_option_sets() {
         core: core.into(),
         time_us: t,
         energy_uj: 1.0,
+        security_level: 0,
     };
     let tasks = vec![
         CoordTask::new("a", vec![mk("c0", 10.0)]),
