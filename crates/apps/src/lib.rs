@@ -30,8 +30,8 @@
 //! lives on each accessor:
 //!
 //! * [`camera_pill::recommended_pipeline`] — inline the packer, hoist
-//!   and share the frame-loop subterms, no unrolling on pill-sized
-//!   flash;
+//!   and share the frame-loop subterms (block-locally and globally via
+//!   `gvn`), no unrolling on pill-sized flash;
 //! * [`spacewire::recommended_pipeline`] — inline the per-pixel/per-byte
 //!   callees, hoist row terms, unroll the 8-trip CRC bit loop,
 //!   strength-reduce the strides;

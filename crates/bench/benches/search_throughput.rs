@@ -17,6 +17,12 @@
 //! pipelines (order-sensitive) and configurations the 208-evaluation
 //! budget explores under the permutation genome.
 //!
+//! The run also records the `dataflow` section: every kernel's frozen
+//! pre-dataflow tuned pipeline against its current recommended one
+//! (with `gvn`/`load_fwd` where they pay), so CI can assert the new
+//! passes never pessimise a tuned build and strictly improve at least
+//! one.
+//!
 //! The run writes `BENCH_search.json` at the repository root so later PRs
 //! have a perf trajectory (CI asserts the JSON parses and carries the
 //! phase-ordering fields), then registers a Criterion timing for the
@@ -308,6 +314,111 @@ fn security_search(
     }
 }
 
+/// Tuned-pipeline delta from the dataflow-backed passes, per kernel:
+/// the pre-dataflow tuned pipeline (as shipped before `gvn`/`load_fwd`
+/// existed) against the current `recommended_pipeline()`, both
+/// evaluated under today's compiler, so the delta isolates the pass
+/// change rather than unrelated codegen drift.
+#[derive(Serialize)]
+struct DataflowKernel {
+    app: String,
+    task: String,
+    baseline_pipeline: String,
+    pipeline: String,
+    baseline_wcet_cycles: u64,
+    baseline_wcec_pj: f64,
+    baseline_code_halfwords: usize,
+    wcet_cycles: u64,
+    wcec_pj: f64,
+    code_halfwords: usize,
+    /// New vector dominates: ≤ everywhere, < somewhere.
+    strictly_better: bool,
+}
+
+/// The tuned pipelines as of the last pre-dataflow release, frozen as
+/// strings so the comparison target cannot silently drift with the
+/// apps crate.
+const PRE_DATAFLOW_PIPELINES: [(&str, &str); 4] = [
+    (
+        "camera_pill",
+        "inline(24),licm,cse,const_fold,copy_prop,dce",
+    ),
+    (
+        "spacewire",
+        "inline(40),licm,cse,unroll(8),strength_reduce,const_fold,copy_prop,dce,block_layout",
+    ),
+    (
+        "uav",
+        "inline(24),licm,cse,unroll(64),const_fold,copy_prop,dce,block_layout",
+    ),
+    (
+        "parking",
+        "licm,cse,strength_reduce,const_fold,copy_prop,dce,block_layout",
+    ),
+];
+
+/// Evaluate every kernel under its frozen pre-dataflow pipeline and its
+/// current recommended one.
+fn dataflow_deltas(cm: &CycleModel, em: &IsaEnergyModel) -> Vec<DataflowKernel> {
+    let kernels = [
+        (
+            "camera_pill",
+            teamplay_apps::camera_pill::SOURCE,
+            "compress",
+        ),
+        ("spacewire", teamplay_apps::spacewire::SOURCE, "crc_frame"),
+        ("uav", teamplay_apps::uav::DETECT_KERNEL_SOURCE, "predetect"),
+        (
+            "parking",
+            teamplay_apps::parking::CONV_KERNEL_SOURCE,
+            "conv_layer",
+        ),
+    ];
+    let recommended: std::collections::HashMap<&str, &str> =
+        teamplay_apps::recommended_pipelines().into_iter().collect();
+    kernels
+        .iter()
+        .map(|(app, src, task)| {
+            let ir = compile_to_ir(src).expect("kernel compiles");
+            let eval = |pipeline: &str| {
+                let config = CompilerConfig {
+                    pipeline: pipeline.parse().expect("pipeline parses"),
+                    mul_shift_add: false,
+                    pinned_regs: 0,
+                };
+                let (_, metrics) = evaluate_module(&ir, &config, cm, em).expect("evaluates");
+                *metrics.of(task).expect("task analysed")
+            };
+            let baseline_pipeline = PRE_DATAFLOW_PIPELINES
+                .iter()
+                .find(|(a, _)| a == app)
+                .expect("frozen baseline per app")
+                .1;
+            let pipeline = recommended[app];
+            let (base, new) = (eval(baseline_pipeline), eval(pipeline));
+            let no_worse = new.wcet_cycles <= base.wcet_cycles
+                && new.wcec_pj <= base.wcec_pj
+                && new.code_halfwords <= base.code_halfwords;
+            let somewhere_better = new.wcet_cycles < base.wcet_cycles
+                || new.wcec_pj < base.wcec_pj
+                || new.code_halfwords < base.code_halfwords;
+            DataflowKernel {
+                app: (*app).into(),
+                task: (*task).into(),
+                baseline_pipeline: baseline_pipeline.into(),
+                pipeline: pipeline.into(),
+                baseline_wcet_cycles: base.wcet_cycles,
+                baseline_wcec_pj: base.wcec_pj,
+                baseline_code_halfwords: base.code_halfwords,
+                wcet_cycles: new.wcet_cycles,
+                wcec_pj: new.wcec_pj,
+                code_halfwords: new.code_halfwords,
+                strictly_better: no_worse && somewhere_better,
+            }
+        })
+        .collect()
+}
+
 #[derive(Serialize)]
 struct Baseline {
     bench: String,
@@ -325,6 +436,7 @@ struct Baseline {
     phase_ordering: PhaseOrdering,
     batch: BatchThroughput,
     security: SecuritySearch,
+    dataflow: Vec<DataflowKernel>,
 }
 
 fn main() {
@@ -346,6 +458,7 @@ fn main() {
     let phase_ordering = phase_ordering_space(&ir, &cm, &em);
     let batch = batch_throughput(&cm, &em, pool);
     let security = security_search(&ir, &cm, &em, pool);
+    let dataflow = dataflow_deltas(&cm, &em);
 
     let gps = |evals: usize, t: Duration| evals as f64 / t.as_secs_f64().max(1e-9);
     let speedup = base_time.as_secs_f64() / opt_time.as_secs_f64().max(1e-9);
@@ -365,6 +478,7 @@ fn main() {
         phase_ordering,
         batch,
         security,
+        dataflow,
     };
     println!(
         "search_throughput: sequential {:.0} genomes/s, memoized+parallel {:.0} genomes/s \
@@ -390,6 +504,24 @@ fn main() {
         baseline.batch.warm_disk_hits,
         baseline.batch.warm_disk_misses,
     );
+    for k in &baseline.dataflow {
+        println!(
+            "dataflow: {:12} {:10} wcet {} -> {} ({}), wcec {:.0} -> {:.0}, size {} -> {}",
+            k.app,
+            k.task,
+            k.baseline_wcet_cycles,
+            k.wcet_cycles,
+            if k.strictly_better {
+                "strictly better"
+            } else {
+                "no worse"
+            },
+            k.baseline_wcec_pj,
+            k.wcec_pj,
+            k.baseline_code_halfwords,
+            k.code_halfwords,
+        );
+    }
     println!(
         "security: {} variants ({} rung0 / {} rung1) — min leakage rung0 {:.3e}, \
          rung1 {:.3e} in {:.1}s",

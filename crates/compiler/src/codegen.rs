@@ -1,11 +1,17 @@
 //! PG32 code generation.
 //!
 //! The base strategy is deliberately simple and certifiable: every IR temp
-//! owns a stack slot; each IR operation loads its operands, computes, and
-//! stores the result. On top of that, the **register-pinning allocator**
-//! keeps the N most-used temps permanently in callee-saved registers
-//! (r4–r7), eliminating their loads/stores entirely — the compiler's main
-//! time *and* energy lever, exposed to the multi-objective search.
+//! owns a storage home; each IR operation loads its operands, computes, and
+//! stores the result. Two refinements sit on top:
+//!
+//! * **liveness-driven copy coalescing** — copy-related temps whose live
+//!   ranges never interfere share one home ([`coalesce_classes`] over
+//!   [`crate::dataflow::Liveness`]), so the copy itself emits nothing
+//!   and the frame shrinks by the merged slots;
+//! * the **register-pinning allocator** — the N most-used storage
+//!   classes live permanently in callee-saved registers (r4–r7),
+//!   eliminating their loads/stores entirely — the compiler's main
+//!   time *and* energy lever, exposed to the multi-objective search.
 //!
 //! IR blocks map 1:1 to PG32 blocks, so loop-bound flow facts transfer
 //! directly from the front-end to the binary-level analyses — the
@@ -364,6 +370,113 @@ fn usage_counts(f: &IrFunction) -> Vec<u64> {
     counts
 }
 
+/// Partition the temps into copy-coalescing classes: two copy-related
+/// temps whose live ranges never interfere share one storage home, so
+/// the copy between them costs nothing at all (see [`emit_op`]).
+///
+/// Classic Chaitin-style coalescing over the global [`Liveness`] sets:
+/// a backward walk per block records an interference edge from every
+/// definition to every temp live across it — except the source of the
+/// very copy being defined, whose value is by construction the same —
+/// and a union-find then merges each copy pair whose classes are still
+/// interference-free, scanning copies in deterministic block/op order.
+/// Everything live into the entry block (parameters homed by the
+/// prologue, read-before-def temps) counts as defined simultaneously
+/// "at entry", so those never collapse onto each other.
+///
+/// Returns the class representative (lowest member index) per temp.
+fn coalesce_classes(f: &IrFunction) -> Vec<usize> {
+    use crate::dataflow::{for_each_read, for_each_term_read, for_each_write, BitSet, Liveness};
+
+    let n = f.temp_count as usize;
+    let live = Liveness::build(f);
+    let mut interferes = vec![BitSet::new(n); n];
+    fn add_edge(m: &mut [BitSet], a: usize, b: usize) {
+        if a != b {
+            m[a].insert(b);
+            m[b].insert(a);
+        }
+    }
+
+    let entry: Vec<usize> = live.live_in(0).iter().collect();
+    for (i, &a) in entry.iter().enumerate() {
+        for &b in &entry[i + 1..] {
+            add_edge(&mut interferes, a, b);
+        }
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let mut cur = live.live_out(bi).clone();
+        for_each_term_read(&b.term, |t| {
+            cur.insert(t.0 as usize);
+        });
+        for op in b.ops.iter().rev() {
+            let copy_src = match op {
+                IrOp::Copy {
+                    src: Operand::Temp(s),
+                    ..
+                } => Some(s.0 as usize),
+                _ => None,
+            };
+            for_each_write(op, |d| {
+                let di = d.0 as usize;
+                // A def clobbers its home even when the def itself is
+                // dead, so it interferes with everything live here.
+                for l in cur.iter().collect::<Vec<_>>() {
+                    if Some(l) != copy_src {
+                        add_edge(&mut interferes, di, l);
+                    }
+                }
+                cur.remove(di);
+            });
+            for_each_read(op, |t| {
+                cur.insert(t.0 as usize);
+            });
+        }
+    }
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    // Class-level interference rows and member bitmaps, merged on union.
+    let mut class_if = interferes.clone();
+    let mut members: Vec<BitSet> = (0..n)
+        .map(|t| {
+            let mut s = BitSet::new(n);
+            s.insert(t);
+            s
+        })
+        .collect();
+    for b in &f.blocks {
+        for op in &b.ops {
+            if let IrOp::Copy {
+                dst,
+                src: Operand::Temp(s),
+            } = op
+            {
+                let (ra, rb) = (
+                    find(&mut parent, dst.0 as usize),
+                    find(&mut parent, s.0 as usize),
+                );
+                if ra == rb || class_if[ra].intersects(&members[rb]) {
+                    continue;
+                }
+                let (keep, drop) = (ra.min(rb), ra.max(rb));
+                parent[drop] = keep;
+                let (lo, hi) = class_if.split_at_mut(drop);
+                lo[keep].union_with(&hi[0]);
+                let (lo, hi) = members.split_at_mut(drop);
+                lo[keep].union_with(&hi[0]);
+            }
+        }
+    }
+    (0..n).map(|t| find(&mut parent, t)).collect()
+}
+
 /// The largest argument count among the function's call sites. Argument
 /// registers up to this index must stay out of the pinning pool (a 5- or
 /// 6-argument call pops into r4/r5).
@@ -406,30 +519,42 @@ pub fn generate_function(
         .collect();
     let pinned_regs = pinned_regs.min(pool.len());
 
-    // Pin the most-used temps.
+    // Coalesce copy-related temps into storage classes, then pin the
+    // most-used classes (summed member usage, lowest-member tie-break)
+    // and give every remaining class one stack slot. Copies between
+    // temps of one class vanish at emission.
+    let class_of = coalesce_classes(f);
     let counts = usage_counts(f);
-    let mut order: Vec<usize> = (0..counts.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
-    let mut homes = vec![Home::Slot(0); f.temp_count as usize];
+    let n = f.temp_count as usize;
+    let mut class_usage = vec![0u64; n];
+    for t in 0..n {
+        class_usage[class_of[t]] += counts[t];
+    }
+    let mut roots: Vec<usize> = (0..n).filter(|&t| class_of[t] == t).collect();
+    roots.sort_by_key(|&r| (std::cmp::Reverse(class_usage[r]), r));
+    let mut root_home = vec![None; n];
     let mut pinned = Vec::new();
-    for (rank, &ti) in order.iter().enumerate() {
-        if rank >= pinned_regs || counts[ti] == 0 {
+    for (rank, &r) in roots.iter().enumerate() {
+        if rank >= pinned_regs || class_usage[r] == 0 {
             break;
         }
         let reg = pool[rank];
-        homes[ti] = Home::Pinned(reg);
+        root_home[r] = Some(Home::Pinned(reg));
         pinned.push(reg);
     }
     pinned.sort_by_key(|r| r.index());
 
-    // Slot assignment for the rest.
+    // Slot assignment for the remaining classes, in representative order.
     let mut next_slot = 0u32;
-    for h in homes.iter_mut() {
-        if matches!(h, Home::Slot(_)) {
-            *h = Home::Slot(next_slot);
+    for r in 0..n {
+        if class_of[r] == r && root_home[r].is_none() {
+            root_home[r] = Some(Home::Slot(next_slot));
             next_slot += 4;
         }
     }
+    let homes: Vec<Home> = (0..n)
+        .map(|t| root_home[class_of[t]].expect("every class is homed"))
+        .collect();
     let mut array_offsets = Vec::with_capacity(f.local_arrays.len());
     for len in &f.local_arrays {
         array_offsets.push(next_slot);
@@ -516,7 +641,9 @@ pub fn generate_function(
     }
 
     // Annotation/inference bounds, intersected with the trip counts the
-    // unroll recogniser can *prove* from IR constants: a provable count
+    // unroll recogniser can *prove* from IR constants — and with the
+    // value-graph prover, which additionally resolves limits/inits/steps
+    // that flow through dominating def chains of temps: a provable count
     // tightens an over-wide annotation (`bound(64)` on an 8-trip loop)
     // and bounds counted loops that carry no annotation at all, so the
     // IPET analysis downstream sees the sharpest available flow facts.
@@ -525,7 +652,10 @@ pub fn generate_function(
         .iter()
         .map(|(b, n)| (BlockId(b.0), *n))
         .collect();
-    for (header, trips) in crate::passes::proven_loop_bounds(f) {
+    for (header, trips) in crate::passes::proven_loop_bounds(f)
+        .into_iter()
+        .chain(crate::passes::value_graph_loop_bounds(f))
+    {
         loop_bounds
             .entry(BlockId(header.0))
             .and_modify(|b| *b = (*b).min(trips))
@@ -702,6 +832,12 @@ fn emit_op(ctx: &Ctx, insns: &mut Vec<Insn>, op: &IrOp) {
             ctx.store_temp(insns, *dst, Reg::R0);
         }
         IrOp::Copy { dst, src } => {
+            // A copy between coalesced temps is storage-identical.
+            if let Operand::Temp(s) = src {
+                if ctx.homes[s.0 as usize] == ctx.homes[dst.0 as usize] {
+                    return;
+                }
+            }
             ctx.load_operand(insns, *src, Reg::R0);
             ctx.store_temp(insns, *dst, Reg::R0);
         }

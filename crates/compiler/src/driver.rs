@@ -118,7 +118,7 @@ impl CompilerConfig {
     /// order is only the tie-break for equal ordering keys; the decoded
     /// pipeline order is the argsort of the keys (random-key encoding),
     /// so every permutation of every subset is reachable.
-    pub const SEARCH_PASSES: [&'static str; 10] = [
+    pub const SEARCH_PASSES: [&'static str; 12] = [
         "inline",
         "licm",
         "cse",
@@ -129,6 +129,8 @@ impl CompilerConfig {
         "copy_prop",
         "dce",
         "block_layout",
+        "gvn",
+        "load_fwd",
     ];
 
     /// Number of genome dimensions used by [`CompilerConfig::from_genome`]:
@@ -137,20 +139,20 @@ impl CompilerConfig {
     /// and the two codegen knobs.
     pub const GENOME_DIMS: usize = Self::SEARCH_PASSES.len() + 5;
 
-    /// Decode a genome in `[0,1]^15` into a configuration (the FPA's
+    /// Decode a genome in `[0,1]^17` into a configuration (the FPA's
     /// phenotype mapping) — a *phase-ordering* encoding, not an on/off
     /// subset of one canonical order:
     ///
-    /// * genes `0..10` — one per [`CompilerConfig::SEARCH_PASSES`] entry:
+    /// * genes `0..12` — one per [`CompilerConfig::SEARCH_PASSES`] entry:
     ///   the pass is selected iff its gene exceeds 0.5, and the selected
     ///   passes run in ascending gene order (argsort → permutation, the
     ///   classic random-key trick; ties break on menu position);
-    /// * gene `10` — `inline` callee-size threshold (20–80 IR ops);
-    /// * gene `11` — `unroll` trip-count ceiling (2–16);
-    /// * gene `12` — duplicated cleanup round: appends a second
+    /// * gene `12` — `inline` callee-size threshold (20–80 IR ops);
+    /// * gene `13` — `unroll` trip-count ceiling (2–16);
+    /// * gene `14` — duplicated cleanup round: appends a second
     ///   `const_fold,copy_prop,dce` tail when set;
-    /// * gene `13` — codegen shift-add multiplier decomposition;
-    /// * gene `14` — register-pinning level (0 / 2 / 4, by thirds).
+    /// * gene `15` — codegen shift-add multiplier decomposition;
+    /// * gene `16` — register-pinning level (0 / 2 / 4, by thirds).
     ///
     /// Decoding is pure and deterministic: equal genomes always decode
     /// to equal configurations, which the [`EvalCache`] keys on, and the
@@ -1019,7 +1021,7 @@ mod tests {
     fn genome_order_keys_permute_the_pipeline() {
         // Menu indices: inline 0, licm 1, cse 2, unroll 3,
         // strength_reduce 4, mul_shift_add 5, const_fold 6, copy_prop 7,
-        // dce 8, block_layout 9.
+        // dce 8, block_layout 9, gvn 10, load_fwd 11.
         let mut genome = vec![0.0; CompilerConfig::GENOME_DIMS];
         genome[8] = 0.6; // dce — lowest key, runs first
         genome[9] = 0.7; // block_layout
@@ -1035,7 +1037,7 @@ mod tests {
         assert_ne!(c, swapped, "permutations memoize independently");
 
         // The duplicated cleanup round is an explicit tail.
-        genome[12] = 1.0;
+        genome[14] = 1.0;
         let dup = CompilerConfig::from_genome(&genome);
         assert_eq!(
             dup.pipeline.to_string(),

@@ -9,11 +9,18 @@
 //! distinct (WCET, WCEC, code size) trade-offs — the raw material the
 //! coordination layer's multi-version scheduler selects from.
 //!
-//! * [`codegen`] — IR → PG32 with a stack-frame base strategy plus an
+//! * [`codegen`] — IR → PG32 with a stack-frame base strategy,
+//!   liveness-driven copy coalescing at the IR→ISA transfer, plus an
 //!   optional register-pinning allocator (the main time/energy knob),
-//! * [`passes`] — the trait-based pass framework: a [`passes::Pass`]
-//!   trait, a static name registry (ten passes, from `inline` and
-//!   `licm` through `unroll` and `block_layout`), and a
+//! * [`dataflow`] — the analysis backbone the passes and codegen share:
+//!   dominator tree, global liveness, def-use chains and a hash-consed
+//!   constant-folding value graph,
+//! * [`passes`] — the trait-based pass framework: an analysis-aware
+//!   [`passes::Pass`] trait (each pass pulls dominance, liveness,
+//!   def-use chains and the value graph lazily from a
+//!   [`passes::PassContext`] cache and declares what it preserves), a
+//!   static name registry (twelve passes, from `inline` and `licm`
+//!   through `gvn`, `load_fwd`, `unroll` and `block_layout`), and a
 //!   [`passes::PassManager`] with fixpoint iteration and per-pass
 //!   instrumentation. Pipelines are constructible by name
 //!   (`PassManager::from_str("const_fold,dce")`), by optimisation
@@ -56,6 +63,7 @@
 //! ```
 
 pub mod codegen;
+pub mod dataflow;
 pub mod driver;
 pub mod fpa;
 pub mod passes;
@@ -64,6 +72,7 @@ pub mod service;
 pub mod store;
 
 pub use codegen::{generate_function, generate_program, CodegenError, CodegenOpts};
+pub use dataflow::{DefUse, DomTree, Liveness, ValueGraph};
 pub use driver::{
     compile_module, compile_module_per_function, compile_module_per_function_on, evaluate_module,
     evaluate_module_memo, pareto_front_for, pareto_search, pareto_search_on,
@@ -73,9 +82,9 @@ pub use driver::{
 };
 pub use fpa::{FpaConfig, FpaOutcome, MultiObjectiveFpa, ParetoPoint, SearchStats};
 pub use passes::{
-    function_content_key, run_passes, run_passes_per_function, run_passes_per_function_on, Pass,
-    PassContext, PassManager, PassSpec, PassStats, Pipeline, PipelineCatalog, PipelineError,
-    REGISTRY,
+    function_content_key, gvn, load_fwd, run_passes, run_passes_per_function,
+    run_passes_per_function_on, value_graph_loop_bounds, Pass, PassContext, PassManager, PassSpec,
+    PassStats, Pipeline, PipelineCatalog, PipelineError, Preserves, REGISTRY,
 };
 pub use secure::{
     genome_with_rung, ladderised_ir, pareto_search_secure_on, pareto_search_secure_with_store,

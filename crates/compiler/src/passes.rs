@@ -5,6 +5,28 @@
 //! Optimisations are *named, pluggable units* behind the [`Pass`] trait;
 //! the [`PassManager`] applies an ordered [`Pipeline`] of them to
 //! fixpoint with per-pass change instrumentation ([`PassManager::stats`]).
+//! Every entry point — whole-module [`PassManager::run`], the
+//! pool-sharded [`PassManager::run_on`], and the per-function
+//! [`run_passes_per_function_on`] phases — funnels through one shared
+//! application core, so a pipeline means the same thing everywhere.
+//!
+//! ## The analysis-aware `Pass` contract
+//!
+//! A pass runs as `run(&mut self, f, cx: &mut PassContext)`. The
+//! [`PassContext`] owns a lazy, per-function cache of the
+//! [`crate::dataflow`] analyses — dominator tree, liveness, def-use
+//! chains, value graph — handed out as cheap `Rc` clones:
+//!
+//! * the first pass to ask for `cx.dominance(f)` pays for the build;
+//!   later passes in the same round reuse it;
+//! * after a pass reports a change, the core invalidates exactly what
+//!   the pass does **not** declare in [`Pass::preserves`] — a pure
+//!   rewrite that never edits terminators keeps the dominator tree, a
+//!   CFG surgery like `unroll` drops everything;
+//! * analyses are pure functions of the IR, so the cache is only a
+//!   memoisation layer: correctness never depends on a `preserves()`
+//!   claim being *tight*, only on it being *true*.
+//!
 //! Pipelines are data, not code: they are built
 //!
 //! * **by name** — `PassManager::from_str("const_fold,copy_prop,dce")`
@@ -28,9 +50,16 @@
 //! * `inline` — saves call/prologue overhead, grows code
 //!   (parameterised by the callee-size threshold);
 //! * `licm` — hoists loop-invariant computations into preheaders
-//!   (cycles ↓ and energy ↓ by the loop bound, code ≈);
+//!   (cycles ↓ and energy ↓ by the loop bound, code ≈), with
+//!   dominator-tree speculation safety;
 //! * `cse` — block-local common-subexpression elimination, including
 //!   redundant loads under coarse aliasing;
+//! * `gvn` — global value numbering over the dominator tree: an
+//!   expression already computed on *every* path is replaced by a copy
+//!   of the temp that still holds it (subsumes `cse` across blocks);
+//! * `load_fwd` — global store-to-load forwarding: a load whose cell
+//!   provably holds a known value on every incoming path becomes a
+//!   copy of that value;
 //! * `unroll` — fully unrolls *provably* constant-trip loops up to a
 //!   trip ceiling (cycles ↓, code ↑: the classic size/speed trade);
 //! * `strength_reduce` — `x * 2ⁿ` → shift (strictly better);
@@ -61,7 +90,9 @@
 //!
 //! # Writing a new pass
 //!
-//! Implement [`Pass`], then add a [`PassDescriptor`] line to
+//! Implement [`Pass`] (declare what the pass [`Pass::preserves`] when
+//! it changes the IR, and pull any analyses it needs from the
+//! [`PassContext`]), then add a [`PassDescriptor`] line to
 //! [`REGISTRY`]; the pass immediately becomes available to
 //! [`PassManager::from_str`], the optimisation levels and (if added to
 //! the genome's pass menu, [`crate::driver::CompilerConfig::SEARCH_PASSES`])
@@ -78,12 +109,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::dataflow::{self, may_alias, BitSet, DefUse, DomTree, Liveness, ValueGraph};
 use crate::driver::CompilerConfig;
 use minipool::Pool;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 use std::str::FromStr;
 use teamplay_minic::ast::{BinOp, UnOp};
 use teamplay_minic::interp::eval_binop;
@@ -823,15 +856,26 @@ fn inline_site(caller: &mut IrFunction, bi: usize, oi: usize, callee: &IrFunctio
 ///
 /// Hoists pure, *total* operations (`Bin`/`Un`/`Copy`/`Select` — every
 /// arithmetic op of this IR is defined for all inputs, so speculation is
-/// safe) out of natural loops into a preheader when
+/// safe) out of natural loops into a preheader when, over the real
+/// dominator tree ([`DomTree`]) and def-use chains ([`DefUse`]):
 ///
 /// * every operand is loop-invariant (no definition inside the loop),
-/// * the destination has exactly one definition in the whole function
-///   (the IR is not SSA; a unique definition is what makes the hoist a
-///   pure renaming of *when* the value is computed), and
-/// * every read of the destination is dominated by the defining block
-///   (so a zero-trip entry, which skips the definition, also skips every
-///   read — the speculated value is unobservable).
+/// * the op is the *only* definition of its destination inside the loop
+///   (the IR is not SSA; other defs outside the loop are fine because
+///   the conditions below pin which def each read observes),
+/// * the op's site dominates every in-loop read of the destination (so
+///   each iteration's reads observe the op's value, which the invariant
+///   operands keep identical across iterations), and
+/// * either the op's block dominates every loop exit block (the op runs
+///   on every trip through the loop, zero-trip included — e.g. ops in
+///   the header itself), or every read of the destination anywhere in
+///   the function sits inside the loop (a zero-trip entry that skips
+///   the definition also skips every read, so the speculated value is
+///   unobservable).
+///
+/// This subsumes the old single-static-definition rule: any dominated
+/// invariant def hoists, even when the destination is also written
+/// elsewhere in the function.
 ///
 /// Loads are never hoisted: an out-of-bounds index would turn a
 /// dynamically dead access into a trap. Hoisting chains (`t1 = c + 1;
@@ -845,102 +889,106 @@ pub fn licm(f: &mut IrFunction) -> bool {
     // move. The bound only caps work per invocation — the manager's
     // fixpoint loop will call again while the pass keeps reporting
     // changes.
-    'restart: for _ in 0..64 {
-        let loops = teamplay_minic::cfg::natural_loops(f);
-        if loops.is_empty() {
-            return changed;
+    for _ in 0..64 {
+        let dom = DomTree::build(f);
+        let du = DefUse::build(f);
+        if !licm_step(f, &dom, &du) {
+            break;
         }
-        let idom = teamplay_minic::cfg::immediate_dominators(f);
-        let entry = 0usize;
-        // Definition counts per temp, whole-function.
-        let mut def_count = vec![0usize; f.temp_count as usize];
-        for b in &f.blocks {
-            for op in &b.ops {
-                let mut defs = Vec::new();
-                written_temps(op, &mut defs);
-                for d in defs {
-                    def_count[d.0 as usize] += 1;
-                }
-            }
-        }
-        // Read sites per temp: (block, op index) plus terminator reads
-        // (recorded as op index = ops.len()).
-        let mut reads: HashMap<Temp, Vec<(usize, usize)>> = HashMap::new();
-        for (bi, b) in f.blocks.iter().enumerate() {
-            for (oi, op) in b.ops.iter().enumerate() {
-                for r in read_operands(op) {
-                    if let Operand::Temp(t) = r {
-                        reads.entry(t).or_default().push((bi, oi));
-                    }
-                }
-            }
-            let term_read = match &b.term {
-                IrTerm::Branch { cond, .. } => Some(*cond),
-                IrTerm::Ret(Some(v)) => Some(*v),
-                _ => None,
-            };
-            if let Some(Operand::Temp(t)) = term_read {
-                reads.entry(t).or_default().push((bi, b.ops.len()));
-            }
-        }
-        for l in &loops {
-            if l.header == entry {
-                continue; // no edge to put a preheader on
-            }
-            // Temps with a definition inside the loop.
-            let mut defined_in_loop = vec![false; f.temp_count as usize];
-            for &bi in &l.body {
-                for op in &f.blocks[bi].ops {
-                    let mut defs = Vec::new();
-                    written_temps(op, &mut defs);
-                    for d in defs {
-                        defined_in_loop[d.0 as usize] = true;
-                    }
-                }
-            }
-            let invariant = |o: Operand| match o {
-                Operand::Const(_) => true,
-                Operand::Temp(t) => !defined_in_loop[t.0 as usize],
-            };
-            let candidate = l.body.iter().find_map(|&bi| {
-                f.blocks[bi].ops.iter().enumerate().find_map(|(oi, op)| {
-                    let dst = match op {
-                        IrOp::Bin { dst, .. }
-                        | IrOp::Un { dst, .. }
-                        | IrOp::Copy { dst, .. }
-                        | IrOp::Select { dst, .. } => *dst,
-                        _ => return None, // effectful, memory or call
-                    };
-                    if def_count[dst.0 as usize] != 1 {
-                        return None;
-                    }
-                    if !read_operands(op).into_iter().all(invariant) {
-                        return None;
-                    }
-                    // Every read must be dominated by the definition.
-                    let dominated = reads.get(&dst).is_none_or(|sites| {
-                        sites.iter().all(|&(rb, ro)| {
-                            if rb == bi {
-                                ro > oi
-                            } else {
-                                teamplay_minic::cfg::dominates(&idom, entry, bi, rb)
-                            }
-                        })
-                    });
-                    dominated.then_some((bi, oi))
-                })
-            });
-            if let Some((bi, oi)) = candidate {
-                let hoisted = f.blocks[bi].ops.remove(oi);
-                let pre = ensure_preheader(f, l.header, &l.body);
-                f.blocks[pre].ops.push(hoisted);
-                changed = true;
-                continue 'restart;
-            }
-        }
-        break;
+        changed = true;
     }
     changed
+}
+
+/// One `licm` hoist attempt against prebuilt analyses. Performs at most
+/// one hoist (which invalidates `dom`/`du`) and reports whether it did.
+fn licm_step(f: &mut IrFunction, dom: &DomTree, du: &DefUse) -> bool {
+    let loops = teamplay_minic::cfg::natural_loops(f);
+    for l in &loops {
+        if l.header == 0 {
+            continue; // no edge to put a preheader on
+        }
+        let in_body = |b: usize| l.body.contains(&b);
+        let invariant = |o: &Operand| match o {
+            Operand::Const(_) => true,
+            Operand::Temp(t) => !du.defs(*t).iter().any(|&(b, _)| in_body(b)),
+        };
+        // Loop exit blocks: body blocks with a successor outside.
+        let exits: Vec<usize> = l
+            .body
+            .iter()
+            .copied()
+            .filter(|&b| {
+                f.blocks[b]
+                    .term
+                    .successors()
+                    .iter()
+                    .any(|s| !in_body(s.index()))
+            })
+            .collect();
+        let candidate = l.body.iter().find_map(|&bi| {
+            f.blocks[bi].ops.iter().enumerate().find_map(|(oi, op)| {
+                let dst = match op {
+                    IrOp::Bin { dst, .. }
+                    | IrOp::Un { dst, .. }
+                    | IrOp::Copy { dst, .. }
+                    | IrOp::Select { dst, .. } => *dst,
+                    _ => return None, // effectful, memory or call
+                };
+                let mut reads = Vec::new();
+                dataflow::for_each_read(op, |t| reads.push(t));
+                if !reads.iter().all(|t| invariant(&Operand::Temp(*t))) {
+                    return None;
+                }
+                // The only def of `dst` inside the loop.
+                if du
+                    .defs(dst)
+                    .iter()
+                    .any(|&site| in_body(site.0) && site != (bi, oi))
+                {
+                    return None;
+                }
+                // The op's site dominates every in-loop read of `dst`
+                // (terminator reads sit at op index `ops.len()`).
+                let site_dominates = |&(rb, ro): &(usize, usize)| {
+                    if rb == bi {
+                        ro > oi
+                    } else {
+                        dom.dominates(bi, rb)
+                    }
+                };
+                if !du
+                    .uses(dst)
+                    .iter()
+                    .filter(|&&(rb, _)| in_body(rb))
+                    .all(site_dominates)
+                {
+                    return None;
+                }
+                // Zero-trip safety, by any of three arguments: the op
+                // runs on every pass through the loop; nothing outside
+                // the loop observes `dst`; or (the old conservative
+                // rule) `dst` has one global def and every read is
+                // dominated by it, so a zero-trip entry that skips the
+                // def is unreachable for every read.
+                let runs_every_trip = exits.iter().all(|&e| dom.dominates(bi, e));
+                let observed_only_inside = du.uses(dst).iter().all(|&(rb, _)| in_body(rb));
+                let single_def_dominates_all =
+                    du.def_count(dst) == 1 && du.uses(dst).iter().all(site_dominates);
+                if !(runs_every_trip || observed_only_inside || single_def_dominates_all) {
+                    return None;
+                }
+                Some((bi, oi))
+            })
+        });
+        if let Some((bi, oi)) = candidate {
+            let hoisted = f.blocks[bi].ops.remove(oi);
+            let pre = ensure_preheader(f, l.header, &l.body);
+            f.blocks[pre].ops.push(hoisted);
+            return true;
+        }
+    }
+    false
 }
 
 /// The block every entry edge of `header`'s loop runs through, creating
@@ -1135,6 +1183,332 @@ fn op_dst(op: &IrOp) -> Option<Temp> {
     }
 }
 
+/// Global value numbering over available expression *holders*.
+///
+/// The cross-block generalisation of [`local_cse`], sound on the
+/// non-SSA IR by tracking per-site facts instead of bare expressions:
+/// every computation `d = expr` whose destination has exactly **one**
+/// definition in the whole function generates the fact "`d` holds the
+/// current value of `expr`". A forward all-paths dataflow (meet =
+/// intersection, entry = ∅) kills a fact when any temp its expression
+/// reads is redefined — and, for loads, when an aliasing store or any
+/// call lands ([`may_alias`]). A fact available at a recomputation of
+/// the same expression proves the holder still carries exactly the
+/// value the op would compute, on **every** incoming path — including
+/// around loop back-edges — so the op becomes a copy of the holder.
+///
+/// Sites whose destination is multi-def generate no facts (the holder
+/// can go stale without its expression changing); [`local_cse`] still
+/// covers those within a block by tracking redefinitions positionally.
+///
+/// Returns `true` if anything changed.
+pub fn gvn(f: &mut IrFunction) -> bool {
+    let dom = DomTree::build(f);
+    let du = DefUse::build(f);
+    gvn_with(f, &dom, &du)
+}
+
+/// [`gvn`] against prebuilt analyses (the pass-framework entry point).
+fn gvn_with(f: &mut IrFunction, dom: &DomTree, du: &DefUse) -> bool {
+    // 1. The fact universe: every keyed pure op with a single-def
+    //    destination, in deterministic site order. Self-reading ops
+    //    (`t = t + 1`) are not keyed — their value goes stale the
+    //    moment they run.
+    struct Fact {
+        site: (usize, usize),
+        key: ExprKey,
+        holder: Temp,
+    }
+    let mut facts: Vec<Fact> = Vec::new();
+    let mut fact_at: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut facts_of_key: HashMap<ExprKey, Vec<usize>> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (oi, op) in b.ops.iter().enumerate() {
+            let (Some(key), Some(dst)) = (ExprKey::of(op), op_dst(op)) else {
+                continue;
+            };
+            if key.read_temps().contains(&dst) || du.single_def(dst) != Some((bi, oi)) {
+                continue;
+            }
+            let id = facts.len();
+            fact_at.insert((bi, oi), id);
+            facts_of_key.entry(key.clone()).or_default().push(id);
+            facts.push(Fact {
+                site: (bi, oi),
+                key,
+                holder: dst,
+            });
+        }
+    }
+    let n = facts.len();
+    if n == 0 {
+        return false;
+    }
+    // Inverted indexes for the kill sets. (A fact's holder needs no
+    // kill entry: it is single-def, and its one def *is* the gen site.)
+    let mut killed_by_temp: HashMap<Temp, Vec<usize>> = HashMap::new();
+    let mut load_facts: Vec<(usize, MemBase)> = Vec::new();
+    for (id, fact) in facts.iter().enumerate() {
+        for t in fact.key.read_temps() {
+            killed_by_temp.entry(t).or_default().push(id);
+        }
+        if let ExprKey::Load(base, _) = &fact.key {
+            load_facts.push((id, base.clone()));
+        }
+    }
+    // The transfer of one op at one site: kills first (writes clobber
+    // facts whose expression reads the temp; stores/calls clobber load
+    // facts), then the site's own fact becomes available.
+    let apply = |site: (usize, usize), op: &IrOp, avail: &mut BitSet| {
+        dataflow::for_each_write(op, |t| {
+            for &id in killed_by_temp.get(&t).map_or(&[][..], |v| v) {
+                avail.remove(id);
+            }
+        });
+        match op {
+            IrOp::Store { base, .. } => {
+                for (id, kb) in &load_facts {
+                    if may_alias(base, kb) {
+                        avail.remove(*id);
+                    }
+                }
+            }
+            IrOp::Call { .. } => {
+                for (id, _) in &load_facts {
+                    avail.remove(*id);
+                }
+            }
+            _ => {}
+        }
+        if let Some(&id) = fact_at.get(&site) {
+            avail.insert(id);
+        }
+    };
+    // 2. Forward fixpoint over the reachable blocks in reverse
+    //    postorder: in = ∩ preds' out, entry = ∅, unreached inits full.
+    let nb = f.blocks.len();
+    let preds = teamplay_minic::cfg::predecessors(f);
+    let mut avail_in: Vec<BitSet> = (0..nb).map(|_| BitSet::full(n)).collect();
+    let mut avail_out: Vec<BitSet> = (0..nb).map(|_| BitSet::full(n)).collect();
+    avail_in[0] = BitSet::new(n);
+    loop {
+        let mut changed = false;
+        for &b in dom.rpo() {
+            if b != 0 {
+                let mut inn = BitSet::full(n);
+                for &p in &preds[b] {
+                    inn.intersect_with(&avail_out[p]);
+                }
+                changed |= avail_in[b] != inn;
+                avail_in[b] = inn;
+            }
+            let mut out = avail_in[b].clone();
+            for (oi, op) in f.blocks[b].ops.iter().enumerate() {
+                apply((b, oi), op, &mut out);
+            }
+            changed |= avail_out[b] != out;
+            avail_out[b] = out;
+        }
+        if !changed {
+            break;
+        }
+    }
+    // 3. Replacement walk: a keyed op with an available fact for the
+    //    same expression (held by a *different* temp) becomes a copy of
+    //    the holder. The transfer uses the *original* op — its own fact
+    //    (if any) still holds after the copy, so chains keep folding.
+    let mut changed = false;
+    for &b in dom.rpo() {
+        let mut cur = avail_in[b].clone();
+        for oi in 0..f.blocks[b].ops.len() {
+            let op = f.blocks[b].ops[oi].clone();
+            let replacement = (|| {
+                let (key, dst) = (ExprKey::of(&op)?, op_dst(&op)?);
+                if key.read_temps().contains(&dst) {
+                    return None;
+                }
+                let holder = facts_of_key
+                    .get(&key)?
+                    .iter()
+                    .copied()
+                    .filter(|&id| cur.contains(id) && facts[id].site != (b, oi))
+                    .map(|id| facts[id].holder)
+                    .next()?;
+                (holder != dst).then_some(IrOp::Copy {
+                    dst,
+                    src: Operand::Temp(holder),
+                })
+            })();
+            if let Some(copy) = replacement {
+                f.blocks[b].ops[oi] = copy;
+                changed = true;
+            }
+            apply((b, oi), &op, &mut cur);
+        }
+    }
+    changed
+}
+
+/// Store-to-load forwarding across block boundaries.
+///
+/// Tracks memory facts `mem[base][index] == value` generated by stores
+/// (and by loads, whose destination then holds the cell's value) through
+/// a forward all-paths dataflow, and replaces a `Load` whose cell has a
+/// proven value on every incoming path with a copy of that value.
+///
+/// A fact dies when its index/value temp (or `Param` base temp) is
+/// redefined, when a call runs (callees may write any global or
+/// by-reference array), or when an aliasing store lands on it — unless
+/// both stores address the *same* base at provably distinct constant
+/// indexes. Self-referential facts (`t = A[t]`) are never recorded.
+///
+/// Returns `true` if anything changed.
+pub fn load_fwd(f: &mut IrFunction) -> bool {
+    // 1. The fact universe, in deterministic first-encounter order.
+    type Fact = (MemBase, Operand, Operand);
+    let fact_of = |op: &IrOp| -> Option<Fact> {
+        match op {
+            IrOp::Store { base, index, value } => Some((base.clone(), *index, *value)),
+            IrOp::Load { dst, base, index } => Some((base.clone(), *index, Operand::Temp(*dst))),
+            _ => None,
+        }
+    };
+    // Temps a fact reads: redefinition invalidates it.
+    let fact_temps = |(base, index, value): &Fact| -> Vec<Temp> {
+        let mut out = Vec::new();
+        if let MemBase::Param(t) = base {
+            out.push(*t);
+        }
+        for o in [index, value] {
+            if let Operand::Temp(t) = o {
+                out.push(*t);
+            }
+        }
+        out
+    };
+    // A load's own fact is unusable when it reads the destination.
+    let valid = |op: &IrOp, fact: &Fact| -> bool {
+        match op {
+            IrOp::Load { dst, .. } => !fact_temps(fact).contains(dst),
+            _ => true,
+        }
+    };
+    let mut fact_id: HashMap<Fact, usize> = HashMap::new();
+    let mut facts: Vec<Fact> = Vec::new();
+    for b in &f.blocks {
+        for op in &b.ops {
+            let Some(fact) = fact_of(op) else { continue };
+            if !valid(op, &fact) {
+                continue;
+            }
+            fact_id.entry(fact.clone()).or_insert_with(|| {
+                facts.push(fact);
+                facts.len() - 1
+            });
+        }
+    }
+    let n = facts.len();
+    if n == 0 {
+        return false;
+    }
+    let mut killed_by_temp: HashMap<Temp, Vec<usize>> = HashMap::new();
+    for (id, fact) in facts.iter().enumerate() {
+        for t in fact_temps(fact) {
+            killed_by_temp.entry(t).or_default().push(id);
+        }
+    }
+    // Does a store to `(sb, si)` kill the fact about `(fb, fi)`? Not
+    // when both name the same base at distinct constant indexes.
+    let store_kills = |sb: &MemBase, si: &Operand, (fb, fi, _): &Fact| -> bool {
+        if !may_alias(sb, fb) {
+            return false;
+        }
+        !(sb == fb && matches!((si, fi), (Operand::Const(a), Operand::Const(b)) if a != b))
+    };
+    let apply = |op: &IrOp, avail: &mut BitSet| {
+        dataflow::for_each_write(op, |t| {
+            for &id in killed_by_temp.get(&t).map_or(&[][..], |v| v) {
+                avail.remove(id);
+            }
+        });
+        match op {
+            IrOp::Store { base, index, .. } => {
+                for (id, fact) in facts.iter().enumerate() {
+                    if store_kills(base, index, fact) {
+                        avail.remove(id);
+                    }
+                }
+            }
+            IrOp::Call { .. } => {
+                *avail = BitSet::new(n);
+            }
+            _ => {}
+        }
+        if let Some(fact) = fact_of(op) {
+            if valid(op, &fact) {
+                avail.insert(fact_id[&fact]);
+            }
+        }
+    };
+    // 2. Forward all-paths fixpoint (entry = ∅, meet = intersection).
+    let nb = f.blocks.len();
+    let rpo = teamplay_minic::cfg::reverse_postorder(f);
+    let preds = teamplay_minic::cfg::predecessors(f);
+    let mut avail_in: Vec<BitSet> = (0..nb).map(|_| BitSet::full(n)).collect();
+    let mut avail_out: Vec<BitSet> = (0..nb).map(|_| BitSet::full(n)).collect();
+    avail_in[0] = BitSet::new(n);
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            if b != 0 {
+                let mut inn = BitSet::full(n);
+                for &p in &preds[b] {
+                    inn.intersect_with(&avail_out[p]);
+                }
+                changed |= avail_in[b] != inn;
+                avail_in[b] = inn;
+            }
+            let mut out = avail_in[b].clone();
+            for op in &f.blocks[b].ops {
+                apply(op, &mut out);
+            }
+            changed |= avail_out[b] != out;
+            avail_out[b] = out;
+        }
+        if !changed {
+            break;
+        }
+    }
+    // 3. Replacement walk: a load whose cell has an available fact
+    //    becomes a copy of the proven value. The transfer keeps the
+    //    original load semantics (its own fact still holds — the copy
+    //    leaves `dst` equal to the cell).
+    let mut changed = false;
+    for &b in &rpo {
+        let mut cur = avail_in[b].clone();
+        for oi in 0..f.blocks[b].ops.len() {
+            let op = f.blocks[b].ops[oi].clone();
+            if let IrOp::Load { dst, base, index } = &op {
+                let known = cur.iter().find_map(|id| {
+                    let (fb, fi, value) = &facts[id];
+                    (fb == base && fi == index).then_some(*value)
+                });
+                if let Some(value) = known {
+                    if value != Operand::Temp(*dst) {
+                        f.blocks[b].ops[oi] = IrOp::Copy {
+                            dst: *dst,
+                            src: value,
+                        };
+                        changed = true;
+                    }
+                }
+            }
+            apply(&op, &mut cur);
+        }
+    }
+    changed
+}
+
 /// Exact body-execution count of a canonical counted loop, or `None`
 /// when the shape cannot be bounded exactly (mirrors
 /// `teamplay_minic::loops::trip_count`, on IR-level facts).
@@ -1179,17 +1553,25 @@ struct CountedLoop {
     trips: i64,
 }
 
+/// How a counted-loop recogniser resolves an operand to a compile-time
+/// constant at a given `(block, op index)` site. The classic resolver
+/// accepts literal `Const` operands only; the value-graph resolver also
+/// accepts temps whose def chain provably folds to a constant valid at
+/// that site (see [`value_graph_loop_bounds`]).
+type ConstResolver<'r> = &'r dyn Fn(&Operand, (usize, usize)) -> Option<i32>;
+
 /// Recognise the canonical lowered counted-loop shape over natural loop
 /// `l` — a two-block loop whose header's only op compares the induction
-/// temp against a constant, whose body jumps straight back, updates the
-/// induction temp exactly once by a constant step (directly or through
-/// the lowered `t = i ± s; i = t` pair) and never reads the condition
-/// temp, with a constant init in the unique entry predecessor — and
-/// compute its exact trip count. Upper-bound annotations are never
-/// trusted; only IR constants are.
-fn recognise_counted_loop(
+/// temp against a resolvable limit, whose body jumps straight back,
+/// updates the induction temp exactly once by a resolvable step
+/// (directly or through the lowered `t = i ± s; i = t` pair) and never
+/// reads the condition temp, with a resolvable init in the unique entry
+/// predecessor — and compute its exact trip count. Upper-bound
+/// annotations are never trusted; only what `resolve` proves is.
+fn recognise_counted_loop_with(
     f: &IrFunction,
     l: &teamplay_minic::cfg::NaturalLoop,
+    resolve: ConstResolver<'_>,
 ) -> Option<CountedLoop> {
     if l.body.len() != 2 || l.header == 0 {
         return None;
@@ -1201,12 +1583,13 @@ fn recognise_counted_loop(
         op: cmp,
         dst: ct,
         a: Operand::Temp(i),
-        b: Operand::Const(limit),
+        b: limit_op,
     }] = &f.blocks[h].ops[..]
     else {
         return None;
     };
-    let (cmp, ct, i, limit) = (*cmp, *ct, *i, *limit);
+    let limit = resolve(limit_op, (h, 0))?;
+    let (cmp, ct, i) = (*cmp, *ct, *i);
     let (taken, exit) = match &f.blocks[h].term {
         IrTerm::Branch {
             cond: Operand::Temp(bc),
@@ -1244,7 +1627,7 @@ fn recognise_counted_loop(
             .map(|(oi, _)| oi)
             .collect()
     };
-    let const_step = |op: &IrOp, dst_want: Temp| -> Option<i64> {
+    let const_step = |op: &IrOp, oi: usize, dst_want: Temp| -> Option<i64> {
         match op {
             IrOp::Bin {
                 op: BinOp::Add,
@@ -1252,10 +1635,8 @@ fn recognise_counted_loop(
                 a,
                 b,
             } if *dst == dst_want => match (a, b) {
-                (Operand::Temp(t), Operand::Const(s)) | (Operand::Const(s), Operand::Temp(t))
-                    if *t == i =>
-                {
-                    Some(i64::from(*s))
+                (Operand::Temp(t), s) | (s, Operand::Temp(t)) if *t == i => {
+                    Some(i64::from(resolve(s, (bb, oi))?))
                 }
                 _ => None,
             },
@@ -1263,14 +1644,14 @@ fn recognise_counted_loop(
                 op: BinOp::Sub,
                 dst,
                 a: Operand::Temp(t),
-                b: Operand::Const(s),
-            } if *dst == dst_want && *t == i => Some(-i64::from(*s)),
+                b: s,
+            } if *dst == dst_want && *t == i => Some(-i64::from(resolve(s, (bb, oi))?)),
             _ => None,
         }
     };
     let i_writes = writes_of(i);
     let [iw] = i_writes[..] else { return None };
-    let step = match const_step(&body_ops[iw], i) {
+    let step = match const_step(&body_ops[iw], iw, i) {
         Some(s) => s,
         None => {
             // Lowered pair: `t = i ± s; ...; i = copy t`.
@@ -1290,7 +1671,7 @@ fn recognise_counted_loop(
             if tw >= iw {
                 return None;
             }
-            const_step(&body_ops[tw], t)?
+            const_step(&body_ops[tw], tw, t)?
         }
     };
     if step == 0 {
@@ -1309,20 +1690,22 @@ fn recognise_counted_loop(
         })
         .collect();
     let [pre] = outside[..] else { return None };
-    let init = f.blocks[pre].ops.iter().rev().find_map(|op| {
-        let mut defs = Vec::new();
-        written_temps(op, &mut defs);
-        if !defs.contains(&i) {
-            return None;
-        }
-        match op {
-            IrOp::Copy {
-                src: Operand::Const(c),
-                ..
-            } => Some(Some(i64::from(*c))),
-            _ => Some(None), // last write is not a constant: give up
-        }
-    });
+    let init = f.blocks[pre]
+        .ops
+        .iter()
+        .enumerate()
+        .rev()
+        .find_map(|(oi, op)| {
+            let mut defs = Vec::new();
+            written_temps(op, &mut defs);
+            if !defs.contains(&i) {
+                return None;
+            }
+            match op {
+                IrOp::Copy { src, .. } => Some(resolve(src, (pre, oi)).map(i64::from)),
+                _ => Some(None), // last write is not resolvable: give up
+            }
+        });
     let Some(Some(init)) = init else { return None };
     let trips = exact_trips(init, i64::from(limit), step, cmp)?;
     Some(CountedLoop {
@@ -1337,6 +1720,19 @@ fn recognise_counted_loop(
     })
 }
 
+/// [`recognise_counted_loop_with`] under the classic resolver: only
+/// literal `Const` operands count (what `unroll` replays must be
+/// syntactically constant).
+fn recognise_counted_loop(
+    f: &IrFunction,
+    l: &teamplay_minic::cfg::NaturalLoop,
+) -> Option<CountedLoop> {
+    recognise_counted_loop_with(f, l, &|op, _| match op {
+        Operand::Const(c) => Some(*c),
+        Operand::Temp(_) => None,
+    })
+}
+
 /// Loop bounds provable from the IR itself: the exact trip counts the
 /// `unroll` recogniser computes, surfaced as flow facts for the WCET/
 /// WCEC analyses even when the loop is *not* unrolled (trip count above
@@ -1348,6 +1744,77 @@ pub fn proven_loop_bounds(f: &IrFunction) -> Vec<(IrBlockId, u32)> {
         .iter()
         .filter_map(|l| {
             let c = recognise_counted_loop(f, l)?;
+            let trips = u32::try_from(c.trips).ok()?;
+            Some((IrBlockId(c.header as u32), trips))
+        })
+        .collect()
+}
+
+/// Loop bounds proven through the value graph: like
+/// [`proven_loop_bounds`], but the limit, step and init of a counted
+/// loop may be *temps* whose def chains fold to constants, provided the
+/// chain is **well-anchored** — every temp on it has a single
+/// definition whose operands' definitions dominate it, and the root def
+/// dominates the site consuming the value. Anchoring is what makes a
+/// folded constant valid at the consuming site on the non-SSA IR: each
+/// chain def re-executes to the same constant on every path, so the
+/// value observed at the site equals the folded one.
+///
+/// This is the value-graph → IPET flow-fact layer: bounds that only
+/// become visible after constants flow through copies and arithmetic
+/// (e.g. `n = 8; lim = n * 4` feeding a loop compare) tighten the WCET
+/// exactly like syntactic bounds do.
+pub fn value_graph_loop_bounds(f: &IrFunction) -> Vec<(IrBlockId, u32)> {
+    let du = DefUse::build(f);
+    let vg = ValueGraph::build(f, &du);
+    let dom = DomTree::build(f);
+    // Does the def at `d` strictly precede the site `s` on every path?
+    let site_dominates = |d: (usize, usize), s: (usize, usize)| -> bool {
+        if d.0 == s.0 {
+            d.1 < s.1
+        } else {
+            dom.dominates(d.0, s.0)
+        }
+    };
+    // Well-anchored temps, memoized; in-progress entries read `false`,
+    // so cyclic chains (inductions) are refused.
+    let anchored = std::cell::RefCell::new(HashMap::<Temp, bool>::new());
+    fn well_anchored(
+        t: Temp,
+        du: &DefUse,
+        vg: &ValueGraph,
+        site_dominates: &dyn Fn((usize, usize), (usize, usize)) -> bool,
+        memo: &std::cell::RefCell<HashMap<Temp, bool>>,
+    ) -> bool {
+        if let Some(&v) = memo.borrow().get(&t) {
+            return v;
+        }
+        memo.borrow_mut().insert(t, false);
+        let ok = du.single_def(t).is_some_and(|site| {
+            vg.operand_temps(t).iter().all(|&u| {
+                well_anchored(u, du, vg, site_dominates, memo)
+                    && du.single_def(u).is_some_and(|us| site_dominates(us, site))
+            })
+        });
+        memo.borrow_mut().insert(t, ok);
+        ok
+    }
+    let resolve = |op: &Operand, site: (usize, usize)| -> Option<i32> {
+        match op {
+            Operand::Const(c) => Some(*c),
+            Operand::Temp(t) => {
+                let c = vg.const_of_temp(*t)?;
+                let def = du.single_def(*t)?;
+                (well_anchored(*t, &du, &vg, &site_dominates, &anchored)
+                    && site_dominates(def, site))
+                .then_some(c)
+            }
+        }
+    };
+    teamplay_minic::cfg::natural_loops(f)
+        .iter()
+        .filter_map(|l| {
+            let c = recognise_counted_loop_with(f, l, &resolve)?;
             let trips = u32::try_from(c.trips).ok()?;
             Some((IrBlockId(c.header as u32), trips))
         })
@@ -1612,11 +2079,136 @@ fn renumber_blocks(f: &mut IrFunction, keep: &[bool], remap: &[u32]) {
 // The Pass trait and its implementations
 // =====================================================================
 
-/// Read-only context a pass runs under.
+/// Which cached analyses stay valid after a pass reports a change.
+/// Declared by [`Pass::preserves`]; the application core invalidates
+/// exactly the complement, so a CFG-shape-preserving pass like `gvn`
+/// keeps the dominator tree warm for the next pass in the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preserves {
+    /// The dominator tree ([`DomTree`]) stays valid (no block added,
+    /// removed, renumbered, and no terminator target changed).
+    pub dominance: bool,
+    /// Liveness sets ([`Liveness`]) stay valid.
+    pub liveness: bool,
+    /// Def-use chains ([`DefUse`]) stay valid.
+    pub def_use: bool,
+    /// The value graph ([`ValueGraph`]) stays valid.
+    pub value_graph: bool,
+}
+
+impl Preserves {
+    /// Nothing survives (the conservative default).
+    pub const NONE: Preserves = Preserves {
+        dominance: false,
+        liveness: false,
+        def_use: false,
+        value_graph: false,
+    };
+    /// The CFG shape survives — op lists changed, so every op-derived
+    /// analysis is stale, but the dominator tree is intact. Right for
+    /// passes that rewrite ops in place and never touch terminators.
+    pub const CFG: Preserves = Preserves {
+        dominance: true,
+        ..Preserves::NONE
+    };
+    /// Everything survives (a pass that reported a change without
+    /// structurally editing the function — rare, but expressible).
+    pub const ALL: Preserves = Preserves {
+        dominance: true,
+        liveness: true,
+        def_use: true,
+        value_graph: true,
+    };
+}
+
+/// Lazily computed per-function analyses, cached inside [`PassContext`].
+#[derive(Default)]
+struct Analyses {
+    dominance: Option<Rc<DomTree>>,
+    liveness: Option<Rc<Liveness>>,
+    def_use: Option<Rc<DefUse>>,
+    value_graph: Option<Rc<ValueGraph>>,
+}
+
+/// Context a pass runs under: the up-front module snapshot plus a lazy
+/// per-function cache of the dataflow analyses.
+///
+/// Analyses are computed on first request ([`PassContext::dominance`]
+/// and friends), shared as `Rc` handles (so a pass can hold one while
+/// mutating the function), and invalidated by the application core
+/// according to each mutating pass's [`Pass::preserves`] declaration —
+/// a pipeline of shape-preserving passes computes the dominator tree
+/// once, not once per pass.
 pub struct PassContext<'a> {
     /// Snapshot of every function body at pipeline start, by name.
     /// Inlining reads callee bodies from here; most passes ignore it.
     pub functions: &'a HashMap<String, IrFunction>,
+    analyses: Analyses,
+}
+
+impl<'a> PassContext<'a> {
+    /// A context over the given module snapshot, with an empty cache.
+    pub fn new(functions: &'a HashMap<String, IrFunction>) -> PassContext<'a> {
+        PassContext {
+            functions,
+            analyses: Analyses::default(),
+        }
+    }
+
+    /// The dominator tree of `f`, computed on first request.
+    pub fn dominance(&mut self, f: &IrFunction) -> Rc<DomTree> {
+        self.analyses
+            .dominance
+            .get_or_insert_with(|| Rc::new(DomTree::build(f)))
+            .clone()
+    }
+
+    /// The liveness sets of `f`, computed on first request.
+    pub fn liveness(&mut self, f: &IrFunction) -> Rc<Liveness> {
+        self.analyses
+            .liveness
+            .get_or_insert_with(|| Rc::new(Liveness::build(f)))
+            .clone()
+    }
+
+    /// The def-use chains of `f`, computed on first request.
+    pub fn def_use(&mut self, f: &IrFunction) -> Rc<DefUse> {
+        self.analyses
+            .def_use
+            .get_or_insert_with(|| Rc::new(DefUse::build(f)))
+            .clone()
+    }
+
+    /// The value graph of `f` (over its def-use chains), computed on
+    /// first request.
+    pub fn value_graph(&mut self, f: &IrFunction) -> Rc<ValueGraph> {
+        if self.analyses.value_graph.is_none() {
+            let du = self.def_use(f);
+            self.analyses.value_graph = Some(Rc::new(ValueGraph::build(f, &du)));
+        }
+        self.analyses.value_graph.clone().expect("just inserted")
+    }
+
+    /// Drop every cached analysis the given declaration does not keep.
+    pub fn invalidate(&mut self, keep: Preserves) {
+        if !keep.dominance {
+            self.analyses.dominance = None;
+        }
+        if !keep.liveness {
+            self.analyses.liveness = None;
+        }
+        if !keep.def_use {
+            self.analyses.def_use = None;
+        }
+        if !keep.value_graph {
+            self.analyses.value_graph = None;
+        }
+    }
+
+    /// Drop every cached analysis.
+    pub fn invalidate_all(&mut self) {
+        self.invalidate(Preserves::NONE);
+    }
 }
 
 /// One optimisation unit, applicable per function.
@@ -1624,7 +2216,10 @@ pub struct PassContext<'a> {
 /// Contract: `run` must be semantics-preserving under the reference
 /// interpreter and must keep every loop bounded (flow facts survive) —
 /// the differential test in `tests/pass_framework_differential.rs`
-/// enforces both for every registered pass.
+/// enforces both for every registered pass. A pass that reports a
+/// change must not leave any analysis it declares
+/// [`preserved`](Pass::preserves) stale: the application core only
+/// invalidates the complement.
 pub trait Pass {
     /// The registry name (stable, used by [`PassManager::from_str`]).
     fn name(&self) -> &str;
@@ -1634,8 +2229,16 @@ pub trait Pass {
     /// here. The default does nothing.
     fn begin_function(&mut self, _f: &IrFunction) {}
 
-    /// Transform one function; return `true` if the IR changed.
-    fn run(&mut self, f: &mut IrFunction, cx: &PassContext<'_>) -> bool;
+    /// Which cached analyses survive this pass reporting a change. The
+    /// conservative default is [`Preserves::NONE`]; shape-preserving
+    /// passes override to keep the dominator tree warm.
+    fn preserves(&self) -> Preserves {
+        Preserves::NONE
+    }
+
+    /// Transform one function; return `true` if the IR changed. The
+    /// context serves the module snapshot and the lazy analyses.
+    fn run(&mut self, f: &mut IrFunction, cx: &mut PassContext<'_>) -> bool;
 }
 
 /// `const_fold`: constant folding + constant branch resolution.
@@ -1646,7 +2249,7 @@ impl Pass for ConstFoldPass {
     fn name(&self) -> &str {
         "const_fold"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         const_fold(f)
     }
 }
@@ -1659,7 +2262,10 @@ impl Pass for CopyPropPass {
     fn name(&self) -> &str {
         "copy_prop"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn preserves(&self) -> Preserves {
+        Preserves::CFG
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         copy_propagate(f)
     }
 }
@@ -1672,7 +2278,10 @@ impl Pass for DcePass {
     fn name(&self) -> &str {
         "dce"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn preserves(&self) -> Preserves {
+        Preserves::CFG
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         dead_code_elim(f)
     }
 }
@@ -1685,7 +2294,10 @@ impl Pass for StrengthReducePass {
     fn name(&self) -> &str {
         "strength_reduce"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn preserves(&self) -> Preserves {
+        Preserves::CFG
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         strength_reduce_mul(f, false)
     }
 }
@@ -1702,7 +2314,10 @@ impl Pass for MulShiftAddPass {
     fn name(&self) -> &str {
         "mul_shift_add"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn preserves(&self) -> Preserves {
+        Preserves::CFG
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         strength_reduce_mul(f, true)
     }
 }
@@ -1715,8 +2330,55 @@ impl Pass for LicmPass {
     fn name(&self) -> &str {
         "licm"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
-        licm(f)
+    fn run(&mut self, f: &mut IrFunction, cx: &mut PassContext<'_>) -> bool {
+        let mut changed = false;
+        // Each hoist edits the CFG; re-pull (possibly warm) analyses
+        // from the context per step and invalidate after every move.
+        for _ in 0..64 {
+            let dom = cx.dominance(f);
+            let du = cx.def_use(f);
+            if !licm_step(f, &dom, &du) {
+                break;
+            }
+            cx.invalidate_all();
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// `gvn`: dominator-scoped global value numbering (subsumes the
+/// block-local `cse` across block boundaries).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GvnPass;
+
+impl Pass for GvnPass {
+    fn name(&self) -> &str {
+        "gvn"
+    }
+    fn preserves(&self) -> Preserves {
+        Preserves::CFG
+    }
+    fn run(&mut self, f: &mut IrFunction, cx: &mut PassContext<'_>) -> bool {
+        let dom = cx.dominance(f);
+        let du = cx.def_use(f);
+        gvn_with(f, &dom, &du)
+    }
+}
+
+/// `load_fwd`: store-to-load forwarding across block boundaries.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LoadFwdPass;
+
+impl Pass for LoadFwdPass {
+    fn name(&self) -> &str {
+        "load_fwd"
+    }
+    fn preserves(&self) -> Preserves {
+        Preserves::CFG
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
+        load_fwd(f)
     }
 }
 
@@ -1728,7 +2390,10 @@ impl Pass for CsePass {
     fn name(&self) -> &str {
         "cse"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn preserves(&self) -> Preserves {
+        Preserves::CFG
+    }
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         local_cse(f)
     }
 }
@@ -1755,7 +2420,7 @@ impl Pass for UnrollPass {
     fn name(&self) -> &str {
         "unroll"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         unroll_loops(f, self.max_trips)
     }
 }
@@ -1769,7 +2434,7 @@ impl Pass for BlockLayoutPass {
     fn name(&self) -> &str {
         "block_layout"
     }
-    fn run(&mut self, f: &mut IrFunction, _cx: &PassContext<'_>) -> bool {
+    fn run(&mut self, f: &mut IrFunction, _cx: &mut PassContext<'_>) -> bool {
         block_layout(f)
     }
 }
@@ -1801,7 +2466,7 @@ impl Pass for InlinePass {
     fn begin_function(&mut self, _f: &IrFunction) {
         self.budget = MAX_INLINES_PER_FUNCTION;
     }
-    fn run(&mut self, f: &mut IrFunction, cx: &PassContext<'_>) -> bool {
+    fn run(&mut self, f: &mut IrFunction, cx: &mut PassContext<'_>) -> bool {
         inline_with_budget(f, cx.functions, self.threshold, &mut self.budget)
     }
 }
@@ -1878,6 +2543,18 @@ pub static REGISTRY: &[PassDescriptor] = &[
         summary: "eliminate block-local common subexpressions",
         default_param: None,
         factory: |_| Box::new(CsePass),
+    },
+    PassDescriptor {
+        name: "gvn",
+        summary: "eliminate redundant expressions across blocks (dominator-scoped value numbering)",
+        default_param: None,
+        factory: |_| Box::new(GvnPass),
+    },
+    PassDescriptor {
+        name: "load_fwd",
+        summary: "forward stored values to later loads of the same cell across blocks",
+        default_param: None,
+        factory: |_| Box::new(LoadFwdPass),
     },
     PassDescriptor {
         name: "unroll",
@@ -2396,13 +3073,15 @@ impl PassManager {
     /// module output.
     pub fn run(&mut self, module: &mut IrModule) -> bool {
         let snapshot = snapshot_functions(module);
-        let cx = PassContext {
-            functions: &snapshot,
-        };
         let mut changed = false;
         for f in &mut module.functions {
-            changed |=
-                Self::run_pipeline(&mut self.passes, &mut self.stats, self.max_rounds, f, &cx);
+            changed |= Self::run_pipeline(
+                &mut self.passes,
+                &mut self.stats,
+                self.max_rounds,
+                f,
+                &snapshot,
+            );
         }
         changed
     }
@@ -2421,9 +3100,6 @@ impl PassManager {
     /// contribute no invocations here, because they never run a pass.
     pub fn run_on(&mut self, pool: &Pool, module: &mut IrModule) -> bool {
         let snapshot = snapshot_functions(module);
-        let cx = PassContext {
-            functions: &snapshot,
-        };
         let groups = group_indices_by_key(
             module
                 .functions
@@ -2443,7 +3119,8 @@ impl PassManager {
                 .instantiate()
                 .expect("pipeline validated at construction");
             let mut stats = pipeline_stats(pipeline);
-            let changed = Self::run_pipeline(&mut passes, &mut stats, max_rounds, &mut f, &cx);
+            let changed =
+                Self::run_pipeline(&mut passes, &mut stats, max_rounds, &mut f, &snapshot);
             (f, stats, changed)
         });
         let mut changed = false;
@@ -2467,22 +3144,33 @@ impl PassManager {
     /// unknown names.
     pub fn run_function(&mut self, module: &mut IrModule, name: &str) -> bool {
         let snapshot = snapshot_functions(module);
-        let cx = PassContext {
-            functions: &snapshot,
-        };
         let Some(f) = module.functions.iter_mut().find(|f| f.name == name) else {
             return false;
         };
-        Self::run_pipeline(&mut self.passes, &mut self.stats, self.max_rounds, f, &cx)
+        Self::run_pipeline(
+            &mut self.passes,
+            &mut self.stats,
+            self.max_rounds,
+            f,
+            &snapshot,
+        )
     }
 
+    /// The single application core every entry point funnels through
+    /// ([`PassManager::run`], [`PassManager::run_on`],
+    /// [`PassManager::run_function`], and phase 2 of
+    /// [`run_passes_per_function_on`]): builds one [`PassContext`] for
+    /// the function, iterates the pipeline to (bounded) fixpoint, and
+    /// after every change invalidates exactly the analyses the pass did
+    /// not declare [`preserved`](Pass::preserves).
     fn run_pipeline(
         passes: &mut [Box<dyn Pass>],
         stats: &mut [PassStats],
         max_rounds: usize,
         f: &mut IrFunction,
-        cx: &PassContext<'_>,
+        functions: &HashMap<String, IrFunction>,
     ) -> bool {
+        let mut cx = PassContext::new(functions);
         let mut changed = false;
         for pass in passes.iter_mut() {
             pass.begin_function(f);
@@ -2490,11 +3178,12 @@ impl PassManager {
         for _ in 0..max_rounds {
             let mut round_changed = false;
             for (pass, stat) in passes.iter_mut().zip(stats.iter_mut()) {
-                let pass_changed = pass.run(f, cx);
+                let pass_changed = pass.run(f, &mut cx);
                 stat.invocations += 1;
                 if pass_changed {
                     stat.changes += 1;
                     round_changed = true;
+                    cx.invalidate(pass.preserves());
                 }
             }
             changed |= round_changed;
@@ -2609,15 +3298,12 @@ pub fn run_passes_per_function_on(
             .instantiate()
             .unwrap_or_else(|e| panic!("invalid configured pipeline: {e}"));
         let mut stats = pipeline_stats(&rest);
-        let cx = PassContext {
-            functions: &snapshot,
-        };
         PassManager::run_pipeline(
             &mut passes,
             &mut stats,
             PassManager::DEFAULT_MAX_ROUNDS,
             &mut f,
-            &cx,
+            &snapshot,
         );
         f
     });
@@ -3044,6 +3730,246 @@ mod tests {
         assert_eq!(run_ir(&m, "f", &[4]), Some(5 * 100 + 6));
     }
 
+    // --- gvn -------------------------------------------------------
+
+    #[test]
+    fn gvn_shares_expressions_across_blocks() {
+        let src = "int f(int x, int y) {
+                       int a = x * y;
+                       int b = 2;
+                       if (x > 0) { b = x * y + 1; }
+                       return a + b + x * y;
+                   }";
+        let mut m = ir_of(src);
+        let reference = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        assert!(gvn(f));
+        assert_eq!(
+            count_matching(f, |o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. })),
+            1,
+            "the dominating product is the only one left"
+        );
+        m.validate().expect("valid after gvn");
+        for args in [[3, 4], [-3, 4], [0, 9]] {
+            assert_eq!(run_ir(&m, "f", &args), run_ir(&reference, "f", &args));
+        }
+    }
+
+    #[test]
+    fn gvn_respects_redefinitions_across_paths() {
+        // `x + 1` recomputed after a path that may change x: the fact
+        // dies at the join (meet = intersection), so no sharing.
+        let src = "int f(int x) {
+                       int a = x + 1;
+                       if (x > 0) { x = x + 1; }
+                       int b = x + 1;
+                       return a * 100 + b;
+                   }";
+        let mut m = ir_of(src);
+        let reference = ir_of(src);
+        gvn(m.function_mut("f").expect("f"));
+        m.validate().expect("valid after gvn");
+        assert_eq!(run_ir(&m, "f", &[4]), Some(5 * 100 + 6));
+        assert_eq!(run_ir(&m, "f", &[-4]), run_ir(&reference, "f", &[-4]));
+    }
+
+    // --- load_fwd --------------------------------------------------
+
+    #[test]
+    fn load_fwd_forwards_stores_to_loads_across_blocks() {
+        let src = "int g[4];
+                   int f(int x) {
+                       g[0] = x;
+                       int b = 1;
+                       if (x > 0) { b = g[0]; }
+                       return b + g[0];
+                   }";
+        let mut m = ir_of(src);
+        let reference = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        assert!(load_fwd(f));
+        assert_eq!(
+            count_matching(f, |o| matches!(o, IrOp::Load { .. })),
+            0,
+            "every load of g[0] sees the dominating store's value"
+        );
+        m.validate().expect("valid after load_fwd");
+        for args in [[5], [-5]] {
+            assert_eq!(run_ir(&m, "f", &args), run_ir(&reference, "f", &args));
+        }
+    }
+
+    #[test]
+    fn load_fwd_respects_aliasing_stores_and_calls() {
+        let src = "int g[4];
+                   int h[4];
+                   int set(int v) { g[1] = v; return 0; }
+                   int f(int x) {
+                       g[0] = x;
+                       h[2] = 7;
+                       int a = g[0];
+                       g[1] = 9;
+                       int b = g[0];
+                       int dummy = set(3);
+                       int c = g[0];
+                       return a + b + c + dummy;
+                   }";
+        let mut m = ir_of(src);
+        let reference = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        assert!(load_fwd(f));
+        // `a` and `b` forward (distinct global / distinct constant
+        // index don't kill); `c` reloads after the call.
+        assert_eq!(
+            count_matching(f, |o| matches!(o, IrOp::Load { .. })),
+            1,
+            "only the post-call load survives"
+        );
+        m.validate().expect("valid after load_fwd");
+        assert_eq!(run_ir(&m, "f", &[5]), run_ir(&reference, "f", &[5]));
+    }
+
+    #[test]
+    fn licm_hoists_multi_def_invariants_observed_only_inside() {
+        // The destination has a second (dead) definition before the
+        // loop — the old single-static-definition rule refused this;
+        // the dominator-tree rule hoists because every read of `t`
+        // sits inside the loop, dominated by the in-loop def.
+        let src = "int f(int n, int c) {
+                       int s = 0;
+                       int t = 9;
+                       int i = 0;
+                       while (i < n) { t = c * 3; s = s + t; i = i + 1; }
+                       return s;
+                   }";
+        let mut m = ir_of(src);
+        let reference = ir_of(src);
+        let f = m.function_mut("f").expect("f");
+        assert!(licm(f), "the invariant multiply hoists");
+        for l in teamplay_minic::cfg::natural_loops(f) {
+            for bi in &l.body {
+                assert!(
+                    !f.blocks[*bi]
+                        .ops
+                        .iter()
+                        .any(|o| matches!(o, IrOp::Bin { op: BinOp::Mul, .. })),
+                    "no multiply left inside the loop"
+                );
+            }
+        }
+        m.validate().expect("valid after licm");
+        for args in [[3, 5], [0, 5]] {
+            assert_eq!(run_ir(&m, "f", &args), run_ir(&reference, "f", &args));
+        }
+    }
+
+    // --- value-graph loop bounds -----------------------------------
+
+    fn counted_loop_ir(entry_ops: Vec<IrOp>) -> IrModule {
+        use teamplay_minic::ir::IrBlock;
+        let (i, ct) = (Temp(2), Temp(3));
+        let f = IrFunction {
+            name: "f".into(),
+            params: vec![],
+            returns_value: true,
+            blocks: vec![
+                IrBlock {
+                    ops: entry_ops,
+                    term: IrTerm::Jump(IrBlockId(1)),
+                },
+                IrBlock {
+                    ops: vec![IrOp::Bin {
+                        op: BinOp::Lt,
+                        dst: ct,
+                        a: Operand::Temp(i),
+                        b: Operand::Temp(Temp(1)),
+                    }],
+                    term: IrTerm::Branch {
+                        cond: Operand::Temp(ct),
+                        taken: IrBlockId(2),
+                        fallthrough: IrBlockId(3),
+                    },
+                },
+                IrBlock {
+                    ops: vec![IrOp::Bin {
+                        op: BinOp::Add,
+                        dst: i,
+                        a: Operand::Temp(i),
+                        b: Operand::Const(1),
+                    }],
+                    term: IrTerm::Jump(IrBlockId(1)),
+                },
+                IrBlock {
+                    ops: vec![],
+                    term: IrTerm::Ret(Some(Operand::Const(0))),
+                },
+            ],
+            temp_count: 4,
+            local_arrays: vec![],
+            loop_bounds: HashMap::new(),
+            annotations: vec![],
+        };
+        IrModule {
+            functions: vec![f],
+            globals: vec![],
+        }
+    }
+
+    #[test]
+    fn value_graph_bounds_resolve_computed_limits() {
+        // limit = u + 1 with u = 9 defined *before* it: well-anchored,
+        // folds to 10 — a bound the syntactic prover cannot see.
+        let (u, t, i) = (Temp(0), Temp(1), Temp(2));
+        let m = counted_loop_ir(vec![
+            IrOp::Copy {
+                dst: u,
+                src: Operand::Const(9),
+            },
+            IrOp::Bin {
+                op: BinOp::Add,
+                dst: t,
+                a: Operand::Temp(u),
+                b: Operand::Const(1),
+            },
+            IrOp::Copy {
+                dst: i,
+                src: Operand::Const(0),
+            },
+        ]);
+        m.validate().expect("valid");
+        let f = &m.functions[0];
+        assert_eq!(proven_loop_bounds(f), vec![]);
+        assert_eq!(value_graph_loop_bounds(f), vec![(IrBlockId(1), 10)]);
+    }
+
+    #[test]
+    fn value_graph_bounds_require_anchored_chains() {
+        // Same fold target, but `u = 9` lands *after* `t = u + 1`: at
+        // runtime t reads the zero-initialised u (t == 1), while the
+        // value graph would fold t to 10. The dominance anchoring must
+        // refuse the chain.
+        let (u, t, i) = (Temp(0), Temp(1), Temp(2));
+        let m = counted_loop_ir(vec![
+            IrOp::Bin {
+                op: BinOp::Add,
+                dst: t,
+                a: Operand::Temp(u),
+                b: Operand::Const(1),
+            },
+            IrOp::Copy {
+                dst: u,
+                src: Operand::Const(9),
+            },
+            IrOp::Copy {
+                dst: i,
+                src: Operand::Const(0),
+            },
+        ]);
+        m.validate().expect("valid");
+        let f = &m.functions[0];
+        assert_eq!(value_graph_loop_bounds(f), vec![]);
+    }
+
     // --- unroll ----------------------------------------------------
 
     fn loop_count(f: &IrFunction) -> usize {
@@ -3301,7 +4227,11 @@ mod tests {
             let mut m = ir_of("int f(int x) { return x * 8 + 0; }");
             pm.run(&mut m); // must not panic
         }
-        assert_eq!(REGISTRY.len(), 10, "all ten optimisations are registered");
+        assert_eq!(
+            REGISTRY.len(),
+            12,
+            "all twelve optimisations are registered"
+        );
     }
 
     #[test]

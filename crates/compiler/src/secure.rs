@@ -45,7 +45,7 @@ use teamplay_security::{
 /// Genome dimensions of the secure search: the plain
 /// [`CompilerConfig::GENOME_DIMS`] plus the trailing ladder-rung gene.
 /// [`CompilerConfig::from_genome`] ignores genes past its own dims, so
-/// the first 15 genes decode exactly as in the plain search.
+/// the first 17 genes decode exactly as in the plain search.
 pub const SECURE_GENOME_DIMS: usize = CompilerConfig::GENOME_DIMS + 1;
 
 /// Number of countermeasure rungs the rung gene selects from.

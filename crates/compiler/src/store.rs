@@ -30,8 +30,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// Version history: 1 — evaluation entries only; 2 — the secure search
 /// added leakage-score entries ([`DiskStore::store_score`]) and stored
-/// evals can now originate from ladderised IR, so every key moved.
-pub const STORE_FORMAT_VERSION: u32 = 2;
+/// evals can now originate from ladderised IR, so every key moved;
+/// 3 — codegen gained copy coalescing and value-graph loop bounds, and
+/// the genome grew `gvn`/`load_fwd` genes, so cached metrics for equal
+/// keys would no longer match what the compiler now produces.
+pub const STORE_FORMAT_VERSION: u32 = 3;
 
 /// FNV-1a 128-bit offset basis.
 const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;

@@ -57,11 +57,33 @@ def validate_search(data: dict) -> str:
     assert r0 >= 0.0 and r1 >= 0.0, "leakage is a |t| statistic"
     # …and the ladder must strictly cut the leakage axis.
     assert r1 < r0, f"ladderised rung does not reduce leakage: {r1} vs {r0}"
+    dataflow = data["dataflow"]
+    assert len(dataflow) == 4, "four app kernels expected in the dataflow section"
+    strictly_better = 0
+    for k in dataflow:
+        assert k["baseline_pipeline"], k
+        assert k["pipeline"], k
+        assert k["wcet_cycles"] > 0 and k["baseline_wcet_cycles"] > 0, k
+        # The dataflow-backed tuned pipelines must never pessimise a
+        # kernel relative to the frozen pre-dataflow pipeline…
+        assert k["wcet_cycles"] <= k["baseline_wcet_cycles"], k
+        assert k["wcec_pj"] <= k["baseline_wcec_pj"], k
+        assert k["code_halfwords"] <= k["baseline_code_halfwords"], k
+        dominates = (
+            k["wcet_cycles"] < k["baseline_wcet_cycles"]
+            or k["wcec_pj"] < k["baseline_wcec_pj"]
+            or k["code_halfwords"] < k["baseline_code_halfwords"]
+        )
+        assert k["strictly_better"] == dominates, k
+        strictly_better += dominates
+    # …and must strictly improve at least one kernel's objective vector.
+    assert strictly_better >= 1, "no kernel improved by the dataflow passes"
     return (
         f"phase ordering {po['distinct_pipelines']}/{po['distinct_configs']} distinct, "
         f"batch warm/cold {batch['warm_over_cold']:.2f}x at "
         f"{batch['dedup_rate']:.0%} dedup, "
-        f"leakage rung1 {r1:.3g} < rung0 {r0:.3g}"
+        f"leakage rung1 {r1:.3g} < rung0 {r0:.3g}, "
+        f"dataflow passes improve {strictly_better}/4 tuned kernels"
     )
 
 

@@ -217,8 +217,8 @@ proptest::proptest! {
     })]
 
     /// The rung gene never perturbs the configuration decoder: any
-    /// 16-gene genome decodes to the same [`CompilerConfig`] as its
-    /// 15-gene prefix, and the rung is a pure threshold on gene 15.
+    /// 18-gene genome decodes to the same [`CompilerConfig`] as its
+    /// 17-gene prefix, and the rung is a pure threshold on gene 17.
     #[test]
     fn rung_gene_is_invisible_to_the_config_decoder(
         genome in proptest::collection::vec(0.0f64..1.0, SECURE_GENOME_DIMS),
